@@ -1,0 +1,71 @@
+// Experiment X2 — word-embedding analogies (paper §5, Eq. 9-10): build
+// co-occurrence counts on the synthetic feature-grid corpus, transform to
+// PPMI, reduce with a spectral embedding, and solve king - man + woman ~
+// queen by the offset method, sweeping the embedding dimension.
+//
+// Paper-shape target: accuracy rises with dimension then plateaus (the
+// paper notes p >~ 100 is needed on real text; the toy grid saturates at
+// much smaller p — the *shape* is rise-then-plateau). Also compares raw
+// counts vs PPMI (the Eq. 10 ratio structure only emerges after the PMI
+// normalization).
+#include <iostream>
+
+#include "data/analogy.h"
+#include "embed/cooccurrence.h"
+#include "util/table.h"
+
+namespace {
+using llm::util::FormatFloat;
+using llm::util::Table;
+
+double AnalogyAccuracy(const llm::embed::WordEmbeddings& emb,
+                       const llm::data::AnalogyCorpus& corpus) {
+  int correct = 0;
+  for (const auto& q : corpus.quads()) {
+    if (emb.Analogy(q.a, q.b, q.c) == q.d) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(corpus.quads().size());
+}
+}  // namespace
+
+int main() {
+  llm::data::AnalogyCorpus corpus;
+  llm::util::Rng rng(5);
+  std::vector<int64_t> stream = corpus.Generate(20000, &rng);
+  std::cout << "corpus: " << stream.size() << " tokens, vocab "
+            << corpus.vocab_size() << ", " << corpus.quads().size()
+            << " gold analogies\n\n";
+
+  llm::embed::CooccurrenceMatrix cooc(corpus.vocab_size(), /*window=*/5);
+  cooc.Fit(stream);
+  const llm::core::Tensor ppmi = cooc.Ppmi();
+
+  std::cout << "== Analogy accuracy vs embedding dimension "
+               "(PPMI + spectral embedding) ==\n\n";
+  Table t({"dim p", "accuracy (PPMI)", "accuracy (raw counts)"});
+  for (int dim : {2, 4, 8, 16, 32}) {
+    llm::embed::WordEmbeddings ppmi_emb(
+        llm::embed::SpectralEmbedding(ppmi, dim));
+    llm::embed::WordEmbeddings raw_emb(
+        llm::embed::SpectralEmbedding(cooc.counts(), dim));
+    t.AddRow({std::to_string(dim),
+              FormatFloat(AnalogyAccuracy(ppmi_emb, corpus), 2),
+              FormatFloat(AnalogyAccuracy(raw_emb, corpus), 2)});
+  }
+  t.Print(std::cout);
+
+  std::cout << "\n== Example analogies at p = 16 ==\n\n";
+  llm::embed::WordEmbeddings emb(llm::embed::SpectralEmbedding(ppmi, 16));
+  Table ex({"analogy", "predicted", "correct"});
+  for (const auto& q : corpus.quads()) {
+    const int64_t pred = emb.Analogy(q.a, q.b, q.c);
+    ex.AddRow({corpus.QuadToString(q), corpus.vocab().TokenOf(pred),
+               pred == q.d ? "yes" : "NO"});
+  }
+  ex.Print(std::cout);
+  std::cout << "\nExpected shape (paper §5): accuracy rises with dimension\n"
+               "and plateaus; PPMI beats raw counts because Eq. 9 relies\n"
+               "on the co-occurrence *ratios* of Eq. 10.\n";
+  return 0;
+}

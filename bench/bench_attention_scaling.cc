@@ -1,0 +1,100 @@
+// Experiment X8 — the §6 cost claims, as google-benchmark micro-benches:
+//   * "the total computation required by the transformer scales as L^2":
+//     dense causal attention forward cost vs window length L.
+//   * sparse/windowed attention (Child et al. [30]) restores ~linear
+//     scaling in L at fixed window.
+//   * the RNN processes a window serially in Theta(L) cell steps (its
+//     per-token cost is flat, but it cannot be parallelized — the
+//     paper's parallelism point is architectural; here we show the cost
+//     shapes).
+#include <benchmark/benchmark.h>
+
+#include "core/ops.h"
+#include "nn/rnn.h"
+#include "util/rng.h"
+
+namespace {
+
+constexpr int64_t kChannels = 32;
+constexpr int kHeads = 4;
+
+void BM_DenseCausalAttention(benchmark::State& state) {
+  const int64_t T = state.range(0);
+  llm::util::Rng rng(1);
+  llm::core::Variable qkv(
+      llm::core::Tensor::RandomNormal({1, T, 3 * kChannels}, &rng, 0.0f,
+                                      0.5f));
+  llm::core::AttentionOptions opts;
+  opts.num_heads = kHeads;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        llm::core::MultiHeadCausalAttention(qkv, opts).value().data());
+  }
+  state.SetComplexityN(T);
+}
+BENCHMARK(BM_DenseCausalAttention)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_WindowedAttention(benchmark::State& state) {
+  const int64_t T = state.range(0);
+  llm::util::Rng rng(2);
+  llm::core::Variable qkv(
+      llm::core::Tensor::RandomNormal({1, T, 3 * kChannels}, &rng, 0.0f,
+                                      0.5f));
+  llm::core::AttentionOptions opts;
+  opts.num_heads = kHeads;
+  opts.window = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        llm::core::MultiHeadCausalAttention(qkv, opts).value().data());
+  }
+  state.SetComplexityN(T);
+}
+BENCHMARK(BM_WindowedAttention)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->Complexity(benchmark::oN);
+
+void BM_RnnUnroll(benchmark::State& state) {
+  const int64_t T = state.range(0);
+  llm::util::Rng rng(3);
+  llm::nn::RnnCell cell(kChannels, kChannels, &rng);
+  llm::core::Variable x(
+      llm::core::Tensor::RandomNormal({1, kChannels}, &rng));
+  for (auto _ : state) {
+    llm::core::Variable h(llm::core::Tensor({1, kChannels}));
+    for (int64_t t = 0; t < T; ++t) h = cell.Forward(x, h);
+    benchmark::DoNotOptimize(h.value().data());
+  }
+  state.SetComplexityN(T);
+}
+BENCHMARK(BM_RnnUnroll)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->Complexity(benchmark::oN);
+
+void BM_AttentionBackward(benchmark::State& state) {
+  const int64_t T = state.range(0);
+  llm::util::Rng rng(4);
+  for (auto _ : state) {
+    llm::core::Variable qkv(
+        llm::core::Tensor::RandomNormal({1, T, 3 * kChannels}, &rng, 0.0f,
+                                        0.5f),
+        /*requires_grad=*/true);
+    llm::core::AttentionOptions opts;
+    opts.num_heads = kHeads;
+    llm::core::Variable loss = llm::core::SumAll(
+        llm::core::MultiHeadCausalAttention(qkv, opts));
+    llm::core::Backward(loss);
+    benchmark::DoNotOptimize(qkv.grad().data());
+  }
+  state.SetComplexityN(T);
+}
+BENCHMARK(BM_AttentionBackward)
+    ->RangeMultiplier(2)
+    ->Range(16, 128)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace

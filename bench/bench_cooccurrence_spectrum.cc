@@ -1,0 +1,87 @@
+// Experiment X10 — the spectral structure behind §4's scaling-law
+// theories (Maloney et al. [85]: "the spectral density of the data
+// covariance falls off as a power law") and §5's PCA step: eigenvalue
+// decay of the PPMI co-occurrence matrix of the PCFG corpus, and
+// low-rank reconstruction error vs rank.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "data/pcfg_corpus.h"
+#include "embed/cooccurrence.h"
+#include "eval/power_law.h"
+#include "util/table.h"
+
+namespace {
+using llm::util::FormatFloat;
+using llm::util::Table;
+}  // namespace
+
+int main() {
+  llm::util::Rng rng(3);
+  llm::grammar::Grammar g = llm::data::ToyEnglishGrammar();
+  llm::data::PcfgCorpusOptions copts;
+  copts.num_sentences = 6000;
+  auto corpus = llm::data::SamplePcfgCorpus(g, copts, &rng);
+  std::vector<int64_t> stream =
+      llm::data::FlattenToStream(corpus, g.num_terminals());
+  const int64_t V = g.num_terminals() + 1;
+  llm::embed::CooccurrenceMatrix cooc(V, /*window=*/4);
+  cooc.Fit(stream);
+  llm::core::Tensor ppmi = cooc.Ppmi();
+  std::printf("corpus: %zu tokens, vocab %lld\n\n", stream.size(),
+              static_cast<long long>(V));
+
+  llm::embed::EigenResult eig = llm::embed::JacobiEigen(ppmi);
+  // Rank by magnitude (JacobiEigen sorts by signed value).
+  std::vector<double> mags;
+  for (int64_t k = 0; k < V; ++k) {
+    mags.push_back(std::fabs(eig.eigenvalues[k]));
+  }
+  std::sort(mags.rbegin(), mags.rend());
+
+  std::cout << "== Eigenvalue spectrum of the PPMI co-occurrence matrix "
+               "==\n\n";
+  Table t({"rank index k", "|eigenvalue_k|"});
+  std::vector<double> ks, vals;
+  for (int64_t k = 0; k < V; ++k) {
+    const double v = mags[static_cast<size_t>(k)];
+    if (k < 12 || k % 8 == 0) {
+      t.AddRow({std::to_string(k + 1), FormatFloat(v, 4)});
+    }
+    if (v > 1e-6 && k >= 1) {  // skip the top outlier for the tail fit
+      ks.push_back(static_cast<double>(k + 1));
+      vals.push_back(v);
+    }
+  }
+  t.Print(std::cout);
+  auto fit = llm::eval::FitPowerLaw(ks, vals);
+  if (fit.ok()) {
+    std::printf("\npower-law tail fit |lambda_k| ~ k^alpha: alpha = %.2f, "
+                "R^2 = %.3f\n",
+                fit->b, fit->r2);
+  }
+
+  // Low-rank reconstruction: fraction of spectral mass captured.
+  std::cout << "\n== Low-rank reconstruction (the §5 PCA step) ==\n\n";
+  double total_mass = 0;
+  for (int64_t k = 0; k < V; ++k) {
+    total_mass += eig.eigenvalues[k] * eig.eigenvalues[k];
+  }
+  Table rec({"rank r", "captured spectral mass"});
+  for (int r : {1, 2, 4, 8, 16, 32}) {
+    double mass = 0;
+    for (int k = 0; k < r && k < static_cast<int>(mags.size()); ++k) {
+      mass += mags[static_cast<size_t>(k)] * mags[static_cast<size_t>(k)];
+    }
+    rec.AddRow({std::to_string(r), FormatFloat(mass / total_mass, 3)});
+  }
+  rec.Print(std::cout);
+  std::cout << "\nExpected shape (paper §4 / [85]): eigenvalues fall off\n"
+               "roughly as a power law past the leading mode, so a small\n"
+               "rank captures most of the structure — the premise of both\n"
+               "the §5 embedding compression and the random-feature\n"
+               "scaling-law derivation.\n";
+  return 0;
+}

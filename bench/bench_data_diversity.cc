@@ -1,0 +1,101 @@
+// Experiment X14 — data diversity at a fixed token budget (paper §4:
+// "sets of data items are worth more if they are diverse than if they are
+// similar", Sorscher et al. [126]; also §6's footnote on clean data "not
+// having too much ... repetitions"). Same model, same number of training
+// tokens: one corpus has all-distinct sentences, the other repeats a
+// small pool. Held-out loss separates them.
+#include <cstdio>
+#include <iostream>
+
+#include "data/pcfg_corpus.h"
+#include "eval/lm_eval.h"
+#include "nn/transformer.h"
+#include "text/dataset.h"
+#include "train/trainer.h"
+#include "util/table.h"
+
+namespace {
+using llm::util::FormatCount;
+using llm::util::FormatFloat;
+using llm::util::Table;
+
+constexpr int64_t kSeqLen = 16;
+constexpr int64_t kBudget = 12000;  // training tokens for every arm
+
+std::vector<int64_t> RepeatToBudget(const std::vector<int64_t>& pool,
+                                    int64_t budget) {
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(budget));
+  while (static_cast<int64_t>(out.size()) < budget) {
+    for (int64_t t : pool) {
+      if (static_cast<int64_t>(out.size()) >= budget) break;
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+double TrainAndEval(const std::vector<int64_t>& tokens,
+                    const llm::text::TokenDataset& test_set, int64_t vocab,
+                    uint64_t seed) {
+  llm::nn::GPTConfig cfg;
+  cfg.vocab_size = vocab;
+  cfg.max_seq_len = kSeqLen;
+  cfg.d_model = 48;
+  cfg.n_layer = 2;
+  cfg.n_head = 4;
+  llm::util::Rng rng(seed);
+  llm::nn::GPTModel model(cfg, &rng);
+  llm::text::TokenDataset train_set(tokens, kSeqLen);
+  llm::train::AdamWOptions aopts;
+  aopts.lr = 2e-3f;
+  llm::train::AdamW opt(model.Parameters(), aopts);
+  llm::train::TrainerOptions topts;
+  topts.max_steps = 400;
+  topts.clip_norm = 1.0f;
+  llm::train::Trainer trainer(&opt, topts);
+  trainer.Run([&] {
+    std::vector<int64_t> in, tg;
+    train_set.SampleBatch(&rng, 8, &in, &tg);
+    return model.LmLoss(in, tg, 8, kSeqLen);
+  });
+  return llm::eval::EvaluateGpt(model, test_set, 20).cross_entropy;
+}
+}  // namespace
+
+int main() {
+  llm::util::Rng rng(29);
+  llm::grammar::Grammar g = llm::data::ToyEnglishGrammar();
+  const int sep = g.num_terminals();
+  const int64_t vocab = g.num_terminals() + 1;
+
+  // Held-out evaluation corpus (always fresh sentences).
+  llm::data::PcfgCorpusOptions copts;
+  copts.num_sentences = 600;
+  auto test_corpus = llm::data::SamplePcfgCorpus(g, copts, &rng);
+  llm::text::TokenDataset test_set(
+      llm::data::FlattenToStream(test_corpus, sep), kSeqLen);
+
+  std::cout << "== Same token budget (" << FormatCount(kBudget)
+            << " tokens), different diversity ==\n\n";
+  Table t({"distinct sentences", "epochs over pool", "test loss"});
+  for (int64_t distinct : {25, 100, 400, 1600}) {
+    copts.num_sentences = distinct;
+    llm::util::Rng data_rng(1000 + static_cast<uint64_t>(distinct));
+    auto pool_corpus = llm::data::SamplePcfgCorpus(g, copts, &data_rng);
+    std::vector<int64_t> pool =
+        llm::data::FlattenToStream(pool_corpus, sep);
+    std::vector<int64_t> tokens = RepeatToBudget(pool, kBudget);
+    const double epochs =
+        static_cast<double>(kBudget) / static_cast<double>(pool.size());
+    const double loss = TrainAndEval(tokens, test_set, vocab, 7);
+    t.AddRow({std::to_string(distinct), FormatFloat(epochs, 1),
+              FormatFloat(loss)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape (paper §4 / [126]): at a fixed token\n"
+               "budget, more distinct sentences (fewer repeated epochs)\n"
+               "give strictly better held-out loss — diverse data is\n"
+               "worth more than repeated data.\n";
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Experiment X12 — double descent (paper §4, footnote 24: "If one does
+// not regularize one sees other phenomena such as double descent",
+// Belkin et al. [14]). Random-feature regression on synthetic data: test
+// error vs number of random features peaks at the interpolation threshold
+// (#features = #samples) and *descends again* in the overparameterized
+// regime — the "benign overfitting" behind the paper's §2 discussion of
+// why the dull side of Occam's razor failed. Ridge regularization removes
+// the peak (the same footnote's point).
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "util/linalg.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+using llm::util::FormatFloat;
+using llm::util::Table;
+
+constexpr int kInputDim = 8;
+constexpr int kTrainN = 40;
+constexpr int kTestN = 400;
+
+/// Teacher: y = tanh(w . x) + noise.
+struct Dataset {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+};
+
+Dataset MakeData(int n, const std::vector<double>& w, double noise,
+                 llm::util::Rng* rng) {
+  Dataset d;
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> xi(kInputDim);
+    double dot = 0;
+    for (int j = 0; j < kInputDim; ++j) {
+      xi[static_cast<size_t>(j)] = rng->Normal();
+      dot += w[static_cast<size_t>(j)] * xi[static_cast<size_t>(j)];
+    }
+    d.x.push_back(std::move(xi));
+    d.y.push_back(std::tanh(dot) + rng->Normal(0.0, noise));
+  }
+  return d;
+}
+
+/// Random-feature map: phi_k(x) = tanh(u_k . x), k = 1..features.
+std::vector<std::vector<double>> Featurize(
+    const Dataset& d, const std::vector<std::vector<double>>& proj) {
+  std::vector<std::vector<double>> phi;
+  phi.reserve(d.x.size());
+  for (const auto& xi : d.x) {
+    std::vector<double> row(proj.size());
+    for (size_t k = 0; k < proj.size(); ++k) {
+      double dot = 0;
+      for (int j = 0; j < kInputDim; ++j) {
+        dot += proj[k][static_cast<size_t>(j)] * xi[static_cast<size_t>(j)];
+      }
+      row[k] = std::tanh(dot);
+    }
+    phi.push_back(std::move(row));
+  }
+  return phi;
+}
+
+/// Fits ridge regression in feature space and returns test MSE. With
+/// lambda ~ 0 this is (near-)interpolating least squares / min-norm.
+double FitAndScore(const std::vector<std::vector<double>>& train_phi,
+                   const std::vector<double>& train_y,
+                   const std::vector<std::vector<double>>& test_phi,
+                   const std::vector<double>& test_y, double lambda) {
+  const size_t p = train_phi[0].size();
+  std::vector<std::vector<double>> gram(
+      p, std::vector<double>(p, 0.0));
+  std::vector<double> rhs(p, 0.0);
+  for (size_t i = 0; i < train_phi.size(); ++i) {
+    for (size_t a = 0; a < p; ++a) {
+      rhs[a] += train_phi[i][a] * train_y[i];
+      for (size_t b = 0; b < p; ++b) {
+        gram[a][b] += train_phi[i][a] * train_phi[i][b];
+      }
+    }
+  }
+  for (size_t a = 0; a < p; ++a) gram[a][a] += lambda;
+  std::vector<double> w;
+  if (!llm::util::SolveLinearSystem(gram, rhs, &w)) return -1.0;
+  double mse = 0;
+  for (size_t i = 0; i < test_phi.size(); ++i) {
+    double pred = 0;
+    for (size_t a = 0; a < p; ++a) pred += w[a] * test_phi[i][a];
+    const double e = pred - test_y[i];
+    mse += e * e;
+  }
+  return mse / static_cast<double>(test_phi.size());
+}
+}  // namespace
+
+int main() {
+  llm::util::Rng rng(23);
+  std::vector<double> teacher(kInputDim);
+  for (auto& v : teacher) v = rng.Normal();
+  Dataset train = MakeData(kTrainN, teacher, 0.1, &rng);
+  Dataset test = MakeData(kTestN, teacher, 0.0, &rng);
+
+  std::cout << "== Double descent: random-feature regression, "
+            << kTrainN << " training samples ==\n"
+            << "(test MSE vs feature count; interpolation threshold at "
+            << kTrainN << " features)\n\n";
+
+  Table t({"features", "test MSE (lambda ~ 0)", "test MSE (ridge 1.0)",
+           "regime"});
+  // Average a few random feature draws per size to tame variance.
+  for (int features :
+       {5, 10, 20, 30, 36, 40, 44, 50, 60, 80, 120, 200, 400}) {
+    double unreg = 0, ridge = 0;
+    const int kDraws = 5;
+    for (int d = 0; d < kDraws; ++d) {
+      std::vector<std::vector<double>> proj(
+          static_cast<size_t>(features), std::vector<double>(kInputDim));
+      for (auto& row : proj) {
+        for (auto& v : row) {
+          v = rng.Normal() / std::sqrt(static_cast<double>(kInputDim));
+        }
+      }
+      auto train_phi = Featurize(train, proj);
+      auto test_phi = Featurize(test, proj);
+      unreg += FitAndScore(train_phi, train.y, test_phi, test.y, 1e-7);
+      ridge += FitAndScore(train_phi, train.y, test_phi, test.y, 1.0);
+    }
+    const char* regime = features < kTrainN
+                             ? "underparameterized"
+                             : (features == kTrainN ? "INTERPOLATION"
+                                                    : "overparameterized");
+    t.AddRow({std::to_string(features), FormatFloat(unreg / kDraws, 4),
+              FormatFloat(ridge / kDraws, 4), regime});
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape (paper §4 fn. 24 / [14]): without\n"
+               "regularization the test error *peaks* at the interpolation\n"
+               "threshold and then descends again as features grow —\n"
+               "overparameterized models generalize (the §2 'benign\n"
+               "overfitting'). Ridge regularization flattens the peak.\n";
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Experiment E4 — the joint scaling ansatz of Eq. 4:
+//   L(P, D) = [ (Pc/P)^(alphaP/alphaD) + Dc/D ]^alphaD  (+ floor here)
+// Train a grid of (model size P, dataset size D) pairs on the PCFG
+// corpus, fit the ansatz by Nelder-Mead, and report the fitted exponents
+// and residuals plus the fit's predictions against the measurements.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "data/pcfg_corpus.h"
+#include "eval/lm_eval.h"
+#include "eval/power_law.h"
+#include "nn/transformer.h"
+#include "text/dataset.h"
+#include "train/trainer.h"
+#include "util/table.h"
+
+namespace {
+using llm::util::FormatCount;
+using llm::util::FormatFloat;
+using llm::util::Table;
+
+constexpr int64_t kSeqLen = 24;
+
+double TrainOne(int64_t vocab, int64_t d_model, int n_layer,
+                const std::vector<int64_t>& train_tokens,
+                const llm::text::TokenDataset& test_set, int64_t* params,
+                uint64_t seed) {
+  llm::nn::GPTConfig cfg;
+  cfg.vocab_size = vocab;
+  cfg.max_seq_len = kSeqLen;
+  cfg.d_model = d_model;
+  cfg.n_layer = n_layer;
+  cfg.n_head = 2;
+  llm::util::Rng rng(seed);
+  llm::nn::GPTModel model(cfg, &rng);
+  *params = model.NumParameters();
+  llm::text::TokenDataset train_set(train_tokens, kSeqLen);
+  llm::train::AdamWOptions aopts;
+  aopts.lr = 3e-3f;
+  llm::train::AdamW opt(model.Parameters(), aopts);
+  llm::train::TrainerOptions topts;
+  topts.max_steps = 400;
+  topts.clip_norm = 1.0f;
+  topts.eval_every = 50;
+  llm::train::Trainer trainer(&opt, topts);
+  // Kaplan et al. report the *optimally early-stopped* test loss ("an
+  // optimally regularized model"); track the min over training so the
+  // overfitting of large models on tiny datasets does not contaminate
+  // the surface.
+  double best = 1e30;
+  trainer.Run(
+      [&] {
+        std::vector<int64_t> inputs, targets;
+        train_set.SampleBatch(&rng, 8, &inputs, &targets);
+        return model.LmLoss(inputs, targets, 8, kSeqLen);
+      },
+      [&](int64_t) {
+        best = std::min(
+            best, llm::eval::EvaluateGpt(model, test_set, 20).cross_entropy);
+      });
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  llm::util::Rng rng(77);
+  llm::grammar::Grammar g = llm::data::ToyEnglishGrammar();
+  llm::data::PcfgCorpusOptions copts;
+  copts.num_sentences = 4000;
+  auto corpus = llm::data::SamplePcfgCorpus(g, copts, &rng);
+  std::vector<int64_t> stream =
+      llm::data::FlattenToStream(corpus, g.num_terminals());
+  const int64_t vocab = g.num_terminals() + 1;
+  auto [train_tokens, test_tokens] = llm::text::SplitTokens(stream, 0.15);
+  llm::text::TokenDataset test_set(test_tokens, kSeqLen);
+
+  struct Size {
+    int64_t d_model;
+    int n_layer;
+  };
+  const Size sizes[] = {{8, 1}, {24, 2}, {64, 2}};
+  const double fractions[] = {0.02, 0.1, 1.0};
+
+  std::cout << "== Measured loss grid L(P, D) ==\n\n";
+  Table grid({"params P", "data D", "test loss"});
+  std::vector<llm::eval::ScalingPoint> points;
+  uint64_t seed = 1;
+  for (const auto& s : sizes) {
+    for (double frac : fractions) {
+      const auto n = static_cast<int64_t>(
+          static_cast<double>(train_tokens.size()) * frac);
+      std::vector<int64_t> subset(train_tokens.begin(),
+                                  train_tokens.begin() + n);
+      int64_t params = 0;
+      const double loss = TrainOne(vocab, s.d_model, s.n_layer, subset,
+                                   test_set, &params, seed++);
+      grid.AddRow({FormatCount(static_cast<double>(params)),
+                   FormatCount(static_cast<double>(n)),
+                   FormatFloat(loss)});
+      points.push_back({static_cast<double>(params),
+                        static_cast<double>(n), loss});
+    }
+  }
+  grid.Print(std::cout);
+
+  auto fit = llm::eval::FitAnsatz(points);
+  if (!fit.ok()) {
+    std::printf("ansatz fit failed: %s\n",
+                fit.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n== Eq. 4 fit ==\n\n"
+              "  Pc      = %s\n  Dc      = %s\n  alpha_P = %.3f\n"
+              "  alpha_D = %.3f\n  floor   = %.3f nats\n"
+              "  rmse    = %.4f (log-loss space)\n\n",
+              FormatCount(fit->pc).c_str(), FormatCount(fit->dc).c_str(),
+              fit->alpha_p, fit->alpha_d, fit->floor, fit->rmse);
+
+  std::cout << "== Fit vs measurement ==\n\n";
+  Table cmp({"P", "D", "measured", "ansatz"});
+  for (const auto& p : points) {
+    cmp.AddRow({FormatCount(p.params), FormatCount(p.data),
+                FormatFloat(p.loss),
+                FormatFloat(llm::eval::AnsatzLoss(*fit, p.params, p.data))});
+  }
+  cmp.Print(std::cout);
+  std::cout << "\nExpected shape (paper Eq. 4 / [67]): one smooth surface\n"
+               "with a data-limited regime (small D dominates the loss\n"
+               "regardless of P) and a capacity-limited regime, fitted by\n"
+               "a single (Pc, Dc, alpha_P, alpha_D) quadruple. The paper's\n"
+               "exponents are ~0.076-0.095 at web scale; toy-scale\n"
+               "exponents are larger.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Experiment X17 — in-context learning as task identification (paper §3
+// and §7; Xie et al. [140]): train one GPT on a mixture of K latent
+// mapping tasks presented as few-shot sequences x1 y1 x2 y2 ... and
+// measure answer accuracy *by shot index*. With K = 1 the mapping is
+// memorizable and the first answer is already right; with larger K the
+// model must identify the task from its context examples, so accuracy
+// starts near the mixture-ambiguity floor and climbs shot by shot —
+// in-context learning with frozen weights.
+#include <cstdio>
+#include <iostream>
+
+#include "data/fewshot.h"
+#include "nn/transformer.h"
+#include "train/optimizer.h"
+#include "util/table.h"
+
+namespace {
+using llm::util::FormatFloat;
+using llm::util::Table;
+
+constexpr int kShots = 8;
+constexpr int64_t kItems = 8;
+
+/// Per-shot answer accuracy over fresh batches.
+std::vector<double> PerShotAccuracy(const llm::nn::GPTModel& model,
+                                    const llm::data::FewShotTasks& tasks,
+                                    int batches, llm::util::Rng* rng) {
+  std::vector<double> correct(kShots, 0.0);
+  int64_t count = 0;
+  const int64_t B = 16;
+  const int64_t T = 2 * kShots;
+  for (int bt = 0; bt < batches; ++bt) {
+    std::vector<int64_t> in, tg;
+    tasks.SampleBatch(rng, B, kShots, &in, &tg);
+    llm::core::Tensor logits = model.ForwardLogits(in, B, T).value();
+    for (int64_t b = 0; b < B; ++b) {
+      for (int s = 0; s < kShots; ++s) {
+        const int64_t row = b * T + 2 * s;
+        const float* r = logits.data() + row * kItems;
+        int64_t best = 0;
+        for (int64_t v = 1; v < kItems; ++v) {
+          if (r[v] > r[best]) best = v;
+        }
+        if (best == tg[static_cast<size_t>(row)]) {
+          correct[static_cast<size_t>(s)] += 1.0;
+        }
+      }
+      ++count;
+    }
+  }
+  for (auto& c : correct) c /= static_cast<double>(count);
+  return correct;
+}
+
+std::vector<double> TrainMixture(int num_tasks, uint64_t seed) {
+  llm::data::FewShotTasks tasks(num_tasks, kItems, seed);
+  llm::util::Rng rng(seed + 1);
+  llm::nn::GPTConfig cfg;
+  cfg.vocab_size = kItems;
+  cfg.max_seq_len = 2 * kShots;
+  cfg.d_model = 64;
+  cfg.n_layer = 2;
+  cfg.n_head = 4;
+  llm::nn::GPTModel model(cfg, &rng);
+  llm::train::AdamWOptions aopts;
+  aopts.lr = 2e-3f;
+  llm::train::AdamW opt(model.Parameters(), aopts);
+  for (int step = 0; step < 1500; ++step) {
+    std::vector<int64_t> in, tg;
+    tasks.SampleBatch(&rng, 16, kShots, &in, &tg);
+    llm::core::Variable loss = llm::core::CrossEntropyLogits(
+        model.ForwardLogits(in, 16, 2 * kShots), tg);
+    opt.ZeroGrad();
+    llm::core::Backward(loss);
+    opt.Step();
+  }
+  llm::util::Rng eval_rng(777);
+  return PerShotAccuracy(model, tasks, 8, &eval_rng);
+}
+}  // namespace
+
+int main() {
+  std::cout << "== Few-shot in-context task identification ==\n"
+            << "(8 items; answer accuracy at each shot index; chance = "
+            << FormatFloat(1.0 / kItems, 3) << ")\n\n";
+  Table t({"latent tasks K", "shot 1", "shot 2", "shot 3", "shot 4",
+           "shot 6", "shot 8"});
+  for (int k : {1, 4, 16}) {
+    auto acc = TrainMixture(k, 50 + static_cast<uint64_t>(k));
+    t.AddRow({std::to_string(k), FormatFloat(acc[0], 2),
+              FormatFloat(acc[1], 2), FormatFloat(acc[2], 2),
+              FormatFloat(acc[3], 2), FormatFloat(acc[5], 2),
+              FormatFloat(acc[7], 2)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape (paper §3/§7 / [140]): with K = 1 the\n"
+               "model answers correctly from the first shot (the task is\n"
+               "in the weights); with larger K the first-shot accuracy\n"
+               "drops toward the mixture floor and *recovers with more\n"
+               "shots* — the examples select the task, no weights change.\n";
+  return 0;
+}

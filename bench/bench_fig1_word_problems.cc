@@ -1,0 +1,112 @@
+// Experiment F1 — the toy-scale analogue of Figure 1 (Minerva solving
+// multi-step word problems) and the paper's §3 discussion of
+// chain-of-thought prompting: "a device for improving [reasoning] is to
+// give examples with some intermediate reasoning steps spelled out."
+//
+// Task: compute (a1 + ... + ak) mod M from a next-token model. Training
+// sequences either contain only the final answer (no CoT) or spell out
+// the running partial sums (CoT). At evaluation the model greedily
+// generates from the "=" prompt and we score the *final* answer token.
+//
+// Paper-shape target: CoT >> no-CoT as the number of reasoning steps k
+// grows; both near-perfect for trivial k.
+#include <cstdio>
+#include <iostream>
+
+#include "data/word_problems.h"
+#include "nn/transformer.h"
+#include "sample/sampler.h"
+#include "train/trainer.h"
+#include "util/table.h"
+
+namespace {
+
+using llm::data::WordProblemDataset;
+using llm::data::WordProblemOptions;
+using llm::util::FormatFloat;
+using llm::util::Table;
+
+/// Greedy-decodes the answer for `problem`; returns true if the token
+/// right before END equals the true answer.
+bool SolvesProblem(const llm::nn::GPTModel& model,
+                   const WordProblemDataset& ds,
+                   const WordProblemDataset::Problem& problem,
+                   llm::util::Rng* rng) {
+  llm::sample::GenerateOptions gopts;
+  gopts.max_new_tokens = ds.seq_len();
+  gopts.sampler.temperature = 0.0f;
+  gopts.stop_token = ds.end_token();
+  std::vector<int64_t> out =
+      llm::sample::Generate(model, ds.EncodePrompt(problem), gopts, rng);
+  // Find the last number token before END (or the last token generated).
+  int64_t answer = -1;
+  for (int64_t t : out) {
+    if (t < ds.options().modulus) answer = t;
+    if (t == ds.end_token()) break;
+  }
+  return answer == problem.answer;
+}
+
+double TrainAndScore(const WordProblemOptions& opts, int64_t steps,
+                     uint64_t seed) {
+  WordProblemDataset ds(opts);
+  llm::util::Rng rng(seed);
+  llm::nn::GPTConfig cfg;
+  cfg.vocab_size = ds.vocab_size();
+  cfg.max_seq_len = 2 * ds.seq_len();  // headroom for generation
+  cfg.d_model = 64;
+  cfg.n_layer = 2;
+  cfg.n_head = 4;
+  llm::nn::GPTModel model(cfg, &rng);
+
+  llm::train::AdamWOptions aopts;
+  aopts.lr = 2e-3f;
+  llm::train::AdamW opt(model.Parameters(), aopts);
+  llm::train::TrainerOptions topts;
+  topts.max_steps = steps;
+  topts.clip_norm = 1.0f;
+  llm::train::Trainer trainer(&opt, topts);
+  const int64_t B = 16;
+  const int64_t T = ds.seq_len();
+  trainer.Run([&] {
+    std::vector<int64_t> inputs, targets;
+    ds.SampleBatch(&rng, B, &inputs, &targets);
+    return llm::core::CrossEntropyLogits(
+        model.ForwardLogits(inputs, B, T), targets);
+  });
+
+  int solved = 0;
+  const int kEvalProblems = 100;
+  for (int i = 0; i < kEvalProblems; ++i) {
+    if (SolvesProblem(model, ds, ds.SampleProblem(&rng), &rng)) ++solved;
+  }
+  return static_cast<double>(solved) / kEvalProblems;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Fig. 1 analogue: multi-step word problems, with vs "
+               "without chain of thought ==\n\n";
+  Table t({"terms k", "steps", "accuracy (no CoT)", "accuracy (CoT)"});
+  for (int k : {2, 4, 6}) {
+    // Longer problems get proportionally more optimization steps — both
+    // variants receive the same budget, so the comparison stays fair.
+    const int64_t steps = 350 * k;
+    WordProblemOptions base;
+    base.modulus = 11;
+    base.terms = k;
+    base.chain_of_thought = false;
+    const double plain = TrainAndScore(base, steps, 100 + k);
+    base.chain_of_thought = true;
+    const double cot = TrainAndScore(base, steps, 200 + k);
+    t.AddRow({std::to_string(k), std::to_string(steps),
+              FormatFloat(plain, 2), FormatFloat(cot, 2)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape (paper Fig. 1 / §3): chain-of-thought\n"
+               "supervision turns one hard k-step prediction into k easy\n"
+               "one-step predictions; its advantage grows with k. Random\n"
+               "guessing is 1/11 = 0.09.\n";
+  return 0;
+}

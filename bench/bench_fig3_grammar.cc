@@ -1,0 +1,138 @@
+// Experiment F3 — Figure 3 and Appendix A of the paper: the arithmetic-
+// expression grammar, parsing (including the y + 1 * x precedence
+// exercise), PCFG sampling, sentence probabilities via the inside
+// algorithm, grammar learning with Inside-Outside EM, and parser
+// throughput.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "grammar/cnf.h"
+#include "grammar/earley.h"
+#include "util/table.h"
+
+namespace {
+using llm::grammar::ArithmeticGrammar;
+using llm::grammar::EarleyParser;
+using llm::grammar::Grammar;
+using llm::util::FormatFloat;
+using llm::util::Table;
+}  // namespace
+
+int main() {
+  Grammar g = ArithmeticGrammar();
+  EarleyParser parser(&g);
+
+  // -------------------------------------------------------------------
+  // The precedence exercise.
+  // -------------------------------------------------------------------
+  std::cout << "== Appendix A exercise: parse tree for \"y + 1 * x\" ==\n\n";
+  auto ids = parser.TerminalIds("y + 1 * x");
+  auto tree = parser.Parse(*ids);
+  std::cout << g.TreeToString(**tree) << "\n\n";
+  std::cout << "Multiplication takes precedence: \"1 * x\" forms a TERM\n"
+               "nested inside the top-level EXPR -> TERM + EXPR.\n\n";
+
+  // -------------------------------------------------------------------
+  // Membership table for a few strings.
+  // -------------------------------------------------------------------
+  std::cout << "== Recognition ==\n\n";
+  Table rec({"sentence", "grammatical"});
+  for (const char* s :
+       {"y + 1 * x", "( x )", "x * ( y + 1 )", "y + * x", "( y + x",
+        "x y"}) {
+    auto tids = parser.TerminalIds(s);
+    rec.AddRow({s, tids.ok() && parser.Recognize(*tids) ? "yes" : "no"});
+  }
+  rec.Print(std::cout);
+
+  // -------------------------------------------------------------------
+  // PCFG sampling + inside probabilities.
+  // -------------------------------------------------------------------
+  std::cout << "\n== PCFG samples with exact probabilities ==\n\n";
+  auto cnf = llm::grammar::ToCnf(g);
+  llm::util::Rng rng(1);
+  Table samples({"sample", "log P (tree)", "log P (sentence)"});
+  for (int i = 0; i < 5; ++i) {
+    auto t = g.SampleTree(&rng, 30);
+    if (!t.ok()) continue;
+    auto leaves = Grammar::TreeLeaves(**t);
+    if (leaves.size() > 12) continue;
+    samples.AddRow({g.TreeYield(**t), FormatFloat(g.TreeLogProb(**t), 3),
+                    FormatFloat(llm::grammar::InsideLogProb(*cnf, leaves),
+                                3)});
+  }
+  samples.Print(std::cout);
+  std::cout << "\n(Sentence probability >= tree probability: the inside\n"
+               "algorithm sums over all derivations.)\n\n";
+
+  // -------------------------------------------------------------------
+  // Grammar learning: Inside-Outside EM from a corrupted start point.
+  // -------------------------------------------------------------------
+  std::cout << "== Inside-Outside EM (learning rule probabilities) ==\n\n";
+  std::vector<std::vector<int>> corpus;
+  for (int i = 0; i < 300; ++i) {
+    auto t = g.SampleTree(&rng, 40);
+    if (!t.ok()) continue;
+    auto leaves = Grammar::TreeLeaves(**t);
+    if (leaves.size() <= 14) corpus.push_back(leaves);
+  }
+  // Corrupt: uniform probabilities over each lhs's rules.
+  llm::grammar::CnfGrammar learned = *cnf;
+  std::vector<double> mass(static_cast<size_t>(learned.num_nonterminals()),
+                           0.0);
+  for (const auto& r : learned.binary) ++mass[static_cast<size_t>(r.lhs)];
+  for (const auto& r : learned.lexical) ++mass[static_cast<size_t>(r.lhs)];
+  for (auto& r : learned.binary) {
+    r.prob = 1.0 / mass[static_cast<size_t>(r.lhs)];
+  }
+  for (auto& r : learned.lexical) {
+    r.prob = 1.0 / mass[static_cast<size_t>(r.lhs)];
+  }
+  llm::grammar::EmOptions em;
+  em.iterations = 12;
+  auto stats = llm::grammar::FitInsideOutside(&learned, corpus, em);
+  Table emt({"iteration", "corpus log-likelihood"});
+  for (size_t i = 0; i < stats->log_likelihood.size(); ++i) {
+    if (i % 2 == 0 || i + 1 == stats->log_likelihood.size()) {
+      emt.AddRow({std::to_string(i),
+                  FormatFloat(stats->log_likelihood[i], 1)});
+    }
+  }
+  emt.Print(std::cout);
+  auto true_ce = llm::grammar::CorpusCrossEntropy(*cnf, corpus);
+  auto learned_ce = llm::grammar::CorpusCrossEntropy(learned, corpus);
+  std::printf("\ncross-entropy (nats/token): true grammar %.4f, "
+              "EM-learned %.4f\n\n",
+              *true_ce, *learned_ce);
+
+  // -------------------------------------------------------------------
+  // Parser throughput.
+  // -------------------------------------------------------------------
+  std::cout << "== Earley parser throughput ==\n\n";
+  std::vector<std::vector<int>> bench_sents;
+  int64_t total_tokens = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto t = g.SampleTree(&rng, 40);
+    if (!t.ok()) continue;
+    auto leaves = Grammar::TreeLeaves(**t);
+    if (leaves.size() > 20) continue;
+    total_tokens += static_cast<int64_t>(leaves.size());
+    bench_sents.push_back(std::move(leaves));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  int accepted = 0;
+  for (const auto& s : bench_sents) {
+    if (parser.Recognize(s)) ++accepted;
+  }
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  std::printf("parsed %zu sentences (%lld tokens) in %.3fs: %.0f tokens/s; "
+              "%d/%zu accepted (all sampled sentences must parse)\n",
+              bench_sents.size(), static_cast<long long>(total_tokens),
+              elapsed, static_cast<double>(total_tokens) / elapsed, accepted,
+              bench_sents.size());
+  return accepted == static_cast<int>(bench_sents.size()) ? 0 : 1;
+}

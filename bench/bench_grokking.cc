@@ -1,0 +1,125 @@
+// Experiment X4 — grokking on modular arithmetic (paper §4, Power et al.
+// [110], Nanda et al. [103]): train a small transformer on a fixed split
+// of the (a + b) mod p table with AdamW weight decay. The paper's claim:
+// "First, the model memorizes training examples. Later, it generalizes to
+// the testing examples" — train accuracy saturates long before test
+// accuracy rises.
+//
+// Ablation #4 of DESIGN.md: with weight decay off, generalization is
+// delayed or absent at the same budget.
+#include <cstdio>
+#include <iostream>
+
+#include "data/modular.h"
+#include "eval/metrics.h"
+#include "nn/transformer.h"
+#include "train/optimizer.h"
+#include "util/table.h"
+
+namespace {
+using llm::util::FormatFloat;
+using llm::util::Table;
+
+struct CurvePoint {
+  int64_t step;
+  double train_acc;
+  double test_acc;
+  double train_loss;
+};
+
+double AccuracyOn(const llm::nn::GPTModel& model,
+                  const llm::data::ModularDataset& ds,
+                  const std::vector<llm::data::ModularExample>& examples) {
+  std::vector<int64_t> inputs, targets;
+  ds.EncodeExamples(examples, &inputs, &targets);
+  const auto B = static_cast<int64_t>(examples.size());
+  llm::core::Variable logits = model.ForwardLogits(
+      inputs, B, llm::data::ModularDataset::kSeqLen);
+  return llm::eval::MaskedAccuracy(logits.value(), targets);
+}
+
+std::vector<CurvePoint> RunGrokking(float weight_decay, int64_t max_steps,
+                                    uint64_t seed) {
+  llm::data::ModularDatasetOptions dopts;
+  dopts.modulus = 23;
+  dopts.train_fraction = 0.6;
+  dopts.seed = 3;
+  llm::data::ModularDataset ds(dopts);
+
+  llm::nn::GPTConfig cfg;
+  cfg.vocab_size = ds.vocab_size();
+  cfg.max_seq_len = llm::data::ModularDataset::kSeqLen;
+  cfg.d_model = 48;
+  cfg.n_layer = 1;
+  cfg.n_head = 4;
+  llm::util::Rng rng(seed);
+  llm::nn::GPTModel model(cfg, &rng);
+
+  llm::train::AdamWOptions aopts;
+  aopts.lr = 1e-3f;
+  aopts.beta2 = 0.98f;
+  aopts.weight_decay = weight_decay;
+  llm::train::AdamW opt(model.Parameters(), aopts);
+
+  std::vector<CurvePoint> curve;
+  const int64_t B = 128;
+  for (int64_t step = 0; step < max_steps; ++step) {
+    std::vector<int64_t> inputs, targets;
+    ds.SampleTrainBatch(&rng, B, &inputs, &targets);
+    llm::core::Variable loss = llm::core::CrossEntropyLogits(
+        model.ForwardLogits(inputs, B, llm::data::ModularDataset::kSeqLen),
+        targets);
+    opt.ZeroGrad();
+    llm::core::Backward(loss);
+    llm::train::ClipGradNorm(opt.params(), 1.0f);
+    opt.Step();
+    if (step % 250 == 0 || step + 1 == max_steps) {
+      curve.push_back({step, AccuracyOn(model, ds, ds.train()),
+                       AccuracyOn(model, ds, ds.test()),
+                       static_cast<double>(loss.value()[0])});
+    }
+  }
+  return curve;
+}
+
+void PrintCurve(const std::vector<CurvePoint>& curve) {
+  Table t({"step", "train acc", "test acc", "train loss"});
+  for (const auto& p : curve) {
+    t.AddRow({std::to_string(p.step), FormatFloat(p.train_acc, 3),
+              FormatFloat(p.test_acc, 3), FormatFloat(p.train_loss, 3)});
+  }
+  t.Print(std::cout);
+
+  // Locate the two phases: first step with train acc > 0.95 and first
+  // step with test acc > 0.95.
+  int64_t memorized = -1, generalized = -1;
+  for (const auto& p : curve) {
+    if (memorized < 0 && p.train_acc > 0.95) memorized = p.step;
+    if (generalized < 0 && p.test_acc > 0.95) generalized = p.step;
+  }
+  std::printf("\ntrain acc > 95%% at step %lld; test acc > 95%% at %s\n",
+              static_cast<long long>(memorized),
+              generalized >= 0 ? std::to_string(generalized).c_str()
+                               : "never (within budget)");
+}
+}  // namespace
+
+int main() {
+  const int64_t kSteps = 6000;
+  std::cout << "== Grokking: (a + b) mod 23, 60% of the table for "
+               "training ==\n\n";
+  std::cout << "--- with weight decay 1.0 (the grokking recipe) ---\n\n";
+  auto with_wd = RunGrokking(/*weight_decay=*/1.0f, kSteps, 17);
+  PrintCurve(with_wd);
+
+  std::cout << "\n--- ablation: weight decay 0 ---\n\n";
+  auto without_wd = RunGrokking(/*weight_decay=*/0.0f, kSteps, 17);
+  PrintCurve(without_wd);
+
+  std::cout << "\nExpected shape (paper §4): with weight decay, train\n"
+               "accuracy saturates early while test accuracy lags and then\n"
+               "climbs (two-phase 'grokking'); without weight decay the\n"
+               "memorizing solution persists and test accuracy stays low\n"
+               "much longer.\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Experiment X5 — induction heads (paper §7, Olsson et al. [107], Elhage
+// et al. [42]): train attention-only transformers on repeated-sequence
+// data whose repeat offset *varies per sequence*, so no positional
+// shortcut exists. The published result this reproduces: a 2-layer
+// attention-only model learns the AB...A -> B induction circuit (high
+// copy accuracy and a head whose attention mass sits on the "token after
+// the previous occurrence" position), while a 1-layer model cannot
+// implement the required composition and stays far below it.
+#include <cstdio>
+#include <iostream>
+
+#include "data/induction.h"
+#include "eval/metrics.h"
+#include "nn/transformer.h"
+#include "train/optimizer.h"
+#include "util/table.h"
+
+namespace {
+using llm::util::FormatFloat;
+using llm::util::Table;
+
+constexpr int64_t kVocab = 24;
+constexpr int64_t kSeqLen = 24;
+
+struct Result {
+  double copy_accuracy = 0.0;
+  std::vector<std::vector<double>> head_scores;       // [layer][head]
+  std::vector<std::vector<double>> head_scores_loose;  // +/- 1 position
+};
+
+Result TrainInduction(int n_layer, int64_t steps, uint64_t seed) {
+  llm::nn::GPTConfig cfg;
+  cfg.vocab_size = kVocab;
+  cfg.max_seq_len = kSeqLen;
+  cfg.d_model = 48;
+  cfg.n_layer = n_layer;
+  cfg.n_head = 2;
+  cfg.attention_only = true;  // the published setting
+  llm::util::Rng rng(seed);
+  llm::nn::GPTModel model(cfg, &rng);
+
+  llm::data::InductionOptions dopts;
+  dopts.vocab_size = kVocab;
+  dopts.seq_len = kSeqLen;
+
+  llm::train::AdamWOptions aopts;
+  aopts.lr = 2e-3f;
+  llm::train::AdamW opt(model.Parameters(), aopts);
+  const int64_t B = 16;
+  for (int64_t step = 0; step < steps; ++step) {
+    std::vector<int64_t> inputs, targets;
+    llm::data::SampleInductionBatch(dopts, &rng, B, &inputs, &targets);
+    llm::core::Variable loss = llm::core::CrossEntropyLogits(
+        model.ForwardLogits(inputs, B, kSeqLen), targets);
+    opt.ZeroGrad();
+    llm::core::Backward(loss);
+    opt.Step();
+  }
+
+  // Evaluate copy accuracy and per-head induction scores on a fresh batch.
+  Result result;
+  std::vector<int64_t> inputs, targets, splits;
+  const int64_t eval_b = 32;
+  llm::data::SampleInductionBatch(dopts, &rng, eval_b, &inputs, &targets,
+                                  &splits);
+  llm::nn::ActivationCapture cap;
+  cap.capture_attention = true;
+  llm::nn::ForwardOptions fopts;
+  fopts.capture = &cap;
+  llm::core::Variable logits =
+      model.ForwardLogits(inputs, eval_b, kSeqLen, fopts);
+  result.copy_accuracy = llm::eval::MaskedAccuracy(logits.value(), targets);
+  for (const auto& att : cap.attention) {
+    result.head_scores.push_back(llm::data::InductionScores(
+        splits, eval_b, kSeqLen, att.data(), cfg.n_head));
+    result.head_scores_loose.push_back(llm::data::InductionScores(
+        splits, eval_b, kSeqLen, att.data(), cfg.n_head, /*tolerance=*/1));
+  }
+  return result;
+}
+}  // namespace
+
+int main() {
+  std::cout << "== Induction heads: attention-only transformers on "
+               "repeated sequences ==\n"
+            << "(T = " << kSeqLen << ", a random-length prefix repeats "
+            << "cyclically; chance accuracy = 1/" << kVocab << " = "
+            << FormatFloat(1.0 / kVocab, 3) << ")\n\n";
+
+  Table t({"layers", "copy accuracy", "max induction score", "where"});
+  for (int n_layer : {1, 2}) {
+    Result r = TrainInduction(n_layer, 5000, 42 + n_layer);
+    double best = 0;
+    std::string where = "-";
+    for (size_t l = 0; l < r.head_scores.size(); ++l) {
+      for (size_t h = 0; h < r.head_scores[l].size(); ++h) {
+        if (r.head_scores[l][h] > best) {
+          best = r.head_scores[l][h];
+          where = "layer " + std::to_string(l) + " head " +
+                  std::to_string(h);
+        }
+      }
+    }
+    t.AddRow({std::to_string(n_layer), FormatFloat(r.copy_accuracy, 3),
+              FormatFloat(best, 3), where});
+
+    std::cout << "--- " << n_layer << "-layer model, per-head induction "
+              << "scores (exact / within +-1) ---\n";
+    for (size_t l = 0; l < r.head_scores.size(); ++l) {
+      std::printf("  layer %zu:", l);
+      for (size_t h = 0; h < r.head_scores[l].size(); ++h) {
+        std::printf("  %.3f/%.3f", r.head_scores[l][h],
+                    r.head_scores_loose[l][h]);
+      }
+      std::printf("\n");
+    }
+    std::cout << "\n";
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape (paper §7 / [107]): only the 2-layer\n"
+               "model solves the copy task — induction requires composing\n"
+               "two attention layers (match the previous occurrence, then\n"
+               "read the token after it), which one layer cannot express.\n"
+               "A layer-1 head concentrates on the content-matched target\n"
+               "position, and keeps sharpening with training (the paper's\n"
+               "phase-change 'induction bump' is late; at this budget the\n"
+               "pattern is forming rather than saturated).\n";
+  return 0;
+}

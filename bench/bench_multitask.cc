@@ -1,0 +1,234 @@
+// Experiment X19 — one system, many tasks (paper §1/§8: "the trick we
+// need to understand is how a single system can learn from this diverse
+// corpus to perform a wide range of tasks"; Minsky's diversity quote).
+// Train ONE transformer on an interleaved mixture of three unrelated
+// synthetic tasks living in disjoint regions of a shared vocabulary —
+// modular addition, chain-of-thought word problems, and induction
+// copying — and compare its per-task accuracy against same-architecture
+// specialists trained on each task alone with the same per-task step
+// budget.
+//
+// Paper-shape target: the generalist is competitive with the specialists
+// on every task (no catastrophic interference at this capacity), the core
+// empirical surprise behind LLMs.
+#include <cstdio>
+#include <functional>
+#include <iostream>
+
+#include "data/induction.h"
+#include "data/modular.h"
+#include "data/word_problems.h"
+#include "eval/metrics.h"
+#include "nn/transformer.h"
+#include "train/optimizer.h"
+#include "util/table.h"
+
+namespace {
+using llm::util::FormatFloat;
+using llm::util::Table;
+
+// Shared token space:
+//   digits 0..10 (shared by modular & word problems)
+//   11 = modular 'op', 12 = modular '='
+//   13 = wp '+', 14 = wp '=', 15 = wp ';', 16 = wp END
+//   17..32 = induction items
+//   33 = PAD
+constexpr int64_t kModOp = 11, kModEq = 12;
+constexpr int64_t kWpPlus = 13, kWpEq = 14, kWpSep = 15, kWpEnd = 16;
+constexpr int64_t kItemBase = 17;
+constexpr int64_t kPad = 33;
+constexpr int64_t kVocab = 34;
+constexpr int64_t kT = 18;
+constexpr int64_t kModulus = 11;
+
+struct Batch {
+  std::vector<int64_t> inputs;
+  std::vector<int64_t> targets;
+};
+
+void PadTo(std::vector<int64_t>* in, std::vector<int64_t>* tg) {
+  while (static_cast<int64_t>(in->size()) % kT != 0) {
+    in->push_back(kPad);
+    tg->push_back(-1);
+  }
+}
+
+/// Task A: a op b = c (answer scored at '=').
+Batch ModularBatch(const llm::data::ModularDataset& ds, int64_t n,
+                   bool from_test, llm::util::Rng* rng) {
+  Batch batch;
+  const auto& pool = from_test ? ds.test() : ds.train();
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& e = pool[rng->UniformInt(pool.size())];
+    std::vector<int64_t> seq = {e.a, kModOp, e.b, kModEq};
+    for (int64_t tok : seq) {
+      batch.inputs.push_back(tok);
+      batch.targets.push_back(-1);
+    }
+    batch.targets.back() = e.c;  // answer predicted at '='
+    PadTo(&batch.inputs, &batch.targets);
+  }
+  return batch;
+}
+
+/// Task B: chain-of-thought word problems (k = 3 terms).
+Batch WordProblemBatch(const llm::data::WordProblemDataset& ds, int64_t n,
+                       llm::util::Rng* rng) {
+  Batch batch;
+  for (int64_t i = 0; i < n; ++i) {
+    const auto p = ds.SampleProblem(rng);
+    std::vector<int64_t> seq;
+    for (size_t j = 0; j < p.terms.size(); ++j) {
+      if (j) seq.push_back(kWpPlus);
+      seq.push_back(p.terms[j]);
+    }
+    seq.push_back(kWpEq);
+    for (size_t j = 0; j < p.partials.size(); ++j) {
+      if (j) seq.push_back(kWpSep);
+      seq.push_back(p.partials[j]);
+    }
+    seq.push_back(kWpEnd);
+    const size_t prompt_len = 2 * p.terms.size();  // terms+pluses+eq
+    for (size_t j = 0; j < seq.size(); ++j) {
+      batch.inputs.push_back(seq[j]);
+      batch.targets.push_back(
+          (j + 1 < seq.size() && j >= prompt_len - 1) ? seq[j + 1] : -1);
+    }
+    PadTo(&batch.inputs, &batch.targets);
+  }
+  return batch;
+}
+
+/// Task C: induction copying over item tokens.
+Batch InductionBatch(int64_t n, llm::util::Rng* rng) {
+  llm::data::InductionOptions opts;
+  opts.vocab_size = 16;
+  opts.seq_len = kT;
+  Batch batch;
+  std::vector<int64_t> in, tg;
+  llm::data::SampleInductionBatch(opts, rng, n, &in, &tg);
+  for (size_t i = 0; i < in.size(); ++i) {
+    batch.inputs.push_back(in[i] + kItemBase);
+    batch.targets.push_back(tg[i] < 0 ? -1 : tg[i] + kItemBase);
+  }
+  return batch;
+}
+
+double Accuracy(const llm::nn::GPTModel& model, const Batch& batch) {
+  const auto rows = static_cast<int64_t>(batch.inputs.size()) / kT;
+  llm::core::Variable logits =
+      model.ForwardLogits(batch.inputs, rows, kT);
+  return llm::eval::MaskedAccuracy(logits.value(), batch.targets);
+}
+
+llm::nn::GPTModel MakeModel(llm::util::Rng* rng) {
+  llm::nn::GPTConfig cfg;
+  cfg.vocab_size = kVocab;
+  cfg.max_seq_len = kT;
+  cfg.d_model = 64;
+  cfg.n_layer = 2;
+  cfg.n_head = 4;
+  return llm::nn::GPTModel(cfg, rng);
+}
+
+void TrainSteps(llm::nn::GPTModel* model,
+                const std::function<Batch(llm::util::Rng*)>& make_batch,
+                int64_t steps, llm::util::Rng* rng) {
+  llm::train::AdamWOptions aopts;
+  aopts.lr = 2e-3f;
+  llm::train::AdamW opt(model->Parameters(), aopts);
+  for (int64_t s = 0; s < steps; ++s) {
+    Batch b = make_batch(rng);
+    const auto rows = static_cast<int64_t>(b.inputs.size()) / kT;
+    llm::core::Variable loss = llm::core::CrossEntropyLogits(
+        model->ForwardLogits(b.inputs, rows, kT), b.targets);
+    opt.ZeroGrad();
+    llm::core::Backward(loss);
+    llm::train::ClipGradNorm(opt.params(), 1.0f);
+    opt.Step();
+  }
+}
+}  // namespace
+
+int main() {
+  llm::util::Rng rng(61);
+  llm::data::ModularDatasetOptions mopts;
+  mopts.modulus = kModulus;
+  mopts.train_fraction = 0.7;
+  llm::data::ModularDataset modular(mopts);
+  llm::data::WordProblemOptions wopts;
+  wopts.modulus = kModulus;
+  wopts.terms = 3;
+  wopts.chain_of_thought = true;
+  llm::data::WordProblemDataset word_problems(wopts);
+
+  const int64_t kPerTaskSteps = 600;
+  auto mod_batch = [&](llm::util::Rng* r) {
+    return ModularBatch(modular, 12, false, r);
+  };
+  auto wp_batch = [&](llm::util::Rng* r) {
+    return WordProblemBatch(word_problems, 12, r);
+  };
+  auto ind_batch = [&](llm::util::Rng* r) { return InductionBatch(12, r); };
+
+  std::puts("training three specialists...");
+  llm::nn::GPTModel spec_mod = MakeModel(&rng);
+  TrainSteps(&spec_mod, mod_batch, kPerTaskSteps, &rng);
+  llm::nn::GPTModel spec_wp = MakeModel(&rng);
+  TrainSteps(&spec_wp, wp_batch, kPerTaskSteps, &rng);
+  llm::nn::GPTModel spec_ind = MakeModel(&rng);
+  TrainSteps(&spec_ind, ind_batch, kPerTaskSteps, &rng);
+
+  std::puts("training one generalist on the interleaved mixture...");
+  llm::nn::GPTModel generalist = MakeModel(&rng);
+  int turn = 0;
+  TrainSteps(
+      &generalist,
+      [&](llm::util::Rng* r) -> Batch {
+        switch (turn++ % 3) {
+          case 0:
+            return mod_batch(r);
+          case 1:
+            return wp_batch(r);
+          default:
+            return ind_batch(r);
+        }
+      },
+      3 * kPerTaskSteps, &rng);
+
+  llm::util::Rng eval_rng(62);
+  Batch mod_eval = ModularBatch(modular, 128, /*from_test=*/true,
+                                &eval_rng);
+  Batch wp_eval = WordProblemBatch(word_problems, 128, &eval_rng);
+  Batch ind_eval = InductionBatch(64, &eval_rng);
+
+  std::cout << "\n== Per-task accuracy: one generalist vs three "
+               "specialists ==\n(equal per-task optimization budget)\n\n";
+  Table t({"task", "generalist", "specialist", "chance"});
+  t.AddRow({"modular add (held-out pairs)",
+            FormatFloat(Accuracy(generalist, mod_eval), 3),
+            FormatFloat(Accuracy(spec_mod, mod_eval), 3),
+            FormatFloat(1.0 / kModulus, 3)});
+  t.AddRow({"word problems (CoT steps)",
+            FormatFloat(Accuracy(generalist, wp_eval), 3),
+            FormatFloat(Accuracy(spec_wp, wp_eval), 3),
+            FormatFloat(1.0 / kModulus, 3)});
+  t.AddRow({"induction copying",
+            FormatFloat(Accuracy(generalist, ind_eval), 3),
+            FormatFloat(Accuracy(spec_ind, ind_eval), 3),
+            FormatFloat(1.0 / 16.0, 3)});
+  t.Print(std::cout);
+  std::cout << "\nExpected shape (paper §1/§8): one model holds all three\n"
+               "competences at (near-)specialist accuracy. Two effects to\n"
+               "notice beyond that headline:\n"
+               "  * cross-task transfer: the modular-add *specialist*\n"
+               "    memorizes its 85 training pairs without generalizing\n"
+               "    (the pre-grokking regime — cf. bench_grokking), while\n"
+               "    the generalist answers held-out pairs because the CoT\n"
+               "    word-problem task teaches the same mod-11 addition and\n"
+               "    the circuit is shared — learning one task helps\n"
+               "    another (§8's shared-representations question);\n"
+               "  * mild interference on induction copying, the price of\n"
+               "    shared capacity.\n";
+  return 0;
+}

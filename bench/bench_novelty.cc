@@ -1,0 +1,121 @@
+// Experiment X18 — generation novelty and the "rearranging sentences"
+// question (paper §1: interpretations range "from the belief that they
+// are 'simply' rearranging the sentences they were trained on" upward;
+// §8's hallucination discussion). Measures, as a function of sampling
+// temperature, what fraction of generated text is (a) novel at the
+// trigram level (not a copy of training n-grams), and (b) still
+// grammatical under the generating PCFG — separating creative
+// generalization from degenerate invention.
+#include <cstdio>
+#include <iostream>
+#include <array>
+#include <set>
+
+#include "data/pcfg_corpus.h"
+#include "grammar/earley.h"
+#include "nn/transformer.h"
+#include "sample/sampler.h"
+#include "text/dataset.h"
+#include "train/trainer.h"
+#include "util/table.h"
+
+namespace {
+using llm::util::FormatFloat;
+using llm::util::Table;
+
+using Trigram = std::array<int64_t, 3>;
+
+std::set<Trigram> CollectTrigrams(const std::vector<int64_t>& stream) {
+  std::set<Trigram> out;
+  for (size_t i = 0; i + 2 < stream.size(); ++i) {
+    out.insert({stream[i], stream[i + 1], stream[i + 2]});
+  }
+  return out;
+}
+}  // namespace
+
+int main() {
+  llm::util::Rng rng(37);
+  llm::grammar::Grammar g = llm::data::ToyEnglishGrammar();
+  llm::data::PcfgCorpusOptions copts;
+  copts.num_sentences = 2500;
+  auto corpus = llm::data::SamplePcfgCorpus(g, copts, &rng);
+  const int sep = g.num_terminals();
+  std::vector<int64_t> stream = llm::data::FlattenToStream(corpus, sep);
+  const std::set<Trigram> train_trigrams = CollectTrigrams(stream);
+  std::printf("training corpus: %zu tokens, %zu distinct trigrams\n\n",
+              stream.size(), train_trigrams.size());
+
+  const int64_t T = 24;
+  llm::nn::GPTConfig cfg;
+  cfg.vocab_size = g.num_terminals() + 1;
+  cfg.max_seq_len = T;
+  cfg.d_model = 64;
+  cfg.n_layer = 2;
+  cfg.n_head = 4;
+  llm::nn::GPTModel model(cfg, &rng);
+  llm::text::TokenDataset train_set(stream, T);
+  llm::train::AdamWOptions aopts;
+  aopts.lr = 3e-3f;
+  llm::train::AdamW opt(model.Parameters(), aopts);
+  llm::train::TrainerOptions topts;
+  topts.max_steps = 500;
+  topts.clip_norm = 1.0f;
+  llm::train::Trainer trainer(&opt, topts);
+  trainer.Run([&] {
+    std::vector<int64_t> in, tg;
+    train_set.SampleBatch(&rng, 8, &in, &tg);
+    return model.LmLoss(in, tg, 8, T);
+  });
+
+  llm::grammar::EarleyParser parser(&g);
+  std::cout << "== Novelty and grammaticality of samples vs temperature "
+               "==\n\n";
+  Table t({"temperature", "novel trigrams", "grammatical sentences",
+           "sentences scored"});
+  for (float temp : {0.5f, 0.8f, 1.0f, 1.3f, 2.0f}) {
+    llm::util::Rng gen_rng(1000 + static_cast<uint64_t>(temp * 10));
+    int64_t trigrams = 0, novel = 0;
+    int sentences = 0, grammatical = 0;
+    for (int trial = 0; trial < 60; ++trial) {
+      llm::sample::GenerateOptions gopts;
+      gopts.max_new_tokens = 18;
+      gopts.sampler.temperature = temp;
+      gopts.stop_token = sep;
+      auto out = llm::sample::Generate(model, {sep}, gopts, &gen_rng);
+      for (size_t i = 0; i + 2 < out.size(); ++i) {
+        ++trigrams;
+        if (!train_trigrams.count({out[i], out[i + 1], out[i + 2]})) {
+          ++novel;
+        }
+      }
+      std::vector<int> sentence;
+      for (int64_t tok : out) {
+        if (tok == sep) break;
+        sentence.push_back(static_cast<int>(tok));
+      }
+      if (!sentence.empty() &&
+          static_cast<int64_t>(sentence.size()) < gopts.max_new_tokens) {
+        ++sentences;
+        if (parser.Recognize(sentence)) ++grammatical;
+      }
+    }
+    t.AddRow({FormatFloat(temp, 1),
+              FormatFloat(trigrams ? static_cast<double>(novel) / trigrams
+                                   : 0.0,
+                          3),
+              FormatFloat(sentences ? static_cast<double>(grammatical) /
+                                          sentences
+                                    : 0.0,
+                          3),
+              std::to_string(sentences)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape (paper §1/§8): the model is not 'simply\n"
+               "rearranging' its training text — even at low temperature a\n"
+               "fraction of trigrams is novel while sentences stay largely\n"
+               "grammatical (systematic generalization). Raising the\n"
+               "temperature buys more novelty at an accelerating cost in\n"
+               "grammaticality — the creativity/hallucination trade-off.\n";
+  return 0;
+}

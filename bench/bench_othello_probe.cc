@@ -1,0 +1,288 @@
+// Experiment X6 — Othello-GPT world-model probing (paper §7, Li et al.
+// [78]): train a GPT on random legal Othello move sequences (moves only,
+// no board given), then
+//   (1) measure the legal-move rate of its predictions (trained vs
+//       untrained),
+//   (2) train linear probes from the residual stream to the board state
+//       of individual cells (empty / black / white), per layer, and
+//   (3) run the intervention: push one cell's activation toward a
+//       different probed state and verify the model's next-move
+//       distribution shifts.
+#include <cstdio>
+#include <iostream>
+#include <set>
+
+#include "interp/probe.h"
+#include "nn/transformer.h"
+#include "othello/othello.h"
+#include "sample/sampler.h"
+#include "train/optimizer.h"
+#include "util/table.h"
+
+namespace {
+using llm::othello::Board;
+using llm::othello::Game;
+using llm::util::FormatFloat;
+using llm::util::Table;
+
+constexpr int64_t kMovesPerGame = 16;  // truncated opening phase
+constexpr int64_t kSeqLen = kMovesPerGame;
+
+/// Encodes the first kMovesPerGame moves of games as token sequences
+/// (token = cell index 0..63).
+void EncodeGames(const std::vector<Game>& games,
+                 std::vector<std::vector<int64_t>>* sequences) {
+  for (const auto& g : games) {
+    if (g.moves.size() < kMovesPerGame) continue;
+    std::vector<int64_t> seq(g.moves.begin(),
+                             g.moves.begin() + kMovesPerGame);
+    sequences->push_back(std::move(seq));
+  }
+}
+
+/// Fraction of positions where the model's argmax next move is legal.
+double LegalMoveRate(const llm::nn::GPTModel& model,
+                     const std::vector<Game>& games, size_t max_games) {
+  int64_t legal = 0, total = 0;
+  for (size_t gi = 0; gi < std::min(max_games, games.size()); ++gi) {
+    const Game& game = games[gi];
+    if (game.moves.size() < kMovesPerGame) continue;
+    std::vector<int64_t> seq(game.moves.begin(),
+                             game.moves.begin() + kMovesPerGame);
+    llm::core::Variable logits = model.ForwardLogits(seq, 1, kSeqLen);
+    Board board;
+    for (int64_t t = 0; t + 1 < kSeqLen; ++t) {
+      LLM_CHECK(board.Apply(static_cast<int>(seq[static_cast<size_t>(t)]))
+                    .ok());
+      // Argmax over the logits row at position t.
+      const float* row = logits.value().data() + t * 64;
+      int best = 0;
+      for (int v = 1; v < 64; ++v) {
+        if (row[v] > row[best]) best = v;
+      }
+      if (board.IsLegal(best)) ++legal;
+      ++total;
+    }
+  }
+  return static_cast<double>(legal) / static_cast<double>(total);
+}
+}  // namespace
+
+int main() {
+  llm::util::Rng rng(9);
+  std::cout << "== Othello-GPT: world models from move sequences ==\n\n";
+  auto games = llm::othello::RandomGames(700, &rng);
+  std::vector<std::vector<int64_t>> sequences;
+  EncodeGames(games, &sequences);
+  std::printf("generated %zu games (%zu usable %lld-move prefixes)\n\n",
+              games.size(), sequences.size(),
+              static_cast<long long>(kMovesPerGame));
+
+  llm::nn::GPTConfig cfg;
+  cfg.vocab_size = 64;
+  cfg.max_seq_len = kSeqLen;
+  cfg.d_model = 64;
+  cfg.n_layer = 2;
+  cfg.n_head = 4;
+  llm::nn::GPTModel model(cfg, &rng);
+  llm::nn::GPTModel untrained(cfg, &rng);
+
+  // Train on next-move prediction.
+  llm::train::AdamWOptions aopts;
+  aopts.lr = 2e-3f;
+  llm::train::AdamW opt(model.Parameters(), aopts);
+  const int64_t B = 8;
+  const int64_t kSteps = 700;
+  for (int64_t step = 0; step < kSteps; ++step) {
+    std::vector<int64_t> inputs, targets;
+    for (int64_t b = 0; b < B; ++b) {
+      const auto& seq = sequences[rng.UniformInt(sequences.size())];
+      for (int64_t t = 0; t < kSeqLen; ++t) {
+        inputs.push_back(seq[static_cast<size_t>(t)]);
+        targets.push_back(t + 1 < kSeqLen ? seq[static_cast<size_t>(t + 1)]
+                                          : -1);
+      }
+    }
+    llm::core::Variable loss = llm::core::CrossEntropyLogits(
+        model.ForwardLogits(inputs, B, kSeqLen), targets);
+    opt.ZeroGrad();
+    llm::core::Backward(loss);
+    opt.Step();
+    if (step % 200 == 0) {
+      std::printf("step %4lld  loss %.3f\n", static_cast<long long>(step),
+                  static_cast<double>(loss.value()[0]));
+    }
+  }
+
+  // (1) Legal-move rate.
+  std::cout << "\n== Legal-move rate of argmax predictions ==\n\n";
+  Table legal({"model", "legal-move rate"});
+  legal.AddRow({"trained", FormatFloat(LegalMoveRate(model, games, 40), 3)});
+  legal.AddRow(
+      {"untrained", FormatFloat(LegalMoveRate(untrained, games, 40), 3)});
+  legal.Print(std::cout);
+
+  // (2) Board-state probes per layer. Collect residual activations at the
+  // final position of each prefix, labeled with the state of a probed
+  // cell. Probe a few central cells (most often occupied early).
+  std::cout << "\n== Linear probes: residual stream -> cell state ==\n"
+               "(classes: empty / black / white; majority-class baseline "
+               "shown)\n\n";
+  const int probe_cells[] = {18, 19, 26, 29, 34, 37, 44, 45};
+  const size_t kProbeGames = std::min<size_t>(sequences.size(), 400);
+
+  // Capture activations once per game prefix.
+  std::vector<llm::core::Tensor> residuals(
+      static_cast<size_t>(cfg.n_layer) + 1);
+  for (auto& t : residuals) {
+    t = llm::core::Tensor({static_cast<int64_t>(kProbeGames), cfg.d_model});
+  }
+  std::vector<std::array<int8_t, 64>> final_boards(kProbeGames);
+  for (size_t gi = 0; gi < kProbeGames; ++gi) {
+    llm::nn::ActivationCapture cap;
+    llm::nn::ForwardOptions fopts;
+    fopts.capture = &cap;
+    model.ForwardLogits(sequences[gi], 1, kSeqLen, fopts);
+    for (size_t layer = 0; layer < residuals.size(); ++layer) {
+      const llm::core::Tensor& h = cap.residual[layer].value();
+      for (int64_t c = 0; c < cfg.d_model; ++c) {
+        residuals[layer][static_cast<int64_t>(gi) * cfg.d_model + c] =
+            h.At({0, kSeqLen - 1, c});
+      }
+    }
+    Board board;
+    for (int64_t t = 0; t < kSeqLen; ++t) {
+      LLM_CHECK(board
+                    .Apply(static_cast<int>(
+                        sequences[gi][static_cast<size_t>(t)]))
+                    .ok());
+    }
+    final_boards[gi] = board.Snapshot();
+  }
+
+  Table probes({"layer", "probe accuracy (mean over cells)",
+                "majority baseline"});
+  std::vector<std::vector<float>> best_directions;  // for intervention
+  double best_layer_acc = 0;
+  int best_layer = 0;
+  for (size_t layer = 0; layer < residuals.size(); ++layer) {
+    double acc_sum = 0, base_sum = 0;
+    for (int cell : probe_cells) {
+      std::vector<int64_t> labels(kProbeGames);
+      std::array<int64_t, 3> counts{0, 0, 0};
+      for (size_t gi = 0; gi < kProbeGames; ++gi) {
+        labels[gi] = final_boards[gi][static_cast<size_t>(cell)];
+        ++counts[static_cast<size_t>(labels[gi])];
+      }
+      llm::interp::ProbeConfig pcfg;
+      pcfg.input_dim = cfg.d_model;
+      pcfg.num_classes = 3;
+      pcfg.steps = 300;
+      llm::interp::Probe probe(pcfg);
+      probe.Fit(residuals[layer], labels);
+      acc_sum += probe.Accuracy(residuals[layer], labels);
+      base_sum += static_cast<double>(
+                      *std::max_element(counts.begin(), counts.end())) /
+                  static_cast<double>(kProbeGames);
+    }
+    const double acc = acc_sum / std::size(probe_cells);
+    if (acc > best_layer_acc) {
+      best_layer_acc = acc;
+      best_layer = static_cast<int>(layer);
+    }
+    probes.AddRow({layer == 0 ? "embedding" : "block " +
+                                                  std::to_string(layer - 1),
+                   FormatFloat(acc, 3),
+                   FormatFloat(base_sum / std::size(probe_cells), 3)});
+  }
+  probes.Print(std::cout);
+
+  // (3) Intervention: for one game, flip the probed state of a cell in
+  // the residual stream at the best layer and measure how much the
+  // next-move distribution moves (total variation), vs a random edit of
+  // the same norm.
+  std::cout << "\n== Intervention at " <<
+      (best_layer == 0 ? std::string("embedding")
+                       : "block " + std::to_string(best_layer - 1))
+            << " ==\n\n";
+  const int cell = 19;
+  // Retrain a probe for this cell at the best layer to get directions.
+  std::vector<int64_t> labels(kProbeGames);
+  for (size_t gi = 0; gi < kProbeGames; ++gi) {
+    labels[gi] = final_boards[gi][static_cast<size_t>(cell)];
+  }
+  llm::interp::ProbeConfig pcfg;
+  pcfg.input_dim = cfg.d_model;
+  pcfg.num_classes = 3;
+  pcfg.steps = 400;
+  llm::interp::Probe probe(pcfg);
+  probe.Fit(residuals[static_cast<size_t>(best_layer)], labels);
+
+  double tv_intervened = 0, tv_random = 0;
+  int counted = 0;
+  llm::util::Rng irng(33);
+  for (size_t gi = 0; gi < 20; ++gi) {
+    const int8_t state = final_boards[gi][static_cast<size_t>(cell)];
+    if (state == 0) continue;  // only flip occupied cells black<->white
+    const int64_t from = state, to = state == 1 ? 2 : 1;
+    llm::nn::ActivationCapture cap;
+    llm::nn::ForwardOptions fopts;
+    fopts.capture = &cap;
+    llm::core::Tensor before =
+        model.ForwardLogits(sequences[gi], 1, kSeqLen, fopts).value();
+
+    llm::core::Tensor edited =
+        cap.residual[static_cast<size_t>(best_layer)].value();
+    std::vector<float> h(static_cast<size_t>(cfg.d_model));
+    for (int64_t c = 0; c < cfg.d_model; ++c) {
+      h[static_cast<size_t>(c)] = edited.At({0, kSeqLen - 1, c});
+    }
+    const float kAlpha = 6.0f;
+    auto h_rand = h;
+    llm::interp::ApplyInterventionEdit(&h, probe.ClassDirection(from),
+                                       probe.ClassDirection(to), kAlpha);
+    // Random direction control with the same magnitude.
+    std::vector<float> r0(h.size(), 0.0f), r1(h.size());
+    for (auto& v : r1) v = static_cast<float>(irng.Normal());
+    llm::interp::ApplyInterventionEdit(&h_rand, r0, r1, kAlpha);
+
+    auto run_edit = [&](const std::vector<float>& hv) {
+      llm::core::Tensor e = edited;
+      for (int64_t c = 0; c < cfg.d_model; ++c) {
+        e.At({0, kSeqLen - 1, c}) = hv[static_cast<size_t>(c)];
+      }
+      return model.ForwardFromLayer(llm::core::Variable(e), best_layer)
+          .value();
+    };
+    llm::core::Tensor after = run_edit(h);
+    llm::core::Tensor after_rand = run_edit(h_rand);
+
+    // Total variation between next-move distributions at the last
+    // position.
+    auto tv = [&](const llm::core::Tensor& a, const llm::core::Tensor& b) {
+      llm::sample::SamplerOptions sopts;
+      auto pa = llm::sample::DistributionFromLogits(
+          a.data() + (kSeqLen - 1) * 64, 64, sopts);
+      auto pb = llm::sample::DistributionFromLogits(
+          b.data() + (kSeqLen - 1) * 64, 64, sopts);
+      double s = 0;
+      for (int v = 0; v < 64; ++v) {
+        s += std::fabs(pa[static_cast<size_t>(v)] -
+                       pb[static_cast<size_t>(v)]);
+      }
+      return 0.5 * s;
+    };
+    tv_intervened += tv(before, after);
+    tv_random += tv(before, after_rand);
+    ++counted;
+  }
+  std::printf("next-move distribution shift (total variation, mean over "
+              "%d games):\n  probe-direction edit: %.3f\n  random edit of "
+              "equal norm: %.3f\n",
+              counted, tv_intervened / counted, tv_random / counted);
+  std::cout << "\nExpected shape (paper §7 / [78]): trained legal-move\n"
+               "rate >> untrained; probes beat the majority baseline and\n"
+               "improve with depth; probe-direction edits move the policy\n"
+               "more than random edits of equal size.\n";
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Experiment X11 — parity and the expressivity discussion of §5/§8: "the
+// RNN is [at finite precision] a finite state machine" and "the complexity
+// class of circuits which can be realized by constant depth transformers
+// ... is TC^0". Running parity is the canonical separation: an RNN carries
+// the answer in one bit of state and generalizes to any length, while a
+// fixed-depth transformer must re-derive an L-way parity per position and
+// characteristically fails to generalize past its training lengths.
+//
+// Both models train on sequences of length <= 16 and are evaluated on the
+// *final-position* parity at lengths 8..32.
+#include <cstdio>
+#include <iostream>
+
+#include "data/parity.h"
+#include "eval/metrics.h"
+#include "nn/rnn.h"
+#include "nn/transformer.h"
+#include "train/optimizer.h"
+#include "util/table.h"
+
+namespace {
+using llm::util::FormatFloat;
+using llm::util::Table;
+
+constexpr int64_t kTrainLen = 16;
+constexpr int64_t kMaxLen = 32;
+
+/// Final-position accuracy at a given sequence length.
+template <typename ForwardFn>
+double FinalParityAccuracy(const ForwardFn& forward, int64_t seq_len,
+                           int trials, llm::util::Rng* rng) {
+  int correct = 0;
+  const int64_t B = 16;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int64_t> in, tg;
+    llm::data::SampleParityBatch(rng, B, seq_len, &in, &tg);
+    llm::core::Tensor logits = forward(in, B, seq_len);  // [B*T, 2]
+    for (int64_t b = 0; b < B; ++b) {
+      const int64_t row = b * seq_len + seq_len - 1;
+      const int64_t pred =
+          logits[row * 2 + 1] > logits[row * 2 + 0] ? 1 : 0;
+      if (pred == tg[static_cast<size_t>(row)]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / (trials * B);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Streaming parity: RNN (finite state machine) vs "
+               "transformer (constant depth) ==\n"
+            << "(trained on random lengths up to " << kTrainLen
+            << "; chance = 0.5)\n\n";
+
+  llm::util::Rng rng(19);
+
+  // RNN: one layer, small state.
+  llm::nn::RnnLmConfig rcfg;
+  rcfg.vocab_size = 2;
+  rcfg.d_model = 16;
+  rcfg.cell = llm::nn::RecurrentCellType::kTanhRnn;
+  llm::nn::RnnLm rnn(rcfg, &rng);
+
+  // Transformer: matched parameter scale.
+  llm::nn::GPTConfig tcfg;
+  tcfg.vocab_size = 2;
+  tcfg.max_seq_len = kMaxLen;
+  tcfg.d_model = 32;
+  tcfg.n_layer = 2;
+  tcfg.n_head = 4;
+  llm::nn::GPTModel transformer(tcfg, &rng);
+  // Ablation #2 of DESIGN.md: fixed sinusoidal positions (Eq. 15) are
+  // defined at every length, unlike learned rows that were never trained
+  // past kTrainLen.
+  llm::nn::GPTConfig scfg = tcfg;
+  scfg.learned_positional = false;
+  llm::nn::GPTModel sin_transformer(scfg, &rng);
+
+  // Each model trains on its own RNG stream so results do not couple
+  // (and the RNN, whose parity solution is init-sensitive, gets a higher
+  // learning rate — see the recipe sweep in the repo history).
+  auto train = [&](auto& model, const char* name, float lr, uint64_t seed) {
+    llm::util::Rng train_rng(seed);
+    llm::train::AdamWOptions aopts;
+    aopts.lr = lr;
+    llm::train::AdamW opt(model.Parameters(), aopts);
+    const int64_t B = 16;
+    for (int step = 0; step < 1500; ++step) {
+      // Random training length <= kTrainLen (so position embeddings see
+      // every in-range offset).
+      const int64_t T =
+          4 + static_cast<int64_t>(train_rng.UniformInt(kTrainLen - 3));
+      std::vector<int64_t> in, tg;
+      llm::data::SampleParityBatch(&train_rng, B, T, &in, &tg);
+      llm::core::Variable loss = llm::core::CrossEntropyLogits(
+          model.ForwardLogits(in, B, T), tg);
+      opt.ZeroGrad();
+      llm::core::Backward(loss);
+      llm::train::ClipGradNorm(opt.params(), 1.0f);
+      opt.Step();
+      if (step % 500 == 0) {
+        std::printf("%s step %4d loss %.3f\n", name, step,
+                    static_cast<double>(loss.value()[0]));
+      }
+    }
+  };
+  train(rnn, "rnn        ", 5e-3f, 101);
+  train(transformer, "transformer", 2e-3f, 102);
+  train(sin_transformer, "tfm (sin)  ", 2e-3f, 103);
+
+  std::cout << "\n== Final-bit parity accuracy vs sequence length ==\n\n";
+  Table t({"length", "RNN", "tfm (learned pos)", "tfm (sinusoidal)",
+           "regime"});
+  for (int64_t len : {8, 12, 16, 20, 24, 32}) {
+    llm::util::Rng eval_rng(100 + static_cast<uint64_t>(len));
+    llm::util::Rng eval_rng2 = eval_rng;
+    const double racc = FinalParityAccuracy(
+        [&](const std::vector<int64_t>& in, int64_t B, int64_t T) {
+          return rnn.ForwardLogits(in, B, T).value();
+        },
+        len, 8, &eval_rng);
+    llm::util::Rng eval_rng3 = eval_rng;
+    const double tacc = FinalParityAccuracy(
+        [&](const std::vector<int64_t>& in, int64_t B, int64_t T) {
+          return transformer.ForwardLogits(in, B, T).value();
+        },
+        len, 8, &eval_rng2);
+    const double sacc = FinalParityAccuracy(
+        [&](const std::vector<int64_t>& in, int64_t B, int64_t T) {
+          return sin_transformer.ForwardLogits(in, B, T).value();
+        },
+        len, 8, &eval_rng3);
+    t.AddRow({std::to_string(len), FormatFloat(racc, 3),
+              FormatFloat(tacc, 3), FormatFloat(sacc, 3),
+              len <= kTrainLen ? "in-distribution" : "length generalization"});
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape (paper §5/§8): the RNN learns the\n"
+               "two-state automaton and stays at 1.0 at *every* length;\n"
+               "the constant-depth transformer only partially fits short\n"
+               "lengths, decays toward chance as length grows, and never\n"
+               "length-generalizes — parity is the classic hard case for\n"
+               "attention circuits (a TC0-flavored separation), and the\n"
+               "positional-encoding choice (learned vs sinusoidal) does\n"
+               "not rescue it.\n";
+  return 0;
+}

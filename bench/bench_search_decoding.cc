@@ -1,0 +1,136 @@
+// Experiment X16 — search-augmented decoding (paper §8: planning/search
+// as a missing component, tree-of-thoughts [142]; self-consistency over
+// chains of thought). On the chain-of-thought word-problem model, compare
+// answer accuracy under: greedy decoding, single temperature sample, beam
+// search over whole chains, and majority-vote self-consistency.
+#include <cstdio>
+#include <iostream>
+
+#include "data/word_problems.h"
+#include "nn/transformer.h"
+#include "sample/sampler.h"
+#include "sample/search.h"
+#include "train/optimizer.h"
+#include "util/table.h"
+
+namespace {
+using llm::util::FormatFloat;
+using llm::util::Table;
+
+int64_t ExtractAnswer(const llm::data::WordProblemDataset& ds,
+                      const std::vector<int64_t>& out) {
+  int64_t answer = -1;
+  for (int64_t t : out) {
+    if (t < ds.options().modulus) answer = t;
+    if (t == ds.end_token()) break;
+  }
+  return answer;
+}
+}  // namespace
+
+int main() {
+  llm::data::WordProblemOptions opts;
+  opts.modulus = 11;
+  opts.terms = 5;
+  opts.chain_of_thought = true;
+  llm::data::WordProblemDataset ds(opts);
+
+  llm::util::Rng rng(8);
+  llm::nn::GPTConfig cfg;
+  cfg.vocab_size = ds.vocab_size();
+  cfg.max_seq_len = 2 * ds.seq_len();
+  cfg.d_model = 64;
+  cfg.n_layer = 2;
+  cfg.n_head = 4;
+  llm::nn::GPTModel model(cfg, &rng);
+
+  // Deliberately *undertrained* so decoding strategy matters: a saturated
+  // model is right under any decoder.
+  std::puts("training a (deliberately under-trained) CoT model...");
+  llm::train::AdamWOptions aopts;
+  aopts.lr = 2e-3f;
+  llm::train::AdamW opt(model.Parameters(), aopts);
+  for (int step = 0; step < 700; ++step) {
+    std::vector<int64_t> in, tg;
+    ds.SampleBatch(&rng, 16, &in, &tg);
+    llm::core::Variable loss = llm::core::CrossEntropyLogits(
+        model.ForwardLogits(in, 16, ds.seq_len()), tg);
+    opt.ZeroGrad();
+    llm::core::Backward(loss);
+    opt.Step();
+  }
+
+  const int kProblems = 80;
+  int greedy_ok = 0, sample_ok = 0, beam_ok = 0, sc_ok = 0;
+  llm::util::Rng eval_rng(99);
+  for (int i = 0; i < kProblems; ++i) {
+    const auto problem = ds.SampleProblem(&eval_rng);
+    const std::vector<int64_t> prompt = ds.EncodePrompt(problem);
+
+    // Greedy.
+    llm::sample::GenerateOptions greedy;
+    greedy.max_new_tokens = ds.seq_len();
+    greedy.sampler.temperature = 0.0f;
+    greedy.stop_token = ds.end_token();
+    if (ExtractAnswer(ds, llm::sample::Generate(model, prompt, greedy,
+                                                &eval_rng)) ==
+        problem.answer) {
+      ++greedy_ok;
+    }
+
+    // One temperature sample.
+    llm::sample::GenerateOptions one = greedy;
+    one.sampler.temperature = 0.8f;
+    if (ExtractAnswer(ds, llm::sample::Generate(model, prompt, one,
+                                                &eval_rng)) ==
+        problem.answer) {
+      ++sample_ok;
+    }
+
+    // Beam search over whole chains.
+    llm::sample::BeamSearchOptions bopts;
+    bopts.beam_width = 4;
+    bopts.max_new_tokens = ds.seq_len();
+    bopts.stop_token = ds.end_token();
+    auto beams = llm::sample::BeamSearch(model, prompt, bopts);
+    if (!beams.empty() &&
+        ExtractAnswer(ds, beams[0].tokens) == problem.answer) {
+      ++beam_ok;
+    }
+
+    // Self-consistency.
+    llm::sample::SelfConsistencyOptions scopts;
+    scopts.num_samples = 9;
+    scopts.temperature = 0.8f;
+    scopts.max_new_tokens = ds.seq_len();
+    scopts.stop_token = ds.end_token();
+    if (llm::sample::SelfConsistentAnswer(
+            model, prompt,
+            [&](const std::vector<int64_t>& out) {
+              return ExtractAnswer(ds, out);
+            },
+            scopts, &eval_rng) == problem.answer) {
+      ++sc_ok;
+    }
+  }
+
+  std::cout << "\n== Answer accuracy by decoding strategy ("
+            << kProblems << " problems, k = " << opts.terms
+            << " terms, CoT model) ==\n\n";
+  Table t({"strategy", "accuracy"});
+  t.AddRow({"single sample (T = 0.8)",
+            FormatFloat(static_cast<double>(sample_ok) / kProblems, 3)});
+  t.AddRow({"greedy",
+            FormatFloat(static_cast<double>(greedy_ok) / kProblems, 3)});
+  t.AddRow({"beam search (width 4)",
+            FormatFloat(static_cast<double>(beam_ok) / kProblems, 3)});
+  t.AddRow({"self-consistency (9 samples)",
+            FormatFloat(static_cast<double>(sc_ok) / kProblems, 3)});
+  t.Print(std::cout);
+  std::cout << "\nExpected shape (paper §8): search over model outputs\n"
+               "buys accuracy a bigger model would otherwise provide —\n"
+               "greedy > single sample, and beam / self-consistency >=\n"
+               "greedy, with majority voting the most robust on noisy\n"
+               "chains.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// In-context learning demo (paper §3-§4): a transformer trained across
+// many linear-regression episodes solves *new* regression problems at
+// inference time, from examples in its context window alone — no weight
+// updates. This is the "meta-learning" the paper highlights: the model
+// has learned the learning algorithm.
+#include <cstdio>
+
+#include "data/icl_regression.h"
+#include "nn/icl_regressor.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace llm;
+  util::Rng rng(4);
+
+  nn::IclRegressorConfig cfg;
+  cfg.dim = 3;
+  cfg.max_pairs = 10;
+  cfg.d_model = 48;
+  cfg.n_layer = 3;
+  cfg.n_head = 2;
+  nn::InContextRegressor model(cfg, &rng);
+  std::printf("training across random regression episodes (%lld params)\n",
+              static_cast<long long>(model.NumParameters()));
+
+  data::IclRegressionOptions dopts;
+  dopts.dim = 3;
+  train::AdamWOptions aopts;
+  aopts.lr = 1e-3f;
+  train::AdamW opt(model.Parameters(), aopts);
+  train::TrainerOptions topts;
+  topts.max_steps = 800;
+  topts.clip_norm = 1.0f;
+  topts.log_every = 200;
+  train::Trainer trainer(&opt, topts);
+  trainer.Run([&] {
+    const int n_pairs = 4 + static_cast<int>(rng.UniformInt(6));
+    std::vector<float> xs, ys;
+    for (int b = 0; b < 16; ++b) {
+      auto ep = data::SampleIclEpisode(dopts, n_pairs, &rng);
+      xs.insert(xs.end(), ep.xs.begin(), ep.xs.end());
+      ys.insert(ys.end(), ep.ys.begin(), ep.ys.end());
+    }
+    return model.Loss(xs, ys, 16, n_pairs);
+  });
+
+  // A brand-new problem the model has never seen: w = (2, -1, 0.5).
+  std::puts("\nnew episode with hidden w = (2, -1, 0.5):");
+  const int n_pairs = 8;
+  data::IclEpisode ep;
+  ep.dim = 3;
+  ep.n_pairs = n_pairs;
+  ep.w = {2.0f, -1.0f, 0.5f};
+  for (int i = 0; i < n_pairs; ++i) {
+    float y = 0;
+    for (int j = 0; j < 3; ++j) {
+      const float x = static_cast<float>(rng.Normal());
+      ep.xs.push_back(x);
+      y += ep.w[static_cast<size_t>(j)] * x;
+    }
+    ep.ys.push_back(y);
+  }
+  core::Variable preds = model.Predict(ep.xs, ep.ys, 1, n_pairs);
+  std::puts("  #ctx   x1     x2     x3      true y   model    lsq");
+  for (int i = 0; i < n_pairs; ++i) {
+    data::IclEpisode partial = ep;
+    partial.n_pairs = i + 1;
+    partial.xs.assign(ep.xs.begin(), ep.xs.begin() + (i + 1) * 3);
+    partial.ys.assign(ep.ys.begin(), ep.ys.begin() + i + 1);
+    const double lsq =
+        i == 0 ? 0.0 : data::LeastSquaresPredict(partial);
+    std::printf("  %4d  %+5.2f  %+5.2f  %+5.2f   %+6.2f   %+6.2f  %+6.2f\n",
+                i, static_cast<double>(ep.xs[static_cast<size_t>(i * 3)]),
+                static_cast<double>(ep.xs[static_cast<size_t>(i * 3 + 1)]),
+                static_cast<double>(ep.xs[static_cast<size_t>(i * 3 + 2)]),
+                static_cast<double>(ep.ys[static_cast<size_t>(i)]),
+                static_cast<double>(preds.value()[i]), lsq);
+  }
+  std::puts("\nThe model's prediction at each row uses only the rows above"
+            "\nit (causal attention): by row 4 (= dim + 1) it matches least"
+            "\nsquares — in-context learning, no gradient steps.");
+  return 0;
+}

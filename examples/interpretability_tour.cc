@@ -1,0 +1,166 @@
+// Interpretability tour (paper §7): the "neuroscience of LLMs" toolkit on
+// one small model — train a 2-layer attention-only transformer on
+// repeated sequences, then
+//   1. render a head's attention pattern as an ASCII heatmap (the raw
+//      "microscopic workings" the paper says we can fully observe),
+//   2. score each head for induction behaviour,
+//   3. train a linear probe on the residual stream, and
+//   4. run an intervention: edit one position's activation and watch the
+//      prediction change — the targeted experiment "neuroscientists can
+//      only dream of."
+#include <cstdio>
+
+#include "data/induction.h"
+#include "eval/metrics.h"
+#include "interp/probe.h"
+#include "nn/transformer.h"
+#include "train/optimizer.h"
+
+namespace {
+constexpr int64_t kVocab = 12;
+constexpr int64_t kT = 16;
+
+char Shade(float p) {
+  if (p > 0.5f) return '#';
+  if (p > 0.25f) return '+';
+  if (p > 0.1f) return '.';
+  return ' ';
+}
+}  // namespace
+
+int main() {
+  using namespace llm;
+  util::Rng rng(77);
+  nn::GPTConfig cfg;
+  cfg.vocab_size = kVocab;
+  cfg.max_seq_len = kT;
+  cfg.d_model = 48;
+  cfg.n_layer = 2;
+  cfg.n_head = 2;
+  cfg.attention_only = true;
+  nn::GPTModel model(cfg, &rng);
+
+  data::InductionOptions dopts;
+  dopts.vocab_size = kVocab;
+  dopts.seq_len = kT;
+
+  std::puts("training a 2-layer attention-only model on repeated "
+            "sequences...");
+  train::AdamWOptions aopts;
+  aopts.lr = 2e-3f;
+  train::AdamW opt(model.Parameters(), aopts);
+  for (int step = 0; step < 1500; ++step) {
+    std::vector<int64_t> in, tg;
+    data::SampleInductionBatch(dopts, &rng, 16, &in, &tg);
+    core::Variable loss = core::CrossEntropyLogits(
+        model.ForwardLogits(in, 16, kT), tg);
+    opt.ZeroGrad();
+    core::Backward(loss);
+    opt.Step();
+    if (step % 500 == 0) {
+      std::printf("  step %4d loss %.3f\n", step,
+                  static_cast<double>(loss.value()[0]));
+    }
+  }
+
+  // 1. Attention heatmap on one sequence.
+  std::vector<int64_t> in, tg, splits;
+  data::SampleInductionBatch(dopts, &rng, 1, &in, &tg, &splits);
+  nn::ActivationCapture cap;
+  cap.capture_attention = true;
+  nn::ForwardOptions fopts;
+  fopts.capture = &cap;
+  core::Variable logits = model.ForwardLogits(in, 1, kT, fopts);
+
+  std::printf("\nsequence (prefix length %lld, then cyclic repeats):\n  ",
+              static_cast<long long>(splits[0]));
+  for (int64_t t = 0; t < kT; ++t) {
+    std::printf("%2lld ", static_cast<long long>(in[static_cast<size_t>(t)]));
+  }
+  std::printf("\n\nattention heatmap, layer 1 head 0 (rows = query "
+              "position, cols = key):\n");
+  const core::Tensor& att = cap.attention[1];  // [1, H, T, T]
+  for (int64_t i = 0; i < kT; ++i) {
+    std::printf("  %2lld |", static_cast<long long>(i));
+    for (int64_t j = 0; j < kT; ++j) {
+      std::printf("%c", Shade(att.At({0, 0, i, j})));
+    }
+    std::printf("|\n");
+  }
+
+  // 2. Induction scores per head.
+  std::vector<int64_t> in2, tg2, splits2;
+  data::SampleInductionBatch(dopts, &rng, 32, &in2, &tg2, &splits2);
+  nn::ActivationCapture cap2;
+  cap2.capture_attention = true;
+  nn::ForwardOptions fopts2;
+  fopts2.capture = &cap2;
+  core::Variable logits2 = model.ForwardLogits(in2, 32, kT, fopts2);
+  std::printf("\ncopy accuracy: %.3f (chance %.3f)\n",
+              eval::MaskedAccuracy(logits2.value(), tg2), 1.0 / kVocab);
+  for (size_t layer = 0; layer < cap2.attention.size(); ++layer) {
+    auto scores = data::InductionScores(
+        splits2, 32, kT, cap2.attention[layer].data(), cfg.n_head, 1);
+    std::printf("induction score (+-1) layer %zu:", layer);
+    for (double s : scores) std::printf("  %.3f", s);
+    std::printf("\n");
+  }
+
+  // 3. Linear probe: does the residual stream at the last position encode
+  // the *current token* (it should — trivially) and the *prefix length*
+  // (a latent variable the model must infer)?
+  const size_t kN = 200;
+  core::Tensor acts({static_cast<int64_t>(kN), cfg.d_model});
+  std::vector<int64_t> split_labels(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    std::vector<int64_t> xin, xtg, xsp;
+    data::SampleInductionBatch(dopts, &rng, 1, &xin, &xtg, &xsp);
+    nn::ActivationCapture c;
+    nn::ForwardOptions f;
+    f.capture = &c;
+    model.ForwardLogits(xin, 1, kT, f);
+    const core::Tensor& h = c.residual.back().value();
+    for (int64_t d = 0; d < cfg.d_model; ++d) {
+      acts[static_cast<int64_t>(i) * cfg.d_model + d] =
+          h.At({0, kT - 1, d});
+    }
+    split_labels[i] = xsp[0] - 4;  // prefix length in [4, 8] -> class 0..4
+  }
+  interp::ProbeConfig pcfg;
+  pcfg.input_dim = cfg.d_model;
+  pcfg.num_classes = 5;
+  pcfg.steps = 400;
+  interp::Probe probe(pcfg);
+  probe.Fit(acts, split_labels);
+  std::printf("\nlinear probe: residual stream -> latent prefix length: "
+              "%.3f accuracy (chance 0.2)\n",
+              probe.Accuracy(acts, split_labels));
+
+  // 4. Intervention: zero out the last position's residual at layer 1 and
+  // watch the prediction change.
+  core::Tensor before = logits.value();
+  core::Tensor edited = cap.residual[1].value();
+  for (int64_t d = 0; d < cfg.d_model; ++d) {
+    edited.At({0, kT - 1, d}) = 0.0f;
+  }
+  core::Tensor after =
+      model.ForwardFromLayer(core::Variable(edited), 1).value();
+  const float* b = before.data() + (kT - 1) * kVocab;
+  const float* a = after.data() + (kT - 1) * kVocab;
+  int64_t argmax_b = 0, argmax_a = 0;
+  for (int64_t v = 1; v < kVocab; ++v) {
+    if (b[v] > b[argmax_b]) argmax_b = v;
+    if (a[v] > a[argmax_a]) argmax_a = v;
+  }
+  std::printf("\nintervention (erase last position's layer-1 input): "
+              "prediction %lld -> %lld (true next token's source says "
+              "%lld)\n",
+              static_cast<long long>(argmax_b),
+              static_cast<long long>(argmax_a),
+              static_cast<long long>(in[static_cast<size_t>(
+                  kT - splits[0])]));
+  std::puts("\nEvery probe, map, and edit above is exact — the paper's\n"
+            "point that for artificial networks, unlike brains, the\n"
+            "microscope is perfect (§7).");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Chain-of-thought demo (paper Fig. 1 and §3): two identical models are
+// trained on the same modular-sum word problems; one sees only final
+// answers, the other sees the intermediate partial sums spelled out.
+// Then both solve fresh problems by greedy generation, and we print the
+// full generated "reasoning" text.
+#include <cstdio>
+
+#include "data/word_problems.h"
+#include "nn/transformer.h"
+#include "sample/sampler.h"
+#include "train/optimizer.h"
+
+namespace {
+
+llm::nn::GPTModel Train(const llm::data::WordProblemDataset& ds,
+                        llm::util::Rng* rng, int steps) {
+  llm::nn::GPTConfig cfg;
+  cfg.vocab_size = ds.vocab_size();
+  cfg.max_seq_len = 2 * ds.seq_len();
+  cfg.d_model = 48;
+  cfg.n_layer = 2;
+  cfg.n_head = 4;
+  llm::nn::GPTModel model(cfg, rng);
+  llm::train::AdamWOptions aopts;
+  aopts.lr = 2e-3f;
+  llm::train::AdamW opt(model.Parameters(), aopts);
+  for (int step = 0; step < steps; ++step) {
+    std::vector<int64_t> inputs, targets;
+    ds.SampleBatch(rng, 16, &inputs, &targets);
+    llm::core::Variable loss = llm::core::CrossEntropyLogits(
+        model.ForwardLogits(inputs, 16, ds.seq_len()), targets);
+    opt.ZeroGrad();
+    llm::core::Backward(loss);
+    opt.Step();
+  }
+  return model;
+}
+
+std::string TokenName(const llm::data::WordProblemDataset& ds, int64_t t) {
+  if (t < ds.options().modulus) return std::to_string(t);
+  if (t == ds.plus_token()) return "+";
+  if (t == ds.eq_token()) return "=";
+  if (t == ds.sep_token()) return ";";
+  return "END";
+}
+
+void Solve(const llm::nn::GPTModel& model,
+           const llm::data::WordProblemDataset& ds,
+           const llm::data::WordProblemDataset::Problem& p,
+           llm::util::Rng* rng) {
+  llm::sample::GenerateOptions gopts;
+  gopts.max_new_tokens = ds.seq_len();
+  gopts.sampler.temperature = 0.0f;
+  gopts.stop_token = ds.end_token();
+  auto out = llm::sample::Generate(model, ds.EncodePrompt(p), gopts, rng);
+  std::printf("  problem %-28s  model says: ", ds.ToString(p).c_str());
+  int64_t final_number = -1;
+  for (int64_t t : out) {
+    std::printf("%s ", TokenName(ds, t).c_str());
+    if (t < ds.options().modulus) final_number = t;
+    if (t == ds.end_token()) break;
+  }
+  std::printf(" -> %s\n", final_number == p.answer ? "CORRECT" : "wrong");
+}
+
+}  // namespace
+
+int main() {
+  llm::util::Rng rng(6);
+  llm::data::WordProblemOptions plain_opts;
+  plain_opts.modulus = 11;
+  plain_opts.terms = 4;
+  plain_opts.chain_of_thought = false;
+  llm::data::WordProblemOptions cot_opts = plain_opts;
+  cot_opts.chain_of_thought = true;
+
+  llm::data::WordProblemDataset plain_ds(plain_opts);
+  llm::data::WordProblemDataset cot_ds(cot_opts);
+
+  std::puts("training the answer-only model (no chain of thought)...");
+  auto plain = Train(plain_ds, &rng, 600);
+  std::puts("training the chain-of-thought model...");
+  auto cot = Train(cot_ds, &rng, 600);
+
+  std::puts("\n--- answer-only model (must compute the 4-term sum in one "
+            "prediction) ---");
+  llm::util::Rng eval_rng(99);
+  for (int i = 0; i < 4; ++i) {
+    Solve(plain, plain_ds, plain_ds.SampleProblem(&eval_rng), &eval_rng);
+  }
+  std::puts("\n--- chain-of-thought model (emits running partial sums) ---");
+  llm::util::Rng eval_rng2(99);
+  for (int i = 0; i < 4; ++i) {
+    Solve(cot, cot_ds, cot_ds.SampleProblem(&eval_rng2), &eval_rng2);
+  }
+  std::puts("\nSame architecture, same budget: spelling out intermediate"
+            "\nsteps converts one hard prediction into several easy ones"
+            "\n(the paper's Fig. 1 / Minerva point, in miniature).");
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "core/graph.h"
+
+#include <unordered_set>
+
+namespace llm::core {
+
+Tensor& Node::EnsureGrad() {
+  if (!grad.valid() || !grad.SameShape(value)) {
+    grad = Tensor(value.shape());
+  }
+  return grad;
+}
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  LLM_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  LLM_CHECK(defined());
+  return node_->value;
+}
+
+const Tensor& Variable::grad() const {
+  LLM_CHECK(defined());
+  return node_->EnsureGrad();
+}
+
+Tensor& Variable::mutable_grad() {
+  LLM_CHECK(defined());
+  return node_->EnsureGrad();
+}
+
+bool Variable::has_grad() const {
+  LLM_CHECK(defined());
+  return node_->grad.valid();
+}
+
+bool Variable::requires_grad() const {
+  LLM_CHECK(defined());
+  return node_->requires_grad;
+}
+
+void Variable::ZeroGrad() {
+  LLM_CHECK(defined());
+  if (node_->grad.valid()) node_->grad.SetZero();
+}
+
+Variable Variable::FromNode(NodePtr node) {
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+void Backward(const Variable& loss) {
+  LLM_CHECK(loss.defined());
+  LLM_CHECK_EQ(loss.numel(), 1) << "Backward requires a scalar loss";
+
+  // Iterative post-order DFS to get a reverse topological order.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  Node* root = loss.node().get();
+  if (!root->requires_grad) return;  // nothing to differentiate
+  stack.push_back({root, 0});
+  visited.insert(root);
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      Node* p = f.node->parents[f.next_parent++].get();
+      if (p->requires_grad && !visited.count(p)) {
+        visited.insert(p);
+        stack.push_back({p, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed d(loss)/d(loss) = 1 and run the tape backwards.
+  root->EnsureGrad().Fill(1.0f);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward && n->grad.valid()) n->backward(n);
+  }
+}
+
+Tensor NumericalGradient(const std::function<Variable()>& f, Variable x,
+                         float eps) {
+  LLM_CHECK(x.defined());
+  Tensor grad(x.shape());
+  Tensor& value = x.mutable_value();
+  for (int64_t i = 0; i < value.numel(); ++i) {
+    const float original = value[i];
+    value[i] = original + eps;
+    const float up = f().value()[0];
+    value[i] = original - eps;
+    const float down = f().value()[0];
+    value[i] = original;
+    grad[i] = (up - down) / (2.0f * eps);
+  }
+  return grad;
+}
+
+}  // namespace llm::core

@@ -1,0 +1,89 @@
+// Reverse-mode automatic differentiation over Tensor.
+//
+// A Variable wraps a shared graph Node holding a value, a lazily-allocated
+// gradient, parent edges, and a backward closure. Ops (ops.h) build the
+// graph eagerly during the forward pass; Backward() runs the tape in
+// reverse topological order, accumulating into each node's grad.
+//
+// Model parameters are long-lived Variables with requires_grad=true; the
+// per-step graph hangs off them and is freed when the step's Variables go
+// out of scope (the DAG has no reference cycles).
+#ifndef TFMR_CORE_GRAPH_H_
+#define TFMR_CORE_GRAPH_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace llm::core {
+
+struct Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// One vertex of the autodiff DAG.
+struct Node {
+  Tensor value;
+  /// Gradient of the final scalar loss w.r.t. value; allocated on demand.
+  Tensor grad;
+  bool requires_grad = false;
+  std::vector<NodePtr> parents;
+  /// Propagates this->grad into parents' grads. Null for leaves.
+  std::function<void(Node*)> backward;
+  /// Op name for debugging ("matmul", "layernorm", ...). Leaves: "leaf".
+  const char* op = "leaf";
+  /// Context saved by the forward pass for use in backward.
+  std::vector<Tensor> saved;
+  std::vector<int64_t> saved_ints;
+
+  /// Returns grad, allocating a zero tensor of value's shape on first use.
+  Tensor& EnsureGrad();
+};
+
+/// Value-semantics handle to a Node. Copying a Variable aliases the node.
+class Variable {
+ public:
+  Variable() = default;
+  /// Wraps a tensor as a leaf node.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const;
+  Tensor& mutable_value();
+  /// Zero tensor if no gradient has been accumulated yet.
+  const Tensor& grad() const;
+  /// Mutable access for optimizers (clipping, manual edits).
+  Tensor& mutable_grad();
+  bool has_grad() const;
+
+  bool requires_grad() const;
+
+  /// Drops any accumulated gradient (used between optimizer steps).
+  void ZeroGrad();
+
+  const Shape& shape() const { return value().shape(); }
+  int64_t numel() const { return value().numel(); }
+
+  NodePtr node() const { return node_; }
+  static Variable FromNode(NodePtr node);
+
+ private:
+  NodePtr node_;
+};
+
+/// Runs reverse-mode autodiff from `loss` (must be scalar, numel()==1),
+/// accumulating gradients into every reachable node with requires_grad.
+void Backward(const Variable& loss);
+
+/// Numerically estimates d(f)/d(x) at x's current value by central
+/// differences with step `eps`, where f rebuilds and returns a scalar
+/// Variable on each call. Used by gradient-checking tests.
+Tensor NumericalGradient(const std::function<Variable()>& f, Variable x,
+                         float eps = 1e-3f);
+
+}  // namespace llm::core
+
+#endif  // TFMR_CORE_GRAPH_H_

@@ -1,0 +1,116 @@
+// Dense float32 tensor: the numeric substrate for every model in the repo.
+//
+// Deliberately simple — contiguous row-major storage, deep-copy semantics,
+// no views — so that the autograd layer above it (graph.h) and the fused
+// kernels (ops.cc) are easy to verify. All shape errors are programmer
+// errors and abort via LLM_CHECK.
+#ifndef TFMR_CORE_TENSOR_H_
+#define TFMR_CORE_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace llm::core {
+
+using Shape = std::vector<int64_t>;
+
+/// Number of elements implied by a shape (1 for rank-0).
+int64_t NumElements(const Shape& shape);
+
+/// "[2, 3, 4]" formatting for error messages.
+std::string ShapeToString(const Shape& shape);
+
+/// Contiguous row-major float32 tensor.
+class Tensor {
+ public:
+  /// Empty tensor (rank 0 placeholder, 1 element? No: zero elements,
+  /// empty shape means scalar). Default is an *invalid* tensor with no
+  /// storage; check valid() before use.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(Shape shape, float value);
+  static Tensor Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+  /// Scalar (rank-0) tensor.
+  static Tensor Scalar(float value);
+  /// Takes ownership of `data`; data.size() must equal NumElements(shape).
+  static Tensor FromVector(Shape shape, std::vector<float> data);
+  /// I.i.d. normal entries with the given stddev.
+  static Tensor RandomNormal(Shape shape, util::Rng* rng, float mean = 0.0f,
+                             float stddev = 1.0f);
+  /// I.i.d. uniform entries in [lo, hi).
+  static Tensor RandomUniform(Shape shape, util::Rng* rng, float lo,
+                              float hi);
+
+  bool valid() const { return !data_.empty() || NumElements(shape_) == 0; }
+
+  const Shape& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int64_t dim(int i) const;
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](int64_t i) {
+    LLM_CHECK_GE(i, 0);
+    LLM_CHECK_LT(i, numel());
+    return data_[static_cast<size_t>(i)];
+  }
+  float operator[](int64_t i) const {
+    LLM_CHECK_GE(i, 0);
+    LLM_CHECK_LT(i, numel());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  /// Multi-index access (rank must match argument count).
+  float& At(std::initializer_list<int64_t> idx);
+  float At(std::initializer_list<int64_t> idx) const;
+
+  /// Returns a copy with a new shape; element count must match.
+  Tensor Reshaped(Shape new_shape) const;
+
+  /// In-place fills.
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+
+  /// this += other (same shape).
+  void Add(const Tensor& other);
+  /// this += scale * other (same shape).
+  void AddScaled(const Tensor& other, float scale);
+  /// this *= scale.
+  void Scale(float scale);
+
+  /// Reductions.
+  float Sum() const;
+  float Mean() const;
+  float MaxAbs() const;
+  /// Squared L2 norm.
+  float SquaredNorm() const;
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Max |a-b| over elements; shapes must match.
+  static float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+  std::string DebugString(int64_t max_elements = 16) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tensor& t);
+
+}  // namespace llm::core
+
+#endif  // TFMR_CORE_TENSOR_H_

@@ -1,0 +1,58 @@
+// Synthetic analogy corpus (paper §5, Eq. 9-10). Entity words are points
+// on a feature grid (gender x rank x age); each sentence pairs an entity
+// with context words indicating its feature values, so co-occurrence
+// ratios satisfy Eq. 10 by construction and the offset method
+// (king - man + woman ~ queen) should recover held-out grid corners.
+#ifndef TFMR_DATA_ANALOGY_H_
+#define TFMR_DATA_ANALOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "text/vocab.h"
+#include "util/rng.h"
+
+namespace llm::data {
+
+struct AnalogyQuad {
+  // a : b :: c : d  (e.g. man : king :: woman : queen).
+  int64_t a, b, c, d;
+};
+
+class AnalogyCorpus {
+ public:
+  /// Builds the vocabulary (entity + context + filler words) and the gold
+  /// analogy quadruples.
+  AnalogyCorpus();
+
+  /// Generates `num_sentences` sentences; each is [entity, ctx words for
+  /// each of its features, filler...] shuffled. Returns a token stream.
+  std::vector<int64_t> Generate(int64_t num_sentences, util::Rng* rng) const;
+
+  const text::Vocab& vocab() const { return vocab_; }
+  int64_t vocab_size() const { return vocab_.size(); }
+  const std::vector<AnalogyQuad>& quads() const { return quads_; }
+
+  /// Human-readable form of a quad for reports.
+  std::string QuadToString(const AnalogyQuad& q) const;
+
+ private:
+  struct Entity {
+    int64_t word;
+    int gender;  // 0 / 1
+    int rank;    // 0 commoner / 1 royal / 2 heir
+    int age;     // 0 adult / 1 young
+  };
+
+  text::Vocab vocab_;
+  std::vector<Entity> entities_;
+  std::vector<std::vector<int64_t>> gender_ctx_;  // per value, context words
+  std::vector<std::vector<int64_t>> rank_ctx_;
+  std::vector<std::vector<int64_t>> age_ctx_;
+  std::vector<int64_t> filler_;
+  std::vector<AnalogyQuad> quads_;
+};
+
+}  // namespace llm::data
+
+#endif  // TFMR_DATA_ANALOGY_H_

@@ -1,0 +1,62 @@
+#include "data/fewshot.h"
+
+#include <numeric>
+#include <set>
+
+#include "util/check.h"
+
+namespace llm::data {
+
+FewShotTasks::FewShotTasks(int num_tasks, int64_t num_items, uint64_t seed)
+    : num_items_(num_items) {
+  LLM_CHECK_GE(num_tasks, 1);
+  LLM_CHECK_GE(num_items, 2);
+  util::Rng rng(seed);
+  std::set<std::vector<int64_t>> seen;
+  int64_t guard = 0;
+  while (static_cast<int>(tasks_.size()) < num_tasks) {
+    LLM_CHECK_LT(guard++, 10000 * num_tasks)
+        << "cannot draw enough distinct permutations";
+    std::vector<int64_t> perm(static_cast<size_t>(num_items));
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.Shuffle(&perm);
+    if (seen.insert(perm).second) tasks_.push_back(std::move(perm));
+  }
+}
+
+int64_t FewShotTasks::Apply(int task, int64_t item) const {
+  LLM_CHECK_GE(task, 0);
+  LLM_CHECK_LT(task, num_tasks());
+  LLM_CHECK_GE(item, 0);
+  LLM_CHECK_LT(item, num_items_);
+  return tasks_[static_cast<size_t>(task)][static_cast<size_t>(item)];
+}
+
+void FewShotTasks::SampleBatch(util::Rng* rng, int64_t batch_size,
+                               int shots, std::vector<int64_t>* inputs,
+                               std::vector<int64_t>* targets,
+                               std::vector<int>* tasks_out) const {
+  LLM_CHECK(rng && inputs && targets);
+  LLM_CHECK_GE(shots, 1);
+  const int64_t T = 2 * shots;
+  inputs->resize(static_cast<size_t>(batch_size * T));
+  targets->resize(static_cast<size_t>(batch_size * T));
+  if (tasks_out) tasks_out->resize(static_cast<size_t>(batch_size));
+  for (int64_t b = 0; b < batch_size; ++b) {
+    const int task = static_cast<int>(
+        rng->UniformInt(static_cast<uint64_t>(num_tasks())));
+    if (tasks_out) (*tasks_out)[static_cast<size_t>(b)] = task;
+    for (int s = 0; s < shots; ++s) {
+      const auto x = static_cast<int64_t>(
+          rng->UniformInt(static_cast<uint64_t>(num_items_)));
+      const int64_t y = Apply(task, x);
+      (*inputs)[static_cast<size_t>(b * T + 2 * s)] = x;
+      (*inputs)[static_cast<size_t>(b * T + 2 * s + 1)] = y;
+      // Next-token targets: at the x position the model must emit y.
+      (*targets)[static_cast<size_t>(b * T + 2 * s)] = y;
+      (*targets)[static_cast<size_t>(b * T + 2 * s + 1)] = -1;
+    }
+  }
+}
+
+}  // namespace llm::data

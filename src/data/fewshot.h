@@ -1,0 +1,53 @@
+// Few-shot task mixtures for in-context learning as task identification
+// (paper §3: "after a few question-answer examples the LLM will answer
+// the next question"; §7: "the simplest hypothesis is that the model has
+// learned the individual tasks, and the examples are selecting a
+// particular task from this repertoire", Xie et al. [140], Wies et al.
+// [136]).
+//
+// Each latent task is a random bijection over item tokens. A training
+// sequence is x1 y1 x2 y2 ... with y = pi_task(x) and the task drawn per
+// sequence. With one task the first answer is already predictable; with
+// many tasks the model must infer the task from the in-context examples,
+// so accuracy climbs with the shot index.
+#ifndef TFMR_DATA_FEWSHOT_H_
+#define TFMR_DATA_FEWSHOT_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace llm::data {
+
+class FewShotTasks {
+ public:
+  /// Builds `num_tasks` random bijections over `num_items` item tokens.
+  /// All tasks are pairwise distinct (checked; aborts if the space is too
+  /// small to draw distinct permutations).
+  FewShotTasks(int num_tasks, int64_t num_items, uint64_t seed);
+
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  int64_t num_items() const { return num_items_; }
+  /// Token-id space: items only (inputs and outputs share it).
+  int64_t vocab_size() const { return num_items_; }
+
+  int64_t Apply(int task, int64_t item) const;
+
+  /// Samples B sequences of `shots` (x, y) pairs, each with a uniformly
+  /// drawn latent task. inputs/targets are the usual LM pair: targets are
+  /// the next token with -1 everywhere except at x positions (where the
+  /// model must produce the following y). Sequence length is 2 * shots.
+  /// `tasks_out`, if non-null, receives the latent task per sequence.
+  void SampleBatch(util::Rng* rng, int64_t batch_size, int shots,
+                   std::vector<int64_t>* inputs,
+                   std::vector<int64_t>* targets,
+                   std::vector<int>* tasks_out = nullptr) const;
+
+ private:
+  int64_t num_items_;
+  std::vector<std::vector<int64_t>> tasks_;  // [task][item] -> item
+};
+
+}  // namespace llm::data
+
+#endif  // TFMR_DATA_FEWSHOT_H_

@@ -1,0 +1,82 @@
+#include "data/icl_regression.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/linalg.h"
+
+namespace llm::data {
+
+IclEpisode SampleIclEpisode(const IclRegressionOptions& options, int n_pairs,
+                            util::Rng* rng) {
+  LLM_CHECK(rng != nullptr);
+  LLM_CHECK_GE(n_pairs, 2);
+  LLM_CHECK_GE(options.dim, 1);
+  IclEpisode ep;
+  ep.dim = options.dim;
+  ep.n_pairs = n_pairs;
+  ep.w.resize(static_cast<size_t>(options.dim));
+  for (auto& v : ep.w) v = static_cast<float>(rng->Normal());
+  ep.xs.resize(static_cast<size_t>(n_pairs * options.dim));
+  ep.ys.resize(static_cast<size_t>(n_pairs));
+  for (int i = 0; i < n_pairs; ++i) {
+    double y = 0.0;
+    for (int j = 0; j < options.dim; ++j) {
+      const float x = static_cast<float>(rng->Normal());
+      ep.xs[static_cast<size_t>(i * options.dim + j)] = x;
+      y += static_cast<double>(x) * ep.w[static_cast<size_t>(j)];
+    }
+    if (options.noise_std > 0.0) {
+      y += rng->Normal(0.0, options.noise_std);
+    }
+    ep.ys[static_cast<size_t>(i)] = static_cast<float>(y);
+  }
+  return ep;
+}
+
+namespace {
+/// Ridge solve on the context pairs; lambda = 0 falls back to a tiny
+/// regularizer for numerical safety when underdetermined.
+double SolveAndPredict(const IclEpisode& ep, double lambda) {
+  const int d = ep.dim;
+  const int n = ep.n_pairs - 1;  // context pairs only
+  std::vector<std::vector<double>> xtx(
+      static_cast<size_t>(d), std::vector<double>(static_cast<size_t>(d)));
+  std::vector<double> xty(static_cast<size_t>(d), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int a = 0; a < d; ++a) {
+      const double xa = ep.xs[static_cast<size_t>(i * d + a)];
+      xty[static_cast<size_t>(a)] +=
+          xa * ep.ys[static_cast<size_t>(i)];
+      for (int b = 0; b < d; ++b) {
+        xtx[static_cast<size_t>(a)][static_cast<size_t>(b)] +=
+            xa * ep.xs[static_cast<size_t>(i * d + b)];
+      }
+    }
+  }
+  const double reg = lambda > 0.0 ? lambda : 1e-8;
+  for (int a = 0; a < d; ++a) {
+    xtx[static_cast<size_t>(a)][static_cast<size_t>(a)] += reg;
+  }
+  std::vector<double> w;
+  LLM_CHECK(util::SolveLinearSystem(xtx, xty, &w));
+  double pred = 0.0;
+  const int q = ep.n_pairs - 1;
+  for (int a = 0; a < d; ++a) {
+    pred += w[static_cast<size_t>(a)] *
+            ep.xs[static_cast<size_t>(q * d + a)];
+  }
+  return pred;
+}
+}  // namespace
+
+double LeastSquaresPredict(const IclEpisode& episode) {
+  return SolveAndPredict(episode, 0.0);
+}
+
+double RidgePredict(const IclEpisode& episode, double lambda) {
+  LLM_CHECK_GT(lambda, 0.0);
+  return SolveAndPredict(episode, lambda);
+}
+
+}  // namespace llm::data

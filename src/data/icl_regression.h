@@ -1,0 +1,43 @@
+// In-context linear-regression episodes (paper §4, Garg et al. [48]; also
+// §7's computational-model comparison [2]). Each episode draws a hidden
+// weight vector w and n (x, w.x) pairs; a sequence model trained across
+// many episodes must learn-to-learn: infer w from the in-context pairs and
+// predict y for the query x. Baselines: exact least squares and ridge.
+#ifndef TFMR_DATA_ICL_REGRESSION_H_
+#define TFMR_DATA_ICL_REGRESSION_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace llm::data {
+
+struct IclRegressionOptions {
+  int dim = 4;
+  double noise_std = 0.0;
+  /// Scale of x entries and w entries (both i.i.d. N(0, 1)).
+};
+
+struct IclEpisode {
+  int dim = 0;
+  int n_pairs = 0;                // includes the query pair (the last one)
+  std::vector<float> xs;          // [n_pairs, dim] row-major
+  std::vector<float> ys;          // [n_pairs]
+  std::vector<float> w;           // ground-truth weights [dim]
+};
+
+/// Samples one episode with `n_pairs` total pairs.
+IclEpisode SampleIclEpisode(const IclRegressionOptions& options, int n_pairs,
+                            util::Rng* rng);
+
+/// Least-squares prediction of the last pair's y from the first
+/// n_pairs - 1 pairs (minimum-norm solution via ridge with tiny lambda
+/// when underdetermined).
+double LeastSquaresPredict(const IclEpisode& episode);
+
+/// Ridge prediction with regularization strength lambda.
+double RidgePredict(const IclEpisode& episode, double lambda);
+
+}  // namespace llm::data
+
+#endif  // TFMR_DATA_ICL_REGRESSION_H_

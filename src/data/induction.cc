@@ -1,0 +1,78 @@
+#include "data/induction.h"
+
+#include "util/check.h"
+
+namespace llm::data {
+
+void SampleInductionBatch(const InductionOptions& options, util::Rng* rng,
+                          int64_t batch_size, std::vector<int64_t>* inputs,
+                          std::vector<int64_t>* targets,
+                          std::vector<int64_t>* splits) {
+  LLM_CHECK(rng && inputs && targets);
+  const int64_t T = options.seq_len;
+  LLM_CHECK_GE(T, 4);
+  LLM_CHECK_GE(options.vocab_size, 2);
+  const int64_t lo =
+      options.min_prefix > 0 ? options.min_prefix : std::max<int64_t>(2, T / 4);
+  const int64_t hi =
+      options.max_prefix > 0 ? options.max_prefix : T / 2;
+  LLM_CHECK_LE(lo, hi);
+  LLM_CHECK_LT(hi, T);
+
+  inputs->resize(static_cast<size_t>(batch_size * T));
+  targets->resize(static_cast<size_t>(batch_size * T));
+  if (splits) splits->resize(static_cast<size_t>(batch_size));
+  for (int64_t b = 0; b < batch_size; ++b) {
+    const int64_t s =
+        lo + static_cast<int64_t>(rng->UniformInt(
+                 static_cast<uint64_t>(hi - lo + 1)));
+    if (splits) (*splits)[static_cast<size_t>(b)] = s;
+    for (int64_t i = 0; i < T; ++i) {
+      (*inputs)[static_cast<size_t>(b * T + i)] =
+          i < s ? static_cast<int64_t>(rng->UniformInt(
+                      static_cast<uint64_t>(options.vocab_size)))
+                : (*inputs)[static_cast<size_t>(b * T + i - s)];
+    }
+    for (int64_t i = 0; i < T; ++i) {
+      // Positions from s-1 on predict already-seen (repeated) tokens.
+      (*targets)[static_cast<size_t>(b * T + i)] =
+          (i >= s - 1 && i + 1 < T)
+              ? (*inputs)[static_cast<size_t>(b * T + i + 1)]
+              : -1;
+    }
+  }
+}
+
+std::vector<double> InductionScores(const std::vector<int64_t>& splits,
+                                    int64_t B, int64_t T, const float* probs,
+                                    int64_t H, int tolerance) {
+  LLM_CHECK_EQ(static_cast<int64_t>(splits.size()), B);
+  std::vector<double> score(static_cast<size_t>(H), 0.0);
+  int64_t counted = 0;
+  for (int64_t b = 0; b < B; ++b) {
+    const int64_t s = splits[static_cast<size_t>(b)];
+    for (int64_t i = s; i < T; ++i) {
+      // Credit attention mass on *every* induction target: with a cyclic
+      // repeat, the token after any previous occurrence of the current
+      // token is a valid AB...A -> B source (j = i - k*s + 1 for k >= 1).
+      for (int64_t h = 0; h < H; ++h) {
+        double mass = 0.0;
+        for (int64_t j = i - s + 1; j >= 1; j -= s) {
+          for (int64_t d = -tolerance; d <= tolerance; ++d) {
+            const int64_t jj = j + d;
+            if (jj >= 0 && jj <= i) {
+              mass += probs[((b * H + h) * T + i) * T + jj];
+            }
+          }
+        }
+        score[static_cast<size_t>(h)] += mass;
+      }
+      ++counted;
+    }
+  }
+  LLM_CHECK_GT(counted, 0);
+  for (auto& v : score) v /= static_cast<double>(counted);
+  return score;
+}
+
+}  // namespace llm::data

@@ -1,0 +1,48 @@
+// Repeated-sequence ("induction") data for the induction-heads experiment
+// (paper §7, Olsson et al. [107]): each sequence is a random prefix of
+// *random length s* followed by cyclic repetitions of it. Because s varies
+// per sequence, a fixed positional-offset head cannot predict the
+// repeats — the task demands the content-based AB...A -> B mechanism,
+// which requires composing two attention layers.
+#ifndef TFMR_DATA_INDUCTION_H_
+#define TFMR_DATA_INDUCTION_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace llm::data {
+
+struct InductionOptions {
+  int64_t vocab_size = 32;
+  int64_t seq_len = 32;
+  /// Prefix length s is drawn uniformly from [min_prefix, max_prefix];
+  /// defaults (when <= 0) are seq_len/4 and seq_len/2.
+  int64_t min_prefix = 0;
+  int64_t max_prefix = 0;
+};
+
+/// Samples B sequences [B, T]: a random prefix of length s_b repeated
+/// cyclically to fill T. `targets` are shifted next tokens with positions
+/// before the first repeat masked to -1. `splits` receives s_b per
+/// sequence (needed for scoring attention patterns).
+void SampleInductionBatch(const InductionOptions& options, util::Rng* rng,
+                          int64_t batch_size, std::vector<int64_t>* inputs,
+                          std::vector<int64_t>* targets,
+                          std::vector<int64_t>* splits = nullptr);
+
+/// The "induction score" of each head: average attention mass placed on
+/// the induction target position j* = i - s + 1 (the token after the
+/// previous occurrence of the current token), over repeat-region
+/// positions i >= s. probs: [B, H, T, T].
+/// `tolerance` widens the credited window to j* +/- tolerance positions
+/// (useful early in training, when the head's pattern is forming but not
+/// yet razor-sharp).
+std::vector<double> InductionScores(const std::vector<int64_t>& splits,
+                                    int64_t B, int64_t T,
+                                    const float* probs, int64_t H,
+                                    int tolerance = 0);
+
+}  // namespace llm::data
+
+#endif  // TFMR_DATA_INDUCTION_H_

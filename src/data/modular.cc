@@ -1,0 +1,77 @@
+#include "data/modular.h"
+
+#include "util/check.h"
+
+namespace llm::data {
+
+ModularDataset::ModularDataset(const ModularDatasetOptions& options)
+    : options_(options) {
+  LLM_CHECK_GE(options.modulus, 2);
+  LLM_CHECK_GT(options.train_fraction, 0.0);
+  LLM_CHECK_LT(options.train_fraction, 1.0);
+  const int64_t p = options.modulus;
+  std::vector<ModularExample> all;
+  all.reserve(static_cast<size_t>(p * p));
+  for (int64_t a = 0; a < p; ++a) {
+    for (int64_t b = 0; b < p; ++b) {
+      all.push_back({a, b, Answer(a, b)});
+    }
+  }
+  util::Rng rng(options.seed);
+  rng.Shuffle(&all);
+  const auto train_n =
+      static_cast<size_t>(static_cast<double>(all.size()) *
+                          options.train_fraction);
+  train_.assign(all.begin(), all.begin() + static_cast<ptrdiff_t>(train_n));
+  test_.assign(all.begin() + static_cast<ptrdiff_t>(train_n), all.end());
+  LLM_CHECK(!train_.empty());
+  LLM_CHECK(!test_.empty());
+}
+
+int64_t ModularDataset::Answer(int64_t a, int64_t b) const {
+  const int64_t p = options_.modulus;
+  switch (options_.op) {
+    case ModularOp::kAdd:
+      return (a + b) % p;
+    case ModularOp::kSub:
+      return ((a - b) % p + p) % p;
+    case ModularOp::kMul:
+      return (a * b) % p;
+  }
+  LLM_CHECK(false);
+  return 0;
+}
+
+void ModularDataset::EncodeExamples(
+    const std::vector<ModularExample>& examples,
+    std::vector<int64_t>* inputs, std::vector<int64_t>* targets) const {
+  LLM_CHECK(inputs && targets);
+  inputs->clear();
+  targets->clear();
+  inputs->reserve(examples.size() * kSeqLen);
+  targets->reserve(examples.size() * kSeqLen);
+  for (const auto& e : examples) {
+    inputs->push_back(e.a);
+    inputs->push_back(op_token());
+    inputs->push_back(e.b);
+    inputs->push_back(eq_token());
+    targets->push_back(-1);
+    targets->push_back(-1);
+    targets->push_back(-1);
+    targets->push_back(e.c);
+  }
+}
+
+void ModularDataset::SampleTrainBatch(util::Rng* rng, int64_t batch_size,
+                                      std::vector<int64_t>* inputs,
+                                      std::vector<int64_t>* targets) const {
+  LLM_CHECK(rng != nullptr);
+  std::vector<ModularExample> batch;
+  batch.reserve(static_cast<size_t>(batch_size));
+  for (int64_t i = 0; i < batch_size; ++i) {
+    batch.push_back(train_[rng->UniformInt(train_.size())]);
+  }
+  EncodeExamples(batch, inputs, targets);
+}
+
+}  // namespace llm::data

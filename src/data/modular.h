@@ -1,0 +1,67 @@
+// Modular-arithmetic dataset for the grokking experiment (paper §4, Power
+// et al. [110], Nanda et al. [103]): sequences "a op b =" with the answer
+// c = (a op b) mod p as the target at the '=' position. The full example
+// table is split once into train/test; generalization to the held-out
+// cells is the phenomenon under study.
+#ifndef TFMR_DATA_MODULAR_H_
+#define TFMR_DATA_MODULAR_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace llm::data {
+
+enum class ModularOp { kAdd, kSub, kMul };
+
+struct ModularDatasetOptions {
+  int64_t modulus = 97;
+  ModularOp op = ModularOp::kAdd;
+  /// Fraction of the p*p example table used for training.
+  double train_fraction = 0.5;
+  uint64_t seed = 1;
+};
+
+struct ModularExample {
+  int64_t a = 0, b = 0, c = 0;
+};
+
+class ModularDataset {
+ public:
+  /// Token layout: 0..p-1 are residues, p is the operator, p+1 is '='.
+  explicit ModularDataset(const ModularDatasetOptions& options);
+
+  int64_t vocab_size() const { return options_.modulus + 2; }
+  int64_t op_token() const { return options_.modulus; }
+  int64_t eq_token() const { return options_.modulus + 1; }
+  /// Every sequence is [a, op, b, =] (length 4); only the '=' position has
+  /// a target (the answer c); other targets are ignore_index.
+  static constexpr int64_t kSeqLen = 4;
+
+  const std::vector<ModularExample>& train() const { return train_; }
+  const std::vector<ModularExample>& test() const { return test_; }
+
+  /// Samples B training examples into [B, 4] inputs and targets (with -1
+  /// at non-answer positions).
+  void SampleTrainBatch(util::Rng* rng, int64_t batch_size,
+                        std::vector<int64_t>* inputs,
+                        std::vector<int64_t>* targets) const;
+
+  /// Deterministically encodes a span of examples from `split`.
+  void EncodeExamples(const std::vector<ModularExample>& examples,
+                      std::vector<int64_t>* inputs,
+                      std::vector<int64_t>* targets) const;
+
+  const ModularDatasetOptions& options() const { return options_; }
+
+ private:
+  int64_t Answer(int64_t a, int64_t b) const;
+
+  ModularDatasetOptions options_;
+  std::vector<ModularExample> train_;
+  std::vector<ModularExample> test_;
+};
+
+}  // namespace llm::data
+
+#endif  // TFMR_DATA_MODULAR_H_

@@ -1,0 +1,25 @@
+#include "data/parity.h"
+
+#include "util/check.h"
+
+namespace llm::data {
+
+void SampleParityBatch(util::Rng* rng, int64_t batch_size, int64_t seq_len,
+                       std::vector<int64_t>* inputs,
+                       std::vector<int64_t>* targets) {
+  LLM_CHECK(rng && inputs && targets);
+  LLM_CHECK_GT(seq_len, 0);
+  inputs->resize(static_cast<size_t>(batch_size * seq_len));
+  targets->resize(static_cast<size_t>(batch_size * seq_len));
+  for (int64_t b = 0; b < batch_size; ++b) {
+    int64_t parity = 0;
+    for (int64_t i = 0; i < seq_len; ++i) {
+      const int64_t bit = rng->Bernoulli(0.5) ? 1 : 0;
+      parity ^= bit;
+      (*inputs)[static_cast<size_t>(b * seq_len + i)] = bit;
+      (*targets)[static_cast<size_t>(b * seq_len + i)] = parity;
+    }
+  }
+}
+
+}  // namespace llm::data

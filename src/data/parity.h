@@ -1,0 +1,26 @@
+// Streaming parity — the classic complexity-theoretic separation task the
+// paper's §8 discusses ("the complexity class of circuits which can be
+// realized by constant depth transformers ... TC^0"; the RNN-as-finite-
+// state-machine point of §5). The model reads a bit string and must
+// output the running parity after every bit. A recurrent model carries
+// parity in one bit of state and generalizes to any length; a fixed-depth
+// transformer must approximate an L-way parity with constant depth and
+// characteristically fails to length-generalize.
+#ifndef TFMR_DATA_PARITY_H_
+#define TFMR_DATA_PARITY_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace llm::data {
+
+/// Samples B uniform bit strings of length T. inputs in {0, 1};
+/// targets[i] = parity of inputs[0..i] (also in {0, 1}; vocab is 2).
+void SampleParityBatch(util::Rng* rng, int64_t batch_size, int64_t seq_len,
+                       std::vector<int64_t>* inputs,
+                       std::vector<int64_t>* targets);
+
+}  // namespace llm::data
+
+#endif  // TFMR_DATA_PARITY_H_

@@ -1,0 +1,120 @@
+#include "data/pcfg_corpus.h"
+
+namespace llm::data {
+
+grammar::Grammar ToyEnglishGrammar() {
+  // English-like PCFG with subject-verb *number agreement* that must be
+  // carried across intervening material ("the dogs near the river run"):
+  // small models fail the long-range dependency, so model capacity
+  // matters — which is what the Fig. 2 model-size panel needs.
+  grammar::Grammar g;
+  auto add = [&](const std::string& lhs,
+                 const std::vector<std::string>& rhs, double w) {
+    LLM_CHECK(g.AddRule(lhs, rhs, w).ok());
+  };
+  add("S", {"NPS", "VPS"}, 0.5);  // singular subject + singular verb
+  add("S", {"NPP", "VPP"}, 0.5);  // plural subject + plural verb
+  // Noun phrases, number-marked.
+  add("NPS", {"DETS", "NBARS"}, 0.8);
+  add("NPS", {"NAME"}, 0.2);
+  add("NPP", {"DETP", "NBARP"}, 1.0);
+  add("NBARS", {"NOUNS"}, 0.55);
+  add("NBARS", {"ADJ", "NBARS"}, 0.25);
+  add("NBARS", {"NOUNS", "PP"}, 0.20);
+  add("NBARP", {"NOUNP"}, 0.55);
+  add("NBARP", {"ADJ", "NBARP"}, 0.25);
+  add("NBARP", {"NOUNP", "PP"}, 0.20);
+  // Objects can have either number.
+  add("NP", {"NPS"}, 0.5);
+  add("NP", {"NPP"}, 0.5);
+  // Verb phrases, number-marked to agree with the subject.
+  add("VPS", {"VTS", "NP"}, 0.45);
+  add("VPS", {"VIS"}, 0.25);
+  add("VPS", {"VTS", "NP", "PP"}, 0.15);
+  add("VPS", {"VIS", "PP"}, 0.15);
+  add("VPP", {"VTP", "NP"}, 0.45);
+  add("VPP", {"VIP"}, 0.25);
+  add("VPP", {"VTP", "NP", "PP"}, 0.15);
+  add("VPP", {"VIP", "PP"}, 0.15);
+  add("PP", {"PREP", "NP"}, 1.0);
+  // Lexicon. Singular/plural noun and verb forms are distinct terminals.
+  add("DETS", {"the"}, 0.5);
+  add("DETS", {"a"}, 0.35);
+  add("DETS", {"every"}, 0.15);
+  add("DETP", {"the"}, 0.5);
+  add("DETP", {"some"}, 0.3);
+  add("DETP", {"many"}, 0.2);
+  const char* noun_pairs[][2] = {
+      {"dog", "dogs"},       {"cat", "cats"},     {"bird", "birds"},
+      {"fish", "fishes"},    {"park", "parks"},   {"house", "houses"},
+      {"tree", "trees"},     {"river", "rivers"}, {"child", "children"},
+      {"teacher", "teachers"}, {"city", "cities"}, {"horse", "horses"},
+      {"garden", "gardens"}, {"road", "roads"},   {"friend", "friends"},
+      {"story", "stories"}};
+  for (const auto& p : noun_pairs) {
+    add("NOUNS", {p[0]}, 1.0);
+    add("NOUNP", {p[1]}, 1.0);
+  }
+  const char* vt_pairs[][2] = {{"chases", "chase"}, {"sees", "see"},
+                               {"likes", "like"},   {"finds", "find"},
+                               {"follows", "follow"}, {"helps", "help"}};
+  for (const auto& p : vt_pairs) {
+    add("VTS", {p[0]}, 1.0);
+    add("VTP", {p[1]}, 1.0);
+  }
+  const char* vi_pairs[][2] = {{"sleeps", "sleep"}, {"runs", "run"},
+                               {"sings", "sing"},   {"waits", "wait"}};
+  for (const auto& p : vi_pairs) {
+    add("VIS", {p[0]}, 1.0);
+    add("VIP", {p[1]}, 1.0);
+  }
+  for (const char* a : {"big", "small", "old", "happy", "green", "quiet",
+                        "brave", "clever"}) {
+    add("ADJ", {a}, 1.0);
+  }
+  for (const char* p : {"in", "near", "behind", "beside"}) {
+    add("PREP", {p}, 1.0);
+  }
+  for (const char* m : {"alice", "bob", "carol", "dave"}) {
+    add("NAME", {m}, 1.0);
+  }
+  LLM_CHECK(g.Finalize("S").ok());
+  return g;
+}
+
+std::vector<PcfgSample> SamplePcfgCorpus(const grammar::Grammar& grammar,
+                                         const PcfgCorpusOptions& options,
+                                         util::Rng* rng) {
+  LLM_CHECK(rng != nullptr);
+  std::vector<PcfgSample> out;
+  out.reserve(static_cast<size_t>(options.num_sentences));
+  int64_t guard = 0;
+  while (static_cast<int64_t>(out.size()) < options.num_sentences) {
+    LLM_CHECK_LT(guard++, options.num_sentences * 1000)
+        << "PCFG sampling rejection loop not terminating";
+    auto tree_or = grammar.SampleTree(rng, options.max_depth);
+    if (!tree_or.ok()) continue;  // too deep; resample
+    auto tree = std::move(tree_or).value();
+    std::vector<int> leaves = grammar::Grammar::TreeLeaves(*tree);
+    const int len = static_cast<int>(leaves.size());
+    if (len < options.min_length) continue;
+    if (options.max_length > 0 && len > options.max_length) continue;
+    PcfgSample sample;
+    sample.terminals = std::move(leaves);
+    sample.tree = std::move(tree);
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+std::vector<int64_t> FlattenToStream(const std::vector<PcfgSample>& samples,
+                                     int separator_id) {
+  std::vector<int64_t> stream;
+  for (const auto& s : samples) {
+    for (int t : s.terminals) stream.push_back(t);
+    stream.push_back(separator_id);
+  }
+  return stream;
+}
+
+}  // namespace llm::data

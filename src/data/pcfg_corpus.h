@@ -1,0 +1,47 @@
+// PCFG-generated corpora: the synthetic "toy world" language (paper §4)
+// used for the scaling-law experiments (Fig. 2 / Eq. 4), the perplexity
+// ladder, and the structural probe (§7) — each sample keeps its gold parse
+// tree.
+#ifndef TFMR_DATA_PCFG_CORPUS_H_
+#define TFMR_DATA_PCFG_CORPUS_H_
+
+#include <memory>
+#include <vector>
+
+#include "grammar/cfg.h"
+
+namespace llm::data {
+
+/// A small English-like PCFG: sentences like "the big dog chases a cat in
+/// the park". ~10 nonterminals, ~30 terminals, recursive PP/adjective
+/// attachment for nontrivial entropy and tree depth.
+grammar::Grammar ToyEnglishGrammar();
+
+struct PcfgSample {
+  std::vector<int> terminals;  // terminal ids of the grammar
+  std::unique_ptr<grammar::Grammar::TreeNode> tree;
+};
+
+struct PcfgCorpusOptions {
+  int64_t num_sentences = 1000;
+  int max_depth = 40;
+  /// Regenerate sentences longer than this (keeps training windows sane);
+  /// 0 disables.
+  int max_length = 24;
+  int min_length = 2;
+};
+
+/// Samples sentences with their gold trees.
+std::vector<PcfgSample> SamplePcfgCorpus(const grammar::Grammar& grammar,
+                                         const PcfgCorpusOptions& options,
+                                         util::Rng* rng);
+
+/// Flattens samples into one LM token stream with a separator token after
+/// each sentence. Token ids are the grammar terminal ids; the separator id
+/// is grammar.num_terminals() (so vocab_size = num_terminals() + 1).
+std::vector<int64_t> FlattenToStream(const std::vector<PcfgSample>& samples,
+                                     int separator_id);
+
+}  // namespace llm::data
+
+#endif  // TFMR_DATA_PCFG_CORPUS_H_

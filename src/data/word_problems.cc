@@ -1,0 +1,98 @@
+#include "data/word_problems.h"
+
+#include "util/check.h"
+
+namespace llm::data {
+
+WordProblemDataset::WordProblemDataset(const WordProblemOptions& options)
+    : options_(options) {
+  LLM_CHECK_GE(options.modulus, 2);
+  LLM_CHECK_GE(options.terms, 2);
+}
+
+int64_t WordProblemDataset::seq_len() const {
+  const int64_t k = options_.terms;
+  return options_.chain_of_thought ? 4 * k - 2 : 2 * k + 2;
+}
+
+WordProblemDataset::Problem WordProblemDataset::SampleProblem(
+    util::Rng* rng) const {
+  LLM_CHECK(rng != nullptr);
+  Problem p;
+  p.terms.resize(static_cast<size_t>(options_.terms));
+  for (auto& t : p.terms) {
+    t = static_cast<int64_t>(
+        rng->UniformInt(static_cast<uint64_t>(options_.modulus)));
+  }
+  int64_t run = p.terms[0];
+  for (size_t i = 1; i < p.terms.size(); ++i) {
+    run = (run + p.terms[i]) % options_.modulus;
+    p.partials.push_back(run);
+  }
+  p.answer = run;
+  return p;
+}
+
+std::vector<int64_t> WordProblemDataset::EncodePrompt(
+    const Problem& p) const {
+  std::vector<int64_t> out;
+  for (size_t i = 0; i < p.terms.size(); ++i) {
+    if (i) out.push_back(plus_token());
+    out.push_back(p.terms[i]);
+  }
+  out.push_back(eq_token());
+  return out;
+}
+
+std::vector<int64_t> WordProblemDataset::Encode(const Problem& p) const {
+  std::vector<int64_t> out = EncodePrompt(p);
+  if (options_.chain_of_thought) {
+    for (size_t i = 0; i < p.partials.size(); ++i) {
+      if (i) out.push_back(sep_token());
+      out.push_back(p.partials[i]);
+    }
+  } else {
+    out.push_back(p.answer);
+  }
+  out.push_back(end_token());
+  LLM_CHECK_EQ(static_cast<int64_t>(out.size()), seq_len());
+  return out;
+}
+
+void WordProblemDataset::SampleBatch(util::Rng* rng, int64_t batch_size,
+                                     std::vector<int64_t>* inputs,
+                                     std::vector<int64_t>* targets) const {
+  LLM_CHECK(rng && inputs && targets);
+  const int64_t T = seq_len();
+  const int64_t prompt_len =
+      static_cast<int64_t>(2 * options_.terms);  // terms, pluses, '='
+  inputs->resize(static_cast<size_t>(batch_size * T));
+  targets->resize(static_cast<size_t>(batch_size * T));
+  for (int64_t b = 0; b < batch_size; ++b) {
+    const std::vector<int64_t> seq = Encode(SampleProblem(rng));
+    for (int64_t i = 0; i < T; ++i) {
+      (*inputs)[static_cast<size_t>(b * T + i)] =
+          seq[static_cast<size_t>(i)];
+      // Next-token targets, masked so loss starts at the '=' transition
+      // (position prompt_len - 1 predicts the first answer/chain token).
+      int64_t tgt = -1;
+      if (i + 1 < T && i >= prompt_len - 1) {
+        tgt = seq[static_cast<size_t>(i + 1)];
+      }
+      (*targets)[static_cast<size_t>(b * T + i)] = tgt;
+    }
+  }
+}
+
+std::string WordProblemDataset::ToString(const Problem& p) const {
+  std::string s;
+  for (size_t i = 0; i < p.terms.size(); ++i) {
+    if (i) s += " + ";
+    s += std::to_string(p.terms[i]);
+  }
+  s += " = " + std::to_string(p.answer) + " (mod " +
+       std::to_string(options_.modulus) + ")";
+  return s;
+}
+
+}  // namespace llm::data

@@ -1,0 +1,74 @@
+// Multi-step arithmetic word problems with optional chain-of-thought
+// supervision — the toy-scale analogue of the paper's Figure 1 (Minerva)
+// and its §3 discussion of chain-of-thought prompting. The task: compute
+// the sum of k digits modulo M. Without CoT the model must emit the answer
+// in a single prediction after '='; with CoT the training sequences spell
+// out the running partial sums (the "intermediate reasoning steps spelled
+// out"), turning one hard prediction into k-1 easy ones.
+#ifndef TFMR_DATA_WORD_PROBLEMS_H_
+#define TFMR_DATA_WORD_PROBLEMS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace llm::data {
+
+struct WordProblemOptions {
+  int64_t modulus = 11;
+  /// Number of summed terms k (>= 2); difficulty grows with k.
+  int terms = 4;
+  bool chain_of_thought = false;
+};
+
+class WordProblemDataset {
+ public:
+  explicit WordProblemDataset(const WordProblemOptions& options);
+
+  /// Token layout: 0..M-1 digits, M '+', M+1 '=', M+2 ';' (CoT step
+  /// separator), M+3 end-of-problem.
+  int64_t vocab_size() const { return options_.modulus + 4; }
+  int64_t plus_token() const { return options_.modulus; }
+  int64_t eq_token() const { return options_.modulus + 1; }
+  int64_t sep_token() const { return options_.modulus + 2; }
+  int64_t end_token() const { return options_.modulus + 3; }
+
+  /// Fixed sequence length for the configured options:
+  /// no CoT:  a1 + a2 ... + ak = ANS END                 (2k + 2)
+  /// CoT:     a1 + ... + ak = p2 ; p3 ; ... ; pk END     (4k - 2)
+  int64_t seq_len() const;
+
+  struct Problem {
+    std::vector<int64_t> terms;
+    int64_t answer = 0;             // final sum mod M
+    std::vector<int64_t> partials;  // p2..pk (running sums), pk == answer
+  };
+
+  Problem SampleProblem(util::Rng* rng) const;
+
+  /// Full training sequence (including answer / chain) for LM training.
+  std::vector<int64_t> Encode(const Problem& p) const;
+
+  /// The prompt prefix up to and including '=' — what the model sees at
+  /// evaluation time before generating.
+  std::vector<int64_t> EncodePrompt(const Problem& p) const;
+
+  /// Batch of B training sequences; targets are shifted inputs with the
+  /// prompt part masked to -1 (loss only on the answer / chain).
+  void SampleBatch(util::Rng* rng, int64_t batch_size,
+                   std::vector<int64_t>* inputs,
+                   std::vector<int64_t>* targets) const;
+
+  /// Renders a problem like "3 + 5 + 2 = 10" for logs.
+  std::string ToString(const Problem& p) const;
+
+  const WordProblemOptions& options() const { return options_; }
+
+ private:
+  WordProblemOptions options_;
+};
+
+}  // namespace llm::data
+
+#endif  // TFMR_DATA_WORD_PROBLEMS_H_

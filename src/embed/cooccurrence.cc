@@ -1,0 +1,233 @@
+#include "embed/cooccurrence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace llm::embed {
+
+CooccurrenceMatrix::CooccurrenceMatrix(int64_t vocab_size, int window)
+    : vocab_size_(vocab_size),
+      window_(window),
+      counts_({vocab_size, vocab_size}),
+      word_totals_(static_cast<size_t>(vocab_size), 0.0) {
+  LLM_CHECK_GT(vocab_size, 0);
+  LLM_CHECK_GT(window, 0);
+}
+
+void CooccurrenceMatrix::Fit(const std::vector<int64_t>& tokens) {
+  const auto n = static_cast<int64_t>(tokens.size());
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t w = tokens[static_cast<size_t>(i)];
+    LLM_CHECK_GE(w, 0);
+    LLM_CHECK_LT(w, vocab_size_);
+    word_totals_[static_cast<size_t>(w)] += 1.0;
+    total_words_ += 1.0;
+    for (int64_t j = i + 1; j <= std::min(n - 1, i + window_); ++j) {
+      const int64_t u = tokens[static_cast<size_t>(j)];
+      counts_[w * vocab_size_ + u] += 1.0f;
+      counts_[u * vocab_size_ + w] += 1.0f;
+    }
+  }
+}
+
+core::Tensor CooccurrenceMatrix::Ppmi(double shift) const {
+  core::Tensor out({vocab_size_, vocab_size_});
+  double total_pairs = 0.0;
+  for (int64_t i = 0; i < counts_.numel(); ++i) {
+    total_pairs += counts_[i];
+  }
+  if (total_pairs <= 0.0) return out;
+  // Marginals over the pair distribution.
+  std::vector<double> row_sum(static_cast<size_t>(vocab_size_), 0.0);
+  for (int64_t w = 0; w < vocab_size_; ++w) {
+    double s = 0.0;
+    for (int64_t u = 0; u < vocab_size_; ++u) {
+      s += counts_[w * vocab_size_ + u];
+    }
+    row_sum[static_cast<size_t>(w)] = s;
+  }
+  for (int64_t w = 0; w < vocab_size_; ++w) {
+    for (int64_t u = 0; u < vocab_size_; ++u) {
+      const double joint = counts_[w * vocab_size_ + u] / total_pairs;
+      if (joint <= 0.0) continue;
+      const double pw = row_sum[static_cast<size_t>(w)] / total_pairs;
+      const double pu = row_sum[static_cast<size_t>(u)] / total_pairs;
+      const double pmi = std::log(joint / (pw * pu)) - shift;
+      if (pmi > 0.0) {
+        out[w * vocab_size_ + u] = static_cast<float>(pmi);
+      }
+    }
+  }
+  return out;
+}
+
+EigenResult JacobiEigen(const core::Tensor& symmetric, int max_sweeps) {
+  LLM_CHECK_EQ(symmetric.ndim(), 2);
+  const int64_t n = symmetric.dim(0);
+  LLM_CHECK_EQ(symmetric.dim(1), n);
+
+  // Work in double for accuracy.
+  std::vector<double> a(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n * n; ++i) a[static_cast<size_t>(i)] = symmetric[i];
+  std::vector<double> v(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) v[static_cast<size_t>(i * n + i)] = 1.0;
+
+  auto A = [&](int64_t i, int64_t j) -> double& {
+    return a[static_cast<size_t>(i * n + j)];
+  };
+  auto V = [&](int64_t i, int64_t j) -> double& {
+    return v[static_cast<size_t>(i * n + j)];
+  };
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) off += A(p, q) * A(p, q);
+    }
+    if (off < 1e-20) break;
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = A(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double theta = (A(q, q) - A(p, p)) / (2.0 * apq);
+        const double t =
+            (theta >= 0 ? 1.0 : -1.0) /
+            (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int64_t k = 0; k < n; ++k) {
+          const double akp = A(k, p), akq = A(k, q);
+          A(k, p) = c * akp - s * akq;
+          A(k, q) = s * akp + c * akq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double apk = A(p, k), aqk = A(q, k);
+          A(p, k) = c * apk - s * aqk;
+          A(q, k) = s * apk + c * aqk;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double vkp = V(k, p), vkq = V(k, q);
+          V(k, p) = c * vkp - s * vkq;
+          V(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort by decreasing eigenvalue.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return A(x, x) > A(y, y);
+  });
+
+  EigenResult result;
+  result.eigenvalues = core::Tensor({n});
+  result.eigenvectors = core::Tensor({n, n});
+  for (int64_t j = 0; j < n; ++j) {
+    const int64_t src = order[static_cast<size_t>(j)];
+    result.eigenvalues[j] = static_cast<float>(A(src, src));
+    for (int64_t i = 0; i < n; ++i) {
+      result.eigenvectors[i * n + j] = static_cast<float>(V(i, src));
+    }
+  }
+  return result;
+}
+
+core::Tensor SpectralEmbedding(const core::Tensor& symmetric, int rank) {
+  const int64_t n = symmetric.dim(0);
+  LLM_CHECK_GT(rank, 0);
+  LLM_CHECK_LE(rank, n);
+  EigenResult eig = JacobiEigen(symmetric);
+
+  // Top-`rank` eigenpairs by |eigenvalue|.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return std::fabs(eig.eigenvalues[x]) > std::fabs(eig.eigenvalues[y]);
+  });
+
+  core::Tensor embedding({n, rank});
+  for (int64_t j = 0; j < rank; ++j) {
+    const int64_t col = order[static_cast<size_t>(j)];
+    const float scale =
+        std::sqrt(std::fabs(eig.eigenvalues[col]));
+    for (int64_t i = 0; i < n; ++i) {
+      embedding[i * rank + j] = eig.eigenvectors[i * n + col] * scale;
+    }
+  }
+  return embedding;
+}
+
+WordEmbeddings::WordEmbeddings(core::Tensor vectors, bool normalize)
+    : vectors_(std::move(vectors)) {
+  LLM_CHECK_EQ(vectors_.ndim(), 2);
+  if (normalize) {
+    const int64_t V = vectors_.dim(0), d = vectors_.dim(1);
+    for (int64_t i = 0; i < V; ++i) {
+      double sq = 0.0;
+      for (int64_t j = 0; j < d; ++j) {
+        const double x = vectors_[i * d + j];
+        sq += x * x;
+      }
+      const float inv =
+          sq > 0.0 ? static_cast<float>(1.0 / std::sqrt(sq)) : 0.0f;
+      for (int64_t j = 0; j < d; ++j) vectors_[i * d + j] *= inv;
+    }
+  }
+}
+
+double WordEmbeddings::Cosine(int64_t a, int64_t b) const {
+  const int64_t d = dim();
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int64_t j = 0; j < d; ++j) {
+    const double x = vectors_[a * d + j], y = vectors_[b * d + j];
+    dot += x * y;
+    na += x * x;
+    nb += y * y;
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+int64_t WordEmbeddings::Nearest(const std::vector<float>& query,
+                                const std::vector<int64_t>& exclude) const {
+  const int64_t V = vocab_size(), d = dim();
+  LLM_CHECK_EQ(static_cast<int64_t>(query.size()), d);
+  double qn = 0.0;
+  for (float x : query) qn += static_cast<double>(x) * x;
+  qn = std::sqrt(qn);
+  int64_t best = -1;
+  double best_score = -2.0;
+  for (int64_t w = 0; w < V; ++w) {
+    if (std::find(exclude.begin(), exclude.end(), w) != exclude.end()) {
+      continue;
+    }
+    double dot = 0.0, wn = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      const double x = vectors_[w * d + j];
+      dot += x * query[static_cast<size_t>(j)];
+      wn += x * x;
+    }
+    if (wn == 0.0 || qn == 0.0) continue;
+    const double score = dot / (std::sqrt(wn) * qn);
+    if (score > best_score) {
+      best_score = score;
+      best = w;
+    }
+  }
+  return best;
+}
+
+int64_t WordEmbeddings::Analogy(int64_t a, int64_t b, int64_t c) const {
+  const int64_t d = dim();
+  std::vector<float> query(static_cast<size_t>(d));
+  for (int64_t j = 0; j < d; ++j) {
+    query[static_cast<size_t>(j)] =
+        vectors_[b * d + j] - vectors_[a * d + j] + vectors_[c * d + j];
+  }
+  return Nearest(query, {a, b, c});
+}
+
+}  // namespace llm::embed

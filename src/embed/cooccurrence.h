@@ -1,0 +1,87 @@
+// Co-occurrence statistics and classical word embeddings (paper §5):
+// the N-gram co-occurrence matrix M_N, its PPMI transform (the pairwise
+// mutual information of Eq. 10's footnote), and spectral dimensionality
+// reduction (the "PCA" step) producing word vectors that support the
+// king - man + woman ~ queen analogy arithmetic (Eq. 9).
+#ifndef TFMR_EMBED_COOCCURRENCE_H_
+#define TFMR_EMBED_COOCCURRENCE_H_
+
+#include <vector>
+
+#include "core/tensor.h"
+#include "util/rng.h"
+
+namespace llm::embed {
+
+/// Symmetric co-occurrence counts within a sliding window.
+class CooccurrenceMatrix {
+ public:
+  /// `window` is the maximum distance |i-j| counted (window = N-1 for the
+  /// paper's N-gram co-occurrence).
+  CooccurrenceMatrix(int64_t vocab_size, int window);
+
+  /// Accumulates counts from a token stream (callable repeatedly).
+  void Fit(const std::vector<int64_t>& tokens);
+
+  /// Raw symmetric count matrix [V, V].
+  const core::Tensor& counts() const { return counts_; }
+
+  /// Per-word totals #(w) (occurrences, not co-occurrences).
+  const std::vector<double>& word_totals() const { return word_totals_; }
+
+  /// Positive pointwise mutual information:
+  ///   PPMI(w,u) = max(0, log(P(w,u) / (P(w) P(u))) - shift).
+  core::Tensor Ppmi(double shift = 0.0) const;
+
+  int64_t vocab_size() const { return vocab_size_; }
+
+ private:
+  int64_t vocab_size_;
+  int window_;
+  core::Tensor counts_;                // [V, V]
+  std::vector<double> word_totals_;    // [V]
+  double total_words_ = 0.0;
+};
+
+/// Full eigendecomposition of a symmetric matrix by the cyclic Jacobi
+/// method (exact at the vocabulary sizes used here). Eigenvalues are
+/// returned sorted by decreasing value with matching eigenvector columns.
+struct EigenResult {
+  core::Tensor eigenvalues;   // [V]
+  core::Tensor eigenvectors;  // [V, V], column j pairs with eigenvalue j
+};
+EigenResult JacobiEigen(const core::Tensor& symmetric, int max_sweeps = 64);
+
+/// Rank-r spectral embedding of a symmetric matrix: rows of U_r sqrt(S_r)
+/// using the top-r eigenpairs by |eigenvalue| (the §5 "PCA" that replaces
+/// co-occurrence columns by low-dimensional vectors).
+core::Tensor SpectralEmbedding(const core::Tensor& symmetric, int rank);
+
+/// Word vectors with cosine geometry.
+class WordEmbeddings {
+ public:
+  /// vectors: [V, d]; rows are L2-normalized internally when `normalize`.
+  explicit WordEmbeddings(core::Tensor vectors, bool normalize = true);
+
+  int64_t vocab_size() const { return vectors_.dim(0); }
+  int64_t dim() const { return vectors_.dim(1); }
+  const core::Tensor& vectors() const { return vectors_; }
+
+  double Cosine(int64_t a, int64_t b) const;
+
+  /// Most similar word to an arbitrary query vector, excluding ids in
+  /// `exclude`.
+  int64_t Nearest(const std::vector<float>& query,
+                  const std::vector<int64_t>& exclude = {}) const;
+
+  /// Solves a : b :: c : ? by the Eq. 9 offset method
+  /// (argmax_w cos(v_b - v_a + v_c, v_w), excluding a, b, c).
+  int64_t Analogy(int64_t a, int64_t b, int64_t c) const;
+
+ private:
+  core::Tensor vectors_;  // [V, d], row-normalized if requested
+};
+
+}  // namespace llm::embed
+
+#endif  // TFMR_EMBED_COOCCURRENCE_H_

@@ -1,0 +1,58 @@
+#include "eval/lm_eval.h"
+
+#include <cmath>
+
+#include "eval/metrics.h"
+
+namespace llm::eval {
+
+namespace {
+template <typename LogitsFn>
+LmEvalResult EvaluateWindows(const text::TokenDataset& dataset,
+                             int64_t max_windows, const LogitsFn& logits_fn) {
+  std::vector<int64_t> inputs, targets;
+  int64_t num_windows = 0;
+  dataset.EvalWindows(max_windows, &inputs, &targets, &num_windows);
+  const int64_t T = dataset.seq_len();
+
+  // Evaluate window-by-window to bound peak memory.
+  double total_nll = 0.0;
+  int64_t total_tokens = 0;
+  for (int64_t w = 0; w < num_windows; ++w) {
+    std::vector<int64_t> in(inputs.begin() + w * T,
+                            inputs.begin() + (w + 1) * T);
+    std::vector<int64_t> tg(targets.begin() + w * T,
+                            targets.begin() + (w + 1) * T);
+    core::Tensor logits = logits_fn(in, T);
+    total_nll += MaskedCrossEntropy(logits, tg) * static_cast<double>(T);
+    total_tokens += T;
+  }
+  LmEvalResult result;
+  result.tokens_scored = total_tokens;
+  result.cross_entropy = total_nll / static_cast<double>(total_tokens);
+  result.perplexity = std::exp(result.cross_entropy);
+  return result;
+}
+}  // namespace
+
+LmEvalResult EvaluateGpt(const nn::GPTModel& model,
+                         const text::TokenDataset& dataset,
+                         int64_t max_windows) {
+  return EvaluateWindows(
+      dataset, max_windows,
+      [&](const std::vector<int64_t>& in, int64_t T) {
+        return model.ForwardLogits(in, 1, T).value();
+      });
+}
+
+LmEvalResult EvaluateRnn(const nn::RnnLm& model,
+                         const text::TokenDataset& dataset,
+                         int64_t max_windows) {
+  return EvaluateWindows(
+      dataset, max_windows,
+      [&](const std::vector<int64_t>& in, int64_t T) {
+        return model.ForwardLogits(in, 1, T).value();
+      });
+}
+
+}  // namespace llm::eval

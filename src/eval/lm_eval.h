@@ -1,0 +1,30 @@
+// Gradient-free evaluation of language models on a TokenDataset: test
+// cross-entropy (the held-out "test loss" of Figure 2) and perplexity.
+#ifndef TFMR_EVAL_LM_EVAL_H_
+#define TFMR_EVAL_LM_EVAL_H_
+
+#include "nn/rnn.h"
+#include "nn/transformer.h"
+#include "text/dataset.h"
+
+namespace llm::eval {
+
+struct LmEvalResult {
+  double cross_entropy = 0.0;  // nats/token
+  double perplexity = 0.0;
+  int64_t tokens_scored = 0;
+};
+
+/// Evaluates a GPT model on up to `max_windows` non-overlapping windows.
+LmEvalResult EvaluateGpt(const nn::GPTModel& model,
+                         const text::TokenDataset& dataset,
+                         int64_t max_windows = 64);
+
+/// Same for a recurrent LM.
+LmEvalResult EvaluateRnn(const nn::RnnLm& model,
+                         const text::TokenDataset& dataset,
+                         int64_t max_windows = 64);
+
+}  // namespace llm::eval
+
+#endif  // TFMR_EVAL_LM_EVAL_H_

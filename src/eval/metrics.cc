@@ -1,0 +1,181 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace llm::eval {
+
+namespace {
+/// Softmax probability of `index` within one logits row, plus the argmax.
+struct RowStats {
+  int64_t argmax = 0;
+  double argmax_prob = 0.0;
+  double target_logprob = 0.0;
+};
+
+RowStats AnalyzeRow(const float* row, int64_t V, int64_t target) {
+  RowStats s;
+  for (int64_t i = 1; i < V; ++i) {
+    if (row[i] > row[s.argmax]) s.argmax = i;
+  }
+  const float maxv = row[s.argmax];
+  double sum = 0.0;
+  for (int64_t i = 0; i < V; ++i) sum += std::exp(row[i] - maxv);
+  const double log_z = std::log(sum) + maxv;
+  s.argmax_prob = std::exp(row[s.argmax] - log_z);
+  if (target >= 0 && target < V) {
+    s.target_logprob = row[target] - log_z;
+  }
+  return s;
+}
+}  // namespace
+
+double MaskedAccuracy(const core::Tensor& logits,
+                      const std::vector<int64_t>& targets,
+                      int64_t ignore_index) {
+  LLM_CHECK_EQ(logits.ndim(), 2);
+  const int64_t N = logits.dim(0), V = logits.dim(1);
+  LLM_CHECK_EQ(static_cast<int64_t>(targets.size()), N);
+  int64_t correct = 0, counted = 0;
+  for (int64_t r = 0; r < N; ++r) {
+    const int64_t t = targets[static_cast<size_t>(r)];
+    if (t == ignore_index) continue;
+    const RowStats s = AnalyzeRow(logits.data() + r * V, V, t);
+    if (s.argmax == t) ++correct;
+    ++counted;
+  }
+  LLM_CHECK_GT(counted, 0);
+  return static_cast<double>(correct) / static_cast<double>(counted);
+}
+
+double MaskedCrossEntropy(const core::Tensor& logits,
+                          const std::vector<int64_t>& targets,
+                          int64_t ignore_index) {
+  LLM_CHECK_EQ(logits.ndim(), 2);
+  const int64_t N = logits.dim(0), V = logits.dim(1);
+  LLM_CHECK_EQ(static_cast<int64_t>(targets.size()), N);
+  double total = 0.0;
+  int64_t counted = 0;
+  for (int64_t r = 0; r < N; ++r) {
+    const int64_t t = targets[static_cast<size_t>(r)];
+    if (t == ignore_index) continue;
+    LLM_CHECK_GE(t, 0);
+    LLM_CHECK_LT(t, V);
+    const RowStats s = AnalyzeRow(logits.data() + r * V, V, t);
+    total += -s.target_logprob;
+    ++counted;
+  }
+  LLM_CHECK_GT(counted, 0);
+  return total / static_cast<double>(counted);
+}
+
+std::vector<CalibrationPoint> CalibrationPoints(
+    const core::Tensor& logits, const std::vector<int64_t>& targets,
+    int64_t ignore_index) {
+  LLM_CHECK_EQ(logits.ndim(), 2);
+  const int64_t N = logits.dim(0), V = logits.dim(1);
+  LLM_CHECK_EQ(static_cast<int64_t>(targets.size()), N);
+  std::vector<CalibrationPoint> points;
+  for (int64_t r = 0; r < N; ++r) {
+    const int64_t t = targets[static_cast<size_t>(r)];
+    if (t == ignore_index) continue;
+    const RowStats s = AnalyzeRow(logits.data() + r * V, V, t);
+    points.push_back({s.argmax_prob, s.argmax == t});
+  }
+  return points;
+}
+
+std::vector<ReliabilityBin> ReliabilityDiagram(
+    const std::vector<CalibrationPoint>& points, int num_bins) {
+  LLM_CHECK_GT(num_bins, 0);
+  std::vector<ReliabilityBin> bins(static_cast<size_t>(num_bins));
+  for (int b = 0; b < num_bins; ++b) {
+    bins[static_cast<size_t>(b)].bin_lo =
+        static_cast<double>(b) / num_bins;
+    bins[static_cast<size_t>(b)].bin_hi =
+        static_cast<double>(b + 1) / num_bins;
+  }
+  for (const auto& p : points) {
+    int b = static_cast<int>(p.confidence * num_bins);
+    b = std::clamp(b, 0, num_bins - 1);
+    auto& bin = bins[static_cast<size_t>(b)];
+    ++bin.count;
+    bin.mean_confidence += p.confidence;
+    bin.accuracy += p.correct ? 1.0 : 0.0;
+  }
+  for (auto& bin : bins) {
+    if (bin.count > 0) {
+      bin.mean_confidence /= static_cast<double>(bin.count);
+      bin.accuracy /= static_cast<double>(bin.count);
+    }
+  }
+  return bins;
+}
+
+double ExpectedCalibrationError(const std::vector<CalibrationPoint>& points,
+                                int num_bins) {
+  LLM_CHECK(!points.empty());
+  const auto bins = ReliabilityDiagram(points, num_bins);
+  double ece = 0.0;
+  for (const auto& bin : bins) {
+    if (bin.count == 0) continue;
+    ece += std::fabs(bin.accuracy - bin.mean_confidence) *
+           static_cast<double>(bin.count) /
+           static_cast<double>(points.size());
+  }
+  return ece;
+}
+
+namespace {
+std::vector<double> AverageRanks(const std::vector<double>& v) {
+  const size_t n = v.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) /
+                           2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+}  // namespace
+
+util::StatusOr<double> SpearmanCorrelation(const std::vector<double>& a,
+                                           const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return util::Status::InvalidArgument("length mismatch");
+  }
+  if (a.size() < 3) {
+    return util::Status::InvalidArgument("need >= 3 points");
+  }
+  const std::vector<double> ra = AverageRanks(a);
+  const std::vector<double> rb = AverageRanks(b);
+  const double n = static_cast<double>(a.size());
+  double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sa += ra[i];
+    sb += rb[i];
+    saa += ra[i] * ra[i];
+    sbb += rb[i] * rb[i];
+    sab += ra[i] * rb[i];
+  }
+  const double cov = sab - sa * sb / n;
+  const double va = saa - sa * sa / n;
+  const double vb = sbb - sb * sb / n;
+  if (va <= 0.0 || vb <= 0.0) {
+    return util::Status::InvalidArgument("zero variance in ranks");
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace llm::eval

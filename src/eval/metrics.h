@@ -1,0 +1,61 @@
+// Evaluation metrics: language-model perplexity (Eq. 3), masked next-token
+// accuracy, and confidence calibration (paper §8, "LLMs (mostly) know what
+// they know" [65]): expected calibration error and reliability bins.
+#ifndef TFMR_EVAL_METRICS_H_
+#define TFMR_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "core/tensor.h"
+#include "util/status.h"
+
+namespace llm::eval {
+
+/// Fraction of rows where argmax(logits) == target, skipping rows with
+/// target == ignore_index. logits: [N, V].
+double MaskedAccuracy(const core::Tensor& logits,
+                      const std::vector<int64_t>& targets,
+                      int64_t ignore_index = -1);
+
+/// Mean NLL (nats) of the targets under softmax(logits), skipping
+/// ignore_index rows. This duplicates the loss op without building a graph
+/// (pure evaluation).
+double MaskedCrossEntropy(const core::Tensor& logits,
+                          const std::vector<int64_t>& targets,
+                          int64_t ignore_index = -1);
+
+/// One (confidence, correctness) observation for calibration analysis.
+struct CalibrationPoint {
+  double confidence = 0.0;  // model's probability on its argmax token
+  bool correct = false;
+};
+
+/// Extracts calibration points from logits/targets (ignoring masked rows).
+std::vector<CalibrationPoint> CalibrationPoints(
+    const core::Tensor& logits, const std::vector<int64_t>& targets,
+    int64_t ignore_index = -1);
+
+struct ReliabilityBin {
+  double bin_lo = 0.0, bin_hi = 0.0;
+  int64_t count = 0;
+  double mean_confidence = 0.0;
+  double accuracy = 0.0;
+};
+
+/// Equal-width reliability bins over [0, 1].
+std::vector<ReliabilityBin> ReliabilityDiagram(
+    const std::vector<CalibrationPoint>& points, int num_bins = 10);
+
+/// Expected calibration error: sum over bins of
+/// |accuracy - confidence| * bin_fraction.
+double ExpectedCalibrationError(const std::vector<CalibrationPoint>& points,
+                                int num_bins = 10);
+
+/// Spearman rank correlation between two equal-length vectors (average
+/// ranks for ties). Used by the structural-probe evaluation (§7).
+util::StatusOr<double> SpearmanCorrelation(const std::vector<double>& a,
+                                           const std::vector<double>& b);
+
+}  // namespace llm::eval
+
+#endif  // TFMR_EVAL_METRICS_H_

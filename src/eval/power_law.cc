@@ -1,0 +1,207 @@
+#include "eval/power_law.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace llm::eval {
+
+util::StatusOr<PowerLawFit> FitPowerLaw(const std::vector<double>& x,
+                                        const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return util::Status::InvalidArgument("x and y length mismatch");
+  }
+  if (x.size() < 2) {
+    return util::Status::InvalidArgument("need at least 2 points");
+  }
+  const size_t n = x.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (x[i] <= 0.0 || y[i] <= 0.0) {
+      return util::Status::InvalidArgument("power-law fit needs positive data");
+    }
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-12) {
+    return util::Status::InvalidArgument("degenerate x values");
+  }
+  PowerLawFit fit;
+  fit.b = (dn * sxy - sx * sy) / denom;
+  const double intercept = (sy - fit.b * sx) / dn;
+  fit.a = std::exp(intercept);
+  const double ss_tot = syy - sy * sy / dn;
+  double ss_res = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double pred = intercept + fit.b * std::log(x[i]);
+    const double r = std::log(y[i]) - pred;
+    ss_res += r * r;
+  }
+  fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+util::StatusOr<PowerLawFit> FitPowerLawWithFloor(
+    const std::vector<double>& x, const std::vector<double>& y,
+    double floor) {
+  std::vector<double> adjusted;
+  adjusted.reserve(y.size());
+  for (double v : y) {
+    if (v <= floor) {
+      return util::Status::InvalidArgument(
+          "observation at or below the loss floor");
+    }
+    adjusted.push_back(v - floor);
+  }
+  return FitPowerLaw(x, adjusted);
+}
+
+std::vector<double> NelderMead(
+    const std::function<double(const std::vector<double>&)>& objective,
+    std::vector<double> initial, const NelderMeadOptions& options) {
+  const size_t n = initial.size();
+  LLM_CHECK_GT(n, 0u);
+
+  struct Vertex {
+    std::vector<double> x;
+    double f;
+  };
+  std::vector<Vertex> simplex;
+  simplex.reserve(n + 1);
+  simplex.push_back({initial, objective(initial)});
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> v = initial;
+    v[i] += options.initial_step;
+    simplex.push_back({v, objective(v)});
+  }
+
+  auto sort_simplex = [&] {
+    std::sort(simplex.begin(), simplex.end(),
+              [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+  };
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    sort_simplex();
+    if (simplex.back().f - simplex.front().f < options.tolerance) break;
+
+    // Centroid of all but the worst.
+    std::vector<double> centroid(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) centroid[j] += simplex[i].x[j];
+    }
+    for (auto& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double t) {
+      std::vector<double> v(n);
+      for (size_t j = 0; j < n; ++j) {
+        v[j] = centroid[j] + t * (simplex.back().x[j] - centroid[j]);
+      }
+      return v;
+    };
+
+    const std::vector<double> reflected = blend(-1.0);
+    const double fr = objective(reflected);
+    if (fr < simplex.front().f) {
+      const std::vector<double> expanded = blend(-2.0);
+      const double fe = objective(expanded);
+      simplex.back() = fe < fr ? Vertex{expanded, fe} : Vertex{reflected, fr};
+    } else if (fr < simplex[n - 1].f) {
+      simplex.back() = {reflected, fr};
+    } else {
+      const std::vector<double> contracted = blend(0.5);
+      const double fc = objective(contracted);
+      if (fc < simplex.back().f) {
+        simplex.back() = {contracted, fc};
+      } else {
+        // Shrink toward the best.
+        for (size_t i = 1; i <= n; ++i) {
+          for (size_t j = 0; j < n; ++j) {
+            simplex[i].x[j] =
+                simplex[0].x[j] + 0.5 * (simplex[i].x[j] - simplex[0].x[j]);
+          }
+          simplex[i].f = objective(simplex[i].x);
+        }
+      }
+    }
+  }
+  sort_simplex();
+  return simplex.front().x;
+}
+
+double AnsatzLoss(const AnsatzFit& fit, double params, double data) {
+  const double term_p =
+      std::pow(fit.pc / params, fit.alpha_p / fit.alpha_d);
+  const double term_d = fit.dc / data;
+  return fit.floor + std::pow(term_p + term_d, fit.alpha_d);
+}
+
+util::StatusOr<AnsatzFit> FitAnsatz(const std::vector<ScalingPoint>& points) {
+  if (points.size() < 5) {
+    return util::Status::InvalidArgument(
+        "need >= 5 (P, D, loss) points for a 5-parameter fit");
+  }
+  double min_loss = points[0].loss;
+  for (const auto& p : points) {
+    if (p.params <= 0 || p.data <= 0 || p.loss <= 0) {
+      return util::Status::InvalidArgument("non-positive observation");
+    }
+    min_loss = std::min(min_loss, p.loss);
+  }
+
+  // Parameters: log Pc, log Dc, log alphaP, log alphaD, floor fraction
+  // (floor = sigmoid(t) * min_loss keeps the floor below every point).
+  auto unpack = [&](const std::vector<double>& v) {
+    AnsatzFit f;
+    f.pc = std::exp(v[0]);
+    f.dc = std::exp(v[1]);
+    f.alpha_p = std::exp(v[2]);
+    f.alpha_d = std::exp(v[3]);
+    f.floor = min_loss / (1.0 + std::exp(-v[4])) * 0.999;
+    return f;
+  };
+  auto objective = [&](const std::vector<double>& v) {
+    const AnsatzFit f = unpack(v);
+    double sq = 0.0;
+    for (const auto& p : points) {
+      const double pred = AnsatzLoss(f, p.params, p.data);
+      if (!(pred > 0.0) || !std::isfinite(pred)) return 1e18;
+      const double r = std::log(pred) - std::log(p.loss);
+      sq += r * r;
+    }
+    return sq / static_cast<double>(points.size());
+  };
+
+  // Multi-start: the landscape has local minima.
+  std::vector<double> best;
+  double best_f = 1e300;
+  const double starts[][5] = {
+      {std::log(1e4), std::log(1e4), std::log(0.3), std::log(0.3), 0.0},
+      {std::log(1e5), std::log(1e5), std::log(0.1), std::log(0.1), -1.0},
+      {std::log(1e3), std::log(1e5), std::log(0.5), std::log(0.2), 1.0},
+      {std::log(1e6), std::log(1e3), std::log(0.2), std::log(0.5), -2.0},
+  };
+  for (const auto& s : starts) {
+    std::vector<double> init(s, s + 5);
+    NelderMeadOptions opt;
+    opt.max_iterations = 4000;
+    std::vector<double> v = NelderMead(objective, init, opt);
+    const double f = objective(v);
+    if (f < best_f) {
+      best_f = f;
+      best = v;
+    }
+  }
+  AnsatzFit fit = unpack(best);
+  fit.rmse = std::sqrt(best_f);
+  return fit;
+}
+
+}  // namespace llm::eval

@@ -1,0 +1,69 @@
+// Scaling-law fitting (paper §3-4): straight-line fits in log-log space
+// (L ~ a x^b, the Figure 2 panels) and the joint Eq. 4 ansatz
+// L(P, D) = [ (Pc/P)^(alphaP/alphaD) + Dc/D ]^alphaD, fitted by
+// Nelder-Mead on log-parameters.
+#ifndef TFMR_EVAL_POWER_LAW_H_
+#define TFMR_EVAL_POWER_LAW_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/status.h"
+
+namespace llm::eval {
+
+struct PowerLawFit {
+  double a = 0.0;   // prefactor
+  double b = 0.0;   // exponent
+  double r2 = 0.0;  // R^2 of the log-log regression
+};
+
+/// Least squares of log y on log x. All x, y must be positive; needs >= 2
+/// points.
+util::StatusOr<PowerLawFit> FitPowerLaw(const std::vector<double>& x,
+                                        const std::vector<double>& y);
+
+/// Optionally subtract an irreducible-loss floor first:
+/// y = floor + a x^b, with `floor` given (e.g. the entropy of the
+/// generating PCFG). Points with y <= floor are rejected.
+util::StatusOr<PowerLawFit> FitPowerLawWithFloor(
+    const std::vector<double>& x, const std::vector<double>& y,
+    double floor);
+
+/// Generic Nelder-Mead simplex minimizer (no derivatives).
+struct NelderMeadOptions {
+  int max_iterations = 2000;
+  double tolerance = 1e-10;
+  double initial_step = 0.5;
+};
+std::vector<double> NelderMead(
+    const std::function<double(const std::vector<double>&)>& objective,
+    std::vector<double> initial, const NelderMeadOptions& options = {});
+
+/// One (P, D, loss) observation for the joint fit.
+struct ScalingPoint {
+  double params = 0.0;
+  double data = 0.0;
+  double loss = 0.0;
+};
+
+struct AnsatzFit {
+  double pc = 0.0;
+  double dc = 0.0;
+  double alpha_p = 0.0;
+  double alpha_d = 0.0;
+  /// Irreducible loss floor added to the ansatz (fitted).
+  double floor = 0.0;
+  double rmse = 0.0;  // in log-loss space
+};
+
+/// Eq. 4 evaluated at (P, D).
+double AnsatzLoss(const AnsatzFit& fit, double params, double data);
+
+/// Fits Eq. 4 (plus a constant floor, since toy losses do not approach 0)
+/// to the observations by Nelder-Mead over log-parameters.
+util::StatusOr<AnsatzFit> FitAnsatz(const std::vector<ScalingPoint>& points);
+
+}  // namespace llm::eval
+
+#endif  // TFMR_EVAL_POWER_LAW_H_

@@ -1,0 +1,101 @@
+#include "eval/rouge.h"
+
+#include <algorithm>
+#include <map>
+
+namespace llm::eval {
+
+namespace {
+
+using NgramCounts = std::map<std::vector<int64_t>, int64_t>;
+
+NgramCounts CountNgrams(const std::vector<int64_t>& tokens, int n) {
+  NgramCounts counts;
+  if (static_cast<int>(tokens.size()) < n) return counts;
+  for (size_t i = 0; i + static_cast<size_t>(n) <= tokens.size(); ++i) {
+    ++counts[std::vector<int64_t>(tokens.begin() + static_cast<ptrdiff_t>(i),
+                                  tokens.begin() +
+                                      static_cast<ptrdiff_t>(i) + n)];
+  }
+  return counts;
+}
+
+RougeScore FromCounts(int64_t matches, int64_t candidate_total,
+                      int64_t reference_total) {
+  RougeScore s;
+  s.precision = candidate_total > 0
+                    ? static_cast<double>(matches) / candidate_total
+                    : 0.0;
+  s.recall = reference_total > 0
+                 ? static_cast<double>(matches) / reference_total
+                 : 0.0;
+  s.f1 = (s.precision + s.recall) > 0
+             ? 2.0 * s.precision * s.recall / (s.precision + s.recall)
+             : 0.0;
+  return s;
+}
+
+}  // namespace
+
+util::StatusOr<RougeScore> RougeN(const std::vector<int64_t>& candidate,
+                                  const std::vector<int64_t>& reference,
+                                  int n) {
+  return RougeN(candidate, std::vector<std::vector<int64_t>>{reference}, n);
+}
+
+util::StatusOr<RougeScore> RougeN(
+    const std::vector<int64_t>& candidate,
+    const std::vector<std::vector<int64_t>>& references, int n) {
+  if (n < 1) return util::Status::InvalidArgument("n must be >= 1");
+  if (references.empty()) {
+    return util::Status::InvalidArgument("need at least one reference");
+  }
+  if (candidate.empty() && references.size() == 1 &&
+      references[0].empty()) {
+    return util::Status::InvalidArgument("both sequences empty");
+  }
+  const NgramCounts cand = CountNgrams(candidate, n);
+  int64_t candidate_total = 0;
+  for (const auto& [ng, c] : cand) candidate_total += c;
+
+  int64_t matches = 0;
+  int64_t reference_total = 0;
+  // Clip each candidate n-gram count against its max count in any single
+  // reference.
+  std::vector<NgramCounts> ref_counts;
+  ref_counts.reserve(references.size());
+  for (const auto& r : references) {
+    ref_counts.push_back(CountNgrams(r, n));
+    for (const auto& [ng, c] : ref_counts.back()) reference_total += c;
+  }
+  for (const auto& [ng, c] : cand) {
+    int64_t best = 0;
+    for (const auto& rc : ref_counts) {
+      auto it = rc.find(ng);
+      if (it != rc.end()) best = std::max(best, it->second);
+    }
+    matches += std::min(c, best);
+  }
+  return FromCounts(matches, candidate_total, reference_total);
+}
+
+util::StatusOr<RougeScore> RougeL(const std::vector<int64_t>& candidate,
+                                  const std::vector<int64_t>& reference) {
+  if (candidate.empty() && reference.empty()) {
+    return util::Status::InvalidArgument("both sequences empty");
+  }
+  const size_t m = candidate.size(), r = reference.size();
+  std::vector<std::vector<int64_t>> lcs(m + 1,
+                                        std::vector<int64_t>(r + 1, 0));
+  for (size_t i = 1; i <= m; ++i) {
+    for (size_t j = 1; j <= r; ++j) {
+      lcs[i][j] = candidate[i - 1] == reference[j - 1]
+                      ? lcs[i - 1][j - 1] + 1
+                      : std::max(lcs[i - 1][j], lcs[i][j - 1]);
+    }
+  }
+  return FromCounts(lcs[m][r], static_cast<int64_t>(m),
+                    static_cast<int64_t>(r));
+}
+
+}  // namespace llm::eval

@@ -1,0 +1,40 @@
+// ROUGE-N text-overlap metrics (paper §4: "If the answer is freeform
+// text, one can use text comparison metrics such as the ROUGE score").
+// Computed over token-id sequences: clipped n-gram precision, recall, and
+// F1 of a candidate against one or more references.
+#ifndef TFMR_EVAL_ROUGE_H_
+#define TFMR_EVAL_ROUGE_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace llm::eval {
+
+struct RougeScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// ROUGE-N of `candidate` against a single `reference`. n >= 1; sequences
+/// shorter than n score 0 (with OK status) unless both are empty, which is
+/// InvalidArgument.
+util::StatusOr<RougeScore> RougeN(const std::vector<int64_t>& candidate,
+                                  const std::vector<int64_t>& reference,
+                                  int n);
+
+/// Multi-reference variant: per-ngram match counts are clipped against the
+/// best single reference (standard ROUGE practice); recall uses the total
+/// reference n-gram count.
+util::StatusOr<RougeScore> RougeN(
+    const std::vector<int64_t>& candidate,
+    const std::vector<std::vector<int64_t>>& references, int n);
+
+/// Longest-common-subsequence F-measure (ROUGE-L).
+util::StatusOr<RougeScore> RougeL(const std::vector<int64_t>& candidate,
+                                  const std::vector<int64_t>& reference);
+
+}  // namespace llm::eval
+
+#endif  // TFMR_EVAL_ROUGE_H_

@@ -1,0 +1,85 @@
+#include "eval/temperature_scaling.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace llm::eval {
+
+double NllAtTemperature(const core::Tensor& logits,
+                        const std::vector<int64_t>& targets, double t,
+                        int64_t ignore_index) {
+  LLM_CHECK_EQ(logits.ndim(), 2);
+  LLM_CHECK_GT(t, 0.0);
+  const int64_t n = logits.dim(0), v = logits.dim(1);
+  LLM_CHECK_EQ(static_cast<int64_t>(targets.size()), n);
+  double total = 0.0;
+  int64_t counted = 0;
+  for (int64_t r = 0; r < n; ++r) {
+    const int64_t target = targets[static_cast<size_t>(r)];
+    if (target == ignore_index) continue;
+    LLM_CHECK_GE(target, 0);
+    LLM_CHECK_LT(target, v);
+    const float* row = logits.data() + r * v;
+    double maxv = row[0];
+    for (int64_t c = 1; c < v; ++c) maxv = std::max<double>(maxv, row[c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < v; ++c) {
+      sum += std::exp((row[c] - maxv) / t);
+    }
+    total += -((row[target] - maxv) / t - std::log(sum));
+    ++counted;
+  }
+  LLM_CHECK_GT(counted, 0);
+  return total / static_cast<double>(counted);
+}
+
+util::StatusOr<TemperatureFit> FitTemperature(
+    const core::Tensor& logits, const std::vector<int64_t>& targets,
+    int64_t ignore_index, double t_lo, double t_hi) {
+  if (logits.ndim() != 2) {
+    return util::Status::InvalidArgument("logits must be [N, V]");
+  }
+  if (t_lo <= 0.0 || t_hi <= t_lo) {
+    return util::Status::InvalidArgument("need 0 < t_lo < t_hi");
+  }
+  bool any = false;
+  for (int64_t t : targets) {
+    if (t != ignore_index) any = true;
+  }
+  if (!any) return util::Status::InvalidArgument("all targets ignored");
+
+  // Golden-section search in log-temperature (NLL is unimodal in T).
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = std::log(t_lo), b = std::log(t_hi);
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  auto nll = [&](double log_t) {
+    return NllAtTemperature(logits, targets, std::exp(log_t),
+                            ignore_index);
+  };
+  double fc = nll(c), fd = nll(d);
+  for (int iter = 0; iter < 80 && (b - a) > 1e-7; ++iter) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = nll(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = nll(d);
+    }
+  }
+  TemperatureFit fit;
+  fit.temperature = std::exp(0.5 * (a + b));
+  fit.nll_before = NllAtTemperature(logits, targets, 1.0, ignore_index);
+  fit.nll_after =
+      NllAtTemperature(logits, targets, fit.temperature, ignore_index);
+  return fit;
+}
+
+}  // namespace llm::eval

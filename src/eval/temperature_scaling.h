@@ -1,0 +1,36 @@
+// Temperature scaling — the standard post-hoc calibration method for the
+// §8 confidence problem: fit a single scalar T on held-out data so that
+// softmax(logits / T) minimizes NLL, then report probabilities at that
+// temperature. One parameter, preserves argmax, typically removes most
+// over/under-confidence (Guo et al., 2017; the practical complement to
+// Kadavath et al. [65]).
+#ifndef TFMR_EVAL_TEMPERATURE_SCALING_H_
+#define TFMR_EVAL_TEMPERATURE_SCALING_H_
+
+#include <vector>
+
+#include "core/tensor.h"
+#include "util/status.h"
+
+namespace llm::eval {
+
+struct TemperatureFit {
+  double temperature = 1.0;
+  double nll_before = 0.0;  // at T = 1
+  double nll_after = 0.0;   // at the fitted T
+};
+
+/// Mean NLL of `targets` under softmax(logits / T), skipping ignore rows.
+double NllAtTemperature(const core::Tensor& logits,
+                        const std::vector<int64_t>& targets, double t,
+                        int64_t ignore_index = -1);
+
+/// Fits T in [t_lo, t_hi] by golden-section search on validation NLL
+/// (the NLL is unimodal in T for fixed logits). logits: [N, V].
+util::StatusOr<TemperatureFit> FitTemperature(
+    const core::Tensor& logits, const std::vector<int64_t>& targets,
+    int64_t ignore_index = -1, double t_lo = 0.05, double t_hi = 20.0);
+
+}  // namespace llm::eval
+
+#endif  // TFMR_EVAL_TEMPERATURE_SCALING_H_

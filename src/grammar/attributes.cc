@@ -1,0 +1,66 @@
+#include "grammar/attributes.h"
+
+#include <cctype>
+
+namespace llm::grammar {
+
+namespace {
+
+bool IsNumberLiteral(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+util::StatusOr<double> EvalNode(
+    const Grammar& grammar, const Grammar::TreeNode& node,
+    const std::map<std::string, double>& bindings) {
+  if (node.is_terminal) {
+    const std::string& name = grammar.TerminalName(node.id);
+    if (IsNumberLiteral(name)) return std::stod(name);
+    auto it = bindings.find(name);
+    if (it == bindings.end()) {
+      return util::Status::InvalidArgument("unbound variable: " + name);
+    }
+    return it->second;
+  }
+
+  const auto& children = node.children;
+  if (children.size() == 1) {
+    // Unit rule: EXPR -> TERM, TERM -> VALUE, VALUE -> literal.
+    return EvalNode(grammar, *children[0], bindings);
+  }
+  if (children.size() == 3) {
+    // Either "( EXPR )" or "lhs op rhs".
+    const Grammar::TreeNode& mid = *children[1];
+    if (children[0]->is_terminal &&
+        grammar.TerminalName(children[0]->id) == "(") {
+      return EvalNode(grammar, mid, bindings);
+    }
+    if (mid.is_terminal) {
+      const std::string& op = grammar.TerminalName(mid.id);
+      LLM_ASSIGN_OR_RETURN(double lhs,
+                           EvalNode(grammar, *children[0], bindings));
+      LLM_ASSIGN_OR_RETURN(double rhs,
+                           EvalNode(grammar, *children[2], bindings));
+      if (op == "+") return lhs + rhs;
+      if (op == "*") return lhs * rhs;
+      if (op == "-") return lhs - rhs;
+      return util::Status::InvalidArgument("unknown operator: " + op);
+    }
+  }
+  return util::Status::InvalidArgument(
+      "tree shape does not match arithmetic rules");
+}
+
+}  // namespace
+
+util::StatusOr<double> EvaluateArithmetic(
+    const Grammar& grammar, const Grammar::TreeNode& tree,
+    const std::map<std::string, double>& bindings) {
+  return EvalNode(grammar, tree, bindings);
+}
+
+}  // namespace llm::grammar

@@ -1,0 +1,29 @@
+// Attribute evaluation over arithmetic parse trees — the Appendix A
+// point that "to use the grammar to do arithmetic, we would be much
+// better off with a framework in which the token VALUE carries an
+// associated numerical or symbolic value. This can be done with the
+// framework of attribute grammars." Each node synthesizes a numeric
+// attribute from its children: VALUE leaves read literals or variable
+// bindings, TERM/EXPR nodes combine children through + and *.
+#ifndef TFMR_GRAMMAR_ATTRIBUTES_H_
+#define TFMR_GRAMMAR_ATTRIBUTES_H_
+
+#include <map>
+#include <string>
+
+#include "grammar/cfg.h"
+
+namespace llm::grammar {
+
+/// Evaluates a parse/derivation tree of the arithmetic grammar (Fig. 3).
+/// `bindings` supplies values for variable terminals ("x", "y"); digit
+/// terminals evaluate to themselves. Fails with InvalidArgument on an
+/// unbound variable or a tree whose shape does not match the arithmetic
+/// rule forms (binary op, parenthesized, unit, literal).
+util::StatusOr<double> EvaluateArithmetic(
+    const Grammar& grammar, const Grammar::TreeNode& tree,
+    const std::map<std::string, double>& bindings = {});
+
+}  // namespace llm::grammar
+
+#endif  // TFMR_GRAMMAR_ATTRIBUTES_H_

@@ -1,0 +1,252 @@
+#include "grammar/cfg.h"
+
+#include <cmath>
+#include <functional>
+#include <set>
+
+namespace llm::grammar {
+
+util::Status Grammar::AddRule(const std::string& lhs,
+                              const std::vector<std::string>& rhs,
+                              double weight) {
+  if (finalized_) {
+    return util::Status::FailedPrecondition("grammar already finalized");
+  }
+  if (lhs.empty()) return util::Status::InvalidArgument("empty lhs");
+  if (rhs.empty()) {
+    return util::Status::InvalidArgument("empty rhs (epsilon rules "
+                                         "unsupported): " + lhs);
+  }
+  if (weight <= 0.0) {
+    return util::Status::InvalidArgument("rule weight must be positive");
+  }
+  pending_.push_back({lhs, rhs, weight});
+  return util::Status::OK();
+}
+
+util::Status Grammar::Finalize(const std::string& start_symbol) {
+  if (finalized_) {
+    return util::Status::FailedPrecondition("grammar already finalized");
+  }
+  if (pending_.empty()) {
+    return util::Status::FailedPrecondition("no rules");
+  }
+  // Every lhs is a nonterminal.
+  std::set<std::string> lhs_names;
+  for (const auto& r : pending_) lhs_names.insert(r.lhs);
+  if (!lhs_names.count(start_symbol)) {
+    return util::Status::InvalidArgument("start symbol has no rules: " +
+                                         start_symbol);
+  }
+  for (const auto& name : lhs_names) {
+    nonterminal_ids_.emplace(name, num_nonterminals());
+    nonterminal_names_.push_back(name);
+  }
+  // Everything else on a rhs is a terminal.
+  for (const auto& r : pending_) {
+    for (const auto& s : r.rhs) {
+      if (!lhs_names.count(s) && !terminal_ids_.count(s)) {
+        terminal_ids_.emplace(s, num_terminals());
+        terminal_names_.push_back(s);
+      }
+    }
+  }
+  // Compile rules with per-lhs normalized probabilities.
+  std::vector<double> lhs_weight(nonterminal_names_.size(), 0.0);
+  for (const auto& r : pending_) {
+    lhs_weight[static_cast<size_t>(nonterminal_ids_.at(r.lhs))] += r.weight;
+  }
+  rules_by_lhs_.assign(nonterminal_names_.size(), {});
+  for (const auto& r : pending_) {
+    Rule rule;
+    rule.lhs = nonterminal_ids_.at(r.lhs);
+    for (const auto& s : r.rhs) {
+      auto it = nonterminal_ids_.find(s);
+      if (it != nonterminal_ids_.end()) {
+        rule.rhs.push_back({false, it->second});
+      } else {
+        rule.rhs.push_back({true, terminal_ids_.at(s)});
+      }
+    }
+    rule.prob = r.weight / lhs_weight[static_cast<size_t>(rule.lhs)];
+    rules_by_lhs_[static_cast<size_t>(rule.lhs)].push_back(
+        static_cast<int>(rules_.size()));
+    rules_.push_back(std::move(rule));
+  }
+  start_ = nonterminal_ids_.at(start_symbol);
+  pending_.clear();
+  finalized_ = true;
+  return util::Status::OK();
+}
+
+const std::vector<int>& Grammar::RulesFor(int lhs) const {
+  LLM_CHECK(finalized_);
+  LLM_CHECK_GE(lhs, 0);
+  LLM_CHECK_LT(lhs, num_nonterminals());
+  return rules_by_lhs_[static_cast<size_t>(lhs)];
+}
+
+const std::string& Grammar::NonterminalName(int id) const {
+  LLM_CHECK_GE(id, 0);
+  LLM_CHECK_LT(id, num_nonterminals());
+  return nonterminal_names_[static_cast<size_t>(id)];
+}
+
+const std::string& Grammar::TerminalName(int id) const {
+  LLM_CHECK_GE(id, 0);
+  LLM_CHECK_LT(id, num_terminals());
+  return terminal_names_[static_cast<size_t>(id)];
+}
+
+int Grammar::TerminalId(const std::string& name) const {
+  auto it = terminal_ids_.find(name);
+  return it == terminal_ids_.end() ? -1 : it->second;
+}
+
+int Grammar::NonterminalId(const std::string& name) const {
+  auto it = nonterminal_ids_.find(name);
+  return it == nonterminal_ids_.end() ? -1 : it->second;
+}
+
+util::Status Grammar::ExpandNode(TreeNode* node, util::Rng* rng, int depth,
+                                 int max_depth) const {
+  if (depth > max_depth) {
+    return util::Status::FailedPrecondition("sampling exceeded max depth");
+  }
+  const auto& candidates = RulesFor(node->id);
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  for (int ri : candidates) {
+    weights.push_back(rules_[static_cast<size_t>(ri)].prob);
+  }
+  const int rule_index =
+      candidates[rng->Categorical(weights)];
+  node->rule_index = rule_index;
+  const Rule& rule = rules_[static_cast<size_t>(rule_index)];
+  for (const auto& sym : rule.rhs) {
+    auto child = std::make_unique<TreeNode>();
+    child->is_terminal = sym.is_terminal;
+    child->id = sym.id;
+    if (!sym.is_terminal) {
+      LLM_RETURN_IF_ERROR(ExpandNode(child.get(), rng, depth + 1, max_depth));
+    }
+    node->children.push_back(std::move(child));
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<std::unique_ptr<Grammar::TreeNode>> Grammar::SampleTree(
+    util::Rng* rng, int max_depth) const {
+  LLM_CHECK(finalized_);
+  LLM_CHECK(rng != nullptr);
+  auto root = std::make_unique<TreeNode>();
+  root->is_terminal = false;
+  root->id = start_;
+  util::Status s = ExpandNode(root.get(), rng, 0, max_depth);
+  if (!s.ok()) return s;
+  return root;
+}
+
+std::vector<int> Grammar::TreeLeaves(const TreeNode& root) {
+  std::vector<int> out;
+  std::function<void(const TreeNode&)> visit = [&](const TreeNode& n) {
+    if (n.is_terminal) {
+      out.push_back(n.id);
+      return;
+    }
+    for (const auto& c : n.children) visit(*c);
+  };
+  visit(root);
+  return out;
+}
+
+std::string Grammar::TreeYield(const TreeNode& root) const {
+  std::string out;
+  for (int t : TreeLeaves(root)) {
+    if (!out.empty()) out += ' ';
+    out += TerminalName(t);
+  }
+  return out;
+}
+
+double Grammar::TreeLogProb(const TreeNode& root) const {
+  double logp = 0.0;
+  std::function<void(const TreeNode&)> visit = [&](const TreeNode& n) {
+    if (n.is_terminal) return;
+    LLM_CHECK_GE(n.rule_index, 0);
+    logp += std::log(rules_[static_cast<size_t>(n.rule_index)].prob);
+    for (const auto& c : n.children) visit(*c);
+  };
+  visit(root);
+  return logp;
+}
+
+std::string Grammar::TreeToString(const TreeNode& root) const {
+  if (root.is_terminal) return TerminalName(root.id);
+  std::string out = "(" + NonterminalName(root.id);
+  for (const auto& c : root.children) {
+    out += ' ';
+    out += TreeToString(*c);
+  }
+  out += ')';
+  return out;
+}
+
+std::vector<std::vector<int>> Grammar::LeafPairDistances(
+    const TreeNode& root) {
+  // Collect, for each leaf, the path of node pointers from root to leaf;
+  // distance(i, j) = depth_i + depth_j - 2 * depth(LCA).
+  std::vector<std::vector<const TreeNode*>> paths;
+  std::vector<const TreeNode*> current;
+  std::function<void(const TreeNode&)> visit = [&](const TreeNode& n) {
+    current.push_back(&n);
+    if (n.is_terminal) {
+      paths.push_back(current);
+    } else {
+      for (const auto& c : n.children) visit(*c);
+    }
+    current.pop_back();
+  };
+  visit(root);
+
+  const size_t L = paths.size();
+  std::vector<std::vector<int>> dist(L, std::vector<int>(L, 0));
+  for (size_t i = 0; i < L; ++i) {
+    for (size_t j = i + 1; j < L; ++j) {
+      size_t common = 0;
+      const size_t limit = std::min(paths[i].size(), paths[j].size());
+      while (common < limit && paths[i][common] == paths[j][common]) {
+        ++common;
+      }
+      const int d = static_cast<int>((paths[i].size() - common) +
+                                     (paths[j].size() - common));
+      dist[i][j] = d;
+      dist[j][i] = d;
+    }
+  }
+  return dist;
+}
+
+Grammar ArithmeticGrammar() {
+  // Figure 3 of the paper, with weights chosen so expected expression
+  // length is finite (recursion probability < 1).
+  Grammar g;
+  auto add = [&](const std::string& lhs,
+                 const std::vector<std::string>& rhs, double w) {
+    LLM_CHECK(g.AddRule(lhs, rhs, w).ok());
+  };
+  add("EXPR", {"TERM", "+", "EXPR"}, 0.25);
+  add("EXPR", {"(", "EXPR", ")"}, 0.10);
+  add("EXPR", {"TERM"}, 0.65);
+  add("TERM", {"VALUE", "*", "TERM"}, 0.25);
+  add("TERM", {"(", "EXPR", ")"}, 0.10);
+  add("TERM", {"VALUE"}, 0.65);
+  add("VALUE", {"x"}, 1.0);
+  add("VALUE", {"y"}, 1.0);
+  add("VALUE", {"0"}, 1.0);
+  add("VALUE", {"1"}, 1.0);
+  LLM_CHECK(g.Finalize("EXPR").ok());
+  return g;
+}
+
+}  // namespace llm::grammar

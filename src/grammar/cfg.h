@@ -1,0 +1,129 @@
+// Context-free and probabilistic context-free grammars (paper Appendix A,
+// Fig. 3). Grammars are authored with string symbols, finalized into integer
+// ids, sampled ancestrally (PCFG generation: the synthetic corpora of §4),
+// and expose gold parse trees with leaf-to-leaf tree distances (the target
+// of the §7 structural probe).
+#ifndef TFMR_GRAMMAR_CFG_H_
+#define TFMR_GRAMMAR_CFG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace llm::grammar {
+
+/// One right-hand-side symbol: terminal or nonterminal id.
+struct RhsSymbol {
+  bool is_terminal = false;
+  int id = -1;
+
+  bool operator==(const RhsSymbol& o) const {
+    return is_terminal == o.is_terminal && id == o.id;
+  }
+};
+
+/// A production rule with probability (normalized per lhs at Finalize).
+struct Rule {
+  int lhs = -1;
+  std::vector<RhsSymbol> rhs;
+  double prob = 0.0;
+};
+
+class Grammar {
+ public:
+  /// A node of a derivation tree. Terminal nodes have no children;
+  /// nonterminal nodes record the rule used.
+  struct TreeNode {
+    bool is_terminal = false;
+    int id = -1;
+    int rule_index = -1;  // -1 for terminals
+    std::vector<std::unique_ptr<TreeNode>> children;
+  };
+
+  Grammar() = default;
+
+  /// Adds a rule by symbol names; weight is an unnormalized probability.
+  /// Symbols that ever appear as an lhs are nonterminals; the rest are
+  /// terminals (classified at Finalize). Empty rhs is rejected.
+  util::Status AddRule(const std::string& lhs,
+                       const std::vector<std::string>& rhs,
+                       double weight = 1.0);
+
+  /// Classifies symbols, normalizes probabilities per lhs, and sets the
+  /// start symbol. No rules may be added afterwards.
+  util::Status Finalize(const std::string& start_symbol);
+
+  bool finalized() const { return finalized_; }
+  int start() const { return start_; }
+  int num_nonterminals() const {
+    return static_cast<int>(nonterminal_names_.size());
+  }
+  int num_terminals() const {
+    return static_cast<int>(terminal_names_.size());
+  }
+  const std::vector<Rule>& rules() const { return rules_; }
+  /// Indices into rules() with the given lhs.
+  const std::vector<int>& RulesFor(int lhs) const;
+
+  const std::string& NonterminalName(int id) const;
+  const std::string& TerminalName(int id) const;
+  /// -1 if the name is not a terminal/nonterminal.
+  int TerminalId(const std::string& name) const;
+  int NonterminalId(const std::string& name) const;
+
+  /// Ancestrally samples a derivation tree from the start symbol.
+  /// Fails with FailedPrecondition if depth exceeds max_depth (runaway
+  /// recursion in an expansive grammar).
+  util::StatusOr<std::unique_ptr<TreeNode>> SampleTree(util::Rng* rng,
+                                                       int max_depth = 64)
+      const;
+
+  /// Terminal ids at the leaves, left to right.
+  static std::vector<int> TreeLeaves(const TreeNode& root);
+
+  /// Leaf terminal names joined with spaces.
+  std::string TreeYield(const TreeNode& root) const;
+
+  /// log P(tree) = sum of log rule probabilities used.
+  double TreeLogProb(const TreeNode& root) const;
+
+  /// Bracketed s-expression of a tree, e.g. "(EXPR (TERM y) + (EXPR ...))".
+  std::string TreeToString(const TreeNode& root) const;
+
+  /// Pairwise path lengths (#edges) between leaves in the tree — the gold
+  /// distance matrix for the Hewitt-Manning structural probe (§7).
+  static std::vector<std::vector<int>> LeafPairDistances(
+      const TreeNode& root);
+
+ private:
+  struct PendingRule {
+    std::string lhs;
+    std::vector<std::string> rhs;
+    double weight;
+  };
+
+  util::Status ExpandNode(TreeNode* node, util::Rng* rng, int depth,
+                          int max_depth) const;
+
+  bool finalized_ = false;
+  int start_ = -1;
+  std::vector<PendingRule> pending_;
+  std::vector<Rule> rules_;
+  std::vector<std::vector<int>> rules_by_lhs_;
+  std::vector<std::string> nonterminal_names_;
+  std::vector<std::string> terminal_names_;
+  std::unordered_map<std::string, int> nonterminal_ids_;
+  std::unordered_map<std::string, int> terminal_ids_;
+};
+
+/// The paper's Figure 3 grammar for arithmetic expressions, as a PCFG with
+/// mild probabilities favouring termination.
+Grammar ArithmeticGrammar();
+
+}  // namespace llm::grammar
+
+#endif  // TFMR_GRAMMAR_CFG_H_

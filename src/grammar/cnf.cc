@@ -1,0 +1,407 @@
+#include "grammar/cnf.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+
+namespace llm::grammar {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Intermediate rule form during conversion: rhs of RhsSymbols, any length.
+struct WorkRule {
+  int lhs;
+  std::vector<RhsSymbol> rhs;
+  double prob;
+};
+
+/// Solves (I - U) X = I by Gauss-Jordan; returns false if singular.
+bool InvertIMinusU(std::vector<std::vector<double>> u,
+                   std::vector<std::vector<double>>* inverse) {
+  const size_t n = u.size();
+  std::vector<std::vector<double>> a(n, std::vector<double>(2 * n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      a[i][j] = (i == j ? 1.0 : 0.0) - u[i][j];
+    }
+    a[i][n + i] = 1.0;
+  }
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    const double inv = 1.0 / a[col][col];
+    for (size_t j = 0; j < 2 * n; ++j) a[col][j] *= inv;
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col];
+      if (f == 0.0) continue;
+      for (size_t j = 0; j < 2 * n; ++j) a[r][j] -= f * a[col][j];
+    }
+  }
+  inverse->assign(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) (*inverse)[i][j] = a[i][n + j];
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Status CnfGrammar::Validate(double tol) const {
+  std::vector<double> mass(static_cast<size_t>(num_nonterminals()), 0.0);
+  std::vector<bool> has_rule(static_cast<size_t>(num_nonterminals()), false);
+  for (const auto& r : binary) {
+    mass[static_cast<size_t>(r.lhs)] += r.prob;
+    has_rule[static_cast<size_t>(r.lhs)] = true;
+  }
+  for (const auto& r : lexical) {
+    mass[static_cast<size_t>(r.lhs)] += r.prob;
+    has_rule[static_cast<size_t>(r.lhs)] = true;
+  }
+  for (int a = 0; a < num_nonterminals(); ++a) {
+    if (!has_rule[static_cast<size_t>(a)]) continue;
+    if (std::fabs(mass[static_cast<size_t>(a)] - 1.0) > tol) {
+      return util::Status::Internal(
+          "probability mass for " +
+          nonterminal_names[static_cast<size_t>(a)] + " is " +
+          std::to_string(mass[static_cast<size_t>(a)]));
+    }
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<CnfGrammar> ToCnf(const Grammar& grammar) {
+  if (!grammar.finalized()) {
+    return util::Status::FailedPrecondition("grammar not finalized");
+  }
+
+  CnfGrammar out;
+  // Copy nonterminal/terminal names; fresh nonterminals appended.
+  for (int i = 0; i < grammar.num_nonterminals(); ++i) {
+    out.nonterminal_names.push_back(grammar.NonterminalName(i));
+  }
+  for (int i = 0; i < grammar.num_terminals(); ++i) {
+    out.terminal_names.push_back(grammar.TerminalName(i));
+  }
+  auto fresh_nt = [&](const std::string& name) {
+    out.nonterminal_names.push_back(name);
+    return static_cast<int>(out.nonterminal_names.size()) - 1;
+  };
+
+  // START: wrap so the start symbol never appears on an rhs.
+  const int start0 = fresh_nt("_START");
+  out.start = start0;
+  std::vector<WorkRule> work;
+  work.push_back({start0, {{false, grammar.start()}}, 1.0});
+  for (const auto& r : grammar.rules()) {
+    work.push_back({r.lhs, r.rhs, r.prob});
+  }
+
+  // TERM: lift terminals out of rules with rhs length >= 2.
+  std::map<int, int> lifted;  // terminal id -> preterminal nt
+  for (auto& r : work) {
+    if (r.rhs.size() < 2) continue;
+    for (auto& sym : r.rhs) {
+      if (!sym.is_terminal) continue;
+      auto it = lifted.find(sym.id);
+      int nt;
+      if (it == lifted.end()) {
+        nt = fresh_nt("_T_" + grammar.TerminalName(sym.id));
+        lifted.emplace(sym.id, nt);
+      } else {
+        nt = it->second;
+      }
+      sym = {false, nt};
+    }
+  }
+  std::vector<WorkRule> lifted_rules;
+  for (const auto& [term, nt] : lifted) {
+    lifted_rules.push_back({nt, {{true, term}}, 1.0});
+  }
+  work.insert(work.end(), lifted_rules.begin(), lifted_rules.end());
+
+  // BIN: binarize rhs length >= 3.
+  std::vector<WorkRule> binarized;
+  int aux_counter = 0;
+  for (const auto& r : work) {
+    if (r.rhs.size() <= 2) {
+      binarized.push_back(r);
+      continue;
+    }
+    int current_lhs = r.lhs;
+    double current_prob = r.prob;
+    for (size_t i = 0; i + 2 < r.rhs.size(); ++i) {
+      const int aux = fresh_nt("_BIN" + std::to_string(aux_counter++));
+      binarized.push_back(
+          {current_lhs, {r.rhs[i], {false, aux}}, current_prob});
+      current_lhs = aux;
+      current_prob = 1.0;
+    }
+    binarized.push_back({current_lhs,
+                         {r.rhs[r.rhs.size() - 2], r.rhs.back()},
+                         current_prob});
+  }
+
+  // UNIT: eliminate A -> B (single-nonterminal) rules via closure.
+  const size_t n_nt = out.nonterminal_names.size();
+  std::vector<std::vector<double>> unit(n_nt, std::vector<double>(n_nt, 0.0));
+  std::vector<WorkRule> non_unit;
+  for (const auto& r : binarized) {
+    if (r.rhs.size() == 1 && !r.rhs[0].is_terminal) {
+      unit[static_cast<size_t>(r.lhs)][static_cast<size_t>(r.rhs[0].id)] +=
+          r.prob;
+    } else {
+      non_unit.push_back(r);
+    }
+  }
+  std::vector<std::vector<double>> closure;
+  if (!InvertIMinusU(unit, &closure)) {
+    return util::Status::InvalidArgument(
+        "unit-rule probability mass is not sub-stochastic (I - U singular)");
+  }
+
+  // Final rules: for each A, each non-unit rule B -> gamma, prob
+  // closure[A][B] * P(B -> gamma).
+  std::map<std::pair<int, std::pair<int, int>>, double> bin_acc;
+  std::map<std::pair<int, int>, double> lex_acc;
+  for (size_t a = 0; a < n_nt; ++a) {
+    for (const auto& r : non_unit) {
+      const double c = closure[a][static_cast<size_t>(r.lhs)];
+      if (c < 1e-15) continue;
+      const double p = c * r.prob;
+      if (r.rhs.size() == 2) {
+        bin_acc[{static_cast<int>(a), {r.rhs[0].id, r.rhs[1].id}}] += p;
+      } else {
+        LLM_CHECK(r.rhs[0].is_terminal);
+        lex_acc[{static_cast<int>(a), r.rhs[0].id}] += p;
+      }
+    }
+  }
+  for (const auto& [key, p] : bin_acc) {
+    out.binary.push_back({key.first, key.second.first, key.second.second, p});
+  }
+  for (const auto& [key, p] : lex_acc) {
+    out.lexical.push_back({key.first, key.second, p});
+  }
+  LLM_RETURN_IF_ERROR(out.Validate(1e-6));
+  return out;
+}
+
+namespace {
+
+/// Inside table: beta[(i * n + j) * A]; spans are [i, j] inclusive.
+struct InsideTable {
+  int n = 0;
+  int num_nt = 0;
+  std::vector<double> beta;
+
+  double& at(int i, int j, int a) {
+    return beta[static_cast<size_t>(((i * n) + j) * num_nt + a)];
+  }
+  double get(int i, int j, int a) const {
+    return beta[static_cast<size_t>(((i * n) + j) * num_nt + a)];
+  }
+};
+
+InsideTable ComputeInside(const CnfGrammar& g,
+                          const std::vector<int>& terminals) {
+  InsideTable t;
+  t.n = static_cast<int>(terminals.size());
+  t.num_nt = g.num_nonterminals();
+  t.beta.assign(static_cast<size_t>(t.n * t.n * t.num_nt), 0.0);
+  for (int i = 0; i < t.n; ++i) {
+    for (const auto& r : g.lexical) {
+      if (r.terminal == terminals[static_cast<size_t>(i)]) {
+        t.at(i, i, r.lhs) += r.prob;
+      }
+    }
+  }
+  for (int span = 2; span <= t.n; ++span) {
+    for (int i = 0; i + span <= t.n; ++i) {
+      const int j = i + span - 1;
+      for (const auto& r : g.binary) {
+        double total = 0.0;
+        for (int k = i; k < j; ++k) {
+          total += t.get(i, k, r.left) * t.get(k + 1, j, r.right);
+        }
+        if (total > 0.0) t.at(i, j, r.lhs) += r.prob * total;
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+double InsideLogProb(const CnfGrammar& g, const std::vector<int>& terminals) {
+  LLM_CHECK(!terminals.empty());
+  InsideTable t = ComputeInside(g, terminals);
+  const double p = t.get(0, t.n - 1, g.start);
+  return p > 0.0 ? std::log(p) : kNegInf;
+}
+
+util::StatusOr<double> CorpusCrossEntropy(
+    const CnfGrammar& g, const std::vector<std::vector<int>>& corpus) {
+  double total_logp = 0.0;
+  int64_t total_tokens = 0;
+  for (const auto& sentence : corpus) {
+    const double lp = InsideLogProb(g, sentence);
+    if (lp == kNegInf) {
+      return util::Status::InvalidArgument("underivable sentence in corpus");
+    }
+    total_logp += lp;
+    total_tokens += static_cast<int64_t>(sentence.size());
+  }
+  return -total_logp / static_cast<double>(total_tokens);
+}
+
+util::StatusOr<std::string> ViterbiParse(const CnfGrammar& g,
+                                         const std::vector<int>& terminals) {
+  const int n = static_cast<int>(terminals.size());
+  const int num_nt = g.num_nonterminals();
+  if (n == 0) return util::Status::InvalidArgument("empty sentence");
+
+  struct Back {
+    int rule = -1;   // index into binary; -1 for lexical
+    int split = -1;  // k
+  };
+  std::vector<double> best(static_cast<size_t>(n * n * num_nt), 0.0);
+  std::vector<Back> back(static_cast<size_t>(n * n * num_nt));
+  auto idx = [&](int i, int j, int a) {
+    return static_cast<size_t>(((i * n) + j) * num_nt + a);
+  };
+
+  for (int i = 0; i < n; ++i) {
+    for (const auto& r : g.lexical) {
+      if (r.terminal == terminals[static_cast<size_t>(i)] &&
+          r.prob > best[idx(i, i, r.lhs)]) {
+        best[idx(i, i, r.lhs)] = r.prob;
+        back[idx(i, i, r.lhs)] = {-1, -1};
+      }
+    }
+  }
+  for (int span = 2; span <= n; ++span) {
+    for (int i = 0; i + span <= n; ++i) {
+      const int j = i + span - 1;
+      for (size_t ri = 0; ri < g.binary.size(); ++ri) {
+        const auto& r = g.binary[ri];
+        for (int k = i; k < j; ++k) {
+          const double p = r.prob * best[idx(i, k, r.left)] *
+                           best[idx(k + 1, j, r.right)];
+          if (p > best[idx(i, j, r.lhs)]) {
+            best[idx(i, j, r.lhs)] = p;
+            back[idx(i, j, r.lhs)] = {static_cast<int>(ri), k};
+          }
+        }
+      }
+    }
+  }
+  if (best[idx(0, n - 1, g.start)] <= 0.0) {
+    return util::Status::NotFound("sentence not derivable");
+  }
+
+  std::function<std::string(int, int, int)> render = [&](int a, int i,
+                                                         int j) {
+    const Back& b = back[idx(i, j, a)];
+    std::string s = "(" + g.nonterminal_names[static_cast<size_t>(a)] + " ";
+    if (b.rule < 0) {
+      s += g.terminal_names[static_cast<size_t>(
+          terminals[static_cast<size_t>(i)])];
+    } else {
+      const auto& r = g.binary[static_cast<size_t>(b.rule)];
+      s += render(r.left, i, b.split);
+      s += ' ';
+      s += render(r.right, b.split + 1, j);
+    }
+    s += ')';
+    return s;
+  };
+  return render(g.start, 0, n - 1);
+}
+
+util::StatusOr<EmStats> FitInsideOutside(
+    CnfGrammar* g, const std::vector<std::vector<int>>& corpus,
+    const EmOptions& options) {
+  LLM_CHECK(g != nullptr);
+  LLM_CHECK(!corpus.empty());
+  EmStats stats;
+  const int num_nt = g->num_nonterminals();
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    std::vector<double> bin_counts(g->binary.size(), 0.0);
+    std::vector<double> lex_counts(g->lexical.size(), 0.0);
+    double total_ll = 0.0;
+
+    for (const auto& sentence : corpus) {
+      const int n = static_cast<int>(sentence.size());
+      InsideTable in = ComputeInside(*g, sentence);
+      const double sent_p = in.get(0, n - 1, g->start);
+      if (sent_p <= 0.0) {
+        return util::Status::InvalidArgument(
+            "underivable sentence during EM");
+      }
+      total_ll += std::log(sent_p);
+
+      // Outside pass.
+      std::vector<double> alpha(
+          static_cast<size_t>(n * n * num_nt), 0.0);
+      auto aidx = [&](int i, int j, int a) {
+        return static_cast<size_t>(((i * n) + j) * num_nt + a);
+      };
+      alpha[aidx(0, n - 1, g->start)] = 1.0;
+      for (int span = n; span >= 2; --span) {
+        for (int i = 0; i + span <= n; ++i) {
+          const int j = i + span - 1;
+          for (size_t ri = 0; ri < g->binary.size(); ++ri) {
+            const auto& r = g->binary[ri];
+            const double a_out = alpha[aidx(i, j, r.lhs)];
+            if (a_out == 0.0) continue;
+            for (int k = i; k < j; ++k) {
+              const double bl = in.get(i, k, r.left);
+              const double br = in.get(k + 1, j, r.right);
+              if (bl == 0.0 || br == 0.0) continue;
+              alpha[aidx(i, k, r.left)] += r.prob * a_out * br;
+              alpha[aidx(k + 1, j, r.right)] += r.prob * a_out * bl;
+              bin_counts[ri] += r.prob * a_out * bl * br / sent_p;
+            }
+          }
+        }
+      }
+      for (int i = 0; i < n; ++i) {
+        for (size_t ri = 0; ri < g->lexical.size(); ++ri) {
+          const auto& r = g->lexical[ri];
+          if (r.terminal != sentence[static_cast<size_t>(i)]) continue;
+          lex_counts[ri] += alpha[aidx(i, i, r.lhs)] * r.prob / sent_p;
+        }
+      }
+    }
+    stats.log_likelihood.push_back(total_ll);
+
+    // M-step: normalize per lhs.
+    std::vector<double> lhs_mass(static_cast<size_t>(num_nt), 0.0);
+    for (size_t ri = 0; ri < g->binary.size(); ++ri) {
+      lhs_mass[static_cast<size_t>(g->binary[ri].lhs)] += bin_counts[ri];
+    }
+    for (size_t ri = 0; ri < g->lexical.size(); ++ri) {
+      lhs_mass[static_cast<size_t>(g->lexical[ri].lhs)] += lex_counts[ri];
+    }
+    for (size_t ri = 0; ri < g->binary.size(); ++ri) {
+      const double m = lhs_mass[static_cast<size_t>(g->binary[ri].lhs)];
+      if (m > 0.0) g->binary[ri].prob = bin_counts[ri] / m;
+    }
+    for (size_t ri = 0; ri < g->lexical.size(); ++ri) {
+      const double m = lhs_mass[static_cast<size_t>(g->lexical[ri].lhs)];
+      if (m > 0.0) g->lexical[ri].prob = lex_counts[ri] / m;
+    }
+  }
+  return stats;
+}
+
+}  // namespace llm::grammar

@@ -1,0 +1,84 @@
+// Chomsky-normal-form PCFGs and the Inside-Outside machinery (paper §7 and
+// Appendix A): probability-preserving CNF conversion, the inside algorithm
+// (sentence log-probability), Viterbi CYK parsing, and Inside-Outside EM
+// for learning rule probabilities from a corpus — the "algorithm for
+// learning a grammar from a corpus" the appendix calls for.
+#ifndef TFMR_GRAMMAR_CNF_H_
+#define TFMR_GRAMMAR_CNF_H_
+
+#include <string>
+#include <vector>
+
+#include "grammar/cfg.h"
+
+namespace llm::grammar {
+
+/// A PCFG in Chomsky normal form: only A -> B C and A -> t rules.
+struct CnfGrammar {
+  struct BinaryRule {
+    int lhs, left, right;
+    double prob;
+  };
+  struct LexicalRule {
+    int lhs, terminal;
+    double prob;
+  };
+
+  int start = -1;
+  std::vector<std::string> nonterminal_names;
+  std::vector<std::string> terminal_names;  // ids match the source Grammar
+  std::vector<BinaryRule> binary;
+  std::vector<LexicalRule> lexical;
+
+  int num_nonterminals() const {
+    return static_cast<int>(nonterminal_names.size());
+  }
+  int num_terminals() const {
+    return static_cast<int>(terminal_names.size());
+  }
+
+  /// Checks per-lhs probabilities sum to ~1 (for every lhs with any rule).
+  util::Status Validate(double tol = 1e-6) const;
+};
+
+/// Converts a finalized grammar to CNF preserving the string distribution:
+/// START wrapping, terminal lifting, binarization, and unit-rule
+/// elimination via the (I - U)^(-1) closure. Epsilon rules are already
+/// rejected by Grammar. Fails if the unit-rule matrix is not invertible
+/// (unit-production probability mass >= 1 somewhere).
+util::StatusOr<CnfGrammar> ToCnf(const Grammar& grammar);
+
+/// log P(sentence) under the PCFG (inside algorithm); -infinity if the
+/// sentence is not derivable.
+double InsideLogProb(const CnfGrammar& g, const std::vector<int>& terminals);
+
+/// Mean per-token cross-entropy (nats) over a corpus of sentences — the
+/// ground-truth entropy reference for the scaling-law benches. Fails if
+/// any sentence is underivable.
+util::StatusOr<double> CorpusCrossEntropy(
+    const CnfGrammar& g, const std::vector<std::vector<int>>& corpus);
+
+/// Most probable parse, rendered as a bracketed string over CNF symbols.
+util::StatusOr<std::string> ViterbiParse(const CnfGrammar& g,
+                                         const std::vector<int>& terminals);
+
+struct EmOptions {
+  int iterations = 10;
+};
+
+struct EmStats {
+  /// Total corpus log-likelihood after each iteration (non-decreasing).
+  std::vector<double> log_likelihood;
+};
+
+/// Inside-Outside EM: re-estimates the rule probabilities of `g` in place
+/// to (locally) maximize corpus likelihood. Rule structure is fixed; only
+/// probabilities move. Fails if a sentence is underivable under the
+/// initial grammar.
+util::StatusOr<EmStats> FitInsideOutside(
+    CnfGrammar* g, const std::vector<std::vector<int>>& corpus,
+    const EmOptions& options);
+
+}  // namespace llm::grammar
+
+#endif  // TFMR_GRAMMAR_CNF_H_

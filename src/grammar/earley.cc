@@ -1,0 +1,188 @@
+#include "grammar/earley.h"
+
+#include <set>
+#include <tuple>
+
+#include "text/tokenizer.h"
+
+namespace llm::grammar {
+
+namespace {
+/// One Earley item: position `dot` inside rule `rule`, started at `origin`.
+struct Item {
+  int rule;
+  int dot;
+  int origin;
+
+  bool operator<(const Item& o) const {
+    return std::tie(rule, dot, origin) < std::tie(o.rule, o.dot, o.origin);
+  }
+};
+}  // namespace
+
+EarleyParser::EarleyParser(const Grammar* grammar) : grammar_(grammar) {
+  LLM_CHECK(grammar != nullptr);
+  LLM_CHECK(grammar->finalized());
+}
+
+bool EarleyParser::Run(const std::vector<int>& terminals,
+                       CompletedSpans* completed) const {
+  const int n = static_cast<int>(terminals.size());
+  const auto& rules = grammar_->rules();
+  std::vector<std::set<Item>> chart(static_cast<size_t>(n + 1));
+
+  auto add = [&](int k, Item item) -> bool {
+    return chart[static_cast<size_t>(k)].insert(item).second;
+  };
+
+  for (int ri : grammar_->RulesFor(grammar_->start())) {
+    add(0, {ri, 0, 0});
+  }
+
+  if (completed) {
+    completed->assign(
+        static_cast<size_t>(grammar_->num_nonterminals()),
+        std::vector<char>(static_cast<size_t>((n + 1) * (n + 1)), 0));
+  }
+
+  for (int k = 0; k <= n; ++k) {
+    // Process items in insertion waves until the set stabilizes.
+    std::vector<Item> queue(chart[static_cast<size_t>(k)].begin(),
+                            chart[static_cast<size_t>(k)].end());
+    for (size_t qi = 0; qi < queue.size(); ++qi) {
+      const Item item = queue[qi];
+      const Rule& rule = rules[static_cast<size_t>(item.rule)];
+      if (item.dot < static_cast<int>(rule.rhs.size())) {
+        const RhsSymbol& next = rule.rhs[static_cast<size_t>(item.dot)];
+        if (next.is_terminal) {
+          // Scan.
+          if (k < n && terminals[static_cast<size_t>(k)] == next.id) {
+            add(k + 1, {item.rule, item.dot + 1, item.origin});
+          }
+        } else {
+          // Predict.
+          for (int ri : grammar_->RulesFor(next.id)) {
+            if (add(k, {ri, 0, k})) queue.push_back({ri, 0, k});
+          }
+          // (No epsilon rules, so no completion shortcut needed.)
+        }
+      } else {
+        // Complete.
+        if (completed) {
+          (*completed)[static_cast<size_t>(rule.lhs)]
+                      [static_cast<size_t>(item.origin * (n + 1) + k)] = 1;
+        }
+        for (const Item& waiting :
+             chart[static_cast<size_t>(item.origin)]) {
+          const Rule& wrule = rules[static_cast<size_t>(waiting.rule)];
+          if (waiting.dot < static_cast<int>(wrule.rhs.size())) {
+            const RhsSymbol& sym =
+                wrule.rhs[static_cast<size_t>(waiting.dot)];
+            if (!sym.is_terminal && sym.id == rule.lhs) {
+              Item advanced{waiting.rule, waiting.dot + 1, waiting.origin};
+              if (add(k, advanced)) queue.push_back(advanced);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (const Item& item : chart[static_cast<size_t>(n)]) {
+    const Rule& rule = rules[static_cast<size_t>(item.rule)];
+    if (rule.lhs == grammar_->start() && item.origin == 0 &&
+        item.dot == static_cast<int>(rule.rhs.size())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EarleyParser::Recognize(const std::vector<int>& terminals) const {
+  return Run(terminals, nullptr);
+}
+
+bool EarleyParser::BuildChildren(
+    const std::vector<int>& terminals, const CompletedSpans& completed,
+    const Rule& rule, size_t pos, int k, int j,
+    std::vector<std::unique_ptr<Grammar::TreeNode>>* children) const {
+  const int n = static_cast<int>(terminals.size());
+  if (pos == rule.rhs.size()) return k == j;
+  const RhsSymbol& sym = rule.rhs[pos];
+  if (sym.is_terminal) {
+    if (k < j && terminals[static_cast<size_t>(k)] == sym.id) {
+      auto leaf = std::make_unique<Grammar::TreeNode>();
+      leaf->is_terminal = true;
+      leaf->id = sym.id;
+      children->push_back(std::move(leaf));
+      if (BuildChildren(terminals, completed, rule, pos + 1, k + 1, j,
+                        children)) {
+        return true;
+      }
+      children->pop_back();
+    }
+    return false;
+  }
+  for (int m = k + 1; m <= j; ++m) {
+    if (!completed[static_cast<size_t>(sym.id)]
+                  [static_cast<size_t>(k * (n + 1) + m)]) {
+      continue;
+    }
+    auto subtree = BuildTree(terminals, completed, sym.id, k, m);
+    if (!subtree) continue;
+    children->push_back(std::move(subtree));
+    if (BuildChildren(terminals, completed, rule, pos + 1, m, j, children)) {
+      return true;
+    }
+    children->pop_back();
+  }
+  return false;
+}
+
+std::unique_ptr<Grammar::TreeNode> EarleyParser::BuildTree(
+    const std::vector<int>& terminals, const CompletedSpans& completed,
+    int nonterminal, int i, int j) const {
+  const auto& rules = grammar_->rules();
+  for (int ri : grammar_->RulesFor(nonterminal)) {
+    const Rule& rule = rules[static_cast<size_t>(ri)];
+    std::vector<std::unique_ptr<Grammar::TreeNode>> children;
+    if (BuildChildren(terminals, completed, rule, 0, i, j, &children)) {
+      auto node = std::make_unique<Grammar::TreeNode>();
+      node->is_terminal = false;
+      node->id = nonterminal;
+      node->rule_index = ri;
+      node->children = std::move(children);
+      return node;
+    }
+  }
+  return nullptr;
+}
+
+util::StatusOr<std::unique_ptr<Grammar::TreeNode>> EarleyParser::Parse(
+    const std::vector<int>& terminals) const {
+  CompletedSpans completed;
+  if (!Run(terminals, &completed)) {
+    return util::Status::NotFound("sentence not in the language");
+  }
+  auto tree = BuildTree(terminals, completed, grammar_->start(), 0,
+                        static_cast<int>(terminals.size()));
+  if (!tree) {
+    return util::Status::Internal("chart accepted but reconstruction failed");
+  }
+  return tree;
+}
+
+util::StatusOr<std::vector<int>> EarleyParser::TerminalIds(
+    const std::string& sentence) const {
+  std::vector<int> ids;
+  for (const auto& tok : text::WhitespaceTokenize(sentence)) {
+    const int id = grammar_->TerminalId(tok);
+    if (id < 0) {
+      return util::Status::InvalidArgument("not a terminal: " + tok);
+    }
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace llm::grammar

@@ -1,0 +1,56 @@
+// Earley parser: recognition and parse-tree recovery for arbitrary CFGs
+// (no normal-form conversion), used for the paper's Appendix A exercise
+// ("work out the parse tree for y + 1 * x and check that multiplication
+// takes precedence over addition").
+#ifndef TFMR_GRAMMAR_EARLEY_H_
+#define TFMR_GRAMMAR_EARLEY_H_
+
+#include <memory>
+#include <vector>
+
+#include "grammar/cfg.h"
+
+namespace llm::grammar {
+
+class EarleyParser {
+ public:
+  /// `grammar` must be finalized and outlive the parser.
+  explicit EarleyParser(const Grammar* grammar);
+
+  /// Whether the terminal-id sequence is derivable from the start symbol.
+  bool Recognize(const std::vector<int>& terminals) const;
+
+  /// A parse tree for the sentence (an arbitrary one if ambiguous), or
+  /// NotFound if the sentence is not in the language.
+  util::StatusOr<std::unique_ptr<Grammar::TreeNode>> Parse(
+      const std::vector<int>& terminals) const;
+
+  /// Convenience: tokenize a space-separated sentence into terminal ids.
+  /// InvalidArgument if a token is not a terminal of the grammar.
+  util::StatusOr<std::vector<int>> TerminalIds(
+      const std::string& sentence) const;
+
+ private:
+  /// completed[a][i*(n+1)+j] == true iff nonterminal a derives span [i, j).
+  using CompletedSpans = std::vector<std::vector<char>>;
+
+  /// Runs the Earley chart computation; fills `completed` if non-null.
+  bool Run(const std::vector<int>& terminals,
+           CompletedSpans* completed) const;
+
+  bool BuildChildren(const std::vector<int>& terminals,
+                     const CompletedSpans& completed, const Rule& rule,
+                     size_t pos, int k, int j,
+                     std::vector<std::unique_ptr<Grammar::TreeNode>>*
+                         children) const;
+
+  std::unique_ptr<Grammar::TreeNode> BuildTree(
+      const std::vector<int>& terminals, const CompletedSpans& completed,
+      int nonterminal, int i, int j) const;
+
+  const Grammar* grammar_;
+};
+
+}  // namespace llm::grammar
+
+#endif  // TFMR_GRAMMAR_EARLEY_H_

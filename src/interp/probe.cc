@@ -1,0 +1,104 @@
+#include "interp/probe.h"
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "train/optimizer.h"
+
+namespace llm::interp {
+
+Probe::Probe(const ProbeConfig& config) : config_(config) {
+  LLM_CHECK_GT(config.input_dim, 0);
+  LLM_CHECK_GT(config.num_classes, 1);
+  util::Rng rng(config.seed);
+  if (config.hidden_dim > 0) {
+    mlp_ = std::make_unique<nn::Mlp>(config.input_dim, config.hidden_dim,
+                                     config.num_classes, &rng,
+                                     nn::Activation::kRelu);
+  } else {
+    linear_ = std::make_unique<nn::Linear>(config.input_dim,
+                                           config.num_classes, &rng);
+  }
+}
+
+core::Variable Probe::ForwardLogits(const core::Variable& x) const {
+  return linear_ ? linear_->Forward(x) : mlp_->Forward(x);
+}
+
+float Probe::Fit(const core::Tensor& x, const std::vector<int64_t>& y) {
+  LLM_CHECK_EQ(x.ndim(), 2);
+  const int64_t N = x.dim(0), D = x.dim(1);
+  LLM_CHECK_EQ(D, config_.input_dim);
+  LLM_CHECK_EQ(static_cast<int64_t>(y.size()), N);
+
+  util::Rng rng(config_.seed + 1);
+  train::AdamWOptions opt;
+  opt.lr = config_.lr;
+  train::AdamW adam(Parameters(), opt);
+  float last_loss = 0.0f;
+  for (int64_t step = 0; step < config_.steps; ++step) {
+    const int64_t B = std::min<int64_t>(config_.batch_size, N);
+    core::Tensor batch({B, D});
+    std::vector<int64_t> labels(static_cast<size_t>(B));
+    for (int64_t b = 0; b < B; ++b) {
+      const int64_t r = static_cast<int64_t>(
+          rng.UniformInt(static_cast<uint64_t>(N)));
+      for (int64_t d = 0; d < D; ++d) {
+        batch[b * D + d] = x[r * D + d];
+      }
+      labels[static_cast<size_t>(b)] = y[static_cast<size_t>(r)];
+    }
+    core::Variable input(std::move(batch), /*requires_grad=*/false);
+    core::Variable loss =
+        core::CrossEntropyLogits(ForwardLogits(input), labels);
+    adam.ZeroGrad();
+    core::Backward(loss);
+    adam.Step();
+    last_loss = loss.value()[0];
+  }
+  return last_loss;
+}
+
+double Probe::Accuracy(const core::Tensor& x,
+                       const std::vector<int64_t>& y) const {
+  core::Variable input(x, /*requires_grad=*/false);
+  core::Variable logits = ForwardLogits(input);
+  return eval::MaskedAccuracy(logits.value(), y);
+}
+
+std::vector<float> Probe::ClassDirection(int64_t cls) const {
+  LLM_CHECK(linear_ != nullptr) << "ClassDirection requires a linear probe";
+  LLM_CHECK_GE(cls, 0);
+  LLM_CHECK_LT(cls, config_.num_classes);
+  const core::Tensor& w = linear_->weight().value();  // [D, num_classes]
+  std::vector<float> dir(static_cast<size_t>(config_.input_dim));
+  for (int64_t d = 0; d < config_.input_dim; ++d) {
+    dir[static_cast<size_t>(d)] = w[d * config_.num_classes + cls];
+  }
+  return dir;
+}
+
+nn::NamedParams Probe::NamedParameters() const {
+  return linear_ ? linear_->NamedParameters() : mlp_->NamedParameters();
+}
+
+void ApplyInterventionEdit(std::vector<float>* activation,
+                           const std::vector<float>& from_direction,
+                           const std::vector<float>& to_direction,
+                           float alpha) {
+  LLM_CHECK(activation != nullptr);
+  LLM_CHECK_EQ(activation->size(), from_direction.size());
+  LLM_CHECK_EQ(activation->size(), to_direction.size());
+  double norm_sq = 0.0;
+  for (size_t i = 0; i < activation->size(); ++i) {
+    const double d = to_direction[i] - from_direction[i];
+    norm_sq += d * d;
+  }
+  const float scale =
+      norm_sq > 0.0 ? alpha / static_cast<float>(std::sqrt(norm_sq)) : 0.0f;
+  for (size_t i = 0; i < activation->size(); ++i) {
+    (*activation)[i] += scale * (to_direction[i] - from_direction[i]);
+  }
+}
+
+}  // namespace llm::interp

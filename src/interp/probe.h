@@ -1,0 +1,67 @@
+// Probing classifiers (paper §7): given captured internal activations and
+// per-example targets, train a small model to predict the target from the
+// activation. Linear probes expose linearly-decodable structure; MLP
+// probes test for nonlinearly-encoded structure. Used by the Othello-GPT
+// board-state experiment and available for any labeled activation set.
+#ifndef TFMR_INTERP_PROBE_H_
+#define TFMR_INTERP_PROBE_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace llm::interp {
+
+struct ProbeConfig {
+  int64_t input_dim = 0;
+  int64_t num_classes = 0;
+  /// 0 = linear probe; > 0 adds one hidden layer of this width.
+  int64_t hidden_dim = 0;
+  int64_t steps = 400;
+  int64_t batch_size = 64;
+  float lr = 1e-2f;
+  uint64_t seed = 7;
+};
+
+class Probe : public nn::Module {
+ public:
+  explicit Probe(const ProbeConfig& config);
+
+  /// Trains on activations X [N, input_dim] with integer labels y [N]
+  /// using AdamW + softmax cross-entropy. Returns final training loss.
+  float Fit(const core::Tensor& x, const std::vector<int64_t>& y);
+
+  /// Logits [N, num_classes] for a batch of activations.
+  core::Variable ForwardLogits(const core::Variable& x) const;
+
+  /// Argmax accuracy on a labeled set.
+  double Accuracy(const core::Tensor& x, const std::vector<int64_t>& y) const;
+
+  /// For a *linear* probe: the direction in activation space whose inner
+  /// product scores class `cls` (row of the weight matrix). Used to build
+  /// intervention edits. Aborts on MLP probes.
+  std::vector<float> ClassDirection(int64_t cls) const;
+
+  nn::NamedParams NamedParameters() const override;
+
+  const ProbeConfig& config() const { return config_; }
+
+ private:
+  ProbeConfig config_;
+  std::unique_ptr<nn::Linear> linear_;  // linear probe
+  std::unique_ptr<nn::Mlp> mlp_;        // nonlinear probe
+};
+
+/// Residual-stream edit for interventions: move activation `h` (length
+/// dim) so that the linear probe's score for `from_class` decreases and
+/// `to_class` increases: h' = h + alpha * (w_to - w_from) normalized.
+void ApplyInterventionEdit(std::vector<float>* activation,
+                           const std::vector<float>& from_direction,
+                           const std::vector<float>& to_direction,
+                           float alpha);
+
+}  // namespace llm::interp
+
+#endif  // TFMR_INTERP_PROBE_H_

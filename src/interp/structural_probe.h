@@ -1,0 +1,61 @@
+// Structural probe (paper §7; Hewitt & Manning [56]): learns a rank-r
+// projection B such that squared distances ||B^T (h_i - h_j)||^2 between
+// word representations approximate parse-tree path lengths. Evaluated by
+// Spearman correlation between predicted and gold distances (the "DSpr"
+// metric), here against exact gold trees from the PCFG generator.
+#ifndef TFMR_INTERP_STRUCTURAL_PROBE_H_
+#define TFMR_INTERP_STRUCTURAL_PROBE_H_
+
+#include <vector>
+
+#include "core/graph.h"
+#include "core/ops.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace llm::interp {
+
+/// One probing example: per-word activations and the gold tree distances.
+struct ProbeSentence {
+  core::Tensor embeddings;                 // [L, D]
+  std::vector<std::vector<int>> gold_distance;  // [L][L]
+};
+
+struct StructuralProbeConfig {
+  int64_t dim = 0;   // D
+  int rank = 16;     // r
+  int64_t steps = 300;
+  float lr = 1e-2f;
+  int64_t sentences_per_step = 8;
+  uint64_t seed = 11;
+};
+
+class StructuralProbe {
+ public:
+  explicit StructuralProbe(const StructuralProbeConfig& config);
+
+  /// L1 regression of predicted squared distances onto gold distances
+  /// (the Hewitt-Manning objective). Returns final training loss.
+  float Fit(const std::vector<ProbeSentence>& sentences);
+
+  /// Predicted squared distance matrix for one sentence.
+  std::vector<std::vector<double>> PredictDistances(
+      const core::Tensor& embeddings) const;
+
+  /// Mean per-sentence Spearman correlation between predicted and gold
+  /// pairwise distances (upper triangle), the DSpr. evaluation.
+  util::StatusOr<double> MeanSpearman(
+      const std::vector<ProbeSentence>& sentences) const;
+
+  const core::Variable& projection() const { return projection_; }
+
+ private:
+  core::Variable DistanceLoss(const ProbeSentence& sentence) const;
+
+  StructuralProbeConfig config_;
+  core::Variable projection_;  // [D, r]
+};
+
+}  // namespace llm::interp
+
+#endif  // TFMR_INTERP_STRUCTURAL_PROBE_H_

@@ -1,0 +1,152 @@
+#include "ngram/ngram.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace llm::ngram {
+
+NgramModel::NgramModel(int order, int64_t vocab_size, double add_k)
+    : order_(order), vocab_size_(vocab_size), add_k_(add_k) {
+  LLM_CHECK_GE(order, 1);
+  LLM_CHECK_GT(vocab_size, 0);
+  LLM_CHECK_GT(add_k, 0.0) << "unsmoothed models assign zero probabilities";
+}
+
+void NgramModel::Fit(const std::vector<int64_t>& tokens) {
+  const int64_t ctx_len = order_ - 1;
+  const auto n = static_cast<int64_t>(tokens.size());
+  for (int64_t i = ctx_len; i < n; ++i) {
+    std::vector<int64_t> ctx(tokens.begin() + (i - ctx_len),
+                             tokens.begin() + i);
+    ++counts_[ctx][tokens[static_cast<size_t>(i)]];
+    ++totals_[ctx];
+  }
+}
+
+std::vector<int64_t> NgramModel::TrimContext(
+    const std::vector<int64_t>& context) const {
+  const size_t ctx_len = static_cast<size_t>(order_ - 1);
+  LLM_CHECK_GE(context.size(), ctx_len)
+      << "context shorter than order-1 =" << order_ - 1;
+  return std::vector<int64_t>(context.end() - static_cast<ptrdiff_t>(ctx_len),
+                              context.end());
+}
+
+double NgramModel::CondProb(const std::vector<int64_t>& context,
+                            int64_t next) const {
+  const std::vector<int64_t> ctx = TrimContext(context);
+  int64_t pair_count = 0;
+  int64_t total = 0;
+  auto it = counts_.find(ctx);
+  if (it != counts_.end()) {
+    auto jt = it->second.find(next);
+    if (jt != it->second.end()) pair_count = jt->second;
+    total = totals_.at(ctx);
+  }
+  return (static_cast<double>(pair_count) + add_k_) /
+         (static_cast<double>(total) +
+          add_k_ * static_cast<double>(vocab_size_));
+}
+
+double NgramModel::CrossEntropy(const std::vector<int64_t>& tokens) const {
+  const int64_t ctx_len = order_ - 1;
+  const auto n = static_cast<int64_t>(tokens.size());
+  LLM_CHECK_GT(n, ctx_len);
+  double total = 0.0;
+  int64_t counted = 0;
+  for (int64_t i = ctx_len; i < n; ++i) {
+    std::vector<int64_t> ctx(tokens.begin() + (i - ctx_len),
+                             tokens.begin() + i);
+    total += -std::log(CondProb(ctx, tokens[static_cast<size_t>(i)]));
+    ++counted;
+  }
+  return total / static_cast<double>(counted);
+}
+
+double NgramModel::Perplexity(const std::vector<int64_t>& tokens) const {
+  return std::exp(CrossEntropy(tokens));
+}
+
+int64_t NgramModel::SampleNext(const std::vector<int64_t>& context,
+                               util::Rng* rng) const {
+  LLM_CHECK(rng != nullptr);
+  std::vector<double> weights(static_cast<size_t>(vocab_size_));
+  for (int64_t w = 0; w < vocab_size_; ++w) {
+    weights[static_cast<size_t>(w)] = CondProb(context, w);
+  }
+  return static_cast<int64_t>(rng->Categorical(weights));
+}
+
+std::vector<int64_t> NgramModel::Generate(const std::vector<int64_t>& prefix,
+                                          int64_t length,
+                                          util::Rng* rng) const {
+  std::vector<int64_t> out = prefix;
+  for (int64_t i = 0; i < length; ++i) {
+    out.push_back(SampleNext(out, rng));
+  }
+  return out;
+}
+
+InterpolatedNgram::InterpolatedNgram(int max_order, int64_t vocab_size,
+                                     double add_k,
+                                     std::vector<double> lambdas)
+    : lambdas_(std::move(lambdas)) {
+  LLM_CHECK_GE(max_order, 1);
+  models_.reserve(static_cast<size_t>(max_order));
+  for (int k = 1; k <= max_order; ++k) {
+    models_.emplace_back(k, vocab_size, add_k);
+  }
+  if (lambdas_.empty()) {
+    lambdas_.assign(static_cast<size_t>(max_order),
+                    1.0 / static_cast<double>(max_order));
+  }
+  LLM_CHECK_EQ(lambdas_.size(), models_.size());
+  double sum = 0.0;
+  for (double l : lambdas_) {
+    LLM_CHECK_GE(l, 0.0);
+    sum += l;
+  }
+  LLM_CHECK(std::fabs(sum - 1.0) < 1e-6) << "lambdas must sum to 1";
+}
+
+void InterpolatedNgram::Fit(const std::vector<int64_t>& tokens) {
+  for (auto& m : models_) m.Fit(tokens);
+}
+
+double InterpolatedNgram::CondProb(const std::vector<int64_t>& context,
+                                   int64_t next) const {
+  double p = 0.0;
+  for (size_t i = 0; i < models_.size(); ++i) {
+    // Lower orders need shorter contexts; all are suffixes of `context`.
+    if (context.size() + 1 < static_cast<size_t>(models_[i].order())) {
+      continue;  // not enough context for this order; weight is lost but
+                 // CrossEntropy below always supplies enough.
+    }
+    p += lambdas_[i] * models_[i].CondProb(context, next);
+  }
+  return p;
+}
+
+double InterpolatedNgram::CrossEntropy(
+    const std::vector<int64_t>& tokens) const {
+  const int64_t ctx_len = static_cast<int64_t>(models_.size()) - 1;
+  const auto n = static_cast<int64_t>(tokens.size());
+  LLM_CHECK_GT(n, ctx_len);
+  double total = 0.0;
+  int64_t counted = 0;
+  for (int64_t i = ctx_len; i < n; ++i) {
+    std::vector<int64_t> ctx(tokens.begin() + (i - ctx_len),
+                             tokens.begin() + i);
+    total += -std::log(CondProb(ctx, tokens[static_cast<size_t>(i)]));
+    ++counted;
+  }
+  return total / static_cast<double>(counted);
+}
+
+double InterpolatedNgram::Perplexity(
+    const std::vector<int64_t>& tokens) const {
+  return std::exp(CrossEntropy(tokens));
+}
+
+}  // namespace llm::ngram

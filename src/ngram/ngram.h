@@ -1,0 +1,102 @@
+// Count-based N-gram language models (paper §3 Eq. 1 and §5 Eq. 5-6),
+// with add-k smoothing and Jelinek-Mercer interpolation across orders —
+// the classical baselines against which the neural models are measured in
+// bench_perplexity_ladder.
+#ifndef TFMR_NGRAM_NGRAM_H_
+#define TFMR_NGRAM_NGRAM_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace llm::ngram {
+
+/// Hash for token-id context vectors.
+struct ContextHash {
+  size_t operator()(const std::vector<int64_t>& v) const {
+    size_t h = 1469598103934665603ULL;
+    for (int64_t x : v) {
+      h ^= static_cast<size_t>(x) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// An order-N model: P(w_N | w_1..w_{N-1}) estimated by counts (Eq. 6)
+/// with add-k smoothing. order == 1 is the unigram frequency model (Eq. 1).
+class NgramModel {
+ public:
+  /// add_k > 0 smooths: P = (c(ctx,w) + k) / (c(ctx) + k*V).
+  NgramModel(int order, int64_t vocab_size, double add_k = 0.01);
+
+  /// Accumulates counts from a token stream (callable repeatedly).
+  void Fit(const std::vector<int64_t>& tokens);
+
+  /// Conditional probability of `next` given the last (order-1) tokens of
+  /// `context` (Eq. 5). Shorter contexts are an error for order > 1.
+  double CondProb(const std::vector<int64_t>& context, int64_t next) const;
+
+  /// Mean negative log-likelihood (nats/token, Eq. 3) over `tokens`,
+  /// scored from position (order-1) onward.
+  double CrossEntropy(const std::vector<int64_t>& tokens) const;
+
+  /// exp(CrossEntropy) — the paper's perplexity.
+  double Perplexity(const std::vector<int64_t>& tokens) const;
+
+  /// Samples a next token from the smoothed conditional.
+  int64_t SampleNext(const std::vector<int64_t>& context,
+                     util::Rng* rng) const;
+
+  /// Extends `prefix` (must have >= order-1 tokens for order > 1) by
+  /// `length` sampled tokens.
+  std::vector<int64_t> Generate(const std::vector<int64_t>& prefix,
+                                int64_t length, util::Rng* rng) const;
+
+  int order() const { return order_; }
+  int64_t vocab_size() const { return vocab_size_; }
+  /// Number of distinct contexts observed.
+  int64_t num_contexts() const {
+    return static_cast<int64_t>(counts_.size());
+  }
+
+ private:
+  std::vector<int64_t> TrimContext(const std::vector<int64_t>& context) const;
+
+  int order_;
+  int64_t vocab_size_;
+  double add_k_;
+  /// context (order-1 tokens) -> (next token -> count).
+  std::unordered_map<std::vector<int64_t>,
+                     std::unordered_map<int64_t, int64_t>, ContextHash>
+      counts_;
+  /// context -> total count.
+  std::unordered_map<std::vector<int64_t>, int64_t, ContextHash> totals_;
+};
+
+/// Jelinek-Mercer interpolation: P = sum_i lambda_i P_i over orders
+/// 1..max_order (the "simple statistical tricks" of §5).
+class InterpolatedNgram {
+ public:
+  /// Uniform weights when `lambdas` is empty; otherwise lambdas.size()
+  /// must equal max_order and sum to ~1.
+  InterpolatedNgram(int max_order, int64_t vocab_size, double add_k = 0.01,
+                    std::vector<double> lambdas = {});
+
+  void Fit(const std::vector<int64_t>& tokens);
+  double CondProb(const std::vector<int64_t>& context, int64_t next) const;
+  double CrossEntropy(const std::vector<int64_t>& tokens) const;
+  double Perplexity(const std::vector<int64_t>& tokens) const;
+
+  int max_order() const { return static_cast<int>(models_.size()); }
+
+ private:
+  std::vector<NgramModel> models_;
+  std::vector<double> lambdas_;
+};
+
+}  // namespace llm::ngram
+
+#endif  // TFMR_NGRAM_NGRAM_H_

@@ -1,0 +1,38 @@
+#include "nn/ffn_lm.h"
+
+namespace llm::nn {
+
+FfnLm::FfnLm(const FfnLmConfig& config, util::Rng* rng)
+    : config_(config),
+      tok_emb_(config.vocab_size, config.d_embed, rng),
+      mlp_(config.context * config.d_embed, config.d_hidden,
+           config.vocab_size, rng, config.activation) {
+  LLM_CHECK_GT(config.vocab_size, 0);
+  LLM_CHECK_GT(config.context, 0);
+}
+
+core::Variable FfnLm::ForwardLogits(const std::vector<int64_t>& contexts,
+                                    int64_t N) const {
+  LLM_CHECK_EQ(static_cast<int64_t>(contexts.size()), N * config_.context);
+  // [N*k, d_embed] -> [N, k*d_embed]: the direct-sum of k embeddings.
+  core::Variable emb = tok_emb_.Forward(contexts);
+  core::Variable concat =
+      core::Reshape(emb, {N, config_.context * config_.d_embed});
+  return mlp_.Forward(concat);
+}
+
+core::Variable FfnLm::Loss(const std::vector<int64_t>& contexts,
+                           const std::vector<int64_t>& targets,
+                           int64_t N) const {
+  LLM_CHECK_EQ(static_cast<int64_t>(targets.size()), N);
+  return core::CrossEntropyLogits(ForwardLogits(contexts, N), targets);
+}
+
+NamedParams FfnLm::NamedParameters() const {
+  NamedParams out;
+  AppendNamed("tok_emb", tok_emb_.NamedParameters(), &out);
+  AppendNamed("mlp", mlp_.NamedParameters(), &out);
+  return out;
+}
+
+}  // namespace llm::nn

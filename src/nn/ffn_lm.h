@@ -1,0 +1,48 @@
+// The "direct-sum" fully-connected L-gram language model of §5 (Bengio et
+// al., cited as [18]): embed each of the last k tokens, concatenate the k
+// embedding vectors into one, and map through an FFN to next-token logits.
+// No memory beyond the fixed window — the limitation that motivates the RNN
+// and then the transformer.
+#ifndef TFMR_NN_FFN_LM_H_
+#define TFMR_NN_FFN_LM_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace llm::nn {
+
+struct FfnLmConfig {
+  int64_t vocab_size = 0;
+  /// Context window k (the L of the paper's "L-gram" prescription).
+  int64_t context = 4;
+  int64_t d_embed = 32;
+  int64_t d_hidden = 128;
+  Activation activation = Activation::kTanh;
+};
+
+class FfnLm : public Module {
+ public:
+  FfnLm(const FfnLmConfig& config, util::Rng* rng);
+
+  /// contexts: row-major [N, k] flattened token ids; returns logits [N, V].
+  core::Variable ForwardLogits(const std::vector<int64_t>& contexts,
+                               int64_t N) const;
+
+  /// Cross-entropy of next-token targets (size N).
+  core::Variable Loss(const std::vector<int64_t>& contexts,
+                      const std::vector<int64_t>& targets, int64_t N) const;
+
+  NamedParams NamedParameters() const override;
+
+  const FfnLmConfig& config() const { return config_; }
+
+ private:
+  FfnLmConfig config_;
+  Embedding tok_emb_;
+  Mlp mlp_;
+};
+
+}  // namespace llm::nn
+
+#endif  // TFMR_NN_FFN_LM_H_

@@ -1,0 +1,261 @@
+#include "nn/gpt_inference.h"
+
+#include <cmath>
+
+namespace llm::nn {
+
+namespace {
+
+/// Minimal temperature sampler (greedy at T = 0), local to avoid a
+/// dependency cycle with the sample library.
+int64_t SampleRow(const float* logits, int64_t vocab, float temperature,
+                  util::Rng* rng) {
+  if (temperature <= 0.0f) {
+    int64_t best = 0;
+    for (int64_t i = 1; i < vocab; ++i) {
+      if (logits[i] > logits[best]) best = i;
+    }
+    return best;
+  }
+  float maxv = logits[0];
+  for (int64_t i = 1; i < vocab; ++i) maxv = std::max(maxv, logits[i]);
+  std::vector<float> probs(static_cast<size_t>(vocab));
+  const float inv_t = 1.0f / temperature;
+  for (int64_t i = 0; i < vocab; ++i) {
+    probs[static_cast<size_t>(i)] = std::exp((logits[i] - maxv) * inv_t);
+  }
+  LLM_CHECK(rng != nullptr);
+  return static_cast<int64_t>(rng->Categorical(probs));
+}
+
+float ActivationFn(Activation act, float v) {
+  switch (act) {
+    case Activation::kRelu:
+      return v > 0.0f ? v : 0.0f;
+    case Activation::kGelu: {
+      constexpr float kScale = 0.7978845608028654f;  // sqrt(2/pi)
+      const float cube = 0.044715f * v * v * v;
+      return 0.5f * v * (1.0f + std::tanh(kScale * (v + cube)));
+    }
+    case Activation::kTanh:
+      return std::tanh(v);
+  }
+  LLM_CHECK(false);
+  return v;
+}
+
+}  // namespace
+
+GptInferenceSession::GptInferenceSession(const GPTModel* model)
+    : model_(model) {
+  LLM_CHECK(model != nullptr);
+  cache_.resize(static_cast<size_t>(model->config().n_layer));
+  const int64_t C = model->config().d_model;
+  const auto reserve = static_cast<size_t>(model->config().max_seq_len * C);
+  for (auto& layer : cache_) {
+    layer.keys.reserve(reserve);
+    layer.values.reserve(reserve);
+  }
+  logits_.resize(static_cast<size_t>(model->config().vocab_size));
+}
+
+void GptInferenceSession::Reset() {
+  position_ = 0;
+  for (auto& layer : cache_) {
+    layer.keys.clear();
+    layer.values.clear();
+  }
+}
+
+void GptInferenceSession::ApplyLayerNorm(const LayerNorm& ln,
+                                         const std::vector<float>& x,
+                                         std::vector<float>* y) const {
+  const auto c = static_cast<int64_t>(x.size());
+  y->resize(x.size());
+  double mean = 0;
+  for (float v : x) mean += v;
+  mean /= static_cast<double>(c);
+  double var = 0;
+  for (float v : x) {
+    const double d = v - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(c);
+  const float rstd =
+      1.0f / std::sqrt(static_cast<float>(var) + ln.eps());
+  const core::Tensor& gamma = ln.gamma().value();
+  const core::Tensor& beta = ln.beta().value();
+  for (int64_t i = 0; i < c; ++i) {
+    (*y)[static_cast<size_t>(i)] =
+        gamma[i] * (x[static_cast<size_t>(i)] -
+                    static_cast<float>(mean)) *
+            rstd +
+        beta[i];
+  }
+}
+
+void GptInferenceSession::ApplyLinear(const Linear& linear,
+                                      const std::vector<float>& x,
+                                      std::vector<float>* y) const {
+  const int64_t in = linear.in_features();
+  const int64_t out = linear.out_features();
+  LLM_CHECK_EQ(static_cast<int64_t>(x.size()), in);
+  y->assign(static_cast<size_t>(out), 0.0f);
+  const float* w = linear.weight().value().data();  // [in, out]
+  for (int64_t i = 0; i < in; ++i) {
+    const float xv = x[static_cast<size_t>(i)];
+    if (xv == 0.0f) continue;
+    const float* row = w + i * out;
+    for (int64_t o = 0; o < out; ++o) {
+      (*y)[static_cast<size_t>(o)] += xv * row[o];
+    }
+  }
+  if (linear.has_bias()) {
+    const core::Tensor& b = linear.bias().value();
+    for (int64_t o = 0; o < out; ++o) {
+      (*y)[static_cast<size_t>(o)] += b[o];
+    }
+  }
+}
+
+const std::vector<float>& GptInferenceSession::Append(int64_t token) {
+  const GPTConfig& cfg = model_->config();
+  LLM_CHECK_LT(position_, cfg.max_seq_len)
+      << "session exceeded the model window; Reset() and re-feed";
+  const int64_t C = cfg.d_model;
+  const int64_t H = cfg.n_head;
+  const int64_t hd = C / H;
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
+
+  // Embedding + position.
+  std::vector<float> x(static_cast<size_t>(C));
+  const core::Tensor& emb = model_->token_embedding().weight().value();
+  const core::Tensor& pos = model_->position_embedding().value();
+  LLM_CHECK_GE(token, 0);
+  LLM_CHECK_LT(token, cfg.vocab_size);
+  for (int64_t c = 0; c < C; ++c) {
+    x[static_cast<size_t>(c)] =
+        emb[token * C + c] + pos[position_ * C + c];
+  }
+
+  std::vector<float> normed, qkv, att_out, proj, h2, hidden, mlp_out;
+  for (int layer = 0; layer < cfg.n_layer; ++layer) {
+    const TransformerBlock* block = model_->block(layer);
+    LayerCache& cache = cache_[static_cast<size_t>(layer)];
+
+    // ---- Attention sublayer ----
+    const std::vector<float>& attn_input = x;
+    if (block->pre_layernorm()) {
+      ApplyLayerNorm(block->ln1(), x, &normed);
+    } else {
+      normed = attn_input;  // post-LN applies LN after the residual add
+    }
+    ApplyLinear(block->attention()->qkv(), normed, &qkv);  // [3C]
+    // Append this position's K/V to the cache.
+    cache.keys.insert(cache.keys.end(), qkv.begin() + C,
+                      qkv.begin() + 2 * C);
+    cache.values.insert(cache.values.end(), qkv.begin() + 2 * C,
+                        qkv.end());
+    const int64_t t = position_;  // current index; cache holds t+1 rows
+
+    att_out.assign(static_cast<size_t>(C), 0.0f);
+    const int window = block->attention()->window();
+    const int64_t lo =
+        window > 0 ? std::max<int64_t>(0, t - window + 1) : int64_t{0};
+    std::vector<float> scores(static_cast<size_t>(t + 1));
+    for (int64_t h = 0; h < H; ++h) {
+      const float* q = qkv.data() + h * hd;
+      float maxv = -1e30f;
+      for (int64_t j = lo; j <= t; ++j) {
+        const float* k = cache.keys.data() + j * C + h * hd;
+        float s = 0.0f;
+        for (int64_t c = 0; c < hd; ++c) s += q[c] * k[c];
+        s *= inv_sqrt;
+        scores[static_cast<size_t>(j)] = s;
+        maxv = std::max(maxv, s);
+      }
+      float sum = 0.0f;
+      for (int64_t j = lo; j <= t; ++j) {
+        scores[static_cast<size_t>(j)] =
+            std::exp(scores[static_cast<size_t>(j)] - maxv);
+        sum += scores[static_cast<size_t>(j)];
+      }
+      const float inv = 1.0f / sum;
+      for (int64_t j = lo; j <= t; ++j) {
+        const float p = scores[static_cast<size_t>(j)] * inv;
+        const float* v = cache.values.data() + j * C + h * hd;
+        float* o = att_out.data() + h * hd;
+        for (int64_t c = 0; c < hd; ++c) o[c] += p * v[c];
+      }
+    }
+    ApplyLinear(block->attention()->proj(), att_out, &proj);
+    for (int64_t c = 0; c < C; ++c) {
+      x[static_cast<size_t>(c)] += proj[static_cast<size_t>(c)];
+    }
+    if (!block->pre_layernorm()) {
+      ApplyLayerNorm(block->ln1(), x, &x);
+    }
+
+    // ---- FFN sublayer ----
+    if (block->mlp() != nullptr) {
+      if (block->pre_layernorm()) {
+        ApplyLayerNorm(block->ln2(), x, &h2);
+      } else {
+        h2 = x;
+      }
+      const Mlp* mlp = block->mlp();
+      ApplyLinear(mlp->fc_in(), h2, &hidden);
+      for (auto& v : hidden) v = ActivationFn(mlp->activation(), v);
+      ApplyLinear(mlp->fc_out(), hidden, &mlp_out);
+      for (int64_t c = 0; c < C; ++c) {
+        x[static_cast<size_t>(c)] += mlp_out[static_cast<size_t>(c)];
+      }
+      if (!block->pre_layernorm()) {
+        ApplyLayerNorm(block->ln2(), x, &x);
+      }
+    }
+  }
+
+  ApplyLayerNorm(model_->final_layernorm(), x, &normed);
+  if (cfg.tie_embeddings) {
+    // logits = normed . E^T (E is [V, C]).
+    const core::Tensor& e = model_->token_embedding().weight().value();
+    for (int64_t v = 0; v < cfg.vocab_size; ++v) {
+      float s = 0.0f;
+      const float* row = e.data() + v * C;
+      for (int64_t c = 0; c < C; ++c) {
+        s += normed[static_cast<size_t>(c)] * row[c];
+      }
+      logits_[static_cast<size_t>(v)] = s;
+    }
+  } else {
+    ApplyLinear(*model_->head(), normed, &logits_);
+  }
+  ++position_;
+  return logits_;
+}
+
+std::vector<int64_t> GenerateCached(const GPTModel& model,
+                                    const std::vector<int64_t>& prefix,
+                                    int64_t max_new_tokens,
+                                    float temperature, util::Rng* rng,
+                                    int64_t stop_token) {
+  LLM_CHECK(!prefix.empty());
+  GptInferenceSession session(&model);
+  const std::vector<float>* logits = nullptr;
+  for (int64_t t : prefix) logits = &session.Append(t);
+  std::vector<int64_t> out;
+  for (int64_t i = 0; i < max_new_tokens; ++i) {
+    if (session.position() >= model.config().max_seq_len) break;
+    const int64_t next = SampleRow(
+        logits->data(), model.config().vocab_size, temperature, rng);
+    out.push_back(next);
+    if (next == stop_token) break;
+    if (session.position() < model.config().max_seq_len) {
+      logits = &session.Append(next);
+    }
+  }
+  return out;
+}
+
+}  // namespace llm::nn

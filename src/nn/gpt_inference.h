@@ -1,0 +1,72 @@
+// Gradient-free incremental decoding with a key/value cache.
+//
+// The paper's §6 cost analysis: attention over a window of length L costs
+// O(L^2) per forward pass, so naive generation of L tokens by full
+// recomputation costs O(L^3). Caching each layer's keys and values makes
+// the marginal token cost O(L) in attention — the standard production
+// inference path — without touching the training code.
+//
+// The session reproduces GPTModel::ForwardLogits exactly (verified in
+// tests/gpt_inference_test.cc across architecture variants).
+#ifndef TFMR_NN_GPT_INFERENCE_H_
+#define TFMR_NN_GPT_INFERENCE_H_
+
+#include <vector>
+
+#include "nn/transformer.h"
+
+namespace llm::nn {
+
+/// Stateful single-sequence decoder. Feed tokens one at a time; after
+/// each Append the last-token logits are available. Not thread-safe.
+class GptInferenceSession {
+ public:
+  /// `model` must outlive the session. Dropout is ignored (inference).
+  explicit GptInferenceSession(const GPTModel* model);
+
+  /// Feeds one token; returns the next-token logits (length vocab_size).
+  /// Aborts if the sequence would exceed the model's max_seq_len —
+  /// callers handle windowing (see GenerateCached).
+  const std::vector<float>& Append(int64_t token);
+
+  /// Clears the cache; the session starts a fresh sequence.
+  void Reset();
+
+  /// Number of tokens consumed since the last Reset.
+  int64_t position() const { return position_; }
+
+  const std::vector<float>& logits() const { return logits_; }
+
+ private:
+  struct LayerCache {
+    // Row t holds the key/value vectors of position t, [t, C] flattened.
+    std::vector<float> keys;
+    std::vector<float> values;
+  };
+
+  /// y = LN(x) with the given parameters (length C).
+  void ApplyLayerNorm(const LayerNorm& ln, const std::vector<float>& x,
+                      std::vector<float>* y) const;
+  /// y = x W + b for a single row.
+  void ApplyLinear(const Linear& linear, const std::vector<float>& x,
+                   std::vector<float>* y) const;
+
+  const GPTModel* model_;
+  int64_t position_ = 0;
+  std::vector<LayerCache> cache_;
+  std::vector<float> logits_;
+};
+
+/// Autoregressive generation using the cache (the fast path mirroring
+/// sample::Generate). The prefix plus generated tokens must fit in the
+/// model window (no sliding-window support on the cached path — restart a
+/// session to window).
+std::vector<int64_t> GenerateCached(const GPTModel& model,
+                                    const std::vector<int64_t>& prefix,
+                                    int64_t max_new_tokens,
+                                    float temperature, util::Rng* rng,
+                                    int64_t stop_token = -1);
+
+}  // namespace llm::nn
+
+#endif  // TFMR_NN_GPT_INFERENCE_H_

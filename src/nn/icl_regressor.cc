@@ -1,0 +1,109 @@
+#include "nn/icl_regressor.h"
+
+namespace llm::nn {
+
+namespace {
+GPTConfig BlockConfig(const IclRegressorConfig& c) {
+  GPTConfig g;
+  g.vocab_size = 1;  // unused by TransformerBlock
+  g.max_seq_len = 2 * c.max_pairs;
+  g.d_model = c.d_model;
+  g.n_layer = c.n_layer;
+  g.n_head = c.n_head;
+  return g;
+}
+}  // namespace
+
+InContextRegressor::InContextRegressor(const IclRegressorConfig& config,
+                                       util::Rng* rng)
+    : config_(config),
+      read_in_(config.dim + 1, config.d_model, rng),
+      ln_final_(config.d_model),
+      read_out_(config.d_model, 1, rng) {
+  LLM_CHECK_GE(config.dim, 1);
+  LLM_CHECK_GE(config.max_pairs, 2);
+  pos_emb_ = core::Variable(
+      core::Tensor::RandomNormal({2 * config.max_pairs, config.d_model}, rng,
+                                 0.0f, 0.02f),
+      /*requires_grad=*/true);
+  const GPTConfig bc = BlockConfig(config);
+  for (int i = 0; i < config.n_layer; ++i) {
+    blocks_.push_back(std::make_unique<TransformerBlock>(bc, rng));
+  }
+}
+
+core::Variable InContextRegressor::Predict(const std::vector<float>& xs,
+                                           const std::vector<float>& ys,
+                                           int64_t B,
+                                           int64_t n_pairs) const {
+  const int64_t d = config_.dim;
+  LLM_CHECK_EQ(static_cast<int64_t>(xs.size()), B * n_pairs * d);
+  LLM_CHECK_EQ(static_cast<int64_t>(ys.size()), B * n_pairs);
+  LLM_CHECK_LE(n_pairs, config_.max_pairs);
+  const int64_t T = 2 * n_pairs;
+  const int64_t din = d + 1;
+  const int64_t C = config_.d_model;
+
+  // Interleave: token 2i   = [x_i, 0]
+  //             token 2i+1 = [0...0, y_i]
+  core::Tensor input({B, T, din});
+  float* p = input.data();
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t i = 0; i < n_pairs; ++i) {
+      float* xt = p + ((b * T + 2 * i) * din);
+      for (int64_t j = 0; j < d; ++j) {
+        xt[j] = xs[static_cast<size_t>((b * n_pairs + i) * d + j)];
+      }
+      float* yt = p + ((b * T + 2 * i + 1) * din);
+      yt[d] = ys[static_cast<size_t>(b * n_pairs + i)];
+    }
+  }
+
+  core::Variable h =
+      read_in_.Forward(core::Variable(std::move(input), false));
+  // Positional add: [B, T*C] + first T rows of the table.
+  core::Variable pos_flat =
+      core::Reshape(pos_emb_, {1, 2 * config_.max_pairs * C});
+  core::Variable pos_t =
+      core::Reshape(core::SliceLastDim(pos_flat, 0, T * C), {T * C});
+  h = core::Reshape(
+      core::AddRowBroadcast(core::Reshape(h, {B, T * C}), pos_t), {B, T, C});
+  for (const auto& block : blocks_) {
+    h = block->Forward(h, /*training=*/false, nullptr);
+  }
+  h = ln_final_.Forward(h);
+  core::Variable out = read_out_.Forward(core::Reshape(h, {B * T, C}));
+  // Keep the x positions (even indices): prediction of y_i at x_i.
+  std::vector<int64_t> rows;
+  rows.reserve(static_cast<size_t>(B * n_pairs));
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t i = 0; i < n_pairs; ++i) rows.push_back(b * T + 2 * i);
+  }
+  return core::Reshape(core::GatherRows(out, rows), {B, n_pairs});
+}
+
+core::Variable InContextRegressor::Loss(const std::vector<float>& xs,
+                                        const std::vector<float>& ys,
+                                        int64_t B, int64_t n_pairs) const {
+  core::Variable pred = Predict(xs, ys, B, n_pairs);
+  core::Tensor target({B, n_pairs});
+  for (int64_t i = 0; i < B * n_pairs; ++i) {
+    target[i] = ys[static_cast<size_t>(i)];
+  }
+  return core::MseLoss(pred, target);
+}
+
+NamedParams InContextRegressor::NamedParameters() const {
+  NamedParams out;
+  AppendNamed("read_in", read_in_.NamedParameters(), &out);
+  out.emplace_back("pos_emb", pos_emb_);
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    AppendNamed("blocks/" + std::to_string(i), blocks_[i]->NamedParameters(),
+                &out);
+  }
+  AppendNamed("ln_final", ln_final_.NamedParameters(), &out);
+  AppendNamed("read_out", read_out_.NamedParameters(), &out);
+  return out;
+}
+
+}  // namespace llm::nn

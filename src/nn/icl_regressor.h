@@ -1,0 +1,58 @@
+// Continuous-input decoder-only transformer for in-context regression
+// (paper §4, "learning how to learn"): episodes of (x, y) pairs are laid
+// out as an alternating token sequence x1 y1 x2 y2 ... and the model
+// predicts y_i at each x_i position from the causally-visible prefix. No
+// vocabulary — a linear read-in replaces the embedding, a scalar read-out
+// replaces the softmax.
+#ifndef TFMR_NN_ICL_REGRESSOR_H_
+#define TFMR_NN_ICL_REGRESSOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/transformer.h"
+
+namespace llm::nn {
+
+struct IclRegressorConfig {
+  int dim = 4;            // x dimensionality
+  int64_t max_pairs = 24; // maximum (x, y) pairs per episode
+  int64_t d_model = 64;
+  int n_layer = 3;
+  int n_head = 2;
+};
+
+class InContextRegressor : public Module {
+ public:
+  InContextRegressor(const IclRegressorConfig& config, util::Rng* rng);
+
+  /// xs: [B, n_pairs, dim] flattened; ys: [B, n_pairs] flattened. Returns
+  /// predictions [B, n_pairs]: the model's estimate of y_i made at the
+  /// x_i position (so prediction i uses pairs 1..i-1 plus x_i only).
+  core::Variable Predict(const std::vector<float>& xs,
+                         const std::vector<float>& ys, int64_t B,
+                         int64_t n_pairs) const;
+
+  /// MSE between Predict(...) and ys, averaged over all positions (each
+  /// position is a harder-to-easier regression problem; training on all of
+  /// them is the Garg et al. curriculum).
+  core::Variable Loss(const std::vector<float>& xs,
+                      const std::vector<float>& ys, int64_t B,
+                      int64_t n_pairs) const;
+
+  NamedParams NamedParameters() const override;
+
+  const IclRegressorConfig& config() const { return config_; }
+
+ private:
+  IclRegressorConfig config_;
+  Linear read_in_;   // (dim+1) -> d_model
+  core::Variable pos_emb_;  // [2*max_pairs, d_model]
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+  LayerNorm ln_final_;
+  Linear read_out_;  // d_model -> 1
+};
+
+}  // namespace llm::nn
+
+#endif  // TFMR_NN_ICL_REGRESSOR_H_

@@ -1,0 +1,29 @@
+#include "nn/module.h"
+
+namespace llm::nn {
+
+std::vector<core::Variable> Module::Parameters() const {
+  std::vector<core::Variable> out;
+  for (auto& [name, v] : NamedParameters()) out.push_back(v);
+  return out;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const auto& p : Parameters()) n += p.numel();
+  return n;
+}
+
+void Module::ZeroGrad() {
+  for (auto& p : Parameters()) p.ZeroGrad();
+}
+
+void AppendNamed(const std::string& prefix, const NamedParams& params,
+                 NamedParams* out) {
+  LLM_CHECK(out != nullptr);
+  for (const auto& [name, v] : params) {
+    out->emplace_back(prefix + "/" + name, v);
+  }
+}
+
+}  // namespace llm::nn

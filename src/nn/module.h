@@ -1,0 +1,46 @@
+// Module: base class for parameterized layers and models.
+//
+// A module owns long-lived parameter Variables (requires_grad=true) and
+// exposes them by name for optimizers, checkpointing, and weight decay
+// masking. Forward passes build fresh graph nodes each call; parameters are
+// the only state that persists across steps.
+#ifndef TFMR_NN_MODULE_H_
+#define TFMR_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/ops.h"
+
+namespace llm::nn {
+
+/// (name, parameter) pairs; names are slash-separated paths like
+/// "blocks/0/attn/qkv/weight".
+using NamedParams = std::vector<std::pair<std::string, core::Variable>>;
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters, with stable hierarchical names.
+  virtual NamedParams NamedParameters() const = 0;
+
+  /// Parameters without names (aliasing the same nodes).
+  std::vector<core::Variable> Parameters() const;
+
+  /// Total number of scalar parameters.
+  int64_t NumParameters() const;
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+};
+
+/// Prefixes every name in `params` with "<prefix>/" and appends to `out`.
+void AppendNamed(const std::string& prefix, const NamedParams& params,
+                 NamedParams* out);
+
+}  // namespace llm::nn
+
+#endif  // TFMR_NN_MODULE_H_

@@ -1,0 +1,43 @@
+#include "nn/param_count.h"
+
+namespace llm::nn {
+
+int64_t AnalyticGptParamCount(const GPTConfig& config) {
+  const int64_t V = config.vocab_size;
+  const int64_t C = config.d_model;
+  const int64_t Ch = config.hidden_dim();
+  const int64_t L = config.n_layer;
+
+  int64_t n = V * C;                                    // token embedding
+  if (config.learned_positional) n += config.max_seq_len * C;
+  // Per block: ln1 (2C) + qkv (C*3C + 3C) + proj (C*C + C)
+  //            [+ ln2 (2C) + mlp (C*Ch + Ch + Ch*C + C)]
+  int64_t per_block = 2 * C + (C * 3 * C + 3 * C) + (C * C + C);
+  if (!config.attention_only) {
+    per_block += 2 * C + (C * Ch + Ch) + (Ch * C + C);
+  }
+  n += L * per_block;
+  n += 2 * C;                                           // final layer norm
+  if (!config.tie_embeddings) n += C * V;               // unembedding
+  return n;
+}
+
+double TwelveDPSquaredRule(int n_layer, int64_t d_model) {
+  return 12.0 * static_cast<double>(n_layer) * static_cast<double>(d_model) *
+         static_cast<double>(d_model);
+}
+
+std::vector<PaperModelSpec> Table1Specs() {
+  // Architecture hyperparameters are the published values for each model;
+  // reported_params / dataset_tokens are the paper's Table 1 entries.
+  return {
+      {"GPT", 2018, 12, 768, 110e6, 1e9},
+      {"BERT", 2018, 24, 1024, 340e6, 3e9},
+      {"GPT-2", 2019, 48, 1600, 1.5e9, 10e9},
+      {"GPT-3", 2020, 96, 12288, 175e9, 500e9},
+      {"PaLM", 2022, 118, 18432, 540e9, 780e9},
+      {"GPT-4", 2023, 0, 0, 1.4e12, 0},  // architecture not public
+  };
+}
+
+}  // namespace llm::nn

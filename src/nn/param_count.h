@@ -1,0 +1,41 @@
+// Parameter accounting for transformer LMs (paper §6: "The total number of
+// parameters is roughly 12 D p^2") and the architecture specs behind the
+// paper's Table 1.
+#ifndef TFMR_NN_PARAM_COUNT_H_
+#define TFMR_NN_PARAM_COUNT_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/transformer.h"
+
+namespace llm::nn {
+
+/// Exact parameter count of a GPTModel with this config, computed
+/// analytically (matches GPTModel::NumParameters; verified in tests).
+int64_t AnalyticGptParamCount(const GPTConfig& config);
+
+/// The paper's rule of thumb: 12 * n_layer * d_model^2, counting only the
+/// per-layer weight matrices (qkv 3p^2 + proj p^2 + FFN 8p^2 = 12p^2).
+/// Note the paper counts D as *sublayers* in one place; we use transformer
+/// blocks (attention+FFN pairs), the convention under which GPT-3 (96
+/// blocks, p=12288) gives ~174B =~ its reported 175B.
+double TwelveDPSquaredRule(int n_layer, int64_t d_model);
+
+/// One row of the paper's Table 1, with the published architecture
+/// hyperparameters needed to check the 12Dp^2 rule.
+struct PaperModelSpec {
+  std::string name;
+  int year;
+  int n_layer;        // transformer blocks; 0 if not public
+  int64_t d_model;    // embedding dimension p; 0 if not public
+  double reported_params;   // paper's Table 1 "Number of Parameters"
+  double dataset_tokens;    // paper's Table 1 "Dataset size"; 0 if unknown
+};
+
+/// The six rows of Table 1 (GPT, BERT, GPT-2, GPT-3, PaLM, GPT-4).
+std::vector<PaperModelSpec> Table1Specs();
+
+}  // namespace llm::nn
+
+#endif  // TFMR_NN_PARAM_COUNT_H_

@@ -1,0 +1,25 @@
+#include "nn/positional.h"
+
+#include <cmath>
+
+namespace llm::nn {
+
+core::Tensor SinusoidalPositionalEncoding(int64_t max_len, int64_t dim) {
+  LLM_CHECK_GT(max_len, 0);
+  LLM_CHECK_GT(dim, 0);
+  core::Tensor pe({max_len, dim});
+  for (int64_t pos = 0; pos < max_len; ++pos) {
+    for (int64_t i = 0; i < dim; i += 2) {
+      const double freq =
+          std::pow(10000.0, -static_cast<double>(i) / static_cast<double>(dim));
+      const double angle = static_cast<double>(pos) * freq;
+      pe[pos * dim + i] = static_cast<float>(std::sin(angle));
+      if (i + 1 < dim) {
+        pe[pos * dim + i + 1] = static_cast<float>(std::cos(angle));
+      }
+    }
+  }
+  return pe;
+}
+
+}  // namespace llm::nn

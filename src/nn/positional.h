@@ -1,0 +1,17 @@
+// Positional encodings (§6, Eq. 15).
+#ifndef TFMR_NN_POSITIONAL_H_
+#define TFMR_NN_POSITIONAL_H_
+
+#include "core/tensor.h"
+
+namespace llm::nn {
+
+/// The fixed sinusoidal position encoding of Vaswani et al. (paper Eq. 15):
+///   e[pos, 2i]   = sin(pos / 10000^(2i/dim))
+///   e[pos, 2i+1] = cos(pos / 10000^(2i/dim))
+/// Returns a [max_len, dim] tensor. dim may be odd (last column sin-only).
+core::Tensor SinusoidalPositionalEncoding(int64_t max_len, int64_t dim);
+
+}  // namespace llm::nn
+
+#endif  // TFMR_NN_POSITIONAL_H_

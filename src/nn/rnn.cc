@@ -1,0 +1,105 @@
+#include "nn/rnn.h"
+
+namespace llm::nn {
+
+RnnCell::RnnCell(int64_t input_dim, int64_t hidden_dim, util::Rng* rng)
+    : input_map_(input_dim, hidden_dim, rng, /*bias=*/true),
+      hidden_map_(hidden_dim, hidden_dim, rng, /*bias=*/false) {}
+
+core::Variable RnnCell::Forward(const core::Variable& x,
+                                const core::Variable& h) const {
+  return core::TanhOp(
+      core::Add(input_map_.Forward(x), hidden_map_.Forward(h)));
+}
+
+NamedParams RnnCell::NamedParameters() const {
+  NamedParams out;
+  AppendNamed("input", input_map_.NamedParameters(), &out);
+  AppendNamed("hidden", hidden_map_.NamedParameters(), &out);
+  return out;
+}
+
+LstmCell::LstmCell(int64_t input_dim, int64_t hidden_dim, util::Rng* rng)
+    : hidden_dim_(hidden_dim),
+      input_gates_(input_dim, 4 * hidden_dim, rng, /*bias=*/true),
+      hidden_gates_(hidden_dim, 4 * hidden_dim, rng, /*bias=*/false) {}
+
+LstmCell::State LstmCell::Forward(const core::Variable& x,
+                                  const State& state) const {
+  core::Variable gates =
+      core::Add(input_gates_.Forward(x), hidden_gates_.Forward(state.h));
+  const int64_t H = hidden_dim_;
+  core::Variable i = core::SigmoidOp(core::SliceLastDim(gates, 0, H));
+  core::Variable f = core::SigmoidOp(core::SliceLastDim(gates, H, H));
+  core::Variable g = core::TanhOp(core::SliceLastDim(gates, 2 * H, H));
+  core::Variable o = core::SigmoidOp(core::SliceLastDim(gates, 3 * H, H));
+  core::Variable c = core::Add(core::Mul(f, state.c), core::Mul(i, g));
+  core::Variable h = core::Mul(o, core::TanhOp(c));
+  return {h, c};
+}
+
+NamedParams LstmCell::NamedParameters() const {
+  NamedParams out;
+  AppendNamed("input_gates", input_gates_.NamedParameters(), &out);
+  AppendNamed("hidden_gates", hidden_gates_.NamedParameters(), &out);
+  return out;
+}
+
+RnnLm::RnnLm(const RnnLmConfig& config, util::Rng* rng)
+    : config_(config),
+      tok_emb_(config.vocab_size, config.d_model, rng),
+      head_(config.d_model, config.vocab_size, rng, /*bias=*/false) {
+  LLM_CHECK_GT(config.vocab_size, 0);
+  LLM_CHECK_GT(config.d_model, 0);
+  if (config.cell == RecurrentCellType::kTanhRnn) {
+    rnn_cell_ = std::make_unique<RnnCell>(config.d_model, config.d_model, rng);
+  } else {
+    lstm_cell_ =
+        std::make_unique<LstmCell>(config.d_model, config.d_model, rng);
+  }
+}
+
+core::Variable RnnLm::ForwardLogits(const std::vector<int64_t>& tokens,
+                                    int64_t B, int64_t T) const {
+  LLM_CHECK_EQ(static_cast<int64_t>(tokens.size()), B * T);
+  const int64_t C = config_.d_model;
+  core::Variable emb = tok_emb_.Forward(tokens);  // [B*T, C]
+
+  core::Variable h(core::Tensor({B, C}), /*requires_grad=*/false);
+  core::Variable c(core::Tensor({B, C}), /*requires_grad=*/false);
+  std::vector<core::Variable> outputs;
+  outputs.reserve(static_cast<size_t>(T));
+  for (int64_t t = 0; t < T; ++t) {
+    std::vector<int64_t> rows(static_cast<size_t>(B));
+    for (int64_t b = 0; b < B; ++b) rows[static_cast<size_t>(b)] = b * T + t;
+    core::Variable x_t = core::GatherRows(emb, rows);  // [B, C]
+    if (rnn_cell_) {
+      h = rnn_cell_->Forward(x_t, h);
+    } else {
+      auto next = lstm_cell_->Forward(x_t, {h, c});
+      h = next.h;
+      c = next.c;
+    }
+    outputs.push_back(h);
+  }
+  core::Variable stacked = core::StackTime(outputs);  // [B, T, C]
+  return head_.Forward(core::Reshape(stacked, {B * T, C}));
+}
+
+core::Variable RnnLm::LmLoss(const std::vector<int64_t>& tokens,
+                             const std::vector<int64_t>& targets, int64_t B,
+                             int64_t T, int64_t ignore_index) const {
+  core::Variable logits = ForwardLogits(tokens, B, T);
+  return core::CrossEntropyLogits(logits, targets, ignore_index);
+}
+
+NamedParams RnnLm::NamedParameters() const {
+  NamedParams out;
+  AppendNamed("tok_emb", tok_emb_.NamedParameters(), &out);
+  if (rnn_cell_) AppendNamed("cell", rnn_cell_->NamedParameters(), &out);
+  if (lstm_cell_) AppendNamed("cell", lstm_cell_->NamedParameters(), &out);
+  AppendNamed("head", head_.NamedParameters(), &out);
+  return out;
+}
+
+}  // namespace llm::nn

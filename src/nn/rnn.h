@@ -1,0 +1,90 @@
+// Recurrent language models (paper §5, Eq. 12) — the pre-transformer
+// baselines: a vanilla tanh RNN and an LSTM, each wrapped as a language
+// model (embedding -> unrolled recurrence -> vocabulary logits).
+#ifndef TFMR_NN_RNN_H_
+#define TFMR_NN_RNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace llm::nn {
+
+/// h' = tanh(W_x x + W_h h + b): the state-update map F of Eq. 12.
+class RnnCell : public Module {
+ public:
+  RnnCell(int64_t input_dim, int64_t hidden_dim, util::Rng* rng);
+
+  /// x: [B, input_dim], h: [B, hidden_dim] -> new h.
+  core::Variable Forward(const core::Variable& x,
+                         const core::Variable& h) const;
+
+  NamedParams NamedParameters() const override;
+
+ private:
+  Linear input_map_;   // with bias
+  Linear hidden_map_;  // no bias (absorbed in input_map_)
+};
+
+/// Standard LSTM cell (Hochreiter & Schmidhuber, cited as [57]).
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_dim, int64_t hidden_dim, util::Rng* rng);
+
+  struct State {
+    core::Variable h;
+    core::Variable c;
+  };
+
+  /// x: [B, input_dim]; returns updated (h, c).
+  State Forward(const core::Variable& x, const State& state) const;
+
+  NamedParams NamedParameters() const override;
+
+  int64_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int64_t hidden_dim_;
+  Linear input_gates_;   // [input_dim -> 4*hidden], with bias
+  Linear hidden_gates_;  // [hidden -> 4*hidden], no bias
+};
+
+enum class RecurrentCellType { kTanhRnn, kLstm };
+
+struct RnnLmConfig {
+  int64_t vocab_size = 0;
+  int64_t d_model = 64;
+  RecurrentCellType cell = RecurrentCellType::kTanhRnn;
+};
+
+/// Language model: embedding -> unrolled recurrence -> logits. Serial in T
+/// (the paper's point about the transformer's parallelism advantage, §6).
+class RnnLm : public Module {
+ public:
+  RnnLm(const RnnLmConfig& config, util::Rng* rng);
+
+  /// tokens: [B, T] flattened row-major; returns logits [B*T, vocab].
+  core::Variable ForwardLogits(const std::vector<int64_t>& tokens, int64_t B,
+                               int64_t T) const;
+
+  /// Cross-entropy of targets (same layout) under the model.
+  core::Variable LmLoss(const std::vector<int64_t>& tokens,
+                        const std::vector<int64_t>& targets, int64_t B,
+                        int64_t T, int64_t ignore_index = -1) const;
+
+  NamedParams NamedParameters() const override;
+
+  const RnnLmConfig& config() const { return config_; }
+
+ private:
+  RnnLmConfig config_;
+  Embedding tok_emb_;
+  std::unique_ptr<RnnCell> rnn_cell_;
+  std::unique_ptr<LstmCell> lstm_cell_;
+  Linear head_;
+};
+
+}  // namespace llm::nn
+
+#endif  // TFMR_NN_RNN_H_

@@ -1,0 +1,151 @@
+#include "othello/othello.h"
+
+#include "util/check.h"
+
+namespace llm::othello {
+
+namespace {
+constexpr int kDr[8] = {-1, -1, -1, 0, 0, 1, 1, 1};
+constexpr int kDc[8] = {-1, 0, 1, -1, 1, -1, 0, 1};
+}  // namespace
+
+Board::Board() {
+  cells_.fill(Cell::kEmpty);
+  // Row 3: index 27 (D4) white, 28 (E4) black.
+  // Row 4: index 35 (D5) black, 36 (E5) white.
+  cells_[27] = Cell::kWhite;
+  cells_[28] = Cell::kBlack;
+  cells_[35] = Cell::kBlack;
+  cells_[36] = Cell::kWhite;
+}
+
+Cell Board::at(int index) const {
+  LLM_CHECK_GE(index, 0);
+  LLM_CHECK_LT(index, kCells);
+  return cells_[static_cast<size_t>(index)];
+}
+
+std::vector<int> Board::FlipsFor(int index, Player player) const {
+  std::vector<int> flips;
+  if (index < 0 || index >= kCells ||
+      cells_[static_cast<size_t>(index)] != Cell::kEmpty) {
+    return flips;
+  }
+  const Cell mine = CellOf(player);
+  const Cell theirs = CellOf(Opponent(player));
+  const int row = index / kSize, col = index % kSize;
+  for (int d = 0; d < 8; ++d) {
+    std::vector<int> line;
+    int r = row + kDr[d], c = col + kDc[d];
+    while (r >= 0 && r < kSize && c >= 0 && c < kSize &&
+           cells_[static_cast<size_t>(r * kSize + c)] == theirs) {
+      line.push_back(r * kSize + c);
+      r += kDr[d];
+      c += kDc[d];
+    }
+    if (!line.empty() && r >= 0 && r < kSize && c >= 0 && c < kSize &&
+        cells_[static_cast<size_t>(r * kSize + c)] == mine) {
+      flips.insert(flips.end(), line.begin(), line.end());
+    }
+  }
+  return flips;
+}
+
+bool Board::IsLegal(int index) const {
+  return !FlipsFor(index, to_move_).empty();
+}
+
+std::vector<int> Board::LegalMoves() const {
+  std::vector<int> moves;
+  for (int i = 0; i < kCells; ++i) {
+    if (IsLegal(i)) moves.push_back(i);
+  }
+  return moves;
+}
+
+bool Board::HasLegalMove() const {
+  for (int i = 0; i < kCells; ++i) {
+    if (IsLegal(i)) return true;
+  }
+  return false;
+}
+
+util::Status Board::Apply(int index) {
+  const std::vector<int> flips = FlipsFor(index, to_move_);
+  if (flips.empty()) {
+    return util::Status::InvalidArgument("illegal move " + CellName(index));
+  }
+  const Cell mine = CellOf(to_move_);
+  cells_[static_cast<size_t>(index)] = mine;
+  for (int f : flips) cells_[static_cast<size_t>(f)] = mine;
+  to_move_ = Opponent(to_move_);
+  if (!HasLegalMove()) to_move_ = Opponent(to_move_);  // pass
+  return util::Status::OK();
+}
+
+bool Board::IsTerminal() const { return !HasLegalMove(); }
+
+int Board::CountDiscs(Cell c) const {
+  int n = 0;
+  for (Cell cell : cells_) {
+    if (cell == c) ++n;
+  }
+  return n;
+}
+
+std::array<int8_t, Board::kCells> Board::Snapshot() const {
+  std::array<int8_t, kCells> out;
+  for (int i = 0; i < kCells; ++i) {
+    out[static_cast<size_t>(i)] =
+        static_cast<int8_t>(cells_[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+std::string Board::ToString() const {
+  std::string out;
+  for (int r = 0; r < kSize; ++r) {
+    for (int c = 0; c < kSize; ++c) {
+      const Cell cell = cells_[static_cast<size_t>(r * kSize + c)];
+      out += cell == Cell::kEmpty ? '.' : (cell == Cell::kBlack ? 'B' : 'W');
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Board::CellName(int index) {
+  LLM_CHECK_GE(index, 0);
+  LLM_CHECK_LT(index, kCells);
+  const int row = index / kSize, col = index % kSize;
+  std::string name;
+  name += static_cast<char>('A' + col);
+  name += static_cast<char>('1' + row);
+  return name;
+}
+
+Game RandomGame(util::Rng* rng) {
+  LLM_CHECK(rng != nullptr);
+  Game game;
+  Board board;
+  while (!board.IsTerminal()) {
+    const std::vector<int> moves = board.LegalMoves();
+    const Player mover = board.to_move();
+    const int move =
+        moves[static_cast<size_t>(rng->UniformInt(moves.size()))];
+    LLM_CHECK(board.Apply(move).ok());
+    game.moves.push_back(move);
+    game.boards.push_back(board.Snapshot());
+    game.players.push_back(mover);
+  }
+  return game;
+}
+
+std::vector<Game> RandomGames(int64_t n, util::Rng* rng) {
+  std::vector<Game> games;
+  games.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) games.push_back(RandomGame(rng));
+  return games;
+}
+
+}  // namespace llm::othello

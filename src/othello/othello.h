@@ -1,0 +1,89 @@
+// Othello (Reversi) rules engine — the substrate for the Othello-GPT world
+// model experiment (paper §7, Li et al. [78]): full legal-move generation,
+// disc flipping, pass handling, and random legal-game generation with
+// per-move board snapshots for probing.
+#ifndef TFMR_OTHELLO_OTHELLO_H_
+#define TFMR_OTHELLO_OTHELLO_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace llm::othello {
+
+enum class Cell : int8_t { kEmpty = 0, kBlack = 1, kWhite = 2 };
+
+enum class Player : int8_t { kBlack = 1, kWhite = 2 };
+
+inline Cell CellOf(Player p) {
+  return p == Player::kBlack ? Cell::kBlack : Cell::kWhite;
+}
+inline Player Opponent(Player p) {
+  return p == Player::kBlack ? Player::kWhite : Player::kBlack;
+}
+
+class Board {
+ public:
+  static constexpr int kSize = 8;
+  static constexpr int kCells = kSize * kSize;
+
+  /// Standard initial position (D4/E5 white, D5/E4 black... here encoded
+  /// as indices 27, 36 white and 28, 35 black), black to move.
+  Board();
+
+  Cell at(int index) const;
+  Cell at(int row, int col) const { return at(row * kSize + col); }
+  Player to_move() const { return to_move_; }
+
+  /// Legal destination cells (0..63) for the player to move.
+  std::vector<int> LegalMoves() const;
+  bool IsLegal(int index) const;
+  bool HasLegalMove() const;
+
+  /// Plays a move for the player to move; flips discs; passes the turn to
+  /// the opponent (or back, if the opponent has no legal reply — the
+  /// pass rule). InvalidArgument if the move is illegal.
+  util::Status Apply(int index);
+
+  /// Both players blocked (or board full).
+  bool IsTerminal() const;
+
+  int CountDiscs(Cell c) const;
+
+  /// 64 cells as {0 empty, 1 black, 2 white}.
+  std::array<int8_t, kCells> Snapshot() const;
+
+  /// ASCII rendering for debugging ('.', 'B', 'W', 8x8 rows).
+  std::string ToString() const;
+
+  /// Cell index -> algebraic name ("E3"); column letter then 1-based row.
+  static std::string CellName(int index);
+
+ private:
+  /// Discs flipped by playing `index` for `player`; empty if illegal.
+  std::vector<int> FlipsFor(int index, Player player) const;
+
+  std::array<Cell, kCells> cells_;
+  Player to_move_ = Player::kBlack;
+};
+
+/// One complete random legal game (both players play uniformly random
+/// legal moves until the game is terminal). boards[i] is the snapshot
+/// *after* moves[i]; to_move[i] is the player who made moves[i].
+struct Game {
+  std::vector<int> moves;
+  std::vector<std::array<int8_t, Board::kCells>> boards;
+  std::vector<Player> players;
+};
+
+Game RandomGame(util::Rng* rng);
+
+/// Generates `n` games.
+std::vector<Game> RandomGames(int64_t n, util::Rng* rng);
+
+}  // namespace llm::othello
+
+#endif  // TFMR_OTHELLO_OTHELLO_H_

@@ -1,0 +1,51 @@
+// Decoding strategies (paper Eq. 8: the Boltzmann/softmax inverse map with
+// temperature T): greedy (the beta -> infinity argmax limit), temperature
+// sampling, top-k, and nucleus (top-p) truncation, plus autoregressive
+// generation from a GPTModel.
+#ifndef TFMR_SAMPLE_SAMPLER_H_
+#define TFMR_SAMPLE_SAMPLER_H_
+
+#include <vector>
+
+#include "nn/transformer.h"
+#include "util/rng.h"
+
+namespace llm::sample {
+
+struct SamplerOptions {
+  /// Temperature T of Eq. 8; 0 means greedy argmax.
+  float temperature = 1.0f;
+  /// Keep only the k most likely tokens before sampling; 0 disables.
+  int top_k = 0;
+  /// Keep the smallest prefix of tokens with cumulative probability
+  /// >= top_p; 0 (or >= 1) disables.
+  float top_p = 0.0f;
+};
+
+/// Probability distribution from one logits row under the options
+/// (softmax at temperature, then top-k / top-p truncation, renormalized).
+/// With temperature == 0 the result is a one-hot argmax distribution.
+std::vector<float> DistributionFromLogits(const float* logits, int64_t vocab,
+                                          const SamplerOptions& options);
+
+/// Samples one token id from a logits row.
+int64_t SampleFromLogits(const float* logits, int64_t vocab,
+                         const SamplerOptions& options, util::Rng* rng);
+
+struct GenerateOptions {
+  int64_t max_new_tokens = 32;
+  SamplerOptions sampler;
+  /// Stop early when this token is produced; -1 disables.
+  int64_t stop_token = -1;
+};
+
+/// Autoregressive generation: repeatedly runs the model on the (windowed)
+/// prefix and samples the next token. Returns only the newly generated
+/// tokens. The prefix must be non-empty.
+std::vector<int64_t> Generate(const nn::GPTModel& model,
+                              const std::vector<int64_t>& prefix,
+                              const GenerateOptions& options, util::Rng* rng);
+
+}  // namespace llm::sample
+
+#endif  // TFMR_SAMPLE_SAMPLER_H_

@@ -1,0 +1,148 @@
+#include "sample/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "sample/sampler.h"
+
+namespace llm::sample {
+
+namespace {
+struct Beam {
+  std::vector<int64_t> generated;
+  double log_prob = 0.0;
+  bool finished = false;
+};
+
+double ScoreOf(const Beam& beam, float length_penalty) {
+  if (beam.generated.empty() || length_penalty <= 0.0f) {
+    return beam.log_prob;
+  }
+  return beam.log_prob /
+         std::pow(static_cast<double>(beam.generated.size()),
+                  static_cast<double>(length_penalty));
+}
+}  // namespace
+
+std::vector<BeamResult> BeamSearch(const nn::GPTModel& model,
+                                   const std::vector<int64_t>& prefix,
+                                   const BeamSearchOptions& options) {
+  LLM_CHECK(!prefix.empty());
+  LLM_CHECK_GT(options.beam_width, 0);
+  const int64_t vocab = model.config().vocab_size;
+  const int64_t max_len = model.config().max_seq_len;
+
+  std::vector<Beam> beams = {Beam{}};
+  for (int64_t step = 0; step < options.max_new_tokens; ++step) {
+    struct Candidate {
+      size_t parent;
+      int64_t token;  // -1 = carry a finished beam forward
+      double log_prob;
+    };
+    std::vector<Candidate> candidates;
+    bool any_live = false;
+    for (size_t bi = 0; bi < beams.size(); ++bi) {
+      const Beam& beam = beams[bi];
+      if (beam.finished) {
+        candidates.push_back({bi, -1, beam.log_prob});
+        continue;
+      }
+      std::vector<int64_t> sequence = prefix;
+      sequence.insert(sequence.end(), beam.generated.begin(),
+                      beam.generated.end());
+      const auto T = static_cast<int64_t>(sequence.size());
+      if (T >= max_len) {  // out of window: freeze this beam
+        candidates.push_back({bi, -1, beam.log_prob});
+        continue;
+      }
+      any_live = true;
+      core::Variable logits = model.ForwardLogits(sequence, 1, T);
+      const float* row = logits.value().data() + (T - 1) * vocab;
+      // Log-softmax of the last row.
+      float maxv = row[0];
+      for (int64_t v = 1; v < vocab; ++v) maxv = std::max(maxv, row[v]);
+      double sum = 0.0;
+      for (int64_t v = 0; v < vocab; ++v) sum += std::exp(row[v] - maxv);
+      const double log_z = std::log(sum) + maxv;
+      for (int64_t v = 0; v < vocab; ++v) {
+        candidates.push_back({bi, v, beam.log_prob + row[v] - log_z});
+      }
+    }
+    if (!any_live) break;
+
+    std::partial_sort(
+        candidates.begin(),
+        candidates.begin() +
+            std::min<size_t>(candidates.size(),
+                             static_cast<size_t>(options.beam_width)),
+        candidates.end(),
+        [](const Candidate& a, const Candidate& b) {
+          return a.log_prob > b.log_prob;
+        });
+    std::vector<Beam> next;
+    for (size_t i = 0;
+         i < candidates.size() &&
+         next.size() < static_cast<size_t>(options.beam_width);
+         ++i) {
+      const Candidate& c = candidates[i];
+      Beam beam = beams[c.parent];
+      if (c.token >= 0) {
+        beam.generated.push_back(c.token);
+        beam.log_prob = c.log_prob;
+        if (c.token == options.stop_token) beam.finished = true;
+      } else {
+        beam.finished = true;
+      }
+      next.push_back(std::move(beam));
+    }
+    beams = std::move(next);
+  }
+
+  std::vector<BeamResult> results;
+  results.reserve(beams.size());
+  for (const auto& beam : beams) {
+    results.push_back({beam.generated, beam.log_prob,
+                       ScoreOf(beam, options.length_penalty)});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const BeamResult& a, const BeamResult& b) {
+              return a.score > b.score;
+            });
+  return results;
+}
+
+int64_t SelfConsistentAnswer(const nn::GPTModel& model,
+                             const std::vector<int64_t>& prefix,
+                             const AnswerExtractor& extract,
+                             const SelfConsistencyOptions& options,
+                             util::Rng* rng) {
+  LLM_CHECK(rng != nullptr);
+  std::map<int64_t, int> votes;
+  std::map<int64_t, int> first_seen;
+  int order = 0;
+  for (int s = 0; s < options.num_samples; ++s) {
+    GenerateOptions gopts;
+    gopts.max_new_tokens = options.max_new_tokens;
+    gopts.sampler.temperature = options.temperature;
+    gopts.stop_token = options.stop_token;
+    const std::vector<int64_t> out = Generate(model, prefix, gopts, rng);
+    const int64_t answer = extract(out);
+    if (answer < 0) continue;
+    if (!first_seen.count(answer)) first_seen[answer] = order++;
+    ++votes[answer];
+  }
+  int64_t best = -1;
+  int best_votes = 0;
+  for (const auto& [answer, count] : votes) {
+    if (count > best_votes ||
+        (count == best_votes && best >= 0 &&
+         first_seen[answer] < first_seen[best])) {
+      best = answer;
+      best_votes = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace llm::sample

@@ -1,0 +1,67 @@
+// Search-augmented decoding (paper §8: "LLMs have no component dedicated
+// to search ... this observation is motivating a fair amount of current
+// work on ways to incorporate search", citing tree-of-thoughts [142]).
+// Two standard mechanisms over a fixed model:
+//
+//  * Beam search — breadth-k search over continuations by total
+//    log-probability (the minimal tree search over model outputs).
+//  * Self-consistency — sample several chains of thought at temperature
+//    and majority-vote their final answers (the ensemble counterpart).
+#ifndef TFMR_SAMPLE_SEARCH_H_
+#define TFMR_SAMPLE_SEARCH_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/transformer.h"
+#include "util/rng.h"
+
+namespace llm::sample {
+
+struct BeamSearchOptions {
+  int beam_width = 4;
+  int64_t max_new_tokens = 16;
+  /// Beams emitting this token are finished; -1 disables.
+  int64_t stop_token = -1;
+  /// Scores are log P / (length ^ length_penalty); 0 = raw log prob.
+  float length_penalty = 0.0f;
+};
+
+struct BeamResult {
+  /// Generated tokens (excluding the prefix, including the stop token if
+  /// one was emitted).
+  std::vector<int64_t> tokens;
+  double log_prob = 0.0;
+  double score = 0.0;
+};
+
+/// Returns up to beam_width finished (or budget-exhausted) continuations,
+/// best score first. Prefix plus generation must fit the model window.
+std::vector<BeamResult> BeamSearch(const nn::GPTModel& model,
+                                   const std::vector<int64_t>& prefix,
+                                   const BeamSearchOptions& options);
+
+struct SelfConsistencyOptions {
+  int num_samples = 9;
+  float temperature = 0.7f;
+  int64_t max_new_tokens = 16;
+  int64_t stop_token = -1;
+};
+
+/// Extracts a discrete answer from one sampled continuation; return -1
+/// for "no answer".
+using AnswerExtractor =
+    std::function<int64_t(const std::vector<int64_t>&)>;
+
+/// Samples num_samples continuations and returns the majority answer
+/// (ties broken toward the earlier-seen answer); -1 if no sample yielded
+/// an answer.
+int64_t SelfConsistentAnswer(const nn::GPTModel& model,
+                             const std::vector<int64_t>& prefix,
+                             const AnswerExtractor& extract,
+                             const SelfConsistencyOptions& options,
+                             util::Rng* rng);
+
+}  // namespace llm::sample
+
+#endif  // TFMR_SAMPLE_SEARCH_H_

@@ -1,0 +1,148 @@
+#include "text/bpe.h"
+
+#include <algorithm>
+#include <set>
+
+#include "text/tokenizer.h"
+#include "util/check.h"
+
+namespace llm::text {
+
+namespace {
+
+/// A word as a symbol sequence plus its corpus frequency.
+struct WordEntry {
+  std::vector<std::string> symbols;
+  int64_t count = 0;
+};
+
+std::vector<std::string> WordToSymbols(const std::string& word) {
+  std::vector<std::string> symbols;
+  for (char c : word) symbols.push_back(std::string(1, c));
+  if (!symbols.empty()) symbols.back() += Bpe::kEndOfWord;
+  return symbols;
+}
+
+}  // namespace
+
+void Bpe::Train(const std::string& corpus, int num_merges) {
+  merges_.clear();
+  rank_.clear();
+
+  // Word frequency table.
+  std::unordered_map<std::string, int64_t> word_counts;
+  for (const auto& w : WhitespaceTokenize(corpus)) ++word_counts[w];
+
+  std::vector<WordEntry> words;
+  words.reserve(word_counts.size());
+  for (const auto& [w, count] : word_counts) {
+    if (w.empty()) continue;
+    words.push_back({WordToSymbols(w), count});
+  }
+
+  for (int merge = 0; merge < num_merges; ++merge) {
+    // Count all adjacent pairs weighted by word frequency.
+    std::map<std::pair<std::string, std::string>, int64_t> pair_counts;
+    for (const auto& entry : words) {
+      for (size_t i = 0; i + 1 < entry.symbols.size(); ++i) {
+        pair_counts[{entry.symbols[i], entry.symbols[i + 1]}] += entry.count;
+      }
+    }
+    if (pair_counts.empty()) break;
+    // Most frequent pair; std::map iteration makes ties deterministic.
+    auto best = pair_counts.begin();
+    for (auto it = pair_counts.begin(); it != pair_counts.end(); ++it) {
+      if (it->second > best->second) best = it;
+    }
+    if (best->second < 2) break;  // nothing left worth merging
+
+    const auto [left, right] = best->first;
+    const std::string merged = left + right;
+    rank_[best->first] = merge;
+    merges_.push_back(best->first);
+
+    // Apply the merge to every word.
+    for (auto& entry : words) {
+      std::vector<std::string> out;
+      out.reserve(entry.symbols.size());
+      for (size_t i = 0; i < entry.symbols.size(); ++i) {
+        if (i + 1 < entry.symbols.size() && entry.symbols[i] == left &&
+            entry.symbols[i + 1] == right) {
+          out.push_back(merged);
+          ++i;
+        } else {
+          out.push_back(entry.symbols[i]);
+        }
+      }
+      entry.symbols = std::move(out);
+    }
+  }
+}
+
+Bpe Bpe::FromMerges(
+    std::vector<std::pair<std::string, std::string>> merges) {
+  Bpe bpe;
+  for (size_t i = 0; i < merges.size(); ++i) {
+    bpe.rank_[merges[i]] = static_cast<int>(i);
+  }
+  bpe.merges_ = std::move(merges);
+  return bpe;
+}
+
+std::vector<std::string> Bpe::EncodeWord(const std::string& word) const {
+  std::vector<std::string> symbols = WordToSymbols(word);
+  if (symbols.size() < 2) return symbols;
+  // Repeatedly apply the lowest-rank applicable merge.
+  for (;;) {
+    int best_rank = -1;
+    size_t best_pos = 0;
+    for (size_t i = 0; i + 1 < symbols.size(); ++i) {
+      auto it = rank_.find({symbols[i], symbols[i + 1]});
+      if (it != rank_.end() && (best_rank < 0 || it->second < best_rank)) {
+        best_rank = it->second;
+        best_pos = i;
+      }
+    }
+    if (best_rank < 0) break;
+    symbols[best_pos] += symbols[best_pos + 1];
+    symbols.erase(symbols.begin() + static_cast<ptrdiff_t>(best_pos) + 1);
+  }
+  return symbols;
+}
+
+std::vector<std::string> Bpe::Encode(const std::string& text) const {
+  std::vector<std::string> out;
+  for (const auto& w : WhitespaceTokenize(text)) {
+    auto symbols = EncodeWord(w);
+    out.insert(out.end(), symbols.begin(), symbols.end());
+  }
+  return out;
+}
+
+std::string Bpe::Decode(const std::vector<std::string>& symbols) const {
+  const std::string eow = kEndOfWord;
+  std::string out;
+  for (const auto& s : symbols) {
+    if (s.size() >= eow.size() &&
+        s.compare(s.size() - eow.size(), eow.size(), eow) == 0) {
+      out += s.substr(0, s.size() - eow.size());
+      out += ' ';
+    } else {
+      out += s;
+    }
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::vector<std::string> Bpe::SymbolInventory() const {
+  std::set<std::string> symbols;
+  for (const auto& [l, r] : merges_) {
+    symbols.insert(l);
+    symbols.insert(r);
+    symbols.insert(l + r);
+  }
+  return std::vector<std::string>(symbols.begin(), symbols.end());
+}
+
+}  // namespace llm::text

@@ -1,0 +1,60 @@
+// Byte-pair encoding: the sub-word tokenization of §5 ("supersymmetrization"
+// -> "super" + "symmetr" + "ization"). Classic Sennrich et al. algorithm:
+// start from characters, repeatedly merge the most frequent adjacent symbol
+// pair across the training corpus.
+#ifndef TFMR_TEXT_BPE_H_
+#define TFMR_TEXT_BPE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace llm::text {
+
+class Bpe {
+ public:
+  /// Marks the end of a word so merges cannot cross word boundaries and
+  /// decoding is unambiguous.
+  static constexpr const char* kEndOfWord = "</w>";
+
+  /// Learns up to `num_merges` merges from the words of `corpus`
+  /// (whitespace-tokenized internally). Resets any previous state.
+  void Train(const std::string& corpus, int num_merges);
+
+  /// Reconstructs an encoder from a learned merge list (highest priority
+  /// first) — the deserialization path of text/persistence.h.
+  static Bpe FromMerges(
+      std::vector<std::pair<std::string, std::string>> merges);
+
+  /// Encodes one word as a sequence of learned sub-word symbols (the last
+  /// symbol carries the kEndOfWord suffix).
+  std::vector<std::string> EncodeWord(const std::string& word) const;
+
+  /// Whitespace-splits `text` and concatenates per-word encodings.
+  std::vector<std::string> Encode(const std::string& text) const;
+
+  /// Inverse of Encode (joins symbols; kEndOfWord becomes a space).
+  std::string Decode(const std::vector<std::string>& symbols) const;
+
+  /// Learned merges, highest-priority first.
+  const std::vector<std::pair<std::string, std::string>>& merges() const {
+    return merges_;
+  }
+
+  /// Distinct symbols producible by the encoder (characters + merge
+  /// results, with end-of-word variants).
+  std::vector<std::string> SymbolInventory() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> merges_;
+  /// Merge -> rank (lower = applied first).
+  std::map<std::pair<std::string, std::string>, int> rank_;
+};
+
+}  // namespace llm::text
+
+#endif  // TFMR_TEXT_BPE_H_

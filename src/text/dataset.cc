@@ -1,0 +1,65 @@
+#include "text/dataset.h"
+
+#include "util/check.h"
+
+namespace llm::text {
+
+TokenDataset::TokenDataset(std::vector<int64_t> tokens, int64_t seq_len)
+    : tokens_(std::move(tokens)), seq_len_(seq_len) {
+  LLM_CHECK_GT(seq_len, 0);
+  LLM_CHECK_GT(num_tokens(), seq_len) << "need seq_len+1 tokens";
+}
+
+void TokenDataset::SampleBatch(util::Rng* rng, int64_t batch_size,
+                               std::vector<int64_t>* inputs,
+                               std::vector<int64_t>* targets) const {
+  LLM_CHECK(rng && inputs && targets);
+  inputs->resize(static_cast<size_t>(batch_size * seq_len_));
+  targets->resize(static_cast<size_t>(batch_size * seq_len_));
+  const int64_t max_offset = num_tokens() - seq_len_ - 1;
+  for (int64_t b = 0; b < batch_size; ++b) {
+    const int64_t off =
+        static_cast<int64_t>(rng->UniformInt(
+            static_cast<uint64_t>(max_offset + 1)));
+    for (int64_t i = 0; i < seq_len_; ++i) {
+      (*inputs)[static_cast<size_t>(b * seq_len_ + i)] =
+          tokens_[static_cast<size_t>(off + i)];
+      (*targets)[static_cast<size_t>(b * seq_len_ + i)] =
+          tokens_[static_cast<size_t>(off + i + 1)];
+    }
+  }
+}
+
+void TokenDataset::EvalWindows(int64_t max_windows,
+                               std::vector<int64_t>* inputs,
+                               std::vector<int64_t>* targets,
+                               int64_t* num_windows) const {
+  LLM_CHECK(inputs && targets && num_windows);
+  inputs->clear();
+  targets->clear();
+  int64_t count = 0;
+  for (int64_t off = 0; off + seq_len_ + 1 <= num_tokens() &&
+                        count < max_windows;
+       off += seq_len_) {
+    for (int64_t i = 0; i < seq_len_; ++i) {
+      inputs->push_back(tokens_[static_cast<size_t>(off + i)]);
+      targets->push_back(tokens_[static_cast<size_t>(off + i + 1)]);
+    }
+    ++count;
+  }
+  *num_windows = count;
+  LLM_CHECK_GT(count, 0);
+}
+
+std::pair<std::vector<int64_t>, std::vector<int64_t>> SplitTokens(
+    const std::vector<int64_t>& tokens, double test_fraction) {
+  LLM_CHECK_GE(test_fraction, 0.0);
+  LLM_CHECK_LT(test_fraction, 1.0);
+  const auto n = static_cast<int64_t>(tokens.size());
+  const int64_t test_n = static_cast<int64_t>(n * test_fraction);
+  const int64_t train_n = n - test_n;
+  return {std::vector<int64_t>(tokens.begin(), tokens.begin() + train_n),
+          std::vector<int64_t>(tokens.begin() + train_n, tokens.end())};
+}
+
+}  // namespace llm::text

@@ -1,0 +1,46 @@
+// TokenDataset: sliding-window batching over an encoded token stream for
+// next-token prediction (the training objective, Eq. 3).
+#ifndef TFMR_TEXT_DATASET_H_
+#define TFMR_TEXT_DATASET_H_
+
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace llm::text {
+
+class TokenDataset {
+ public:
+  /// seq_len is the model window length T. Requires at least seq_len + 1
+  /// tokens (input + shifted target).
+  TokenDataset(std::vector<int64_t> tokens, int64_t seq_len);
+
+  /// Fills `inputs`/`targets` (row-major [B, seq_len]) with B windows
+  /// starting at uniform random offsets. targets[i] = tokens[offset+i+1].
+  void SampleBatch(util::Rng* rng, int64_t batch_size,
+                   std::vector<int64_t>* inputs,
+                   std::vector<int64_t>* targets) const;
+
+  /// Deterministic evaluation windows tiling the stream (non-overlapping),
+  /// at most `max_windows` of them.
+  void EvalWindows(int64_t max_windows, std::vector<int64_t>* inputs,
+                   std::vector<int64_t>* targets, int64_t* num_windows) const;
+
+  int64_t num_tokens() const { return static_cast<int64_t>(tokens_.size()); }
+  int64_t seq_len() const { return seq_len_; }
+  const std::vector<int64_t>& tokens() const { return tokens_; }
+
+ private:
+  std::vector<int64_t> tokens_;
+  int64_t seq_len_;
+};
+
+/// Splits a token stream into train/test prefix+suffix; test_fraction of
+/// the tokens (at the end) go to the second element.
+std::pair<std::vector<int64_t>, std::vector<int64_t>> SplitTokens(
+    const std::vector<int64_t>& tokens, double test_fraction);
+
+}  // namespace llm::text
+
+#endif  // TFMR_TEXT_DATASET_H_

@@ -1,0 +1,73 @@
+#include "text/persistence.h"
+
+#include <fstream>
+
+namespace llm::text {
+
+util::Status SaveVocab(const Vocab& vocab, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IOError("cannot open for write: " + path);
+  for (int64_t id = 0; id < vocab.size(); ++id) {
+    const std::string& token = vocab.TokenOf(id);
+    if (token.find('\n') != std::string::npos) {
+      return util::Status::InvalidArgument("token contains newline");
+    }
+    out << token << '\n';
+  }
+  if (!out) return util::Status::IOError("write failed: " + path);
+  return util::Status::OK();
+}
+
+util::StatusOr<Vocab> LoadVocab(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IOError("cannot open for read: " + path);
+  Vocab vocab;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const int64_t id = vocab.AddToken(line);
+    if (id != line_no - 1) {
+      return util::Status::InvalidArgument(
+          "duplicate token at line " + std::to_string(line_no));
+    }
+  }
+  if (vocab.size() == 0) {
+    return util::Status::InvalidArgument("empty vocabulary file: " + path);
+  }
+  return vocab;
+}
+
+util::Status SaveBpeMerges(const Bpe& bpe, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IOError("cannot open for write: " + path);
+  for (const auto& [left, right] : bpe.merges()) {
+    out << left << ' ' << right << '\n';
+  }
+  if (!out) return util::Status::IOError("write failed: " + path);
+  return util::Status::OK();
+}
+
+util::StatusOr<Bpe> LoadBpeMerges(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IOError("cannot open for read: " + path);
+  std::vector<std::pair<std::string, std::string>> merges;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const size_t space = line.find(' ');
+    if (space == std::string::npos || space == 0 ||
+        space + 1 >= line.size() ||
+        line.find(' ', space + 1) != std::string::npos) {
+      return util::Status::InvalidArgument(
+          "malformed merge at line " + std::to_string(line_no) + ": " +
+          line);
+    }
+    merges.emplace_back(line.substr(0, space), line.substr(space + 1));
+  }
+  return Bpe::FromMerges(std::move(merges));
+}
+
+}  // namespace llm::text

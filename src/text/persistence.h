@@ -1,0 +1,31 @@
+// Persistence for text-pipeline artifacts: vocabularies and learned BPE
+// merge tables, in line-oriented text formats (a production tokenizer is
+// trained once and shipped; see the §3 footnote on consistent
+// tokenization of the corpus).
+#ifndef TFMR_TEXT_PERSISTENCE_H_
+#define TFMR_TEXT_PERSISTENCE_H_
+
+#include <string>
+
+#include "text/bpe.h"
+#include "text/vocab.h"
+#include "util/status.h"
+
+namespace llm::text {
+
+/// One token per line, in id order. Tokens must not contain newlines.
+util::Status SaveVocab(const Vocab& vocab, const std::string& path);
+
+/// Loads a vocabulary saved by SaveVocab (ids are line numbers).
+util::StatusOr<Vocab> LoadVocab(const std::string& path);
+
+/// "left right" per line, highest-priority merge first (the standard
+/// merges.txt format).
+util::Status SaveBpeMerges(const Bpe& bpe, const std::string& path);
+
+/// Reconstructs a Bpe encoder from a merges file (ranks = line order).
+util::StatusOr<Bpe> LoadBpeMerges(const std::string& path);
+
+}  // namespace llm::text
+
+#endif  // TFMR_TEXT_PERSISTENCE_H_

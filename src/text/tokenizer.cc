@@ -1,0 +1,52 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace llm::text {
+
+std::vector<std::string> WhitespaceTokenize(const std::string& text,
+                                            bool split_punctuation,
+                                            bool lowercase) {
+  std::vector<std::string> out;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      out.push_back(current);
+      current.clear();
+    }
+  };
+  for (char raw : text) {
+    char c = lowercase ? static_cast<char>(std::tolower(
+                             static_cast<unsigned char>(raw)))
+                       : raw;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+    } else if (split_punctuation &&
+               std::ispunct(static_cast<unsigned char>(c))) {
+      flush();
+      out.push_back(std::string(1, c));
+    } else {
+      current += c;
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<std::string> CharTokenize(const std::string& text) {
+  std::vector<std::string> out;
+  out.reserve(text.size());
+  for (char c : text) out.push_back(std::string(1, c));
+  return out;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace llm::text

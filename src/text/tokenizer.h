@@ -1,0 +1,26 @@
+// Tokenizers: whitespace and character-level splitting (the "first step in
+// LLM processing" of §5). Sub-word BPE lives in bpe.h.
+#ifndef TFMR_TEXT_TOKENIZER_H_
+#define TFMR_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+namespace llm::text {
+
+/// Splits on runs of whitespace. When `split_punctuation` is true,
+/// punctuation characters become their own tokens ("cat." -> "cat", ".").
+std::vector<std::string> WhitespaceTokenize(const std::string& text,
+                                            bool split_punctuation = false,
+                                            bool lowercase = false);
+
+/// One token per byte-character.
+std::vector<std::string> CharTokenize(const std::string& text);
+
+/// Joins tokens with single spaces (inverse of WhitespaceTokenize up to
+/// whitespace normalization).
+std::string JoinTokens(const std::vector<std::string>& tokens);
+
+}  // namespace llm::text
+
+#endif  // TFMR_TEXT_TOKENIZER_H_

@@ -1,0 +1,56 @@
+#include "text/vocab.h"
+
+namespace llm::text {
+
+int64_t Vocab::AddToken(const std::string& token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  const int64_t id = size();
+  ids_.emplace(token, id);
+  tokens_.push_back(token);
+  return id;
+}
+
+int64_t Vocab::IdOf(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+int64_t Vocab::IdOrUnk(const std::string& token, int64_t unk_id) const {
+  const int64_t id = IdOf(token);
+  return id >= 0 ? id : unk_id;
+}
+
+const std::string& Vocab::TokenOf(int64_t id) const {
+  LLM_CHECK_GE(id, 0);
+  LLM_CHECK_LT(id, size());
+  return tokens_[static_cast<size_t>(id)];
+}
+
+std::vector<int64_t> Vocab::Encode(const std::vector<std::string>& tokens,
+                                   bool grow, int64_t unk_id) {
+  std::vector<int64_t> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    if (grow) {
+      out.push_back(AddToken(t));
+    } else {
+      const int64_t id = IdOrUnk(t, unk_id);
+      LLM_CHECK_GE(id, 0) << "unknown token with no unk id:" << t;
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::string Vocab::Decode(const std::vector<int64_t>& ids,
+                          const std::string& sep) const {
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i) out += sep;
+    out += TokenOf(ids[i]);
+  }
+  return out;
+}
+
+}  // namespace llm::text

@@ -1,0 +1,49 @@
+// Vocabulary: bidirectional token <-> id map (the index set W of §5).
+#ifndef TFMR_TEXT_VOCAB_H_
+#define TFMR_TEXT_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace llm::text {
+
+class Vocab {
+ public:
+  Vocab() = default;
+
+  /// Adds a token if not present; returns its id either way.
+  int64_t AddToken(const std::string& token);
+
+  /// Id of `token`, or -1 if absent.
+  int64_t IdOf(const std::string& token) const;
+
+  /// Id of `token`, or `unk_id` if absent.
+  int64_t IdOrUnk(const std::string& token, int64_t unk_id) const;
+
+  bool Contains(const std::string& token) const { return IdOf(token) >= 0; }
+
+  /// Token string for a valid id (aborts on out-of-range).
+  const std::string& TokenOf(int64_t id) const;
+
+  int64_t size() const { return static_cast<int64_t>(tokens_.size()); }
+
+  /// Encodes a token sequence, adding unseen tokens when `grow` is true,
+  /// otherwise mapping them to unk_id (which must be >= 0 then).
+  std::vector<int64_t> Encode(const std::vector<std::string>& tokens,
+                              bool grow = true, int64_t unk_id = -1);
+
+  /// Decodes ids to tokens joined with `sep`.
+  std::string Decode(const std::vector<int64_t>& ids,
+                     const std::string& sep = " ") const;
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int64_t> ids_;
+};
+
+}  // namespace llm::text
+
+#endif  // TFMR_TEXT_VOCAB_H_

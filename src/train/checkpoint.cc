@@ -1,0 +1,107 @@
+#include "train/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+namespace llm::train {
+
+namespace {
+constexpr char kMagic[8] = {'T', 'F', 'M', 'R', 'C', 'K', 'P', 'T'};
+
+template <typename T>
+void WritePod(std::ofstream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(in);
+}
+}  // namespace
+
+util::Status SaveCheckpoint(const nn::Module& module,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::IOError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const nn::NamedParams params = module.NamedParameters();
+  WritePod<uint64_t>(out, params.size());
+  for (const auto& [name, var] : params) {
+    WritePod<uint32_t>(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const core::Tensor& t = var.value();
+    WritePod<uint32_t>(out, static_cast<uint32_t>(t.ndim()));
+    for (int i = 0; i < t.ndim(); ++i) WritePod<int64_t>(out, t.dim(i));
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  if (!out) return util::Status::IOError("write failed: " + path);
+  return util::Status::OK();
+}
+
+util::Status LoadCheckpoint(nn::Module* module, const std::string& path) {
+  if (module == nullptr) {
+    return util::Status::InvalidArgument("null module");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::IOError("cannot open for read: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::InvalidArgument("bad checkpoint magic: " + path);
+  }
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) {
+    return util::Status::IOError("truncated checkpoint: " + path);
+  }
+
+  std::map<std::string, core::Variable> by_name;
+  for (auto& [name, var] : module->NamedParameters()) {
+    by_name.emplace(name, var);
+  }
+  if (count != by_name.size()) {
+    return util::Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " params, module has " +
+        std::to_string(by_name.size()));
+  }
+
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len)) {
+      return util::Status::IOError("truncated checkpoint (name len)");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t ndim = 0;
+    if (!in || !ReadPod(in, &ndim)) {
+      return util::Status::IOError("truncated checkpoint (ndim)");
+    }
+    core::Shape shape(ndim);
+    for (auto& d : shape) {
+      if (!ReadPod(in, &d)) {
+        return util::Status::IOError("truncated checkpoint (dims)");
+      }
+    }
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return util::Status::NotFound("unknown parameter in checkpoint: " +
+                                    name);
+    }
+    core::Tensor& dst = it->second.mutable_value();
+    if (dst.shape() != shape) {
+      return util::Status::InvalidArgument(
+          "shape mismatch for " + name + ": file " +
+          core::ShapeToString(shape) + " vs module " +
+          core::ShapeToString(dst.shape()));
+    }
+    in.read(reinterpret_cast<char*>(dst.data()),
+            static_cast<std::streamsize>(dst.numel() * sizeof(float)));
+    if (!in) return util::Status::IOError("truncated checkpoint (data)");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace llm::train

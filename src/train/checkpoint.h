@@ -1,0 +1,27 @@
+// Checkpointing: binary save/load of a module's named parameters.
+//
+// Format (little-endian):
+//   magic "TFMRCKPT" (8 bytes) | uint64 param_count
+//   per param: uint32 name_len | name bytes | uint32 ndim |
+//              int64 dims[ndim] | float32 data[numel]
+#ifndef TFMR_TRAIN_CHECKPOINT_H_
+#define TFMR_TRAIN_CHECKPOINT_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace llm::train {
+
+/// Writes all named parameters of `module` to `path`.
+util::Status SaveCheckpoint(const nn::Module& module, const std::string& path);
+
+/// Loads parameters by name into `module`. Every parameter in the module
+/// must be present in the file with a matching shape; extra entries in the
+/// file are an error (strict round-trip).
+util::Status LoadCheckpoint(nn::Module* module, const std::string& path);
+
+}  // namespace llm::train
+
+#endif  // TFMR_TRAIN_CHECKPOINT_H_

@@ -1,0 +1,96 @@
+#include "train/optimizer.h"
+
+#include <cmath>
+
+namespace llm::train {
+
+Optimizer::Optimizer(std::vector<core::Variable> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  for (const auto& p : params_) {
+    LLM_CHECK(p.defined());
+    LLM_CHECK(p.requires_grad()) << "optimizer given a frozen parameter";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<core::Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {}
+
+void Sgd::Step() {
+  if (momentum_ != 0.0f && velocity_.empty()) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) velocity_.emplace_back(p.shape());
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    core::Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    const core::Tensor& g = p.grad();
+    core::Tensor& w = p.mutable_value();
+    if (momentum_ == 0.0f) {
+      w.AddScaled(g, -lr_);
+    } else {
+      core::Tensor& vel = velocity_[i];
+      vel.Scale(momentum_);
+      vel.Add(g);
+      w.AddScaled(vel, -lr_);
+    }
+  }
+}
+
+AdamW::AdamW(std::vector<core::Variable> params, const AdamWOptions& options)
+    : Optimizer(std::move(params), options.lr), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.shape());
+    v_.emplace_back(p.shape());
+  }
+}
+
+void AdamW::Step() {
+  ++step_;
+  const float b1 = options_.beta1, b2 = options_.beta2;
+  const float bias1 =
+      1.0f - std::pow(b1, static_cast<float>(step_));
+  const float bias2 =
+      1.0f - std::pow(b2, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    core::Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    const core::Tensor& g = p.grad();
+    core::Tensor& w = p.mutable_value();
+    core::Tensor& m = m_[i];
+    core::Tensor& v = v_[i];
+    const bool decay = options_.weight_decay > 0.0f && w.ndim() >= 2;
+    for (int64_t j = 0; j < w.numel(); ++j) {
+      m[j] = b1 * m[j] + (1.0f - b1) * g[j];
+      v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
+      const float mhat = m[j] / bias1;
+      const float vhat = v[j] / bias2;
+      float update = mhat / (std::sqrt(vhat) + options_.eps);
+      if (decay) update += options_.weight_decay * w[j];
+      w[j] -= lr_ * update;
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<core::Variable>& params,
+                   float max_norm) {
+  double sq = 0.0;
+  for (const auto& p : params) {
+    if (p.has_grad()) sq += p.grad().SquaredNorm();
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (max_norm > 0.0f && norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-12f);
+    for (auto p : params) {
+      if (p.has_grad()) p.mutable_grad().Scale(scale);
+    }
+  }
+  return norm;
+}
+
+}  // namespace llm::train

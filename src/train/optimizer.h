@@ -1,0 +1,79 @@
+// Optimizers: plain SGD (paper Eq. 16), SGD with momentum, and AdamW
+// (decoupled weight decay — the optimizer used in the grokking literature
+// the paper discusses in §4).
+#ifndef TFMR_TRAIN_OPTIMIZER_H_
+#define TFMR_TRAIN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "core/graph.h"
+
+namespace llm::train {
+
+/// Base class: owns the parameter list and the learning rate.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<core::Variable> params, float lr);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients (call after Step).
+  void ZeroGrad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+  const std::vector<core::Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<core::Variable> params_;
+  float lr_;
+};
+
+/// theta <- theta - lr * grad, optionally with momentum buffer.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<core::Variable> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<core::Tensor> velocity_;  // allocated on first step if needed
+};
+
+struct AdamWOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  /// Decoupled weight decay. Applied only to parameters with ndim >= 2
+  /// (matrices), never to biases, gains, or embedding-free vectors —
+  /// the standard masking.
+  float weight_decay = 0.0f;
+};
+
+class AdamW : public Optimizer {
+ public:
+  AdamW(std::vector<core::Variable> params, const AdamWOptions& options);
+
+  void Step() override;
+
+  int64_t step_count() const { return step_; }
+
+ private:
+  AdamWOptions options_;
+  int64_t step_ = 0;
+  std::vector<core::Tensor> m_;
+  std::vector<core::Tensor> v_;
+};
+
+/// Scales all gradients so their global L2 norm is at most max_norm.
+/// Returns the pre-clip norm. No-op (returns norm) if max_norm <= 0.
+float ClipGradNorm(const std::vector<core::Variable>& params, float max_norm);
+
+}  // namespace llm::train
+
+#endif  // TFMR_TRAIN_OPTIMIZER_H_

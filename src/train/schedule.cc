@@ -1,0 +1,32 @@
+#include "train/schedule.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace llm::train {
+
+WarmupCosineLr::WarmupCosineLr(float base_lr, int64_t warmup_steps,
+                               int64_t total_steps, float min_lr)
+    : base_lr_(base_lr),
+      warmup_steps_(warmup_steps),
+      total_steps_(total_steps),
+      min_lr_(min_lr) {
+  LLM_CHECK_GE(warmup_steps, 0);
+  LLM_CHECK_GT(total_steps, warmup_steps);
+}
+
+float WarmupCosineLr::LrAt(int64_t step) const {
+  if (step < warmup_steps_) {
+    return base_lr_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  if (step >= total_steps_) return min_lr_;
+  const double progress =
+      static_cast<double>(step - warmup_steps_) /
+      static_cast<double>(total_steps_ - warmup_steps_);
+  const double cosine = 0.5 * (1.0 + std::cos(M_PI * progress));
+  return static_cast<float>(min_lr_ + (base_lr_ - min_lr_) * cosine);
+}
+
+}  // namespace llm::train

@@ -1,0 +1,44 @@
+// Learning-rate schedules (the "learning rate hyperparameter" of Eq. 16;
+// warmup+cosine is the standard LLM recipe).
+#ifndef TFMR_TRAIN_SCHEDULE_H_
+#define TFMR_TRAIN_SCHEDULE_H_
+
+#include <cstdint>
+
+namespace llm::train {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate to use at 0-based step `step`.
+  virtual float LrAt(int64_t step) const = 0;
+};
+
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float LrAt(int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Linear warmup from 0 over `warmup_steps`, then cosine decay from base_lr
+/// to min_lr over the remaining steps up to total_steps, constant after.
+class WarmupCosineLr : public LrSchedule {
+ public:
+  WarmupCosineLr(float base_lr, int64_t warmup_steps, int64_t total_steps,
+                 float min_lr = 0.0f);
+
+  float LrAt(int64_t step) const override;
+
+ private:
+  float base_lr_;
+  int64_t warmup_steps_;
+  int64_t total_steps_;
+  float min_lr_;
+};
+
+}  // namespace llm::train
+
+#endif  // TFMR_TRAIN_SCHEDULE_H_

@@ -1,0 +1,54 @@
+#include "train/trainer.h"
+
+#include <cstdio>
+
+namespace llm::train {
+
+Trainer::Trainer(Optimizer* optimizer, const TrainerOptions& options)
+    : optimizer_(optimizer), options_(options) {
+  LLM_CHECK(optimizer != nullptr);
+  LLM_CHECK_GT(options.max_steps, 0);
+}
+
+void Trainer::Run(const std::function<core::Variable()>& loss_fn,
+                  const std::function<void(int64_t)>& eval_fn) {
+  history_.reserve(static_cast<size_t>(options_.max_steps));
+  for (int64_t step = 0; step < options_.max_steps; ++step) {
+    if (options_.schedule) optimizer_->set_lr(options_.schedule->LrAt(step));
+    core::Variable loss = loss_fn();
+    optimizer_->ZeroGrad();
+    core::Backward(loss);
+    const float grad_norm =
+        ClipGradNorm(optimizer_->params(), options_.clip_norm);
+    optimizer_->Step();
+    history_.push_back(
+        {step, loss.value()[0], optimizer_->lr(), grad_norm});
+    if (options_.log_every > 0 &&
+        (step % options_.log_every == 0 || step + 1 == options_.max_steps)) {
+      std::printf("step %6lld  loss %.4f  lr %.2e  |g| %.3f\n",
+                  static_cast<long long>(step),
+                  static_cast<double>(loss.value()[0]),
+                  static_cast<double>(optimizer_->lr()),
+                  static_cast<double>(grad_norm));
+      std::fflush(stdout);
+    }
+    if (eval_fn && options_.eval_every > 0 &&
+        (step % options_.eval_every == 0 ||
+         step + 1 == options_.max_steps)) {
+      eval_fn(step);
+    }
+  }
+}
+
+float Trainer::RecentLoss(int64_t n) const {
+  if (history_.empty()) return 0.0f;
+  const int64_t count =
+      std::min<int64_t>(n, static_cast<int64_t>(history_.size()));
+  double sum = 0.0;
+  for (int64_t i = 0; i < count; ++i) {
+    sum += history_[history_.size() - 1 - static_cast<size_t>(i)].loss;
+  }
+  return static_cast<float>(sum / count);
+}
+
+}  // namespace llm::train

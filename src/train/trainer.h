@@ -1,0 +1,60 @@
+// Trainer: the generic SGD loop shared by every experiment in bench/.
+//
+// The caller supplies a loss-builder closure (which assembles a fresh
+// forward graph for one batch and returns the scalar loss Variable) and an
+// optimizer; the trainer runs Backward, optional gradient clipping, the
+// optimizer step, the LR schedule, and records the loss history.
+#ifndef TFMR_TRAIN_TRAINER_H_
+#define TFMR_TRAIN_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "train/optimizer.h"
+#include "train/schedule.h"
+
+namespace llm::train {
+
+struct TrainerOptions {
+  int64_t max_steps = 1000;
+  /// Global grad-norm clip; 0 disables.
+  float clip_norm = 0.0f;
+  /// Invoke the eval callback every this many steps (and at the last
+  /// step); 0 disables.
+  int64_t eval_every = 0;
+  /// Optional schedule; when null the optimizer's fixed lr is used.
+  const LrSchedule* schedule = nullptr;
+  /// Print progress lines every this many steps; 0 = silent.
+  int64_t log_every = 0;
+};
+
+struct StepRecord {
+  int64_t step = 0;
+  float loss = 0.0f;
+  float lr = 0.0f;
+  float grad_norm = 0.0f;
+};
+
+class Trainer {
+ public:
+  Trainer(Optimizer* optimizer, const TrainerOptions& options);
+
+  /// Runs the loop. `loss_fn` is called once per step. `eval_fn`, if given,
+  /// is called with the current step per TrainerOptions::eval_every.
+  void Run(const std::function<core::Variable()>& loss_fn,
+           const std::function<void(int64_t step)>& eval_fn = {});
+
+  const std::vector<StepRecord>& history() const { return history_; }
+
+  /// Mean loss over the last `n` recorded steps.
+  float RecentLoss(int64_t n = 50) const;
+
+ private:
+  Optimizer* optimizer_;
+  TrainerOptions options_;
+  std::vector<StepRecord> history_;
+};
+
+}  // namespace llm::train
+
+#endif  // TFMR_TRAIN_TRAINER_H_

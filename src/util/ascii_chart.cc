@@ -1,0 +1,97 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace llm::util {
+
+AsciiChart::AsciiChart(int width, int height)
+    : width_(width), height_(height) {
+  LLM_CHECK_GE(width, 8);
+  LLM_CHECK_GE(height, 3);
+}
+
+void AsciiChart::AddSeries(char glyph, std::vector<double> ys,
+                           std::string label) {
+  LLM_CHECK(!ys.empty());
+  series_.push_back({glyph, std::move(ys), std::move(label)});
+}
+
+void AsciiChart::SetYRange(double lo, double hi) {
+  LLM_CHECK_LT(lo, hi);
+  fixed_range_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+std::string AsciiChart::Render() const {
+  LLM_CHECK(!series_.empty());
+  double lo = y_lo_, hi = y_hi_;
+  if (!fixed_range_) {
+    lo = series_[0].ys[0];
+    hi = lo;
+    for (const auto& s : series_) {
+      for (double y : s.ys) {
+        lo = std::min(lo, y);
+        hi = std::max(hi, y);
+      }
+    }
+    if (hi == lo) hi = lo + 1.0;
+  }
+
+  std::vector<std::string> grid(
+      static_cast<size_t>(height_), std::string(static_cast<size_t>(width_), ' '));
+  auto row_of = [&](double y) {
+    double frac = (y - lo) / (hi - lo);
+    frac = std::clamp(frac, 0.0, 1.0);
+    return height_ - 1 -
+           static_cast<int>(std::lround(frac * (height_ - 1)));
+  };
+  for (const auto& s : series_) {
+    const auto n = static_cast<int>(s.ys.size());
+    for (int col = 0; col < width_; ++col) {
+      // Nearest sample for this column.
+      const int idx =
+          n == 1 ? 0
+                 : static_cast<int>(std::lround(
+                       static_cast<double>(col) * (n - 1) / (width_ - 1)));
+      const int row = row_of(s.ys[static_cast<size_t>(idx)]);
+      grid[static_cast<size_t>(row)][static_cast<size_t>(col)] = s.glyph;
+    }
+  }
+
+  char buf[32];
+  std::string out;
+  for (int r = 0; r < height_; ++r) {
+    // Label the top, middle, and bottom rows.
+    if (r == 0 || r == height_ - 1 || r == height_ / 2) {
+      const double frac =
+          1.0 - static_cast<double>(r) / (height_ - 1);
+      std::snprintf(buf, sizeof(buf), "%8.3g |", lo + frac * (hi - lo));
+      out += buf;
+    } else {
+      out += "         |";
+    }
+    out += grid[static_cast<size_t>(r)];
+    out += '\n';
+  }
+  out += "         +";
+  out += std::string(static_cast<size_t>(width_), '-');
+  out += '\n';
+  bool any_label = false;
+  for (const auto& s : series_) {
+    if (!s.label.empty()) {
+      out += any_label ? "   " : "           ";
+      out += s.glyph;
+      out += " = " + s.label;
+      any_label = true;
+    }
+  }
+  if (any_label) out += '\n';
+  return out;
+}
+
+}  // namespace llm::util

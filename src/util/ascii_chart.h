@@ -1,0 +1,48 @@
+// ASCII line charts for the benchmark harnesses: the repo reproduces
+// *figures*, and a terminal rendering of the curve (loss vs steps, the
+// grokking two-phase plot) communicates the shape directly in
+// bench_output.txt.
+#ifndef TFMR_UTIL_ASCII_CHART_H_
+#define TFMR_UTIL_ASCII_CHART_H_
+
+#include <string>
+#include <vector>
+
+namespace llm::util {
+
+/// Plots one or more series (each an ordered vector of y values sampled
+/// uniformly in x) on a character grid. Later series overdraw earlier
+/// ones where they collide.
+class AsciiChart {
+ public:
+  /// width/height are the plot area in characters (axes add margin).
+  AsciiChart(int width, int height);
+
+  /// Adds a series drawn with `glyph`. Series may have different lengths;
+  /// each is stretched to the full width.
+  void AddSeries(char glyph, std::vector<double> ys,
+                 std::string label = "");
+
+  /// Fix the y range (default: min/max over all series).
+  void SetYRange(double lo, double hi);
+
+  /// Multi-line rendering with y-axis labels and a legend line.
+  std::string Render() const;
+
+ private:
+  struct Series {
+    char glyph;
+    std::vector<double> ys;
+    std::string label;
+  };
+
+  int width_;
+  int height_;
+  bool fixed_range_ = false;
+  double y_lo_ = 0.0, y_hi_ = 1.0;
+  std::vector<Series> series_;
+};
+
+}  // namespace llm::util
+
+#endif  // TFMR_UTIL_ASCII_CHART_H_

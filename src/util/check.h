@@ -1,0 +1,66 @@
+// LLM_CHECK: invariant assertions that abort with a message on failure.
+//
+// Used for programmer errors (shape mismatches, index bugs) where unwinding
+// to the caller with a Status would only obscure the bug. Active in all build
+// types: a silently-corrupted training run is worse than a crash.
+#ifndef TFMR_UTIL_CHECK_H_
+#define TFMR_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace llm::util::internal {
+
+/// Accumulates the failure message and aborts when destroyed (end of the
+/// full expression containing the failed check).
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << " " << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lower-precedence-than-<< adapter so the ternary in LLM_CHECK has type
+/// void on both arms while still allowing `LLM_CHECK(x) << "context"`.
+struct Voidifier {
+  void operator&(CheckFailStream&) const {}
+  void operator&(CheckFailStream&&) const {}
+};
+
+}  // namespace llm::util::internal
+
+#define LLM_CHECK(cond)                                              \
+  (cond) ? (void)0                                                   \
+         : ::llm::util::internal::Voidifier() &                      \
+               ::llm::util::internal::CheckFailStream(__FILE__,      \
+                                                      __LINE__, #cond)
+
+// Binary comparison checks that print both operands on failure.
+#define LLM_CHECK_OP_(op, a, b)                                      \
+  ((a)op(b)) ? (void)0                                               \
+             : ::llm::util::internal::Voidifier() &                  \
+                   (::llm::util::internal::CheckFailStream(          \
+                        __FILE__, __LINE__, #a " " #op " " #b)       \
+                    << "(" << (a) << " vs " << (b) << ")")
+
+#define LLM_CHECK_EQ(a, b) LLM_CHECK_OP_(==, a, b)
+#define LLM_CHECK_NE(a, b) LLM_CHECK_OP_(!=, a, b)
+#define LLM_CHECK_LT(a, b) LLM_CHECK_OP_(<, a, b)
+#define LLM_CHECK_LE(a, b) LLM_CHECK_OP_(<=, a, b)
+#define LLM_CHECK_GT(a, b) LLM_CHECK_OP_(>, a, b)
+#define LLM_CHECK_GE(a, b) LLM_CHECK_OP_(>=, a, b)
+
+#endif  // TFMR_UTIL_CHECK_H_

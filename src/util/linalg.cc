@@ -1,0 +1,39 @@
+#include "util/linalg.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace llm::util {
+
+bool SolveLinearSystem(std::vector<std::vector<double>> a,
+                       std::vector<double> b, std::vector<double>* x) {
+  LLM_CHECK(x != nullptr);
+  const size_t n = a.size();
+  LLM_CHECK_EQ(b.size(), n);
+  for (const auto& row : a) LLM_CHECK_EQ(row.size(), n);
+
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double inv = 1.0 / a[col][col];
+    for (size_t j = col; j < n; ++j) a[col][j] *= inv;
+    b[col] *= inv;
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col];
+      if (f == 0.0) continue;
+      for (size_t j = col; j < n; ++j) a[r][j] -= f * a[col][j];
+      b[r] -= f * b[col];
+    }
+  }
+  *x = std::move(b);
+  return true;
+}
+
+}  // namespace llm::util

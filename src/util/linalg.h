@@ -1,0 +1,18 @@
+// Small dense linear-algebra helpers (double precision): Gaussian
+// elimination with partial pivoting. Used by the in-context-learning
+// baselines (least squares / ridge) and the structural-probe evaluation.
+#ifndef TFMR_UTIL_LINALG_H_
+#define TFMR_UTIL_LINALG_H_
+
+#include <vector>
+
+namespace llm::util {
+
+/// Solves A x = b in place; A is n x n row-major. Returns false if A is
+/// (numerically) singular.
+bool SolveLinearSystem(std::vector<std::vector<double>> a,
+                       std::vector<double> b, std::vector<double>* x);
+
+}  // namespace llm::util
+
+#endif  // TFMR_UTIL_LINALG_H_

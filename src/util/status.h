@@ -1,0 +1,147 @@
+// Status / StatusOr: lightweight error propagation in the RocksDB/Arrow style.
+//
+// Public APIs that can fail for reasons other than programmer error return a
+// Status (or StatusOr<T> when they also produce a value). Programmer errors
+// (shape mismatches on internal tensors, out-of-range indices that indicate a
+// bug) use LLM_CHECK from check.h instead and abort.
+#ifndef TFMR_UTIL_STATUS_H_
+#define TFMR_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace llm::util {
+
+/// Error categories, deliberately coarse (RocksDB-style).
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kIOError = 6,
+  kUnimplemented = 7,
+};
+
+/// Human-readable name of a status code ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy when OK (no message
+/// allocation); carries a message string otherwise.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or a non-OK Status explaining why there is none.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value: success.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status: failure. Passing an OK status is a bug.
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    LLM_CHECK(!std::get<Status>(rep_).ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  /// Value accessors; calling these on a failed StatusOr aborts.
+  const T& value() const& {
+    LLM_CHECK(ok()) << "StatusOr::value on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    LLM_CHECK(ok()) << "StatusOr::value on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    LLM_CHECK(ok()) << "StatusOr::value on error: " << status().ToString();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace llm::util
+
+/// Propagate a non-OK Status to the caller (Arrow's ARROW_RETURN_NOT_OK).
+#define LLM_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::llm::util::Status _llm_status = (expr);      \
+    if (!_llm_status.ok()) return _llm_status;     \
+  } while (0)
+
+/// Assign from a StatusOr or propagate its error.
+#define LLM_ASSIGN_OR_RETURN(lhs, expr)                       \
+  auto LLM_CONCAT_(_llm_sor_, __LINE__) = (expr);             \
+  if (!LLM_CONCAT_(_llm_sor_, __LINE__).ok())                 \
+    return LLM_CONCAT_(_llm_sor_, __LINE__).status();         \
+  lhs = std::move(LLM_CONCAT_(_llm_sor_, __LINE__)).value()
+
+#define LLM_CONCAT_INNER_(a, b) a##b
+#define LLM_CONCAT_(a, b) LLM_CONCAT_INNER_(a, b)
+
+#endif  // TFMR_UTIL_STATUS_H_

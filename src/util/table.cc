@@ -1,0 +1,97 @@
+#include "util/table.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace llm::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  LLM_CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  LLM_CHECK_EQ(cells.size(), header_.size());
+  for (const auto& c : cells) {
+    LLM_CHECK(c.find(',') == std::string::npos &&
+              c.find('\n') == std::string::npos)
+        << "table cell contains CSV separator:" << c;
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << row[i];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  std::vector<std::string> rule;
+  rule.reserve(header_.size());
+  for (size_t w : widths) rule.push_back(std::string(w, '-'));
+  emit(rule);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string Table::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ",";
+      os << row[i];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << ToCsv();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+std::string FormatFloat(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string FormatCount(double n) {
+  const char* suffix = "";
+  if (n >= 1e12) {
+    n /= 1e12;
+    suffix = "T";
+  } else if (n >= 1e9) {
+    n /= 1e9;
+    suffix = "B";
+  } else if (n >= 1e6) {
+    n /= 1e6;
+    suffix = "M";
+  } else if (n >= 1e3) {
+    n /= 1e3;
+    suffix = "k";
+  }
+  std::ostringstream os;
+  if (*suffix == '\0') {
+    os << static_cast<long long>(n);
+  } else {
+    os << std::fixed << std::setprecision(n >= 100 ? 0 : 1) << n << suffix;
+  }
+  return os.str();
+}
+
+}  // namespace llm::util

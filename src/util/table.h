@@ -1,0 +1,52 @@
+// Fixed-width ASCII table printer used by the benchmark harnesses to emit
+// the rows/series corresponding to the paper's tables and figures, plus a
+// tiny CSV writer for downstream plotting.
+#ifndef TFMR_UTIL_TABLE_H_
+#define TFMR_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace llm::util {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header rule, e.g.
+  ///   model      params    loss
+  ///   ---------  --------  ------
+  ///   tiny       10.2k     3.412
+  void Print(std::ostream& os) const;
+
+  /// Serializes as CSV (no quoting of separators; cells must not contain
+  /// commas or newlines — enforced by LLM_CHECK in AddRow).
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to a file.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string FormatFloat(double v, int precision = 4);
+
+/// Formats a count with k/M/B suffix (e.g. 1.5M), matching the paper's
+/// Table 1 convention.
+std::string FormatCount(double n);
+
+}  // namespace llm::util
+
+#endif  // TFMR_UTIL_TABLE_H_

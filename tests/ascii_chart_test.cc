@@ -1,0 +1,137 @@
+// Tests for the ASCII chart renderer and deep-graph autograd stress.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/graph.h"
+#include "core/ops.h"
+#include "util/ascii_chart.h"
+
+namespace llm {
+namespace {
+
+TEST(AsciiChartTest, DimensionsAndAxes) {
+  util::AsciiChart chart(20, 5);
+  chart.AddSeries('*', {0.0, 1.0, 2.0, 3.0});
+  const std::string out = chart.Render();
+  // 5 plot rows + 1 axis row.
+  int lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 6);
+  EXPECT_NE(out.find('|'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiChartTest, MonotoneSeriesRisesLeftToRight) {
+  util::AsciiChart chart(30, 7);
+  std::vector<double> ys;
+  for (int i = 0; i < 30; ++i) ys.push_back(i);
+  chart.AddSeries('#', ys);
+  const std::string out = chart.Render();
+  // Find rows (top to bottom) of the first and last '#' columns.
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : out) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  int first_row = -1, last_row = -1;
+  for (int r = 0; r < 7; ++r) {
+    const std::string& line = lines[static_cast<size_t>(r)];
+    const size_t bar = line.find('|');
+    for (size_t c = bar + 1; c < line.size(); ++c) {
+      if (line[c] != '#') continue;
+      if (c == bar + 1) first_row = r;        // leftmost column
+      if (c == line.size() - 1) last_row = r;  // rightmost column
+    }
+  }
+  ASSERT_GE(first_row, 0);
+  ASSERT_GE(last_row, 0);
+  EXPECT_GT(first_row, last_row);  // rises => later rows are higher (lower index)
+}
+
+TEST(AsciiChartTest, TwoSeriesAndLegend) {
+  util::AsciiChart chart(16, 4);
+  chart.AddSeries('a', {1, 1, 1}, "flat");
+  chart.AddSeries('b', {0, 2, 0}, "spike");
+  const std::string out = chart.Render();
+  EXPECT_NE(out.find("a = flat"), std::string::npos);
+  EXPECT_NE(out.find("b = spike"), std::string::npos);
+}
+
+TEST(AsciiChartTest, FixedRangeClamps) {
+  util::AsciiChart chart(10, 3);
+  chart.SetYRange(0.0, 1.0);
+  chart.AddSeries('x', {-5.0, 0.5, 5.0});  // out-of-range values clamp
+  EXPECT_FALSE(chart.Render().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Autograd stress: long chains and heavily shared subgraphs.
+// ---------------------------------------------------------------------------
+
+TEST(AutogradStress, HundredOpChainGradientMatches) {
+  core::Variable x(core::Tensor::FromVector({2}, {0.3f, -0.2f}), true);
+  auto f = [&] {
+    core::Variable h = x;
+    for (int i = 0; i < 100; ++i) {
+      // Contractive chain keeps values in a well-conditioned range.
+      h = core::TanhOp(core::ScalarMul(h, 0.9f));
+    }
+    return core::SumAll(h);
+  };
+  x.ZeroGrad();
+  core::Backward(f());
+  const core::Tensor analytic = x.grad();
+  const core::Tensor numeric = core::NumericalGradient(f, x, 1e-3f);
+  for (int64_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(analytic[i], numeric[i],
+                2e-2f * std::max(1.0f, std::fabs(numeric[i])));
+  }
+}
+
+TEST(AutogradStress, DiamondSharingAccumulatesOnce) {
+  // y = (x + x) * (x + x) = 4 x^2  =>  dy/dx = 8x.
+  core::Variable x(core::Tensor::FromVector({1}, {1.5f}), true);
+  core::Variable s = core::Add(x, x);
+  core::Variable y = core::SumAll(core::Mul(s, s));
+  core::Backward(y);
+  EXPECT_NEAR(x.grad()[0], 8.0f * 1.5f, 1e-4f);
+}
+
+TEST(AutogradStress, WideFanOutAccumulates) {
+  // y = sum over 32 branches of (c_i * x); dy/dx = sum c_i.
+  core::Variable x(core::Tensor::FromVector({1}, {2.0f}), true);
+  core::Variable total;
+  float coeff_sum = 0.0f;
+  for (int i = 1; i <= 32; ++i) {
+    const float c = static_cast<float>(i) * 0.1f;
+    coeff_sum += c;
+    core::Variable branch = core::ScalarMul(x, c);
+    total = total.defined() ? core::Add(total, branch) : branch;
+  }
+  core::Backward(core::SumAll(total));
+  EXPECT_NEAR(x.grad()[0], coeff_sum, 1e-3f);
+}
+
+TEST(AutogradStress, RepeatedBackwardAccumulates) {
+  core::Variable x(core::Tensor::FromVector({1}, {3.0f}), true);
+  core::Variable y1 = core::SumAll(core::Mul(x, x));
+  core::Backward(y1);
+  const float g1 = x.grad()[0];
+  core::Variable y2 = core::SumAll(core::Mul(x, x));
+  core::Backward(y2);  // accumulates onto the existing grad
+  EXPECT_NEAR(x.grad()[0], 2.0f * g1, 1e-4f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace llm

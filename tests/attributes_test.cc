@@ -1,0 +1,121 @@
+// Tests for attribute evaluation over arithmetic parse trees.
+#include <gtest/gtest.h>
+
+#include "data/parity.h"
+#include "grammar/attributes.h"
+#include "grammar/earley.h"
+
+namespace llm::grammar {
+namespace {
+
+class ArithmeticEval : public ::testing::Test {
+ protected:
+  Grammar g_ = ArithmeticGrammar();
+  EarleyParser parser_{&g_};
+
+  double Eval(const std::string& expr,
+              const std::map<std::string, double>& bindings = {}) {
+    auto ids = parser_.TerminalIds(expr);
+    EXPECT_TRUE(ids.ok()) << expr;
+    auto tree = parser_.Parse(*ids);
+    EXPECT_TRUE(tree.ok()) << expr;
+    auto value = EvaluateArithmetic(g_, **tree, bindings);
+    EXPECT_TRUE(value.ok()) << value.status();
+    return *value;
+  }
+};
+
+TEST_F(ArithmeticEval, Literals) {
+  EXPECT_DOUBLE_EQ(Eval("1"), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("0"), 0.0);
+}
+
+TEST_F(ArithmeticEval, Bindings) {
+  EXPECT_DOUBLE_EQ(Eval("x", {{"x", 7.0}, {"y", 2.0}}), 7.0);
+}
+
+TEST_F(ArithmeticEval, PrecedenceByEvaluation) {
+  // The Appendix A exercise, settled semantically: with y=3, x=2,
+  // y + 1 * x must be 5 (precedence), not 8 (left-to-right).
+  EXPECT_DOUBLE_EQ(Eval("y + 1 * x", {{"x", 2.0}, {"y", 3.0}}), 5.0);
+}
+
+TEST_F(ArithmeticEval, ParensOverridePrecedence) {
+  // (Fig. 3 requires the parenthesized factor second: VALUE * TERM.)
+  EXPECT_DOUBLE_EQ(Eval("x * ( y + 1 ) + 1", {{"x", 2.0}, {"y", 3.0}}),
+                   9.0);
+}
+
+TEST_F(ArithmeticEval, NestedExpression) {
+  EXPECT_DOUBLE_EQ(
+      Eval("x * ( y + y * ( x + 1 ) )", {{"x", 2.0}, {"y", 3.0}}),
+      2.0 * (3.0 + 3.0 * (2.0 + 1.0)));
+}
+
+TEST_F(ArithmeticEval, UnboundVariableFails) {
+  auto ids = parser_.TerminalIds("x + 1");
+  auto tree = parser_.Parse(*ids);
+  auto value = EvaluateArithmetic(g_, **tree, {});
+  EXPECT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(ArithmeticEval, SampledTreesEvaluate) {
+  // Every sampled derivation tree must evaluate (attribute totality).
+  util::Rng rng(1);
+  const std::map<std::string, double> bindings = {{"x", 1.5}, {"y", -2.0}};
+  for (int i = 0; i < 30; ++i) {
+    auto tree = g_.SampleTree(&rng, 40);
+    if (!tree.ok()) continue;
+    auto value = EvaluateArithmetic(g_, **tree, bindings);
+    ASSERT_TRUE(value.ok()) << g_.TreeYield(**tree);
+  }
+}
+
+TEST_F(ArithmeticEval, ParseOfSampleAgreesWithSample) {
+  // Parsing a sampled sentence and evaluating the parse gives the same
+  // value as evaluating the original derivation tree (the grammar's
+  // ambiguity never changes arithmetic meaning).
+  util::Rng rng(2);
+  const std::map<std::string, double> bindings = {{"x", 2.0}, {"y", 5.0}};
+  int checked = 0;
+  for (int i = 0; i < 40 && checked < 10; ++i) {
+    auto tree = g_.SampleTree(&rng, 40);
+    if (!tree.ok()) continue;
+    auto leaves = Grammar::TreeLeaves(**tree);
+    if (leaves.size() > 11) continue;
+    auto reparsed = parser_.Parse(leaves);
+    ASSERT_TRUE(reparsed.ok());
+    auto v1 = EvaluateArithmetic(g_, **tree, bindings);
+    auto v2 = EvaluateArithmetic(g_, **reparsed, bindings);
+    ASSERT_TRUE(v1.ok() && v2.ok());
+    EXPECT_DOUBLE_EQ(*v1, *v2) << g_.TreeYield(**tree);
+    ++checked;
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(ParityDataTest, RunningParityCorrect) {
+  util::Rng rng(3);
+  std::vector<int64_t> in, tg;
+  llm::data::SampleParityBatch(&rng, 4, 16, &in, &tg);
+  for (int64_t b = 0; b < 4; ++b) {
+    int64_t parity = 0;
+    for (int64_t i = 0; i < 16; ++i) {
+      parity ^= in[static_cast<size_t>(b * 16 + i)];
+      EXPECT_EQ(tg[static_cast<size_t>(b * 16 + i)], parity);
+    }
+  }
+}
+
+TEST(ParityDataTest, BitsAreBalanced) {
+  util::Rng rng(4);
+  std::vector<int64_t> in, tg;
+  llm::data::SampleParityBatch(&rng, 64, 64, &in, &tg);
+  int64_t ones = 0;
+  for (int64_t v : in) ones += v;
+  EXPECT_NEAR(static_cast<double>(ones) / in.size(), 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace llm::grammar

@@ -1,0 +1,106 @@
+// Tests for the Tensor substrate.
+#include <gtest/gtest.h>
+
+#include "core/tensor.h"
+#include "util/rng.h"
+
+namespace llm::core {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.ndim(), 2);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, ScalarHasRankZero) {
+  Tensor s = Tensor::Scalar(2.5f);
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_FLOAT_EQ(s[0], 2.5f);
+}
+
+TEST(TensorTest, FromVectorTakesData) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(t.At({0, 1}), 2.0f);
+  EXPECT_FLOAT_EQ(t.At({1, 0}), 3.0f);
+}
+
+TEST(TensorTest, MultiIndexMatchesFlat) {
+  Tensor t = Tensor::FromVector({2, 3, 4}, [] {
+    std::vector<float> v(24);
+    for (size_t i = 0; i < 24; ++i) v[i] = static_cast<float>(i);
+    return v;
+  }());
+  EXPECT_FLOAT_EQ(t.At({1, 2, 3}), 23.0f);
+  EXPECT_FLOAT_EQ(t.At({0, 1, 0}), 4.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r.ndim(), 2);
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_FLOAT_EQ(r.At({2, 1}), 6.0f);
+}
+
+TEST(TensorTest, ArithmeticInPlace) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {10, 20, 30});
+  a.Add(b);
+  EXPECT_FLOAT_EQ(a[2], 33.0f);
+  a.AddScaled(b, -0.5f);
+  EXPECT_FLOAT_EQ(a[0], 6.0f);
+  a.Scale(2.0f);
+  EXPECT_FLOAT_EQ(a[1], 24.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t = Tensor::FromVector({4}, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(t.Sum(), -2.0f);
+  EXPECT_FLOAT_EQ(t.Mean(), -0.5f);
+  EXPECT_FLOAT_EQ(t.MaxAbs(), 4.0f);
+  EXPECT_FLOAT_EQ(t.SquaredNorm(), 30.0f);
+}
+
+TEST(TensorTest, MaxAbsDiff) {
+  Tensor a = Tensor::FromVector({2}, {1, 5});
+  Tensor b = Tensor::FromVector({2}, {1.5, 4});
+  EXPECT_FLOAT_EQ(Tensor::MaxAbsDiff(a, b), 1.0f);
+}
+
+TEST(TensorTest, RandomNormalStats) {
+  util::Rng rng(42);
+  Tensor t = Tensor::RandomNormal({10000}, &rng, 1.0f, 2.0f);
+  EXPECT_NEAR(t.Mean(), 1.0f, 0.1f);
+  double var = 0;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    var += (t[i] - t.Mean()) * (t[i] - t.Mean());
+  }
+  EXPECT_NEAR(var / static_cast<double>(t.numel()), 4.0, 0.3);
+}
+
+TEST(TensorTest, RandomUniformBounds) {
+  util::Rng rng(43);
+  Tensor t = Tensor::RandomUniform({1000}, &rng, -2.0f, 3.0f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -2.0f);
+    EXPECT_LT(t[i], 3.0f);
+  }
+}
+
+TEST(TensorTest, DefaultIsInvalid) {
+  Tensor t;
+  EXPECT_FALSE(t.valid());
+}
+
+TEST(ShapeTest, NumElementsAndToString) {
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({0, 5}), 0);
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+}
+
+}  // namespace
+}  // namespace llm::core

@@ -1,0 +1,334 @@
+// Tests for the synthetic-world generators: modular arithmetic, induction
+// sequences, PCFG corpora, the analogy corpus, word problems, and ICL
+// regression episodes with their closed-form baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/analogy.h"
+#include "data/icl_regression.h"
+#include "data/induction.h"
+#include "data/modular.h"
+#include "data/pcfg_corpus.h"
+#include "data/fewshot.h"
+#include "data/word_problems.h"
+
+namespace llm::data {
+namespace {
+
+TEST(ModularTest, SplitCoversFullTable) {
+  ModularDatasetOptions opts;
+  opts.modulus = 13;
+  opts.train_fraction = 0.6;
+  ModularDataset ds(opts);
+  EXPECT_EQ(ds.train().size() + ds.test().size(), 13u * 13u);
+  EXPECT_NEAR(static_cast<double>(ds.train().size()), 0.6 * 169, 1.0);
+  // Train and test are disjoint.
+  std::set<std::pair<int64_t, int64_t>> seen;
+  for (const auto& e : ds.train()) seen.insert({e.a, e.b});
+  for (const auto& e : ds.test()) {
+    EXPECT_FALSE(seen.count({e.a, e.b}));
+  }
+}
+
+TEST(ModularTest, AnswersCorrectPerOp) {
+  for (auto op : {ModularOp::kAdd, ModularOp::kSub, ModularOp::kMul}) {
+    ModularDatasetOptions opts;
+    opts.modulus = 7;
+    opts.op = op;
+    ModularDataset ds(opts);
+    for (const auto& e : ds.train()) {
+      int64_t expect = 0;
+      if (op == ModularOp::kAdd) expect = (e.a + e.b) % 7;
+      if (op == ModularOp::kSub) expect = ((e.a - e.b) % 7 + 7) % 7;
+      if (op == ModularOp::kMul) expect = (e.a * e.b) % 7;
+      EXPECT_EQ(e.c, expect);
+    }
+  }
+}
+
+TEST(ModularTest, EncodingLayout) {
+  ModularDatasetOptions opts;
+  opts.modulus = 5;
+  ModularDataset ds(opts);
+  std::vector<int64_t> in, tg;
+  ds.EncodeExamples({{2, 3, 0}}, &in, &tg);
+  EXPECT_EQ(in, (std::vector<int64_t>{2, 5, 3, 6}));  // a op b =
+  EXPECT_EQ(tg, (std::vector<int64_t>{-1, -1, -1, 0}));
+}
+
+TEST(ModularTest, DeterministicSplitForSeed) {
+  ModularDatasetOptions opts;
+  opts.modulus = 11;
+  ModularDataset a(opts), b(opts);
+  ASSERT_EQ(a.train().size(), b.train().size());
+  for (size_t i = 0; i < a.train().size(); ++i) {
+    EXPECT_EQ(a.train()[i].a, b.train()[i].a);
+    EXPECT_EQ(a.train()[i].b, b.train()[i].b);
+  }
+}
+
+TEST(InductionTest, SequenceRepeatsPrefixCyclically) {
+  InductionOptions opts;
+  opts.vocab_size = 10;
+  opts.seq_len = 16;
+  util::Rng rng(1);
+  std::vector<int64_t> in, tg, splits;
+  SampleInductionBatch(opts, &rng, 4, &in, &tg, &splits);
+  ASSERT_EQ(splits.size(), 4u);
+  for (int64_t b = 0; b < 4; ++b) {
+    const int64_t s = splits[static_cast<size_t>(b)];
+    EXPECT_GE(s, 2);
+    EXPECT_LE(s, 8);
+    for (int64_t i = s; i < 16; ++i) {
+      EXPECT_EQ(in[static_cast<size_t>(b * 16 + i)],
+                in[static_cast<size_t>(b * 16 + i - s)]);
+    }
+  }
+}
+
+TEST(InductionTest, PrefixLengthsVary) {
+  InductionOptions opts;
+  opts.seq_len = 32;
+  util::Rng rng(7);
+  std::vector<int64_t> in, tg, splits;
+  SampleInductionBatch(opts, &rng, 64, &in, &tg, &splits);
+  std::set<int64_t> distinct(splits.begin(), splits.end());
+  EXPECT_GE(distinct.size(), 3u);  // offsets vary, defeating positional hacks
+}
+
+TEST(InductionTest, TargetsMaskRandomPrefix) {
+  InductionOptions opts;
+  opts.seq_len = 12;
+  util::Rng rng(2);
+  std::vector<int64_t> in, tg, splits;
+  SampleInductionBatch(opts, &rng, 1, &in, &tg, &splits);
+  const int64_t s = splits[0];
+  for (int64_t i = 0; i < s - 1; ++i) {
+    EXPECT_EQ(tg[static_cast<size_t>(i)], -1);
+  }
+  for (int64_t i = s - 1; i < 11; ++i) {
+    EXPECT_EQ(tg[static_cast<size_t>(i)], in[static_cast<size_t>(i + 1)]);
+  }
+  EXPECT_EQ(tg[11], -1);  // nothing to predict at the end
+}
+
+TEST(InductionTest, ScoreIsOneForPerfectInductionPattern) {
+  // Hand-build attention that always looks at the induction target.
+  const int64_t B = 1, H = 2, T = 8;
+  std::vector<int64_t> splits = {4};
+  std::vector<float> probs(static_cast<size_t>(B * H * T * T), 0.0f);
+  for (int64_t h = 0; h < H; ++h) {
+    for (int64_t i = 4; i < T; ++i) {
+      const int64_t j = i - 4 + 1;
+      probs[static_cast<size_t>(((0 * H + h) * T + i) * T + j)] = 1.0f;
+    }
+  }
+  auto scores = InductionScores(splits, B, T, probs.data(), H);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_NEAR(scores[0], 1.0, 1e-9);
+  EXPECT_NEAR(scores[1], 1.0, 1e-9);
+}
+
+TEST(PcfgCorpusTest, RespectsLengthBounds) {
+  grammar::Grammar g = ToyEnglishGrammar();
+  PcfgCorpusOptions opts;
+  opts.num_sentences = 100;
+  opts.min_length = 3;
+  opts.max_length = 10;
+  util::Rng rng(3);
+  auto samples = SamplePcfgCorpus(g, opts, &rng);
+  ASSERT_EQ(samples.size(), 100u);
+  for (const auto& s : samples) {
+    EXPECT_GE(s.terminals.size(), 3u);
+    EXPECT_LE(s.terminals.size(), 10u);
+    ASSERT_TRUE(s.tree != nullptr);
+    EXPECT_EQ(grammar::Grammar::TreeLeaves(*s.tree).size(),
+              s.terminals.size());
+  }
+}
+
+TEST(PcfgCorpusTest, StreamHasSeparators) {
+  grammar::Grammar g = ToyEnglishGrammar();
+  PcfgCorpusOptions opts;
+  opts.num_sentences = 10;
+  util::Rng rng(4);
+  auto samples = SamplePcfgCorpus(g, opts, &rng);
+  const int sep = g.num_terminals();
+  auto stream = FlattenToStream(samples, sep);
+  int64_t seps = 0;
+  for (int64_t t : stream) {
+    if (t == sep) ++seps;
+  }
+  EXPECT_EQ(seps, 10);
+  EXPECT_EQ(stream.back(), sep);
+}
+
+TEST(AnalogyTest, QuadsAreValidWords) {
+  AnalogyCorpus corpus;
+  EXPECT_GE(corpus.quads().size(), 8u);
+  for (const auto& q : corpus.quads()) {
+    EXPECT_LT(q.a, corpus.vocab_size());
+    EXPECT_LT(q.d, corpus.vocab_size());
+  }
+  EXPECT_EQ(corpus.QuadToString(corpus.quads()[0]),
+            "man : king :: woman : queen");
+}
+
+TEST(AnalogyTest, GeneratesAllEntities) {
+  AnalogyCorpus corpus;
+  util::Rng rng(5);
+  auto stream = corpus.Generate(2000, &rng);
+  std::set<int64_t> seen(stream.begin(), stream.end());
+  // All 12 entity words (ids 0..11 by construction) must appear.
+  for (int64_t w = 0; w < 12; ++w) EXPECT_TRUE(seen.count(w)) << w;
+}
+
+TEST(WordProblemTest, PartialSumsAndAnswer) {
+  WordProblemOptions opts;
+  opts.modulus = 10;
+  opts.terms = 3;
+  WordProblemDataset ds(opts);
+  util::Rng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    auto p = ds.SampleProblem(&rng);
+    int64_t sum = 0;
+    for (int64_t t : p.terms) sum = (sum + t) % 10;
+    EXPECT_EQ(p.answer, sum);
+    EXPECT_EQ(p.partials.back(), p.answer);
+    EXPECT_EQ(p.partials.size(), 2u);
+  }
+}
+
+TEST(WordProblemTest, EncodingLengths) {
+  for (bool cot : {false, true}) {
+    WordProblemOptions opts;
+    opts.modulus = 7;
+    opts.terms = 4;
+    opts.chain_of_thought = cot;
+    WordProblemDataset ds(opts);
+    util::Rng rng(7);
+    auto seq = ds.Encode(ds.SampleProblem(&rng));
+    EXPECT_EQ(static_cast<int64_t>(seq.size()), ds.seq_len());
+    EXPECT_EQ(seq.back(), ds.end_token());
+  }
+}
+
+TEST(WordProblemTest, PromptIsPrefixOfEncoding) {
+  WordProblemOptions opts;
+  opts.chain_of_thought = true;
+  WordProblemDataset ds(opts);
+  util::Rng rng(8);
+  auto p = ds.SampleProblem(&rng);
+  auto prompt = ds.EncodePrompt(p);
+  auto full = ds.Encode(p);
+  ASSERT_LT(prompt.size(), full.size());
+  for (size_t i = 0; i < prompt.size(); ++i) {
+    EXPECT_EQ(prompt[i], full[i]);
+  }
+  EXPECT_EQ(prompt.back(), ds.eq_token());
+}
+
+TEST(WordProblemTest, BatchMasksPrompt) {
+  WordProblemOptions opts;
+  opts.terms = 3;
+  WordProblemDataset ds(opts);
+  util::Rng rng(9);
+  std::vector<int64_t> in, tg;
+  ds.SampleBatch(&rng, 2, &in, &tg);
+  const int64_t T = ds.seq_len();
+  ASSERT_EQ(static_cast<int64_t>(in.size()), 2 * T);
+  // Positions before the '=' transition carry no loss.
+  for (int64_t i = 0; i + 1 < 2 * opts.terms - 1; ++i) {
+    EXPECT_EQ(tg[static_cast<size_t>(i)], -1);
+  }
+  // The '=' position predicts the answer.
+  EXPECT_NE(tg[static_cast<size_t>(2 * opts.terms - 1)], -1);
+}
+
+TEST(FewShotTest, TasksAreDistinctBijections) {
+  FewShotTasks tasks(8, 6, 1);
+  EXPECT_EQ(tasks.num_tasks(), 8);
+  for (int t = 0; t < 8; ++t) {
+    std::set<int64_t> image;
+    for (int64_t i = 0; i < 6; ++i) image.insert(tasks.Apply(t, i));
+    EXPECT_EQ(image.size(), 6u) << "task " << t << " not a bijection";
+  }
+  // Distinctness: some item maps differently between any two tasks.
+  for (int a = 0; a < 8; ++a) {
+    for (int b = a + 1; b < 8; ++b) {
+      bool differ = false;
+      for (int64_t i = 0; i < 6; ++i) {
+        if (tasks.Apply(a, i) != tasks.Apply(b, i)) differ = true;
+      }
+      EXPECT_TRUE(differ) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(FewShotTest, BatchConsistentWithLatentTask) {
+  FewShotTasks tasks(4, 8, 2);
+  util::Rng rng(3);
+  std::vector<int64_t> in, tg;
+  std::vector<int> latent;
+  tasks.SampleBatch(&rng, 8, 5, &in, &tg, &latent);
+  const int64_t T = 10;
+  for (int64_t b = 0; b < 8; ++b) {
+    for (int s = 0; s < 5; ++s) {
+      const int64_t x = in[static_cast<size_t>(b * T + 2 * s)];
+      const int64_t y = in[static_cast<size_t>(b * T + 2 * s + 1)];
+      EXPECT_EQ(y, tasks.Apply(latent[static_cast<size_t>(b)], x));
+      EXPECT_EQ(tg[static_cast<size_t>(b * T + 2 * s)], y);
+      EXPECT_EQ(tg[static_cast<size_t>(b * T + 2 * s + 1)], -1);
+    }
+  }
+}
+
+TEST(IclTest, EpisodeIsLinear) {
+  IclRegressionOptions opts;
+  opts.dim = 3;
+  util::Rng rng(10);
+  auto ep = SampleIclEpisode(opts, 8, &rng);
+  for (int i = 0; i < 8; ++i) {
+    double y = 0;
+    for (int j = 0; j < 3; ++j) {
+      y += ep.w[static_cast<size_t>(j)] *
+           ep.xs[static_cast<size_t>(i * 3 + j)];
+    }
+    EXPECT_NEAR(ep.ys[static_cast<size_t>(i)], y, 1e-4);
+  }
+}
+
+TEST(IclTest, LeastSquaresExactWithEnoughContext) {
+  IclRegressionOptions opts;
+  opts.dim = 4;
+  util::Rng rng(11);
+  // 9 pairs: 8 context (> dim) + query: noiseless LS is exact.
+  for (int trial = 0; trial < 10; ++trial) {
+    auto ep = SampleIclEpisode(opts, 9, &rng);
+    const double pred = LeastSquaresPredict(ep);
+    EXPECT_NEAR(pred, ep.ys.back(), 1e-3);
+  }
+}
+
+TEST(IclTest, RidgeShrinksTowardZero) {
+  IclRegressionOptions opts;
+  opts.dim = 4;
+  util::Rng rng(12);
+  auto ep = SampleIclEpisode(opts, 9, &rng);
+  const double strong = RidgePredict(ep, 1e6);
+  EXPECT_NEAR(strong, 0.0, 1e-2);
+}
+
+TEST(IclTest, UnderdeterminedStillPredicts) {
+  IclRegressionOptions opts;
+  opts.dim = 8;
+  util::Rng rng(13);
+  auto ep = SampleIclEpisode(opts, 3, &rng);  // 2 context pairs < dim
+  const double pred = LeastSquaresPredict(ep);
+  EXPECT_TRUE(std::isfinite(pred));
+}
+
+}  // namespace
+}  // namespace llm::data

@@ -1,0 +1,257 @@
+// Edge-case and corner-condition tests across modules: degenerate shapes,
+// unit-rule chains, multi-direction flips, CSV round trips, tie-breaking
+// determinism, and boundary parameter values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "core/ops.h"
+#include "eval/power_law.h"
+#include "grammar/cnf.h"
+#include "grammar/earley.h"
+#include "nn/param_count.h"
+#include "othello/othello.h"
+#include "sample/sampler.h"
+#include "text/bpe.h"
+#include "util/table.h"
+
+namespace llm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// core: degenerate shapes.
+// ---------------------------------------------------------------------------
+
+TEST(CoreEdge, SoftmaxSingleColumnIsOne) {
+  core::Variable x(core::Tensor::FromVector({3, 1}, {5.0f, -2.0f, 0.0f}));
+  core::Tensor y = core::Softmax(x).value();
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(y[i], 1.0f);
+}
+
+TEST(CoreEdge, MatMulWithUnitDims) {
+  core::Variable a(core::Tensor::FromVector({1, 3}, {1, 2, 3}));
+  core::Variable b(core::Tensor::FromVector({3, 1}, {4, 5, 6}));
+  core::Tensor c = core::MatMul(a, b).value();
+  EXPECT_EQ(c.shape(), (core::Shape{1, 1}));
+  EXPECT_FLOAT_EQ(c[0], 32.0f);
+}
+
+TEST(CoreEdge, ReshapeToScalarLikeShape) {
+  core::Variable x(core::Tensor::FromVector({1, 1}, {7.0f}));
+  core::Variable y = core::Reshape(x, {1});
+  EXPECT_FLOAT_EQ(y.value()[0], 7.0f);
+}
+
+TEST(CoreEdge, CrossEntropyExtremeLogitsFinite) {
+  core::Variable logits(
+      core::Tensor::FromVector({1, 3}, {1000.0f, -1000.0f, 0.0f}), true);
+  core::Variable loss = core::CrossEntropyLogits(logits, {0});
+  EXPECT_TRUE(std::isfinite(loss.value()[0]));
+  EXPECT_NEAR(loss.value()[0], 0.0f, 1e-5f);
+  core::Backward(loss);
+  EXPECT_TRUE(std::isfinite(logits.grad().MaxAbs()));
+}
+
+TEST(CoreEdge, GeluIsZeroCenteredAndMonotoneish) {
+  core::Variable x(core::Tensor::FromVector({1}, {0.0f}));
+  EXPECT_FLOAT_EQ(core::Gelu(x).value()[0], 0.0f);
+  core::Variable big(core::Tensor::FromVector({1}, {10.0f}));
+  EXPECT_NEAR(core::Gelu(big).value()[0], 10.0f, 1e-3f);
+}
+
+// ---------------------------------------------------------------------------
+// grammar: unit-rule chains through CNF.
+// ---------------------------------------------------------------------------
+
+TEST(GrammarEdge, UnitChainProbabilityComposes) {
+  // S -> A (1.0); A -> B (0.5) | a (0.5); B -> b (1.0).
+  // P("b") = 0.5, P("a") = 0.5.
+  grammar::Grammar g;
+  ASSERT_TRUE(g.AddRule("S", {"A"}, 1.0).ok());
+  ASSERT_TRUE(g.AddRule("A", {"B"}, 1.0).ok());
+  ASSERT_TRUE(g.AddRule("A", {"a"}, 1.0).ok());
+  ASSERT_TRUE(g.AddRule("B", {"b"}, 1.0).ok());
+  ASSERT_TRUE(g.Finalize("S").ok());
+  auto cnf = grammar::ToCnf(g);
+  ASSERT_TRUE(cnf.ok());
+  const int a = g.TerminalId("a"), b = g.TerminalId("b");
+  EXPECT_NEAR(grammar::InsideLogProb(*cnf, {a}), std::log(0.5), 1e-9);
+  EXPECT_NEAR(grammar::InsideLogProb(*cnf, {b}), std::log(0.5), 1e-9);
+}
+
+TEST(GrammarEdge, UnitCycleRejected) {
+  // A -> B (1.0); B -> A (1.0): all probability mass cycles forever.
+  grammar::Grammar g;
+  ASSERT_TRUE(g.AddRule("A", {"B"}, 1.0).ok());
+  ASSERT_TRUE(g.AddRule("B", {"A"}, 1.0).ok());
+  ASSERT_TRUE(g.Finalize("A").ok());
+  EXPECT_FALSE(grammar::ToCnf(g).ok());
+}
+
+TEST(GrammarEdge, LongRhsBinarizes) {
+  grammar::Grammar g;
+  ASSERT_TRUE(g.AddRule("S", {"a", "b", "c", "d", "e"}, 1.0).ok());
+  ASSERT_TRUE(g.Finalize("S").ok());
+  auto cnf = grammar::ToCnf(g);
+  ASSERT_TRUE(cnf.ok());
+  std::vector<int> sentence;
+  for (const char* t : {"a", "b", "c", "d", "e"}) {
+    sentence.push_back(g.TerminalId(t));
+  }
+  EXPECT_NEAR(grammar::InsideLogProb(*cnf, sentence), 0.0, 1e-9);
+  // Wrong order rejected.
+  std::swap(sentence[0], sentence[4]);
+  EXPECT_EQ(grammar::InsideLogProb(*cnf, sentence),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(GrammarEdge, EarleySingleTokenSentence) {
+  grammar::Grammar g = grammar::ArithmeticGrammar();
+  grammar::EarleyParser parser(&g);
+  auto ids = parser.TerminalIds("x");
+  ASSERT_TRUE(ids.ok());
+  EXPECT_TRUE(parser.Recognize(*ids));
+  auto tree = parser.Parse(*ids);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(grammar::Grammar::TreeLeaves(**tree).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// othello: a constructed multi-direction flip.
+// ---------------------------------------------------------------------------
+
+TEST(OthelloEdge, SequencesProduceKnownCounts) {
+  // A known short opening: D3, C5, and check disc counts step by step.
+  othello::Board b;
+  ASSERT_TRUE(b.Apply(19).ok());  // D3 by black: flips D4
+  EXPECT_EQ(b.CountDiscs(othello::Cell::kBlack), 4);
+  EXPECT_EQ(b.CountDiscs(othello::Cell::kWhite), 1);
+  // White C5 (index 34): flips D5 (35).
+  ASSERT_TRUE(b.Apply(34).ok());
+  EXPECT_EQ(b.CountDiscs(othello::Cell::kWhite), 3);
+  EXPECT_EQ(b.CountDiscs(othello::Cell::kBlack), 3);
+  EXPECT_EQ(b.at(35), othello::Cell::kWhite);
+}
+
+// ---------------------------------------------------------------------------
+// util: CSV, formatting.
+// ---------------------------------------------------------------------------
+
+TEST(TableEdge, WriteCsvRoundTrip) {
+  util::Table t({"x", "y"});
+  t.AddRow({"1", "2.5"});
+  t.AddRow({"3", "4.5"});
+  const std::string path = "/tmp/tfmr_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5");
+  std::remove(path.c_str());
+}
+
+TEST(TableEdge, RejectsCommaCells) {
+  util::Table t({"a"});
+  EXPECT_DEATH(t.AddRow({"has,comma"}), "separator");
+}
+
+TEST(FormatEdge, FloatPrecision) {
+  EXPECT_EQ(util::FormatFloat(3.14159, 2), "3.14");
+  EXPECT_EQ(util::FormatFloat(-0.5, 1), "-0.5");
+}
+
+// ---------------------------------------------------------------------------
+// text: BPE determinism.
+// ---------------------------------------------------------------------------
+
+TEST(BpeEdge, TrainingIsDeterministic) {
+  const std::string corpus = "ab ab abc abc abcd bc bc cd";
+  text::Bpe a, b;
+  a.Train(corpus, 15);
+  b.Train(corpus, 15);
+  EXPECT_EQ(a.merges(), b.merges());
+}
+
+TEST(BpeEdge, SingleCharWordSurvives) {
+  text::Bpe bpe;
+  bpe.Train("a a a b", 5);
+  auto sym = bpe.EncodeWord("a");
+  ASSERT_EQ(sym.size(), 1u);
+  EXPECT_EQ(sym[0], std::string("a") + text::Bpe::kEndOfWord);
+}
+
+// ---------------------------------------------------------------------------
+// eval: ansatz and power-law sanity at boundaries.
+// ---------------------------------------------------------------------------
+
+TEST(PowerLawEdge, AnsatzMonotoneInBothArguments) {
+  eval::AnsatzFit fit;
+  fit.pc = 1e4;
+  fit.dc = 1e4;
+  fit.alpha_p = 0.5;
+  fit.alpha_d = 0.5;
+  fit.floor = 1.0;
+  EXPECT_GT(eval::AnsatzLoss(fit, 1e3, 1e4),
+            eval::AnsatzLoss(fit, 1e5, 1e4));
+  EXPECT_GT(eval::AnsatzLoss(fit, 1e4, 1e3),
+            eval::AnsatzLoss(fit, 1e4, 1e5));
+  EXPECT_GT(eval::AnsatzLoss(fit, 1e9, 1e9), fit.floor);
+}
+
+TEST(PowerLawEdge, FitRejectsTooFewPointsForAnsatz) {
+  std::vector<eval::ScalingPoint> points = {
+      {1e3, 1e3, 2.0}, {1e4, 1e4, 1.5}};
+  EXPECT_FALSE(eval::FitAnsatz(points).ok());
+}
+
+// ---------------------------------------------------------------------------
+// nn: Table 1 specs and the parameter rule.
+// ---------------------------------------------------------------------------
+
+TEST(ParamCountEdge, Table1SpecsWellFormed) {
+  auto specs = nn::Table1Specs();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "GPT");
+  EXPECT_EQ(specs.back().name, "GPT-4");
+  for (size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_GE(specs[i].year, specs[i - 1].year);         // Table 1 is by year
+    EXPECT_GT(specs[i].reported_params, specs[i - 1].reported_params);
+  }
+}
+
+TEST(ParamCountEdge, RuleWithinFortyPercentForPublished) {
+  for (const auto& spec : nn::Table1Specs()) {
+    if (spec.n_layer == 0) continue;
+    const double est = nn::TwelveDPSquaredRule(spec.n_layer, spec.d_model);
+    EXPECT_LT(std::fabs(est - spec.reported_params) / spec.reported_params,
+              0.4)
+        << spec.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// sample: boundary temperature / truncation combos.
+// ---------------------------------------------------------------------------
+
+TEST(SamplerEdge, TopKOneIsGreedy) {
+  const float logits[] = {0.1f, 3.0f, 1.0f};
+  sample::SamplerOptions opts;
+  opts.top_k = 1;
+  auto p = sample::DistributionFromLogits(logits, 3, opts);
+  EXPECT_FLOAT_EQ(p[1], 1.0f);
+}
+
+TEST(SamplerEdge, TopPTinyKeepsOnlyArgmax) {
+  const float logits[] = {0.0f, 4.0f, 0.0f};
+  sample::SamplerOptions opts;
+  opts.top_p = 1e-6f;
+  auto p = sample::DistributionFromLogits(logits, 3, opts);
+  EXPECT_FLOAT_EQ(p[1], 1.0f);
+}
+
+}  // namespace
+}  // namespace llm

@@ -1,0 +1,140 @@
+// Tests for co-occurrence statistics, PPMI, Jacobi eigendecomposition,
+// spectral embeddings, and the analogy solver (Eq. 9 / Eq. 10).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/analogy.h"
+#include "embed/cooccurrence.h"
+
+namespace llm::embed {
+namespace {
+
+TEST(CooccurrenceTest, CountsWithinWindow) {
+  CooccurrenceMatrix m(4, /*window=*/1);
+  m.Fit({0, 1, 2, 3});
+  // Adjacent pairs only: (0,1), (1,2), (2,3), symmetric.
+  EXPECT_FLOAT_EQ(m.counts().At({0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(m.counts().At({1, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(m.counts().At({0, 2}), 0.0f);
+  EXPECT_FLOAT_EQ(m.counts().At({2, 3}), 1.0f);
+}
+
+TEST(CooccurrenceTest, WiderWindowCountsMore) {
+  CooccurrenceMatrix m(4, /*window=*/2);
+  m.Fit({0, 1, 2, 3});
+  EXPECT_FLOAT_EQ(m.counts().At({0, 2}), 1.0f);
+  EXPECT_FLOAT_EQ(m.counts().At({0, 3}), 0.0f);
+}
+
+TEST(PpmiTest, IndependentWordsHaveZeroPmi) {
+  // Long uniform random stream: all pairs near-independent, PPMI ~ 0.
+  util::Rng rng(1);
+  std::vector<int64_t> stream;
+  for (int i = 0; i < 50000; ++i) {
+    stream.push_back(static_cast<int64_t>(rng.UniformInt(5)));
+  }
+  CooccurrenceMatrix m(5, 2);
+  m.Fit(stream);
+  core::Tensor ppmi = m.Ppmi();
+  EXPECT_LT(ppmi.MaxAbs(), 0.1f);
+}
+
+TEST(PpmiTest, AssociatedPairsPositive) {
+  // Tokens 0 and 1 always adjacent; 2 appears apart.
+  std::vector<int64_t> stream;
+  for (int i = 0; i < 200; ++i) {
+    stream.push_back(0);
+    stream.push_back(1);
+    stream.push_back(2);
+    stream.push_back(2);
+    stream.push_back(2);
+  }
+  CooccurrenceMatrix m(3, 1);
+  m.Fit(stream);
+  core::Tensor ppmi = m.Ppmi();
+  EXPECT_GT(ppmi.At({0, 1}), 0.5f);
+}
+
+TEST(JacobiTest, RecoverseKnownEigensystem) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  core::Tensor m = core::Tensor::FromVector({2, 2}, {2, 1, 1, 2});
+  EigenResult eig = JacobiEigen(m);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0f, 1e-5f);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0f, 1e-5f);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  const float v0 = eig.eigenvectors.At({0, 0});
+  const float v1 = eig.eigenvectors.At({1, 0});
+  EXPECT_NEAR(std::fabs(v0), std::sqrt(0.5f), 1e-4f);
+  EXPECT_NEAR(v0, v1, 1e-4f);
+}
+
+TEST(JacobiTest, ReconstructsMatrix) {
+  util::Rng rng(2);
+  const int64_t n = 8;
+  core::Tensor sym({n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i; j < n; ++j) {
+      const float v = static_cast<float>(rng.Normal());
+      sym[i * n + j] = v;
+      sym[j * n + i] = v;
+    }
+  }
+  EigenResult eig = JacobiEigen(sym);
+  // Check A = V diag(lambda) V^T entrywise.
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (int64_t k = 0; k < n; ++k) {
+        acc += eig.eigenvectors[i * n + k] * eig.eigenvalues[k] *
+               eig.eigenvectors[j * n + k];
+      }
+      EXPECT_NEAR(acc, sym[i * n + j], 1e-4);
+    }
+  }
+}
+
+TEST(SpectralEmbeddingTest, GramMatrixApproximation) {
+  // For a PSD matrix, rank-n embedding reproduces it exactly as a Gram
+  // matrix E E^T.
+  core::Tensor m = core::Tensor::FromVector({2, 2}, {2, 1, 1, 2});
+  core::Tensor e = SpectralEmbedding(m, 2);
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 2; ++j) {
+      double dot = 0;
+      for (int64_t k = 0; k < 2; ++k) dot += e[i * 2 + k] * e[j * 2 + k];
+      EXPECT_NEAR(dot, m[i * 2 + j], 1e-4);
+    }
+  }
+}
+
+TEST(WordEmbeddingsTest, CosineAndNearest) {
+  core::Tensor vecs = core::Tensor::FromVector(
+      {3, 2}, {1, 0, 0, 1, 1, 0.1f});
+  WordEmbeddings emb(vecs);
+  EXPECT_NEAR(emb.Cosine(0, 2), 1.0 / std::sqrt(1.01), 1e-4);
+  EXPECT_LT(emb.Cosine(0, 1), 0.01);
+  EXPECT_EQ(emb.Nearest({1.0f, 0.0f}, {0}), 2);  // excludes word 0
+}
+
+TEST(AnalogyEndToEnd, RecoversGridStructure) {
+  // The full §5 pipeline on the synthetic corpus: co-occurrence -> PPMI ->
+  // spectral embedding -> offset analogies.
+  llm::data::AnalogyCorpus corpus;
+  util::Rng rng(3);
+  std::vector<int64_t> stream = corpus.Generate(12000, &rng);
+  CooccurrenceMatrix m(corpus.vocab_size(), /*window=*/5);
+  m.Fit(stream);
+  core::Tensor emb_matrix = SpectralEmbedding(m.Ppmi(), 16);
+  WordEmbeddings emb(emb_matrix);
+  int correct = 0;
+  for (const auto& q : corpus.quads()) {
+    if (emb.Analogy(q.a, q.b, q.c) == q.d) ++correct;
+  }
+  // The paper's claim is qualitative; at toy scale most analogies resolve.
+  EXPECT_GE(correct, static_cast<int>(corpus.quads().size() * 0.6))
+      << correct << "/" << corpus.quads().size();
+}
+
+}  // namespace
+}  // namespace llm::embed

@@ -1,0 +1,175 @@
+// Tests for the evaluation harness: power-law and Eq. 4 ansatz fitting,
+// Nelder-Mead, accuracy/cross-entropy metrics, calibration, Spearman, and
+// the LM evaluators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/lm_eval.h"
+#include "eval/metrics.h"
+#include "eval/power_law.h"
+
+namespace llm::eval {
+namespace {
+
+TEST(PowerLawTest, RecoversExactLaw) {
+  // y = 2 x^-0.5.
+  std::vector<double> x, y;
+  for (double v : {1e2, 1e3, 1e4, 1e5}) {
+    x.push_back(v);
+    y.push_back(2.0 * std::pow(v, -0.5));
+  }
+  auto fit = FitPowerLaw(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->a, 2.0, 1e-6);
+  EXPECT_NEAR(fit->b, -0.5, 1e-9);
+  EXPECT_NEAR(fit->r2, 1.0, 1e-9);
+}
+
+TEST(PowerLawTest, NoisyFitStillClose) {
+  util::Rng rng(1);
+  std::vector<double> x, y;
+  for (int i = 0; i < 30; ++i) {
+    const double v = std::pow(10.0, 2.0 + 0.1 * i);
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, -0.3) * std::exp(rng.Normal(0.0, 0.05)));
+  }
+  auto fit = FitPowerLaw(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->b, -0.3, 0.03);
+  EXPECT_GT(fit->r2, 0.95);
+}
+
+TEST(PowerLawTest, RejectsBadInput) {
+  EXPECT_FALSE(FitPowerLaw({1.0}, {1.0}).ok());
+  EXPECT_FALSE(FitPowerLaw({1.0, 2.0}, {1.0, -2.0}).ok());
+  EXPECT_FALSE(FitPowerLaw({2.0, 2.0}, {1.0, 2.0}).ok());
+}
+
+TEST(PowerLawTest, FloorSubtraction) {
+  // y = 1.5 + 4 x^-0.4.
+  std::vector<double> x, y;
+  for (double v : {10.0, 100.0, 1000.0, 10000.0}) {
+    x.push_back(v);
+    y.push_back(1.5 + 4.0 * std::pow(v, -0.4));
+  }
+  auto fit = FitPowerLawWithFloor(x, y, 1.5);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->b, -0.4, 1e-6);
+  EXPECT_FALSE(FitPowerLawWithFloor(x, y, 10.0).ok());
+}
+
+TEST(NelderMeadTest, MinimizesRosenbrock) {
+  auto rosen = [](const std::vector<double>& v) {
+    const double a = 1.0 - v[0];
+    const double b = v[1] - v[0] * v[0];
+    return a * a + 100.0 * b * b;
+  };
+  NelderMeadOptions opts;
+  opts.max_iterations = 5000;
+  auto x = NelderMead(rosen, {-1.0, 2.0}, opts);
+  EXPECT_NEAR(x[0], 1.0, 1e-3);
+  EXPECT_NEAR(x[1], 1.0, 1e-3);
+}
+
+TEST(AnsatzTest, RecoversSyntheticSurface) {
+  // Generate losses from a known Eq. 4 surface plus floor.
+  AnsatzFit truth;
+  truth.pc = 1e4;
+  truth.dc = 2e4;
+  truth.alpha_p = 0.4;
+  truth.alpha_d = 0.35;
+  truth.floor = 0.8;
+  std::vector<ScalingPoint> points;
+  for (double p : {1e3, 1e4, 1e5, 1e6}) {
+    for (double d : {1e3, 1e4, 1e5, 1e6}) {
+      points.push_back({p, d, AnsatzLoss(truth, p, d)});
+    }
+  }
+  auto fit = FitAnsatz(points);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit->rmse, 0.02);
+  // Predictions at held-out corners track the truth.
+  for (double p : {3e3, 3e5}) {
+    for (double d : {3e3, 3e5}) {
+      EXPECT_NEAR(AnsatzLoss(*fit, p, d), AnsatzLoss(truth, p, d),
+                  0.1 * AnsatzLoss(truth, p, d));
+    }
+  }
+}
+
+TEST(MetricsTest, MaskedAccuracyAndCrossEntropy) {
+  core::Tensor logits = core::Tensor::FromVector(
+      {3, 2}, {2.0f, 0.0f,   // argmax 0
+               0.0f, 2.0f,   // argmax 1
+               2.0f, 0.0f}); // argmax 0
+  std::vector<int64_t> targets = {0, 0, -1};
+  EXPECT_NEAR(MaskedAccuracy(logits, targets), 0.5, 1e-9);
+  // Cross entropy of row 0 (correct, margin 2) and row 1 (wrong).
+  const double p_correct = 1.0 / (1.0 + std::exp(-2.0));
+  const double expected =
+      -(std::log(p_correct) + std::log(1.0 - p_correct)) / 2.0;
+  EXPECT_NEAR(MaskedCrossEntropy(logits, targets), expected, 1e-6);
+}
+
+TEST(CalibrationTest, PerfectlyCalibratedHasZeroEce) {
+  // Confidence 0.75 and empirical accuracy 0.75 in one bin.
+  std::vector<CalibrationPoint> pts;
+  for (int i = 0; i < 100; ++i) pts.push_back({0.75, i < 75});
+  EXPECT_NEAR(ExpectedCalibrationError(pts), 0.0, 1e-9);
+}
+
+TEST(CalibrationTest, OverconfidenceDetected) {
+  std::vector<CalibrationPoint> pts;
+  for (int i = 0; i < 100; ++i) pts.push_back({0.95, i < 50});
+  EXPECT_NEAR(ExpectedCalibrationError(pts), 0.45, 1e-9);
+}
+
+TEST(CalibrationTest, ReliabilityBinsPartition) {
+  std::vector<CalibrationPoint> pts = {
+      {0.05, false}, {0.55, true}, {0.95, true}, {0.97, false}};
+  auto bins = ReliabilityDiagram(pts, 10);
+  ASSERT_EQ(bins.size(), 10u);
+  EXPECT_EQ(bins[0].count, 1);
+  EXPECT_EQ(bins[5].count, 1);
+  EXPECT_EQ(bins[9].count, 2);
+  EXPECT_NEAR(bins[9].accuracy, 0.5, 1e-9);
+}
+
+TEST(SpearmanTest, PerfectMonotone) {
+  auto rho = SpearmanCorrelation({1, 2, 3, 4}, {10, 20, 30, 40});
+  ASSERT_TRUE(rho.ok());
+  EXPECT_NEAR(*rho, 1.0, 1e-9);
+  auto anti = SpearmanCorrelation({1, 2, 3, 4}, {4, 3, 2, 1});
+  ASSERT_TRUE(anti.ok());
+  EXPECT_NEAR(*anti, -1.0, 1e-9);
+}
+
+TEST(SpearmanTest, HandlesTies) {
+  auto rho = SpearmanCorrelation({1, 1, 2, 3}, {5, 5, 6, 7});
+  ASSERT_TRUE(rho.ok());
+  EXPECT_GT(*rho, 0.9);
+  EXPECT_FALSE(SpearmanCorrelation({1, 1, 1}, {1, 2, 3}).ok());
+}
+
+TEST(LmEvalTest, UntrainedModelNearUniform) {
+  nn::GPTConfig cfg;
+  cfg.vocab_size = 12;
+  cfg.max_seq_len = 8;
+  cfg.d_model = 16;
+  cfg.n_layer = 1;
+  cfg.n_head = 2;
+  util::Rng rng(2);
+  nn::GPTModel model(cfg, &rng);
+  std::vector<int64_t> tokens;
+  for (int i = 0; i < 200; ++i) {
+    tokens.push_back(static_cast<int64_t>(rng.UniformInt(12)));
+  }
+  text::TokenDataset ds(tokens, 8);
+  auto result = EvaluateGpt(model, ds, 8);
+  EXPECT_NEAR(result.cross_entropy, std::log(12.0), 0.5);
+  EXPECT_GT(result.tokens_scored, 0);
+}
+
+}  // namespace
+}  // namespace llm::eval

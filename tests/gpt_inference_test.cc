@@ -1,0 +1,126 @@
+// Tests for the KV-cache inference session: exact agreement with the
+// training-path forward across every architecture variant, plus cached
+// generation equivalence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gpt_inference.h"
+#include "sample/sampler.h"
+
+namespace llm::nn {
+namespace {
+
+struct Variant {
+  bool pre_ln;
+  bool learned_pos;
+  bool attn_only;
+  bool tied;
+  int window;
+  Activation act;
+};
+
+class InferenceVariants : public ::testing::TestWithParam<Variant> {};
+
+GPTConfig ConfigFor(const Variant& v) {
+  GPTConfig cfg;
+  cfg.vocab_size = 17;
+  cfg.max_seq_len = 12;
+  cfg.d_model = 24;
+  cfg.n_layer = 2;
+  cfg.n_head = 3;
+  cfg.pre_layernorm = v.pre_ln;
+  cfg.learned_positional = v.learned_pos;
+  cfg.attention_only = v.attn_only;
+  cfg.tie_embeddings = v.tied;
+  cfg.attention_window = v.window;
+  cfg.activation = v.act;
+  return cfg;
+}
+
+TEST_P(InferenceVariants, MatchesFullForwardExactly) {
+  util::Rng rng(11);
+  GPTModel model(ConfigFor(GetParam()), &rng);
+  std::vector<int64_t> tokens = {3, 1, 4, 1, 5, 9, 2, 6};
+  const auto T = static_cast<int64_t>(tokens.size());
+  core::Tensor full = model.ForwardLogits(tokens, 1, T).value();
+
+  GptInferenceSession session(&model);
+  for (int64_t t = 0; t < T; ++t) {
+    const std::vector<float>& row =
+        session.Append(tokens[static_cast<size_t>(t)]);
+    for (int64_t v = 0; v < 17; ++v) {
+      ASSERT_NEAR(row[static_cast<size_t>(v)], full.At({t, v}), 2e-4f)
+          << "position " << t << " vocab " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, InferenceVariants,
+    ::testing::Values(
+        Variant{true, true, false, false, 0, Activation::kGelu},
+        Variant{false, true, false, false, 0, Activation::kGelu},
+        Variant{true, false, false, false, 0, Activation::kRelu},
+        Variant{true, true, true, false, 0, Activation::kGelu},
+        Variant{true, true, false, true, 0, Activation::kTanh},
+        Variant{true, true, false, false, 3, Activation::kGelu},
+        Variant{false, false, true, true, 2, Activation::kGelu}));
+
+TEST(GptInferenceTest, ResetStartsFresh) {
+  util::Rng rng(12);
+  GPTModel model(ConfigFor({true, true, false, false, 0,
+                            Activation::kGelu}),
+                 &rng);
+  GptInferenceSession session(&model);
+  std::vector<float> first = session.Append(5);
+  session.Append(6);
+  session.Reset();
+  EXPECT_EQ(session.position(), 0);
+  std::vector<float> again = session.Append(5);
+  for (size_t v = 0; v < first.size(); ++v) {
+    EXPECT_EQ(first[v], again[v]);
+  }
+}
+
+TEST(GptInferenceTest, OverflowAborts) {
+  util::Rng rng(13);
+  GPTConfig cfg = ConfigFor({true, true, false, false, 0,
+                             Activation::kGelu});
+  cfg.max_seq_len = 3;
+  GPTModel model(cfg, &rng);
+  GptInferenceSession session(&model);
+  session.Append(1);
+  session.Append(2);
+  session.Append(3);
+  EXPECT_DEATH(session.Append(4), "window");
+}
+
+TEST(GptInferenceTest, GreedyCachedGenerationMatchesUncached) {
+  util::Rng rng(14);
+  GPTModel model(ConfigFor({true, true, false, false, 0,
+                            Activation::kGelu}),
+                 &rng);
+  std::vector<int64_t> prefix = {2, 7};
+  sample::GenerateOptions gopts;
+  gopts.max_new_tokens = 8;
+  gopts.sampler.temperature = 0.0f;
+  util::Rng r1(1), r2(1);
+  auto slow = sample::Generate(model, prefix, gopts, &r1);
+  auto fast = GenerateCached(model, prefix, 8, 0.0f, &r2);
+  EXPECT_EQ(slow, fast);
+}
+
+TEST(GptInferenceTest, StopTokenHonoured) {
+  util::Rng rng(15);
+  GPTModel model(ConfigFor({true, true, false, false, 0,
+                            Activation::kGelu}),
+                 &rng);
+  util::Rng gen_rng(2);
+  auto out = GenerateCached(model, {1}, 10, 1.0f, &gen_rng,
+                            /*stop_token=*/4);
+  if (out.size() < 10u) EXPECT_EQ(out.back(), 4);
+}
+
+}  // namespace
+}  // namespace llm::nn

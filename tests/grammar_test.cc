@@ -1,0 +1,264 @@
+// Tests for the grammar substrate: CFG/PCFG authoring, sampling, the
+// Figure 3 arithmetic grammar and its precedence exercise, Earley parsing,
+// CNF conversion, the inside algorithm, Viterbi, and Inside-Outside EM.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grammar/cfg.h"
+#include "grammar/cnf.h"
+#include "grammar/earley.h"
+
+namespace llm::grammar {
+namespace {
+
+Grammar AbGrammar() {
+  // S -> a S b | a b  (the classic a^n b^n language).
+  Grammar g;
+  EXPECT_TRUE(g.AddRule("S", {"a", "S", "b"}, 0.4).ok());
+  EXPECT_TRUE(g.AddRule("S", {"a", "b"}, 0.6).ok());
+  EXPECT_TRUE(g.Finalize("S").ok());
+  return g;
+}
+
+TEST(GrammarTest, FinalizeClassifiesSymbols) {
+  Grammar g = AbGrammar();
+  EXPECT_EQ(g.num_nonterminals(), 1);
+  EXPECT_EQ(g.num_terminals(), 2);
+  EXPECT_GE(g.TerminalId("a"), 0);
+  EXPECT_EQ(g.TerminalId("S"), -1);
+  EXPECT_GE(g.NonterminalId("S"), 0);
+}
+
+TEST(GrammarTest, ProbabilitiesNormalized) {
+  Grammar g = AbGrammar();
+  double sum = 0;
+  for (const auto& r : g.rules()) sum += r.prob;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(GrammarTest, RejectsEmptyRhsAndDoubleFinalize) {
+  Grammar g;
+  EXPECT_FALSE(g.AddRule("S", {}).ok());
+  EXPECT_TRUE(g.AddRule("S", {"a"}).ok());
+  EXPECT_TRUE(g.Finalize("S").ok());
+  EXPECT_FALSE(g.Finalize("S").ok());
+  EXPECT_FALSE(g.AddRule("S", {"a"}).ok());
+}
+
+TEST(GrammarTest, SampleYieldsBalancedStrings) {
+  Grammar g = AbGrammar();
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    auto tree = g.SampleTree(&rng);
+    ASSERT_TRUE(tree.ok());
+    auto leaves = Grammar::TreeLeaves(**tree);
+    // a^n b^n: even length, first half a's, second half b's.
+    ASSERT_EQ(leaves.size() % 2, 0u);
+    const int a = g.TerminalId("a"), b = g.TerminalId("b");
+    for (size_t j = 0; j < leaves.size() / 2; ++j) {
+      EXPECT_EQ(leaves[j], a);
+    }
+    for (size_t j = leaves.size() / 2; j < leaves.size(); ++j) {
+      EXPECT_EQ(leaves[j], b);
+    }
+  }
+}
+
+TEST(GrammarTest, TreeLogProbMatchesManual) {
+  Grammar g = AbGrammar();
+  util::Rng rng(2);
+  auto tree = g.SampleTree(&rng);
+  ASSERT_TRUE(tree.ok());
+  const size_t depth = Grammar::TreeLeaves(**tree).size() / 2;
+  // Tree uses rule0 (p=0.4) depth-1 times and rule1 (p=0.6) once.
+  const double expected =
+      static_cast<double>(depth - 1) * std::log(0.4) + std::log(0.6);
+  EXPECT_NEAR(g.TreeLogProb(**tree), expected, 1e-9);
+}
+
+TEST(GrammarTest, LeafPairDistances) {
+  // For "a b" (depth-1 tree): both leaves are children of S, distance 2.
+  Grammar g = AbGrammar();
+  util::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    auto tree = g.SampleTree(&rng);
+    ASSERT_TRUE(tree.ok());
+    auto leaves = Grammar::TreeLeaves(**tree);
+    if (leaves.size() != 2) continue;
+    auto dist = Grammar::LeafPairDistances(**tree);
+    EXPECT_EQ(dist[0][1], 2);
+    return;
+  }
+  FAIL() << "never sampled the base case";
+}
+
+TEST(ArithmeticGrammarTest, PrecedenceExercise) {
+  // The paper's Appendix A exercise: parse "y + 1 * x" and check that
+  // multiplication binds tighter than addition: the * subtree is nested
+  // inside the + expression's right/left TERM, never above it.
+  Grammar g = ArithmeticGrammar();
+  EarleyParser parser(&g);
+  auto ids = parser.TerminalIds("y + 1 * x");
+  ASSERT_TRUE(ids.ok());
+  ASSERT_TRUE(parser.Recognize(*ids));
+  auto tree = parser.Parse(*ids);
+  ASSERT_TRUE(tree.ok());
+  const std::string s = g.TreeToString(**tree);
+  // Root rule must be EXPR -> TERM + EXPR with "y" alone under the TERM.
+  EXPECT_EQ(s.find("(EXPR (TERM (VALUE y))"), 0u) << s;
+  // The multiplication lives inside a TERM.
+  EXPECT_NE(s.find("(TERM (VALUE 1) * (TERM (VALUE x)))"),
+            std::string::npos)
+      << s;
+}
+
+TEST(EarleyTest, RejectsIllFormed) {
+  Grammar g = ArithmeticGrammar();
+  EarleyParser parser(&g);
+  auto bad = parser.TerminalIds("y + * x");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(parser.Recognize(*bad));
+  EXPECT_FALSE(parser.Parse(*bad).ok());
+  auto unbalanced = parser.TerminalIds("( y + x");
+  ASSERT_TRUE(unbalanced.ok());
+  EXPECT_FALSE(parser.Recognize(*unbalanced));
+}
+
+TEST(EarleyTest, AcceptsNestedParens) {
+  Grammar g = ArithmeticGrammar();
+  EarleyParser parser(&g);
+  // Note Fig. 3's TERM -> VALUE * TERM requires a VALUE first factor, so
+  // the parenthesized factor must come second.
+  auto ids = parser.TerminalIds("( x * ( y + 1 ) + 0 )");
+  ASSERT_TRUE(ids.ok());
+  EXPECT_TRUE(parser.Recognize(*ids));
+}
+
+TEST(EarleyTest, UnknownTerminalRejected) {
+  Grammar g = ArithmeticGrammar();
+  EarleyParser parser(&g);
+  EXPECT_FALSE(parser.TerminalIds("y + z").ok());
+}
+
+TEST(CnfTest, ConversionValidates) {
+  Grammar g = ArithmeticGrammar();
+  auto cnf = ToCnf(g);
+  ASSERT_TRUE(cnf.ok());
+  EXPECT_TRUE(cnf->Validate().ok());
+  EXPECT_FALSE(cnf->binary.empty());
+  EXPECT_FALSE(cnf->lexical.empty());
+}
+
+TEST(CnfTest, PreservesStringProbability) {
+  // P("a b") under a^n b^n grammar is 0.6; P("a a b b") is 0.4 * 0.6.
+  Grammar g = AbGrammar();
+  auto cnf = ToCnf(g);
+  ASSERT_TRUE(cnf.ok());
+  const int a = g.TerminalId("a"), b = g.TerminalId("b");
+  EXPECT_NEAR(InsideLogProb(*cnf, {a, b}), std::log(0.6), 1e-9);
+  EXPECT_NEAR(InsideLogProb(*cnf, {a, a, b, b}), std::log(0.24), 1e-9);
+  EXPECT_EQ(InsideLogProb(*cnf, {a, b, b}),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(CnfTest, AgreesWithEarleyOnMembership) {
+  Grammar g = ArithmeticGrammar();
+  EarleyParser parser(&g);
+  auto cnf = ToCnf(g);
+  ASSERT_TRUE(cnf.ok());
+  util::Rng rng(4);
+  // Sampled sentences must be derivable under both.
+  for (int i = 0; i < 20; ++i) {
+    auto tree = g.SampleTree(&rng, 30);
+    if (!tree.ok()) continue;
+    auto leaves = Grammar::TreeLeaves(**tree);
+    EXPECT_TRUE(parser.Recognize(leaves));
+    EXPECT_GT(InsideLogProb(*cnf, leaves),
+              -std::numeric_limits<double>::infinity());
+  }
+}
+
+TEST(CnfTest, SampledProbabilityConsistency) {
+  // Inside probability of a sampled sentence >= probability of its own
+  // derivation tree (summing over derivations only adds mass).
+  Grammar g = ArithmeticGrammar();
+  auto cnf = ToCnf(g);
+  ASSERT_TRUE(cnf.ok());
+  util::Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    auto tree = g.SampleTree(&rng, 30);
+    if (!tree.ok()) continue;
+    auto leaves = Grammar::TreeLeaves(**tree);
+    EXPECT_GE(InsideLogProb(*cnf, leaves), g.TreeLogProb(**tree) - 1e-6);
+  }
+}
+
+TEST(ViterbiTest, ParsesAndBrackets) {
+  Grammar g = AbGrammar();
+  auto cnf = ToCnf(g);
+  ASSERT_TRUE(cnf.ok());
+  const int a = g.TerminalId("a"), b = g.TerminalId("b");
+  auto parse = ViterbiParse(*cnf, {a, a, b, b});
+  ASSERT_TRUE(parse.ok());
+  EXPECT_NE(parse->find("a"), std::string::npos);
+  EXPECT_FALSE(ViterbiParse(*cnf, {a, b, b}).ok());
+}
+
+TEST(InsideOutsideTest, LikelihoodNonDecreasing) {
+  // Start from the wrong probabilities; EM must improve likelihood.
+  Grammar g;
+  ASSERT_TRUE(g.AddRule("S", {"a", "S", "b"}, 0.9).ok());  // true: 0.3
+  ASSERT_TRUE(g.AddRule("S", {"a", "b"}, 0.1).ok());       // true: 0.7
+  ASSERT_TRUE(g.Finalize("S").ok());
+  auto cnf = ToCnf(g);
+  ASSERT_TRUE(cnf.ok());
+
+  // Corpus drawn from the *true* distribution (recursion prob 0.3).
+  Grammar truth;
+  ASSERT_TRUE(truth.AddRule("S", {"a", "S", "b"}, 0.3).ok());
+  ASSERT_TRUE(truth.AddRule("S", {"a", "b"}, 0.7).ok());
+  ASSERT_TRUE(truth.Finalize("S").ok());
+  util::Rng rng(6);
+  std::vector<std::vector<int>> corpus;
+  for (int i = 0; i < 200; ++i) {
+    auto tree = truth.SampleTree(&rng, 40);
+    if (!tree.ok()) continue;
+    corpus.push_back(Grammar::TreeLeaves(**tree));
+  }
+
+  EmOptions opts;
+  opts.iterations = 15;
+  auto stats = FitInsideOutside(&(*cnf), corpus, opts);
+  ASSERT_TRUE(stats.ok());
+  for (size_t i = 1; i < stats->log_likelihood.size(); ++i) {
+    EXPECT_GE(stats->log_likelihood[i], stats->log_likelihood[i - 1] - 1e-6);
+  }
+  // EM should move the recursion probability toward the truth. Find the
+  // binary rule S -> _T_a _BIN... (recursive) and check its prob ~ 0.3.
+  double recursive_prob = -1;
+  for (const auto& r : cnf->binary) {
+    if (cnf->nonterminal_names[static_cast<size_t>(r.lhs)] == "S" &&
+        r.prob < 0.6) {
+      recursive_prob = r.prob;
+    }
+  }
+  // The S lhs has two rules; the smaller one should approach 0.3.
+  EXPECT_NEAR(recursive_prob, 0.3, 0.07);
+}
+
+TEST(CorpusCrossEntropyTest, MatchesManual) {
+  Grammar g = AbGrammar();
+  auto cnf = ToCnf(g);
+  ASSERT_TRUE(cnf.ok());
+  const int a = g.TerminalId("a"), b = g.TerminalId("b");
+  std::vector<std::vector<int>> corpus = {{a, b}, {a, a, b, b}};
+  auto ce = CorpusCrossEntropy(*cnf, corpus);
+  ASSERT_TRUE(ce.ok());
+  const double expected =
+      -(std::log(0.6) + std::log(0.24)) / 6.0;  // 6 tokens total
+  EXPECT_NEAR(*ce, expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace llm::grammar

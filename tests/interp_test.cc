@@ -1,0 +1,187 @@
+// Tests for the interpretability tooling: classifier probes (linear and
+// MLP), intervention edits, and the structural distance probe.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "interp/probe.h"
+#include "interp/structural_probe.h"
+
+namespace llm::interp {
+namespace {
+
+/// Linearly separable blobs in 8 dims: class = sign of first coordinate.
+void MakeBlobs(int64_t n, core::Tensor* x, std::vector<int64_t>* y,
+               uint64_t seed) {
+  util::Rng rng(seed);
+  *x = core::Tensor({n, 8});
+  y->resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t cls = rng.Bernoulli(0.5) ? 1 : 0;
+    (*y)[static_cast<size_t>(i)] = cls;
+    for (int64_t d = 0; d < 8; ++d) {
+      float v = static_cast<float>(rng.Normal(0.0, 0.4));
+      if (d == 0) v += cls == 1 ? 1.5f : -1.5f;
+      (*x)[i * 8 + d] = v;
+    }
+  }
+}
+
+TEST(ProbeTest, LinearSeparatesBlobs) {
+  core::Tensor x;
+  std::vector<int64_t> y;
+  MakeBlobs(256, &x, &y, 1);
+  ProbeConfig cfg;
+  cfg.input_dim = 8;
+  cfg.num_classes = 2;
+  Probe probe(cfg);
+  probe.Fit(x, y);
+  EXPECT_GT(probe.Accuracy(x, y), 0.95);
+}
+
+TEST(ProbeTest, LinearDirectionPointsAlongSeparatingAxis) {
+  core::Tensor x;
+  std::vector<int64_t> y;
+  MakeBlobs(256, &x, &y, 2);
+  ProbeConfig cfg;
+  cfg.input_dim = 8;
+  cfg.num_classes = 2;
+  Probe probe(cfg);
+  probe.Fit(x, y);
+  auto dir1 = probe.ClassDirection(1);
+  auto dir0 = probe.ClassDirection(0);
+  // Difference direction dominated by coordinate 0.
+  float diff0 = dir1[0] - dir0[0];
+  float rest = 0;
+  for (size_t d = 1; d < 8; ++d) rest += std::fabs(dir1[d] - dir0[d]);
+  EXPECT_GT(diff0, rest / 7.0f);
+}
+
+TEST(ProbeTest, MlpSolvesXorWhereLinearCannot) {
+  // XOR in 2D: nonlinear structure.
+  util::Rng rng(3);
+  const int64_t n = 400;
+  core::Tensor x({n, 2});
+  std::vector<int64_t> y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const int a = rng.Bernoulli(0.5) ? 1 : 0;
+    const int b = rng.Bernoulli(0.5) ? 1 : 0;
+    x[i * 2 + 0] = static_cast<float>(a) + 0.1f *
+                   static_cast<float>(rng.Normal());
+    x[i * 2 + 1] = static_cast<float>(b) + 0.1f *
+                   static_cast<float>(rng.Normal());
+    y[static_cast<size_t>(i)] = a ^ b;
+  }
+  ProbeConfig lin_cfg;
+  lin_cfg.input_dim = 2;
+  lin_cfg.num_classes = 2;
+  Probe linear(lin_cfg);
+  linear.Fit(x, y);
+
+  ProbeConfig mlp_cfg = lin_cfg;
+  mlp_cfg.hidden_dim = 16;
+  mlp_cfg.steps = 800;
+  Probe mlp(mlp_cfg);
+  mlp.Fit(x, y);
+
+  EXPECT_LT(linear.Accuracy(x, y), 0.8);
+  EXPECT_GT(mlp.Accuracy(x, y), 0.95);
+}
+
+TEST(ProbeTest, ClassDirectionRequiresLinear) {
+  ProbeConfig cfg;
+  cfg.input_dim = 4;
+  cfg.num_classes = 2;
+  cfg.hidden_dim = 8;
+  Probe mlp(cfg);
+  EXPECT_DEATH(mlp.ClassDirection(0), "linear");
+}
+
+TEST(InterventionTest, EditMovesAlongDifference) {
+  std::vector<float> h = {0, 0, 0};
+  std::vector<float> from = {1, 0, 0};
+  std::vector<float> to = {0, 1, 0};
+  ApplyInterventionEdit(&h, from, to, std::sqrt(2.0f));
+  EXPECT_NEAR(h[0], -1.0f, 1e-5f);
+  EXPECT_NEAR(h[1], 1.0f, 1e-5f);
+  EXPECT_NEAR(h[2], 0.0f, 1e-5f);
+}
+
+TEST(InterventionTest, ZeroDifferenceIsNoop) {
+  std::vector<float> h = {1, 2};
+  ApplyInterventionEdit(&h, {3, 4}, {3, 4}, 5.0f);
+  EXPECT_FLOAT_EQ(h[0], 1.0f);
+  EXPECT_FLOAT_EQ(h[1], 2.0f);
+}
+
+/// Builds sentences whose embeddings *are* low-dimensional functions of
+/// tree positions: embedding of word i = one-hot-ish vector scaled by a
+/// hidden coordinate; gold distance = |c_i - c_j| discretized. A rank-1
+/// probe can recover this.
+std::vector<ProbeSentence> SyntheticProbeData(uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<ProbeSentence> out;
+  const int64_t D = 12;
+  for (int s = 0; s < 24; ++s) {
+    const int64_t L = 5 + static_cast<int64_t>(rng.UniformInt(4));
+    ProbeSentence ps;
+    ps.embeddings = core::Tensor({L, D});
+    std::vector<double> coord(static_cast<size_t>(L));
+    for (int64_t i = 0; i < L; ++i) {
+      coord[static_cast<size_t>(i)] = rng.Uniform(0.0, 4.0);
+      for (int64_t d = 0; d < D; ++d) {
+        // Signal lives in dimension 2; the rest is noise.
+        ps.embeddings[i * D + d] =
+            d == 2 ? static_cast<float>(coord[static_cast<size_t>(i)])
+                   : static_cast<float>(rng.Normal(0.0, 0.05));
+      }
+    }
+    ps.gold_distance.assign(static_cast<size_t>(L),
+                            std::vector<int>(static_cast<size_t>(L), 0));
+    for (int64_t i = 0; i < L; ++i) {
+      for (int64_t j = 0; j < L; ++j) {
+        const double d = coord[static_cast<size_t>(i)] -
+                         coord[static_cast<size_t>(j)];
+        ps.gold_distance[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+            static_cast<int>(std::lround(d * d));
+      }
+    }
+    out.push_back(std::move(ps));
+  }
+  return out;
+}
+
+TEST(StructuralProbeTest, RecoversPlantedStructure) {
+  auto sentences = SyntheticProbeData(4);
+  StructuralProbeConfig cfg;
+  cfg.dim = 12;
+  cfg.rank = 2;
+  cfg.steps = 400;
+  StructuralProbe probe(cfg);
+  probe.Fit(sentences);
+  auto rho = probe.MeanSpearman(sentences);
+  ASSERT_TRUE(rho.ok());
+  EXPECT_GT(*rho, 0.8) << *rho;
+}
+
+TEST(StructuralProbeTest, PredictDistancesSymmetricNonnegative) {
+  auto sentences = SyntheticProbeData(5);
+  StructuralProbeConfig cfg;
+  cfg.dim = 12;
+  cfg.rank = 3;
+  cfg.steps = 50;
+  StructuralProbe probe(cfg);
+  probe.Fit(sentences);
+  auto d = probe.PredictDistances(sentences[0].embeddings);
+  const size_t L = d.size();
+  for (size_t i = 0; i < L; ++i) {
+    EXPECT_EQ(d[i][i], 0.0);
+    for (size_t j = 0; j < L; ++j) {
+      EXPECT_GE(d[i][j], 0.0);
+      EXPECT_EQ(d[i][j], d[j][i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace llm::interp

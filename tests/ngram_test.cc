@@ -1,0 +1,130 @@
+// Tests for the N-gram language models (Eq. 1, 5, 6) and smoothing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ngram/ngram.h"
+
+namespace llm::ngram {
+namespace {
+
+TEST(UnigramTest, MatchesFrequencies) {
+  // Eq. 1: P(w) = count / total (up to smoothing).
+  NgramModel model(1, 4, /*add_k=*/1e-9);
+  model.Fit({0, 0, 0, 1});  // P(0) ~ 3/4, P(1) ~ 1/4
+  EXPECT_NEAR(model.CondProb({}, 0), 0.75, 1e-6);
+  EXPECT_NEAR(model.CondProb({}, 1), 0.25, 1e-6);
+}
+
+TEST(BigramTest, ConditionalCounts) {
+  // Stream 0 1 0 1 0 1: after 0 always 1; after 1 always 0.
+  NgramModel model(2, 3, 1e-9);
+  model.Fit({0, 1, 0, 1, 0, 1});
+  EXPECT_NEAR(model.CondProb({0}, 1), 1.0, 1e-6);
+  EXPECT_NEAR(model.CondProb({1}, 0), 1.0, 1e-6);
+}
+
+TEST(BigramTest, UsesOnlyLastContextToken) {
+  NgramModel model(2, 3, 1e-9);
+  model.Fit({0, 1, 0, 1});
+  EXPECT_NEAR(model.CondProb({2, 2, 0}, 1), model.CondProb({0}, 1), 1e-12);
+}
+
+TEST(SmoothingTest, UnseenContextIsUniform) {
+  NgramModel model(2, 10, 0.5);
+  model.Fit({0, 1});
+  // Context 7 never seen: add-k gives uniform 1/10.
+  EXPECT_NEAR(model.CondProb({7}, 3), 0.1, 1e-9);
+}
+
+TEST(SmoothingTest, ProbabilitiesSumToOne) {
+  NgramModel model(2, 5, 0.1);
+  model.Fit({0, 1, 2, 3, 4, 0, 2, 4, 1, 3});
+  for (int64_t ctx = 0; ctx < 5; ++ctx) {
+    double sum = 0;
+    for (int64_t w = 0; w < 5; ++w) sum += model.CondProb({ctx}, w);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(PerplexityTest, DeterministicStreamApproachesOne) {
+  NgramModel model(2, 3, 1e-6);
+  std::vector<int64_t> stream;
+  for (int i = 0; i < 500; ++i) stream.push_back(i % 2);
+  model.Fit(stream);
+  EXPECT_NEAR(model.Perplexity(stream), 1.0, 0.01);
+}
+
+TEST(PerplexityTest, UniformRandomApproachesVocab) {
+  util::Rng rng(1);
+  std::vector<int64_t> stream;
+  for (int i = 0; i < 20000; ++i) {
+    stream.push_back(static_cast<int64_t>(rng.UniformInt(8)));
+  }
+  NgramModel model(1, 8, 0.01);
+  model.Fit(stream);
+  EXPECT_NEAR(model.Perplexity(stream), 8.0, 0.25);
+}
+
+TEST(PerplexityTest, HigherOrderWinsOnMarkovData) {
+  // Second-order data: next = (prev + prev2) mod 5.
+  std::vector<int64_t> stream = {0, 1};
+  for (int i = 2; i < 3000; ++i) {
+    stream.push_back((stream[i - 1] + stream[i - 2]) % 5);
+  }
+  NgramModel uni(1, 5, 0.01);
+  NgramModel tri(3, 5, 0.01);
+  uni.Fit(stream);
+  tri.Fit(stream);
+  EXPECT_LT(tri.Perplexity(stream), uni.Perplexity(stream) * 0.5);
+}
+
+TEST(GenerateTest, ReproducesPattern) {
+  NgramModel model(2, 2, 1e-6);
+  model.Fit({0, 1, 0, 1, 0, 1, 0, 1});
+  util::Rng rng(2);
+  auto out = model.Generate({0}, 10, &rng);
+  ASSERT_EQ(out.size(), 11u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_NE(out[i], out[i - 1]);  // alternating
+  }
+}
+
+TEST(InterpolatedTest, WeightsMustSumToOne) {
+  EXPECT_DEATH(InterpolatedNgram(2, 5, 0.01, {0.9, 0.9}), "sum to 1");
+}
+
+TEST(InterpolatedTest, BeatsPureHighOrderOnSparseData) {
+  // Short corpus: trigram contexts are mostly unseen at test time, so
+  // interpolation with lower orders helps.
+  util::Rng rng(3);
+  std::vector<int64_t> train, test;
+  for (int i = 0; i < 300; ++i) {
+    train.push_back(static_cast<int64_t>(rng.UniformInt(6)));
+  }
+  for (int i = 0; i < 300; ++i) {
+    test.push_back(static_cast<int64_t>(rng.UniformInt(6)));
+  }
+  NgramModel pure(3, 6, 0.01);
+  InterpolatedNgram mixed(3, 6, 0.01);
+  pure.Fit(train);
+  mixed.Fit(train);
+  EXPECT_LT(mixed.Perplexity(test), pure.Perplexity(test));
+}
+
+TEST(InterpolatedTest, CondProbIsConvexCombination) {
+  InterpolatedNgram mixed(2, 4, 0.1, {0.5, 0.5});
+  mixed.Fit({0, 1, 2, 3, 0, 1});
+  double sum = 0;
+  for (int64_t w = 0; w < 4; ++w) sum += mixed.CondProb({1}, w);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(NgramTest, ContextCountGrowth) {
+  NgramModel model(3, 10, 0.01);
+  model.Fit({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_EQ(model.num_contexts(), 8);  // 10 - 2 distinct 2-contexts
+}
+
+}  // namespace
+}  // namespace llm::ngram

@@ -1,0 +1,138 @@
+// Tests for basic layers: Linear, Embedding, LayerNorm, Mlp, positional
+// encodings, and the Module parameter plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "nn/layers.h"
+#include "nn/positional.h"
+
+namespace llm::nn {
+namespace {
+
+TEST(LinearTest, ShapesAndBias) {
+  util::Rng rng(1);
+  Linear lin(3, 5, &rng);
+  core::Variable x(core::Tensor::Ones({2, 3}));
+  core::Variable y = lin.Forward(x);
+  EXPECT_EQ(y.shape(), (core::Shape{2, 5}));
+  EXPECT_EQ(lin.NumParameters(), 3 * 5 + 5);
+}
+
+TEST(LinearTest, NoBiasOption) {
+  util::Rng rng(1);
+  Linear lin(3, 5, &rng, /*bias=*/false);
+  EXPECT_EQ(lin.NumParameters(), 15);
+  EXPECT_FALSE(lin.has_bias());
+}
+
+TEST(LinearTest, HandlesLeadingDims) {
+  util::Rng rng(2);
+  Linear lin(4, 2, &rng);
+  core::Variable x(core::Tensor::Ones({3, 5, 4}));
+  core::Variable y = lin.Forward(x);
+  EXPECT_EQ(y.shape(), (core::Shape{3, 5, 2}));
+  // Same input row -> same output row regardless of position.
+  EXPECT_FLOAT_EQ(y.value().At({0, 0, 0}), y.value().At({2, 4, 0}));
+}
+
+TEST(LinearTest, InitVarianceScalesWithFanIn) {
+  util::Rng rng(3);
+  Linear lin(400, 50, &rng, false);
+  const core::Tensor& w = lin.weight().value();
+  double var = 0;
+  for (int64_t i = 0; i < w.numel(); ++i) var += w[i] * w[i];
+  var /= static_cast<double>(w.numel());
+  EXPECT_NEAR(var, 1.0 / 400.0, 1.0 / 400.0 * 0.2);
+}
+
+TEST(EmbeddingTest, LookupAndParams) {
+  util::Rng rng(4);
+  Embedding emb(10, 6, &rng);
+  core::Variable out = emb.Forward({3, 3, 9});
+  EXPECT_EQ(out.shape(), (core::Shape{3, 6}));
+  for (int64_t c = 0; c < 6; ++c) {
+    EXPECT_EQ(out.value().At({0, c}), out.value().At({1, c}));
+  }
+  EXPECT_EQ(emb.NumParameters(), 60);
+}
+
+TEST(LayerNormTest, TrainableAffine) {
+  LayerNorm ln(8);
+  EXPECT_EQ(ln.NumParameters(), 16);
+  core::Variable x(core::Tensor::FromVector(
+      {1, 8}, {1, 2, 3, 4, 5, 6, 7, 8}));
+  core::Variable y = ln.Forward(x);
+  float mean = 0;
+  for (int64_t i = 0; i < 8; ++i) mean += y.value()[i];
+  EXPECT_NEAR(mean / 8.0f, 0.0f, 1e-5f);
+}
+
+TEST(MlpTest, ShapeAndActivation) {
+  util::Rng rng(5);
+  Mlp mlp(4, 16, 3, &rng, Activation::kRelu);
+  core::Variable x(core::Tensor::Ones({2, 4}));
+  EXPECT_EQ(mlp.Forward(x).shape(), (core::Shape{2, 3}));
+  EXPECT_EQ(mlp.NumParameters(), 4 * 16 + 16 + 16 * 3 + 3);
+}
+
+TEST(ModuleTest, NamedParametersAreUniqueAndComplete) {
+  util::Rng rng(6);
+  Mlp mlp(4, 8, 2, &rng);
+  std::set<std::string> names;
+  int64_t total = 0;
+  for (const auto& [name, v] : mlp.NamedParameters()) {
+    EXPECT_TRUE(names.insert(name).second) << "duplicate " << name;
+    total += v.numel();
+  }
+  EXPECT_EQ(total, mlp.NumParameters());
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  util::Rng rng(7);
+  Linear lin(2, 2, &rng);
+  core::Variable x(core::Tensor::Ones({1, 2}));
+  core::Backward(core::SumAll(lin.Forward(x)));
+  EXPECT_GT(lin.weight().grad().MaxAbs(), 0.0f);
+  lin.ZeroGrad();
+  EXPECT_EQ(lin.weight().grad().MaxAbs(), 0.0f);
+}
+
+TEST(PositionalTest, SinusoidalStructure) {
+  core::Tensor pe = SinusoidalPositionalEncoding(16, 8);
+  EXPECT_EQ(pe.dim(0), 16);
+  EXPECT_EQ(pe.dim(1), 8);
+  // Position 0: sin(0)=0, cos(0)=1 alternating.
+  for (int64_t i = 0; i < 8; i += 2) {
+    EXPECT_FLOAT_EQ(pe.At({0, i}), 0.0f);
+    EXPECT_FLOAT_EQ(pe.At({0, i + 1}), 1.0f);
+  }
+  // All entries bounded by 1.
+  EXPECT_LE(pe.MaxAbs(), 1.0f);
+  // Distinct positions get distinct encodings.
+  float diff = 0;
+  for (int64_t i = 0; i < 8; ++i) {
+    diff += std::fabs(pe.At({3, i}) - pe.At({7, i}));
+  }
+  EXPECT_GT(diff, 0.1f);
+}
+
+TEST(PositionalTest, OddDimensionSupported) {
+  core::Tensor pe = SinusoidalPositionalEncoding(4, 5);
+  EXPECT_EQ(pe.dim(1), 5);
+}
+
+TEST(ActivationTest, AllVariantsFinite) {
+  core::Variable x(core::Tensor::FromVector({3}, {-2.0f, 0.0f, 2.0f}));
+  for (Activation a :
+       {Activation::kRelu, Activation::kGelu, Activation::kTanh}) {
+    core::Variable y = ApplyActivation(x, a);
+    for (int64_t i = 0; i < 3; ++i) {
+      EXPECT_TRUE(std::isfinite(y.value()[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace llm::nn

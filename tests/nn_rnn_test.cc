@@ -1,0 +1,153 @@
+// Tests for the recurrent models (RNN / LSTM, Eq. 12) and the FFN L-gram
+// model of §5.
+#include <gtest/gtest.h>
+
+#include "nn/ffn_lm.h"
+#include "nn/rnn.h"
+#include "train/optimizer.h"
+
+namespace llm::nn {
+namespace {
+
+TEST(RnnCellTest, StateUpdateShapesAndBounds) {
+  util::Rng rng(1);
+  RnnCell cell(4, 8, &rng);
+  core::Variable x(core::Tensor::Ones({2, 4}));
+  core::Variable h(core::Tensor({2, 8}));
+  core::Variable h2 = cell.Forward(x, h);
+  EXPECT_EQ(h2.shape(), (core::Shape{2, 8}));
+  EXPECT_LE(h2.value().MaxAbs(), 1.0f);  // tanh-bounded
+}
+
+TEST(LstmCellTest, GatesKeepCellBounded) {
+  util::Rng rng(2);
+  LstmCell cell(4, 8, &rng);
+  LstmCell::State s{core::Variable(core::Tensor({1, 8})),
+                    core::Variable(core::Tensor({1, 8}))};
+  core::Variable x(core::Tensor::Full({1, 4}, 2.0f));
+  for (int t = 0; t < 20; ++t) s = cell.Forward(x, s);
+  EXPECT_LE(s.h.value().MaxAbs(), 1.0f);   // |h| <= tanh bound
+  EXPECT_LE(s.c.value().MaxAbs(), 25.0f);  // cell grows at most linearly
+}
+
+TEST(RnnLmTest, LogitsShape) {
+  RnnLmConfig cfg;
+  cfg.vocab_size = 9;
+  cfg.d_model = 12;
+  util::Rng rng(3);
+  RnnLm model(cfg, &rng);
+  std::vector<int64_t> tokens(2 * 5, 1);
+  EXPECT_EQ(model.ForwardLogits(tokens, 2, 5).shape(),
+            (core::Shape{10, 9}));
+}
+
+TEST(RnnLmTest, CausalByConstruction) {
+  RnnLmConfig cfg;
+  cfg.vocab_size = 9;
+  cfg.d_model = 12;
+  util::Rng rng(4);
+  RnnLm model(cfg, &rng);
+  std::vector<int64_t> a = {1, 2, 3, 4};
+  std::vector<int64_t> b = {1, 2, 8, 8};
+  core::Tensor la = model.ForwardLogits(a, 1, 4).value();
+  core::Tensor lb = model.ForwardLogits(b, 1, 4).value();
+  for (int64_t v = 0; v < 9; ++v) {
+    EXPECT_FLOAT_EQ(la.At({1, v}), lb.At({1, v}));
+  }
+}
+
+template <typename ModelT>
+float TrainRepeatingPattern(ModelT* model, int steps) {
+  // Pattern ababab... is learnable by any of the sequence models.
+  std::vector<int64_t> tokens = {0, 1, 0, 1, 0, 1, 0, 1};
+  std::vector<int64_t> targets = {1, 0, 1, 0, 1, 0, 1, 0};
+  train::AdamWOptions opts;
+  opts.lr = 1e-2f;
+  train::AdamW adam(model->Parameters(), opts);
+  float last = 0;
+  for (int s = 0; s < steps; ++s) {
+    core::Variable loss = model->LmLoss(tokens, targets, 1, 8);
+    last = loss.value()[0];
+    adam.ZeroGrad();
+    core::Backward(loss);
+    adam.Step();
+  }
+  return last;
+}
+
+TEST(RnnLmTest, TanhRnnLearnsAlternation) {
+  RnnLmConfig cfg;
+  cfg.vocab_size = 4;
+  cfg.d_model = 16;
+  cfg.cell = RecurrentCellType::kTanhRnn;
+  util::Rng rng(5);
+  RnnLm model(cfg, &rng);
+  EXPECT_LT(TrainRepeatingPattern(&model, 80), 0.2f);
+}
+
+TEST(RnnLmTest, LstmLearnsAlternation) {
+  RnnLmConfig cfg;
+  cfg.vocab_size = 4;
+  cfg.d_model = 16;
+  cfg.cell = RecurrentCellType::kLstm;
+  util::Rng rng(6);
+  RnnLm model(cfg, &rng);
+  EXPECT_LT(TrainRepeatingPattern(&model, 80), 0.2f);
+}
+
+TEST(RnnLmTest, LstmHasMoreParamsThanRnn) {
+  RnnLmConfig cfg;
+  cfg.vocab_size = 9;
+  cfg.d_model = 12;
+  util::Rng rng(7);
+  RnnLm rnn(cfg, &rng);
+  cfg.cell = RecurrentCellType::kLstm;
+  RnnLm lstm(cfg, &rng);
+  EXPECT_GT(lstm.NumParameters(), rnn.NumParameters());
+}
+
+TEST(FfnLmTest, ContextWindowShapes) {
+  FfnLmConfig cfg;
+  cfg.vocab_size = 7;
+  cfg.context = 3;
+  cfg.d_embed = 4;
+  cfg.d_hidden = 16;
+  util::Rng rng(8);
+  FfnLm model(cfg, &rng);
+  std::vector<int64_t> contexts = {0, 1, 2, 3, 4, 5};  // two 3-grams
+  EXPECT_EQ(model.ForwardLogits(contexts, 2).shape(), (core::Shape{2, 7}));
+}
+
+TEST(FfnLmTest, LearnsDeterministicMap) {
+  // Context (a, b) -> target (a + b) mod V is learnable.
+  FfnLmConfig cfg;
+  cfg.vocab_size = 5;
+  cfg.context = 2;
+  cfg.d_embed = 8;
+  cfg.d_hidden = 32;
+  util::Rng rng(9);
+  FfnLm model(cfg, &rng);
+  std::vector<int64_t> contexts, targets;
+  for (int64_t a = 0; a < 5; ++a) {
+    for (int64_t b = 0; b < 5; ++b) {
+      contexts.push_back(a);
+      contexts.push_back(b);
+      targets.push_back((a + b) % 5);
+    }
+  }
+  train::AdamWOptions opts;
+  opts.lr = 1e-2f;
+  train::AdamW adam(model.Parameters(), opts);
+  float last = 0;
+  for (int s = 0; s < 150; ++s) {
+    core::Variable loss = model.Loss(contexts, targets, 25);
+    last = loss.value()[0];
+    adam.ZeroGrad();
+    core::Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(last, 0.1f);
+}
+
+}  // namespace
+}  // namespace llm::nn

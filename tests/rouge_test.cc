@@ -1,0 +1,117 @@
+// Tests for ROUGE text-overlap metrics and tokenizer persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "eval/rouge.h"
+#include "text/persistence.h"
+
+namespace llm {
+namespace {
+
+TEST(RougeNTest, IdenticalSequencesScoreOne) {
+  std::vector<int64_t> s = {1, 2, 3, 4, 5};
+  for (int n : {1, 2, 3}) {
+    auto r = eval::RougeN(s, s, n);
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r->precision, 1.0);
+    EXPECT_DOUBLE_EQ(r->recall, 1.0);
+    EXPECT_DOUBLE_EQ(r->f1, 1.0);
+  }
+}
+
+TEST(RougeNTest, DisjointSequencesScoreZero) {
+  auto r = eval::RougeN({1, 2, 3}, {4, 5, 6}, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->f1, 0.0);
+}
+
+TEST(RougeNTest, UnigramCountsMatchManual) {
+  // candidate: {1, 1, 2}; reference: {1, 2, 2, 3}.
+  // clipped matches: min(2,1) for "1" + min(1,2) for "2" = 2.
+  // precision 2/3; recall 2/4.
+  auto r = eval::RougeN({1, 1, 2}, {1, 2, 2, 3}, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r->recall, 0.5, 1e-12);
+}
+
+TEST(RougeNTest, BigramOrderMatters) {
+  // Same unigrams, different order: bigram overlap drops.
+  auto uni = eval::RougeN({1, 2, 3}, {3, 2, 1}, 1);
+  auto bi = eval::RougeN({1, 2, 3}, {3, 2, 1}, 2);
+  ASSERT_TRUE(uni.ok() && bi.ok());
+  EXPECT_DOUBLE_EQ(uni->f1, 1.0);
+  EXPECT_DOUBLE_EQ(bi->f1, 0.0);
+}
+
+TEST(RougeNTest, MultiReferenceTakesBestClip) {
+  std::vector<std::vector<int64_t>> refs = {{1, 2}, {3, 4}};
+  auto r = eval::RougeN({1, 2, 3, 4}, refs, 2);
+  ASSERT_TRUE(r.ok());
+  // Candidate bigrams: (1,2), (2,3), (3,4); matches: (1,2) and (3,4).
+  EXPECT_NEAR(r->precision, 2.0 / 3.0, 1e-12);
+}
+
+TEST(RougeNTest, RejectsBadInput) {
+  EXPECT_FALSE(eval::RougeN({}, std::vector<int64_t>{}, 1).ok());
+  EXPECT_FALSE(
+      eval::RougeN({1}, std::vector<int64_t>{1}, 0).ok());
+}
+
+TEST(RougeLTest, SubsequenceNotSubstring) {
+  // LCS of {1,9,2,8,3} and {1,2,3} is {1,2,3}.
+  auto r = eval::RougeL({1, 9, 2, 8, 3}, {1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->recall, 1.0, 1e-12);
+  EXPECT_NEAR(r->precision, 3.0 / 5.0, 1e-12);
+}
+
+TEST(PersistenceTest, VocabRoundTrip) {
+  text::Vocab v;
+  v.Encode({"the", "cat", "sat"});
+  const std::string path = "/tmp/tfmr_vocab_test.txt";
+  ASSERT_TRUE(text::SaveVocab(v, path).ok());
+  auto loaded = text::LoadVocab(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 3);
+  EXPECT_EQ(loaded->IdOf("cat"), 1);
+  EXPECT_EQ(loaded->TokenOf(2), "sat");
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, LoadVocabMissingFileFails) {
+  EXPECT_EQ(text::LoadVocab("/tmp/definitely_missing_vocab.txt")
+                .status()
+                .code(),
+            util::StatusCode::kIOError);
+}
+
+TEST(PersistenceTest, BpeMergesRoundTripPreservesEncoding) {
+  std::string corpus;
+  for (int i = 0; i < 20; ++i) corpus += "low lower lowest newest ";
+  text::Bpe bpe;
+  bpe.Train(corpus, 25);
+  const std::string path = "/tmp/tfmr_merges_test.txt";
+  ASSERT_TRUE(text::SaveBpeMerges(bpe, path).ok());
+  auto loaded = text::LoadBpeMerges(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->merges(), bpe.merges());
+  for (const char* w : {"low", "lowest", "newest", "unseen"}) {
+    EXPECT_EQ(loaded->EncodeWord(w), bpe.EncodeWord(w)) << w;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PersistenceTest, MalformedMergesRejected) {
+  const std::string path = "/tmp/tfmr_bad_merges.txt";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("a b\nno_space_here\n", f);
+  fclose(f);
+  EXPECT_EQ(text::LoadBpeMerges(path).status().code(),
+            util::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace llm

@@ -1,0 +1,157 @@
+// Tests for the decoding strategies (Eq. 8) and autoregressive generation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sample/sampler.h"
+#include "train/optimizer.h"
+
+namespace llm::sample {
+namespace {
+
+TEST(DistributionTest, GreedyIsOneHotArgmax) {
+  const float logits[] = {0.1f, 2.0f, -1.0f};
+  SamplerOptions opts;
+  opts.temperature = 0.0f;
+  auto p = DistributionFromLogits(logits, 3, opts);
+  EXPECT_FLOAT_EQ(p[1], 1.0f);
+  EXPECT_FLOAT_EQ(p[0] + p[2], 0.0f);
+}
+
+TEST(DistributionTest, TemperatureOneIsSoftmax) {
+  const float logits[] = {0.0f, std::log(3.0f)};
+  SamplerOptions opts;
+  auto p = DistributionFromLogits(logits, 2, opts);
+  EXPECT_NEAR(p[1] / p[0], 3.0f, 1e-4f);
+}
+
+TEST(DistributionTest, LowTemperatureSharpens) {
+  const float logits[] = {0.0f, 1.0f};
+  SamplerOptions cold, hot;
+  cold.temperature = 0.25f;
+  hot.temperature = 4.0f;
+  auto pc = DistributionFromLogits(logits, 2, cold);
+  auto ph = DistributionFromLogits(logits, 2, hot);
+  EXPECT_GT(pc[1], ph[1]);
+  EXPECT_GT(ph[0], pc[0]);
+}
+
+TEST(DistributionTest, TopKZeroesTail) {
+  const float logits[] = {3.0f, 2.0f, 1.0f, 0.0f};
+  SamplerOptions opts;
+  opts.top_k = 2;
+  auto p = DistributionFromLogits(logits, 4, opts);
+  EXPECT_GT(p[0], 0.0f);
+  EXPECT_GT(p[1], 0.0f);
+  EXPECT_FLOAT_EQ(p[2], 0.0f);
+  EXPECT_FLOAT_EQ(p[3], 0.0f);
+  EXPECT_NEAR(p[0] + p[1], 1.0f, 1e-5f);
+}
+
+TEST(DistributionTest, TopPKeepsMinimalPrefix) {
+  // Probabilities ~ (0.64, 0.24, 0.09, 0.03): top_p = 0.7 keeps two.
+  const float logits[] = {2.0f, 1.0f, 0.0f, -1.0f};
+  SamplerOptions opts;
+  opts.top_p = 0.7f;
+  auto p = DistributionFromLogits(logits, 4, opts);
+  EXPECT_GT(p[0], 0.0f);
+  EXPECT_GT(p[1], 0.0f);
+  EXPECT_FLOAT_EQ(p[2], 0.0f);
+  EXPECT_NEAR(p[0] + p[1], 1.0f, 1e-5f);
+}
+
+TEST(SampleTest, RespectsDistribution) {
+  const float logits[] = {0.0f, std::log(4.0f)};
+  SamplerOptions opts;
+  util::Rng rng(1);
+  int count1 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (SampleFromLogits(logits, 2, opts, &rng) == 1) ++count1;
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / 20000, 0.8, 0.02);
+}
+
+TEST(GenerateTest, EmitsRequestedLengthAndStops) {
+  nn::GPTConfig cfg;
+  cfg.vocab_size = 6;
+  cfg.max_seq_len = 8;
+  cfg.d_model = 16;
+  cfg.n_layer = 1;
+  cfg.n_head = 2;
+  util::Rng rng(2);
+  nn::GPTModel model(cfg, &rng);
+  GenerateOptions opts;
+  opts.max_new_tokens = 5;
+  auto out = Generate(model, {1, 2}, opts, &rng);
+  EXPECT_EQ(out.size(), 5u);
+  for (int64_t t : out) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 6);
+  }
+}
+
+TEST(GenerateTest, GreedyIsDeterministicAndMemorizedSequenceComesBack) {
+  // Train to memorize 0 1 2 3 4 5; greedy generation must reproduce it.
+  nn::GPTConfig cfg;
+  cfg.vocab_size = 8;
+  cfg.max_seq_len = 8;
+  cfg.d_model = 32;
+  cfg.n_layer = 2;
+  cfg.n_head = 2;
+  util::Rng rng(3);
+  nn::GPTModel model(cfg, &rng);
+  std::vector<int64_t> tokens = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int64_t> targets = {1, 2, 3, 4, 5, 6, 7, 0};
+  train::AdamWOptions aopts;
+  aopts.lr = 1e-2f;
+  train::AdamW opt(model.Parameters(), aopts);
+  for (int step = 0; step < 120; ++step) {
+    core::Variable loss = model.LmLoss(tokens, targets, 1, 8);
+    opt.ZeroGrad();
+    core::Backward(loss);
+    opt.Step();
+  }
+  GenerateOptions gopts;
+  gopts.max_new_tokens = 5;
+  gopts.sampler.temperature = 0.0f;
+  auto out = Generate(model, {0}, gopts, &rng);
+  EXPECT_EQ(out, (std::vector<int64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(GenerateTest, StopTokenEndsEarly) {
+  nn::GPTConfig cfg;
+  cfg.vocab_size = 4;
+  cfg.max_seq_len = 8;
+  cfg.d_model = 16;
+  cfg.n_layer = 1;
+  cfg.n_head = 1;
+  util::Rng rng(4);
+  nn::GPTModel model(cfg, &rng);
+  GenerateOptions opts;
+  opts.max_new_tokens = 50;
+  opts.stop_token = 2;
+  auto out = Generate(model, {0}, opts, &rng);
+  // Either stopped early at a 2 or ran the full 50.
+  if (out.size() < 50u) {
+    EXPECT_EQ(out.back(), 2);
+  }
+}
+
+TEST(GenerateTest, WindowsLongPrefixes) {
+  nn::GPTConfig cfg;
+  cfg.vocab_size = 4;
+  cfg.max_seq_len = 4;  // shorter than the prefix below
+  cfg.d_model = 16;
+  cfg.n_layer = 1;
+  cfg.n_head = 1;
+  util::Rng rng(5);
+  nn::GPTModel model(cfg, &rng);
+  GenerateOptions opts;
+  opts.max_new_tokens = 3;
+  std::vector<int64_t> prefix = {0, 1, 2, 3, 0, 1, 2};
+  auto out = Generate(model, prefix, opts, &rng);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+}  // namespace
+}  // namespace llm::sample

@@ -1,0 +1,133 @@
+// Tests for beam search and self-consistency decoding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sample/sampler.h"
+#include "sample/search.h"
+#include "train/optimizer.h"
+
+namespace llm::sample {
+namespace {
+
+nn::GPTModel TrainCycle(util::Rng* rng) {
+  // Memorize the cycle 0 1 2 3 4 5 6 7 -> deterministic continuations.
+  nn::GPTConfig cfg;
+  cfg.vocab_size = 8;
+  cfg.max_seq_len = 12;
+  cfg.d_model = 32;
+  cfg.n_layer = 2;
+  cfg.n_head = 2;
+  nn::GPTModel model(cfg, rng);
+  std::vector<int64_t> tokens = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int64_t> targets = {1, 2, 3, 4, 5, 6, 7, 0};
+  train::AdamWOptions aopts;
+  aopts.lr = 1e-2f;
+  train::AdamW opt(model.Parameters(), aopts);
+  for (int step = 0; step < 120; ++step) {
+    core::Variable loss = model.LmLoss(tokens, targets, 1, 8);
+    opt.ZeroGrad();
+    core::Backward(loss);
+    opt.Step();
+  }
+  return model;
+}
+
+TEST(BeamSearchTest, TopBeamMatchesGreedyOnPeakedModel) {
+  util::Rng rng(1);
+  nn::GPTModel model = TrainCycle(&rng);
+  BeamSearchOptions opts;
+  opts.beam_width = 3;
+  opts.max_new_tokens = 5;
+  auto beams = BeamSearch(model, {0}, opts);
+  ASSERT_FALSE(beams.empty());
+  EXPECT_EQ(beams[0].tokens, (std::vector<int64_t>{1, 2, 3, 4, 5}));
+  // Beams are sorted by score.
+  for (size_t i = 1; i < beams.size(); ++i) {
+    EXPECT_GE(beams[i - 1].score, beams[i].score);
+  }
+  // Log prob of the confident path is near 0 (probability near 1).
+  EXPECT_GT(beams[0].log_prob, std::log(0.5));
+}
+
+TEST(BeamSearchTest, ReturnsAtMostBeamWidth) {
+  util::Rng rng(2);
+  nn::GPTModel model = TrainCycle(&rng);
+  BeamSearchOptions opts;
+  opts.beam_width = 4;
+  opts.max_new_tokens = 3;
+  auto beams = BeamSearch(model, {2}, opts);
+  EXPECT_LE(beams.size(), 4u);
+  EXPECT_GE(beams.size(), 1u);
+}
+
+TEST(BeamSearchTest, StopTokenFinishesBeams) {
+  util::Rng rng(3);
+  nn::GPTModel model = TrainCycle(&rng);
+  BeamSearchOptions opts;
+  opts.beam_width = 2;
+  opts.max_new_tokens = 6;
+  opts.stop_token = 3;  // the cycle reaches 3 from prefix {0} in 3 steps
+  auto beams = BeamSearch(model, {0}, opts);
+  ASSERT_FALSE(beams.empty());
+  EXPECT_EQ(beams[0].tokens, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(BeamSearchTest, LogProbsAreConsistentWithModel) {
+  // Sum of per-step log-softmax values along the top beam must match the
+  // beam's reported log_prob.
+  util::Rng rng(4);
+  nn::GPTModel model = TrainCycle(&rng);
+  BeamSearchOptions opts;
+  opts.beam_width = 2;
+  opts.max_new_tokens = 3;
+  auto beams = BeamSearch(model, {0}, opts);
+  ASSERT_FALSE(beams.empty());
+  std::vector<int64_t> sequence = {0};
+  double manual = 0.0;
+  for (int64_t tok : beams[0].tokens) {
+    const auto T = static_cast<int64_t>(sequence.size());
+    core::Variable logits = model.ForwardLogits(sequence, 1, T);
+    const float* row = logits.value().data() + (T - 1) * 8;
+    float maxv = row[0];
+    for (int v = 1; v < 8; ++v) maxv = std::max(maxv, row[v]);
+    double sum = 0;
+    for (int v = 0; v < 8; ++v) sum += std::exp(row[v] - maxv);
+    manual += row[tok] - (std::log(sum) + maxv);
+    sequence.push_back(tok);
+  }
+  EXPECT_NEAR(beams[0].log_prob, manual, 1e-4);
+}
+
+TEST(SelfConsistencyTest, MajorityVoteOnPeakedModel) {
+  util::Rng rng(5);
+  nn::GPTModel model = TrainCycle(&rng);
+  SelfConsistencyOptions opts;
+  opts.num_samples = 7;
+  opts.temperature = 0.5f;
+  opts.max_new_tokens = 1;
+  util::Rng sample_rng(6);
+  // Answer = the single generated token; after 0 1 2 3 4 it should be 5.
+  const int64_t answer = SelfConsistentAnswer(
+      model, {0, 1, 2, 3, 4},
+      [](const std::vector<int64_t>& out) {
+        return out.empty() ? -1 : out[0];
+      },
+      opts, &sample_rng);
+  EXPECT_EQ(answer, 5);
+}
+
+TEST(SelfConsistencyTest, NoAnswerReturnsMinusOne) {
+  util::Rng rng(7);
+  nn::GPTModel model = TrainCycle(&rng);
+  SelfConsistencyOptions opts;
+  opts.num_samples = 3;
+  util::Rng sample_rng(8);
+  const int64_t answer = SelfConsistentAnswer(
+      model, {0}, [](const std::vector<int64_t>&) { return int64_t{-1}; },
+      opts, &sample_rng);
+  EXPECT_EQ(answer, -1);
+}
+
+}  // namespace
+}  // namespace llm::sample

@@ -1,0 +1,110 @@
+// Tests for temperature-scaling calibration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "eval/temperature_scaling.h"
+#include "util/rng.h"
+
+namespace llm::eval {
+namespace {
+
+/// Builds logits that are systematically overconfident: the "true" soft
+/// assignment is softmax(z), but the emitted logits are z * kSharpen.
+void MakeOverconfident(int64_t n, int64_t v, float sharpen,
+                       core::Tensor* logits, std::vector<int64_t>* targets,
+                       uint64_t seed) {
+  util::Rng rng(seed);
+  *logits = core::Tensor({n, v});
+  targets->resize(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) {
+    std::vector<double> z(static_cast<size_t>(v));
+    for (auto& x : z) x = rng.Normal();
+    // Sample the target from softmax(z) — the calibrated distribution.
+    double maxv = z[0];
+    for (double x : z) maxv = std::max(maxv, x);
+    std::vector<double> p(static_cast<size_t>(v));
+    double sum = 0;
+    for (int64_t c = 0; c < v; ++c) {
+      p[static_cast<size_t>(c)] = std::exp(z[static_cast<size_t>(c)] - maxv);
+      sum += p[static_cast<size_t>(c)];
+    }
+    for (auto& x : p) x /= sum;
+    (*targets)[static_cast<size_t>(r)] =
+        static_cast<int64_t>(rng.Categorical(p));
+    for (int64_t c = 0; c < v; ++c) {
+      (*logits)[r * v + c] =
+          static_cast<float>(z[static_cast<size_t>(c)]) * sharpen;
+    }
+  }
+}
+
+TEST(TemperatureScalingTest, RecoversSharpeningFactor) {
+  core::Tensor logits;
+  std::vector<int64_t> targets;
+  // Logits sharpened 3x: the optimal temperature is ~3.
+  MakeOverconfident(3000, 6, 3.0f, &logits, &targets, 1);
+  auto fit = FitTemperature(logits, targets);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->temperature, 3.0, 0.35);
+  EXPECT_LT(fit->nll_after, fit->nll_before);
+}
+
+TEST(TemperatureScalingTest, CalibratedDataFitsNearOne) {
+  core::Tensor logits;
+  std::vector<int64_t> targets;
+  MakeOverconfident(3000, 6, 1.0f, &logits, &targets, 2);
+  auto fit = FitTemperature(logits, targets);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->temperature, 1.0, 0.15);
+}
+
+TEST(TemperatureScalingTest, ImprovesEceOnOverconfidentModel) {
+  core::Tensor logits;
+  std::vector<int64_t> targets;
+  MakeOverconfident(4000, 6, 4.0f, &logits, &targets, 3);
+  auto fit = FitTemperature(logits, targets);
+  ASSERT_TRUE(fit.ok());
+  // Rescale logits by the fitted temperature and compare ECE.
+  core::Tensor scaled = logits;
+  scaled.Scale(static_cast<float>(1.0 / fit->temperature));
+  const double ece_before =
+      ExpectedCalibrationError(CalibrationPoints(logits, targets));
+  const double ece_after =
+      ExpectedCalibrationError(CalibrationPoints(scaled, targets));
+  EXPECT_LT(ece_after, ece_before * 0.5)
+      << ece_before << " -> " << ece_after;
+}
+
+TEST(TemperatureScalingTest, PreservesArgmax) {
+  core::Tensor logits;
+  std::vector<int64_t> targets;
+  MakeOverconfident(200, 5, 2.0f, &logits, &targets, 4);
+  auto fit = FitTemperature(logits, targets);
+  ASSERT_TRUE(fit.ok());
+  // Scaling by a positive scalar never changes the argmax; accuracy is
+  // untouched.
+  core::Tensor scaled = logits;
+  scaled.Scale(static_cast<float>(1.0 / fit->temperature));
+  EXPECT_EQ(MaskedAccuracy(logits, targets),
+            MaskedAccuracy(scaled, targets));
+}
+
+TEST(TemperatureScalingTest, NllMonotoneAwayFromOptimum) {
+  core::Tensor logits;
+  std::vector<int64_t> targets;
+  MakeOverconfident(1000, 4, 2.0f, &logits, &targets, 5);
+  const double at2 = NllAtTemperature(logits, targets, 2.0);
+  EXPECT_LT(at2, NllAtTemperature(logits, targets, 0.5));
+  EXPECT_LT(at2, NllAtTemperature(logits, targets, 10.0));
+}
+
+TEST(TemperatureScalingTest, RejectsBadInput) {
+  core::Tensor logits({2, 3});
+  EXPECT_FALSE(FitTemperature(logits, {-1, -1}).ok());
+  EXPECT_FALSE(FitTemperature(logits, {0, 1}, -1, 2.0, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace llm::eval

@@ -1,0 +1,139 @@
+// Tests for the text pipeline: Vocab, tokenizers, BPE, TokenDataset.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "text/bpe.h"
+#include "text/dataset.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace llm::text {
+namespace {
+
+TEST(VocabTest, AddIsIdempotent) {
+  Vocab v;
+  EXPECT_EQ(v.AddToken("cat"), 0);
+  EXPECT_EQ(v.AddToken("dog"), 1);
+  EXPECT_EQ(v.AddToken("cat"), 0);
+  EXPECT_EQ(v.size(), 2);
+  EXPECT_EQ(v.TokenOf(1), "dog");
+  EXPECT_EQ(v.IdOf("bird"), -1);
+  EXPECT_EQ(v.IdOrUnk("bird", 0), 0);
+}
+
+TEST(VocabTest, EncodeGrowsOrUsesUnk) {
+  Vocab v;
+  const int64_t unk = v.AddToken("<unk>");
+  auto grown = v.Encode({"a", "b", "a"});
+  EXPECT_EQ(grown, (std::vector<int64_t>{1, 2, 1}));
+  auto fixed = v.Encode({"a", "zzz"}, /*grow=*/false, unk);
+  EXPECT_EQ(fixed, (std::vector<int64_t>{1, unk}));
+}
+
+TEST(VocabTest, DecodeJoins) {
+  Vocab v;
+  v.Encode({"the", "cat"});
+  EXPECT_EQ(v.Decode({0, 1}), "the cat");
+}
+
+TEST(TokenizerTest, WhitespaceBasics) {
+  auto toks = WhitespaceTokenize("  the   cat\tsat\n");
+  EXPECT_EQ(toks, (std::vector<std::string>{"the", "cat", "sat"}));
+}
+
+TEST(TokenizerTest, PunctuationSplitting) {
+  auto toks = WhitespaceTokenize("cat, dog.", /*split_punctuation=*/true);
+  EXPECT_EQ(toks, (std::vector<std::string>{"cat", ",", "dog", "."}));
+}
+
+TEST(TokenizerTest, Lowercase) {
+  auto toks = WhitespaceTokenize("The CAT", false, /*lowercase=*/true);
+  EXPECT_EQ(toks, (std::vector<std::string>{"the", "cat"}));
+}
+
+TEST(TokenizerTest, CharTokenize) {
+  auto toks = CharTokenize("ab c");
+  EXPECT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[2], " ");
+}
+
+TEST(BpeTest, LearnsFrequentPairs) {
+  // "low" appears often; BPE should merge l+o and lo+w</w> family.
+  std::string corpus;
+  for (int i = 0; i < 20; ++i) corpus += "low lower lowest ";
+  Bpe bpe;
+  bpe.Train(corpus, 10);
+  EXPECT_FALSE(bpe.merges().empty());
+  auto symbols = bpe.EncodeWord("low");
+  // After enough merges "low" becomes few symbols.
+  EXPECT_LE(symbols.size(), 2u);
+}
+
+TEST(BpeTest, SubwordDecomposition) {
+  // The paper's "supersymmetrization" example in miniature: shared stems
+  // should become shared symbols.
+  std::string corpus;
+  for (int i = 0; i < 30; ++i) {
+    corpus += "symmetry symmetric symmetrize super superb ization ";
+  }
+  Bpe bpe;
+  bpe.Train(corpus, 40);
+  auto novel = bpe.EncodeWord("supersymmetrization");
+  // The novel word splits into more than one but far fewer than
+  // character-count symbols.
+  EXPECT_GT(novel.size(), 1u);
+  EXPECT_LT(novel.size(), 19u);
+}
+
+TEST(BpeTest, EncodeDecodeRoundTrip) {
+  std::string corpus = "the cat sat on the mat the cat sat";
+  Bpe bpe;
+  bpe.Train(corpus, 20);
+  auto symbols = bpe.Encode("the cat sat");
+  EXPECT_EQ(bpe.Decode(symbols), "the cat sat");
+}
+
+TEST(BpeTest, EncodesUnseenCharacters) {
+  Bpe bpe;
+  bpe.Train("aa aa aa", 5);
+  auto symbols = bpe.EncodeWord("xyz");  // falls back to characters
+  EXPECT_EQ(symbols.size(), 3u);
+}
+
+TEST(DatasetTest, BatchShapesAndShift) {
+  std::vector<int64_t> tokens(100);
+  for (size_t i = 0; i < 100; ++i) tokens[i] = static_cast<int64_t>(i);
+  TokenDataset ds(tokens, 8);
+  util::Rng rng(1);
+  std::vector<int64_t> in, tg;
+  ds.SampleBatch(&rng, 4, &in, &tg);
+  ASSERT_EQ(in.size(), 32u);
+  ASSERT_EQ(tg.size(), 32u);
+  // Target is always input + 1 in this arithmetic stream.
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(tg[i], in[i] + 1);
+  }
+}
+
+TEST(DatasetTest, EvalWindowsTile) {
+  std::vector<int64_t> tokens(50);
+  for (size_t i = 0; i < 50; ++i) tokens[i] = static_cast<int64_t>(i);
+  TokenDataset ds(tokens, 8);
+  std::vector<int64_t> in, tg;
+  int64_t n = 0;
+  ds.EvalWindows(100, &in, &tg, &n);
+  EXPECT_EQ(n, 6);  // offsets 0..40: each window needs seq_len+1 tokens
+  EXPECT_EQ(in[0], 0);
+  EXPECT_EQ(in[8], 8);  // windows are non-overlapping
+}
+
+TEST(DatasetTest, SplitFractions) {
+  std::vector<int64_t> tokens(100, 7);
+  auto [train, test] = SplitTokens(tokens, 0.2);
+  EXPECT_EQ(train.size(), 80u);
+  EXPECT_EQ(test.size(), 20u);
+}
+
+}  // namespace
+}  // namespace llm::text

@@ -1,0 +1,178 @@
+// Tests for optimizers, LR schedules, gradient clipping, the Trainer loop,
+// and checkpoint round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "nn/layers.h"
+#include "train/checkpoint.h"
+#include "train/optimizer.h"
+#include "train/schedule.h"
+#include "train/trainer.h"
+
+namespace llm::train {
+namespace {
+
+/// Quadratic bowl: loss = sum((x - 3)^2).
+core::Variable BowlLoss(const core::Variable& x) {
+  core::Variable shifted = core::AddScalar(x, -3.0f);
+  return core::SumAll(core::Mul(shifted, shifted));
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  core::Variable x(core::Tensor({4}), true);
+  Sgd opt({x}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    core::Variable loss = BowlLoss(x);
+    opt.ZeroGrad();
+    core::Backward(loss);
+    opt.Step();
+  }
+  for (int64_t i = 0; i < 4; ++i) EXPECT_NEAR(x.value()[i], 3.0f, 1e-3f);
+}
+
+TEST(SgdTest, MomentumAccelerates) {
+  core::Variable a(core::Tensor({1}), true);
+  core::Variable b(core::Tensor({1}), true);
+  Sgd plain({a}, 0.01f);
+  Sgd momentum({b}, 0.01f, 0.9f);
+  for (int i = 0; i < 30; ++i) {
+    plain.ZeroGrad();
+    core::Backward(BowlLoss(a));
+    plain.Step();
+    momentum.ZeroGrad();
+    core::Backward(BowlLoss(b));
+    momentum.Step();
+  }
+  EXPECT_LT(std::fabs(b.value()[0] - 3.0f), std::fabs(a.value()[0] - 3.0f));
+}
+
+TEST(AdamWTest, ConvergesOnQuadratic) {
+  core::Variable x(core::Tensor({3}), true);
+  AdamWOptions opts;
+  opts.lr = 0.1f;
+  AdamW opt({x}, opts);
+  for (int i = 0; i < 300; ++i) {
+    opt.ZeroGrad();
+    core::Backward(BowlLoss(x));
+    opt.Step();
+  }
+  for (int64_t i = 0; i < 3; ++i) EXPECT_NEAR(x.value()[i], 3.0f, 1e-2f);
+}
+
+TEST(AdamWTest, WeightDecayOnlyOnMatrices) {
+  // With zero gradient, decay shrinks matrices but not vectors.
+  core::Variable mat(core::Tensor::Ones({2, 2}), true);
+  core::Variable vec(core::Tensor::Ones({2}), true);
+  AdamWOptions opts;
+  opts.lr = 0.1f;
+  opts.weight_decay = 0.5f;
+  AdamW opt({mat, vec}, opts);
+  // Provide a zero gradient so Step() processes both.
+  mat.mutable_grad().SetZero();
+  vec.mutable_grad().SetZero();
+  opt.Step();
+  EXPECT_LT(mat.value()[0], 1.0f);
+  EXPECT_FLOAT_EQ(vec.value()[0], 1.0f);
+}
+
+TEST(ClipTest, ScalesDownLargeGradients) {
+  core::Variable x(core::Tensor({4}), true);
+  x.mutable_grad().Fill(10.0f);  // norm = 20
+  const float norm = ClipGradNorm({x}, 1.0f);
+  EXPECT_NEAR(norm, 20.0f, 1e-4f);
+  EXPECT_NEAR(x.grad().SquaredNorm(), 1.0f, 1e-3f);
+}
+
+TEST(ClipTest, LeavesSmallGradientsAlone) {
+  core::Variable x(core::Tensor({4}), true);
+  x.mutable_grad().Fill(0.1f);
+  ClipGradNorm({x}, 1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.1f);
+}
+
+TEST(ScheduleTest, WarmupThenCosine) {
+  WarmupCosineLr sched(1.0f, 10, 110, 0.1f);
+  EXPECT_LT(sched.LrAt(0), 0.2f);          // warming up
+  EXPECT_FLOAT_EQ(sched.LrAt(9), 1.0f);    // warmup complete
+  EXPECT_NEAR(sched.LrAt(60), 0.55f, 0.01f);  // mid-decay
+  EXPECT_FLOAT_EQ(sched.LrAt(110), 0.1f);  // floor
+  EXPECT_FLOAT_EQ(sched.LrAt(1000), 0.1f);
+}
+
+TEST(ScheduleTest, MonotoneDecayAfterWarmup) {
+  WarmupCosineLr sched(1.0f, 5, 100);
+  for (int64_t s = 5; s < 99; ++s) {
+    EXPECT_GE(sched.LrAt(s), sched.LrAt(s + 1));
+  }
+}
+
+TEST(TrainerTest, RecordsHistoryAndAppliesSchedule) {
+  core::Variable x(core::Tensor({2}), true);
+  Sgd opt({x}, 0.0f);  // lr overridden by schedule
+  ConstantLr sched(0.05f);
+  TrainerOptions topts;
+  topts.max_steps = 20;
+  topts.schedule = &sched;
+  Trainer trainer(&opt, topts);
+  trainer.Run([&] { return BowlLoss(x); });
+  ASSERT_EQ(trainer.history().size(), 20u);
+  EXPECT_FLOAT_EQ(trainer.history()[5].lr, 0.05f);
+  EXPECT_LT(trainer.history().back().loss, trainer.history().front().loss);
+  EXPECT_GT(trainer.RecentLoss(5), 0.0f);
+}
+
+TEST(TrainerTest, EvalCallbackFires) {
+  core::Variable x(core::Tensor({1}), true);
+  Sgd opt({x}, 0.1f);
+  TrainerOptions topts;
+  topts.max_steps = 10;
+  topts.eval_every = 3;
+  Trainer trainer(&opt, topts);
+  int evals = 0;
+  trainer.Run([&] { return BowlLoss(x); },
+              [&](int64_t) { ++evals; });
+  EXPECT_GE(evals, 4);  // steps 0, 3, 6, 9
+}
+
+TEST(CheckpointTest, RoundTripsExactly) {
+  util::Rng rng(1);
+  nn::Mlp model(4, 8, 3, &rng);
+  const std::string path = "/tmp/tfmr_ckpt_test.bin";
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+
+  nn::Mlp restored(4, 8, 3, &rng);  // different random init
+  ASSERT_TRUE(LoadCheckpoint(&restored, path).ok());
+  auto a = model.NamedParameters();
+  auto b = restored.NamedParameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(core::Tensor::MaxAbsDiff(a[i].second.value(),
+                                       b[i].second.value()),
+              0.0f)
+        << a[i].first;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsShapeMismatch) {
+  util::Rng rng(2);
+  nn::Mlp model(4, 8, 3, &rng);
+  const std::string path = "/tmp/tfmr_ckpt_mismatch.bin";
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+  nn::Mlp wrong(4, 16, 3, &rng);
+  util::Status s = LoadCheckpoint(&wrong, path);
+  EXPECT_FALSE(s.ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsMissingFile) {
+  util::Rng rng(3);
+  nn::Mlp model(2, 4, 2, &rng);
+  EXPECT_EQ(LoadCheckpoint(&model, "/tmp/does_not_exist_tfmr.bin").code(),
+            util::StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace llm::train

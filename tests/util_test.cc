@@ -1,0 +1,182 @@
+// Tests for the utility substrate: Status/StatusOr, Rng, Table, linalg.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/linalg.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/table.h"
+
+namespace llm::util {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+Status FailsThrough() {
+  LLM_RETURN_IF_ERROR(Status::Internal("inner"));
+  return Status::OK();
+}
+
+TEST(StatusMacros, ReturnIfErrorPropagates) {
+  Status s = FailsThrough();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+StatusOr<int> MakeValue(bool ok) {
+  if (!ok) return Status::InvalidArgument("no");
+  return 7;
+}
+
+Status UsesAssign(bool ok, int* out) {
+  LLM_ASSIGN_OR_RETURN(int v, MakeValue(ok));
+  *out = v;
+  return Status::OK();
+}
+
+TEST(StatusMacros, AssignOrReturn) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssign(true, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(UsesAssign(false, &out).ok());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, 500);  // ~5 sigma slack
+  }
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(3);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(4);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(TableTest, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(FormatTest, CountSuffixes) {
+  EXPECT_EQ(FormatCount(110e6), "110M");
+  EXPECT_EQ(FormatCount(1.5e9), "1.5B");
+  EXPECT_EQ(FormatCount(1.4e12), "1.4T");
+  EXPECT_EQ(FormatCount(512), "512");
+}
+
+TEST(LinalgTest, SolvesSystem) {
+  // x + 2y = 5; 3x - y = 1  ->  x = 1, y = 2.
+  std::vector<std::vector<double>> a = {{1, 2}, {3, -1}};
+  std::vector<double> b = {5, 1};
+  std::vector<double> x;
+  ASSERT_TRUE(SolveLinearSystem(a, b, &x));
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(LinalgTest, DetectsSingular) {
+  std::vector<std::vector<double>> a = {{1, 2}, {2, 4}};
+  std::vector<double> b = {1, 2};
+  std::vector<double> x;
+  EXPECT_FALSE(SolveLinearSystem(a, b, &x));
+}
+
+}  // namespace
+}  // namespace llm::util
