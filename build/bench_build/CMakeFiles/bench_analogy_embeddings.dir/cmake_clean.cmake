@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_analogy_embeddings"
+  "../bench/bench_analogy_embeddings.pdb"
+  "CMakeFiles/bench_analogy_embeddings.dir/bench_analogy_embeddings.cc.o"
+  "CMakeFiles/bench_analogy_embeddings.dir/bench_analogy_embeddings.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analogy_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cooccurrence_spectrum"
+  "../bench/bench_cooccurrence_spectrum.pdb"
+  "CMakeFiles/bench_cooccurrence_spectrum.dir/bench_cooccurrence_spectrum.cc.o"
+  "CMakeFiles/bench_cooccurrence_spectrum.dir/bench_cooccurrence_spectrum.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cooccurrence_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_data_diversity"
+  "../bench/bench_data_diversity.pdb"
+  "CMakeFiles/bench_data_diversity.dir/bench_data_diversity.cc.o"
+  "CMakeFiles/bench_data_diversity.dir/bench_data_diversity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

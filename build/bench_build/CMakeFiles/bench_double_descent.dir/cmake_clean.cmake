@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_double_descent"
+  "../bench/bench_double_descent.pdb"
+  "CMakeFiles/bench_double_descent.dir/bench_double_descent.cc.o"
+  "CMakeFiles/bench_double_descent.dir/bench_double_descent.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_double_descent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

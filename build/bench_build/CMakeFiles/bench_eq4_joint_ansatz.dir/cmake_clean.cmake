@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_eq4_joint_ansatz"
+  "../bench/bench_eq4_joint_ansatz.pdb"
+  "CMakeFiles/bench_eq4_joint_ansatz.dir/bench_eq4_joint_ansatz.cc.o"
+  "CMakeFiles/bench_eq4_joint_ansatz.dir/bench_eq4_joint_ansatz.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq4_joint_ansatz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

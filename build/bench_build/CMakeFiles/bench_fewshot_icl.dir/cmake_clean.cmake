@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fewshot_icl"
+  "../bench/bench_fewshot_icl.pdb"
+  "CMakeFiles/bench_fewshot_icl.dir/bench_fewshot_icl.cc.o"
+  "CMakeFiles/bench_fewshot_icl.dir/bench_fewshot_icl.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fewshot_icl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_word_problems"
+  "../bench/bench_fig1_word_problems.pdb"
+  "CMakeFiles/bench_fig1_word_problems.dir/bench_fig1_word_problems.cc.o"
+  "CMakeFiles/bench_fig1_word_problems.dir/bench_fig1_word_problems.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_word_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

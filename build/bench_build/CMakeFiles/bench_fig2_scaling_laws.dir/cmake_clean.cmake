@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_scaling_laws"
+  "../bench/bench_fig2_scaling_laws.pdb"
+  "CMakeFiles/bench_fig2_scaling_laws.dir/bench_fig2_scaling_laws.cc.o"
+  "CMakeFiles/bench_fig2_scaling_laws.dir/bench_fig2_scaling_laws.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_scaling_laws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

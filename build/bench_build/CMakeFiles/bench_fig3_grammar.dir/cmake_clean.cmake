@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_grammar"
+  "../bench/bench_fig3_grammar.pdb"
+  "CMakeFiles/bench_fig3_grammar.dir/bench_fig3_grammar.cc.o"
+  "CMakeFiles/bench_fig3_grammar.dir/bench_fig3_grammar.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_grammar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_grokking"
+  "../bench/bench_grokking.pdb"
+  "CMakeFiles/bench_grokking.dir/bench_grokking.cc.o"
+  "CMakeFiles/bench_grokking.dir/bench_grokking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grokking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_icl_regression"
+  "../bench/bench_icl_regression.pdb"
+  "CMakeFiles/bench_icl_regression.dir/bench_icl_regression.cc.o"
+  "CMakeFiles/bench_icl_regression.dir/bench_icl_regression.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_icl_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

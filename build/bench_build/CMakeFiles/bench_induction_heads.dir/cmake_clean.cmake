@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_induction_heads"
+  "../bench/bench_induction_heads.pdb"
+  "CMakeFiles/bench_induction_heads.dir/bench_induction_heads.cc.o"
+  "CMakeFiles/bench_induction_heads.dir/bench_induction_heads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_induction_heads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_novelty"
+  "../bench/bench_novelty.pdb"
+  "CMakeFiles/bench_novelty.dir/bench_novelty.cc.o"
+  "CMakeFiles/bench_novelty.dir/bench_novelty.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_novelty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_othello_probe"
+  "../bench/bench_othello_probe.pdb"
+  "CMakeFiles/bench_othello_probe.dir/bench_othello_probe.cc.o"
+  "CMakeFiles/bench_othello_probe.dir/bench_othello_probe.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_othello_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_parity"
+  "../bench/bench_parity.pdb"
+  "CMakeFiles/bench_parity.dir/bench_parity.cc.o"
+  "CMakeFiles/bench_parity.dir/bench_parity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

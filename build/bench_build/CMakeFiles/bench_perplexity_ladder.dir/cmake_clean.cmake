@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perplexity_ladder"
+  "../bench/bench_perplexity_ladder.pdb"
+  "CMakeFiles/bench_perplexity_ladder.dir/bench_perplexity_ladder.cc.o"
+  "CMakeFiles/bench_perplexity_ladder.dir/bench_perplexity_ladder.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perplexity_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_search_decoding"
+  "../bench/bench_search_decoding.pdb"
+  "CMakeFiles/bench_search_decoding.dir/bench_search_decoding.cc.o"
+  "CMakeFiles/bench_search_decoding.dir/bench_search_decoding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_decoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_structural_probe"
+  "../bench/bench_structural_probe.pdb"
+  "CMakeFiles/bench_structural_probe.dir/bench_structural_probe.cc.o"
+  "CMakeFiles/bench_structural_probe.dir/bench_structural_probe.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_structural_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/icl_regression.cc" "examples/CMakeFiles/icl_regression.dir/icl_regression.cc.o" "gcc" "examples/CMakeFiles/icl_regression.dir/icl_regression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tfmr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tfmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tfmr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/tfmr_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tfmr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ngram/CMakeFiles/tfmr_ngram.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/tfmr_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/tfmr_grammar.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tfmr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/othello/CMakeFiles/tfmr_othello.dir/DependInfo.cmake"
+  "/root/repo/build/src/sample/CMakeFiles/tfmr_sample.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/tfmr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/tfmr_interp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

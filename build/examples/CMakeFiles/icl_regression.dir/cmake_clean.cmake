@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icl_regression.dir/icl_regression.cc.o"
+  "CMakeFiles/icl_regression.dir/icl_regression.cc.o.d"
+  "icl_regression"
+  "icl_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icl_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for icl_regression.
+# This may be replaced when dependencies are built.

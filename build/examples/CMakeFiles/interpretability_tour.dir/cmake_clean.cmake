@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpretability_tour.dir/interpretability_tour.cc.o"
+  "CMakeFiles/interpretability_tour.dir/interpretability_tour.cc.o.d"
+  "interpretability_tour"
+  "interpretability_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpretability_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

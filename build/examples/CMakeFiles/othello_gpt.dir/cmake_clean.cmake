@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/othello_gpt.dir/othello_gpt.cc.o"
+  "CMakeFiles/othello_gpt.dir/othello_gpt.cc.o.d"
+  "othello_gpt"
+  "othello_gpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/othello_gpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for othello_gpt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_problems.dir/word_problems.cc.o"
+  "CMakeFiles/word_problems.dir/word_problems.cc.o.d"
+  "word_problems"
+  "word_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

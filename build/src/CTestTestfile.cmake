@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("core")
+subdirs("nn")
+subdirs("train")
+subdirs("text")
+subdirs("ngram")
+subdirs("embed")
+subdirs("grammar")
+subdirs("data")
+subdirs("othello")
+subdirs("sample")
+subdirs("eval")
+subdirs("interp")

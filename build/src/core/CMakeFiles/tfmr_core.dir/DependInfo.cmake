@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/graph.cc" "src/core/CMakeFiles/tfmr_core.dir/graph.cc.o" "gcc" "src/core/CMakeFiles/tfmr_core.dir/graph.cc.o.d"
+  "/root/repo/src/core/ops.cc" "src/core/CMakeFiles/tfmr_core.dir/ops.cc.o" "gcc" "src/core/CMakeFiles/tfmr_core.dir/ops.cc.o.d"
+  "/root/repo/src/core/tensor.cc" "src/core/CMakeFiles/tfmr_core.dir/tensor.cc.o" "gcc" "src/core/CMakeFiles/tfmr_core.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tfmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmr_core.dir/graph.cc.o"
+  "CMakeFiles/tfmr_core.dir/graph.cc.o.d"
+  "CMakeFiles/tfmr_core.dir/ops.cc.o"
+  "CMakeFiles/tfmr_core.dir/ops.cc.o.d"
+  "CMakeFiles/tfmr_core.dir/tensor.cc.o"
+  "CMakeFiles/tfmr_core.dir/tensor.cc.o.d"
+  "libtfmr_core.a"
+  "libtfmr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/analogy.cc" "src/data/CMakeFiles/tfmr_data.dir/analogy.cc.o" "gcc" "src/data/CMakeFiles/tfmr_data.dir/analogy.cc.o.d"
+  "/root/repo/src/data/fewshot.cc" "src/data/CMakeFiles/tfmr_data.dir/fewshot.cc.o" "gcc" "src/data/CMakeFiles/tfmr_data.dir/fewshot.cc.o.d"
+  "/root/repo/src/data/icl_regression.cc" "src/data/CMakeFiles/tfmr_data.dir/icl_regression.cc.o" "gcc" "src/data/CMakeFiles/tfmr_data.dir/icl_regression.cc.o.d"
+  "/root/repo/src/data/induction.cc" "src/data/CMakeFiles/tfmr_data.dir/induction.cc.o" "gcc" "src/data/CMakeFiles/tfmr_data.dir/induction.cc.o.d"
+  "/root/repo/src/data/modular.cc" "src/data/CMakeFiles/tfmr_data.dir/modular.cc.o" "gcc" "src/data/CMakeFiles/tfmr_data.dir/modular.cc.o.d"
+  "/root/repo/src/data/parity.cc" "src/data/CMakeFiles/tfmr_data.dir/parity.cc.o" "gcc" "src/data/CMakeFiles/tfmr_data.dir/parity.cc.o.d"
+  "/root/repo/src/data/pcfg_corpus.cc" "src/data/CMakeFiles/tfmr_data.dir/pcfg_corpus.cc.o" "gcc" "src/data/CMakeFiles/tfmr_data.dir/pcfg_corpus.cc.o.d"
+  "/root/repo/src/data/word_problems.cc" "src/data/CMakeFiles/tfmr_data.dir/word_problems.cc.o" "gcc" "src/data/CMakeFiles/tfmr_data.dir/word_problems.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tfmr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tfmr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/grammar/CMakeFiles/tfmr_grammar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

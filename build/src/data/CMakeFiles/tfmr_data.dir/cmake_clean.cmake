@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmr_data.dir/analogy.cc.o"
+  "CMakeFiles/tfmr_data.dir/analogy.cc.o.d"
+  "CMakeFiles/tfmr_data.dir/fewshot.cc.o"
+  "CMakeFiles/tfmr_data.dir/fewshot.cc.o.d"
+  "CMakeFiles/tfmr_data.dir/icl_regression.cc.o"
+  "CMakeFiles/tfmr_data.dir/icl_regression.cc.o.d"
+  "CMakeFiles/tfmr_data.dir/induction.cc.o"
+  "CMakeFiles/tfmr_data.dir/induction.cc.o.d"
+  "CMakeFiles/tfmr_data.dir/modular.cc.o"
+  "CMakeFiles/tfmr_data.dir/modular.cc.o.d"
+  "CMakeFiles/tfmr_data.dir/parity.cc.o"
+  "CMakeFiles/tfmr_data.dir/parity.cc.o.d"
+  "CMakeFiles/tfmr_data.dir/pcfg_corpus.cc.o"
+  "CMakeFiles/tfmr_data.dir/pcfg_corpus.cc.o.d"
+  "CMakeFiles/tfmr_data.dir/word_problems.cc.o"
+  "CMakeFiles/tfmr_data.dir/word_problems.cc.o.d"
+  "libtfmr_data.a"
+  "libtfmr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmr_embed.dir/cooccurrence.cc.o"
+  "CMakeFiles/tfmr_embed.dir/cooccurrence.cc.o.d"
+  "libtfmr_embed.a"
+  "libtfmr_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmr_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

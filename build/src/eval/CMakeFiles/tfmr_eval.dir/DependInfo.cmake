@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/lm_eval.cc" "src/eval/CMakeFiles/tfmr_eval.dir/lm_eval.cc.o" "gcc" "src/eval/CMakeFiles/tfmr_eval.dir/lm_eval.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/tfmr_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/tfmr_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/power_law.cc" "src/eval/CMakeFiles/tfmr_eval.dir/power_law.cc.o" "gcc" "src/eval/CMakeFiles/tfmr_eval.dir/power_law.cc.o.d"
+  "/root/repo/src/eval/rouge.cc" "src/eval/CMakeFiles/tfmr_eval.dir/rouge.cc.o" "gcc" "src/eval/CMakeFiles/tfmr_eval.dir/rouge.cc.o.d"
+  "/root/repo/src/eval/temperature_scaling.cc" "src/eval/CMakeFiles/tfmr_eval.dir/temperature_scaling.cc.o" "gcc" "src/eval/CMakeFiles/tfmr_eval.dir/temperature_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tfmr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tfmr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tfmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tfmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

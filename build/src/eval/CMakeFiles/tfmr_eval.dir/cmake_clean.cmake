@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmr_eval.dir/lm_eval.cc.o"
+  "CMakeFiles/tfmr_eval.dir/lm_eval.cc.o.d"
+  "CMakeFiles/tfmr_eval.dir/metrics.cc.o"
+  "CMakeFiles/tfmr_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/tfmr_eval.dir/power_law.cc.o"
+  "CMakeFiles/tfmr_eval.dir/power_law.cc.o.d"
+  "CMakeFiles/tfmr_eval.dir/rouge.cc.o"
+  "CMakeFiles/tfmr_eval.dir/rouge.cc.o.d"
+  "CMakeFiles/tfmr_eval.dir/temperature_scaling.cc.o"
+  "CMakeFiles/tfmr_eval.dir/temperature_scaling.cc.o.d"
+  "libtfmr_eval.a"
+  "libtfmr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grammar/attributes.cc" "src/grammar/CMakeFiles/tfmr_grammar.dir/attributes.cc.o" "gcc" "src/grammar/CMakeFiles/tfmr_grammar.dir/attributes.cc.o.d"
+  "/root/repo/src/grammar/cfg.cc" "src/grammar/CMakeFiles/tfmr_grammar.dir/cfg.cc.o" "gcc" "src/grammar/CMakeFiles/tfmr_grammar.dir/cfg.cc.o.d"
+  "/root/repo/src/grammar/cnf.cc" "src/grammar/CMakeFiles/tfmr_grammar.dir/cnf.cc.o" "gcc" "src/grammar/CMakeFiles/tfmr_grammar.dir/cnf.cc.o.d"
+  "/root/repo/src/grammar/earley.cc" "src/grammar/CMakeFiles/tfmr_grammar.dir/earley.cc.o" "gcc" "src/grammar/CMakeFiles/tfmr_grammar.dir/earley.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tfmr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tfmr_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmr_grammar.dir/attributes.cc.o"
+  "CMakeFiles/tfmr_grammar.dir/attributes.cc.o.d"
+  "CMakeFiles/tfmr_grammar.dir/cfg.cc.o"
+  "CMakeFiles/tfmr_grammar.dir/cfg.cc.o.d"
+  "CMakeFiles/tfmr_grammar.dir/cnf.cc.o"
+  "CMakeFiles/tfmr_grammar.dir/cnf.cc.o.d"
+  "CMakeFiles/tfmr_grammar.dir/earley.cc.o"
+  "CMakeFiles/tfmr_grammar.dir/earley.cc.o.d"
+  "libtfmr_grammar.a"
+  "libtfmr_grammar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmr_grammar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

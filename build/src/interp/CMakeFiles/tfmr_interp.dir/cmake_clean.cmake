@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmr_interp.dir/probe.cc.o"
+  "CMakeFiles/tfmr_interp.dir/probe.cc.o.d"
+  "CMakeFiles/tfmr_interp.dir/structural_probe.cc.o"
+  "CMakeFiles/tfmr_interp.dir/structural_probe.cc.o.d"
+  "libtfmr_interp.a"
+  "libtfmr_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmr_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmr_ngram.dir/ngram.cc.o"
+  "CMakeFiles/tfmr_ngram.dir/ngram.cc.o.d"
+  "libtfmr_ngram.a"
+  "libtfmr_ngram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmr_ngram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

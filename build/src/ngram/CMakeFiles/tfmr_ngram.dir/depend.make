@@ -1,0 +1,2 @@
+# Empty dependencies file for tfmr_ngram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/tfmr_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/tfmr_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/ffn_lm.cc" "src/nn/CMakeFiles/tfmr_nn.dir/ffn_lm.cc.o" "gcc" "src/nn/CMakeFiles/tfmr_nn.dir/ffn_lm.cc.o.d"
+  "/root/repo/src/nn/gpt_inference.cc" "src/nn/CMakeFiles/tfmr_nn.dir/gpt_inference.cc.o" "gcc" "src/nn/CMakeFiles/tfmr_nn.dir/gpt_inference.cc.o.d"
+  "/root/repo/src/nn/icl_regressor.cc" "src/nn/CMakeFiles/tfmr_nn.dir/icl_regressor.cc.o" "gcc" "src/nn/CMakeFiles/tfmr_nn.dir/icl_regressor.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/tfmr_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/tfmr_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/tfmr_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/tfmr_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/param_count.cc" "src/nn/CMakeFiles/tfmr_nn.dir/param_count.cc.o" "gcc" "src/nn/CMakeFiles/tfmr_nn.dir/param_count.cc.o.d"
+  "/root/repo/src/nn/positional.cc" "src/nn/CMakeFiles/tfmr_nn.dir/positional.cc.o" "gcc" "src/nn/CMakeFiles/tfmr_nn.dir/positional.cc.o.d"
+  "/root/repo/src/nn/rnn.cc" "src/nn/CMakeFiles/tfmr_nn.dir/rnn.cc.o" "gcc" "src/nn/CMakeFiles/tfmr_nn.dir/rnn.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/nn/CMakeFiles/tfmr_nn.dir/transformer.cc.o" "gcc" "src/nn/CMakeFiles/tfmr_nn.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tfmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tfmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

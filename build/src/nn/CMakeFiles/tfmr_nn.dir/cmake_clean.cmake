@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmr_nn.dir/attention.cc.o"
+  "CMakeFiles/tfmr_nn.dir/attention.cc.o.d"
+  "CMakeFiles/tfmr_nn.dir/ffn_lm.cc.o"
+  "CMakeFiles/tfmr_nn.dir/ffn_lm.cc.o.d"
+  "CMakeFiles/tfmr_nn.dir/gpt_inference.cc.o"
+  "CMakeFiles/tfmr_nn.dir/gpt_inference.cc.o.d"
+  "CMakeFiles/tfmr_nn.dir/icl_regressor.cc.o"
+  "CMakeFiles/tfmr_nn.dir/icl_regressor.cc.o.d"
+  "CMakeFiles/tfmr_nn.dir/layers.cc.o"
+  "CMakeFiles/tfmr_nn.dir/layers.cc.o.d"
+  "CMakeFiles/tfmr_nn.dir/module.cc.o"
+  "CMakeFiles/tfmr_nn.dir/module.cc.o.d"
+  "CMakeFiles/tfmr_nn.dir/param_count.cc.o"
+  "CMakeFiles/tfmr_nn.dir/param_count.cc.o.d"
+  "CMakeFiles/tfmr_nn.dir/positional.cc.o"
+  "CMakeFiles/tfmr_nn.dir/positional.cc.o.d"
+  "CMakeFiles/tfmr_nn.dir/rnn.cc.o"
+  "CMakeFiles/tfmr_nn.dir/rnn.cc.o.d"
+  "CMakeFiles/tfmr_nn.dir/transformer.cc.o"
+  "CMakeFiles/tfmr_nn.dir/transformer.cc.o.d"
+  "libtfmr_nn.a"
+  "libtfmr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

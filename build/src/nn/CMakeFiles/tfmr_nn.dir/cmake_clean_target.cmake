@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtfmr_nn.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmr_othello.dir/othello.cc.o"
+  "CMakeFiles/tfmr_othello.dir/othello.cc.o.d"
+  "libtfmr_othello.a"
+  "libtfmr_othello.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmr_othello.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sample/sampler.cc" "src/sample/CMakeFiles/tfmr_sample.dir/sampler.cc.o" "gcc" "src/sample/CMakeFiles/tfmr_sample.dir/sampler.cc.o.d"
+  "/root/repo/src/sample/search.cc" "src/sample/CMakeFiles/tfmr_sample.dir/search.cc.o" "gcc" "src/sample/CMakeFiles/tfmr_sample.dir/search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tfmr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tfmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tfmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmr_sample.dir/sampler.cc.o"
+  "CMakeFiles/tfmr_sample.dir/sampler.cc.o.d"
+  "CMakeFiles/tfmr_sample.dir/search.cc.o"
+  "CMakeFiles/tfmr_sample.dir/search.cc.o.d"
+  "libtfmr_sample.a"
+  "libtfmr_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmr_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

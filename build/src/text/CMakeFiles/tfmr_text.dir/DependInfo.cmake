@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/bpe.cc" "src/text/CMakeFiles/tfmr_text.dir/bpe.cc.o" "gcc" "src/text/CMakeFiles/tfmr_text.dir/bpe.cc.o.d"
+  "/root/repo/src/text/dataset.cc" "src/text/CMakeFiles/tfmr_text.dir/dataset.cc.o" "gcc" "src/text/CMakeFiles/tfmr_text.dir/dataset.cc.o.d"
+  "/root/repo/src/text/persistence.cc" "src/text/CMakeFiles/tfmr_text.dir/persistence.cc.o" "gcc" "src/text/CMakeFiles/tfmr_text.dir/persistence.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/tfmr_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/tfmr_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocab.cc" "src/text/CMakeFiles/tfmr_text.dir/vocab.cc.o" "gcc" "src/text/CMakeFiles/tfmr_text.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tfmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmr_text.dir/bpe.cc.o"
+  "CMakeFiles/tfmr_text.dir/bpe.cc.o.d"
+  "CMakeFiles/tfmr_text.dir/dataset.cc.o"
+  "CMakeFiles/tfmr_text.dir/dataset.cc.o.d"
+  "CMakeFiles/tfmr_text.dir/persistence.cc.o"
+  "CMakeFiles/tfmr_text.dir/persistence.cc.o.d"
+  "CMakeFiles/tfmr_text.dir/tokenizer.cc.o"
+  "CMakeFiles/tfmr_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/tfmr_text.dir/vocab.cc.o"
+  "CMakeFiles/tfmr_text.dir/vocab.cc.o.d"
+  "libtfmr_text.a"
+  "libtfmr_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmr_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/checkpoint.cc" "src/train/CMakeFiles/tfmr_train.dir/checkpoint.cc.o" "gcc" "src/train/CMakeFiles/tfmr_train.dir/checkpoint.cc.o.d"
+  "/root/repo/src/train/optimizer.cc" "src/train/CMakeFiles/tfmr_train.dir/optimizer.cc.o" "gcc" "src/train/CMakeFiles/tfmr_train.dir/optimizer.cc.o.d"
+  "/root/repo/src/train/schedule.cc" "src/train/CMakeFiles/tfmr_train.dir/schedule.cc.o" "gcc" "src/train/CMakeFiles/tfmr_train.dir/schedule.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/train/CMakeFiles/tfmr_train.dir/trainer.cc.o" "gcc" "src/train/CMakeFiles/tfmr_train.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tfmr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tfmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tfmr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

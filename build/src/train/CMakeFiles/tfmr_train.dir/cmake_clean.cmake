@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmr_train.dir/checkpoint.cc.o"
+  "CMakeFiles/tfmr_train.dir/checkpoint.cc.o.d"
+  "CMakeFiles/tfmr_train.dir/optimizer.cc.o"
+  "CMakeFiles/tfmr_train.dir/optimizer.cc.o.d"
+  "CMakeFiles/tfmr_train.dir/schedule.cc.o"
+  "CMakeFiles/tfmr_train.dir/schedule.cc.o.d"
+  "CMakeFiles/tfmr_train.dir/trainer.cc.o"
+  "CMakeFiles/tfmr_train.dir/trainer.cc.o.d"
+  "libtfmr_train.a"
+  "libtfmr_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmr_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

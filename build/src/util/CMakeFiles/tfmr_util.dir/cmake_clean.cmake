@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfmr_util.dir/ascii_chart.cc.o"
+  "CMakeFiles/tfmr_util.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/tfmr_util.dir/linalg.cc.o"
+  "CMakeFiles/tfmr_util.dir/linalg.cc.o.d"
+  "CMakeFiles/tfmr_util.dir/rng.cc.o"
+  "CMakeFiles/tfmr_util.dir/rng.cc.o.d"
+  "CMakeFiles/tfmr_util.dir/status.cc.o"
+  "CMakeFiles/tfmr_util.dir/status.cc.o.d"
+  "CMakeFiles/tfmr_util.dir/table.cc.o"
+  "CMakeFiles/tfmr_util.dir/table.cc.o.d"
+  "libtfmr_util.a"
+  "libtfmr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfmr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpt_inference_test.dir/gpt_inference_test.cc.o"
+  "CMakeFiles/gpt_inference_test.dir/gpt_inference_test.cc.o.d"
+  "gpt_inference_test"
+  "gpt_inference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpt_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

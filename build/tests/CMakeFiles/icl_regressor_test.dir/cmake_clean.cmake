@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icl_regressor_test.dir/icl_regressor_test.cc.o"
+  "CMakeFiles/icl_regressor_test.dir/icl_regressor_test.cc.o.d"
+  "icl_regressor_test"
+  "icl_regressor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icl_regressor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/othello_test.dir/othello_test.cc.o"
+  "CMakeFiles/othello_test.dir/othello_test.cc.o.d"
+  "othello_test"
+  "othello_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/othello_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

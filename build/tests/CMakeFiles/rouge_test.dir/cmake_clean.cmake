@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rouge_test.dir/rouge_test.cc.o"
+  "CMakeFiles/rouge_test.dir/rouge_test.cc.o.d"
+  "rouge_test"
+  "rouge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rouge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

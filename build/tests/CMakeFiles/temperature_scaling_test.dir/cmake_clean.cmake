@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temperature_scaling_test.dir/temperature_scaling_test.cc.o"
+  "CMakeFiles/temperature_scaling_test.dir/temperature_scaling_test.cc.o.d"
+  "temperature_scaling_test"
+  "temperature_scaling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temperature_scaling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
