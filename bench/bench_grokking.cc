@@ -7,13 +7,22 @@
 //
 // Ablation #4 of DESIGN.md: with weight decay off, generalization is
 // delayed or absent at the same budget.
+//
+// Grokking is the longest-horizon run in bench/, so it doubles as the
+// showcase for the fault-tolerant runtime: pass --ckpt-dir=DIR to write
+// crash-safe checkpoints every 500 steps, kill the process whenever, and
+// re-run with --resume to continue bit-exactly from the last checkpoint.
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "data/modular.h"
 #include "eval/metrics.h"
 #include "nn/transformer.h"
+#include "train/checkpoint.h"
 #include "train/optimizer.h"
+#include "train/trainer.h"
 #include "util/table.h"
 
 namespace {
@@ -39,7 +48,9 @@ double AccuracyOn(const llm::nn::GPTModel& model,
 }
 
 std::vector<CurvePoint> RunGrokking(float weight_decay, int64_t max_steps,
-                                    uint64_t seed) {
+                                    uint64_t seed,
+                                    const std::string& ckpt_dir,
+                                    bool resume) {
   llm::data::ModularDatasetOptions dopts;
   dopts.modulus = 23;
   dopts.train_fraction = 0.6;
@@ -61,23 +72,64 @@ std::vector<CurvePoint> RunGrokking(float weight_decay, int64_t max_steps,
   aopts.weight_decay = weight_decay;
   llm::train::AdamW opt(model.Parameters(), aopts);
 
+  llm::train::TrainerOptions topts;
+  topts.max_steps = max_steps;
+  topts.clip_norm = 1.0f;
+  topts.eval_every = 250;
+  topts.model = &model;
+  topts.data_rng = &rng;
+  // A NaN spike in a 6k-step run should cost a rollback, not the run.
+  topts.max_recoveries = 3;
+  topts.lr_backoff = 0.5f;
+  if (!ckpt_dir.empty()) {
+    topts.checkpoint_dir = ckpt_dir;
+    topts.checkpoint_every = 500;
+    topts.keep_last_k = 3;
+  }
+  llm::train::Trainer trainer(&opt, topts);
+
+  if (resume && !ckpt_dir.empty()) {
+    auto latest = llm::train::LatestCheckpoint(ckpt_dir);
+    if (latest.ok()) {
+      llm::util::Status s = trainer.ResumeFrom(latest.value());
+      if (!s.ok()) {
+        std::fprintf(stderr, "resume from %s failed: %s\n",
+                     latest.value().c_str(), s.ToString().c_str());
+        std::exit(1);
+      }
+      std::printf("resumed from %s at step %lld\n", latest.value().c_str(),
+                  static_cast<long long>(trainer.start_step()));
+    } else {
+      std::printf("no checkpoint under %s; starting fresh\n",
+                  ckpt_dir.c_str());
+    }
+  }
+
   std::vector<CurvePoint> curve;
   const int64_t B = 128;
-  for (int64_t step = 0; step < max_steps; ++step) {
-    std::vector<int64_t> inputs, targets;
-    ds.SampleTrainBatch(&rng, B, &inputs, &targets);
-    llm::core::Variable loss = llm::core::CrossEntropyLogits(
-        model.ForwardLogits(inputs, B, llm::data::ModularDataset::kSeqLen),
-        targets);
-    opt.ZeroGrad();
-    llm::core::Backward(loss);
-    llm::train::ClipGradNorm(opt.params(), 1.0f);
-    opt.Step();
-    if (step % 250 == 0 || step + 1 == max_steps) {
-      curve.push_back({step, AccuracyOn(model, ds, ds.train()),
-                       AccuracyOn(model, ds, ds.test()),
-                       static_cast<double>(loss.value()[0])});
-    }
+  llm::util::Status status = trainer.Run(
+      [&] {
+        std::vector<int64_t> inputs, targets;
+        ds.SampleTrainBatch(&rng, B, &inputs, &targets);
+        return llm::core::CrossEntropyLogits(
+            model.ForwardLogits(inputs, B,
+                                llm::data::ModularDataset::kSeqLen),
+            targets);
+      },
+      [&](int64_t step) {
+        curve.push_back(
+            {step, AccuracyOn(model, ds, ds.train()),
+             AccuracyOn(model, ds, ds.test()),
+             static_cast<double>(trainer.history().back().loss)});
+      });
+  if (!status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  for (const auto& inc : trainer.incidents()) {
+    std::printf("[incident] step %lld %s -> %s\n",
+                static_cast<long long>(inc.step), inc.kind.c_str(),
+                inc.action.c_str());
   }
   return curve;
 }
@@ -104,16 +156,37 @@ void PrintCurve(const std::vector<CurvePoint>& curve) {
 }
 }  // namespace
 
-int main() {
-  const int64_t kSteps = 6000;
+int main(int argc, char** argv) {
+  int64_t steps = 6000;
+  std::string ckpt_dir;
+  bool resume = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--ckpt-dir=", 0) == 0) {
+      ckpt_dir = arg.substr(11);
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg.rfind("--steps=", 0) == 0) {
+      steps = std::atoll(arg.c_str() + 8);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--ckpt-dir=DIR] [--resume] [--steps=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
   std::cout << "== Grokking: (a + b) mod 23, 60% of the table for "
                "training ==\n\n";
   std::cout << "--- with weight decay 1.0 (the grokking recipe) ---\n\n";
-  auto with_wd = RunGrokking(/*weight_decay=*/1.0f, kSteps, 17);
+  auto with_wd =
+      RunGrokking(/*weight_decay=*/1.0f, steps, 17,
+                  ckpt_dir.empty() ? "" : ckpt_dir + "/wd1", resume);
   PrintCurve(with_wd);
 
   std::cout << "\n--- ablation: weight decay 0 ---\n\n";
-  auto without_wd = RunGrokking(/*weight_decay=*/0.0f, kSteps, 17);
+  auto without_wd =
+      RunGrokking(/*weight_decay=*/0.0f, steps, 17,
+                  ckpt_dir.empty() ? "" : ckpt_dir + "/wd0", resume);
   PrintCurve(without_wd);
 
   std::cout << "\nExpected shape (paper §4): with weight decay, train\n"

@@ -1,14 +1,29 @@
 #include "train/checkpoint.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
+
+#include "util/crc32.h"
+#include "util/fault.h"
 
 namespace llm::train {
 
 namespace {
-constexpr char kMagic[8] = {'T', 'F', 'M', 'R', 'C', 'K', 'P', 'T'};
+
+constexpr char kMagicV1[8] = {'T', 'F', 'M', 'R', 'C', 'K', 'P', 'T'};
+constexpr char kMagicV2[8] = {'T', 'F', 'M', 'R', 'C', 'K', 'P', '2'};
+constexpr char kFooterV2[8] = {'T', 'F', 'M', 'R', 'E', 'N', 'D', '2'};
+constexpr uint32_t kVersion2 = 2;
+
+// Section bits in the v2 header mask.
+constexpr uint32_t kSectionOptimizer = 1u << 1;
+constexpr uint32_t kSectionRng = 1u << 2;
+constexpr uint32_t kSectionTrainer = 1u << 3;
 
 template <typename T>
 void WritePod(std::ofstream& out, T v) {
@@ -20,88 +35,398 @@ bool ReadPod(std::ifstream& in, T* v) {
   in.read(reinterpret_cast<char*>(v), sizeof(T));
   return static_cast<bool>(in);
 }
-}  // namespace
 
-util::Status SaveCheckpoint(const nn::Module& module,
-                            const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return util::Status::IOError("cannot open for write: " + path);
-  out.write(kMagic, sizeof(kMagic));
-  const nn::NamedParams params = module.NamedParameters();
-  WritePod<uint64_t>(out, params.size());
-  for (const auto& [name, var] : params) {
-    WritePod<uint32_t>(out, static_cast<uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    const core::Tensor& t = var.value();
-    WritePod<uint32_t>(out, static_cast<uint32_t>(t.ndim()));
-    for (int i = 0; i < t.ndim(); ++i) WritePod<int64_t>(out, t.dim(i));
-    out.write(reinterpret_cast<const char*>(t.data()),
-              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+void WriteString(std::ofstream& out, const std::string& s) {
+  WritePod<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+// Corrupt bytes can decode to absurd sizes; cap them so a bad file yields
+// a Status instead of a multi-gigabyte allocation or an aborting Tensor.
+constexpr uint32_t kMaxNameLen = 1u << 16;
+constexpr uint32_t kMaxNdim = 16;
+constexpr int64_t kMaxDim = int64_t{1} << 32;
+constexpr int64_t kMaxNumel = int64_t{1} << 28;  // 1 GiB of float32
+
+bool ReadString(std::ifstream& in, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadPod(in, &len)) return false;
+  if (len > kMaxNameLen) return false;
+  s->assign(len, '\0');
+  in.read(s->data(), len);
+  return static_cast<bool>(in);
+}
+
+/// name | ndim | dims | crc32 | data — shared by weights and opt slots.
+void WriteTensorEntry(std::ofstream& out, const std::string& name,
+                      const core::Tensor& t) {
+  WriteString(out, name);
+  WritePod<uint32_t>(out, static_cast<uint32_t>(t.ndim()));
+  for (int i = 0; i < t.ndim(); ++i) WritePod<int64_t>(out, t.dim(i));
+  const size_t bytes = static_cast<size_t>(t.numel()) * sizeof(float);
+  WritePod<uint32_t>(out, util::Crc32(t.data(), bytes));
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(bytes));
+}
+
+/// Reads one tensor entry into freshly-allocated storage, verifying the
+/// checksum. `what` names the section for error messages.
+util::Status ReadTensorEntry(std::ifstream& in, const std::string& path,
+                             const char* what, std::string* name,
+                             core::Tensor* t) {
+  if (!ReadString(in, name)) {
+    return util::Status::IOError(std::string("truncated checkpoint (") +
+                                 what + " name): " + path);
   }
-  if (!out) return util::Status::IOError("write failed: " + path);
+  uint32_t ndim = 0;
+  if (!ReadPod(in, &ndim)) {
+    return util::Status::IOError(std::string("truncated checkpoint (") +
+                                 what + " ndim): " + path);
+  }
+  if (ndim > kMaxNdim) {
+    return util::Status::FailedPrecondition(
+        std::string("corrupt checkpoint (") + what + " ndim " +
+        std::to_string(ndim) + "): " + path);
+  }
+  core::Shape shape(ndim);
+  for (auto& d : shape) {
+    if (!ReadPod(in, &d)) {
+      return util::Status::IOError(std::string("truncated checkpoint (") +
+                                   what + " dims): " + path);
+    }
+    if (d < 0 || d > kMaxDim) {
+      return util::Status::FailedPrecondition(
+          std::string("corrupt checkpoint (") + what + " dim " +
+          std::to_string(d) + "): " + path);
+    }
+  }
+  int64_t numel = 1;
+  for (int64_t d : shape) {
+    if (d != 0 && numel > kMaxNumel / d) {
+      return util::Status::FailedPrecondition(
+          std::string("corrupt checkpoint (") + what +
+          " implausible element count): " + path);
+    }
+    numel *= d;
+  }
+  uint32_t stored_crc = 0;
+  if (!ReadPod(in, &stored_crc)) {
+    return util::Status::IOError(std::string("truncated checkpoint (") +
+                                 what + " crc): " + path);
+  }
+  *t = core::Tensor(shape);
+  const size_t bytes = static_cast<size_t>(t->numel()) * sizeof(float);
+  in.read(reinterpret_cast<char*>(t->data()),
+          static_cast<std::streamsize>(bytes));
+  if (!in) {
+    return util::Status::IOError(std::string("truncated checkpoint (") +
+                                 what + " data): " + path);
+  }
+  const uint32_t computed = util::Crc32(t->data(), bytes);
+  if (computed != stored_crc) {
+    return util::Status::FailedPrecondition(
+        std::string("checksum mismatch for ") + what + " '" + *name +
+        "' in " + path + " (file says " + std::to_string(stored_crc) +
+        ", data hashes to " + std::to_string(computed) + ")");
+  }
   return util::Status::OK();
 }
 
-util::Status LoadCheckpoint(nn::Module* module, const std::string& path) {
-  if (module == nullptr) {
-    return util::Status::InvalidArgument("null module");
-  }
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return util::Status::IOError("cannot open for read: " + path);
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return util::Status::InvalidArgument("bad checkpoint magic: " + path);
-  }
-  uint64_t count = 0;
-  if (!ReadPod(in, &count)) {
-    return util::Status::IOError("truncated checkpoint: " + path);
-  }
-
+/// Copies loaded tensors into the module's parameters by name, enforcing
+/// the strict round-trip contract.
+util::Status AssignParams(
+    nn::Module* module,
+    const std::vector<std::pair<std::string, core::Tensor>>& loaded,
+    const std::string& path) {
   std::map<std::string, core::Variable> by_name;
   for (auto& [name, var] : module->NamedParameters()) {
     by_name.emplace(name, var);
   }
-  if (count != by_name.size()) {
-    return util::Status::InvalidArgument(
-        "checkpoint has " + std::to_string(count) + " params, module has " +
-        std::to_string(by_name.size()));
+  if (loaded.size() != by_name.size()) {
+    return util::Status::FailedPrecondition(
+        "checkpoint has " + std::to_string(loaded.size()) +
+        " params, module has " + std::to_string(by_name.size()) + ": " +
+        path);
   }
-
-  for (uint64_t i = 0; i < count; ++i) {
-    uint32_t name_len = 0;
-    if (!ReadPod(in, &name_len)) {
-      return util::Status::IOError("truncated checkpoint (name len)");
-    }
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    uint32_t ndim = 0;
-    if (!in || !ReadPod(in, &ndim)) {
-      return util::Status::IOError("truncated checkpoint (ndim)");
-    }
-    core::Shape shape(ndim);
-    for (auto& d : shape) {
-      if (!ReadPod(in, &d)) {
-        return util::Status::IOError("truncated checkpoint (dims)");
-      }
-    }
+  for (const auto& [name, tensor] : loaded) {
     auto it = by_name.find(name);
     if (it == by_name.end()) {
       return util::Status::NotFound("unknown parameter in checkpoint: " +
                                     name);
     }
     core::Tensor& dst = it->second.mutable_value();
-    if (dst.shape() != shape) {
-      return util::Status::InvalidArgument(
+    if (dst.shape() != tensor.shape()) {
+      return util::Status::FailedPrecondition(
           "shape mismatch for " + name + ": file " +
-          core::ShapeToString(shape) + " vs module " +
+          core::ShapeToString(tensor.shape()) + " vs module " +
           core::ShapeToString(dst.shape()));
     }
-    in.read(reinterpret_cast<char*>(dst.data()),
-            static_cast<std::streamsize>(dst.numel() * sizeof(float)));
-    if (!in) return util::Status::IOError("truncated checkpoint (data)");
+    std::memcpy(dst.data(), tensor.data(),
+                static_cast<size_t>(dst.numel()) * sizeof(float));
   }
   return util::Status::OK();
+}
+
+/// v1 body: no checksums, weights only. `in` is positioned after the magic.
+util::Status LoadV1Body(std::ifstream& in, nn::Module* module,
+                        const std::string& path) {
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) {
+    return util::Status::IOError("truncated checkpoint: " + path);
+  }
+  std::vector<std::pair<std::string, core::Tensor>> loaded;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!ReadString(in, &name)) {
+      return util::Status::IOError("truncated checkpoint (name): " + path);
+    }
+    uint32_t ndim = 0;
+    if (!ReadPod(in, &ndim)) {
+      return util::Status::IOError("truncated checkpoint (ndim): " + path);
+    }
+    core::Shape shape(ndim);
+    for (auto& d : shape) {
+      if (!ReadPod(in, &d)) {
+        return util::Status::IOError("truncated checkpoint (dims): " + path);
+      }
+    }
+    core::Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!in) {
+      return util::Status::IOError("truncated checkpoint (data): " + path);
+    }
+    loaded.emplace_back(std::move(name), std::move(t));
+  }
+  return AssignParams(module, loaded, path);
+}
+
+}  // namespace
+
+util::Status SaveCheckpoint(const nn::Module& module, const std::string& path,
+                            const TrainState* state) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return util::Status::IOError("cannot open for write: " + tmp);
+    out.write(kMagicV2, sizeof(kMagicV2));
+    WritePod<uint32_t>(out, kVersion2);
+    uint32_t mask = 1;  // weights, always present
+    if (state != nullptr) {
+      if (state->has_optimizer) mask |= kSectionOptimizer;
+      if (state->has_rng) mask |= kSectionRng;
+      if (state->has_trainer) mask |= kSectionTrainer;
+    }
+    WritePod<uint32_t>(out, mask);
+
+    // Injected torn write (counted once per save): stop partway through
+    // the parameter list, as a crash would. The tmp file is abandoned
+    // un-renamed, so the destination path is never corrupted.
+    const bool tear =
+        util::MaybeInjectFault(util::FaultSite::kCheckpointWrite);
+    const nn::NamedParams params = module.NamedParameters();
+    WritePod<uint64_t>(out, params.size());
+    size_t written = 0;
+    for (const auto& [name, var] : params) {
+      if (tear && written >= params.size() / 2) {
+        out.flush();
+        out.close();
+        return util::Status::IOError(
+            "injected fault: torn checkpoint write at " + tmp);
+      }
+      WriteTensorEntry(out, name, var.value());
+      ++written;
+    }
+
+    if (mask & kSectionOptimizer) {
+      WriteString(out, state->optimizer.type);
+      WritePod<int64_t>(out, state->optimizer.step);
+      WritePod<uint64_t>(out, state->optimizer.slots.size());
+      for (const auto& [name, t] : state->optimizer.slots) {
+        WriteTensorEntry(out, name, t);
+      }
+    }
+    if (mask & kSectionRng) {
+      for (uint64_t s : state->rng.s) WritePod<uint64_t>(out, s);
+      WritePod<uint8_t>(out, state->rng.have_cached_normal ? 1 : 0);
+      WritePod<double>(out, state->rng.cached_normal);
+    }
+    if (mask & kSectionTrainer) {
+      WritePod<int64_t>(out, state->next_step);
+      WritePod<float>(out, state->lr_scale);
+      WritePod<uint64_t>(out, state->history.size());
+      for (const StepRecord& r : state->history) {
+        WritePod<int64_t>(out, r.step);
+        WritePod<float>(out, r.loss);
+        WritePod<float>(out, r.lr);
+        WritePod<float>(out, r.grad_norm);
+        WritePod<uint8_t>(out, r.event);
+      }
+    }
+    out.write(kFooterV2, sizeof(kFooterV2));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return util::Status::IOError("write failed: " + tmp);
+    }
+  }
+  // Atomic publish: readers see either the old complete file or the new
+  // complete file, never a partial one.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Status::IOError("rename failed: " + tmp + " -> " + path);
+  }
+  return util::Status::OK();
+}
+
+util::Status LoadCheckpoint(nn::Module* module, const std::string& path,
+                            TrainState* state) {
+  if (module == nullptr) {
+    return util::Status::InvalidArgument("null module");
+  }
+  if (util::MaybeInjectFault(util::FaultSite::kCheckpointRead)) {
+    return util::Status::IOError("injected fault: unreadable checkpoint " +
+                                 path);
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::IOError("cannot open for read: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in) return util::Status::IOError("truncated checkpoint: " + path);
+  if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    // Legacy v1: weights only, loadable but carries no training state.
+    return LoadV1Body(in, module, path);
+  }
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) != 0) {
+    return util::Status::FailedPrecondition("bad checkpoint magic: " + path);
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version)) {
+    return util::Status::IOError("truncated checkpoint (version): " + path);
+  }
+  if (version != kVersion2) {
+    return util::Status::FailedPrecondition(
+        "unsupported checkpoint version " + std::to_string(version) + ": " +
+        path);
+  }
+  uint32_t mask = 0;
+  if (!ReadPod(in, &mask)) {
+    return util::Status::IOError("truncated checkpoint (mask): " + path);
+  }
+
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) {
+    return util::Status::IOError("truncated checkpoint (param count): " +
+                                 path);
+  }
+  std::vector<std::pair<std::string, core::Tensor>> loaded;
+  loaded.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    core::Tensor t;
+    LLM_RETURN_IF_ERROR(ReadTensorEntry(in, path, "param", &name, &t));
+    loaded.emplace_back(std::move(name), std::move(t));
+  }
+
+  TrainState parsed;
+  if (mask & kSectionOptimizer) {
+    if (!ReadString(in, &parsed.optimizer.type) ||
+        !ReadPod(in, &parsed.optimizer.step)) {
+      return util::Status::IOError("truncated checkpoint (optimizer): " +
+                                   path);
+    }
+    uint64_t slots = 0;
+    if (!ReadPod(in, &slots)) {
+      return util::Status::IOError("truncated checkpoint (slot count): " +
+                                   path);
+    }
+    for (uint64_t i = 0; i < slots; ++i) {
+      std::string name;
+      core::Tensor t;
+      LLM_RETURN_IF_ERROR(ReadTensorEntry(in, path, "slot", &name, &t));
+      parsed.optimizer.slots.emplace_back(std::move(name), std::move(t));
+    }
+    parsed.has_optimizer = true;
+  }
+  if (mask & kSectionRng) {
+    uint8_t have_cached = 0;
+    for (uint64_t& s : parsed.rng.s) {
+      if (!ReadPod(in, &s)) {
+        return util::Status::IOError("truncated checkpoint (rng): " + path);
+      }
+    }
+    if (!ReadPod(in, &have_cached) ||
+        !ReadPod(in, &parsed.rng.cached_normal)) {
+      return util::Status::IOError("truncated checkpoint (rng): " + path);
+    }
+    parsed.rng.have_cached_normal = have_cached != 0;
+    parsed.has_rng = true;
+  }
+  if (mask & kSectionTrainer) {
+    uint64_t records = 0;
+    if (!ReadPod(in, &parsed.next_step) || !ReadPod(in, &parsed.lr_scale) ||
+        !ReadPod(in, &records)) {
+      return util::Status::IOError("truncated checkpoint (trainer): " + path);
+    }
+    parsed.history.reserve(records);
+    for (uint64_t i = 0; i < records; ++i) {
+      StepRecord r;
+      if (!ReadPod(in, &r.step) || !ReadPod(in, &r.loss) ||
+          !ReadPod(in, &r.lr) || !ReadPod(in, &r.grad_norm) ||
+          !ReadPod(in, &r.event)) {
+        return util::Status::IOError("truncated checkpoint (history): " +
+                                     path);
+      }
+      parsed.history.push_back(r);
+    }
+    parsed.has_trainer = true;
+  }
+  char footer[8];
+  in.read(footer, sizeof(footer));
+  if (!in) return util::Status::IOError("truncated checkpoint (footer): " +
+                                        path);
+  if (std::memcmp(footer, kFooterV2, sizeof(kFooterV2)) != 0) {
+    return util::Status::FailedPrecondition("bad checkpoint footer: " + path);
+  }
+
+  // All validation passed — only now mutate the module and outputs, so a
+  // rejected file leaves everything untouched.
+  LLM_RETURN_IF_ERROR(AssignParams(module, loaded, path));
+  if (state != nullptr) *state = std::move(parsed);
+  return util::Status::OK();
+}
+
+std::string CheckpointFileName(int64_t next_step) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt_%09lld.tfmr",
+                static_cast<long long>(next_step));
+  return buf;
+}
+
+util::StatusOr<std::string> LatestCheckpoint(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return util::Status::IOError("cannot list checkpoint dir " + dir + ": " +
+                                 ec.message());
+  }
+  std::string best_name;
+  std::string best;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt_", 0) != 0) continue;
+    if (name.size() < 6 || name.substr(name.size() - 5) != ".tfmr") continue;
+    // Zero-padded step numbers make lexicographic order step order.
+    if (name > best_name) {
+      best_name = name;
+      best = entry.path().string();
+    }
+  }
+  if (best.empty()) {
+    return util::Status::NotFound("no checkpoints under " + dir);
+  }
+  return best;
 }
 
 }  // namespace llm::train

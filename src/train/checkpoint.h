@@ -1,26 +1,75 @@
-// Checkpointing: binary save/load of a module's named parameters.
+// Checkpointing: crash-safe binary save/load of a module's parameters and,
+// in format v2, the full training state needed for bit-exact resume.
 //
-// Format (little-endian):
-//   magic "TFMRCKPT" (8 bytes) | uint64 param_count
-//   per param: uint32 name_len | name bytes | uint32 ndim |
-//              int64 dims[ndim] | float32 data[numel]
+// v2 format (little-endian):
+//   magic "TFMRCKP2" (8 bytes) | uint32 version=2 | uint32 section_mask
+//   [weights]   uint64 param_count, then per param:
+//               uint32 name_len | name | uint32 ndim | int64 dims[ndim] |
+//               uint32 crc32(data) | float32 data[numel]
+//   [optimizer] (mask bit 1) uint32 type_len | type | int64 step |
+//               uint64 slot_count, then per slot: same layout as a param
+//   [rng]       (mask bit 2) uint64 s[4] | uint8 have_cached | double cached
+//   [trainer]   (mask bit 3) int64 next_step | float lr_scale |
+//               uint64 history_count, then per record:
+//               int64 step | float loss | float lr | float grad_norm |
+//               uint8 event
+//   footer magic "TFMREND2" (8 bytes) — catches truncated tails
+//
+// Writes are atomic: everything goes to "<path>.tmp", is flushed, and only
+// then renamed over <path>, so a crash mid-write never leaves a torn file
+// at the final path. Every tensor carries a CRC32; LoadCheckpoint reports
+// truncation as kIOError and bad magic / checksum mismatch / shape drift
+// as kFailedPrecondition, never a crash or a silent misload.
+//
+// v1 files ("TFMRCKPT": no version, no checksums, weights only) still load
+// read-only for weights; resuming training from them is rejected.
 #ifndef TFMR_TRAIN_CHECKPOINT_H_
 #define TFMR_TRAIN_CHECKPOINT_H_
 
 #include <string>
 
 #include "nn/module.h"
+#include "train/trainer.h"
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace llm::train {
 
-/// Writes all named parameters of `module` to `path`.
-util::Status SaveCheckpoint(const nn::Module& module, const std::string& path);
+/// Everything beyond the weights that a resumed run needs. Absent
+/// sections leave their has_* flag false.
+struct TrainState {
+  bool has_optimizer = false;
+  OptimizerState optimizer;
 
-/// Loads parameters by name into `module`. Every parameter in the module
-/// must be present in the file with a matching shape; extra entries in the
-/// file are an error (strict round-trip).
-util::Status LoadCheckpoint(nn::Module* module, const std::string& path);
+  bool has_rng = false;
+  util::RngState rng;
+
+  bool has_trainer = false;
+  int64_t next_step = 0;
+  float lr_scale = 1.0f;
+  std::vector<StepRecord> history;
+};
+
+/// Writes all named parameters of `module` (and, when `state` is non-null,
+/// its sections) to `path` in format v2, atomically.
+util::Status SaveCheckpoint(const nn::Module& module, const std::string& path,
+                            const TrainState* state = nullptr);
+
+/// Loads parameters by name into `module` (v1 or v2). Every parameter in
+/// the module must be present in the file with a matching shape; extra
+/// entries in the file are an error (strict round-trip). When `state` is
+/// non-null, also loads whichever optional sections the file carries.
+util::Status LoadCheckpoint(nn::Module* module, const std::string& path,
+                            TrainState* state = nullptr);
+
+/// Newest checkpoint (by step number encoded in the filename) that
+/// SaveCheckpoint wrote under `dir`; kNotFound when there is none.
+util::StatusOr<std::string> LatestCheckpoint(const std::string& dir);
+
+/// Filename (not path) the trainer uses for the checkpoint taken before
+/// running `next_step`, e.g. "ckpt_000000042.tfmr". Zero-padded so
+/// lexicographic order equals step order.
+std::string CheckpointFileName(int64_t next_step);
 
 }  // namespace llm::train
 

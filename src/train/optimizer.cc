@@ -16,6 +16,42 @@ void Optimizer::ZeroGrad() {
   for (auto& p : params_) p.ZeroGrad();
 }
 
+util::Status Optimizer::ImportState(const OptimizerState& state) {
+  if (!state.slots.empty()) {
+    return util::Status::FailedPrecondition(
+        "stateless optimizer given " + std::to_string(state.slots.size()) +
+        " state slots");
+  }
+  return util::Status::OK();
+}
+
+util::Status Optimizer::CheckStateShape(const OptimizerState& state,
+                                        const std::string& expected_type,
+                                        size_t slots_per_param) const {
+  if (state.type != expected_type) {
+    return util::Status::FailedPrecondition(
+        "optimizer state type mismatch: file has '" + state.type +
+        "', optimizer is '" + expected_type + "'");
+  }
+  const size_t expected = slots_per_param * params_.size();
+  if (state.slots.size() != expected) {
+    return util::Status::FailedPrecondition(
+        "optimizer state has " + std::to_string(state.slots.size()) +
+        " slots, expected " + std::to_string(expected));
+  }
+  for (size_t i = 0; i < state.slots.size(); ++i) {
+    const core::Tensor& t = state.slots[i].second;
+    const core::Variable& p = params_[i % params_.size()];
+    if (t.shape() != p.shape()) {
+      return util::Status::FailedPrecondition(
+          "optimizer slot '" + state.slots[i].first + "' has shape " +
+          core::ShapeToString(t.shape()) + ", parameter has " +
+          core::ShapeToString(p.shape()));
+    }
+  }
+  return util::Status::OK();
+}
+
 Sgd::Sgd(std::vector<core::Variable> params, float lr, float momentum)
     : Optimizer(std::move(params), lr), momentum_(momentum) {}
 
@@ -38,6 +74,24 @@ void Sgd::Step() {
       w.AddScaled(vel, -lr_);
     }
   }
+}
+
+OptimizerState Sgd::ExportState() const {
+  OptimizerState state{"sgd", 0, {}};
+  for (size_t i = 0; i < velocity_.size(); ++i) {
+    state.slots.emplace_back("velocity/" + std::to_string(i), velocity_[i]);
+  }
+  return state;
+}
+
+util::Status Sgd::ImportState(const OptimizerState& state) {
+  // Velocity buffers are lazily allocated, so both "no slots yet" and one
+  // slot per parameter are valid snapshots.
+  const size_t per_param = state.slots.empty() ? 0 : 1;
+  LLM_RETURN_IF_ERROR(CheckStateShape(state, "sgd", per_param));
+  velocity_.clear();
+  for (const auto& [name, t] : state.slots) velocity_.push_back(t);
+  return util::Status::OK();
 }
 
 AdamW::AdamW(std::vector<core::Variable> params, const AdamWOptions& options)
@@ -75,6 +129,28 @@ void AdamW::Step() {
       w[j] -= lr_ * update;
     }
   }
+}
+
+OptimizerState AdamW::ExportState() const {
+  OptimizerState state{"adamw", step_, {}};
+  for (size_t i = 0; i < m_.size(); ++i) {
+    state.slots.emplace_back("m/" + std::to_string(i), m_[i]);
+  }
+  for (size_t i = 0; i < v_.size(); ++i) {
+    state.slots.emplace_back("v/" + std::to_string(i), v_[i]);
+  }
+  return state;
+}
+
+util::Status AdamW::ImportState(const OptimizerState& state) {
+  LLM_RETURN_IF_ERROR(CheckStateShape(state, "adamw", 2));
+  const size_t n = params_.size();
+  for (size_t i = 0; i < n; ++i) {
+    m_[i] = state.slots[i].second;
+    v_[i] = state.slots[n + i].second;
+  }
+  step_ = state.step;
+  return util::Status::OK();
 }
 
 float ClipGradNorm(const std::vector<core::Variable>& params,

@@ -4,11 +4,27 @@
 #ifndef TFMR_TRAIN_OPTIMIZER_H_
 #define TFMR_TRAIN_OPTIMIZER_H_
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/graph.h"
+#include "util/status.h"
 
 namespace llm::train {
+
+/// Serializable snapshot of an optimizer's internal state (beyond the
+/// parameters themselves): the step counter and any per-parameter slot
+/// tensors (momentum, Adam moments). Checkpoint v2 persists this so a
+/// resumed run is bit-exact with an uninterrupted one.
+struct OptimizerState {
+  /// Which optimizer produced the state ("sgd", "adamw"); ImportState
+  /// rejects a mismatch.
+  std::string type;
+  int64_t step = 0;
+  /// Named slot tensors, e.g. "m/3" / "v/3" for AdamW moments of param 3.
+  std::vector<std::pair<std::string, core::Tensor>> slots;
+};
 
 /// Base class: owns the parameter list and the learning rate.
 class Optimizer {
@@ -22,12 +38,23 @@ class Optimizer {
   /// Zeroes all parameter gradients (call after Step).
   void ZeroGrad();
 
+  /// Snapshot / restore internal state for checkpointing. The base
+  /// optimizer is stateless; subclasses with slots override both.
+  virtual OptimizerState ExportState() const { return {"stateless", 0, {}}; }
+  virtual util::Status ImportState(const OptimizerState& state);
+
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }
 
   const std::vector<core::Variable>& params() const { return params_; }
 
  protected:
+  /// Shared ImportState validation: checks the type tag and that every
+  /// slot's shape matches the corresponding parameter.
+  util::Status CheckStateShape(const OptimizerState& state,
+                               const std::string& expected_type,
+                               size_t slots_per_param) const;
+
   std::vector<core::Variable> params_;
   float lr_;
 };
@@ -38,6 +65,9 @@ class Sgd : public Optimizer {
   Sgd(std::vector<core::Variable> params, float lr, float momentum = 0.0f);
 
   void Step() override;
+
+  OptimizerState ExportState() const override;
+  util::Status ImportState(const OptimizerState& state) override;
 
  private:
   float momentum_;
@@ -60,6 +90,9 @@ class AdamW : public Optimizer {
   AdamW(std::vector<core::Variable> params, const AdamWOptions& options);
 
   void Step() override;
+
+  OptimizerState ExportState() const override;
+  util::Status ImportState(const OptimizerState& state) override;
 
   int64_t step_count() const { return step_; }
 

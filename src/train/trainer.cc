@@ -1,6 +1,12 @@
 #include "train/trainer.h"
 
+#include <cmath>
 #include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "train/checkpoint.h"
+#include "util/fault.h"
 
 namespace llm::train {
 
@@ -8,26 +14,221 @@ Trainer::Trainer(Optimizer* optimizer, const TrainerOptions& options)
     : optimizer_(optimizer), options_(options) {
   LLM_CHECK(optimizer != nullptr);
   LLM_CHECK_GT(options.max_steps, 0);
+  if (!options.checkpoint_dir.empty()) {
+    LLM_CHECK(options.model != nullptr)
+        << "checkpointing enabled but TrainerOptions::model is null";
+    LLM_CHECK_GE(options.keep_last_k, 1);
+  }
+  LLM_CHECK_GT(options.lr_backoff, 0.0f);
 }
 
-void Trainer::Run(const std::function<core::Variable()>& loss_fn,
-                  const std::function<void(int64_t)>& eval_fn) {
+util::Status Trainer::ResumeFrom(const std::string& path) {
+  if (options_.model == nullptr) {
+    return util::Status::FailedPrecondition(
+        "ResumeFrom requires TrainerOptions::model");
+  }
+  TrainState state;
+  LLM_RETURN_IF_ERROR(LoadCheckpoint(options_.model, path, &state));
+  if (!state.has_trainer) {
+    return util::Status::FailedPrecondition(
+        "checkpoint carries no trainer state (v1 or weights-only file): " +
+        path);
+  }
+  if (state.has_optimizer) {
+    LLM_RETURN_IF_ERROR(optimizer_->ImportState(state.optimizer));
+  }
+  if (state.has_rng && options_.data_rng != nullptr) {
+    options_.data_rng->RestoreState(state.rng);
+  }
+  history_ = std::move(state.history);
+  start_step_ = state.next_step;
+  lr_scale_ = state.lr_scale;
+  return util::Status::OK();
+}
+
+util::Status Trainer::SaveCheckpointNow(int64_t next_step) {
+  TrainState state;
+  state.has_optimizer = true;
+  state.optimizer = optimizer_->ExportState();
+  if (options_.data_rng != nullptr) {
+    state.has_rng = true;
+    state.rng = options_.data_rng->SaveState();
+  }
+  state.has_trainer = true;
+  state.next_step = next_step;
+  state.lr_scale = lr_scale_;
+  state.history = history_;
+
+  const std::string path =
+      options_.checkpoint_dir + "/" + CheckpointFileName(next_step);
+  LLM_RETURN_IF_ERROR(SaveCheckpoint(*options_.model, path, &state));
+  // Re-saving the same step (after a rollback) must not duplicate the
+  // rotation entry.
+  if (checkpoints_.empty() || checkpoints_.back() != path) {
+    checkpoints_.push_back(path);
+  }
+  while (checkpoints_.size() > static_cast<size_t>(options_.keep_last_k)) {
+    std::remove(checkpoints_.front().c_str());
+    checkpoints_.erase(checkpoints_.begin());
+  }
+  return util::Status::OK();
+}
+
+util::Status Trainer::Rollback(int64_t* resume_step) {
+  // Newest first; skip checkpoints that fail to load (torn, corrupt, or
+  // injected-unreadable) — an older good one still recovers the run.
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+    TrainState state;
+    util::Status s = LoadCheckpoint(options_.model, *it, &state);
+    if (!s.ok()) {
+      std::fprintf(stderr, "[trainer] rollback skipping %s: %s\n",
+                   it->c_str(), s.ToString().c_str());
+      continue;
+    }
+    if (!state.has_trainer || !state.has_optimizer) continue;
+    LLM_RETURN_IF_ERROR(optimizer_->ImportState(state.optimizer));
+    if (state.has_rng && options_.data_rng != nullptr) {
+      options_.data_rng->RestoreState(state.rng);
+    }
+    history_ = std::move(state.history);
+    *resume_step = state.next_step;
+    return util::Status::OK();
+  }
+  return util::Status::NotFound("no loadable checkpoint to roll back to");
+}
+
+util::Status Trainer::HandleDivergence(int64_t step, const std::string& kind,
+                                       const std::string& detail,
+                                       int64_t* resume_step) {
+  Incident incident;
+  incident.step = step;
+  incident.kind = kind;
+  incident.detail = detail;
+  if (recoveries_ >= options_.max_recoveries) {
+    incident.action = "none (recovery budget exhausted)";
+    incident.lr_scale_after = lr_scale_;
+    incidents_.push_back(incident);
+    return util::Status::Internal(
+        "training diverged at step " + std::to_string(step) + " (" + kind +
+        ") after " + std::to_string(recoveries_) +
+        " recoveries; incident log:\n" + FormatIncidents());
+  }
+  ++recoveries_;
+  lr_scale_ *= options_.lr_backoff;
+
+  int64_t target = step;
+  if (!checkpoints_.empty()) {
+    util::Status rolled = Rollback(&target);
+    if (rolled.ok()) {
+      incident.action = "rollback to step " + std::to_string(target);
+    } else {
+      // Every checkpoint unreadable: fall through to skipping the bad
+      // update — parameters were not touched yet, so this is still sound.
+      incident.action = "skip-step (" + rolled.ToString() + ")";
+      optimizer_->ZeroGrad();
+    }
+  } else {
+    incident.action = "skip-step";
+    optimizer_->ZeroGrad();
+  }
+  incident.lr_scale_after = lr_scale_;
+  incidents_.push_back(incident);
+  std::fprintf(stderr,
+               "[trainer] divergence at step %lld (%s): %s; %s, lr scale "
+               "now %.3g\n",
+               static_cast<long long>(step), kind.c_str(), detail.c_str(),
+               incident.action.c_str(), static_cast<double>(lr_scale_));
+  *resume_step = target;
+  just_recovered_ = true;
+  return util::Status::OK();
+}
+
+std::string Trainer::FormatIncidents() const {
+  std::ostringstream os;
+  for (const Incident& inc : incidents_) {
+    os << "  step " << inc.step << " [" << inc.kind << "] " << inc.detail
+       << " -> " << inc.action << " (lr scale " << inc.lr_scale_after
+       << ")\n";
+  }
+  return os.str();
+}
+
+util::Status Trainer::Run(const std::function<core::Variable()>& loss_fn,
+                          const std::function<void(int64_t)>& eval_fn) {
+  const bool checkpointing = !options_.checkpoint_dir.empty();
+  // Without a schedule the optimizer's configured lr is the base that the
+  // divergence backoff scales.
+  const float base_lr = optimizer_->lr();
+  if (checkpointing) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.checkpoint_dir, ec);
+    if (ec) {
+      return util::Status::IOError("cannot create checkpoint dir " +
+                                   options_.checkpoint_dir + ": " +
+                                   ec.message());
+    }
+    // Initial checkpoint: guarantees a rollback target exists before the
+    // first risky step, and marks the run as resumable from step 0.
+    LLM_RETURN_IF_ERROR(SaveCheckpointNow(start_step_));
+  }
+
   history_.reserve(static_cast<size_t>(options_.max_steps));
-  for (int64_t step = 0; step < options_.max_steps; ++step) {
-    if (options_.schedule) optimizer_->set_lr(options_.schedule->LrAt(step));
+  int64_t step = start_step_;
+  while (step < options_.max_steps) {
+    const float lr_base =
+        options_.schedule ? options_.schedule->LrAt(step) : base_lr;
+    optimizer_->set_lr(lr_base * lr_scale_);
+
     core::Variable loss = loss_fn();
+    float loss_val = loss.value()[0];
+    if (util::MaybeInjectFault(util::FaultSite::kLossNaN)) {
+      loss_val = std::nanf("");
+    }
+
+    if (options_.detect_divergence && !std::isfinite(loss_val)) {
+      int64_t resume = step;
+      LLM_RETURN_IF_ERROR(HandleDivergence(
+          step, "nan-loss",
+          "loss is " + std::to_string(static_cast<double>(loss_val)),
+          &resume));
+      step = resume;
+      continue;
+    }
+
     optimizer_->ZeroGrad();
     core::Backward(loss);
+    if (util::MaybeInjectFault(util::FaultSite::kGradExplode)) {
+      for (auto p : optimizer_->params()) {
+        if (p.has_grad()) p.mutable_grad().Scale(1e12f);
+      }
+    }
     const float grad_norm =
         ClipGradNorm(optimizer_->params(), options_.clip_norm);
+    if (!std::isfinite(grad_norm) ||
+        (options_.grad_explode_threshold > 0.0f &&
+         grad_norm > options_.grad_explode_threshold)) {
+      int64_t resume = step;
+      LLM_RETURN_IF_ERROR(HandleDivergence(
+          step, "grad-explosion",
+          "pre-clip |g| = " + std::to_string(static_cast<double>(grad_norm)),
+          &resume));
+      step = resume;
+      continue;
+    }
     optimizer_->Step();
-    history_.push_back(
-        {step, loss.value()[0], optimizer_->lr(), grad_norm});
+
+    StepRecord record{step, loss_val, optimizer_->lr(), grad_norm,
+                      static_cast<uint8_t>(just_recovered_
+                                               ? StepEvent::kRecovered
+                                               : StepEvent::kOk)};
+    just_recovered_ = false;
+    history_.push_back(record);
+
     if (options_.log_every > 0 &&
         (step % options_.log_every == 0 || step + 1 == options_.max_steps)) {
       std::printf("step %6lld  loss %.4f  lr %.2e  |g| %.3f\n",
                   static_cast<long long>(step),
-                  static_cast<double>(loss.value()[0]),
+                  static_cast<double>(loss_val),
                   static_cast<double>(optimizer_->lr()),
                   static_cast<double>(grad_norm));
       std::fflush(stdout);
@@ -37,13 +238,33 @@ void Trainer::Run(const std::function<core::Variable()>& loss_fn,
          step + 1 == options_.max_steps)) {
       eval_fn(step);
     }
+
+    ++step;
+    if (checkpointing &&
+        ((options_.checkpoint_every > 0 &&
+          step % options_.checkpoint_every == 0) ||
+         step == options_.max_steps)) {
+      util::Status saved = SaveCheckpointNow(step);
+      if (!saved.ok()) {
+        // A failed save must not kill a healthy run: the previous
+        // checkpoint is still intact (writes are atomic). Log and go on.
+        incidents_.push_back({step, "checkpoint-write", saved.ToString(),
+                              "continue on last good checkpoint",
+                              lr_scale_});
+        std::fprintf(stderr, "[trainer] checkpoint at step %lld failed: %s\n",
+                     static_cast<long long>(step),
+                     saved.ToString().c_str());
+      }
+    }
   }
+  return util::Status::OK();
 }
 
 float Trainer::RecentLoss(int64_t n) const {
   if (history_.empty()) return 0.0f;
   const int64_t count =
       std::min<int64_t>(n, static_cast<int64_t>(history_.size()));
+  if (count <= 0) return 0.0f;
   double sum = 0.0;
   for (int64_t i = 0; i < count; ++i) {
     sum += history_[history_.size() - 1 - static_cast<size_t>(i)].loss;

@@ -4,14 +4,33 @@
 // forward graph for one batch and returns the scalar loss Variable) and an
 // optimizer; the trainer runs Backward, optional gradient clipping, the
 // optimizer step, the LR schedule, and records the loss history.
+//
+// Fault tolerance (all opt-in via TrainerOptions):
+//   * Periodic crash-safe checkpoints (format v2: weights + optimizer
+//     moments + RNG stream + step history) with keep-last-k rotation.
+//   * ResumeFrom(path): continue a killed run bit-exactly from its last
+//     checkpoint — same batches, same moments, same loss curve.
+//   * Divergence recovery: a NaN/Inf loss or an exploding gradient norm
+//     rolls the run back to the last good checkpoint (or skips the bad
+//     update when no checkpoint exists), shrinks the learning rate by
+//     lr_backoff, and retries, up to max_recoveries times. Every incident
+//     is recorded; exhausting the budget surfaces Status::Internal with
+//     the full incident log.
 #ifndef TFMR_TRAIN_TRAINER_H_
 #define TFMR_TRAIN_TRAINER_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "train/optimizer.h"
 #include "train/schedule.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace llm::nn {
+class Module;
+}  // namespace llm::nn
 
 namespace llm::train {
 
@@ -26,6 +45,38 @@ struct TrainerOptions {
   const LrSchedule* schedule = nullptr;
   /// Print progress lines every this many steps; 0 = silent.
   int64_t log_every = 0;
+
+  // --- Checkpointing (enabled when checkpoint_dir is non-empty) ---
+  /// Directory for periodic checkpoints; created if missing. Requires
+  /// `model` to be set.
+  std::string checkpoint_dir;
+  /// Save every this many steps (plus one initial and one final save);
+  /// 0 = only initial and final.
+  int64_t checkpoint_every = 0;
+  /// Retain at most this many most-recent checkpoints (>= 1).
+  int keep_last_k = 2;
+  /// The module whose weights the checkpoints capture.
+  nn::Module* model = nullptr;
+  /// Data-sampling RNG used by the loss closure; saved/restored so a
+  /// resumed run replays the exact batch sequence. Optional.
+  util::Rng* data_rng = nullptr;
+
+  // --- Divergence detection & recovery ---
+  /// Treat a NaN/Inf loss as a divergence (vs silently recording it).
+  bool detect_divergence = true;
+  /// Pre-clip grad norm above this is a divergence; 0 disables the check.
+  float grad_explode_threshold = 0.0f;
+  /// Recoveries (rollback or skip) allowed before Run gives up with
+  /// Status::Internal; 0 = fail on first divergence.
+  int max_recoveries = 0;
+  /// LR multiplier applied on every recovery (cumulative).
+  float lr_backoff = 0.5f;
+};
+
+enum class StepEvent : uint8_t {
+  kOk = 0,
+  kDiverged = 1,   // this step's loss/grad was rejected
+  kRecovered = 2,  // first step re-run after a rollback / skip
 };
 
 struct StepRecord {
@@ -33,26 +84,87 @@ struct StepRecord {
   float loss = 0.0f;
   float lr = 0.0f;
   float grad_norm = 0.0f;
+  uint8_t event = 0;  // StepEvent
+};
+
+/// One divergence (or checkpoint failure) and how the trainer responded.
+struct Incident {
+  int64_t step = 0;
+  std::string kind;    // "nan-loss", "grad-explosion", "checkpoint-write"
+  std::string detail;  // human-readable context
+  /// Action taken: "rollback:<path>", "skip-step", "none (budget
+  /// exhausted)", ...
+  std::string action;
+  float lr_scale_after = 1.0f;
 };
 
 class Trainer {
  public:
   Trainer(Optimizer* optimizer, const TrainerOptions& options);
 
-  /// Runs the loop. `loss_fn` is called once per step. `eval_fn`, if given,
-  /// is called with the current step per TrainerOptions::eval_every.
-  void Run(const std::function<core::Variable()>& loss_fn,
-           const std::function<void(int64_t step)>& eval_fn = {});
+  /// Runs the loop from the current start step (0, or wherever ResumeFrom
+  /// landed). `loss_fn` is called once per step. `eval_fn`, if given, is
+  /// called with the current step per TrainerOptions::eval_every.
+  ///
+  /// Returns OK when max_steps completed; Status::Internal when the
+  /// divergence-recovery budget is exhausted (message carries the incident
+  /// log); or the underlying IO error when checkpointing is enabled and
+  /// even the initial checkpoint cannot be written.
+  util::Status Run(const std::function<core::Variable()>& loss_fn,
+                   const std::function<void(int64_t step)>& eval_fn = {});
+
+  /// Restores model weights, optimizer state, RNG stream, step history,
+  /// and LR backoff scale from a v2 checkpoint written by this trainer,
+  /// so the next Run continues the interrupted run bit-exactly. Call
+  /// before Run. Requires options.model; fails with kFailedPrecondition
+  /// on a v1 / weights-only checkpoint.
+  util::Status ResumeFrom(const std::string& path);
 
   const std::vector<StepRecord>& history() const { return history_; }
 
-  /// Mean loss over the last `n` recorded steps.
+  /// Divergences and checkpoint failures encountered so far (survives
+  /// rollbacks, unlike history).
+  const std::vector<Incident>& incidents() const { return incidents_; }
+
+  /// Incident log formatted one-per-line (used in Status messages).
+  std::string FormatIncidents() const;
+
+  /// First step the next Run will execute (> 0 after ResumeFrom).
+  int64_t start_step() const { return start_step_; }
+
+  /// Mean loss over the last `n` recorded steps; 0 when no history.
   float RecentLoss(int64_t n = 50) const;
 
  private:
+  /// Writes a full v2 checkpoint capturing "about to run `next_step`",
+  /// rotating out old files beyond keep_last_k.
+  util::Status SaveCheckpointNow(int64_t next_step);
+
+  /// Rolls back to the newest loadable checkpoint (skipping corrupt or
+  /// unreadable ones). On success sets *resume_step. Fails when no
+  /// checkpoint can be loaded.
+  util::Status Rollback(int64_t* resume_step);
+
+  /// Handles one divergence at `step`: rollback or skip, backoff, record
+  /// the incident. Returns OK and sets *resume_step to continue, or
+  /// Status::Internal when the recovery budget is exhausted.
+  util::Status HandleDivergence(int64_t step, const std::string& kind,
+                                const std::string& detail,
+                                int64_t* resume_step);
+
   Optimizer* optimizer_;
   TrainerOptions options_;
   std::vector<StepRecord> history_;
+  std::vector<Incident> incidents_;
+  /// Checkpoints written this run, oldest first (for rotation/rollback).
+  std::vector<std::string> checkpoints_;
+  int64_t start_step_ = 0;
+  /// Cumulative LR backoff from divergence recoveries (persisted in
+  /// checkpoints).
+  float lr_scale_ = 1.0f;
+  int recoveries_ = 0;
+  /// True for the first step executed after a recovery (marks the record).
+  bool just_recovered_ = false;
 };
 
 }  // namespace llm::train

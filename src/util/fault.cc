@@ -1,0 +1,91 @@
+#include "util/fault.h"
+
+#include <algorithm>
+
+namespace llm::util {
+
+namespace internal {
+std::atomic<bool> g_fault_armed{false};
+}  // namespace internal
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kCheckpointWrite:
+      return "checkpoint-write";
+    case FaultSite::kCheckpointRead:
+      return "checkpoint-read";
+    case FaultSite::kLossNaN:
+      return "loss-nan";
+    case FaultSite::kGradExplode:
+      return "grad-explode";
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::ResetCounters() {
+  for (Plan& p : plans_) {
+    p.seen = 0;
+    p.fired = 0;
+  }
+}
+
+void FaultInjector::ArmAt(FaultSite site, std::vector<int64_t> occurrences) {
+  ResetCounters();
+  Plan& p = plans_[static_cast<int>(site)];
+  std::sort(occurrences.begin(), occurrences.end());
+  p.occurrences = std::move(occurrences);
+  p.probabilistic = false;
+  p.armed = true;
+  internal::g_fault_armed.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmRandom(FaultSite site, double p_fail, uint64_t seed) {
+  ResetCounters();
+  Plan& p = plans_[static_cast<int>(site)];
+  p.occurrences.clear();
+  p.probability = p_fail;
+  p.probabilistic = true;
+  p.rng.Seed(seed);
+  p.armed = true;
+  internal::g_fault_armed.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  for (Plan& p : plans_) {
+    p.armed = false;
+    p.occurrences.clear();
+    p.probabilistic = false;
+  }
+  ResetCounters();
+  internal::g_fault_armed.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFire(FaultSite site) {
+  Plan& p = plans_[static_cast<int>(site)];
+  const int64_t occurrence = p.seen++;
+  if (!p.armed) return false;
+  bool fire;
+  if (p.probabilistic) {
+    fire = p.rng.Bernoulli(p.probability);
+  } else {
+    fire = std::binary_search(p.occurrences.begin(), p.occurrences.end(),
+                              occurrence);
+  }
+  if (fire) ++p.fired;
+  return fire;
+}
+
+int64_t FaultInjector::Occurrences(FaultSite site) const {
+  return plans_[static_cast<int>(site)].seen;
+}
+
+int64_t FaultInjector::Fired(FaultSite site) const {
+  return plans_[static_cast<int>(site)].fired;
+}
+
+}  // namespace llm::util

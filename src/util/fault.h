@@ -1,0 +1,103 @@
+// Deterministic fault injection for testing recovery paths.
+//
+// Production code marks recoverable failure sites with MaybeInjectFault():
+//
+//   if (util::MaybeInjectFault(util::FaultSite::kCheckpointWrite)) {
+//     return util::Status::IOError("injected checkpoint write fault");
+//   }
+//
+// Tests arm a plan before exercising the code under test:
+//
+//   util::FaultInjector::Global().ArmAt(util::FaultSite::kLossNaN, {3});
+//   ... run ...
+//   util::FaultInjector::Global().Disarm();
+//
+// Occurrences of each site are counted from zero every time Disarm() (or
+// ArmAt/ArmRandom, which reset counters) is called, so "fire at occurrence
+// 3" is reproducible run to run. ArmRandom() draws from a seeded Rng, so
+// probabilistic plans are also deterministic.
+//
+// Cost when nothing is armed: MaybeInjectFault is a single relaxed atomic
+// load that branches away — hot paths pay nothing. The injector is not
+// thread-safe; arm and fire from one thread (tests are single-threaded).
+#ifndef TFMR_UTIL_FAULT_H_
+#define TFMR_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace llm::util {
+
+/// Named injection sites. Keep in sync with FaultSiteName().
+enum class FaultSite : int {
+  kCheckpointWrite = 0,  // SaveCheckpoint: torn write before the rename
+  kCheckpointRead = 1,   // LoadCheckpoint: unreadable file
+  kLossNaN = 2,          // Trainer: loss comes back NaN
+  kGradExplode = 3,      // Trainer: gradients blow up after backward
+};
+inline constexpr int kNumFaultSites = 4;
+
+const char* FaultSiteName(FaultSite site);
+
+namespace internal {
+extern std::atomic<bool> g_fault_armed;
+}  // namespace internal
+
+/// True iff any fault plan is armed. Single relaxed load — safe to call on
+/// hot paths.
+inline bool FaultInjectionArmed() {
+  return internal::g_fault_armed.load(std::memory_order_relaxed);
+}
+
+/// Process-wide registry of armed fault plans and occurrence counters.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Fires at exactly the given zero-based occurrence indices of `site`.
+  /// Resets all occurrence/fired counters.
+  void ArmAt(FaultSite site, std::vector<int64_t> occurrences);
+
+  /// Fires each occurrence independently with probability `p`, drawn from
+  /// an Rng seeded with `seed`. Resets all counters.
+  void ArmRandom(FaultSite site, double p, uint64_t seed);
+
+  /// Clears every plan and counter; MaybeInjectFault returns to no-op.
+  void Disarm();
+
+  /// Counts one occurrence of `site`; returns true if the armed plan says
+  /// this occurrence fails. Prefer MaybeInjectFault() at call sites.
+  bool ShouldFire(FaultSite site);
+
+  /// How many times `site` was reached / actually fired since last arm.
+  int64_t Occurrences(FaultSite site) const;
+  int64_t Fired(FaultSite site) const;
+
+ private:
+  FaultInjector() = default;
+
+  struct Plan {
+    bool armed = false;
+    std::vector<int64_t> occurrences;  // sorted; empty when probabilistic
+    double probability = 0.0;
+    bool probabilistic = false;
+    Rng rng;
+    int64_t seen = 0;
+    int64_t fired = 0;
+  };
+  void ResetCounters();
+
+  Plan plans_[kNumFaultSites];
+};
+
+/// The one call production code makes at an injection site.
+inline bool MaybeInjectFault(FaultSite site) {
+  return FaultInjectionArmed() && FaultInjector::Global().ShouldFire(site);
+}
+
+}  // namespace llm::util
+
+#endif  // TFMR_UTIL_FAULT_H_

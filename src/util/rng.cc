@@ -100,4 +100,18 @@ size_t Rng::Categorical(const std::vector<float>& weights) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+RngState Rng::SaveState() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+  st.have_cached_normal = have_cached_normal_;
+  st.cached_normal = cached_normal_;
+  return st;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.s[i];
+  have_cached_normal_ = state.have_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace llm::util

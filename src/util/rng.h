@@ -16,6 +16,15 @@
 
 namespace llm::util {
 
+/// Complete serializable Rng state: the 256-bit xoshiro state plus the
+/// Box-Muller cache. Restoring it resumes the exact random stream, which
+/// checkpoint/resume relies on for bit-exact training replays.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool have_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// Seedable xoshiro256** generator with convenience distributions.
 class Rng {
  public:
@@ -62,6 +71,10 @@ class Rng {
 
   /// Derives an independent child generator (for per-worker streams).
   Rng Fork();
+
+  /// Snapshot / restore the full generator state (for checkpointing).
+  RngState SaveState() const;
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t state_[4];

@@ -135,11 +135,23 @@ class StatusOr {
   } while (0)
 
 /// Assign from a StatusOr or propagate its error.
-#define LLM_ASSIGN_OR_RETURN(lhs, expr)                       \
-  auto LLM_CONCAT_(_llm_sor_, __LINE__) = (expr);             \
-  if (!LLM_CONCAT_(_llm_sor_, __LINE__).ok())                 \
-    return LLM_CONCAT_(_llm_sor_, __LINE__).status();         \
-  lhs = std::move(LLM_CONCAT_(_llm_sor_, __LINE__)).value()
+///
+/// Expands to multiple statements (it must declare a temporary whose scope
+/// outlives the macro when `lhs` is a declaration), so use it inside a
+/// braced block. The internal `if` carries braces and an empty `else` so a
+/// surrounding `else` can never be captured (no dangling-else), and the
+/// temporary's name uses __COUNTER__ so two expansions — even on the same
+/// source line, e.g. via another macro — never collide.
+#define LLM_ASSIGN_OR_RETURN(lhs, expr) \
+  LLM_ASSIGN_OR_RETURN_IMPL_(LLM_CONCAT_(_llm_sor_, __COUNTER__), lhs, expr)
+
+#define LLM_ASSIGN_OR_RETURN_IMPL_(sor, lhs, expr) \
+  auto sor = (expr);                               \
+  if (!sor.ok()) {                                 \
+    return sor.status();                           \
+  } else { /* block any dangling else */           \
+  }                                                \
+  lhs = std::move(sor).value()
 
 #define LLM_CONCAT_INNER_(a, b) a##b
 #define LLM_CONCAT_(a, b) LLM_CONCAT_INNER_(a, b)

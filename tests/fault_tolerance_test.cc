@@ -1,0 +1,502 @@
+// End-to-end tests for the fault-tolerant training runtime: crash-safe v2
+// checkpoints, bit-exact kill-and-resume, divergence rollback/skip
+// recovery, and the deterministic fault-injection layer that drives them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "train/checkpoint.h"
+#include "train/optimizer.h"
+#include "train/trainer.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace llm::train {
+namespace {
+
+namespace fs = std::filesystem;
+using util::FaultInjector;
+using util::FaultSite;
+
+/// Fresh scratch directory per test; removed on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_((fs::temp_directory_path() / name).string()) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Every test must leave the global injector disarmed.
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Disarm(); }
+};
+
+/// Stochastic regression loss: the batch comes from `rng`, so bit-exact
+/// resume requires restoring the RNG stream, not just the weights.
+std::function<core::Variable()> MakeLossFn(nn::Mlp* model, util::Rng* rng) {
+  return [model, rng] {
+    core::Variable x(core::Tensor::RandomNormal({2, 4}, rng), false);
+    core::Variable y = model->Forward(x);
+    return core::SumAll(core::Mul(y, y));
+  };
+}
+
+float MaxParamDiff(const nn::Module& a, const nn::Module& b) {
+  auto pa = a.NamedParameters();
+  auto pb = b.NamedParameters();
+  EXPECT_EQ(pa.size(), pb.size());
+  float worst = 0.0f;
+  for (size_t i = 0; i < pa.size(); ++i) {
+    worst = std::max(worst, core::Tensor::MaxAbsDiff(pa[i].second.value(),
+                                                     pb[i].second.value()));
+  }
+  return worst;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint format v2: atomicity and corruption detection.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultToleranceTest, TornWriteNeverCorruptsDestination) {
+  ScratchDir dir("tfmr_torn_write");
+  const std::string path = dir.path() + "/ckpt_000000000.tfmr";
+  util::Rng rng(7);
+  nn::Mlp model(4, 8, 2, &rng);
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+
+  // Change the weights, then crash mid-write of the second save.
+  model.NamedParameters()[0].second.mutable_value().Fill(123.0f);
+  FaultInjector::Global().ArmAt(FaultSite::kCheckpointWrite, {0});
+  util::Status torn = SaveCheckpoint(model, path);
+  EXPECT_EQ(torn.code(), util::StatusCode::kIOError);
+  FaultInjector::Global().Disarm();
+
+  // The destination still holds the complete first snapshot.
+  nn::Mlp restored(4, 8, 2, &rng);
+  ASSERT_TRUE(LoadCheckpoint(&restored, path).ok());
+  EXPECT_NE(restored.NamedParameters()[0].second.value()[0], 123.0f);
+
+  // And a later save (fault cleared) goes through over the stale tmp file.
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+  ASSERT_TRUE(LoadCheckpoint(&restored, path).ok());
+  EXPECT_EQ(restored.NamedParameters()[0].second.value()[0], 123.0f);
+}
+
+TEST_F(FaultToleranceTest, ChecksumCorruptionRejected) {
+  ScratchDir dir("tfmr_crc");
+  const std::string path = dir.path() + "/ckpt_000000000.tfmr";
+  util::Rng rng(8);
+  nn::Mlp model(4, 8, 2, &rng);
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+
+  // Flip one byte inside the last tensor's data (just before the footer).
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<int64_t>(f.tellg());
+    f.seekp(size - 10);
+    char b = 0;
+    f.seekg(size - 10);
+    f.read(&b, 1);
+    b ^= 0x5A;
+    f.seekp(size - 10);
+    f.write(&b, 1);
+  }
+  nn::Mlp victim(4, 8, 2, &rng);
+  util::Status s = LoadCheckpoint(&victim, path);
+  EXPECT_EQ(s.code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("checksum mismatch"), std::string::npos) << s;
+}
+
+TEST_F(FaultToleranceTest, TruncationRejectedAsIOError) {
+  ScratchDir dir("tfmr_trunc");
+  const std::string path = dir.path() + "/ckpt_000000000.tfmr";
+  util::Rng rng(9);
+  nn::Mlp model(4, 8, 2, &rng);
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+  fs::resize_file(path, fs::file_size(path) - 20);
+  util::Status s = LoadCheckpoint(&model, path);
+  EXPECT_EQ(s.code(), util::StatusCode::kIOError);
+  EXPECT_NE(s.message().find("truncated"), std::string::npos) << s;
+}
+
+TEST_F(FaultToleranceTest, BadMagicRejectedAsFailedPrecondition) {
+  ScratchDir dir("tfmr_magic");
+  const std::string path = dir.path() + "/bogus.tfmr";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOTACKPTxxxxxxxxxxxxxxxxxxxxxxxx";
+  }
+  util::Rng rng(10);
+  nn::Mlp model(4, 8, 2, &rng);
+  util::Status s = LoadCheckpoint(&model, path);
+  EXPECT_EQ(s.code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("magic"), std::string::npos) << s;
+}
+
+TEST_F(FaultToleranceTest, ShapeDriftRejected) {
+  ScratchDir dir("tfmr_drift");
+  const std::string path = dir.path() + "/ckpt_000000000.tfmr";
+  util::Rng rng(11);
+  nn::Mlp model(4, 8, 2, &rng);
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+  nn::Mlp wider(4, 16, 2, &rng);
+  util::Status s = LoadCheckpoint(&wider, path);
+  EXPECT_EQ(s.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FaultToleranceTest, V1CheckpointStillLoadsWeightsOnly) {
+  ScratchDir dir("tfmr_v1");
+  const std::string path = dir.path() + "/legacy.bin";
+  util::Rng rng(12);
+  nn::Mlp model(4, 8, 2, &rng);
+
+  // Hand-write the legacy v1 layout (no version, no checksums).
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("TFMRCKPT", 8);
+    const nn::NamedParams params = model.NamedParameters();
+    const uint64_t count = params.size();
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const auto& [name, var] : params) {
+      const auto name_len = static_cast<uint32_t>(name.size());
+      out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+      out.write(name.data(), name_len);
+      const core::Tensor& t = var.value();
+      const auto ndim = static_cast<uint32_t>(t.ndim());
+      out.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+      for (int i = 0; i < t.ndim(); ++i) {
+        const int64_t d = t.dim(i);
+        out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+      }
+      out.write(reinterpret_cast<const char*>(t.data()),
+                static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    }
+  }
+
+  nn::Mlp restored(4, 8, 2, &rng);  // different init
+  TrainState state;
+  ASSERT_TRUE(LoadCheckpoint(&restored, path, &state).ok());
+  EXPECT_EQ(MaxParamDiff(model, restored), 0.0f);
+  EXPECT_FALSE(state.has_optimizer);
+  EXPECT_FALSE(state.has_rng);
+  EXPECT_FALSE(state.has_trainer);
+
+  // But resuming *training* from a weights-only file is refused.
+  Sgd opt(restored.Parameters(), 0.1f);
+  TrainerOptions topts;
+  topts.model = &restored;
+  Trainer trainer(&opt, topts);
+  EXPECT_EQ(trainer.ResumeFrom(path).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FaultToleranceTest, LatestCheckpointFindsNewest) {
+  ScratchDir dir("tfmr_latest");
+  EXPECT_EQ(LatestCheckpoint(dir.path()).status().code(),
+            util::StatusCode::kNotFound);
+  util::Rng rng(13);
+  nn::Mlp model(4, 8, 2, &rng);
+  ASSERT_TRUE(
+      SaveCheckpoint(model, dir.path() + "/" + CheckpointFileName(3)).ok());
+  ASSERT_TRUE(
+      SaveCheckpoint(model, dir.path() + "/" + CheckpointFileName(12)).ok());
+  auto latest = LatestCheckpoint(dir.path());
+  ASSERT_TRUE(latest.ok());
+  EXPECT_NE(latest.value().find(CheckpointFileName(12)), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer state round-trip (AdamW moments).
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultToleranceTest, AdamWStateRoundTripIsBitExact) {
+  const uint64_t kInitSeed = 21, kDataSeed = 22;
+  auto make_model = [](uint64_t seed) {
+    util::Rng r(seed);
+    return nn::Mlp(4, 8, 2, &r);
+  };
+
+  // Reference: 3 warmup steps, snapshot, then 2 more uninterrupted steps.
+  nn::Mlp ref = make_model(kInitSeed);
+  AdamWOptions aopts;
+  aopts.lr = 1e-2f;
+  aopts.weight_decay = 0.1f;
+  AdamW ref_opt(ref.Parameters(), aopts);
+  util::Rng ref_rng(kDataSeed);
+  auto ref_loss = MakeLossFn(&ref, &ref_rng);
+  auto one_step = [](const std::function<core::Variable()>& loss_fn,
+                     Optimizer* opt) {
+    core::Variable loss = loss_fn();
+    opt->ZeroGrad();
+    core::Backward(loss);
+    opt->Step();
+  };
+  for (int i = 0; i < 3; ++i) one_step(ref_loss, &ref_opt);
+
+  ScratchDir dir("tfmr_adamw_rt");
+  const std::string path = dir.path() + "/" + CheckpointFileName(3);
+  TrainState state;
+  state.has_optimizer = true;
+  state.optimizer = ref_opt.ExportState();
+  state.has_rng = true;
+  state.rng = ref_rng.SaveState();
+  state.has_trainer = true;
+  state.next_step = 3;
+  ASSERT_TRUE(SaveCheckpoint(ref, path, &state).ok());
+
+  for (int i = 0; i < 2; ++i) one_step(ref_loss, &ref_opt);
+
+  // Restore into a *differently initialized* model + fresh optimizer.
+  nn::Mlp resumed = make_model(kInitSeed + 100);
+  AdamW resumed_opt(resumed.Parameters(), aopts);
+  util::Rng resumed_rng(0);
+  TrainState loaded;
+  ASSERT_TRUE(LoadCheckpoint(&resumed, path, &loaded).ok());
+  ASSERT_TRUE(loaded.has_optimizer);
+  ASSERT_TRUE(resumed_opt.ImportState(loaded.optimizer).ok());
+  EXPECT_EQ(resumed_opt.step_count(), 3);
+  resumed_rng.RestoreState(loaded.rng);
+
+  auto resumed_loss = MakeLossFn(&resumed, &resumed_rng);
+  for (int i = 0; i < 2; ++i) one_step(resumed_loss, &resumed_opt);
+
+  // Same batches, same moments, same bias correction -> identical bits.
+  EXPECT_EQ(MaxParamDiff(ref, resumed), 0.0f);
+}
+
+TEST_F(FaultToleranceTest, ImportStateRejectsWrongOptimizer) {
+  util::Rng rng(31);
+  nn::Mlp model(4, 8, 2, &rng);
+  AdamWOptions aopts;
+  AdamW adamw(model.Parameters(), aopts);
+  Sgd sgd(model.Parameters(), 0.1f, 0.9f);
+  OptimizerState state = adamw.ExportState();
+  EXPECT_EQ(sgd.ImportState(state).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Trainer: kill-and-resume and divergence recovery.
+// ---------------------------------------------------------------------------
+
+struct TrainRig {
+  std::unique_ptr<nn::Mlp> model;
+  std::unique_ptr<AdamW> opt;
+  std::unique_ptr<util::Rng> data_rng;
+  std::unique_ptr<Trainer> trainer;
+};
+
+TrainRig MakeRun(uint64_t init_seed, const TrainerOptions& base,
+            const std::string& ckpt_dir) {
+  TrainRig r;
+  util::Rng init(init_seed);
+  r.model = std::make_unique<nn::Mlp>(4, 8, 2, &init);
+  AdamWOptions aopts;
+  aopts.lr = 1e-2f;
+  r.opt = std::make_unique<AdamW>(r.model->Parameters(), aopts);
+  r.data_rng = std::make_unique<util::Rng>(99);
+  TrainerOptions topts = base;
+  topts.checkpoint_dir = ckpt_dir;
+  topts.model = r.model.get();
+  topts.data_rng = r.data_rng.get();
+  r.trainer = std::make_unique<Trainer>(r.opt.get(), topts);
+  return r;
+}
+
+TEST_F(FaultToleranceTest, KillAndResumeIsBitExact) {
+  TrainerOptions base;
+  base.max_steps = 10;
+  base.checkpoint_every = 3;
+  base.keep_last_k = 2;
+
+  // A: uninterrupted 10 steps.
+  ScratchDir dir_a("tfmr_resume_a");
+  TrainRig a = MakeRun(41, base, dir_a.path());
+  ASSERT_TRUE(
+      a.trainer->Run(MakeLossFn(a.model.get(), a.data_rng.get())).ok());
+
+  // B: identical run killed after 6 steps (max_steps=6 stands in for the
+  // kill; the final checkpoint at next_step=6 is what a crash would leave
+  // from the periodic save).
+  ScratchDir dir_b("tfmr_resume_b");
+  TrainerOptions interrupted = base;
+  interrupted.max_steps = 6;
+  TrainRig b = MakeRun(41, interrupted, dir_b.path());
+  ASSERT_TRUE(
+      b.trainer->Run(MakeLossFn(b.model.get(), b.data_rng.get())).ok());
+
+  // C: fresh process — different init, default RNG — resumed from B's
+  // last checkpoint, finishing the 10 steps.
+  TrainRig c = MakeRun(4141, base, dir_b.path());
+  auto latest = LatestCheckpoint(dir_b.path());
+  ASSERT_TRUE(latest.ok()) << latest.status();
+  ASSERT_TRUE(c.trainer->ResumeFrom(latest.value()).ok());
+  EXPECT_EQ(c.trainer->start_step(), 6);
+  ASSERT_TRUE(
+      c.trainer->Run(MakeLossFn(c.model.get(), c.data_rng.get())).ok());
+
+  // The resumed run reproduces the uninterrupted one bit for bit: same
+  // weights, same loss curve, same grad norms.
+  EXPECT_EQ(MaxParamDiff(*a.model, *c.model), 0.0f);
+  ASSERT_EQ(c.trainer->history().size(), a.trainer->history().size());
+  for (size_t i = 0; i < a.trainer->history().size(); ++i) {
+    EXPECT_EQ(a.trainer->history()[i].step, c.trainer->history()[i].step);
+    EXPECT_EQ(a.trainer->history()[i].loss, c.trainer->history()[i].loss)
+        << "step " << i;
+    EXPECT_EQ(a.trainer->history()[i].grad_norm,
+              c.trainer->history()[i].grad_norm);
+  }
+}
+
+TEST_F(FaultToleranceTest, CheckpointRotationKeepsLastK) {
+  ScratchDir dir("tfmr_rotate");
+  TrainerOptions base;
+  base.max_steps = 9;
+  base.checkpoint_every = 2;
+  base.keep_last_k = 2;
+  TrainRig r = MakeRun(43, base, dir.path());
+  ASSERT_TRUE(
+      r.trainer->Run(MakeLossFn(r.model.get(), r.data_rng.get())).ok());
+  size_t kept = 0;
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    if (e.path().filename().string().rfind("ckpt_", 0) == 0) ++kept;
+  }
+  EXPECT_EQ(kept, 2u);
+}
+
+TEST_F(FaultToleranceTest, NaNLossRollsBackAndFinishes) {
+  ScratchDir dir("tfmr_nan");
+  TrainerOptions base;
+  base.max_steps = 8;
+  base.checkpoint_every = 2;
+  base.max_recoveries = 2;
+  base.lr_backoff = 0.5f;
+  TrainRig r = MakeRun(44, base, dir.path());
+
+  FaultInjector::Global().ArmAt(FaultSite::kLossNaN, {4});
+  util::Status s =
+      r.trainer->Run(MakeLossFn(r.model.get(), r.data_rng.get()));
+  ASSERT_TRUE(s.ok()) << s;
+
+  ASSERT_EQ(r.trainer->incidents().size(), 1u);
+  const Incident& inc = r.trainer->incidents()[0];
+  EXPECT_EQ(inc.kind, "nan-loss");
+  EXPECT_EQ(inc.step, 4);
+  EXPECT_NE(inc.action.find("rollback to step 4"), std::string::npos);
+  EXPECT_FLOAT_EQ(inc.lr_scale_after, 0.5f);
+
+  // The history is complete and contiguous despite the divergence...
+  ASSERT_EQ(r.trainer->history().size(), 8u);
+  for (int64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(r.trainer->history()[static_cast<size_t>(i)].step, i);
+  }
+  // ...the re-run step is flagged, and later steps ran at the backed-off
+  // learning rate.
+  EXPECT_EQ(r.trainer->history()[4].event,
+            static_cast<uint8_t>(StepEvent::kRecovered));
+  EXPECT_FLOAT_EQ(r.trainer->history()[7].lr, 1e-2f * 0.5f);
+}
+
+TEST_F(FaultToleranceTest, GradExplosionSkipsStepWithoutCheckpoints) {
+  TrainerOptions base;
+  base.max_steps = 6;
+  base.grad_explode_threshold = 1e6f;
+  base.max_recoveries = 1;
+  TrainRig r = MakeRun(45, base, /*ckpt_dir=*/"");
+
+  FaultInjector::Global().ArmAt(FaultSite::kGradExplode, {2});
+  util::Status s =
+      r.trainer->Run(MakeLossFn(r.model.get(), r.data_rng.get()));
+  ASSERT_TRUE(s.ok()) << s;
+  ASSERT_EQ(r.trainer->incidents().size(), 1u);
+  EXPECT_EQ(r.trainer->incidents()[0].kind, "grad-explosion");
+  EXPECT_EQ(r.trainer->incidents()[0].action, "skip-step");
+  ASSERT_EQ(r.trainer->history().size(), 6u);
+  for (const StepRecord& rec : r.trainer->history()) {
+    EXPECT_LT(rec.grad_norm, 1e6f);
+  }
+}
+
+TEST_F(FaultToleranceTest, ExhaustedRecoveryBudgetSurfacesIncidentLog) {
+  TrainerOptions base;
+  base.max_steps = 6;
+  base.max_recoveries = 2;
+  TrainRig r = MakeRun(46, base, /*ckpt_dir=*/"");
+
+  // Every attempt at the loss produces NaN: two recoveries, then give up.
+  FaultInjector::Global().ArmAt(FaultSite::kLossNaN,
+                                {0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  util::Status s =
+      r.trainer->Run(MakeLossFn(r.model.get(), r.data_rng.get()));
+  EXPECT_EQ(s.code(), util::StatusCode::kInternal);
+  EXPECT_NE(s.message().find("incident log"), std::string::npos) << s;
+  EXPECT_NE(s.message().find("nan-loss"), std::string::npos) << s;
+  EXPECT_EQ(r.trainer->incidents().size(), 3u);  // 2 recoveries + final
+}
+
+TEST_F(FaultToleranceTest, RollbackSkipsUnreadableCheckpoint) {
+  ScratchDir dir("tfmr_skip_corrupt");
+  TrainerOptions base;
+  base.max_steps = 6;
+  base.checkpoint_every = 2;
+  base.keep_last_k = 3;
+  base.max_recoveries = 1;
+  TrainRig r = MakeRun(47, base, dir.path());
+
+  // Step 5 diverges; the newest checkpoint (step 4) is unreadable, so the
+  // rollback must fall back to the one before it (step 2).
+  FaultInjector::Global().ArmAt(FaultSite::kLossNaN, {5});
+  FaultInjector::Global().ArmAt(FaultSite::kCheckpointRead, {0});
+  util::Status s =
+      r.trainer->Run(MakeLossFn(r.model.get(), r.data_rng.get()));
+  ASSERT_TRUE(s.ok()) << s;
+  ASSERT_EQ(r.trainer->incidents().size(), 1u);
+  EXPECT_NE(r.trainer->incidents()[0].action.find("rollback to step 2"),
+            std::string::npos)
+      << r.trainer->incidents()[0].action;
+  ASSERT_EQ(r.trainer->history().size(), 6u);
+}
+
+TEST_F(FaultToleranceTest, TrainerSurvivesInjectedCheckpointWriteFailure) {
+  ScratchDir dir("tfmr_ckpt_fail");
+  TrainerOptions base;
+  base.max_steps = 6;
+  base.checkpoint_every = 2;
+  TrainRig r = MakeRun(48, base, dir.path());
+
+  // The save after step 2 tears (save #0 is the initial checkpoint, #1 is
+  // at step 2); training must continue on the last good checkpoint.
+  FaultInjector::Global().ArmAt(FaultSite::kCheckpointWrite, {1});
+  util::Status s =
+      r.trainer->Run(MakeLossFn(r.model.get(), r.data_rng.get()));
+  ASSERT_TRUE(s.ok()) << s;
+  ASSERT_EQ(r.trainer->history().size(), 6u);
+  ASSERT_EQ(r.trainer->incidents().size(), 1u);
+  EXPECT_EQ(r.trainer->incidents()[0].kind, "checkpoint-write");
+  // The final (successful) checkpoint is resumable.
+  auto latest = LatestCheckpoint(dir.path());
+  ASSERT_TRUE(latest.ok());
+  TrainRig fresh = MakeRun(480, base, dir.path());
+  EXPECT_TRUE(fresh.trainer->ResumeFrom(latest.value()).ok());
+  EXPECT_EQ(fresh.trainer->start_step(), 6);
+}
+
+}  // namespace
+}  // namespace llm::train

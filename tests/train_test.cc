@@ -123,6 +123,30 @@ TEST(TrainerTest, RecordsHistoryAndAppliesSchedule) {
   EXPECT_GT(trainer.RecentLoss(5), 0.0f);
 }
 
+TEST(TrainerTest, RecentLossSafeOnEmptyHistoryAndZeroWindow) {
+  core::Variable x(core::Tensor({1}), true);
+  Sgd opt({x}, 0.1f);
+  TrainerOptions topts;
+  topts.max_steps = 5;
+  Trainer trainer(&opt, topts);
+  // Regression: both of these used to divide by zero.
+  EXPECT_FLOAT_EQ(trainer.RecentLoss(), 0.0f);   // empty history
+  EXPECT_FLOAT_EQ(trainer.RecentLoss(0), 0.0f);  // zero-length window
+  ASSERT_TRUE(trainer.Run([&] { return BowlLoss(x); }).ok());
+  EXPECT_FLOAT_EQ(trainer.RecentLoss(0), 0.0f);
+  EXPECT_GT(trainer.RecentLoss(3), 0.0f);
+}
+
+TEST(TrainerTest, RunReportsOkOnCleanLoop) {
+  core::Variable x(core::Tensor({2}), true);
+  Sgd opt({x}, 0.05f);
+  TrainerOptions topts;
+  topts.max_steps = 10;
+  Trainer trainer(&opt, topts);
+  util::Status s = trainer.Run([&] { return BowlLoss(x); });
+  EXPECT_TRUE(s.ok()) << s;
+}
+
 TEST(TrainerTest, EvalCallbackFires) {
   core::Variable x(core::Tensor({1}), true);
   Sgd opt({x}, 0.1f);

@@ -1,9 +1,12 @@
 // Tests for the utility substrate: Status/StatusOr, Rng, Table, linalg.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <vector>
 
+#include "util/fault.h"
 #include "util/linalg.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -74,6 +77,63 @@ TEST(StatusMacros, AssignOrReturn) {
   EXPECT_FALSE(UsesAssign(false, &out).ok());
 }
 
+// Regression: LLM_ASSIGN_OR_RETURN used to be hazardous around if/else —
+// its internal `if` could capture a dangling `else`, and two expansions on
+// one line collided on the temporary's name. These functions exercise the
+// shapes that used to be pitfalls; compiling them is half the test.
+Status AssignInBothBranches(bool which, bool ok, int* out) {
+  if (which) {
+    LLM_ASSIGN_OR_RETURN(int v, MakeValue(ok));
+    *out = v + 1;
+  } else {
+    LLM_ASSIGN_OR_RETURN(int v, MakeValue(ok));
+    *out = v + 2;
+  }
+  return Status::OK();
+}
+
+// clang-format off
+Status TwoAssignsOnOneLine(int* out) {
+  LLM_ASSIGN_OR_RETURN(int a, MakeValue(true)); LLM_ASSIGN_OR_RETURN(int b, MakeValue(true));
+  *out = a + b;
+  return Status::OK();
+}
+// clang-format on
+
+Status ReturnIfErrorUnbracedIfElse(bool which) {
+  // LLM_RETURN_IF_ERROR is a single statement (do/while), so it is legal
+  // as an unbraced if/else body and must not swallow the else.
+  if (which)
+    LLM_RETURN_IF_ERROR(Status::Internal("left"));
+  else
+    LLM_RETURN_IF_ERROR(Status::NotFound("right"));
+  return Status::OK();
+}
+
+TEST(StatusMacros, AssignOrReturnInsideIfElse) {
+  int out = 0;
+  EXPECT_TRUE(AssignInBothBranches(true, true, &out).ok());
+  EXPECT_EQ(out, 8);
+  EXPECT_TRUE(AssignInBothBranches(false, true, &out).ok());
+  EXPECT_EQ(out, 9);
+  EXPECT_EQ(AssignInBothBranches(true, false, &out).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(AssignInBothBranches(false, false, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StatusMacros, TwoAssignsOnOneLineDoNotCollide) {
+  int out = 0;
+  EXPECT_TRUE(TwoAssignsOnOneLine(&out).ok());
+  EXPECT_EQ(out, 14);
+}
+
+TEST(StatusMacros, ReturnIfErrorKeepsIfElsePairing) {
+  EXPECT_EQ(ReturnIfErrorUnbracedIfElse(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(ReturnIfErrorUnbracedIfElse(false).code(),
+            StatusCode::kNotFound);
+}
+
 TEST(RngTest, DeterministicForSeed) {
   Rng a(123), b(123);
   for (int i = 0; i < 100; ++i) {
@@ -134,6 +194,44 @@ TEST(RngTest, ShufflePreservesElements) {
   rng.Shuffle(&v);
   std::sort(v.begin(), v.end());
   EXPECT_EQ(v, sorted);
+}
+
+TEST(FaultInjectorTest, FiresAtExactOccurrences) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.ArmAt(FaultSite::kLossNaN, {1, 3});
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i) fired.push_back(MaybeInjectFault(FaultSite::kLossNaN));
+  fi.Disarm();
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true, false}));
+  EXPECT_FALSE(MaybeInjectFault(FaultSite::kLossNaN));  // disarmed: no-op
+}
+
+TEST(FaultInjectorTest, SitesAreIndependent) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.ArmAt(FaultSite::kCheckpointWrite, {0});
+  EXPECT_FALSE(MaybeInjectFault(FaultSite::kCheckpointRead));
+  EXPECT_TRUE(MaybeInjectFault(FaultSite::kCheckpointWrite));
+  EXPECT_EQ(fi.Fired(FaultSite::kCheckpointWrite), 1);
+  EXPECT_EQ(fi.Fired(FaultSite::kCheckpointRead), 0);
+  fi.Disarm();
+}
+
+TEST(FaultInjectorTest, RandomPlanIsDeterministicPerSeed) {
+  FaultInjector& fi = FaultInjector::Global();
+  auto draw = [&] {
+    fi.ArmRandom(FaultSite::kGradExplode, 0.3, /*seed=*/77);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(MaybeInjectFault(FaultSite::kGradExplode));
+    }
+    return fired;
+  };
+  const auto a = draw();
+  const auto b = draw();
+  fi.Disarm();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_LT(std::count(a.begin(), a.end(), true), 64);
 }
 
 TEST(TableTest, PrintsAlignedColumns) {
