@@ -1,0 +1,158 @@
+// Experiment X26 — batched serving throughput (paper §6: production
+// inference batches concurrent requests so every weight row streamed from
+// memory is reused across the batch).
+//
+// Offered-load sweep over the continuous-batching InferenceServer: at each
+// load L the server gets L KV slots and 8 requests; the baseline is the
+// same 8 requests run one after another on a dedicated single-stream
+// session (sample::GenerateCached). Two properties are on trial:
+//
+//  1. Throughput: aggregate tokens/sec at batch 8 must be >= 3x the
+//     sequential single-stream rate — on a single core, so the win comes
+//     from the fused batched step (weight reuse + lane-vectorized
+//     unembedding), not thread fan-out.
+//  2. Determinism: every request's tokens must be bit-identical to its
+//     dedicated single-stream run, whatever the batch composition.
+//
+// Each sweep point prints one machine-readable JSON line.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sample/sampler.h"
+#include "serve/inference_server.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// GPT-2-small-proportioned toy: BPE-scale vocabulary, narrow trunk. The
+// wide tied unembedding dominates per-token cost exactly as in real
+// models, which is what makes the serving comparison honest.
+llm::nn::GPTConfig ServingConfig() {
+  llm::nn::GPTConfig cfg;
+  cfg.vocab_size = 32768;
+  cfg.max_seq_len = 48;
+  cfg.d_model = 256;
+  cfg.n_layer = 2;
+  cfg.n_head = 8;
+  cfg.tie_embeddings = true;
+  return cfg;
+}
+
+std::vector<llm::serve::GenerateRequest> MakeWorkload() {
+  std::vector<llm::serve::GenerateRequest> requests;
+  for (uint64_t i = 0; i < 8; ++i) {
+    llm::serve::GenerateRequest request;
+    request.prompt = {static_cast<int64_t>(1 + 97 * i),
+                      static_cast<int64_t>(5 + 131 * i),
+                      static_cast<int64_t>(11 + 17 * i)};
+    request.max_new_tokens = 40;
+    request.seed = 1000 + i;
+    request.sampler.temperature = 0.8f;  // plain temperature sampling
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+}  // namespace
+
+int main() {
+  llm::util::Rng rng(3);
+  const llm::nn::GPTConfig cfg = ServingConfig();
+  llm::nn::GPTModel model(cfg, &rng);
+  std::printf(
+      "serving bench: %lld params, vocab %lld, d_model %lld, window %lld\n\n",
+      static_cast<long long>(model.NumParameters()),
+      static_cast<long long>(cfg.vocab_size),
+      static_cast<long long>(cfg.d_model),
+      static_cast<long long>(cfg.max_seq_len));
+
+  const std::vector<llm::serve::GenerateRequest> requests = MakeWorkload();
+
+  // Baseline: the 8 requests served one at a time, each on its own
+  // dedicated session — what a batch-less server would do.
+  std::vector<std::vector<int64_t>> reference;
+  int64_t baseline_tokens = 0;
+  const auto baseline_start = Clock::now();
+  for (const auto& request : requests) {
+    llm::sample::GenerateOptions opts;
+    opts.max_new_tokens = request.max_new_tokens;
+    opts.sampler = request.sampler;
+    opts.stop_token = request.stop_token;
+    llm::util::Rng request_rng(request.seed);
+    reference.push_back(
+        llm::sample::GenerateCached(model, request.prompt, opts, &request_rng));
+    baseline_tokens += static_cast<int64_t>(reference.back().size());
+  }
+  const double baseline_secs = SecondsSince(baseline_start);
+  const double baseline_tps =
+      static_cast<double>(baseline_tokens) / baseline_secs;
+  std::printf(
+      "{\"bench\":\"serving\",\"mode\":\"single_stream\",\"requests\":%zu,"
+      "\"tokens\":%lld,\"seconds\":%.3f,\"tokens_per_sec\":%.1f}\n",
+      requests.size(), static_cast<long long>(baseline_tokens), baseline_secs,
+      baseline_tps);
+
+  // Offered-load sweep: same 8 requests, L KV slots.
+  double speedup_at_8 = 0.0;
+  bool all_exact = true;
+  for (int64_t load : {1, 2, 4, 8}) {
+    llm::serve::ServerOptions options;
+    options.max_batch_size = load;
+    options.num_workers = 1;
+    options.queue_capacity = 16;
+    llm::serve::InferenceServer server(&model, options);
+    server.Start();
+
+    const auto start = Clock::now();
+    std::vector<llm::serve::RequestId> ids;
+    for (const auto& request : requests) {
+      auto id = server.Submit(request);
+      if (!id.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n",
+                     id.status().ToString().c_str());
+        return 1;
+      }
+      ids.push_back(id.value());
+    }
+    int64_t tokens = 0;
+    bool exact = true;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      auto result = server.Wait(ids[i]);
+      if (!result.ok() || !result.value().status.ok()) {
+        std::fprintf(stderr, "request %zu failed\n", i);
+        return 1;
+      }
+      tokens += static_cast<int64_t>(result.value().tokens.size());
+      exact = exact && result.value().tokens == reference[i];
+    }
+    const double secs = SecondsSince(start);
+    const double tps = static_cast<double>(tokens) / secs;
+    const double speedup = tps / baseline_tps;
+    if (load == 8) speedup_at_8 = speedup;
+    all_exact = all_exact && exact;
+    const llm::serve::ServerStats stats = server.Stats();
+    std::printf(
+        "{\"bench\":\"serving\",\"mode\":\"continuous_batching\","
+        "\"offered_load\":%lld,\"requests\":%zu,\"tokens\":%lld,"
+        "\"seconds\":%.3f,\"tokens_per_sec\":%.1f,"
+        "\"speedup_vs_single_stream\":%.2f,\"p50_ms\":%.1f,\"p95_ms\":%.1f,"
+        "\"p99_ms\":%.1f,\"exact_match\":%s}\n",
+        static_cast<long long>(load), requests.size(),
+        static_cast<long long>(tokens), secs, tps, speedup,
+        stats.p50_latency_ms, stats.p95_latency_ms, stats.p99_latency_ms,
+        exact ? "true" : "false");
+  }
+
+  std::printf("\nbatch-8 aggregate speedup vs sequential single-stream: "
+              "%.2fx (target >= 3x), outputs %s\n",
+              speedup_at_8, all_exact ? "bit-identical" : "MISMATCH (bug!)");
+  if (!all_exact) return 1;
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fused batched cached-attention decode step for the serving runtime.
+//
+// One call advances B concurrent sequences by one token each through a
+// single pass over the model weights. On a machine with few cores this —
+// not thread fan-out — is where continuous batching earns its throughput:
+//
+//  * every weight row (QKV / proj / MLP / unembedding) is streamed from
+//    memory once per *batch* instead of once per *sequence*, and
+//  * the tied-unembedding dot products, which in the single-sequence path
+//    are serial floating-point dependency chains (strict IEEE forbids the
+//    compiler from reassociating them), are interleaved across the batch
+//    lane, turning a latency-bound loop into independent, vectorizable
+//    accumulator lanes.
+//
+// Bit-exactness: for each sequence the accumulation order of every output
+// scalar is identical to GptDecodeStep / GptInferenceSession::Append
+// (ascending over the reduced index), so per-sequence results are
+// bit-identical regardless of batch composition — the property the
+// scheduler's determinism contract (and gpt_inference_test) relies on.
+#ifndef TFMR_NN_BATCHED_DECODE_H_
+#define TFMR_NN_BATCHED_DECODE_H_
+
+#include <vector>
+
+#include "nn/gpt_inference.h"
+
+namespace llm::nn {
+
+/// One sequence's contribution to a batched decode step.
+struct SeqStepInput {
+  /// Token to feed at `position`.
+  int64_t token = 0;
+  /// Rows already in this sequence's cache; row `position` will be written.
+  int64_t position = 0;
+  /// Per-layer KV views (n_layer entries), e.g. from serve::KvCachePool.
+  KvLayerView* layers = nullptr;
+  /// Out: next-token logits, length vocab_size.
+  float* logits = nullptr;
+};
+
+/// Reusable temporaries; one per caller (or per worker thread). All buffers
+/// reach their high-water size on the first call and are never shrunk.
+struct BatchedScratch {
+  std::vector<float> x;        // [B, C] residual stream rows
+  std::vector<float> normed;   // [B, C]
+  std::vector<float> qkv;      // [B, 3C]
+  std::vector<float> att;      // [B, C]
+  std::vector<float> proj;     // [B, C]
+  std::vector<float> hidden;   // [B, d_hidden]
+  std::vector<float> mlp;      // [B, C]
+  std::vector<float> xt;       // [C, Bpad] transposed rows for the unembed
+  std::vector<float> scores;   // attention scratch, max position + 1
+};
+
+/// Advances each of the `n` sequences by one token in a single fused pass.
+/// Re-entrant: concurrent calls are safe provided each call uses disjoint
+/// sequences and its own scratch.
+void BatchedDecodeStep(const GPTModel& model, SeqStepInput* seqs, int64_t n,
+                       BatchedScratch* scratch);
+
+}  // namespace llm::nn
+
+#endif  // TFMR_NN_BATCHED_DECODE_H_

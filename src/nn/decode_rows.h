@@ -1,0 +1,109 @@
+// Per-row building blocks shared by the single-sequence decode step
+// (gpt_inference.cc) and the fused batched step (batched_decode.cc).
+//
+// Bit-exactness contract: the serving path promises per-sequence outputs
+// identical to GptInferenceSession regardless of batch composition. Both
+// translation units therefore funnel every row-level computation through
+// these inline helpers, whose accumulation order over the reduced index is
+// fixed (ascending) — and the build never enables -ffast-math, so the
+// compiler may not reassociate the sums.
+#ifndef TFMR_NN_DECODE_ROWS_H_
+#define TFMR_NN_DECODE_ROWS_H_
+
+#include <cmath>
+
+#include "nn/layers.h"
+
+namespace llm::nn::detail {
+
+/// y = LN(x) for one row of length C. Safe in-place (y == x).
+inline void ApplyLayerNormRow(const LayerNorm& ln, const float* x, int64_t c,
+                              float* y) {
+  double mean = 0;
+  for (int64_t i = 0; i < c; ++i) mean += x[i];
+  mean /= static_cast<double>(c);
+  double var = 0;
+  for (int64_t i = 0; i < c; ++i) {
+    const double d = x[i] - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(c);
+  const float rstd = 1.0f / std::sqrt(static_cast<float>(var) + ln.eps());
+  const core::Tensor& gamma = ln.gamma().value();
+  const core::Tensor& beta = ln.beta().value();
+  for (int64_t i = 0; i < c; ++i) {
+    y[i] = gamma[i] * (x[i] - static_cast<float>(mean)) * rstd + beta[i];
+  }
+}
+
+/// y = x W + b for a single row (y must not alias x). Accumulates over the
+/// input index in ascending order; zero inputs are skipped (a no-op on the
+/// value: adding ±0 to a finite accumulator that is never -0 cannot change
+/// it, so the batched kernels may keep those terms and still match).
+inline void ApplyLinearRow(const Linear& linear, const float* x, float* y) {
+  const int64_t in = linear.in_features();
+  const int64_t out = linear.out_features();
+  for (int64_t o = 0; o < out; ++o) y[o] = 0.0f;
+  const float* w = linear.weight().value().data();  // [in, out]
+  for (int64_t i = 0; i < in; ++i) {
+    const float xv = x[i];
+    if (xv == 0.0f) continue;
+    const float* row = w + i * out;
+    for (int64_t o = 0; o < out; ++o) y[o] += xv * row[o];
+  }
+  if (linear.has_bias()) {
+    const core::Tensor& b = linear.bias().value();
+    for (int64_t o = 0; o < out; ++o) y[o] += b[o];
+  }
+}
+
+inline float ActivationFn(Activation act, float v) {
+  switch (act) {
+    case Activation::kRelu:
+      return v > 0.0f ? v : 0.0f;
+    case Activation::kGelu: {
+      constexpr float kScale = 0.7978845608028654f;  // sqrt(2/pi)
+      const float cube = 0.044715f * v * v * v;
+      return 0.5f * v * (1.0f + std::tanh(kScale * (v + cube)));
+    }
+    case Activation::kTanh:
+      return std::tanh(v);
+  }
+  LLM_CHECK(false);
+  return v;
+}
+
+/// Single-head causal attention over one sequence's cache: softmax(q·K/√d)·V
+/// for head h at position t, reading rows [lo, t] of the [*, C] cache slabs.
+/// Writes the head's output slice o[0, hd). `scores` is caller scratch of
+/// at least t+1 floats.
+inline void AttendHeadRow(const float* q, const float* keys,
+                          const float* values, int64_t t, int64_t lo,
+                          int64_t c_total, int64_t h, int64_t hd,
+                          float inv_sqrt, float* scores, float* o) {
+  const int64_t off = h * hd;
+  float maxv = -1e30f;
+  for (int64_t j = lo; j <= t; ++j) {
+    const float* k = keys + j * c_total + off;
+    float s = 0.0f;
+    for (int64_t c = 0; c < hd; ++c) s += q[c] * k[c];
+    s *= inv_sqrt;
+    scores[j] = s;
+    maxv = std::max(maxv, s);
+  }
+  float sum = 0.0f;
+  for (int64_t j = lo; j <= t; ++j) {
+    scores[j] = std::exp(scores[j] - maxv);
+    sum += scores[j];
+  }
+  const float inv = 1.0f / sum;
+  for (int64_t j = lo; j <= t; ++j) {
+    const float p = scores[j] * inv;
+    const float* v = values + j * c_total + off;
+    for (int64_t c = 0; c < hd; ++c) o[c] += p * v[c];
+  }
+}
+
+}  // namespace llm::nn::detail
+
+#endif  // TFMR_NN_DECODE_ROWS_H_

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/decode_rows.h"
+
 namespace llm::nn {
 
 namespace {
@@ -28,209 +30,141 @@ int64_t SampleRow(const float* logits, int64_t vocab, float temperature,
   return static_cast<int64_t>(rng->Categorical(probs));
 }
 
-float ActivationFn(Activation act, float v) {
-  switch (act) {
-    case Activation::kRelu:
-      return v > 0.0f ? v : 0.0f;
-    case Activation::kGelu: {
-      constexpr float kScale = 0.7978845608028654f;  // sqrt(2/pi)
-      const float cube = 0.044715f * v * v * v;
-      return 0.5f * v * (1.0f + std::tanh(kScale * (v + cube)));
-    }
-    case Activation::kTanh:
-      return std::tanh(v);
-  }
-  LLM_CHECK(false);
-  return v;
-}
-
 }  // namespace
 
-GptInferenceSession::GptInferenceSession(const GPTModel* model)
-    : model_(model) {
-  LLM_CHECK(model != nullptr);
-  cache_.resize(static_cast<size_t>(model->config().n_layer));
-  const int64_t C = model->config().d_model;
-  const auto reserve = static_cast<size_t>(model->config().max_seq_len * C);
-  for (auto& layer : cache_) {
-    layer.keys.reserve(reserve);
-    layer.values.reserve(reserve);
-  }
-  logits_.resize(static_cast<size_t>(model->config().vocab_size));
-}
-
-void GptInferenceSession::Reset() {
-  position_ = 0;
-  for (auto& layer : cache_) {
-    layer.keys.clear();
-    layer.values.clear();
-  }
-}
-
-void GptInferenceSession::ApplyLayerNorm(const LayerNorm& ln,
-                                         const std::vector<float>& x,
-                                         std::vector<float>* y) const {
-  const auto c = static_cast<int64_t>(x.size());
-  y->resize(x.size());
-  double mean = 0;
-  for (float v : x) mean += v;
-  mean /= static_cast<double>(c);
-  double var = 0;
-  for (float v : x) {
-    const double d = v - mean;
-    var += d * d;
-  }
-  var /= static_cast<double>(c);
-  const float rstd =
-      1.0f / std::sqrt(static_cast<float>(var) + ln.eps());
-  const core::Tensor& gamma = ln.gamma().value();
-  const core::Tensor& beta = ln.beta().value();
-  for (int64_t i = 0; i < c; ++i) {
-    (*y)[static_cast<size_t>(i)] =
-        gamma[i] * (x[static_cast<size_t>(i)] -
-                    static_cast<float>(mean)) *
-            rstd +
-        beta[i];
-  }
-}
-
-void GptInferenceSession::ApplyLinear(const Linear& linear,
-                                      const std::vector<float>& x,
-                                      std::vector<float>* y) const {
-  const int64_t in = linear.in_features();
-  const int64_t out = linear.out_features();
-  LLM_CHECK_EQ(static_cast<int64_t>(x.size()), in);
-  y->assign(static_cast<size_t>(out), 0.0f);
-  const float* w = linear.weight().value().data();  // [in, out]
-  for (int64_t i = 0; i < in; ++i) {
-    const float xv = x[static_cast<size_t>(i)];
-    if (xv == 0.0f) continue;
-    const float* row = w + i * out;
-    for (int64_t o = 0; o < out; ++o) {
-      (*y)[static_cast<size_t>(o)] += xv * row[o];
-    }
-  }
-  if (linear.has_bias()) {
-    const core::Tensor& b = linear.bias().value();
-    for (int64_t o = 0; o < out; ++o) {
-      (*y)[static_cast<size_t>(o)] += b[o];
-    }
-  }
-}
-
-const std::vector<float>& GptInferenceSession::Append(int64_t token) {
-  const GPTConfig& cfg = model_->config();
-  LLM_CHECK_LT(position_, cfg.max_seq_len)
-      << "session exceeded the model window; Reset() and re-feed";
+void GptDecodeStep(const GPTModel& model, int64_t token, int64_t position,
+                   KvLayerView* layers, DecodeScratch* scratch,
+                   float* logits) {
+  const GPTConfig& cfg = model.config();
+  LLM_CHECK_GE(position, 0);
+  LLM_CHECK_LT(position, cfg.max_seq_len);
   const int64_t C = cfg.d_model;
   const int64_t H = cfg.n_head;
   const int64_t hd = C / H;
   const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(hd));
 
   // Embedding + position.
-  std::vector<float> x(static_cast<size_t>(C));
-  const core::Tensor& emb = model_->token_embedding().weight().value();
-  const core::Tensor& pos = model_->position_embedding().value();
+  scratch->x.resize(static_cast<size_t>(C));
+  float* x = scratch->x.data();
+  const core::Tensor& emb = model.token_embedding().weight().value();
+  const core::Tensor& pos = model.position_embedding().value();
   LLM_CHECK_GE(token, 0);
   LLM_CHECK_LT(token, cfg.vocab_size);
   for (int64_t c = 0; c < C; ++c) {
-    x[static_cast<size_t>(c)] =
-        emb[token * C + c] + pos[position_ * C + c];
+    x[c] = emb[token * C + c] + pos[position * C + c];
   }
 
-  std::vector<float> normed, qkv, att_out, proj, h2, hidden, mlp_out;
+  scratch->normed.resize(static_cast<size_t>(C));
+  scratch->qkv.resize(static_cast<size_t>(3 * C));
+  scratch->att_out.resize(static_cast<size_t>(C));
+  scratch->proj.resize(static_cast<size_t>(C));
+  scratch->scores.resize(static_cast<size_t>(position + 1));
   for (int layer = 0; layer < cfg.n_layer; ++layer) {
-    const TransformerBlock* block = model_->block(layer);
-    LayerCache& cache = cache_[static_cast<size_t>(layer)];
+    const TransformerBlock* block = model.block(layer);
+    KvLayerView& kv = layers[layer];
 
     // ---- Attention sublayer ----
-    const std::vector<float>& attn_input = x;
+    float* normed = scratch->normed.data();
     if (block->pre_layernorm()) {
-      ApplyLayerNorm(block->ln1(), x, &normed);
+      detail::ApplyLayerNormRow(block->ln1(), x, C, normed);
     } else {
-      normed = attn_input;  // post-LN applies LN after the residual add
+      for (int64_t c = 0; c < C; ++c) normed[c] = x[c];
     }
-    ApplyLinear(block->attention()->qkv(), normed, &qkv);  // [3C]
-    // Append this position's K/V to the cache.
-    cache.keys.insert(cache.keys.end(), qkv.begin() + C,
-                      qkv.begin() + 2 * C);
-    cache.values.insert(cache.values.end(), qkv.begin() + 2 * C,
-                        qkv.end());
-    const int64_t t = position_;  // current index; cache holds t+1 rows
+    float* qkv = scratch->qkv.data();
+    detail::ApplyLinearRow(block->attention()->qkv(), normed, qkv);  // [3C]
+    // Write this position's K/V row into the cache slabs.
+    const int64_t t = position;  // cache now holds rows [0, t]
+    for (int64_t c = 0; c < C; ++c) {
+      kv.keys[t * C + c] = qkv[C + c];
+      kv.values[t * C + c] = qkv[2 * C + c];
+    }
 
-    att_out.assign(static_cast<size_t>(C), 0.0f);
+    float* att_out = scratch->att_out.data();
+    for (int64_t c = 0; c < C; ++c) att_out[c] = 0.0f;
     const int window = block->attention()->window();
     const int64_t lo =
         window > 0 ? std::max<int64_t>(0, t - window + 1) : int64_t{0};
-    std::vector<float> scores(static_cast<size_t>(t + 1));
     for (int64_t h = 0; h < H; ++h) {
-      const float* q = qkv.data() + h * hd;
-      float maxv = -1e30f;
-      for (int64_t j = lo; j <= t; ++j) {
-        const float* k = cache.keys.data() + j * C + h * hd;
-        float s = 0.0f;
-        for (int64_t c = 0; c < hd; ++c) s += q[c] * k[c];
-        s *= inv_sqrt;
-        scores[static_cast<size_t>(j)] = s;
-        maxv = std::max(maxv, s);
-      }
-      float sum = 0.0f;
-      for (int64_t j = lo; j <= t; ++j) {
-        scores[static_cast<size_t>(j)] =
-            std::exp(scores[static_cast<size_t>(j)] - maxv);
-        sum += scores[static_cast<size_t>(j)];
-      }
-      const float inv = 1.0f / sum;
-      for (int64_t j = lo; j <= t; ++j) {
-        const float p = scores[static_cast<size_t>(j)] * inv;
-        const float* v = cache.values.data() + j * C + h * hd;
-        float* o = att_out.data() + h * hd;
-        for (int64_t c = 0; c < hd; ++c) o[c] += p * v[c];
-      }
+      detail::AttendHeadRow(qkv + h * hd, kv.keys, kv.values, t, lo, C, h,
+                            hd, inv_sqrt, scratch->scores.data(),
+                            att_out + h * hd);
     }
-    ApplyLinear(block->attention()->proj(), att_out, &proj);
-    for (int64_t c = 0; c < C; ++c) {
-      x[static_cast<size_t>(c)] += proj[static_cast<size_t>(c)];
-    }
+    float* proj = scratch->proj.data();
+    detail::ApplyLinearRow(block->attention()->proj(), att_out, proj);
+    for (int64_t c = 0; c < C; ++c) x[c] += proj[c];
     if (!block->pre_layernorm()) {
-      ApplyLayerNorm(block->ln1(), x, &x);
+      detail::ApplyLayerNormRow(block->ln1(), x, C, x);
     }
 
     // ---- FFN sublayer ----
     if (block->mlp() != nullptr) {
+      scratch->h2.resize(static_cast<size_t>(C));
+      float* h2 = scratch->h2.data();
       if (block->pre_layernorm()) {
-        ApplyLayerNorm(block->ln2(), x, &h2);
+        detail::ApplyLayerNormRow(block->ln2(), x, C, h2);
       } else {
-        h2 = x;
+        for (int64_t c = 0; c < C; ++c) h2[c] = x[c];
       }
       const Mlp* mlp = block->mlp();
-      ApplyLinear(mlp->fc_in(), h2, &hidden);
-      for (auto& v : hidden) v = ActivationFn(mlp->activation(), v);
-      ApplyLinear(mlp->fc_out(), hidden, &mlp_out);
-      for (int64_t c = 0; c < C; ++c) {
-        x[static_cast<size_t>(c)] += mlp_out[static_cast<size_t>(c)];
+      scratch->hidden.resize(
+          static_cast<size_t>(mlp->fc_in().out_features()));
+      scratch->mlp_out.resize(static_cast<size_t>(C));
+      float* hidden = scratch->hidden.data();
+      detail::ApplyLinearRow(mlp->fc_in(), h2, hidden);
+      const int64_t hid = mlp->fc_in().out_features();
+      for (int64_t i = 0; i < hid; ++i) {
+        hidden[i] = detail::ActivationFn(mlp->activation(), hidden[i]);
       }
+      float* mlp_out = scratch->mlp_out.data();
+      detail::ApplyLinearRow(mlp->fc_out(), hidden, mlp_out);
+      for (int64_t c = 0; c < C; ++c) x[c] += mlp_out[c];
       if (!block->pre_layernorm()) {
-        ApplyLayerNorm(block->ln2(), x, &x);
+        detail::ApplyLayerNormRow(block->ln2(), x, C, x);
       }
     }
   }
 
-  ApplyLayerNorm(model_->final_layernorm(), x, &normed);
+  float* normed = scratch->normed.data();
+  detail::ApplyLayerNormRow(model.final_layernorm(), x, C, normed);
   if (cfg.tie_embeddings) {
     // logits = normed . E^T (E is [V, C]).
-    const core::Tensor& e = model_->token_embedding().weight().value();
+    const core::Tensor& e = model.token_embedding().weight().value();
     for (int64_t v = 0; v < cfg.vocab_size; ++v) {
       float s = 0.0f;
       const float* row = e.data() + v * C;
-      for (int64_t c = 0; c < C; ++c) {
-        s += normed[static_cast<size_t>(c)] * row[c];
-      }
-      logits_[static_cast<size_t>(v)] = s;
+      for (int64_t c = 0; c < C; ++c) s += normed[c] * row[c];
+      logits[v] = s;
     }
   } else {
-    ApplyLinear(*model_->head(), normed, &logits_);
+    detail::ApplyLinearRow(*model.head(), normed, logits);
   }
+}
+
+GptInferenceSession::GptInferenceSession(const GPTModel* model)
+    : model_(model) {
+  LLM_CHECK(model != nullptr);
+  const int64_t rows = model->config().max_seq_len;
+  const int64_t C = model->config().d_model;
+  const auto n_layer = static_cast<size_t>(model->config().n_layer);
+  // One contiguous slab: per layer, a keys block then a values block, each
+  // [max_seq_len, C]. Sized once; Append never grows it.
+  const size_t per = static_cast<size_t>(rows * C);
+  kv_slab_.resize(n_layer * 2 * per);
+  views_.resize(n_layer);
+  for (size_t l = 0; l < n_layer; ++l) {
+    views_[l].keys = kv_slab_.data() + (2 * l) * per;
+    views_[l].values = kv_slab_.data() + (2 * l + 1) * per;
+  }
+  logits_.resize(static_cast<size_t>(model->config().vocab_size));
+}
+
+void GptInferenceSession::Reset() { position_ = 0; }
+
+const std::vector<float>& GptInferenceSession::Append(int64_t token) {
+  LLM_CHECK_LT(position_, model_->config().max_seq_len)
+      << "session exceeded the model window; Reset() and re-feed";
+  GptDecodeStep(*model_, token, position_, views_.data(), &scratch_,
+                logits_.data());
   ++position_;
   return logits_;
 }

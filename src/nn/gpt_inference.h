@@ -7,7 +7,10 @@
 // inference path — without touching the training code.
 //
 // The session reproduces GPTModel::ForwardLogits exactly (verified in
-// tests/gpt_inference_test.cc across architecture variants).
+// tests/gpt_inference_test.cc across architecture variants). The core step
+// (GptDecodeStep) is factored out over caller-owned KV storage so the
+// serving runtime (src/serve) can run many sequences against pooled cache
+// slots — see also nn/batched_decode.h for the fused multi-sequence step.
 #ifndef TFMR_NN_GPT_INFERENCE_H_
 #define TFMR_NN_GPT_INFERENCE_H_
 
@@ -17,8 +20,36 @@
 
 namespace llm::nn {
 
+/// One layer's key/value cache storage for one sequence: row t of each slab
+/// holds position t's vectors, [capacity_rows, d_model] flattened. The
+/// decode step writes row `position` and reads rows [0, position]; callers
+/// guarantee capacity_rows > position.
+struct KvLayerView {
+  float* keys = nullptr;
+  float* values = nullptr;
+};
+
+/// Reusable temporaries for GptDecodeStep; holding one per caller (or per
+/// worker thread) keeps the hot path allocation-free after the first token.
+struct DecodeScratch {
+  std::vector<float> x, normed, qkv, att_out, proj, h2, hidden, mlp_out,
+      scores;
+};
+
+/// Feeds `token` at `position` through the model against the per-layer KV
+/// views (filling each layer's row `position`), writing next-token logits
+/// (length vocab_size) to `logits`. Re-entrant: concurrent calls are safe
+/// provided each call uses distinct views/scratch/logits. Positions must be
+/// fed in order, 0 <= position < max_seq_len.
+void GptDecodeStep(const GPTModel& model, int64_t token, int64_t position,
+                   KvLayerView* layers, DecodeScratch* scratch, float* logits);
+
 /// Stateful single-sequence decoder. Feed tokens one at a time; after
 /// each Append the last-token logits are available. Not thread-safe.
+///
+/// All KV slabs are allocated once at construction (sized for the model
+/// window); Reset() only rewinds the position, so reusing one session
+/// across many requests never touches the allocator.
 class GptInferenceSession {
  public:
   /// `model` must outlive the session. Dropout is ignored (inference).
@@ -29,7 +60,7 @@ class GptInferenceSession {
   /// callers handle windowing (see GenerateCached).
   const std::vector<float>& Append(int64_t token);
 
-  /// Clears the cache; the session starts a fresh sequence.
+  /// Rewinds to an empty sequence. Retains all cache capacity.
   void Reset();
 
   /// Number of tokens consumed since the last Reset.
@@ -37,30 +68,22 @@ class GptInferenceSession {
 
   const std::vector<float>& logits() const { return logits_; }
 
+  const GPTModel* model() const { return model_; }
+
  private:
-  struct LayerCache {
-    // Row t holds the key/value vectors of position t, [t, C] flattened.
-    std::vector<float> keys;
-    std::vector<float> values;
-  };
-
-  /// y = LN(x) with the given parameters (length C).
-  void ApplyLayerNorm(const LayerNorm& ln, const std::vector<float>& x,
-                      std::vector<float>* y) const;
-  /// y = x W + b for a single row.
-  void ApplyLinear(const Linear& linear, const std::vector<float>& x,
-                   std::vector<float>* y) const;
-
   const GPTModel* model_;
   int64_t position_ = 0;
-  std::vector<LayerCache> cache_;
+  std::vector<float> kv_slab_;       // [n_layer][2][max_seq_len * d_model]
+  std::vector<KvLayerView> views_;   // per-layer pointers into kv_slab_
+  DecodeScratch scratch_;
   std::vector<float> logits_;
 };
 
 /// Autoregressive generation using the cache (the fast path mirroring
-/// sample::Generate). The prefix plus generated tokens must fit in the
-/// model window (no sliding-window support on the cached path — restart a
-/// session to window).
+/// sample::Generate, temperature-only). The prefix plus generated tokens
+/// must fit in the model window (no sliding-window support on the cached
+/// path — restart a session to window). For full SamplerOptions support
+/// (top-k / top-p) use sample::GenerateCached.
 std::vector<int64_t> GenerateCached(const GPTModel& model,
                                     const std::vector<int64_t>& prefix,
                                     int64_t max_new_tokens,

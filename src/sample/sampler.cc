@@ -101,4 +101,36 @@ std::vector<int64_t> Generate(const nn::GPTModel& model,
   return generated;
 }
 
+std::vector<int64_t> GenerateCached(const nn::GPTModel& model,
+                                    const std::vector<int64_t>& prefix,
+                                    const GenerateOptions& options,
+                                    util::Rng* rng) {
+  nn::GptInferenceSession session(&model);
+  return GenerateWithSession(&session, prefix, options, rng);
+}
+
+std::vector<int64_t> GenerateWithSession(nn::GptInferenceSession* session,
+                                         const std::vector<int64_t>& prefix,
+                                         const GenerateOptions& options,
+                                         util::Rng* rng) {
+  LLM_CHECK(session != nullptr);
+  LLM_CHECK(!prefix.empty());
+  session->Reset();
+  const nn::GPTModel& model = *session->model();
+  const int64_t max_len = model.config().max_seq_len;
+  const int64_t vocab = model.config().vocab_size;
+  const std::vector<float>* logits = nullptr;
+  for (int64_t t : prefix) logits = &session->Append(t);
+  std::vector<int64_t> out;
+  for (int64_t i = 0; i < options.max_new_tokens; ++i) {
+    if (session->position() >= max_len) break;
+    const int64_t next =
+        SampleFromLogits(logits->data(), vocab, options.sampler, rng);
+    out.push_back(next);
+    if (next == options.stop_token) break;
+    if (session->position() < max_len) logits = &session->Append(next);
+  }
+  return out;
+}
+
 }  // namespace llm::sample

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "nn/gpt_inference.h"
 #include "nn/transformer.h"
 #include "util/rng.h"
 
@@ -45,6 +46,24 @@ struct GenerateOptions {
 std::vector<int64_t> Generate(const nn::GPTModel& model,
                               const std::vector<int64_t>& prefix,
                               const GenerateOptions& options, util::Rng* rng);
+
+/// KV-cached generation with the full SamplerOptions (temperature, top-k,
+/// top-p) — the O(L)-per-token path the serving runtime mirrors. Agrees
+/// with Generate under every decoding strategy (parity-tested) as long as
+/// prefix size + max_new_tokens fits the model window; unlike Generate the
+/// cached path does not slide the window, it stops at max_seq_len.
+std::vector<int64_t> GenerateCached(const nn::GPTModel& model,
+                                    const std::vector<int64_t>& prefix,
+                                    const GenerateOptions& options,
+                                    util::Rng* rng);
+
+/// Same as GenerateCached but reuses a caller-owned session (which it
+/// Reset()s first) so repeated requests share one KV allocation — the
+/// single-stream analogue of the serve::KvCachePool slot lease.
+std::vector<int64_t> GenerateWithSession(nn::GptInferenceSession* session,
+                                         const std::vector<int64_t>& prefix,
+                                         const GenerateOptions& options,
+                                         util::Rng* rng);
 
 }  // namespace llm::sample
 

@@ -1,0 +1,179 @@
+#include "serve/batch_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sample/sampler.h"
+
+namespace llm::serve {
+namespace {
+
+// Preferred sequences per worker chunk. The fused kernels win by streaming
+// each weight row across many lanes, so splitting the batch thinner than
+// this for the sake of thread fan-out costs more than it buys.
+constexpr int64_t kPreferredSubBatch = 4;
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(const nn::GPTModel* model, KvCachePool* pool)
+    : model_(model), pool_(pool) {
+  LLM_CHECK(model != nullptr);
+  LLM_CHECK(pool != nullptr);
+  seqs_.resize(static_cast<size_t>(pool->num_slots()));
+  logits_.resize(static_cast<size_t>(pool->num_slots()) *
+                 static_cast<size_t>(model->config().vocab_size));
+  active_idx_.reserve(static_cast<size_t>(pool->num_slots()));
+}
+
+void BatchScheduler::Admit(std::shared_ptr<RequestState> state) {
+  const int64_t slot = pool_->Acquire();
+  LLM_CHECK_GE(slot, 0);  // caller must have checked HasFreeSlot()
+  ActiveSeq& seq = seqs_[static_cast<size_t>(slot)];
+  LLM_CHECK(!seq.occupied);
+  seq.occupied = true;
+  seq.rng = util::Rng(state->request.seed);
+  seq.pos = 0;
+  seq.generated = 0;
+  seq.next_token = state->request.prompt.front();
+  seq.sampled = -1;
+  const double queue_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - state->submit_time)
+          .count();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->queue_ms = queue_ms;
+  }
+  seq.state = std::move(state);
+  ++active_count_;
+}
+
+void BatchScheduler::Retire(int64_t slot, FinishReason reason,
+                            const util::Status& status, TickOutput* out) {
+  ActiveSeq& seq = seqs_[static_cast<size_t>(slot)];
+  out->finished.push_back({std::move(seq.state), reason, status});
+  seq.state = nullptr;
+  seq.occupied = false;
+  pool_->Release(slot);
+  --active_count_;
+}
+
+void BatchScheduler::Tick(WorkerPool* workers,
+                          std::vector<nn::BatchedScratch>* scratch,
+                          TickOutput* out) {
+  out->Clear();
+  const auto now = std::chrono::steady_clock::now();
+
+  // Expire cancelled / past-deadline sequences before spending compute.
+  active_idx_.clear();
+  for (int64_t slot = 0; slot < pool_->num_slots(); ++slot) {
+    ActiveSeq& seq = seqs_[static_cast<size_t>(slot)];
+    if (!seq.occupied) continue;
+    if (seq.state->cancel_requested.load(std::memory_order_acquire)) {
+      Retire(slot, FinishReason::kCancelled,
+             util::Status::Cancelled("cancelled by client"), out);
+      continue;
+    }
+    if (now >= seq.state->deadline) {
+      Retire(slot, FinishReason::kDeadline,
+             util::Status::DeadlineExceeded("deadline expired in flight"), out);
+      continue;
+    }
+    active_idx_.push_back(slot);
+  }
+  const int64_t n_active = static_cast<int64_t>(active_idx_.size());
+  if (n_active == 0) return;
+  out->steps = n_active;
+
+  // Partition into contiguous chunks. Fewer, fatter chunks beat maximal
+  // fan-out: each chunk is one fused BatchedDecodeStep call, and its
+  // efficiency grows with its lane count.
+  const int64_t lanes = workers->lanes();
+  const int64_t n_chunks = std::max<int64_t>(
+      1, std::min<int64_t>(lanes, (n_active + kPreferredSubBatch - 1) /
+                                      kPreferredSubBatch));
+  LLM_CHECK_LE(lanes, static_cast<int64_t>(scratch->size()));
+  chunk_inputs_.resize(static_cast<size_t>(n_chunks));
+  const int64_t base = n_active / n_chunks;
+  const int64_t rem = n_active % n_chunks;
+  const int64_t vocab = model_->config().vocab_size;
+  const int64_t max_len = model_->config().max_seq_len;
+
+  workers->Run(n_chunks, [&](int64_t chunk, int lane) {
+    const int64_t begin = chunk * base + std::min(chunk, rem);
+    const int64_t end = begin + base + (chunk < rem ? 1 : 0);
+    std::vector<nn::SeqStepInput>& inputs =
+        chunk_inputs_[static_cast<size_t>(chunk)];
+    inputs.clear();
+    for (int64_t k = begin; k < end; ++k) {
+      const int64_t slot = active_idx_[static_cast<size_t>(k)];
+      ActiveSeq& seq = seqs_[static_cast<size_t>(slot)];
+      inputs.push_back({seq.next_token, seq.pos, pool_->slot_views(slot),
+                        logits_.data() + static_cast<size_t>(slot) * vocab});
+    }
+    nn::BatchedDecodeStep(*model_, inputs.data(),
+                          static_cast<int64_t>(inputs.size()),
+                          &(*scratch)[static_cast<size_t>(lane)]);
+    // Advance and sample inside the worker: each sequence belongs to
+    // exactly one chunk, so this mutation is race-free, and sampling here
+    // parallelizes the top-k/top-p work along with the forward pass.
+    for (int64_t k = begin; k < end; ++k) {
+      const int64_t slot = active_idx_[static_cast<size_t>(k)];
+      ActiveSeq& seq = seqs_[static_cast<size_t>(slot)];
+      ++seq.pos;
+      const auto& req = seq.state->request;
+      // Mirrors sample::GenerateWithSession: a sampling step happens only
+      // once the whole prompt is in and while the window has room.
+      if (seq.pos >= static_cast<int64_t>(req.prompt.size()) &&
+          seq.pos < max_len) {
+        seq.sampled = sample::SampleFromLogits(
+            logits_.data() + static_cast<size_t>(slot) * vocab, vocab,
+            req.sampler, &seq.rng);
+      } else {
+        seq.sampled = -1;
+      }
+    }
+  });
+
+  // Post-barrier bookkeeping, in slot order for deterministic event order.
+  for (int64_t k = 0; k < n_active; ++k) {
+    const int64_t slot = active_idx_[static_cast<size_t>(k)];
+    ActiveSeq& seq = seqs_[static_cast<size_t>(slot)];
+    const auto& req = seq.state->request;
+    if (seq.sampled >= 0) {
+      ++seq.generated;
+      {
+        std::lock_guard<std::mutex> lock(seq.state->mu);
+        seq.state->tokens.push_back(seq.sampled);
+      }
+      out->tokens.push_back({seq.state, seq.sampled});
+      // Finish precedence mirrors the single-stream generation loop:
+      // stop token, then length, then window exhaustion.
+      if (seq.sampled == req.stop_token) {
+        Retire(slot, FinishReason::kStop, util::Status::OK(), out);
+      } else if (seq.generated >= req.max_new_tokens) {
+        Retire(slot, FinishReason::kLength, util::Status::OK(), out);
+      } else if (seq.pos >= max_len) {
+        Retire(slot, FinishReason::kWindow, util::Status::OK(), out);
+      } else {
+        seq.next_token = seq.sampled;
+      }
+    } else if (seq.pos < static_cast<int64_t>(req.prompt.size())) {
+      seq.next_token = req.prompt[static_cast<size_t>(seq.pos)];  // prefill
+    } else {
+      // Prompt consumed but the window is full: nothing left to sample.
+      Retire(slot, FinishReason::kWindow, util::Status::OK(), out);
+    }
+  }
+}
+
+void BatchScheduler::DrainActive(FinishReason reason,
+                                 const util::Status& status, TickOutput* out) {
+  for (int64_t slot = 0; slot < pool_->num_slots(); ++slot) {
+    if (seqs_[static_cast<size_t>(slot)].occupied) {
+      Retire(slot, reason, status, out);
+    }
+  }
+}
+
+}  // namespace llm::serve

@@ -1,0 +1,120 @@
+// Continuous (in-flight) batching scheduler.
+//
+// The classic serving dilemma: static batching waits to assemble a full
+// batch (good throughput, bad latency) and holds every slot until the
+// slowest member finishes (wasted compute on padding). Continuous batching
+// dissolves it by rebuilding the batch every decode step: each Tick
+// advances all active sequences by exactly one token through the fused
+// batched step, finished sequences retire immediately (their KV slot
+// returns to the pool), and newly admitted requests join mid-flight at
+// their own position 0. Prefill is uniform with decode — prompt tokens are
+// fed one per tick through the same path — so a long prompt never stalls
+// the other lanes.
+//
+// Determinism contract: each sequence samples from its own seeded RNG over
+// logits that are bit-identical to a dedicated GptInferenceSession
+// (nn/batched_decode.h), so a request's output is a pure function of the
+// request — independent of what else shares the batch.
+//
+// Single-threaded driver: all methods are called from the server's
+// scheduler thread only. Tick fans the forward pass out across the
+// WorkerPool and returns after the barrier, so worker threads never touch
+// scheduler state outside a Tick.
+#ifndef TFMR_SERVE_BATCH_SCHEDULER_H_
+#define TFMR_SERVE_BATCH_SCHEDULER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/batched_decode.h"
+#include "serve/kv_cache_pool.h"
+#include "serve/request.h"
+#include "serve/worker_pool.h"
+#include "util/rng.h"
+
+namespace llm::serve {
+
+/// What one Tick produced, for the server to turn into side effects
+/// (streaming callbacks, completion signals, stats).
+struct TickOutput {
+  struct Emitted {
+    std::shared_ptr<RequestState> state;
+    int64_t token = 0;
+  };
+  struct Finished {
+    std::shared_ptr<RequestState> state;
+    FinishReason reason = FinishReason::kNone;
+    util::Status status;
+  };
+  std::vector<Emitted> tokens;
+  std::vector<Finished> finished;
+  /// Decode steps executed (== sequences stepped this tick).
+  int64_t steps = 0;
+
+  void Clear() {
+    tokens.clear();
+    finished.clear();
+    steps = 0;
+  }
+};
+
+class BatchScheduler {
+ public:
+  /// Neither pointer is owned; both must outlive the scheduler.
+  BatchScheduler(const nn::GPTModel* model, KvCachePool* pool);
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  bool HasFreeSlot() const { return pool_->free_count() > 0; }
+  /// Safe to read from any thread (feeds ServerStats::active_slots).
+  int64_t active_count() const {
+    return active_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Leases a KV slot and joins the request to the in-flight batch at the
+  /// next Tick. Caller must have checked HasFreeSlot(). Also stamps the
+  /// request's queue_ms.
+  void Admit(std::shared_ptr<RequestState> state);
+
+  /// Advances every active sequence by one token: expires cancelled /
+  /// past-deadline sequences, runs the fused batched forward across the
+  /// worker pool (scratch: one BatchedScratch per pool lane), samples, and
+  /// retires finished sequences. Fills `out` with emissions/completions.
+  void Tick(WorkerPool* workers, std::vector<nn::BatchedScratch>* scratch,
+            TickOutput* out);
+
+  /// Retires every active sequence with the given reason/status (server
+  /// shutdown path).
+  void DrainActive(FinishReason reason, const util::Status& status,
+                   TickOutput* out);
+
+ private:
+  struct ActiveSeq {
+    bool occupied = false;
+    std::shared_ptr<RequestState> state;
+    util::Rng rng{0};
+    int64_t pos = 0;         // tokens fed so far
+    int64_t generated = 0;   // tokens sampled so far
+    int64_t next_token = 0;  // token to feed at the next Tick
+    int64_t sampled = -1;    // token sampled this tick (worker-written)
+  };
+
+  void Retire(int64_t slot, FinishReason reason, const util::Status& status,
+              TickOutput* out);
+
+  const nn::GPTModel* model_;
+  KvCachePool* pool_;
+  std::vector<ActiveSeq> seqs_;       // indexed by KV slot
+  std::vector<float> logits_;        // [num_slots, vocab]
+  std::vector<int64_t> active_idx_;  // slots stepped this tick (reused)
+  std::vector<std::vector<nn::SeqStepInput>> chunk_inputs_;  // per chunk
+  std::atomic<int64_t> active_count_{0};
+};
+
+}  // namespace llm::serve
+
+#endif  // TFMR_SERVE_BATCH_SCHEDULER_H_

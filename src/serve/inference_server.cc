@@ -1,0 +1,351 @@
+#include "serve/inference_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+namespace llm::serve {
+namespace {
+
+// Completed-request latency samples retained for percentile estimates.
+constexpr size_t kLatencyWindow = 8192;
+
+double Percentile(std::vector<double>* sorted, double q) {
+  if (sorted->empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted->size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted->size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return (*sorted)[lo] * (1.0 - frac) + (*sorted)[hi] * frac;
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+const char* FinishReasonName(FinishReason reason) {
+  switch (reason) {
+    case FinishReason::kNone: return "none";
+    case FinishReason::kStop: return "stop";
+    case FinishReason::kLength: return "length";
+    case FinishReason::kWindow: return "window";
+    case FinishReason::kCancelled: return "cancelled";
+    case FinishReason::kDeadline: return "deadline";
+  }
+  return "unknown";
+}
+
+InferenceServer::InferenceServer(const nn::GPTModel* model,
+                                 const ServerOptions& options)
+    : model_(model),
+      options_(options),
+      queue_(options.queue_capacity),
+      pool_(model->config(), options.max_batch_size),
+      scheduler_(model, &pool_),
+      workers_(options.num_workers),
+      scratch_(static_cast<size_t>(workers_.lanes())) {
+  LLM_CHECK(model != nullptr);
+  LLM_CHECK_GT(options.max_batch_size, 0);
+}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+void InferenceServer::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) return;
+  started_ = true;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    started_at_ = std::chrono::steady_clock::now();
+  }
+  scheduler_thread_ = std::thread([this] { SchedulerMain(); });
+}
+
+void InferenceServer::Shutdown() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (finished_) return;
+  finished_ = true;
+  stop_.store(true, std::memory_order_release);
+  queue_.Close();
+  if (started_) {
+    scheduler_thread_.join();
+  } else {
+    // Never started: fail anything that was queued for a later Start.
+    std::shared_ptr<RequestState> state;
+    while (queue_.TryPop(&state)) {
+      CompleteNow(state, FinishReason::kCancelled,
+                  util::Status::Cancelled("server shutdown"));
+    }
+  }
+}
+
+util::StatusOr<RequestId> InferenceServer::Submit(GenerateRequest request) {
+  const auto& config = model_->config();
+  if (request.prompt.empty()) {
+    return util::Status::InvalidArgument("prompt must be non-empty");
+  }
+  if (static_cast<int64_t>(request.prompt.size()) > config.max_seq_len) {
+    return util::Status::InvalidArgument(
+        "prompt length " + std::to_string(request.prompt.size()) +
+        " exceeds max_seq_len " + std::to_string(config.max_seq_len));
+  }
+  for (int64_t t : request.prompt) {
+    if (t < 0 || t >= config.vocab_size) {
+      return util::Status::InvalidArgument("prompt token " +
+                                           std::to_string(t) +
+                                           " outside the vocabulary");
+    }
+  }
+  if (request.max_new_tokens < 0) {
+    return util::Status::InvalidArgument("max_new_tokens must be >= 0");
+  }
+
+  auto state = std::make_shared<RequestState>();
+  state->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  state->submit_time = std::chrono::steady_clock::now();
+  state->deadline = request.timeout.count() > 0
+                        ? state->submit_time + request.timeout
+                        : std::chrono::steady_clock::time_point::max();
+  state->request = std::move(request);
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    registry_.emplace(state->id, state);
+  }
+  if (state->request.max_new_tokens == 0) {
+    // Nothing to generate; complete without touching the queue.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++submitted_;
+    }
+    CompleteNow(state, FinishReason::kLength, util::Status::OK());
+    return state->id;
+  }
+  const util::Status pushed = queue_.Push(state);
+  if (!pushed.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      registry_.erase(state->id);
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++rejected_;
+    return pushed;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++submitted_;
+  return state->id;
+}
+
+bool InferenceServer::Cancel(RequestId id) {
+  std::shared_ptr<RequestState> state;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = registry_.find(id);
+    if (it == registry_.end()) return false;
+    state = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->done) return false;
+  }
+  state->cancel_requested.store(true, std::memory_order_release);
+  return true;
+}
+
+util::StatusOr<RequestResult> InferenceServer::Wait(RequestId id) {
+  std::shared_ptr<RequestState> state;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = registry_.find(id);
+    if (it == registry_.end()) {
+      return util::Status::NotFound("unknown request id " +
+                                    std::to_string(id));
+    }
+    state = it->second;
+  }
+  RequestResult result;
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->done; });
+    result.status = state->status;
+    result.reason = state->reason;
+    result.tokens = state->tokens;
+    result.queue_ms = state->queue_ms;
+    result.total_ms = state->total_ms;
+  }
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  registry_.erase(id);
+  return result;
+}
+
+RequestResult InferenceServer::GenerateBlocking(GenerateRequest request) {
+  util::StatusOr<RequestId> id = Submit(std::move(request));
+  if (!id.ok()) {
+    RequestResult result;
+    result.status = id.status();
+    return result;
+  }
+  return std::move(Wait(id.value())).value();
+}
+
+ServerStats InferenceServer::Stats() const {
+  ServerStats stats;
+  stats.queue_depth = queue_.size();
+  stats.active_slots = scheduler_.active_count();
+  stats.total_slots = pool_.num_slots();
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats.submitted = submitted_;
+    stats.rejected = rejected_;
+    stats.completed = completed_;
+    stats.cancelled = cancelled_;
+    stats.expired = expired_;
+    stats.total_tokens = total_tokens_;
+    if (started_at_.time_since_epoch().count() != 0) {
+      const double secs = MsSince(started_at_) / 1000.0;
+      if (secs > 0.0) {
+        stats.tokens_per_sec = static_cast<double>(total_tokens_) / secs;
+      }
+    }
+    latencies = latency_ring_;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  stats.p50_latency_ms = Percentile(&latencies, 0.50);
+  stats.p95_latency_ms = Percentile(&latencies, 0.95);
+  stats.p99_latency_ms = Percentile(&latencies, 0.99);
+  return stats;
+}
+
+void InferenceServer::RecordFinish(const RequestState& state,
+                                   FinishReason reason, double total_ms) {
+  (void)state;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  switch (reason) {
+    case FinishReason::kStop:
+    case FinishReason::kLength:
+    case FinishReason::kWindow:
+      ++completed_;
+      if (latency_ring_.size() < kLatencyWindow) {
+        latency_ring_.push_back(total_ms);
+      } else {
+        latency_ring_[latency_next_] = total_ms;
+        latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+      }
+      break;
+    case FinishReason::kCancelled:
+      ++cancelled_;
+      break;
+    case FinishReason::kDeadline:
+      ++expired_;
+      break;
+    case FinishReason::kNone:
+      break;
+  }
+}
+
+void InferenceServer::CompleteNow(const std::shared_ptr<RequestState>& state,
+                                  FinishReason reason, util::Status status) {
+  const double total_ms = MsSince(state->submit_time);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->done) return;
+    // Stats must be updated before `done` is observable: a waiter may read
+    // Stats() the instant Wait() returns.
+    RecordFinish(*state, reason, total_ms);
+    state->done = true;
+    state->reason = reason;
+    state->status = std::move(status);
+    state->total_ms = total_ms;
+  }
+  state->cv.notify_all();
+}
+
+int64_t InferenceServer::AdmitFromQueue() {
+  int64_t admitted = 0;
+  std::shared_ptr<RequestState> state;
+  while (scheduler_.HasFreeSlot() && queue_.TryPop(&state)) {
+    if (state->cancel_requested.load(std::memory_order_acquire)) {
+      CompleteNow(state, FinishReason::kCancelled,
+                  util::Status::Cancelled("cancelled while queued"));
+      continue;
+    }
+    if (std::chrono::steady_clock::now() >= state->deadline) {
+      CompleteNow(state, FinishReason::kDeadline,
+                  util::Status::DeadlineExceeded("deadline expired in queue"));
+      continue;
+    }
+    scheduler_.Admit(std::move(state));
+    ++admitted;
+  }
+  return admitted;
+}
+
+void InferenceServer::Publish(const TickOutput& out) {
+  for (const TickOutput::Emitted& emitted : out.tokens) {
+    const auto& callback = emitted.state->request.on_token;
+    if (callback) callback(emitted.state->id, emitted.token);
+  }
+  if (!out.tokens.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    total_tokens_ += out.tokens.size();
+  }
+  for (const TickOutput::Finished& finished : out.finished) {
+    const double total_ms = MsSince(finished.state->submit_time);
+    {
+      std::lock_guard<std::mutex> lock(finished.state->mu);
+      if (finished.state->done) continue;
+      RecordFinish(*finished.state, finished.reason, total_ms);
+      finished.state->done = true;
+      finished.state->reason = finished.reason;
+      finished.state->status = finished.status;
+      finished.state->total_ms = total_ms;
+    }
+    finished.state->cv.notify_all();
+  }
+}
+
+void InferenceServer::SchedulerMain() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (scheduler_.active_count() == 0) {
+      // Idle: block until work arrives or the queue is closed and empty.
+      std::shared_ptr<RequestState> state;
+      if (!queue_.WaitPop(&state)) break;
+      if (state->cancel_requested.load(std::memory_order_acquire)) {
+        CompleteNow(state, FinishReason::kCancelled,
+                    util::Status::Cancelled("cancelled while queued"));
+        continue;
+      }
+      if (std::chrono::steady_clock::now() >= state->deadline) {
+        CompleteNow(state, FinishReason::kDeadline,
+                    util::Status::DeadlineExceeded("deadline expired in queue"));
+        continue;
+      }
+      scheduler_.Admit(std::move(state));
+    }
+    // Continuous batching: top the batch up from the queue, then advance
+    // every active sequence one token.
+    AdmitFromQueue();
+    scheduler_.Tick(&workers_, &scratch_, &tick_out_);
+    Publish(tick_out_);
+  }
+  // Shutdown: retire in-flight sequences (partial output preserved) and
+  // fail whatever is still queued.
+  tick_out_.Clear();  // last tick's events were already published
+  scheduler_.DrainActive(FinishReason::kCancelled,
+                         util::Status::Cancelled("server shutdown"),
+                         &tick_out_);
+  Publish(tick_out_);
+  tick_out_.Clear();
+  std::shared_ptr<RequestState> state;
+  while (queue_.TryPop(&state)) {
+    CompleteNow(state, FinishReason::kCancelled,
+                util::Status::Cancelled("server shutdown"));
+  }
+}
+
+}  // namespace llm::serve

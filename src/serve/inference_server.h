@@ -1,0 +1,157 @@
+// InferenceServer: the user-facing facade of the serving runtime.
+//
+//   InferenceServer server(&model, options);
+//   server.Start();
+//   auto id = server.Submit({.prompt = {...}, .seed = 7});
+//   ...
+//   auto result = server.Wait(*id);
+//
+// Wiring: Submit (any thread) validates and pushes into the bounded
+// RequestQueue; one scheduler thread admits requests into free
+// KvCachePool slots and drives BatchScheduler::Tick in a loop, fanning
+// the fused forward pass across the WorkerPool; completions are published
+// through per-request condition variables and streamed tokens through the
+// request's on_token callback (invoked on the scheduler thread).
+//
+// Overloaded? Submit returns ResourceExhausted immediately — callers
+// shed or retry; queued work never grows unboundedly stale.
+#ifndef TFMR_SERVE_INFERENCE_SERVER_H_
+#define TFMR_SERVE_INFERENCE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/batched_decode.h"
+#include "nn/transformer.h"
+#include "serve/batch_scheduler.h"
+#include "serve/kv_cache_pool.h"
+#include "serve/request.h"
+#include "serve/request_queue.h"
+#include "serve/worker_pool.h"
+#include "util/status.h"
+
+namespace llm::serve {
+
+struct ServerOptions {
+  /// Maximum in-flight sequences == KV cache slots pre-allocated.
+  int64_t max_batch_size = 8;
+  /// Worker threads for the batched forward pass. 0 runs the forward
+  /// inline on the scheduler thread — the right choice on a single-core
+  /// host, where batching (not fan-out) provides the speedup. Use roughly
+  /// one worker per physical core otherwise.
+  int num_workers = 0;
+  /// Bounded admission: Submit beyond this many queued requests returns
+  /// ResourceExhausted.
+  size_t queue_capacity = 64;
+};
+
+/// Point-in-time server statistics. Latency percentiles are computed over
+/// a sliding window of recently completed requests.
+struct ServerStats {
+  size_t queue_depth = 0;
+  int64_t active_slots = 0;
+  int64_t total_slots = 0;
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;   // queue-full Submit attempts
+  uint64_t completed = 0;  // finished OK (stop/length/window)
+  uint64_t cancelled = 0;
+  uint64_t expired = 0;    // deadline exceeded
+  uint64_t total_tokens = 0;  // generated tokens since Start
+  double tokens_per_sec = 0.0;  // total_tokens over wall time since Start
+  double p50_latency_ms = 0.0;  // submit -> completion, finished requests
+  double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+};
+
+class InferenceServer {
+ public:
+  /// `model` must outlive the server.
+  InferenceServer(const nn::GPTModel* model, const ServerOptions& options);
+  ~InferenceServer();  // implies Shutdown()
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Spawns the scheduler (and worker) threads. Requests submitted before
+  /// Start sit in the queue — useful for deterministic tests.
+  void Start();
+
+  /// Stops the scheduler: queued requests fail with Cancelled, in-flight
+  /// sequences retire with partial output, threads are joined. Idempotent.
+  void Shutdown();
+
+  /// Validates and enqueues. Errors: InvalidArgument (empty prompt,
+  /// oversized prompt, bad token ids), ResourceExhausted (queue full),
+  /// FailedPrecondition (after Shutdown).
+  util::StatusOr<RequestId> Submit(GenerateRequest request);
+
+  /// Requests cancellation; the scheduler retires the sequence at the next
+  /// tick (or at admission if still queued). False if the id is unknown or
+  /// already finished.
+  bool Cancel(RequestId id);
+
+  /// Blocks until the request finishes and returns its result, forgetting
+  /// the id. NotFound for unknown (or already-collected) ids. Must not be
+  /// called from an on_token callback.
+  util::StatusOr<RequestResult> Wait(RequestId id);
+
+  /// Submit + Wait convenience; admission failures come back in
+  /// RequestResult::status.
+  RequestResult GenerateBlocking(GenerateRequest request);
+
+  ServerStats Stats() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  void SchedulerMain();
+  /// Pops as many queued requests into free slots as possible; returns the
+  /// number admitted. Queued requests that are already cancelled or past
+  /// deadline complete immediately without occupying a slot.
+  int64_t AdmitFromQueue();
+  void Publish(const TickOutput& out);
+  void CompleteNow(const std::shared_ptr<RequestState>& state,
+                   FinishReason reason, util::Status status);
+  void RecordFinish(const RequestState& state, FinishReason reason,
+                    double total_ms);
+
+  const nn::GPTModel* model_;
+  const ServerOptions options_;
+  RequestQueue queue_;
+  KvCachePool pool_;
+  BatchScheduler scheduler_;
+  WorkerPool workers_;
+  std::vector<nn::BatchedScratch> scratch_;  // one per worker lane
+  TickOutput tick_out_;
+
+  std::thread scheduler_thread_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;   // guarded by lifecycle_mu_
+  bool finished_ = false;  // guarded by lifecycle_mu_
+  std::mutex lifecycle_mu_;
+
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex registry_mu_;
+  std::unordered_map<RequestId, std::shared_ptr<RequestState>> registry_;
+
+  mutable std::mutex stats_mu_;
+  uint64_t submitted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t cancelled_ = 0;
+  uint64_t expired_ = 0;
+  uint64_t total_tokens_ = 0;
+  std::chrono::steady_clock::time_point started_at_;
+  std::vector<double> latency_ring_;  // recent completion latencies, ms
+  size_t latency_next_ = 0;
+};
+
+}  // namespace llm::serve
+
+#endif  // TFMR_SERVE_INFERENCE_SERVER_H_

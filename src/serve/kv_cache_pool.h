@@ -1,0 +1,63 @@
+// Pre-allocated pool of per-sequence KV cache slots.
+//
+// All K/V storage for all slots is one contiguous slab allocated at
+// construction and sized for the model window, so admitting a request is a
+// free-list pop and retiring it is a push — the steady-state serving loop
+// never touches the allocator, however many requests flow through.
+//
+// Slot layout mirrors GptInferenceSession's private slab: per slot,
+// n_layer x {keys, values} planes of [max_seq_len, d_model] rows. A leased
+// slot's rows are not zeroed on Acquire; the decode step overwrites row
+// `position` before reading it, so stale rows from the previous tenant are
+// never observed.
+//
+// NOT thread-safe: the pool is owned and driven by the scheduler thread
+// only. (Worker threads touch the leased storage, but lease/release
+// bookkeeping stays on the scheduler.)
+#ifndef TFMR_SERVE_KV_CACHE_POOL_H_
+#define TFMR_SERVE_KV_CACHE_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/gpt_inference.h"
+#include "nn/transformer.h"
+
+namespace llm::serve {
+
+class KvCachePool {
+ public:
+  KvCachePool(const nn::GPTConfig& config, int64_t num_slots);
+
+  KvCachePool(const KvCachePool&) = delete;
+  KvCachePool& operator=(const KvCachePool&) = delete;
+
+  int64_t num_slots() const { return num_slots_; }
+  int64_t free_count() const {
+    return static_cast<int64_t>(free_list_.size());
+  }
+
+  /// Leases a slot; -1 when all slots are in flight.
+  int64_t Acquire();
+
+  /// Returns a leased slot to the free list. Aborts on double-release.
+  void Release(int64_t slot);
+
+  /// The n_layer KV views of a leased slot, for SeqStepInput::layers.
+  nn::KvLayerView* slot_views(int64_t slot);
+
+  /// Total slab size, for capacity logging.
+  size_t bytes() const { return slab_.size() * sizeof(float); }
+
+ private:
+  const int64_t num_slots_;
+  const int n_layer_;
+  std::vector<float> slab_;
+  std::vector<nn::KvLayerView> views_;  // [num_slots, n_layer]
+  std::vector<int64_t> free_list_;
+  std::vector<char> leased_;
+};
+
+}  // namespace llm::serve
+
+#endif  // TFMR_SERVE_KV_CACHE_POOL_H_

@@ -1,0 +1,91 @@
+// Request/response types for the batched inference serving runtime.
+//
+// A GenerateRequest is the serving-side mirror of sample::GenerateOptions
+// plus the prompt and a per-request RNG seed. Seeding the sampler per
+// request (rather than sharing one stream across the batch) is what makes
+// a request's output independent of batch composition: together with the
+// bit-exact batched decode step (nn/batched_decode.h), a request returns
+// exactly what a dedicated GptInferenceSession would have produced.
+#ifndef TFMR_SERVE_REQUEST_H_
+#define TFMR_SERVE_REQUEST_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "sample/sampler.h"
+#include "util/status.h"
+
+namespace llm::serve {
+
+using RequestId = uint64_t;
+
+/// One generation request. Copyable; the server takes it by value.
+struct GenerateRequest {
+  /// Prompt tokens; must be non-empty and fit the model window.
+  std::vector<int64_t> prompt;
+  /// Per-request decoding strategy (temperature / top-k / top-p).
+  sample::SamplerOptions sampler;
+  int64_t max_new_tokens = 32;
+  /// Stop early when this token is produced; -1 disables.
+  int64_t stop_token = -1;
+  /// Seed of the request's private sampling RNG. Two submissions with the
+  /// same prompt/options/seed return identical tokens, whatever else is in
+  /// flight.
+  uint64_t seed = 0;
+  /// Relative deadline measured from Submit; zero means none. An expired
+  /// request finishes with DeadlineExceeded (partial tokens preserved).
+  std::chrono::milliseconds timeout{0};
+  /// Streaming callback, invoked once per generated token from the
+  /// scheduler thread. Must not block or re-enter the server.
+  std::function<void(RequestId, int64_t)> on_token;
+};
+
+/// Why a request left the active set.
+enum class FinishReason {
+  kNone = 0,    // still queued or in flight
+  kStop,        // produced the stop token
+  kLength,      // produced max_new_tokens
+  kWindow,      // hit the model's max_seq_len
+  kCancelled,   // Cancel() or server shutdown
+  kDeadline,    // timeout expired
+};
+
+const char* FinishReasonName(FinishReason reason);
+
+/// Final outcome of a request, returned by InferenceServer::Wait.
+struct RequestResult {
+  util::Status status;          // OK for kStop/kLength/kWindow
+  FinishReason reason = FinishReason::kNone;
+  std::vector<int64_t> tokens;  // generated tokens (partial on error)
+  double queue_ms = 0.0;        // submit -> admission
+  double total_ms = 0.0;        // submit -> completion
+};
+
+/// Shared per-request state: written by the scheduler thread, observed by
+/// whichever thread calls Wait. Guarded by `mu` except the cancel flag.
+struct RequestState {
+  RequestId id = 0;
+  GenerateRequest request;
+  std::chrono::steady_clock::time_point submit_time;
+  std::chrono::steady_clock::time_point deadline;  // time_point::max() = none
+  std::atomic<bool> cancel_requested{false};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  FinishReason reason = FinishReason::kNone;
+  util::Status status;
+  std::vector<int64_t> tokens;
+  double queue_ms = 0.0;
+  double total_ms = 0.0;
+};
+
+}  // namespace llm::serve
+
+#endif  // TFMR_SERVE_REQUEST_H_

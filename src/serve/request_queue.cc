@@ -1,0 +1,57 @@
+#include "serve/request_queue.h"
+
+#include <utility>
+
+namespace llm::serve {
+
+RequestQueue::RequestQueue(size_t capacity) : capacity_(capacity) {
+  LLM_CHECK_GT(capacity, 0u);
+}
+
+util::Status RequestQueue::Push(std::shared_ptr<RequestState> state) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return util::Status::FailedPrecondition("request queue is closed");
+    }
+    if (items_.size() >= capacity_) {
+      return util::Status::ResourceExhausted("request queue full (capacity " +
+                                             std::to_string(capacity_) + ")");
+    }
+    items_.push_back(std::move(state));
+  }
+  cv_.notify_one();
+  return util::Status::OK();
+}
+
+bool RequestQueue::TryPop(std::shared_ptr<RequestState>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (items_.empty()) return false;
+  *out = std::move(items_.front());
+  items_.pop_front();
+  return true;
+}
+
+bool RequestQueue::WaitPop(std::shared_ptr<RequestState>* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;
+  *out = std::move(items_.front());
+  items_.pop_front();
+  return true;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+}  // namespace llm::serve

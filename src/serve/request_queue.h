@@ -1,0 +1,58 @@
+// Thread-safe bounded admission queue for the inference server.
+//
+// Producers (any thread calling InferenceServer::Submit) push shared
+// request states; the single scheduler thread pops them. The bound is the
+// server's overload valve: a full queue rejects with ResourceExhausted
+// instead of letting latency grow without limit (load shedding at
+// admission, the standard serving-system discipline).
+#ifndef TFMR_SERVE_REQUEST_QUEUE_H_
+#define TFMR_SERVE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "serve/request.h"
+#include "util/status.h"
+
+namespace llm::serve {
+
+class RequestQueue {
+ public:
+  /// `capacity` must be positive.
+  explicit RequestQueue(size_t capacity);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Enqueues; returns ResourceExhausted when full, FailedPrecondition
+  /// after Close().
+  util::Status Push(std::shared_ptr<RequestState> state);
+
+  /// Non-blocking pop; false when empty.
+  bool TryPop(std::shared_ptr<RequestState>* out);
+
+  /// Blocks until an item is available (true) or the queue is closed and
+  /// drained (false).
+  bool WaitPop(std::shared_ptr<RequestState>* out);
+
+  /// Rejects future pushes and wakes blocked poppers. Items already queued
+  /// can still be popped (the server fails them on shutdown instead).
+  void Close();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<RequestState>> items_;
+  bool closed_ = false;
+};
+
+}  // namespace llm::serve
+
+#endif  // TFMR_SERVE_REQUEST_QUEUE_H_

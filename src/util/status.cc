@@ -20,6 +20,12 @@ const char* StatusCodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

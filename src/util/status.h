@@ -27,6 +27,9 @@ enum class StatusCode : uint8_t {
   kInternal = 5,
   kIOError = 6,
   kUnimplemented = 7,
+  kResourceExhausted = 8,
+  kCancelled = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Human-readable name of a status code ("OK", "InvalidArgument", ...).
@@ -61,6 +64,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

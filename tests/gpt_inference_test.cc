@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "nn/batched_decode.h"
 #include "nn/gpt_inference.h"
 #include "sample/sampler.h"
 
@@ -52,6 +53,68 @@ TEST_P(InferenceVariants, MatchesFullForwardExactly) {
     for (int64_t v = 0; v < 17; ++v) {
       ASSERT_NEAR(row[static_cast<size_t>(v)], full.At({t, v}), 2e-4f)
           << "position " << t << " vocab " << v;
+    }
+  }
+}
+
+// The serving runtime's fused batched step must be bit-identical per
+// sequence to the single-sequence session, for every architecture variant
+// and regardless of batch composition (sequences here differ in content,
+// length, and admission order).
+TEST_P(InferenceVariants, BatchedStepMatchesSessionBitExactly) {
+  util::Rng rng(21);
+  nn::GPTModel model(ConfigFor(GetParam()), &rng);
+  const nn::GPTConfig& cfg = model.config();
+  const std::vector<std::vector<int64_t>> prompts = {
+      {3, 1, 4, 1, 5}, {2, 7}, {9, 9, 8, 2, 6, 5, 3}, {0}, {11, 16, 13}};
+  const auto B = static_cast<int64_t>(prompts.size());
+
+  // Reference: one single-sequence session per prompt.
+  std::vector<std::vector<float>> want;
+  for (const auto& p : prompts) {
+    GptInferenceSession session(&model);
+    for (int64_t t : p) session.Append(t);
+    want.push_back(session.logits());
+  }
+
+  // Batched: all sequences advance in lockstep; shorter ones retire early
+  // (continuous-batching shape). Each sequence owns slab-backed views.
+  const auto n_layer = static_cast<size_t>(cfg.n_layer);
+  const auto per = static_cast<size_t>(cfg.max_seq_len * cfg.d_model);
+  std::vector<std::vector<float>> slabs(static_cast<size_t>(B));
+  std::vector<std::vector<nn::KvLayerView>> views(static_cast<size_t>(B));
+  std::vector<std::vector<float>> got(
+      static_cast<size_t>(B),
+      std::vector<float>(static_cast<size_t>(cfg.vocab_size)));
+  for (size_t b = 0; b < static_cast<size_t>(B); ++b) {
+    slabs[b].resize(n_layer * 2 * per);
+    views[b].resize(n_layer);
+    for (size_t l = 0; l < n_layer; ++l) {
+      views[b][l].keys = slabs[b].data() + (2 * l) * per;
+      views[b][l].values = slabs[b].data() + (2 * l + 1) * per;
+    }
+  }
+  nn::BatchedScratch scratch;
+  size_t longest = 0;
+  for (const auto& p : prompts) longest = std::max(longest, p.size());
+  for (size_t step = 0; step < longest; ++step) {
+    std::vector<nn::SeqStepInput> batch;
+    for (size_t b = 0; b < static_cast<size_t>(B); ++b) {
+      if (step >= prompts[b].size()) continue;  // retired
+      nn::SeqStepInput in;
+      in.token = prompts[b][step];
+      in.position = static_cast<int64_t>(step);
+      in.layers = views[b].data();
+      in.logits = got[b].data();
+      batch.push_back(in);
+    }
+    nn::BatchedDecodeStep(model, batch.data(),
+                          static_cast<int64_t>(batch.size()), &scratch);
+  }
+  for (size_t b = 0; b < static_cast<size_t>(B); ++b) {
+    for (size_t v = 0; v < want[b].size(); ++v) {
+      ASSERT_EQ(got[b][v], want[b][v])
+          << "sequence " << b << " vocab " << v << " not bit-identical";
     }
   }
 }

@@ -60,6 +60,46 @@ TEST(DistributionTest, TopPKeepsMinimalPrefix) {
   EXPECT_NEAR(p[0] + p[1], 1.0f, 1e-5f);
 }
 
+TEST(DistributionTest, TopKLargerThanVocabIsNoop) {
+  const float logits[] = {1.0f, 0.5f, -0.5f, 0.0f};
+  SamplerOptions plain, huge_k;
+  huge_k.top_k = 100;  // > vocab: must not truncate anything
+  auto p0 = DistributionFromLogits(logits, 4, plain);
+  auto pk = DistributionFromLogits(logits, 4, huge_k);
+  for (size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(pk[i], p0[i]);
+}
+
+TEST(DistributionTest, TopPNearOneWithTiesKeepsEverything) {
+  // Four exactly-tied logits: probabilities 0.25 each. top_p = 0.999 must
+  // keep all four (the cumulative sum only reaches 0.999 at the last one)
+  // and renormalize to a proper distribution, not zero out tied tail
+  // entries it happened to sort last.
+  const float logits[] = {1.0f, 1.0f, 1.0f, 1.0f};
+  SamplerOptions opts;
+  opts.top_p = 0.999f;
+  auto p = DistributionFromLogits(logits, 4, opts);
+  float sum = 0.0f;
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(p[i], 0.25f, 1e-5f) << "index " << i;
+    sum += p[i];
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(DistributionTest, TemperatureZeroAllEqualLogitsPicksFirst) {
+  // Greedy tie-break is "first max wins" — the serving path relies on this
+  // being deterministic so batched and single-stream outputs agree.
+  const float logits[] = {0.7f, 0.7f, 0.7f};
+  SamplerOptions opts;
+  opts.temperature = 0.0f;
+  auto p = DistributionFromLogits(logits, 3, opts);
+  EXPECT_FLOAT_EQ(p[0], 1.0f);
+  EXPECT_FLOAT_EQ(p[1], 0.0f);
+  EXPECT_FLOAT_EQ(p[2], 0.0f);
+  util::Rng rng(1);
+  EXPECT_EQ(SampleFromLogits(logits, 3, opts, &rng), 0);
+}
+
 TEST(SampleTest, RespectsDistribution) {
   const float logits[] = {0.0f, std::log(4.0f)};
   SamplerOptions opts;
@@ -151,6 +191,92 @@ TEST(GenerateTest, WindowsLongPrefixes) {
   std::vector<int64_t> prefix = {0, 1, 2, 3, 0, 1, 2};
   auto out = Generate(model, prefix, opts, &rng);
   EXPECT_EQ(out.size(), 3u);
+}
+
+// --- Cached-path parity: sample::GenerateCached must agree with the
+// uncached Generate under every decoding strategy (satellite of the
+// serving runtime, which reuses the cached path per slot). The cached
+// logits agree with the full forward to ~1e-4; with a fixed RNG stream the
+// categorical draws land on the same tokens for these seeds.
+class CachedParity : public ::testing::TestWithParam<SamplerOptions> {};
+
+TEST_P(CachedParity, CachedMatchesUncached) {
+  nn::GPTConfig cfg;
+  cfg.vocab_size = 19;
+  cfg.max_seq_len = 16;
+  cfg.d_model = 24;
+  cfg.n_layer = 2;
+  cfg.n_head = 3;
+  util::Rng rng(6);
+  nn::GPTModel model(cfg, &rng);
+  GenerateOptions opts;
+  opts.max_new_tokens = 10;
+  opts.sampler = GetParam();
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    util::Rng r1(seed), r2(seed);
+    auto slow = Generate(model, {2, 7, 1}, opts, &r1);
+    auto fast = GenerateCached(model, {2, 7, 1}, opts, &r2);
+    EXPECT_EQ(slow, fast) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, CachedParity,
+    ::testing::Values(SamplerOptions{0.0f, 0, 0.0f},    // greedy
+                      SamplerOptions{1.0f, 0, 0.0f},    // plain softmax
+                      SamplerOptions{0.8f, 5, 0.0f},    // top-k
+                      SamplerOptions{1.2f, 0, 0.9f},    // nucleus
+                      SamplerOptions{0.7f, 4, 0.95f})); // top-k + top-p
+
+TEST(CachedGenerateTest, StopTokenAsFirstTokenYieldsSingleToken) {
+  nn::GPTConfig cfg;
+  cfg.vocab_size = 11;
+  cfg.max_seq_len = 12;
+  cfg.d_model = 16;
+  cfg.n_layer = 1;
+  cfg.n_head = 2;
+  util::Rng rng(7);
+  nn::GPTModel model(cfg, &rng);
+  // Find the greedy first token, then declare it the stop token: the very
+  // first generated token terminates the request.
+  nn::GptInferenceSession probe(&model);
+  const std::vector<float>& logits = probe.Append(3);
+  int64_t argmax = 0;
+  for (int64_t v = 1; v < cfg.vocab_size; ++v) {
+    if (logits[static_cast<size_t>(v)] >
+        logits[static_cast<size_t>(argmax)]) {
+      argmax = v;
+    }
+  }
+  GenerateOptions opts;
+  opts.max_new_tokens = 10;
+  opts.sampler.temperature = 0.0f;
+  opts.stop_token = argmax;
+  util::Rng gen_rng(8);
+  auto out = GenerateCached(model, {3}, opts, &gen_rng);
+  EXPECT_EQ(out, (std::vector<int64_t>{argmax}));
+}
+
+TEST(CachedGenerateTest, SessionReuseMatchesFreshSessions) {
+  nn::GPTConfig cfg;
+  cfg.vocab_size = 13;
+  cfg.max_seq_len = 10;
+  cfg.d_model = 16;
+  cfg.n_layer = 2;
+  cfg.n_head = 2;
+  util::Rng rng(9);
+  nn::GPTModel model(cfg, &rng);
+  GenerateOptions opts;
+  opts.max_new_tokens = 6;
+  opts.sampler.top_k = 4;
+  nn::GptInferenceSession session(&model);
+  const std::vector<std::vector<int64_t>> prefixes = {{1, 2}, {5}, {9, 3, 4}};
+  for (const auto& prefix : prefixes) {
+    util::Rng r1(42), r2(42);
+    auto fresh = GenerateCached(model, prefix, opts, &r1);
+    auto reused = GenerateWithSession(&session, prefix, opts, &r2);
+    EXPECT_EQ(fresh, reused);
+  }
 }
 
 }  // namespace

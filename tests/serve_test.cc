@@ -1,0 +1,517 @@
+// Tests for the batched inference serving runtime (src/serve).
+//
+// The central contract: a request served through the continuous-batching
+// scheduler returns exactly the tokens that sample::GenerateCached would
+// produce for the same prompt/options/seed on a dedicated session —
+// whatever else shares the batch. Plus unit coverage for the queue, the
+// KV pool, the worker pool, and the server's admission/cancel/deadline/
+// shutdown/stats behavior. Registered under the `serve` ctest label so
+// the TSan preset can run the suite in isolation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "sample/sampler.h"
+#include "serve/inference_server.h"
+#include "serve/kv_cache_pool.h"
+#include "serve/request_queue.h"
+#include "serve/worker_pool.h"
+
+namespace llm::serve {
+namespace {
+
+// --- RequestQueue ----------------------------------------------------------
+
+std::shared_ptr<RequestState> MakeState(RequestId id) {
+  auto state = std::make_shared<RequestState>();
+  state->id = id;
+  return state;
+}
+
+TEST(RequestQueueTest, BoundedFifoAndRejection) {
+  RequestQueue queue(2);
+  EXPECT_TRUE(queue.Push(MakeState(1)).ok());
+  EXPECT_TRUE(queue.Push(MakeState(2)).ok());
+  const util::Status full = queue.Push(MakeState(3));
+  EXPECT_EQ(full.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(queue.size(), 2u);
+
+  std::shared_ptr<RequestState> state;
+  ASSERT_TRUE(queue.TryPop(&state));
+  EXPECT_EQ(state->id, 1u);  // FIFO
+  ASSERT_TRUE(queue.TryPop(&state));
+  EXPECT_EQ(state->id, 2u);
+  EXPECT_FALSE(queue.TryPop(&state));
+}
+
+TEST(RequestQueueTest, CloseRejectsPushAndWakesWaiters) {
+  RequestQueue queue(4);
+  std::thread waiter([&] {
+    std::shared_ptr<RequestState> state;
+    EXPECT_FALSE(queue.WaitPop(&state));  // closed and empty
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  queue.Close();
+  waiter.join();
+  EXPECT_EQ(queue.Push(MakeState(9)).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST(RequestQueueTest, WaitPopDeliversAcrossThreads) {
+  RequestQueue queue(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(queue.Push(MakeState(7)).ok());
+  });
+  std::shared_ptr<RequestState> state;
+  ASSERT_TRUE(queue.WaitPop(&state));
+  EXPECT_EQ(state->id, 7u);
+  producer.join();
+}
+
+// --- KvCachePool -----------------------------------------------------------
+
+TEST(KvCachePoolTest, LeasesAllSlotsThenExhausts) {
+  nn::GPTConfig cfg;
+  cfg.vocab_size = 7;
+  cfg.max_seq_len = 8;
+  cfg.d_model = 16;
+  cfg.n_layer = 2;
+  cfg.n_head = 2;
+  KvCachePool pool(cfg, 3);
+  EXPECT_EQ(pool.free_count(), 3);
+  EXPECT_GT(pool.bytes(), 0u);
+
+  std::vector<int64_t> slots;
+  for (int i = 0; i < 3; ++i) {
+    const int64_t slot = pool.Acquire();
+    ASSERT_GE(slot, 0);
+    slots.push_back(slot);
+  }
+  EXPECT_EQ(pool.Acquire(), -1);  // exhausted
+  EXPECT_EQ(pool.free_count(), 0);
+
+  // Views are per-slot/per-layer distinct storage.
+  for (size_t a = 0; a < slots.size(); ++a) {
+    for (size_t b = a + 1; b < slots.size(); ++b) {
+      EXPECT_NE(pool.slot_views(slots[a])[0].keys,
+                pool.slot_views(slots[b])[0].keys);
+    }
+    EXPECT_NE(pool.slot_views(slots[a])[0].keys,
+              pool.slot_views(slots[a])[1].keys);
+    EXPECT_NE(pool.slot_views(slots[a])[0].keys,
+              pool.slot_views(slots[a])[0].values);
+  }
+
+  pool.Release(slots[1]);
+  EXPECT_EQ(pool.free_count(), 1);
+  EXPECT_EQ(pool.Acquire(), slots[1]);  // recycled, not reallocated
+}
+
+// --- WorkerPool ------------------------------------------------------------
+
+TEST(WorkerPoolTest, RunsEveryIndexExactlyOnce) {
+  for (int threads : {0, 1, 3}) {
+    WorkerPool pool(threads);
+    EXPECT_EQ(pool.lanes(), threads > 0 ? threads : 1);
+    std::vector<std::atomic<int>> hits(17);
+    for (auto& h : hits) h.store(0);
+    pool.Run(17, [&](int64_t i, int lane) {
+      EXPECT_GE(lane, 0);
+      EXPECT_LT(lane, pool.lanes());
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(WorkerPoolTest, BackToBackRunsAreIsolated) {
+  WorkerPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.Run(round % 5, [&](int64_t i, int) { sum.fetch_add(i + 1); });
+    const int64_t n = round % 5;
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+  }
+}
+
+// --- InferenceServer -------------------------------------------------------
+
+nn::GPTConfig SmallConfig() {
+  nn::GPTConfig cfg;
+  cfg.vocab_size = 19;
+  cfg.max_seq_len = 16;
+  cfg.d_model = 24;
+  cfg.n_layer = 2;
+  cfg.n_head = 3;
+  return cfg;
+}
+
+GenerateRequest MakeRequest(std::vector<int64_t> prompt, uint64_t seed,
+                            int64_t max_new = 8) {
+  GenerateRequest request;
+  request.prompt = std::move(prompt);
+  request.seed = seed;
+  request.max_new_tokens = max_new;
+  request.sampler.temperature = 0.8f;
+  request.sampler.top_k = 7;
+  return request;
+}
+
+std::vector<int64_t> SingleStreamReference(const nn::GPTModel& model,
+                                           const GenerateRequest& request) {
+  sample::GenerateOptions opts;
+  opts.max_new_tokens = request.max_new_tokens;
+  opts.sampler = request.sampler;
+  opts.stop_token = request.stop_token;
+  util::Rng rng(request.seed);
+  return sample::GenerateCached(model, request.prompt, opts, &rng);
+}
+
+TEST(InferenceServerTest, MoreRequestsThanSlotsAllMatchSingleStream) {
+  // 9 concurrent requests through 3 KV slots: continuous batching must
+  // recycle slots mid-flight, and every request must still get the exact
+  // tokens a dedicated single-stream session would have produced.
+  util::Rng rng(31);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ServerOptions options;
+  options.max_batch_size = 3;
+  options.num_workers = 2;
+  options.queue_capacity = 32;
+  InferenceServer server(&model, options);
+  server.Start();
+
+  std::vector<GenerateRequest> requests;
+  requests.push_back(MakeRequest({3, 1, 4, 1, 5}, 1));
+  requests.push_back(MakeRequest({2, 7}, 2, 12));
+  requests.push_back(MakeRequest({9, 9, 8, 2, 6, 5, 3}, 3));
+  requests.push_back(MakeRequest({0}, 4, 15));  // runs into the window
+  requests.push_back(MakeRequest({11, 16, 13}, 5));
+  requests.push_back(MakeRequest({1}, 6, 3));
+  {
+    GenerateRequest greedy = MakeRequest({5, 5, 5}, 7);
+    greedy.sampler = sample::SamplerOptions{0.0f, 0, 0.0f};
+    requests.push_back(std::move(greedy));
+  }
+  {
+    GenerateRequest nucleus = MakeRequest({8, 2}, 8, 10);
+    nucleus.sampler = sample::SamplerOptions{1.1f, 0, 0.9f};
+    requests.push_back(std::move(nucleus));
+  }
+  requests.push_back(MakeRequest({4, 4, 4, 4}, 9, 6));
+
+  std::vector<RequestId> ids;
+  for (const auto& request : requests) {
+    auto id = server.Submit(request);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(id.value());
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto result = server.Wait(ids[i]);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().status.ok());
+    EXPECT_EQ(result.value().tokens,
+              SingleStreamReference(model, requests[i]))
+        << "request " << i;
+  }
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.completed, requests.size());
+  EXPECT_EQ(stats.active_slots, 0);
+}
+
+TEST(InferenceServerTest, StopTokenAndFinishReasons) {
+  util::Rng rng(32);
+  nn::GPTModel model(SmallConfig(), &rng);
+  InferenceServer server(&model, ServerOptions{});
+  server.Start();
+
+  // Greedy-probe the first generated token, then use it as a stop token.
+  GenerateRequest probe = MakeRequest({6, 2}, 0, 1);
+  probe.sampler = sample::SamplerOptions{0.0f, 0, 0.0f};
+  RequestResult probed = server.GenerateBlocking(probe);
+  ASSERT_TRUE(probed.status.ok());
+  ASSERT_EQ(probed.tokens.size(), 1u);
+  EXPECT_EQ(probed.reason, FinishReason::kLength);
+
+  GenerateRequest stop_request = probe;
+  stop_request.max_new_tokens = 10;
+  stop_request.stop_token = probed.tokens[0];
+  RequestResult stopped = server.GenerateBlocking(stop_request);
+  ASSERT_TRUE(stopped.status.ok());
+  EXPECT_EQ(stopped.reason, FinishReason::kStop);
+  EXPECT_EQ(stopped.tokens, probed.tokens);
+
+  // A request that outruns the model window finishes with kWindow.
+  GenerateRequest window_request = MakeRequest({1}, 3, 100);
+  RequestResult windowed = server.GenerateBlocking(window_request);
+  ASSERT_TRUE(windowed.status.ok());
+  EXPECT_EQ(windowed.reason, FinishReason::kWindow);
+  EXPECT_EQ(windowed.tokens, SingleStreamReference(model, window_request));
+}
+
+TEST(InferenceServerTest, StreamsEveryTokenInOrder) {
+  util::Rng rng(33);
+  nn::GPTModel model(SmallConfig(), &rng);
+  InferenceServer server(&model, ServerOptions{});
+  server.Start();
+
+  std::vector<int64_t> streamed;
+  std::mutex streamed_mu;
+  GenerateRequest request = MakeRequest({2, 3, 5, 7}, 17, 9);
+  request.on_token = [&](RequestId, int64_t token) {
+    std::lock_guard<std::mutex> lock(streamed_mu);
+    streamed.push_back(token);
+  };
+  RequestResult result = server.GenerateBlocking(request);
+  ASSERT_TRUE(result.status.ok());
+  std::lock_guard<std::mutex> lock(streamed_mu);
+  EXPECT_EQ(streamed, result.tokens);
+}
+
+TEST(InferenceServerTest, SubmitValidationAndZeroLengthRequests) {
+  util::Rng rng(34);
+  nn::GPTModel model(SmallConfig(), &rng);
+  InferenceServer server(&model, ServerOptions{});
+  server.Start();
+
+  EXPECT_EQ(server.Submit(MakeRequest({}, 1)).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      server.Submit(MakeRequest(std::vector<int64_t>(17, 1), 1)).status().code(),
+      util::StatusCode::kInvalidArgument);  // prompt longer than the window
+  EXPECT_EQ(server.Submit(MakeRequest({19}, 1)).status().code(),
+            util::StatusCode::kInvalidArgument);  // token out of vocabulary
+  EXPECT_EQ(server.Submit(MakeRequest({-1}, 1)).status().code(),
+            util::StatusCode::kInvalidArgument);
+
+  GenerateRequest empty_gen = MakeRequest({1, 2}, 1, 0);
+  RequestResult result = server.GenerateBlocking(empty_gen);
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.tokens.empty());
+  EXPECT_EQ(result.reason, FinishReason::kLength);
+
+  EXPECT_EQ(server.Wait(99999).status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(InferenceServerTest, BoundedAdmissionRejectsWhenQueueFull) {
+  util::Rng rng(35);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ServerOptions options;
+  options.queue_capacity = 3;
+  InferenceServer server(&model, options);
+  // Not started: the queue fills deterministically.
+  std::vector<RequestId> ids;
+  for (int i = 0; i < 3; ++i) {
+    auto id = server.Submit(MakeRequest({1, 2}, static_cast<uint64_t>(i), 2));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  auto rejected = server.Submit(MakeRequest({1, 2}, 99, 2));
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.Stats().rejected, 1u);
+  EXPECT_EQ(server.Stats().queue_depth, 3u);
+
+  // Pre-Start submissions are served once the scheduler comes up.
+  server.Start();
+  for (RequestId id : ids) {
+    auto result = server.Wait(id);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().status.ok());
+    EXPECT_EQ(result.value().tokens.size(), 2u);
+  }
+}
+
+TEST(InferenceServerTest, CancelQueuedRequestBeforeStart) {
+  util::Rng rng(36);
+  nn::GPTModel model(SmallConfig(), &rng);
+  InferenceServer server(&model, ServerOptions{});
+  auto id = server.Submit(MakeRequest({1, 2, 3}, 5, 50));
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(server.Cancel(id.value()));
+  server.Start();
+  auto result = server.Wait(id.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().reason, FinishReason::kCancelled);
+  EXPECT_EQ(result.value().status.code(), util::StatusCode::kCancelled);
+  EXPECT_TRUE(result.value().tokens.empty());
+  EXPECT_FALSE(server.Cancel(99999));  // unknown id
+}
+
+TEST(InferenceServerTest, CancelInFlightKeepsPartialOutput) {
+  util::Rng rng(37);
+  nn::GPTConfig cfg = SmallConfig();
+  // A window this deep takes the scheduler thousands of ticks to exhaust,
+  // so the cancel below always lands while the request is in flight.
+  cfg.max_seq_len = 4096;
+  nn::GPTModel model(cfg, &rng);
+  InferenceServer server(&model, ServerOptions{});
+  server.Start();
+
+  std::promise<void> first_token;
+  std::atomic<bool> signalled{false};
+  GenerateRequest request = MakeRequest({1, 2}, 11, 10000);
+  request.on_token = [&](RequestId, int64_t) {
+    if (!signalled.exchange(true)) first_token.set_value();
+  };
+  auto id = server.Submit(request);
+  ASSERT_TRUE(id.ok());
+  first_token.get_future().wait();
+  EXPECT_TRUE(server.Cancel(id.value()));
+  auto result = server.Wait(id.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().reason, FinishReason::kCancelled);
+  EXPECT_GE(result.value().tokens.size(), 1u);
+  // The partial stream is still the exact single-stream prefix: replaying
+  // the request with max_new_tokens == the partial length must reproduce
+  // it token for token.
+  GenerateRequest replay = request;
+  replay.on_token = nullptr;
+  replay.max_new_tokens = static_cast<int64_t>(result.value().tokens.size());
+  EXPECT_EQ(result.value().tokens, SingleStreamReference(model, replay));
+}
+
+TEST(InferenceServerTest, QueuedDeadlineExpiresBeforeAdmission) {
+  util::Rng rng(38);
+  nn::GPTModel model(SmallConfig(), &rng);
+  InferenceServer server(&model, ServerOptions{});
+  GenerateRequest request = MakeRequest({1, 2}, 3, 4);
+  request.timeout = std::chrono::milliseconds(1);
+  auto id = server.Submit(request);
+  ASSERT_TRUE(id.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  server.Start();  // deadline already gone when the scheduler first looks
+  auto result = server.Wait(id.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().reason, FinishReason::kDeadline);
+  EXPECT_EQ(result.value().status.code(),
+            util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server.Stats().expired, 1u);
+}
+
+TEST(InferenceServerTest, ShutdownCancelsInFlightAndQueued) {
+  util::Rng rng(39);
+  nn::GPTConfig cfg = SmallConfig();
+  cfg.max_seq_len = 4096;  // keeps the in-flight request from finishing
+  nn::GPTModel model(cfg, &rng);
+  ServerOptions options;
+  options.max_batch_size = 1;  // second request stays queued
+  auto server = std::make_unique<InferenceServer>(&model, options);
+  server->Start();
+
+  std::promise<void> first_token;
+  std::atomic<bool> signalled{false};
+  GenerateRequest request = MakeRequest({1, 2}, 11, 10000);
+  request.on_token = [&](RequestId, int64_t) {
+    if (!signalled.exchange(true)) first_token.set_value();
+  };
+  auto in_flight = server->Submit(request);
+  ASSERT_TRUE(in_flight.ok());
+  first_token.get_future().wait();
+  auto queued = server->Submit(MakeRequest({3, 4}, 12, 10000));
+  ASSERT_TRUE(queued.ok());
+
+  server->Shutdown();
+  auto flight_result = server->Wait(in_flight.value());
+  ASSERT_TRUE(flight_result.ok());
+  EXPECT_EQ(flight_result.value().reason, FinishReason::kCancelled);
+  EXPECT_GE(flight_result.value().tokens.size(), 1u);
+  auto queued_result = server->Wait(queued.value());
+  ASSERT_TRUE(queued_result.ok());
+  EXPECT_EQ(queued_result.value().reason, FinishReason::kCancelled);
+
+  // Post-shutdown submissions are refused.
+  EXPECT_EQ(server->Submit(MakeRequest({1}, 1)).status().code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST(InferenceServerTest, StatsTrackThroughputAndLatency) {
+  util::Rng rng(40);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ServerOptions options;
+  options.max_batch_size = 4;
+  InferenceServer server(&model, options);
+  server.Start();
+  std::vector<RequestId> ids;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    auto id = server.Submit(MakeRequest({1, 2, 3}, seed, 5));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  for (RequestId id : ids) ASSERT_TRUE(server.Wait(id).ok());
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.submitted, 6u);
+  EXPECT_EQ(stats.completed, 6u);
+  EXPECT_EQ(stats.total_tokens, 30u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.active_slots, 0);
+  EXPECT_EQ(stats.total_slots, 4);
+  EXPECT_GT(stats.tokens_per_sec, 0.0);
+  EXPECT_GT(stats.p50_latency_ms, 0.0);
+  EXPECT_LE(stats.p50_latency_ms, stats.p95_latency_ms);
+  EXPECT_LE(stats.p95_latency_ms, stats.p99_latency_ms);
+}
+
+// Bit-exactness across architecture variants: the serving path must agree
+// with the single-stream reference for pre/post-LN, sinusoidal positions,
+// attention-only stacks, tied embeddings, and windowed attention.
+struct ServeVariant {
+  bool pre_ln;
+  bool learned_pos;
+  bool attn_only;
+  bool tied;
+  int window;
+};
+
+class ServeVariants : public ::testing::TestWithParam<ServeVariant> {};
+
+TEST_P(ServeVariants, ServerMatchesSingleStream) {
+  const ServeVariant& v = GetParam();
+  nn::GPTConfig cfg = SmallConfig();
+  cfg.pre_layernorm = v.pre_ln;
+  cfg.learned_positional = v.learned_pos;
+  cfg.attention_only = v.attn_only;
+  cfg.tie_embeddings = v.tied;
+  cfg.attention_window = v.window;
+  util::Rng rng(41);
+  nn::GPTModel model(cfg, &rng);
+
+  ServerOptions options;
+  options.max_batch_size = 3;
+  InferenceServer server(&model, options);
+  server.Start();
+
+  std::vector<GenerateRequest> requests;
+  requests.push_back(MakeRequest({3, 1, 4, 1, 5}, 1, 7));
+  requests.push_back(MakeRequest({2, 7}, 2, 9));
+  requests.push_back(MakeRequest({0}, 3, 12));
+  requests.push_back(MakeRequest({9, 8, 7, 6}, 4, 5));
+  std::vector<RequestId> ids;
+  for (const auto& request : requests) {
+    auto id = server.Submit(request);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto result = server.Wait(ids[i]);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().tokens,
+              SingleStreamReference(model, requests[i]))
+        << "request " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, ServeVariants,
+    ::testing::Values(ServeVariant{true, true, false, false, 0},
+                      ServeVariant{false, true, false, false, 0},
+                      ServeVariant{true, false, false, false, 0},
+                      ServeVariant{true, true, true, false, 0},
+                      ServeVariant{true, true, false, true, 0},
+                      ServeVariant{false, false, true, true, 3}));
+
+}  // namespace
+}  // namespace llm::serve
