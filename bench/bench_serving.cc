@@ -15,6 +15,13 @@
 //     dedicated single-stream run, whatever the batch composition.
 //
 // Each sweep point prints one machine-readable JSON line.
+//
+// A final overload stage pushes offered load past capacity (more
+// concurrent requests than queue + slots, a slice of them on tight
+// deadlines, plus a low-rate injected poisoned-lane fault) and reports the
+// shed rate, failure isolation counts, and tail latency as a
+// `BENCH_SERVING` JSON line — the degradation curve under pressure, not
+// just the happy-path speedup.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -22,6 +29,7 @@
 
 #include "sample/sampler.h"
 #include "serve/inference_server.h"
+#include "util/fault.h"
 
 namespace {
 
@@ -154,5 +162,76 @@ int main() {
               "%.2fx (target >= 3x), outputs %s\n",
               speedup_at_8, all_exact ? "bit-identical" : "MISMATCH (bug!)");
   if (!all_exact) return 1;
+
+  // Overload stage: 32 requests thrown at a 4-slot server with an 8-deep
+  // queue as fast as the client can submit — offered load far past
+  // capacity, so bounded admission must shed. A quarter of the requests
+  // carry deadlines too tight to always make it, and kDecodeNaN fires at a
+  // 2% rate to exercise poisoned-lane isolation under pressure. The
+  // interesting outputs: how much load was shed at the door, how many
+  // faults were isolated, and what the p99 looked like for the survivors.
+  {
+    llm::util::FaultInjector::Global().ArmRandom(
+        llm::util::FaultSite::kDecodeNaN, 0.02, 11);
+    llm::serve::ServerOptions options;
+    options.max_batch_size = 4;
+    options.num_workers = 1;
+    options.queue_capacity = 8;
+    llm::serve::InferenceServer server(&model, options);
+    server.Start();
+
+    constexpr int kOffered = 32;
+    std::vector<llm::serve::RequestId> ids;
+    const auto start = Clock::now();
+    for (int i = 0; i < kOffered; ++i) {
+      llm::serve::GenerateRequest request;
+      request.prompt = {static_cast<int64_t>(1 + 97 * i) % cfg.vocab_size,
+                        static_cast<int64_t>(5 + 131 * i) % cfg.vocab_size};
+      request.max_new_tokens = 16;
+      request.seed = 5000 + static_cast<uint64_t>(i);
+      request.sampler.temperature = 0.8f;
+      if (i % 4 == 0) request.timeout = std::chrono::milliseconds(400);
+      auto id = server.Submit(request);
+      if (id.ok()) ids.push_back(id.value());
+    }
+    for (llm::serve::RequestId id : ids) {
+      auto result = server.Wait(id);
+      if (!result.ok()) {
+        std::fprintf(stderr, "overload: Wait failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+    }
+    const double secs = SecondsSince(start);
+    const llm::serve::ServerStats stats = server.Stats();
+    llm::util::FaultInjector::Global().Disarm();
+
+    const uint64_t offered = stats.submitted + stats.rejected;
+    const double shed_rate =
+        offered > 0 ? static_cast<double>(stats.rejected) /
+                          static_cast<double>(offered)
+                    : 0.0;
+    std::printf(
+        "BENCH_SERVING {\"bench\":\"serving\",\"mode\":\"overload\","
+        "\"offered\":%llu,\"accepted\":%llu,\"rejected\":%llu,"
+        "\"shed_rate\":%.3f,\"completed\":%llu,\"expired\":%llu,"
+        "\"failed\":%llu,\"seconds\":%.3f,\"tokens_per_sec\":%.1f,"
+        "\"p50_ms\":%.1f,\"p99_ms\":%.1f,\"health\":\"%s\"}\n",
+        static_cast<unsigned long long>(offered),
+        static_cast<unsigned long long>(stats.submitted),
+        static_cast<unsigned long long>(stats.rejected), shed_rate,
+        static_cast<unsigned long long>(stats.completed),
+        static_cast<unsigned long long>(stats.expired),
+        static_cast<unsigned long long>(stats.failed), secs,
+        stats.tokens_per_sec, stats.p50_latency_ms, stats.p99_latency_ms,
+        llm::serve::ServerHealthName(stats.health));
+
+    // Conservation must hold even at the edge of capacity.
+    if (stats.submitted !=
+        stats.completed + stats.cancelled + stats.expired + stats.failed) {
+      std::fprintf(stderr, "overload: conservation invariant violated\n");
+      return 1;
+    }
+  }
   return 0;
 }

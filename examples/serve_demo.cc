@@ -8,6 +8,8 @@
 //   3. Submit concurrent requests with streaming callbacks — tokens print
 //      as they are generated, interleaved across requests.
 //   4. Demonstrate cancellation, a deadline, and the stats snapshot.
+//   5. Resilience: retry overload rejections with capped backoff, check
+//      Health(), and take the server down gracefully with Drain().
 //
 // Every request's output is bit-identical to a dedicated single-stream
 // session with the same seed, whatever else shares the batch.
@@ -138,6 +140,55 @@ int main() {
       stats.tokens_per_sec, stats.p50_latency_ms, stats.p95_latency_ms,
       stats.p99_latency_ms, static_cast<long long>(stats.active_slots),
       static_cast<long long>(stats.total_slots));
-  server.Shutdown();
+
+  // 5a. Overload-tolerant submission: SubmitWithRetry rides out
+  // ResourceExhausted rejections with capped exponential backoff and
+  // deterministic jitter (seed it per client so retries decorrelate).
+  {
+    serve::GenerateRequest request;
+    request.prompt = {0};
+    request.max_new_tokens = 8;
+    serve::RetryOptions retry;
+    retry.max_attempts = 5;
+    retry.initial_backoff = std::chrono::milliseconds(2);
+    retry.max_backoff = std::chrono::milliseconds(50);
+    retry.jitter_seed = 42;
+    auto id = server.SubmitWithRetry(request, retry);
+    if (!id.ok()) return 1;
+    auto result = server.Wait(id.value());
+    if (!result.ok()) return 1;
+    std::printf("\nSubmitWithRetry request finished as '%s' (%zu tokens), "
+                "health: %s\n",
+                serve::FinishReasonName(result.value().reason),
+                result.value().tokens.size(),
+                serve::ServerHealthName(server.Health()));
+  }
+
+  // 5b. Graceful shutdown: Drain closes admission immediately (new
+  // Submits get FailedPrecondition), lets in-flight work finish, and
+  // reports whether everything completed inside the timeout.
+  {
+    serve::GenerateRequest last;
+    last.prompt = {4};
+    last.max_new_tokens = 8;
+    auto id = server.Submit(last);
+    const util::Status drained = server.Drain(std::chrono::seconds(5));
+    std::printf("drain: %s, health now '%s'\n",
+                drained.ok() ? "all requests finished in time"
+                             : drained.ToString().c_str(),
+                serve::ServerHealthName(server.Health()));
+    if (id.ok()) {
+      auto result = server.Wait(id.value());
+      if (result.ok()) {
+        std::printf("request submitted before drain finished as '%s'\n",
+                    serve::FinishReasonName(result.value().reason));
+      }
+    }
+    auto refused = server.Submit(last);
+    std::printf("submit after drain: %s\n",
+                refused.ok() ? "accepted (bug!)"
+                             : refused.status().ToString().c_str());
+  }
+  server.Shutdown();  // idempotent after Drain
   return 0;
 }

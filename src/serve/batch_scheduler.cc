@@ -1,9 +1,14 @@
 #include "serve/batch_scheduler.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
 #include <utility>
 
 #include "sample/sampler.h"
+#include "util/fault.h"
 
 namespace llm::serve {
 namespace {
@@ -12,6 +17,20 @@ namespace {
 // each weight row across many lanes, so splitting the batch thinner than
 // this for the sake of thread fan-out costs more than it buys.
 constexpr int64_t kPreferredSubBatch = 4;
+
+// How long an injected kWorkerStall sleeps. Long enough that any sane tick
+// budget (tests use 5-20ms) sees the tick as stalled; short enough that
+// chaos schedules firing a handful of stalls stay fast.
+constexpr int kInjectedStallMs = 30;
+
+// Numeric-health check for one lane's logits: every sampled lane must
+// produce finite logits before they feed the sampler.
+bool LaneFinite(const float* logits, int64_t vocab) {
+  for (int64_t v = 0; v < vocab; ++v) {
+    if (!std::isfinite(logits[v])) return false;
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -36,6 +55,7 @@ void BatchScheduler::Admit(std::shared_ptr<RequestState> state) {
   seq.generated = 0;
   seq.next_token = state->request.prompt.front();
   seq.sampled = -1;
+  seq.faulted = false;
   const double queue_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - state->submit_time)
@@ -54,8 +74,23 @@ void BatchScheduler::Retire(int64_t slot, FinishReason reason,
   out->finished.push_back({std::move(seq.state), reason, status});
   seq.state = nullptr;
   seq.occupied = false;
-  pool_->Release(slot);
+  if (!util::MaybeInjectFault(util::FaultSite::kSlotLeak)) {
+    pool_->Release(slot);
+  }
+  // Injected leak: the slot stays leased with no occupant. The server's
+  // per-iteration ReclaimLeakedSlots() sweep detects and repairs it.
   --active_count_;
+}
+
+int64_t BatchScheduler::ReclaimLeakedSlots() {
+  int64_t repaired = 0;
+  for (int64_t slot = 0; slot < pool_->num_slots(); ++slot) {
+    if (pool_->leased(slot) && !seqs_[static_cast<size_t>(slot)].occupied) {
+      pool_->Release(slot);
+      ++repaired;
+    }
+  }
+  return repaired;
 }
 
 void BatchScheduler::Tick(WorkerPool* workers,
@@ -111,6 +146,11 @@ void BatchScheduler::Tick(WorkerPool* workers,
       inputs.push_back({seq.next_token, seq.pos, pool_->slot_views(slot),
                         logits_.data() + static_cast<size_t>(slot) * vocab});
     }
+    if (util::MaybeInjectFault(util::FaultSite::kWorkerStall)) {
+      // A wedged worker: the whole tick overruns its budget, which is what
+      // the server's watchdog exists to catch.
+      std::this_thread::sleep_for(std::chrono::milliseconds(kInjectedStallMs));
+    }
     nn::BatchedDecodeStep(*model_, inputs.data(),
                           static_cast<int64_t>(inputs.size()),
                           &(*scratch)[static_cast<size_t>(lane)]);
@@ -122,13 +162,24 @@ void BatchScheduler::Tick(WorkerPool* workers,
       ActiveSeq& seq = seqs_[static_cast<size_t>(slot)];
       ++seq.pos;
       const auto& req = seq.state->request;
+      float* lane_logits = logits_.data() + static_cast<size_t>(slot) * vocab;
       // Mirrors sample::GenerateWithSession: a sampling step happens only
       // once the whole prompt is in and while the window has room.
       if (seq.pos >= static_cast<int64_t>(req.prompt.size()) &&
           seq.pos < max_len) {
-        seq.sampled = sample::SampleFromLogits(
-            logits_.data() + static_cast<size_t>(slot) * vocab, vocab,
-            req.sampler, &seq.rng);
+        if (util::MaybeInjectFault(util::FaultSite::kDecodeNaN)) {
+          lane_logits[0] = std::numeric_limits<float>::quiet_NaN();
+        }
+        // Poisoned-lane guard: NaN/Inf logits retire this lane alone; its
+        // logits buffer and KV slot are private, so batch mates are
+        // bit-exact whatever happened here.
+        if (!LaneFinite(lane_logits, vocab)) {
+          seq.faulted = true;
+          seq.sampled = -1;
+        } else {
+          seq.sampled = sample::SampleFromLogits(lane_logits, vocab,
+                                                 req.sampler, &seq.rng);
+        }
       } else {
         seq.sampled = -1;
       }
@@ -140,6 +191,13 @@ void BatchScheduler::Tick(WorkerPool* workers,
     const int64_t slot = active_idx_[static_cast<size_t>(k)];
     ActiveSeq& seq = seqs_[static_cast<size_t>(slot)];
     const auto& req = seq.state->request;
+    if (seq.faulted) {
+      Retire(slot, FinishReason::kFault,
+             util::Status::Internal("non-finite logits in decode lane (slot " +
+                                    std::to_string(slot) + ")"),
+             out);
+      continue;
+    }
     if (seq.sampled >= 0) {
       ++seq.generated;
       {

@@ -16,6 +16,16 @@
 // (nn/batched_decode.h), so a request's output is a pure function of the
 // request — independent of what else shares the batch.
 //
+// Failure isolation: every sampled lane passes a numeric-health check
+// before its logits feed the sampler. A lane whose logits come back
+// NaN/Inf (a poisoned batch member) retires alone with FinishReason::
+// kFault and an Internal status; the other lanes' outputs are untouched —
+// each lane has its own logits buffer and KV slot, so one bad request can
+// never corrupt its batch mates. Fault-injection sites (util/fault):
+// kDecodeNaN poisons one lane's logits, kWorkerStall sleeps a worker past
+// any reasonable tick budget, kSlotLeak drops a retiring slot's Release —
+// repaired by the ReclaimLeakedSlots() sweep.
+//
 // Single-threaded driver: all methods are called from the server's
 // scheduler thread only. Tick fans the forward pass out across the
 // WorkerPool and returns after the barrier, so worker threads never touch
@@ -84,6 +94,7 @@ class BatchScheduler {
   /// past-deadline sequences, runs the fused batched forward across the
   /// worker pool (scratch: one BatchedScratch per pool lane), samples, and
   /// retires finished sequences. Fills `out` with emissions/completions.
+  /// Lanes whose logits fail the numeric-health check retire with kFault.
   void Tick(WorkerPool* workers, std::vector<nn::BatchedScratch>* scratch,
             TickOutput* out);
 
@@ -91,6 +102,11 @@ class BatchScheduler {
   /// shutdown path).
   void DrainActive(FinishReason reason, const util::Status& status,
                    TickOutput* out);
+
+  /// Returns leaked KV slots (leased in the pool but no longer backing any
+  /// active sequence — the kSlotLeak failure mode) to the free list.
+  /// Returns the number repaired; cheap O(num_slots) sweep.
+  int64_t ReclaimLeakedSlots();
 
  private:
   struct ActiveSeq {
@@ -101,6 +117,7 @@ class BatchScheduler {
     int64_t generated = 0;   // tokens sampled so far
     int64_t next_token = 0;  // token to feed at the next Tick
     int64_t sampled = -1;    // token sampled this tick (worker-written)
+    bool faulted = false;    // non-finite logits this tick (worker-written)
   };
 
   void Retire(int64_t slot, FinishReason reason, const util::Status& status,

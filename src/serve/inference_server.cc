@@ -2,14 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
+
+#include "util/fault.h"
+#include "util/rng.h"
 
 namespace llm::serve {
 namespace {
 
 // Completed-request latency samples retained for percentile estimates.
 constexpr size_t kLatencyWindow = 8192;
+
+// Deadline-feasibility shedding trusts the decode-rate EMA only after this
+// many measured ticks, so a cold server never sheds on a garbage estimate.
+constexpr int64_t kMinTicksForEstimate = 8;
+
+// EMA smoothing for the per-step cost estimate.
+constexpr double kEstAlpha = 0.2;
 
 double Percentile(std::vector<double>* sorted, double q) {
   if (sorted->empty()) return 0.0;
@@ -26,6 +38,12 @@ double MsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 const char* FinishReasonName(FinishReason reason) {
@@ -36,6 +54,16 @@ const char* FinishReasonName(FinishReason reason) {
     case FinishReason::kWindow: return "window";
     case FinishReason::kCancelled: return "cancelled";
     case FinishReason::kDeadline: return "deadline";
+    case FinishReason::kFault: return "fault";
+  }
+  return "unknown";
+}
+
+const char* ServerHealthName(ServerHealth health) {
+  switch (health) {
+    case ServerHealth::kHealthy: return "healthy";
+    case ServerHealth::kDegraded: return "degraded";
+    case ServerHealth::kDraining: return "draining";
   }
   return "unknown";
 }
@@ -57,34 +85,82 @@ InferenceServer::~InferenceServer() { Shutdown(); }
 
 void InferenceServer::Start() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
-  if (started_) return;
+  if (started_ || finished_) return;
   started_ = true;
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     started_at_ = std::chrono::steady_clock::now();
   }
   scheduler_thread_ = std::thread([this] { SchedulerMain(); });
+  if (options_.tick_budget.count() > 0) {
+    watchdog_thread_ = std::thread([this] { WatchdogMain(); });
+  }
 }
 
 void InferenceServer::Shutdown() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (finished_) return;
   finished_ = true;
+  admission_closed_.store(true, std::memory_order_release);
   stop_.store(true, std::memory_order_release);
   queue_.Close();
+  {
+    std::lock_guard<std::mutex> wd_lock(watchdog_mu_);
+  }
+  watchdog_cv_.notify_all();
   if (started_) {
     scheduler_thread_.join();
-  } else {
-    // Never started: fail anything that was queued for a later Start.
-    std::shared_ptr<RequestState> state;
-    while (queue_.TryPop(&state)) {
-      CompleteNow(state, FinishReason::kCancelled,
-                  util::Status::Cancelled("server shutdown"));
-    }
+    if (watchdog_thread_.joinable()) watchdog_thread_.join();
+  }
+  // Sweep the queue after the scheduler is gone. This covers the
+  // never-started server AND the Submit-vs-Shutdown race: a push that
+  // landed after the scheduler's own final drain would otherwise leave its
+  // waiter hung forever. Wait()-after-Shutdown must always return.
+  std::shared_ptr<RequestState> state;
+  while (queue_.TryPop(&state)) {
+    CompleteNow(state, FinishReason::kCancelled,
+                util::Status::Cancelled("server shutdown"));
   }
 }
 
+util::Status InferenceServer::Drain(std::chrono::milliseconds timeout) {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (finished_) {
+      return util::Status::FailedPrecondition("server already shut down");
+    }
+    draining_.store(true, std::memory_order_release);
+    admission_closed_.store(true, std::memory_order_release);
+  }
+  queue_.Close();  // scheduler exits once the backlog is served
+  bool drained;
+  {
+    std::unique_lock<std::mutex> lock(stats_mu_);
+    drained = drain_cv_.wait_for(lock, timeout, [this] {
+      return submitted_ == completed_ + cancelled_ + expired_ + failed_;
+    });
+  }
+  Shutdown();
+  if (!drained) {
+    return util::Status::DeadlineExceeded(
+        "drain timed out; remaining requests cancelled");
+  }
+  return util::Status::OK();
+}
+
+ServerHealth InferenceServer::Health() const {
+  if (admission_closed_.load(std::memory_order_acquire)) {
+    return ServerHealth::kDraining;
+  }
+  return degraded_.load(std::memory_order_acquire) ? ServerHealth::kDegraded
+                                                   : ServerHealth::kHealthy;
+}
+
 util::StatusOr<RequestId> InferenceServer::Submit(GenerateRequest request) {
+  if (admission_closed_.load(std::memory_order_acquire)) {
+    return util::Status::FailedPrecondition(
+        "server is draining or shut down");
+  }
   const auto& config = model_->config();
   if (request.prompt.empty()) {
     return util::Status::InvalidArgument("prompt must be non-empty");
@@ -138,6 +214,32 @@ util::StatusOr<RequestId> InferenceServer::Submit(GenerateRequest request) {
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++submitted_;
   return state->id;
+}
+
+util::StatusOr<RequestId> InferenceServer::SubmitWithRetry(
+    const GenerateRequest& request, const RetryOptions& retry) {
+  util::Rng jitter(retry.jitter_seed);
+  util::StatusOr<RequestId> result =
+      util::Status::InvalidArgument("max_attempts must be >= 1");
+  const int attempts = std::max(retry.max_attempts, 1);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    result = Submit(request);  // copies: each attempt resubmits intact
+    if (result.ok() ||
+        result.status().code() != util::StatusCode::kResourceExhausted) {
+      return result;
+    }
+    if (attempt + 1 == attempts) break;
+    // Capped exponential backoff with jitter in [0.5, 1.0)x: retries from
+    // clients seeded differently decorrelate instead of re-colliding.
+    const double base_ms = std::min<double>(
+        static_cast<double>(retry.max_backoff.count()),
+        static_cast<double>(retry.initial_backoff.count()) *
+            std::pow(2.0, attempt));
+    const double jittered_ms = base_ms * (0.5 + 0.5 * jitter.Uniform());
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        std::max(jittered_ms, 0.0)));
+  }
+  return result;
 }
 
 bool InferenceServer::Cancel(RequestId id) {
@@ -197,6 +299,11 @@ ServerStats InferenceServer::Stats() const {
   stats.queue_depth = queue_.size();
   stats.active_slots = scheduler_.active_count();
   stats.total_slots = pool_.num_slots();
+  stats.free_slots = pool_.free_count();
+  stats.stalled_ticks = stalled_ticks_.load(std::memory_order_relaxed);
+  stats.leaks_repaired = leaks_repaired_.load(std::memory_order_relaxed);
+  stats.est_ms_per_step = est_ms_per_step_pub_.load(std::memory_order_relaxed);
+  stats.health = Health();
   std::vector<double> latencies;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -205,6 +312,7 @@ ServerStats InferenceServer::Stats() const {
     stats.completed = completed_;
     stats.cancelled = cancelled_;
     stats.expired = expired_;
+    stats.failed = failed_;
     stats.total_tokens = total_tokens_;
     if (started_at_.time_since_epoch().count() != 0) {
       const double secs = MsSince(started_at_) / 1000.0;
@@ -243,9 +351,14 @@ void InferenceServer::RecordFinish(const RequestState& state,
     case FinishReason::kDeadline:
       ++expired_;
       break;
+    case FinishReason::kFault:
+      ++failed_;
+      break;
     case FinishReason::kNone:
       break;
   }
+  // A Drain may be waiting for the last terminal event.
+  drain_cv_.notify_all();
 }
 
 void InferenceServer::CompleteNow(const std::shared_ptr<RequestState>& state,
@@ -265,36 +378,111 @@ void InferenceServer::CompleteNow(const std::shared_ptr<RequestState>& state,
   state->cv.notify_all();
 }
 
+bool InferenceServer::PrepareAdmission(
+    const std::shared_ptr<RequestState>& state) {
+  if (state->cancel_requested.load(std::memory_order_acquire)) {
+    CompleteNow(state, FinishReason::kCancelled,
+                util::Status::Cancelled("cancelled while queued"));
+    return false;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= state->deadline) {
+    CompleteNow(state, FinishReason::kDeadline,
+                util::Status::DeadlineExceeded("deadline expired in queue"));
+    return false;
+  }
+  // Deadline-aware shedding: if even the most optimistic completion
+  // estimate (every remaining step at the measured per-step rate, full
+  // batch parallelism) overshoots the deadline, reject now instead of
+  // wasting a KV slot on a request that is guaranteed to expire.
+  if (state->deadline != std::chrono::steady_clock::time_point::max() &&
+      ticks_observed_ >= kMinTicksForEstimate && est_ms_per_step_ > 0.0) {
+    const auto& request = state->request;
+    const int64_t steps_needed =
+        std::min(static_cast<int64_t>(request.prompt.size()) +
+                     request.max_new_tokens,
+                 model_->config().max_seq_len);
+    const double est_ms = static_cast<double>(steps_needed) * est_ms_per_step_;
+    const double budget_ms =
+        std::chrono::duration<double, std::milli>(state->deadline - now)
+            .count();
+    if (est_ms > budget_ms) {
+      CompleteNow(state, FinishReason::kDeadline,
+                  util::Status::DeadlineExceeded(
+                      "deadline infeasible: ~" +
+                      std::to_string(static_cast<int64_t>(est_ms)) +
+                      "ms of decode needed, " +
+                      std::to_string(static_cast<int64_t>(budget_ms)) +
+                      "ms left"));
+      return false;
+    }
+  }
+  return true;
+}
+
+void InferenceServer::AdmitState(std::shared_ptr<RequestState> state) {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.emplace(state->id, state);
+  }
+  scheduler_.Admit(std::move(state));
+}
+
 int64_t InferenceServer::AdmitFromQueue() {
   int64_t admitted = 0;
   std::shared_ptr<RequestState> state;
   while (scheduler_.HasFreeSlot() && queue_.TryPop(&state)) {
-    if (state->cancel_requested.load(std::memory_order_acquire)) {
-      CompleteNow(state, FinishReason::kCancelled,
-                  util::Status::Cancelled("cancelled while queued"));
-      continue;
-    }
-    if (std::chrono::steady_clock::now() >= state->deadline) {
-      CompleteNow(state, FinishReason::kDeadline,
-                  util::Status::DeadlineExceeded("deadline expired in queue"));
-      continue;
-    }
-    scheduler_.Admit(std::move(state));
+    if (!PrepareAdmission(state)) continue;
+    AdmitState(std::move(state));
     ++admitted;
   }
   return admitted;
 }
 
 void InferenceServer::Publish(const TickOutput& out) {
+  uint64_t delivered = 0;
   for (const TickOutput::Emitted& emitted : out.tokens) {
+    // A request the watchdog (or an earlier callback failure) already
+    // finished gets no further streaming callbacks.
+    {
+      std::lock_guard<std::mutex> lock(emitted.state->mu);
+      if (emitted.state->done) continue;
+    }
+    ++delivered;
     const auto& callback = emitted.state->request.on_token;
-    if (callback) callback(emitted.state->id, emitted.token);
+    if (!callback) continue;
+    bool threw = false;
+    try {
+      if (util::MaybeInjectFault(util::FaultSite::kOnTokenThrow)) {
+        throw std::runtime_error("injected on_token failure");
+      }
+      callback(emitted.state->id, emitted.token);
+    } catch (...) {
+      threw = true;
+    }
+    if (threw) {
+      // A misbehaving client callback is isolated exactly like a poisoned
+      // lane: fail this request, free its slot at the next tick, keep
+      // serving everyone else.
+      degraded_.store(true, std::memory_order_release);
+      emitted.state->cancel_requested.store(true, std::memory_order_release);
+      CompleteNow(emitted.state, FinishReason::kFault,
+                  util::Status::Internal(
+                      "on_token callback threw; request isolated"));
+    }
   }
-  if (!out.tokens.empty()) {
+  if (delivered > 0) {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    total_tokens_ += out.tokens.size();
+    total_tokens_ += delivered;
   }
   for (const TickOutput::Finished& finished : out.finished) {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.erase(finished.state->id);
+    }
+    if (finished.reason == FinishReason::kFault) {
+      degraded_.store(true, std::memory_order_release);
+    }
     const double total_ms = MsSince(finished.state->submit_time);
     {
       std::lock_guard<std::mutex> lock(finished.state->mu);
@@ -315,23 +503,34 @@ void InferenceServer::SchedulerMain() {
       // Idle: block until work arrives or the queue is closed and empty.
       std::shared_ptr<RequestState> state;
       if (!queue_.WaitPop(&state)) break;
-      if (state->cancel_requested.load(std::memory_order_acquire)) {
-        CompleteNow(state, FinishReason::kCancelled,
-                    util::Status::Cancelled("cancelled while queued"));
-        continue;
-      }
-      if (std::chrono::steady_clock::now() >= state->deadline) {
-        CompleteNow(state, FinishReason::kDeadline,
-                    util::Status::DeadlineExceeded("deadline expired in queue"));
-        continue;
-      }
-      scheduler_.Admit(std::move(state));
+      if (!PrepareAdmission(state)) continue;
+      AdmitState(std::move(state));
     }
     // Continuous batching: top the batch up from the queue, then advance
     // every active sequence one token.
     AdmitFromQueue();
+    const auto tick_start = std::chrono::steady_clock::now();
+    tick_start_ns_.store(SteadyNowNs(), std::memory_order_release);
+    tick_seq_.fetch_add(1, std::memory_order_acq_rel);  // odd: tick running
     scheduler_.Tick(&workers_, &scratch_, &tick_out_);
+    tick_seq_.fetch_add(1, std::memory_order_acq_rel);  // even: tick done
+    if (tick_out_.steps > 0) {
+      const double step_ms =
+          MsSince(tick_start) / static_cast<double>(tick_out_.steps);
+      est_ms_per_step_ = est_ms_per_step_ == 0.0
+                             ? step_ms
+                             : (1.0 - kEstAlpha) * est_ms_per_step_ +
+                                   kEstAlpha * step_ms;
+      ++ticks_observed_;
+      est_ms_per_step_pub_.store(est_ms_per_step_, std::memory_order_relaxed);
+    }
     Publish(tick_out_);
+    const int64_t repaired = scheduler_.ReclaimLeakedSlots();
+    if (repaired > 0) {
+      leaks_repaired_.fetch_add(static_cast<uint64_t>(repaired),
+                                std::memory_order_relaxed);
+      degraded_.store(true, std::memory_order_release);
+    }
   }
   // Shutdown: retire in-flight sequences (partial output preserved) and
   // fail whatever is still queued.
@@ -341,10 +540,55 @@ void InferenceServer::SchedulerMain() {
                          &tick_out_);
   Publish(tick_out_);
   tick_out_.Clear();
+  scheduler_.ReclaimLeakedSlots();
   std::shared_ptr<RequestState> state;
   while (queue_.TryPop(&state)) {
     CompleteNow(state, FinishReason::kCancelled,
                 util::Status::Cancelled("server shutdown"));
+  }
+}
+
+void InferenceServer::WatchdogMain() {
+  const auto budget = options_.tick_budget;
+  const auto interval =
+      std::max<std::chrono::milliseconds>(budget / 4,
+                                          std::chrono::milliseconds(1));
+  uint64_t handled_seq = 0;
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!stop_.load(std::memory_order_acquire)) {
+    watchdog_cv_.wait_for(lock, interval, [this] {
+      return stop_.load(std::memory_order_acquire);
+    });
+    if (stop_.load(std::memory_order_acquire)) break;
+    const uint64_t seq = tick_seq_.load(std::memory_order_acquire);
+    if ((seq & 1) == 0 || seq == handled_seq) continue;  // idle / handled
+    const double elapsed_ms =
+        static_cast<double>(SteadyNowNs() -
+                            tick_start_ns_.load(std::memory_order_acquire)) /
+        1e6;
+    if (elapsed_ms < static_cast<double>(budget.count())) continue;
+    // Stalled tick: fail fast. Every in-flight request completes with a
+    // diagnostic Internal status so no Wait() hangs behind the wedged
+    // worker; their slots retire at whatever tick the scheduler manages
+    // next (the cancel flag tells it to stop decoding them).
+    handled_seq = seq;
+    degraded_.store(true, std::memory_order_release);
+    stalled_ticks_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::shared_ptr<RequestState>> victims;
+    {
+      std::lock_guard<std::mutex> inflight_lock(inflight_mu_);
+      victims.reserve(inflight_.size());
+      for (const auto& [id, st] : inflight_) victims.push_back(st);
+    }
+    for (const auto& victim : victims) {
+      victim->cancel_requested.store(true, std::memory_order_release);
+      CompleteNow(victim, FinishReason::kFault,
+                  util::Status::Internal(
+                      "scheduler tick stalled: " +
+                      std::to_string(static_cast<int64_t>(elapsed_ms)) +
+                      "ms elapsed against a " +
+                      std::to_string(budget.count()) + "ms budget"));
+    }
   }
 }
 

@@ -25,6 +25,7 @@ KvCachePool::KvCachePool(const nn::GPTConfig& config, int64_t num_slots)
   // keeps the hot working set at the front of the slab under low load.
   for (int64_t s = num_slots_ - 1; s >= 0; --s) free_list_.push_back(s);
   leased_.assign(static_cast<size_t>(num_slots_), 0);
+  free_count_.store(num_slots_, std::memory_order_relaxed);
 }
 
 int64_t KvCachePool::Acquire() {
@@ -32,6 +33,8 @@ int64_t KvCachePool::Acquire() {
   const int64_t slot = free_list_.back();
   free_list_.pop_back();
   leased_[static_cast<size_t>(slot)] = 1;
+  free_count_.store(static_cast<int64_t>(free_list_.size()),
+                    std::memory_order_relaxed);
   return slot;
 }
 
@@ -41,6 +44,14 @@ void KvCachePool::Release(int64_t slot) {
   LLM_CHECK(leased_[static_cast<size_t>(slot)] != 0);
   leased_[static_cast<size_t>(slot)] = 0;
   free_list_.push_back(slot);
+  free_count_.store(static_cast<int64_t>(free_list_.size()),
+                    std::memory_order_relaxed);
+}
+
+bool KvCachePool::leased(int64_t slot) const {
+  LLM_CHECK_GE(slot, 0);
+  LLM_CHECK_LT(slot, num_slots_);
+  return leased_[static_cast<size_t>(slot)] != 0;
 }
 
 nn::KvLayerView* KvCachePool::slot_views(int64_t slot) {

@@ -11,12 +11,15 @@
 // `position` before reading it, so stale rows from the previous tenant are
 // never observed.
 //
-// NOT thread-safe: the pool is owned and driven by the scheduler thread
-// only. (Worker threads touch the leased storage, but lease/release
-// bookkeeping stays on the scheduler.)
+// Threading: lease/release bookkeeping is owned and driven by the
+// scheduler thread only (worker threads touch the leased storage, not the
+// free list). The one exception is free_count(), a relaxed atomic mirror
+// of the free-list size kept so ServerStats can report slot occupancy from
+// any thread without racing the scheduler.
 #ifndef TFMR_SERVE_KV_CACHE_POOL_H_
 #define TFMR_SERVE_KV_CACHE_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -33,8 +36,9 @@ class KvCachePool {
   KvCachePool& operator=(const KvCachePool&) = delete;
 
   int64_t num_slots() const { return num_slots_; }
+  /// Safe to call from any thread (feeds ServerStats::free_slots).
   int64_t free_count() const {
-    return static_cast<int64_t>(free_list_.size());
+    return free_count_.load(std::memory_order_relaxed);
   }
 
   /// Leases a slot; -1 when all slots are in flight.
@@ -42,6 +46,11 @@ class KvCachePool {
 
   /// Returns a leased slot to the free list. Aborts on double-release.
   void Release(int64_t slot);
+
+  /// True iff `slot` is currently leased (scheduler thread only). The
+  /// scheduler's leak-reclaim sweep cross-checks this against its own
+  /// occupancy map: leased-but-unoccupied means the slot leaked.
+  bool leased(int64_t slot) const;
 
   /// The n_layer KV views of a leased slot, for SeqStepInput::layers.
   nn::KvLayerView* slot_views(int64_t slot);
@@ -56,6 +65,7 @@ class KvCachePool {
   std::vector<nn::KvLayerView> views_;  // [num_slots, n_layer]
   std::vector<int64_t> free_list_;
   std::vector<char> leased_;
+  std::atomic<int64_t> free_count_{0};
 };
 
 }  // namespace llm::serve

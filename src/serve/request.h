@@ -54,6 +54,7 @@ enum class FinishReason {
   kWindow,      // hit the model's max_seq_len
   kCancelled,   // Cancel() or server shutdown
   kDeadline,    // timeout expired
+  kFault,       // isolated server-side failure (status is Internal)
 };
 
 const char* FinishReasonName(FinishReason reason);
@@ -61,7 +62,7 @@ const char* FinishReasonName(FinishReason reason);
 /// Final outcome of a request, returned by InferenceServer::Wait.
 struct RequestResult {
   util::Status status;          // OK for kStop/kLength/kWindow
-  FinishReason reason = FinishReason::kNone;
+  FinishReason reason = FinishReason::kNone;  // kFault => status is Internal
   std::vector<int64_t> tokens;  // generated tokens (partial on error)
   double queue_ms = 0.0;        // submit -> admission
   double total_ms = 0.0;        // submit -> completion

@@ -18,6 +18,14 @@ const char* FaultSiteName(FaultSite site) {
       return "loss-nan";
     case FaultSite::kGradExplode:
       return "grad-explode";
+    case FaultSite::kDecodeNaN:
+      return "decode-nan";
+    case FaultSite::kWorkerStall:
+      return "worker-stall";
+    case FaultSite::kSlotLeak:
+      return "slot-leak";
+    case FaultSite::kOnTokenThrow:
+      return "on-token-throw";
   }
   return "unknown";
 }
@@ -27,7 +35,7 @@ FaultInjector& FaultInjector::Global() {
   return *instance;
 }
 
-void FaultInjector::ResetCounters() {
+void FaultInjector::ResetCountersLocked() {
   for (Plan& p : plans_) {
     p.seen = 0;
     p.fired = 0;
@@ -35,7 +43,8 @@ void FaultInjector::ResetCounters() {
 }
 
 void FaultInjector::ArmAt(FaultSite site, std::vector<int64_t> occurrences) {
-  ResetCounters();
+  std::lock_guard<std::mutex> lock(mu_);
+  ResetCountersLocked();
   Plan& p = plans_[static_cast<int>(site)];
   std::sort(occurrences.begin(), occurrences.end());
   p.occurrences = std::move(occurrences);
@@ -45,7 +54,8 @@ void FaultInjector::ArmAt(FaultSite site, std::vector<int64_t> occurrences) {
 }
 
 void FaultInjector::ArmRandom(FaultSite site, double p_fail, uint64_t seed) {
-  ResetCounters();
+  std::lock_guard<std::mutex> lock(mu_);
+  ResetCountersLocked();
   Plan& p = plans_[static_cast<int>(site)];
   p.occurrences.clear();
   p.probability = p_fail;
@@ -56,16 +66,18 @@ void FaultInjector::ArmRandom(FaultSite site, double p_fail, uint64_t seed) {
 }
 
 void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Plan& p : plans_) {
     p.armed = false;
     p.occurrences.clear();
     p.probabilistic = false;
   }
-  ResetCounters();
+  ResetCountersLocked();
   internal::g_fault_armed.store(false, std::memory_order_relaxed);
 }
 
 bool FaultInjector::ShouldFire(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mu_);
   Plan& p = plans_[static_cast<int>(site)];
   const int64_t occurrence = p.seen++;
   if (!p.armed) return false;
@@ -81,10 +93,12 @@ bool FaultInjector::ShouldFire(FaultSite site) {
 }
 
 int64_t FaultInjector::Occurrences(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return plans_[static_cast<int>(site)].seen;
 }
 
 int64_t FaultInjector::Fired(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return plans_[static_cast<int>(site)].fired;
 }
 

@@ -18,13 +18,19 @@
 // probabilistic plans are also deterministic.
 //
 // Cost when nothing is armed: MaybeInjectFault is a single relaxed atomic
-// load that branches away — hot paths pay nothing. The injector is not
-// thread-safe; arm and fire from one thread (tests are single-threaded).
+// load that branches away — hot paths pay nothing. The injector is
+// thread-safe: sites may fire concurrently from any thread (the serving
+// runtime fires them from the scheduler and worker threads), with armed
+// plan state and occurrence counters serialized by an internal mutex.
+// When several threads race a site, which occurrence index each thread
+// draws is unspecified, but the total count and the set of firings stay
+// exact — single-threaded arm/fire sequences remain fully deterministic.
 #ifndef TFMR_UTIL_FAULT_H_
 #define TFMR_UTIL_FAULT_H_
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "util/rng.h"
@@ -37,8 +43,12 @@ enum class FaultSite : int {
   kCheckpointRead = 1,   // LoadCheckpoint: unreadable file
   kLossNaN = 2,          // Trainer: loss comes back NaN
   kGradExplode = 3,      // Trainer: gradients blow up after backward
+  kDecodeNaN = 4,        // serving: poisoned logits in one batch lane
+  kWorkerStall = 5,      // serving: a worker sleeps past the tick budget
+  kSlotLeak = 6,         // serving: KV slot fails to return to the free list
+  kOnTokenThrow = 7,     // serving: user streaming callback throws
 };
-inline constexpr int kNumFaultSites = 4;
+inline constexpr int kNumFaultSites = 8;
 
 const char* FaultSiteName(FaultSite site);
 
@@ -53,6 +63,7 @@ inline bool FaultInjectionArmed() {
 }
 
 /// Process-wide registry of armed fault plans and occurrence counters.
+/// All methods are safe to call from any thread.
 class FaultInjector {
  public:
   static FaultInjector& Global();
@@ -88,9 +99,10 @@ class FaultInjector {
     int64_t seen = 0;
     int64_t fired = 0;
   };
-  void ResetCounters();
+  void ResetCountersLocked();
 
-  Plan plans_[kNumFaultSites];
+  mutable std::mutex mu_;
+  Plan plans_[kNumFaultSites];  // guarded by mu_
 };
 
 /// The one call production code makes at an injection site.

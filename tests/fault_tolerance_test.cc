@@ -3,12 +3,14 @@
 // recovery, and the deterministic fault-injection layer that drives them.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "nn/layers.h"
@@ -496,6 +498,70 @@ TEST_F(FaultToleranceTest, TrainerSurvivesInjectedCheckpointWriteFailure) {
   TrainRig fresh = MakeRun(480, base, dir.path());
   EXPECT_TRUE(fresh.trainer->ResumeFrom(latest.value()).ok());
   EXPECT_EQ(fresh.trainer->start_step(), 6);
+}
+
+// ---------------------------------------------------------------------------
+// Injector thread safety: serving fires sites from scheduler, worker, and
+// watchdog threads concurrently.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultToleranceTest, InjectorCountsExactlyUnderConcurrentFire) {
+  // Four threads hammer one site 10k times each. Interleaving is free to
+  // vary, but the occurrence count must be exact and the number of firings
+  // must match the armed plan precisely.
+  FaultInjector::Global().ArmAt(FaultSite::kDecodeNaN,
+                                {0, 999, 20000, 39999, 400000});
+  constexpr int kThreads = 4;
+  constexpr int64_t kFiresPerThread = 10000;
+  std::atomic<int64_t> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int64_t i = 0; i < kFiresPerThread; ++i) {
+        if (util::MaybeInjectFault(FaultSite::kDecodeNaN)) {
+          fired.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(FaultInjector::Global().Occurrences(FaultSite::kDecodeNaN),
+            kThreads * kFiresPerThread);
+  // 400000 is past the end of the run; the other four indices must fire.
+  EXPECT_EQ(fired.load(), 4);
+  EXPECT_EQ(FaultInjector::Global().Fired(FaultSite::kDecodeNaN), 4);
+}
+
+TEST_F(FaultToleranceTest, InjectorRandomPlanCountsExactlyAcrossThreads) {
+  FaultInjector::Global().ArmRandom(FaultSite::kSlotLeak, 0.25, 77);
+  constexpr int kThreads = 4;
+  constexpr int64_t kFiresPerThread = 10000;
+  std::atomic<int64_t> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int64_t i = 0; i < kFiresPerThread; ++i) {
+        if (util::MaybeInjectFault(FaultSite::kSlotLeak)) fired.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const int64_t total = kThreads * kFiresPerThread;
+  EXPECT_EQ(FaultInjector::Global().Occurrences(FaultSite::kSlotLeak), total);
+  // Bernoulli(0.25) over 40k draws: the observed rate must be close, and
+  // the injector's own tally must agree with what callers saw.
+  EXPECT_EQ(FaultInjector::Global().Fired(FaultSite::kSlotLeak),
+            fired.load());
+  EXPECT_NEAR(static_cast<double>(fired.load()) / static_cast<double>(total),
+              0.25, 0.02);
+}
+
+TEST_F(FaultToleranceTest, ServingFaultSitesHaveNames) {
+  EXPECT_STREQ(util::FaultSiteName(FaultSite::kDecodeNaN), "decode-nan");
+  EXPECT_STREQ(util::FaultSiteName(FaultSite::kWorkerStall), "worker-stall");
+  EXPECT_STREQ(util::FaultSiteName(FaultSite::kSlotLeak), "slot-leak");
+  EXPECT_STREQ(util::FaultSiteName(FaultSite::kOnTokenThrow),
+               "on-token-throw");
 }
 
 }  // namespace

@@ -12,6 +12,8 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -20,6 +22,7 @@
 #include "serve/kv_cache_pool.h"
 #include "serve/request_queue.h"
 #include "serve/worker_pool.h"
+#include "util/fault.h"
 
 namespace llm::serve {
 namespace {
@@ -453,6 +456,457 @@ TEST(InferenceServerTest, StatsTrackThroughputAndLatency) {
   EXPECT_GT(stats.p50_latency_ms, 0.0);
   EXPECT_LE(stats.p50_latency_ms, stats.p95_latency_ms);
   EXPECT_LE(stats.p95_latency_ms, stats.p99_latency_ms);
+}
+
+// --- Resilience ------------------------------------------------------------
+//
+// Fault-injection-driven coverage of the failure model (DESIGN.md §10):
+// poisoned lanes, throwing callbacks, leaked slots, stalled ticks, drain,
+// deadline shedding, and the cancel/shutdown races. Every test disarms the
+// injector on exit so a failing assertion can't poison its neighbors.
+
+class ServeResilienceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::FaultInjector::Global().Disarm(); }
+};
+
+TEST_F(ServeResilienceTest, PoisonedLaneRetiresAloneOthersBitExact) {
+  // Three requests share one batch; the first lane's logits are poisoned
+  // with NaN at its first sampling step. That request must fail with
+  // Internal — and the other two must still be bit-exact against the
+  // single-stream reference, proving the poison never crossed lanes.
+  util::Rng rng(50);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ServerOptions options;
+  options.max_batch_size = 3;
+  options.num_workers = 0;  // deterministic occurrence order
+  InferenceServer server(&model, options);
+
+  std::vector<GenerateRequest> requests;
+  requests.push_back(MakeRequest({3}, 1, 6));  // slot 0: poisoned
+  requests.push_back(MakeRequest({5}, 2, 6));
+  requests.push_back(MakeRequest({7}, 3, 6));
+  std::vector<RequestId> ids;
+  for (const auto& request : requests) {
+    auto id = server.Submit(request);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  // Length-1 prompts sample on the very first tick, lanes in slot order, so
+  // occurrence 0 of kDecodeNaN is exactly request 0's first sample.
+  util::FaultInjector::Global().ArmAt(util::FaultSite::kDecodeNaN, {0});
+  server.Start();
+
+  auto poisoned = server.Wait(ids[0]);
+  ASSERT_TRUE(poisoned.ok());
+  EXPECT_EQ(poisoned.value().reason, FinishReason::kFault);
+  EXPECT_EQ(poisoned.value().status.code(), util::StatusCode::kInternal);
+  EXPECT_TRUE(poisoned.value().tokens.empty());
+  for (size_t i = 1; i < ids.size(); ++i) {
+    auto result = server.Wait(ids[i]);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().status.ok());
+    EXPECT_EQ(result.value().tokens, SingleStreamReference(model, requests[i]))
+        << "batch mate " << i << " not bit-exact";
+  }
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.health, ServerHealth::kDegraded);
+  EXPECT_EQ(stats.free_slots, stats.total_slots);
+}
+
+TEST_F(ServeResilienceTest, ThrowingOnTokenCallbackIsIsolated) {
+  // Request A's streaming callback throws on its second token; A must fail
+  // with Internal while batch mate B (no callback) completes bit-exact.
+  util::Rng rng(51);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ServerOptions options;
+  options.max_batch_size = 2;
+  options.num_workers = 0;
+  InferenceServer server(&model, options);
+
+  std::atomic<int> delivered{0};
+  GenerateRequest bad = MakeRequest({2}, 4, 6);
+  bad.on_token = [&](RequestId, int64_t) { delivered.fetch_add(1); };
+  GenerateRequest good = MakeRequest({9}, 5, 6);
+  auto bad_id = server.Submit(bad);
+  auto good_id = server.Submit(good);
+  ASSERT_TRUE(bad_id.ok());
+  ASSERT_TRUE(good_id.ok());
+  // kOnTokenThrow occurrences count only callback deliveries, and B has no
+  // callback — so occurrence 1 is A's second token, deterministically.
+  util::FaultInjector::Global().ArmAt(util::FaultSite::kOnTokenThrow, {1});
+  server.Start();
+
+  auto bad_result = server.Wait(bad_id.value());
+  ASSERT_TRUE(bad_result.ok());
+  EXPECT_EQ(bad_result.value().reason, FinishReason::kFault);
+  EXPECT_EQ(bad_result.value().status.code(), util::StatusCode::kInternal);
+  EXPECT_EQ(delivered.load(), 1);  // the throwing delivery never landed
+  auto good_result = server.Wait(good_id.value());
+  ASSERT_TRUE(good_result.ok());
+  EXPECT_EQ(good_result.value().tokens, SingleStreamReference(model, good));
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.health, ServerHealth::kDegraded);
+  EXPECT_EQ(stats.free_slots, stats.total_slots);
+}
+
+TEST_F(ServeResilienceTest, LeakedSlotIsSweptBackAndServingContinues) {
+  // The first retirement leaks its KV slot (Release is dropped). With a
+  // single slot, the second request can only ever run if the reclamation
+  // sweep repairs the leak.
+  util::Rng rng(52);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ServerOptions options;
+  options.max_batch_size = 1;
+  InferenceServer server(&model, options);
+  auto first = server.Submit(MakeRequest({1, 2}, 6, 3));
+  auto second = server.Submit(MakeRequest({3, 4}, 7, 3));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  util::FaultInjector::Global().ArmAt(util::FaultSite::kSlotLeak, {0});
+  server.Start();
+
+  for (RequestId id : {first.value(), second.value()}) {
+    auto result = server.Wait(id);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().status.ok());
+    EXPECT_EQ(result.value().tokens.size(), 3u);
+  }
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.leaks_repaired, 1u);
+  EXPECT_EQ(stats.free_slots, stats.total_slots);
+  EXPECT_EQ(stats.health, ServerHealth::kDegraded);
+}
+
+TEST_F(ServeResilienceTest, WatchdogConvertsStallIntoFailedRequest) {
+  // An injected 30ms worker stall against a 15ms tick budget: the watchdog
+  // must fail the in-flight request with a diagnostic Internal status —
+  // Wait returns instead of hanging — and the server keeps serving.
+  util::Rng rng(53);
+  nn::GPTConfig cfg = SmallConfig();
+  cfg.max_seq_len = 4096;  // the stalled request would otherwise run long
+  nn::GPTModel model(cfg, &rng);
+  ServerOptions options;
+  options.max_batch_size = 1;
+  options.num_workers = 0;
+  options.tick_budget = std::chrono::milliseconds(15);
+  InferenceServer server(&model, options);
+  auto id = server.Submit(MakeRequest({1, 2}, 8, 10000));
+  ASSERT_TRUE(id.ok());
+  util::FaultInjector::Global().ArmAt(util::FaultSite::kWorkerStall, {5});
+  server.Start();
+
+  auto result = server.Wait(id.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().reason, FinishReason::kFault);
+  EXPECT_EQ(result.value().status.code(), util::StatusCode::kInternal);
+  EXPECT_NE(result.value().status.ToString().find("stalled"),
+            std::string::npos);
+  EXPECT_GE(server.Stats().stalled_ticks, 1u);
+  EXPECT_EQ(server.Stats().health, ServerHealth::kDegraded);
+
+  // The wedged tick is over; the server must still serve new requests.
+  util::FaultInjector::Global().Disarm();
+  RequestResult after = server.GenerateBlocking(MakeRequest({3}, 9, 4));
+  EXPECT_TRUE(after.status.ok());
+  EXPECT_EQ(after.tokens.size(), 4u);
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.submitted, stats.completed + stats.cancelled +
+                                 stats.expired + stats.failed);
+  EXPECT_EQ(stats.free_slots, stats.total_slots);
+}
+
+TEST_F(ServeResilienceTest, DrainCompletesInFlightAndRejectsNewSubmits) {
+  util::Rng rng(54);
+  nn::GPTConfig cfg = SmallConfig();
+  cfg.max_seq_len = 4096;
+  nn::GPTModel model(cfg, &rng);
+  InferenceServer server(&model, ServerOptions{});
+  server.Start();
+
+  std::promise<void> first_token;
+  std::atomic<bool> signalled{false};
+  GenerateRequest request = MakeRequest({1, 2}, 21, 40);
+  request.on_token = [&](RequestId, int64_t) {
+    if (!signalled.exchange(true)) first_token.set_value();
+  };
+  auto id = server.Submit(request);
+  ASSERT_TRUE(id.ok());
+  first_token.get_future().wait();
+
+  auto drain_status = std::async(std::launch::async, [&] {
+    return server.Drain(std::chrono::seconds(20));
+  });
+  while (server.Health() != ServerHealth::kDraining) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  // Admission is closed the moment draining begins.
+  EXPECT_EQ(server.Submit(MakeRequest({5}, 1)).status().code(),
+            util::StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(drain_status.get().ok());
+
+  // The in-flight request was allowed to finish, not cancelled.
+  auto result = server.Wait(id.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().reason, FinishReason::kLength);
+  EXPECT_EQ(result.value().tokens.size(), 40u);
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.free_slots, stats.total_slots);
+  EXPECT_EQ(stats.health, ServerHealth::kDraining);
+}
+
+TEST_F(ServeResilienceTest, DrainTimeoutCancelsTheRemainder) {
+  util::Rng rng(55);
+  nn::GPTConfig cfg = SmallConfig();
+  cfg.max_seq_len = 4096;
+  nn::GPTModel model(cfg, &rng);
+  InferenceServer server(&model, ServerOptions{});
+  server.Start();
+
+  std::promise<void> first_token;
+  std::atomic<bool> signalled{false};
+  GenerateRequest request = MakeRequest({1, 2}, 22, 100000);
+  request.on_token = [&](RequestId, int64_t) {
+    if (!signalled.exchange(true)) first_token.set_value();
+  };
+  auto id = server.Submit(request);
+  ASSERT_TRUE(id.ok());
+  first_token.get_future().wait();
+
+  // Far too little time for a 100000-token request: Drain must give up and
+  // report it, and the Shutdown it runs cancels the request with its
+  // partial output intact.
+  const util::Status drained = server.Drain(std::chrono::milliseconds(5));
+  EXPECT_EQ(drained.code(), util::StatusCode::kDeadlineExceeded);
+  auto result = server.Wait(id.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().reason, FinishReason::kCancelled);
+  EXPECT_GE(result.value().tokens.size(), 1u);
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.submitted, stats.completed + stats.cancelled +
+                                 stats.expired + stats.failed);
+  EXPECT_EQ(stats.free_slots, stats.total_slots);
+}
+
+TEST_F(ServeResilienceTest, MidFlightDeadlineKeepsSingleStreamPrefix) {
+  // A deadline that lapses mid-generation retires the request with kDeadline
+  // and whatever it produced so far — and that partial output is still the
+  // exact single-stream prefix.
+  util::Rng rng(56);
+  nn::GPTConfig cfg = SmallConfig();
+  cfg.max_seq_len = 4096;
+  nn::GPTModel model(cfg, &rng);
+  InferenceServer server(&model, ServerOptions{});
+  server.Start();
+
+  GenerateRequest request = MakeRequest({1, 2}, 23, 100000);
+  request.timeout = std::chrono::milliseconds(100);
+  auto id = server.Submit(request);
+  ASSERT_TRUE(id.ok());
+  auto result = server.Wait(id.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().reason, FinishReason::kDeadline);
+  EXPECT_EQ(result.value().status.code(), util::StatusCode::kDeadlineExceeded);
+  ASSERT_GE(result.value().tokens.size(), 1u);
+  GenerateRequest replay = request;
+  replay.max_new_tokens = static_cast<int64_t>(result.value().tokens.size());
+  EXPECT_EQ(result.value().tokens, SingleStreamReference(model, replay));
+  EXPECT_EQ(server.Stats().expired, 1u);
+}
+
+TEST_F(ServeResilienceTest, InfeasibleDeadlineShedAtAdmission) {
+  // A model heavy enough that its measured decode rate makes a
+  // window-filling request obviously infeasible in 25ms: admission must
+  // shed it (kDeadline, zero tokens) instead of wasting a KV slot.
+  util::Rng rng(57);
+  nn::GPTConfig cfg;
+  cfg.vocab_size = 4096;
+  cfg.max_seq_len = 16384;
+  cfg.d_model = 128;
+  cfg.n_layer = 2;
+  cfg.n_head = 4;
+  nn::GPTModel model(cfg, &rng);
+  ServerOptions options;
+  options.max_batch_size = 1;
+  InferenceServer server(&model, options);
+  server.Start();
+
+  // Warm the decode-rate estimate past its trust threshold.
+  RequestResult warmup = server.GenerateBlocking(MakeRequest({1, 2}, 1, 12));
+  ASSERT_TRUE(warmup.status.ok());
+  ASSERT_GT(server.Stats().est_ms_per_step, 0.0);
+
+  GenerateRequest doomed = MakeRequest({3}, 2, 1000000);
+  doomed.timeout = std::chrono::milliseconds(25);
+  auto id = server.Submit(doomed);
+  ASSERT_TRUE(id.ok());  // accepted into the queue; shed at admission
+  auto result = server.Wait(id.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().reason, FinishReason::kDeadline);
+  EXPECT_EQ(result.value().status.code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_NE(result.value().status.ToString().find("infeasible"),
+            std::string::npos);
+  EXPECT_TRUE(result.value().tokens.empty());
+  EXPECT_EQ(server.Stats().expired, 1u);
+}
+
+TEST_F(ServeResilienceTest, StreamingInterleavedWithCancelDeliversPrefix) {
+  // Cancellation racing the token stream: every token in the result was
+  // streamed, and nothing streams after the cancel retires the request.
+  util::Rng rng(58);
+  nn::GPTConfig cfg = SmallConfig();
+  cfg.max_seq_len = 4096;
+  nn::GPTModel model(cfg, &rng);
+  InferenceServer server(&model, ServerOptions{});
+  server.Start();
+
+  std::mutex streamed_mu;
+  std::vector<int64_t> streamed;
+  std::promise<void> third_token;
+  GenerateRequest request = MakeRequest({1, 2}, 24, 100000);
+  request.on_token = [&](RequestId, int64_t token) {
+    std::lock_guard<std::mutex> lock(streamed_mu);
+    streamed.push_back(token);
+    if (streamed.size() == 3) third_token.set_value();
+  };
+  auto id = server.Submit(request);
+  ASSERT_TRUE(id.ok());
+  third_token.get_future().wait();
+  EXPECT_TRUE(server.Cancel(id.value()));
+  auto result = server.Wait(id.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().reason, FinishReason::kCancelled);
+  ASSERT_GE(result.value().tokens.size(), 3u);
+  std::lock_guard<std::mutex> lock(streamed_mu);
+  EXPECT_EQ(streamed, result.value().tokens);
+}
+
+TEST_F(ServeResilienceTest, CancelRacingAdmissionAlwaysReachesOneTerminal) {
+  // Hammer the cancel-vs-admission window: submit and immediately cancel.
+  // Whatever the race decides, every request must reach exactly one
+  // terminal state and every KV slot must come back.
+  util::Rng rng(59);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ServerOptions options;
+  options.max_batch_size = 4;
+  options.num_workers = 2;
+  InferenceServer server(&model, options);
+  server.Start();
+
+  std::vector<RequestId> ids;
+  for (int i = 0; i < 60; ++i) {
+    auto id = server.Submit(
+        MakeRequest({1, 2}, static_cast<uint64_t>(i), 4));
+    ASSERT_TRUE(id.ok());
+    server.Cancel(id.value());
+    ids.push_back(id.value());
+    if (i % 3 == 0) std::this_thread::yield();
+  }
+  for (RequestId id : ids) {
+    auto result = server.Wait(id);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NE(result.value().reason, FinishReason::kNone);
+  }
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.submitted, 60u);
+  EXPECT_EQ(stats.submitted, stats.completed + stats.cancelled +
+                                 stats.expired + stats.failed);
+  EXPECT_EQ(stats.active_slots, 0);
+  EXPECT_EQ(stats.free_slots, stats.total_slots);
+}
+
+TEST_F(ServeResilienceTest, WaitAfterShutdownAlwaysReturns) {
+  // Submits racing Shutdown: every accepted request must reach a terminal
+  // state so Wait never hangs — including a push that lands between the
+  // scheduler's final queue drain and the queue closing.
+  util::Rng rng(60);
+  nn::GPTConfig cfg = SmallConfig();
+  cfg.max_seq_len = 4096;
+  nn::GPTModel model(cfg, &rng);
+  for (int round = 0; round < 8; ++round) {
+    InferenceServer server(&model, ServerOptions{});
+    server.Start();
+    std::vector<RequestId> accepted;
+    std::thread submitter([&] {
+      for (int i = 0; i < 200; ++i) {
+        auto id = server.Submit(
+            MakeRequest({1, 2}, static_cast<uint64_t>(i), 1000));
+        if (!id.ok()) {
+          if (id.status().code() == util::StatusCode::kFailedPrecondition) {
+            break;  // shutdown won the race
+          }
+          continue;  // queue momentarily full
+        }
+        accepted.push_back(id.value());
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 + round % 3));
+    server.Shutdown();
+    submitter.join();
+    for (RequestId id : accepted) {
+      auto result = server.Wait(id);  // must return, never hang
+      ASSERT_TRUE(result.ok());
+      EXPECT_NE(result.value().reason, FinishReason::kNone);
+    }
+    const ServerStats stats = server.Stats();
+    EXPECT_EQ(stats.submitted, stats.completed + stats.cancelled +
+                                   stats.expired + stats.failed);
+    EXPECT_EQ(stats.free_slots, stats.total_slots);
+  }
+}
+
+TEST_F(ServeResilienceTest, SubmitWithRetryGivesUpAfterMaxAttempts) {
+  util::Rng rng(61);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ServerOptions options;
+  options.queue_capacity = 1;
+  InferenceServer server(&model, options);  // not started: queue stays full
+  ASSERT_TRUE(server.Submit(MakeRequest({1}, 1, 2)).ok());
+
+  RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff = std::chrono::milliseconds(1);
+  retry.max_backoff = std::chrono::milliseconds(4);
+  retry.jitter_seed = 9;
+  auto rejected = server.SubmitWithRetry(MakeRequest({2}, 2, 2), retry);
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.Stats().rejected, 3u);  // one per attempt
+}
+
+TEST_F(ServeResilienceTest, SubmitWithRetrySucceedsOnceCapacityFrees) {
+  util::Rng rng(62);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ServerOptions options;
+  options.queue_capacity = 1;
+  InferenceServer server(&model, options);
+  auto blocker = server.Submit(MakeRequest({1}, 1, 2));
+  ASSERT_TRUE(blocker.ok());
+
+  // Capacity frees when the scheduler starts and drains the queue; the
+  // retry loop must ride out the rejections until then.
+  std::thread starter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    server.Start();
+  });
+  RetryOptions retry;
+  retry.max_attempts = 10;
+  retry.initial_backoff = std::chrono::milliseconds(4);
+  retry.max_backoff = std::chrono::milliseconds(20);
+  retry.jitter_seed = 17;
+  auto id = server.SubmitWithRetry(MakeRequest({2}, 2, 2), retry);
+  starter.join();
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto result = server.Wait(id.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().status.ok());
+  ASSERT_TRUE(server.Wait(blocker.value()).ok());
+  EXPECT_GT(server.Stats().rejected, 0u);
 }
 
 // Bit-exactness across architecture variants: the serving path must agree
