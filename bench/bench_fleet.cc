@@ -1,0 +1,237 @@
+// Experiment X27 — replicated serving fleet (paper §6: production serving
+// runs N model replicas behind a router; availability and tail latency
+// come from failover, circuit breakers, hedged requests, and rolling
+// weight rolls, not from any single server).
+//
+// Four stages over a ReplicaRouter fronting 2 independent replicas:
+//
+//  1. Clean throughput: aggregate tokens/sec and fleet p99 with no
+//     faults and no hedging — the baseline the resilience features must
+//     not regress.
+//  2. Stragglers, unhedged: a seeded worker-stall plan (each stall wedges
+//     one scheduler tick for ~30ms) is armed and the same workload rerun.
+//     The p99 absorbs the stalls.
+//  3. Stragglers, hedged: the identical stall plan (same seed) with
+//     hedging on — a request whose only attempt outlives the hedge delay
+//     gets a second, same-seeded attempt on the other replica; first
+//     completion wins and the loser's output is checked bit-identical
+//     against the winner (determinism contract). p99 must come back down
+//     and hedge_mismatches must stay 0.
+//  4. Rolling reload under live traffic: two submitter threads stream
+//     requests while the fleet rolls a validated checkpoint across both
+//     replicas, one at a time. Zero-downtime means zero failed requests.
+//
+// Emits one machine-readable `BENCH_FLEET` JSON line at the end.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/fleet/replica_router.h"
+#include "train/checkpoint.h"
+#include "util/fault.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// BPE-scale tied vocabulary over a narrow trunk: the wide unembedding
+// dominates per-token cost as in real models, so fleet latencies are
+// dominated by real decode work rather than scheduling overhead.
+llm::nn::GPTConfig FleetConfig() {
+  llm::nn::GPTConfig cfg;
+  cfg.vocab_size = 8192;
+  cfg.max_seq_len = 32;
+  cfg.d_model = 128;
+  cfg.n_layer = 2;
+  cfg.n_head = 4;
+  cfg.tie_embeddings = true;
+  return cfg;
+}
+
+std::vector<llm::serve::GenerateRequest> MakeWorkload(int n, int64_t max_new) {
+  std::vector<llm::serve::GenerateRequest> requests;
+  for (int i = 0; i < n; ++i) {
+    llm::serve::GenerateRequest request;
+    request.prompt = {static_cast<int64_t>(1 + 37 * i),
+                      static_cast<int64_t>(3 + 101 * i),
+                      static_cast<int64_t>(7 + 13 * i)};
+    request.max_new_tokens = max_new;
+    request.seed = 9000 + static_cast<uint64_t>(i);
+    request.sampler.temperature = 0.8f;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+struct StageResult {
+  double seconds = 0.0;
+  uint64_t tokens = 0;
+  llm::serve::FleetStats stats;
+};
+
+// Runs the workload through a fresh fleet, `wave` requests at a time
+// (wave == workload size gives one deep-queue burst). Wave submission
+// keeps the admission queue shallow so per-request latency measures
+// decode time and injected stalls, not queue depth.
+StageResult RunStage(const llm::nn::GPTModel& model,
+                     const llm::serve::FleetOptions& options,
+                     const std::vector<llm::serve::GenerateRequest>& workload,
+                     size_t wave) {
+  llm::serve::ReplicaRouter fleet(model, options);
+  fleet.Start();
+  StageResult out;
+  const Clock::time_point start = Clock::now();
+  for (size_t begin = 0; begin < workload.size(); begin += wave) {
+    std::vector<llm::serve::RequestId> ids;
+    for (size_t i = begin; i < std::min(begin + wave, workload.size()); ++i) {
+      auto id = fleet.Submit(workload[i]);
+      if (!id.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n",
+                     id.status().ToString().c_str());
+        continue;
+      }
+      ids.push_back(id.value());
+    }
+    for (llm::serve::RequestId id : ids) {
+      auto result = fleet.Wait(id);
+      if (result.ok() && result.value().status.ok()) {
+        out.tokens += result.value().tokens.size();
+      }
+    }
+  }
+  out.seconds = SecondsSince(start);
+  out.stats = fleet.Stats();
+  fleet.Shutdown();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  llm::util::Rng rng(7);
+  const llm::nn::GPTConfig cfg = FleetConfig();
+  llm::nn::GPTModel model(cfg, &rng);
+  std::printf("fleet bench: %lld params per replica, 2 replicas\n\n",
+              static_cast<long long>(model.NumParameters()));
+
+  llm::serve::FleetOptions base;
+  base.num_replicas = 2;
+  base.server.max_batch_size = 4;
+  base.server.queue_capacity = 64;
+  base.server.num_workers = 1;
+  auto& injector = llm::util::FaultInjector::Global();
+
+  // Stage 1: clean throughput — one deep burst of 32 long requests, no
+  // hedging. Latency here is queue depth by construction; only the
+  // aggregate token rate is meaningful.
+  const auto burst = MakeWorkload(32, 20);
+  const StageResult clean = RunStage(model, base, burst, burst.size());
+  const double tok_per_sec =
+      static_cast<double>(clean.tokens) / clean.seconds;
+  std::printf("throughput (32-deep burst): %5.0f tok/s\n", tok_per_sec);
+
+  // Latency stages: 6 waves of 8 short requests, fleet capacity 8, so a
+  // request's latency is its own decode time — a few ms — plus whatever
+  // stalls wedge its scheduler. One injected stall (30ms) dwarfs clean
+  // service time, which is exactly when hedging should rescue the tail.
+  const auto waves = MakeWorkload(48, 6);
+  const StageResult quiet = RunStage(model, base, waves, 8);
+  std::printf("waves, clean:               p99 %6.1fms\n",
+              quiet.stats.p99_latency_ms);
+
+  // Stage 2: seeded straggler plan, hedging off. The p99 eats every
+  // straggler in full.
+  const uint64_t kStallSeed = 0xFEED5EEDull;
+  const double kStallRate = 0.25;
+  injector.ArmRandom(llm::util::FaultSite::kWorkerStall, kStallRate,
+                     kStallSeed);
+  const StageResult stalled = RunStage(model, base, waves, 8);
+  injector.Disarm();
+  std::printf("waves, stalls, unhedged:    p99 %6.1fms\n",
+              stalled.stats.p99_latency_ms);
+
+  // Stage 3: the identical stall plan, hedging on. The hedge threshold
+  // sits above clean service time plus one stall, so only multi-stall
+  // stragglers re-dispatch; the hedge samples the sibling's independent
+  // stall draw and the min of the two trims the tail.
+  llm::serve::FleetOptions hedged_options = base;
+  hedged_options.hedge_delay = std::chrono::milliseconds(45);
+  injector.ArmRandom(llm::util::FaultSite::kWorkerStall, kStallRate,
+                     kStallSeed);
+  const StageResult hedged = RunStage(model, hedged_options, waves, 8);
+  injector.Disarm();
+  const double hedge_rate =
+      hedged.stats.submitted == 0
+          ? 0.0
+          : static_cast<double>(hedged.stats.hedges_launched) /
+                static_cast<double>(hedged.stats.submitted);
+  std::printf("waves, stalls, hedged:      p99 %6.1fms  (hedge rate %.2f, "
+              "won %llu, mismatches %llu)\n",
+              hedged.stats.p99_latency_ms, hedge_rate,
+              static_cast<unsigned long long>(hedged.stats.hedges_won),
+              static_cast<unsigned long long>(hedged.stats.hedge_mismatches));
+
+  // Stage 4: rolling reload under live traffic. Zero-downtime = zero
+  // failed requests while both replicas swap weights.
+  namespace fs = std::filesystem;
+  const std::string ckpt_dir =
+      (fs::temp_directory_path() / "tfmr_bench_fleet").string();
+  fs::remove_all(ckpt_dir);
+  fs::create_directories(ckpt_dir);
+  const std::string ckpt =
+      ckpt_dir + "/" + llm::train::CheckpointFileName(0);
+  if (!llm::train::SaveCheckpoint(model, ckpt).ok()) {
+    std::fprintf(stderr, "checkpoint save failed\n");
+    return 1;
+  }
+  llm::serve::FleetStats reload_stats;
+  {
+    llm::serve::ReplicaRouter fleet(model, base);
+    fleet.Start();
+    std::atomic<int> client_failures{0};
+    auto submit_half = [&](int begin) {
+      for (size_t i = static_cast<size_t>(begin); i < burst.size(); i += 2) {
+        auto result = fleet.GenerateBlocking(burst[i]);
+        if (!result.status.ok()) client_failures.fetch_add(1);
+      }
+    };
+    std::thread a([&] { submit_half(0); });
+    std::thread b([&] { submit_half(1); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const llm::util::Status rolled = fleet.ReloadModel(ckpt);
+    a.join();
+    b.join();
+    const llm::util::Status drained =
+        fleet.Drain(std::chrono::seconds(30));
+    reload_stats = fleet.Stats();
+    std::printf("rolling reload:   %s, failed %llu of %llu "
+                "(client-visible failures %d), drain %s\n",
+                rolled.ok() ? "ok" : rolled.ToString().c_str(),
+                static_cast<unsigned long long>(reload_stats.failed),
+                static_cast<unsigned long long>(reload_stats.submitted),
+                client_failures.load(), drained.ok() ? "clean" : "timed out");
+  }
+  fs::remove_all(ckpt_dir);
+
+  std::printf(
+      "\nBENCH_FLEET {\"bench\":\"fleet\",\"replicas\":2,"
+      "\"tokens_per_sec\":%.1f,\"p99_ms_clean\":%.2f,"
+      "\"p99_ms_stalled_unhedged\":%.2f,\"p99_ms_stalled_hedged\":%.2f,"
+      "\"hedge_rate\":%.3f,\"hedges_won\":%llu,\"hedge_mismatches\":%llu,"
+      "\"reloads\":%llu,\"reload_failed_requests\":%llu}\n",
+      tok_per_sec, quiet.stats.p99_latency_ms, stalled.stats.p99_latency_ms,
+      hedged.stats.p99_latency_ms, hedge_rate,
+      static_cast<unsigned long long>(hedged.stats.hedges_won),
+      static_cast<unsigned long long>(hedged.stats.hedge_mismatches),
+      static_cast<unsigned long long>(reload_stats.reloads),
+      static_cast<unsigned long long>(reload_stats.failed));
+  return 0;
+}

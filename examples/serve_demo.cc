@@ -15,10 +15,15 @@
 // session with the same seed, whatever else shares the batch.
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "serve/fleet/replica_router.h"
 #include "serve/inference_server.h"
+#include "text/vocab.h"
+#include "train/checkpoint.h"
 #include "train/optimizer.h"
 
 int main() {
@@ -190,5 +195,86 @@ int main() {
                              : refused.status().ToString().c_str());
   }
   server.Shutdown();  // idempotent after Drain
+
+  // 6. The fleet: the same model behind a ReplicaRouter — two replicas,
+  // each with a private weight copy, KV pool, and scheduler, fronted by
+  // health-routed failover, circuit breakers, and rolling reload.
+  std::printf("\n--- fleet ---\n");
+  serve::FleetOptions fleet_options;
+  fleet_options.num_replicas = 2;
+  fleet_options.server = options;
+  serve::ReplicaRouter fleet(model, fleet_options);
+  fleet.Start();
+
+  // 6a. A serving-facing prompt path: untrusted text goes through
+  // Vocab::TryEncode, which reports unknown tokens as a Status instead of
+  // growing the vocabulary (or aborting) the way the training-side
+  // Encode does.
+  text::Vocab vocab;
+  for (const char* word :
+       {"zero", "one", "two", "three", "four", "five", "six", "seven"}) {
+    vocab.AddToken(word);
+  }
+  {
+    auto bad = vocab.TryEncode({"three", "fnord"});
+    std::printf("TryEncode(\"three fnord\"): %s\n",
+                bad.ok() ? "accepted (bug!)" : bad.status().ToString().c_str());
+  }
+  auto encoded = vocab.TryEncode({"three"});
+  if (!encoded.ok()) return 1;
+
+  auto submit_cycle = [&fleet, &encoded](uint64_t seed) {
+    serve::GenerateRequest request;
+    request.prompt = encoded.value();  // {3}: continue 4 5 6 7 ...
+    request.max_new_tokens = 6;
+    request.sampler.temperature = 0.0f;
+    request.seed = seed;
+    return fleet.GenerateBlocking(std::move(request));
+  };
+  serve::RequestResult fleet_result = submit_cycle(1);
+  std::printf("fleet request finished as '%s':",
+              serve::FinishReasonName(fleet_result.reason));
+  for (int64_t t : fleet_result.tokens) {
+    std::printf(" %s", vocab.TokenOf(t).c_str());
+  }
+  std::printf("\n");
+
+  // 6b. Kill a replica mid-flight: the router ejects it from rotation and
+  // the surviving replica serves the same bits.
+  fleet.KillReplica(0);
+  serve::RequestResult after_kill = submit_cycle(1);
+  std::printf("after KillReplica(0): '%s', output %s\n",
+              serve::FinishReasonName(after_kill.reason),
+              after_kill.tokens == fleet_result.tokens
+                  ? "bit-identical to before the kill"
+                  : "DIVERGED (bug!)");
+
+  // 6c. Zero-downtime rolling reload from a validated checkpoint: the
+  // live replica drains, validates, swaps, canaries, and re-admits.
+  const std::string ckpt_dir =
+      (std::filesystem::temp_directory_path() / "tfmr_serve_demo").string();
+  std::filesystem::create_directories(ckpt_dir);
+  const std::string ckpt = ckpt_dir + "/" + train::CheckpointFileName(150);
+  if (!train::SaveCheckpoint(model, ckpt).ok()) return 1;
+  const util::Status reloaded = fleet.ReloadModel(ckpt);
+  std::printf("rolling reload: %s (replica 1 now weights v%llu, phase %s)\n",
+              reloaded.ok() ? "ok" : reloaded.ToString().c_str(),
+              static_cast<unsigned long long>(fleet.replica_weights_version(1)),
+              serve::ReplicaPhaseName(fleet.replica_phase(1)));
+
+  const serve::FleetStats fleet_stats = fleet.Stats();
+  std::printf("fleet stats: submitted %llu, completed %llu, failed %llu, "
+              "failovers %llu, reloads %llu\n",
+              static_cast<unsigned long long>(fleet_stats.submitted),
+              static_cast<unsigned long long>(fleet_stats.completed),
+              static_cast<unsigned long long>(fleet_stats.failed),
+              static_cast<unsigned long long>(fleet_stats.failovers),
+              static_cast<unsigned long long>(fleet_stats.reloads));
+
+  const util::Status fleet_drained = fleet.Drain(std::chrono::seconds(5));
+  std::printf("fleet drain: %s\n", fleet_drained.ok()
+                                       ? "all requests finished in time"
+                                       : fleet_drained.ToString().c_str());
+  std::filesystem::remove_all(ckpt_dir);
   return 0;
 }

@@ -167,7 +167,8 @@ void BatchScheduler::Tick(WorkerPool* workers,
       // once the whole prompt is in and while the window has room.
       if (seq.pos >= static_cast<int64_t>(req.prompt.size()) &&
           seq.pos < max_len) {
-        if (util::MaybeInjectFault(util::FaultSite::kDecodeNaN)) {
+        if (util::MaybeInjectFault(util::FaultSite::kDecodeNaN) ||
+            poison_all_.load(std::memory_order_acquire)) {
           lane_logits[0] = std::numeric_limits<float>::quiet_NaN();
         }
         // Poisoned-lane guard: NaN/Inf logits retire this lane alone; its

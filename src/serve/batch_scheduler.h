@@ -108,6 +108,13 @@ class BatchScheduler {
   /// Returns the number repaired; cheap O(num_slots) sweep.
   int64_t ReclaimLeakedSlots();
 
+  /// Chaos hook (any thread): while set, every sampled lane's logits are
+  /// poisoned non-finite, so the whole replica fails requests with kFault
+  /// — the "model gone bad" failure mode a fleet router must detect.
+  void SetDecodePoison(bool on) {
+    poison_all_.store(on, std::memory_order_release);
+  }
+
  private:
   struct ActiveSeq {
     bool occupied = false;
@@ -130,6 +137,7 @@ class BatchScheduler {
   std::vector<int64_t> active_idx_;  // slots stepped this tick (reused)
   std::vector<std::vector<nn::SeqStepInput>> chunk_inputs_;  // per chunk
   std::atomic<int64_t> active_count_{0};
+  std::atomic<bool> poison_all_{false};  // SetDecodePoison chaos hook
 };
 
 }  // namespace llm::serve

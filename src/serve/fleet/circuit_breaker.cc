@@ -1,0 +1,124 @@
+#include "serve/fleet/circuit_breaker.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace llm::serve {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options)
+    : options_(options),
+      outcomes_(static_cast<size_t>(std::max(options.window, 1)), false) {
+  LLM_CHECK_GT(options_.window, 0);
+  LLM_CHECK_GT(options_.probe_successes, 0);
+}
+
+void CircuitBreaker::ClearWindowLocked() {
+  std::fill(outcomes_.begin(), outcomes_.end(), false);
+  next_ = 0;
+  filled_ = 0;
+  failures_ = 0;
+}
+
+void CircuitBreaker::TripLocked(std::chrono::steady_clock::time_point now) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  probes_in_flight_ = 0;
+  probe_streak_ = 0;
+  ++opens_;
+}
+
+bool CircuitBreaker::Allow(std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now - opened_at_ < options_.cooldown) return false;
+      // Cooled down: probe cautiously rather than re-opening the
+      // floodgates — one request at a time until the streak closes it.
+      state_ = BreakerState::kHalfOpen;
+      probe_streak_ = 0;
+      probes_in_flight_ = 1;  // this grant
+      return true;
+    case BreakerState::kHalfOpen:
+      if (probes_in_flight_ >= 1) return false;
+      ++probes_in_flight_;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::AbortProbe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kHalfOpen && probes_in_flight_ > 0) {
+    --probes_in_flight_;
+  }
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    if (probes_in_flight_ > 0) --probes_in_flight_;
+    if (++probe_streak_ >= options_.probe_successes) {
+      state_ = BreakerState::kClosed;
+      ClearWindowLocked();
+    }
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // straggler; ignore
+  failures_ -= outcomes_[next_] ? 1 : 0;
+  outcomes_[next_] = false;
+  next_ = (next_ + 1) % outcomes_.size();
+  filled_ = std::min(filled_ + 1, static_cast<int>(outcomes_.size()));
+}
+
+void CircuitBreaker::RecordFailure(
+    std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    // A failed probe: the replica is still sick, back to cooling off.
+    if (probes_in_flight_ > 0) --probes_in_flight_;
+    TripLocked(now);
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // straggler; ignore
+  failures_ += outcomes_[next_] ? 0 : 1;
+  outcomes_[next_] = true;
+  next_ = (next_ + 1) % outcomes_.size();
+  filled_ = std::min(filled_ + 1, static_cast<int>(outcomes_.size()));
+  if (filled_ >= options_.min_events &&
+      static_cast<double>(failures_) >=
+          options_.failure_threshold * static_cast<double>(filled_)) {
+    TripLocked(now);
+  }
+}
+
+void CircuitBreaker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = BreakerState::kClosed;
+  probes_in_flight_ = 0;
+  probe_streak_ = 0;
+  ClearWindowLocked();
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opens_;
+}
+
+}  // namespace llm::serve

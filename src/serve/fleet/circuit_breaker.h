@@ -1,0 +1,99 @@
+// Per-replica circuit breaker: the fleet router's memory of which
+// replicas have been failing.
+//
+// A replica that keeps emitting kFault/Internal retirements (poisoned
+// model, wedged workers) should stop receiving traffic instead of failing
+// every batch it touches. The breaker is the standard three-state machine:
+//
+//   kClosed    traffic flows; a sliding window of recent outcomes is
+//              tracked, and when the failure rate over at least
+//              `min_events` outcomes reaches `failure_threshold`, the
+//              breaker trips to...
+//   kOpen      no traffic. After `cooldown` has elapsed the next Allow()
+//              transitions to...
+//   kHalfOpen  a bounded number of probe requests (one in flight at a
+//              time) are let through. `probe_successes` consecutive
+//              successful probes close the breaker (window cleared); any
+//              probe failure re-opens it and restarts the cooldown.
+//
+// Time is passed in explicitly (steady_clock time_points) rather than
+// read internally, so the state machine is unit-testable without sleeps.
+// All methods are thread-safe; outcome recording from stragglers that
+// finish after a trip is tolerated and cannot wedge the machine.
+#ifndef TFMR_SERVE_FLEET_CIRCUIT_BREAKER_H_
+#define TFMR_SERVE_FLEET_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace llm::serve {
+
+struct CircuitBreakerOptions {
+  /// Sliding window of recent request outcomes per replica.
+  int window = 16;
+  /// Don't trip before this many outcomes are in the window: one early
+  /// failure out of one request is not a 100% failure *rate*.
+  int min_events = 4;
+  /// Trip when failures/outcomes in the window reaches this fraction.
+  double failure_threshold = 0.5;
+  /// How long an open breaker blocks traffic before probing.
+  std::chrono::milliseconds cooldown{250};
+  /// Consecutive half-open probe successes required to close.
+  int probe_successes = 2;
+};
+
+enum class BreakerState { kClosed = 0, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState state);
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const CircuitBreakerOptions& options);
+
+  /// May this replica receive a request at `now`? Closed: yes. Open: no,
+  /// unless the cooldown has elapsed — then the breaker moves to half-open
+  /// and grants a probe. Half-open: grants at most one outstanding probe.
+  /// A granted probe is reserved; if the caller fails to dispatch it, it
+  /// must call AbortProbe() so the next Allow can grant again.
+  bool Allow(std::chrono::steady_clock::time_point now);
+
+  /// Un-reserves a probe granted by Allow() that was never dispatched
+  /// (e.g. the replica's queue rejected the submit).
+  void AbortProbe();
+
+  /// Outcome of a dispatched request: success = finished OK (or by client
+  /// choice: cancel/deadline), failure = kFault/Internal or the replica
+  /// dying under the request.
+  void RecordSuccess();
+  void RecordFailure(std::chrono::steady_clock::time_point now);
+
+  /// Back to a fresh closed state (window cleared) — used after a replica
+  /// is reloaded with new weights and its history no longer applies.
+  void Reset();
+
+  BreakerState state() const;
+  /// Times the breaker tripped closed->open or half-open->open.
+  uint64_t opens() const;
+
+ private:
+  void TripLocked(std::chrono::steady_clock::time_point now);
+  void ClearWindowLocked();
+
+  const CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::vector<bool> outcomes_;  // ring: true = failure
+  size_t next_ = 0;
+  int filled_ = 0;
+  int failures_ = 0;
+  std::chrono::steady_clock::time_point opened_at_{};
+  int probes_in_flight_ = 0;
+  int probe_streak_ = 0;  // consecutive half-open successes
+  uint64_t opens_ = 0;
+};
+
+}  // namespace llm::serve
+
+#endif  // TFMR_SERVE_FLEET_CIRCUIT_BREAKER_H_

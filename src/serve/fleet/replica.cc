@@ -1,0 +1,160 @@
+#include "serve/fleet/replica.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "train/checkpoint.h"
+#include "util/check.h"
+#include "util/fault.h"
+
+namespace llm::serve {
+
+void CopyModelWeights(const nn::GPTModel& src, nn::GPTModel* dst) {
+  const nn::NamedParams src_params = src.NamedParameters();
+  nn::NamedParams dst_params = dst->NamedParameters();
+  LLM_CHECK_EQ(src_params.size(), dst_params.size());
+  for (size_t i = 0; i < src_params.size(); ++i) {
+    LLM_CHECK(src_params[i].first == dst_params[i].first)
+        << "parameter order mismatch: " << src_params[i].first << " vs "
+        << dst_params[i].first;
+    dst_params[i].second.mutable_value() = src_params[i].second.value();
+  }
+}
+
+Replica::Replica(int index, const nn::GPTModel& prototype,
+                 const ServerOptions& server_options)
+    : index_(index), server_options_(server_options) {
+  // Private model copy: replicas must not share weight storage, or a
+  // poisoned / mid-reload replica would corrupt its siblings.
+  util::Rng init_rng(0x5eed0000u + static_cast<uint64_t>(index));
+  model_ = std::make_unique<nn::GPTModel>(prototype.config(), &init_rng);
+  CopyModelWeights(prototype, model_.get());
+  server_ = std::make_shared<InferenceServer>(model_.get(), server_options_);
+}
+
+void Replica::Start() {
+  std::lock_guard<std::mutex> lock(server_mu_);
+  if (started_) return;
+  started_ = true;
+  server_->Start();
+}
+
+std::shared_ptr<InferenceServer> Replica::server() const {
+  std::lock_guard<std::mutex> lock(server_mu_);
+  return server_;
+}
+
+void Replica::Kill() {
+  dead_.store(true, std::memory_order_release);
+  // Hard stop: in-flight requests retire kCancelled; the router sees the
+  // dead flag (and the cancellations) and fails them over elsewhere.
+  server()->Shutdown();
+}
+
+void Replica::SwapInFreshServer() {
+  auto fresh = std::make_shared<InferenceServer>(model_.get(), server_options_);
+  std::shared_ptr<InferenceServer> old;
+  bool serve = false;
+  {
+    std::lock_guard<std::mutex> lock(server_mu_);
+    serve = started_ && !dead_.load(std::memory_order_acquire);
+    if (serve) fresh->Start();
+    old = std::move(server_);
+    server_ = std::move(fresh);
+  }
+  if (old) old->Shutdown();  // idempotent; requests already drained
+  if (!serve) server()->Shutdown();  // dead replica: reject all submits
+}
+
+Replica::WeightSnapshot Replica::SnapshotWeights() const {
+  WeightSnapshot snapshot;
+  for (const auto& [name, param] : model_->NamedParameters()) {
+    snapshot.emplace_back(name, param.value());  // deep Tensor copy
+  }
+  return snapshot;
+}
+
+void Replica::RestoreWeights(const WeightSnapshot& snapshot) {
+  nn::NamedParams params = model_->NamedParameters();
+  LLM_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    LLM_CHECK(params[i].first == snapshot[i].first);
+    params[i].second.mutable_value() = snapshot[i].second;
+  }
+}
+
+util::Status Replica::RunCanary() {
+  if (util::MaybeInjectFault(util::FaultSite::kReplicaCanary)) {
+    return util::Status::Internal("injected canary failure (replica " +
+                                  std::to_string(index_) + ")");
+  }
+  // A throwaway single-slot server on the just-loaded weights: one greedy
+  // generation must complete without a fault before the replica re-admits
+  // live traffic. Weights that pass CRC + shape checks but decode to
+  // NaN/Inf are caught here, not by the first unlucky user request.
+  ServerOptions canary_options;
+  canary_options.max_batch_size = 1;
+  canary_options.num_workers = 0;
+  canary_options.queue_capacity = 1;
+  InferenceServer canary(model_.get(), canary_options);
+  canary.Start();
+  GenerateRequest probe;
+  probe.prompt = {0};
+  probe.sampler.temperature = 0.0f;  // greedy: tests weights, not sampling
+  probe.max_new_tokens = 4;
+  probe.seed = 0;
+  RequestResult result = canary.GenerateBlocking(std::move(probe));
+  canary.Shutdown();
+  if (!result.status.ok()) {
+    return util::Status::Internal(
+        "canary generation failed on replica " + std::to_string(index_) +
+        ": " + result.status.ToString());
+  }
+  return util::Status::OK();
+}
+
+util::Status Replica::Reload(const std::string& checkpoint_path,
+                             std::chrono::milliseconds drain_timeout) {
+  if (dead()) {
+    return util::Status::FailedPrecondition(
+        "replica " + std::to_string(index_) + " is dead");
+  }
+  // 1. Drain: stop admission, let in-flight work finish. Drain shuts the
+  // server down either way; stragglers past the timeout retire kCancelled
+  // and the router fails them over to siblings.
+  (void)server()->Drain(drain_timeout);
+
+  // 2. Validate the file end-to-end (CRCs, structure) and against the
+  // live architecture — before any weight byte changes.
+  util::Status validated =
+      train::ValidateCheckpoint(checkpoint_path, model_.get());
+  if (!validated.ok()) {
+    SwapInFreshServer();  // back in service on the untouched weights
+    return validated;
+  }
+
+  // 3. Swap the weights, keeping a snapshot to roll back to.
+  const WeightSnapshot snapshot = SnapshotWeights();
+  util::Status loaded = train::LoadCheckpoint(model_.get(), checkpoint_path);
+  if (!loaded.ok()) {
+    RestoreWeights(snapshot);
+    SwapInFreshServer();
+    return loaded;
+  }
+
+  // 4. Canary: the new weights must actually generate before going live.
+  util::Status canary = RunCanary();
+  if (!canary.ok()) {
+    RestoreWeights(snapshot);
+    SwapInFreshServer();
+    return canary;
+  }
+
+  // 5. Commit: bump the version (hedging never compares outputs across
+  // versions) and rebuild the serving stack on the new weights.
+  weights_version_.fetch_add(1, std::memory_order_acq_rel);
+  SwapInFreshServer();
+  return util::Status::OK();
+}
+
+}  // namespace llm::serve

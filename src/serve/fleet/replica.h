@@ -1,0 +1,108 @@
+// One member of the serving fleet: a private model copy plus the
+// InferenceServer stack (KV pool, scheduler thread, queue) serving it.
+//
+// The replica owns the weight-swap machinery behind zero-downtime rolling
+// reload. Reload(path) is a local, single-replica operation — the router
+// sequences it across the fleet — and follows the validate-first,
+// rollback-on-anything protocol:
+//
+//   1. Drain the live server (in-flight requests finish; stragglers past
+//      the timeout are cancelled and fail over to sibling replicas).
+//   2. ValidateCheckpoint: CRC32 of every tensor, section structure, and
+//      architecture compatibility (names + shapes) against the live model
+//      — all BEFORE any weight byte changes. A corrupt or incompatible
+//      file is rejected here and the old server stack is rebuilt on the
+//      untouched weights.
+//   3. Snapshot the current weights, LoadCheckpoint the new ones (itself
+//      atomic: fully validated before the first write).
+//   4. Canary generation on a private throwaway server: a fixed greedy
+//      prompt must complete without a fault. Weights that load cleanly
+//      but decode to NaN (or an injected kReplicaCanary fault) roll the
+//      snapshot back.
+//   5. Rebuild the serving stack and bump weights_version().
+//
+// The InferenceServer is held by shared_ptr and swapped atomically under a
+// mutex: router threads that grabbed the old server mid-swap keep a valid
+// (shut down) object that rejects new work with FailedPrecondition, which
+// the router treats as "try another replica".
+#ifndef TFMR_SERVE_FLEET_REPLICA_H_
+#define TFMR_SERVE_FLEET_REPLICA_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/transformer.h"
+#include "serve/inference_server.h"
+#include "util/status.h"
+
+namespace llm::serve {
+
+class Replica {
+ public:
+  /// Builds this replica's private model (weights copied from
+  /// `prototype`) and its first server stack. Call Start() to serve.
+  Replica(int index, const nn::GPTModel& prototype,
+          const ServerOptions& server_options);
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  void Start();
+
+  /// The current serving stack. Never null; after Kill()/during a swap it
+  /// may be a shut-down server that rejects submits (the router's cue to
+  /// route elsewhere). Callers keep the shared_ptr for the lifetime of
+  /// any request they submitted through it.
+  std::shared_ptr<InferenceServer> server() const;
+
+  int index() const { return index_; }
+  const nn::GPTModel* model() const { return model_.get(); }
+
+  /// Bumped on every successful Reload. Hedged-request bit-exactness is
+  /// only asserted between attempts that ran on the same version.
+  uint64_t weights_version() const {
+    return weights_version_.load(std::memory_order_acquire);
+  }
+
+  bool dead() const { return dead_.load(std::memory_order_acquire); }
+
+  /// Hard failure: shuts the server down (in-flight requests retire
+  /// cancelled and fail over) and marks the replica permanently dead.
+  void Kill();
+
+  /// The rolling-reload step for this replica; see the file comment for
+  /// the protocol. On ANY failure the previous weights are restored, a
+  /// fresh server is started on them, and the error is returned — the
+  /// replica is never left out of service or on half-swapped weights.
+  util::Status Reload(const std::string& checkpoint_path,
+                      std::chrono::milliseconds drain_timeout);
+
+ private:
+  using WeightSnapshot = std::vector<std::pair<std::string, core::Tensor>>;
+
+  void SwapInFreshServer();  // build + start + publish a new stack
+  WeightSnapshot SnapshotWeights() const;
+  void RestoreWeights(const WeightSnapshot& snapshot);
+  util::Status RunCanary();
+
+  const int index_;
+  const ServerOptions server_options_;
+  std::unique_ptr<nn::GPTModel> model_;
+  mutable std::mutex server_mu_;
+  std::shared_ptr<InferenceServer> server_;  // guarded by server_mu_
+  std::atomic<uint64_t> weights_version_{1};
+  std::atomic<bool> dead_{false};
+  bool started_ = false;  // guarded by server_mu_
+};
+
+/// Copies every named parameter of `src` into `dst` (same architecture).
+void CopyModelWeights(const nn::GPTModel& src, nn::GPTModel* dst);
+
+}  // namespace llm::serve
+
+#endif  // TFMR_SERVE_FLEET_REPLICA_H_

@@ -1,0 +1,275 @@
+// ReplicaRouter: one serving front door over N independent InferenceServer
+// replicas (each with its own model copy, KV pool, and scheduler thread).
+//
+// The router owns everything that makes a fleet more than N servers:
+//
+//   Routing      Submit picks the least-loaded replica among those that
+//                are alive, in rotation (not mid-reload), and not
+//                draining, preferring kHealthy over kDegraded.
+//   Breakers     A per-replica circuit breaker (fleet/circuit_breaker.h)
+//                absorbs the outcome of every dispatched attempt; a
+//                replica that keeps faulting stops receiving traffic
+//                until a cooldown probe succeeds.
+//   Failover     An attempt that dies with the replica (kFault, or
+//                cancelled by a replica shutdown the client didn't ask
+//                for) is re-dispatched to a sibling with the request's
+//                remaining deadline, up to max_failovers times.
+//   Hedging      When a request's only attempt has been running longer
+//                than the hedge threshold (max of hedge_delay and
+//                hedge_p99_factor x observed fleet p99), a second attempt
+//                with the SAME seed is dispatched to a different replica.
+//                First completion wins; the loser is cancelled and its
+//                partial output is asserted bit-identical to the winner's
+//                prefix — the serving runtime's determinism contract
+//                (request output is a pure function of the request) made
+//                checkable in production. Mismatches are counted, never
+//                silently dropped.
+//   Reload       ReloadModel(path) rolls new weights across the fleet one
+//                replica at a time with zero downtime: each replica is
+//                taken out of rotation, drained, validated, swapped,
+//                canaried, and re-admitted (breaker reset) before the
+//                next begins — see fleet/replica.h for the rollback
+//                protocol. Live traffic rides the remaining replicas.
+//
+// A dedicated pump thread polls all outstanding attempts every
+// pump_interval and owns hedging, failover, and finalization; client
+// threads only Submit, Wait, and Cancel. Fleet-level conservation mirrors
+// the single-server invariant: every accepted request reaches exactly one
+// terminal state, so at quiescence
+//   submitted == completed + cancelled + expired + failed.
+#ifndef TFMR_SERVE_FLEET_REPLICA_ROUTER_H_
+#define TFMR_SERVE_FLEET_REPLICA_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/transformer.h"
+#include "serve/fleet/circuit_breaker.h"
+#include "serve/fleet/replica.h"
+#include "serve/inference_server.h"
+#include "util/status.h"
+
+namespace llm::serve {
+
+struct FleetOptions {
+  int num_replicas = 2;
+  /// Per-replica server configuration (batch size, workers, queue, ...).
+  ServerOptions server;
+  CircuitBreakerOptions breaker;
+  /// Hedge a request once its only attempt has run this long; zero
+  /// disables hedging entirely.
+  std::chrono::milliseconds hedge_delay{0};
+  /// When > 0 and a fleet p99 estimate exists, the effective hedge
+  /// threshold is max(hedge_delay, factor * p99) — hedge only genuine
+  /// tail stragglers, not the median.
+  double hedge_p99_factor = 0.0;
+  /// Test mode: let the hedge loser run to completion and assert FULL
+  /// bit-equality with the winner (default cancels the loser and checks
+  /// its partial output as a prefix).
+  bool hedge_verify_full = false;
+  /// Re-dispatch attempts lost to replica failure at most this many times
+  /// before the request finalizes as failed.
+  int max_failovers = 3;
+  /// Per-replica drain budget during a rolling reload.
+  std::chrono::milliseconds reload_drain_timeout{2000};
+  /// Pump thread sweep cadence.
+  std::chrono::milliseconds pump_interval{1};
+};
+
+/// A replica's standing in the rotation, for operators and tests.
+enum class ReplicaPhase {
+  kActive = 0,  // eligible for traffic (breaker permitting)
+  kReloading,   // mid weight-swap; out of rotation
+  kDead,        // killed; never returns
+};
+
+const char* ReplicaPhaseName(ReplicaPhase phase);
+
+/// Fleet-wide counters. Conservation at quiescence:
+/// submitted == completed + cancelled + expired + failed.
+struct FleetStats {
+  uint64_t submitted = 0;  // accepted into the fleet
+  uint64_t rejected = 0;   // refused at Submit (no replica would take it)
+  uint64_t completed = 0;
+  uint64_t cancelled = 0;
+  uint64_t expired = 0;
+  uint64_t failed = 0;
+  uint64_t failovers = 0;         // attempts re-dispatched after loss
+  uint64_t hedges_launched = 0;
+  uint64_t hedges_won = 0;        // requests whose hedge beat the primary
+  uint64_t hedge_mismatches = 0;  // determinism violations (must stay 0)
+  uint64_t reloads = 0;           // successful per-replica reloads
+  uint64_t reload_failures = 0;   // rejected/rolled-back reloads
+  double p99_latency_ms = 0.0;    // fleet-observed completion latency
+};
+
+class ReplicaRouter {
+ public:
+  /// Builds num_replicas replicas, each with a private copy of
+  /// `prototype`'s weights. `prototype` may be freed after construction.
+  ReplicaRouter(const nn::GPTModel& prototype, const FleetOptions& options);
+  ~ReplicaRouter();  // implies Shutdown()
+
+  ReplicaRouter(const ReplicaRouter&) = delete;
+  ReplicaRouter& operator=(const ReplicaRouter&) = delete;
+
+  void Start();
+
+  /// Routes to the best eligible replica. Errors: InvalidArgument (bad
+  /// request), FailedPrecondition (fleet draining / shut down),
+  /// ResourceExhausted (every eligible replica refused), Internal (no
+  /// eligible replica at all).
+  util::StatusOr<RequestId> Submit(GenerateRequest request);
+
+  /// Blocks until the request reaches its fleet-terminal state. The id is
+  /// fleet-scoped (returned by Submit); NotFound for unknown/collected.
+  util::StatusOr<RequestResult> Wait(RequestId id);
+
+  /// Requests cancellation; the pump propagates it to live attempts.
+  bool Cancel(RequestId id);
+
+  /// Submit + Wait; admission failures come back in RequestResult::status.
+  RequestResult GenerateBlocking(GenerateRequest request);
+
+  /// Graceful: closes fleet admission, lets outstanding requests finish
+  /// (failover still active), then shuts down. DeadlineExceeded if the
+  /// timeout lapsed first.
+  util::Status Drain(std::chrono::milliseconds timeout);
+
+  /// Hard stop: outstanding requests finalize (mostly kCancelled) and
+  /// every Wait returns. Idempotent.
+  void Shutdown();
+
+  /// Zero-downtime rolling reload: for each live replica in turn — out of
+  /// rotation, drain, validate checkpoint (CRC + architecture), swap,
+  /// canary, re-admit with a reset breaker. Stops at the first failing
+  /// replica (that replica is already rolled back and re-admitted on its
+  /// old weights) and returns the error. Serialized: concurrent calls are
+  /// rejected with FailedPrecondition.
+  util::Status ReloadModel(const std::string& checkpoint_path);
+
+  FleetStats Stats() const;
+
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+  ReplicaPhase replica_phase(int i) const;
+  BreakerState breaker_state(int i) const;
+  uint64_t replica_weights_version(int i) const;
+  /// The replica's CURRENT server's stats (post-reload servers start
+  /// fresh). Feeds the per-replica KV-slot conservation assertions.
+  ServerStats replica_stats(int i) const;
+
+  /// Chaos hooks. Kill is permanent (hard shutdown + out of rotation);
+  /// Poison makes every decode on the replica fault until its server is
+  /// rebuilt by a reload.
+  void KillReplica(int i);
+  void PoisonReplica(int i, bool on);
+
+ private:
+  struct Attempt {
+    int replica = -1;
+    /// The exact server generation the attempt was submitted to; kept
+    /// alive here so Poll stays valid across replica server swaps.
+    std::shared_ptr<InferenceServer> server;
+    RequestId inner_id = 0;
+    uint64_t weights_version = 0;
+    std::chrono::steady_clock::time_point dispatched_at;
+    bool is_hedge = false;
+  };
+
+  struct FleetRequest {
+    RequestId id = 0;
+    GenerateRequest request;  // user's original (incl. their on_token)
+    std::chrono::steady_clock::time_point submit_time;
+    std::chrono::steady_clock::time_point deadline;  // max() = none
+    std::atomic<bool> cancel_requested{false};
+
+    // Routing state: guarded by the router's mu_.
+    std::vector<Attempt> attempts;
+    int failovers = 0;
+    bool hedged = false;
+
+    // Streamed-prefix dedup across attempts: guarded by stream_mu (taken
+    // on replica scheduler threads, so kept separate from mu_).
+    std::mutex stream_mu;
+    size_t streamed = 0;
+
+    // Terminal state: guarded by mu.
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    RequestResult result;
+    uint64_t result_version = 0;  // weights_version the winner ran on
+  };
+
+  /// A cancelled-or-abandoned attempt whose retirement we still collect
+  /// (hedge losers awaiting bit-exactness verification).
+  struct Zombie {
+    std::shared_ptr<FleetRequest> freq;
+    Attempt attempt;
+  };
+
+  void PumpMain();
+  void PumpRequestLocked(const std::shared_ptr<FleetRequest>& freq,
+                         std::chrono::steady_clock::time_point now);
+  void PumpZombiesLocked();
+  /// Dispatches one attempt. On success appends to freq->attempts.
+  util::Status DispatchLocked(const std::shared_ptr<FleetRequest>& freq,
+                              bool is_hedge,
+                              std::chrono::steady_clock::time_point now);
+  void FinalizeLocked(const std::shared_ptr<FleetRequest>& freq,
+                      RequestResult result, const Attempt* winner);
+  void VerifyLoserLocked(const std::shared_ptr<FleetRequest>& freq,
+                         const Attempt& attempt, const RequestResult& loser);
+  std::chrono::milliseconds HedgeThresholdLocked() const;
+  bool ReplicaEligibleLocked(int i) const;
+
+  const FleetOptions options_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  std::vector<std::atomic<int>> phase_;  // ReplicaPhase as int
+
+  std::thread pump_thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> admission_closed_{false};
+  std::atomic<bool> shutting_down_{false};
+  bool started_ = false;  // guarded by mu_
+
+  std::atomic<uint64_t> next_id_{1};
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;  // notified when active_ empties
+  std::unordered_map<RequestId, std::shared_ptr<FleetRequest>> active_;
+  std::unordered_map<RequestId, std::shared_ptr<FleetRequest>> done_;
+  std::vector<Zombie> zombies_;
+  bool reload_in_progress_ = false;  // guarded by mu_
+
+  // Counters: guarded by mu_.
+  uint64_t submitted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t cancelled_ = 0;
+  uint64_t expired_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t failovers_ = 0;
+  uint64_t hedges_launched_ = 0;
+  uint64_t hedges_won_ = 0;
+  uint64_t hedge_mismatches_ = 0;
+  uint64_t reloads_ = 0;
+  uint64_t reload_failures_ = 0;
+  std::vector<double> latency_ring_;  // recent fleet completion latencies
+  size_t latency_next_ = 0;
+  double cached_p99_ms_ = 0.0;  // refreshed every few completions
+  uint64_t completions_since_p99_ = 0;
+};
+
+}  // namespace llm::serve
+
+#endif  // TFMR_SERVE_FLEET_REPLICA_ROUTER_H_

@@ -222,6 +222,14 @@ util::StatusOr<RequestId> InferenceServer::SubmitWithRetry(
   util::StatusOr<RequestId> result =
       util::Status::InvalidArgument("max_attempts must be >= 1");
   const int attempts = std::max(retry.max_attempts, 1);
+  // The request's deadline bounds the whole retry loop, not each attempt:
+  // a backoff sleep that would land past it is pointless (the request
+  // would be rejected as expired at admission anyway), so the loop gives
+  // up *before* the deadline rather than sleeping through it.
+  const auto loop_deadline =
+      request.timeout.count() > 0
+          ? std::chrono::steady_clock::now() + request.timeout
+          : std::chrono::steady_clock::time_point::max();
   for (int attempt = 0; attempt < attempts; ++attempt) {
     result = Submit(request);  // copies: each attempt resubmits intact
     if (result.ok() ||
@@ -235,9 +243,15 @@ util::StatusOr<RequestId> InferenceServer::SubmitWithRetry(
         static_cast<double>(retry.max_backoff.count()),
         static_cast<double>(retry.initial_backoff.count()) *
             std::pow(2.0, attempt));
-    const double jittered_ms = base_ms * (0.5 + 0.5 * jitter.Uniform());
-    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-        std::max(jittered_ms, 0.0)));
+    const double jittered_ms =
+        std::max(base_ms * (0.5 + 0.5 * jitter.Uniform()), 0.0);
+    const auto sleep_until =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(jittered_ms));
+    if (sleep_until >= loop_deadline) break;  // would outlive the deadline
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(jittered_ms));
   }
   return result;
 }
@@ -282,6 +296,37 @@ util::StatusOr<RequestResult> InferenceServer::Wait(RequestId id) {
   std::lock_guard<std::mutex> lock(registry_mu_);
   registry_.erase(id);
   return result;
+}
+
+InferenceServer::PollOutcome InferenceServer::Poll(RequestId id,
+                                                  RequestResult* out) {
+  std::shared_ptr<RequestState> state;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = registry_.find(id);
+    if (it == registry_.end()) return PollOutcome::kUnknown;
+    state = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (!state->done) return PollOutcome::kPending;
+    out->status = state->status;
+    out->reason = state->reason;
+    out->tokens = state->tokens;
+    out->queue_ms = state->queue_ms;
+    out->total_ms = state->total_ms;
+  }
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  registry_.erase(id);
+  return PollOutcome::kReady;
+}
+
+int64_t InferenceServer::ApproxLoad() const {
+  return static_cast<int64_t>(queue_.size()) + scheduler_.active_count();
+}
+
+void InferenceServer::DebugPoisonDecode(bool on) {
+  scheduler_.SetDecodePoison(on);
 }
 
 RequestResult InferenceServer::GenerateBlocking(GenerateRequest request) {

@@ -181,6 +181,24 @@ class InferenceServer {
   /// regardless of concurrent Cancel/Drain/Shutdown.
   util::StatusOr<RequestResult> Wait(RequestId id);
 
+  /// Non-blocking Wait: kReady fills `*out` and forgets the id (exactly
+  /// like a returned Wait), kPending leaves the id live for later polls,
+  /// kUnknown means the id was never accepted or was already collected.
+  /// The poll primitive replica routers drive hedging and failover from.
+  enum class PollOutcome { kReady, kPending, kUnknown };
+  PollOutcome Poll(RequestId id, RequestResult* out);
+
+  /// Cheap load signal for routers: queued plus in-flight requests. A
+  /// couple of relaxed reads — safe from any thread, no locks taken.
+  int64_t ApproxLoad() const;
+
+  /// Chaos hook: while on, every decode lane's logits are poisoned to NaN
+  /// before the numeric-health check, so each in-flight request retires
+  /// with kFault — a whole-replica "model gone bad", as opposed to the
+  /// single-lane kDecodeNaN injection site. Synchronized (atomic flag read
+  /// by worker lanes), so chaos schedules stay TSan-clean.
+  void DebugPoisonDecode(bool on);
+
   /// Submit + Wait convenience; admission failures come back in
   /// RequestResult::status.
   RequestResult GenerateBlocking(GenerateRequest request);

@@ -43,6 +43,21 @@ std::vector<int64_t> Vocab::Encode(const std::vector<std::string>& tokens,
   return out;
 }
 
+util::StatusOr<std::vector<int64_t>> Vocab::TryEncode(
+    const std::vector<std::string>& tokens, int64_t unk_id) const {
+  std::vector<int64_t> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    const int64_t id = IdOrUnk(t, unk_id);
+    if (id < 0) {
+      return util::Status::InvalidArgument(
+          "unknown token with no unk id: '" + t + "'");
+    }
+    out.push_back(id);
+  }
+  return out;
+}
+
 std::string Vocab::Decode(const std::vector<int64_t>& ids,
                           const std::string& sep) const {
   std::string out;

@@ -32,8 +32,18 @@ class Vocab {
 
   /// Encodes a token sequence, adding unseen tokens when `grow` is true,
   /// otherwise mapping them to unk_id (which must be >= 0 then).
+  /// Aborts on an unknown token with no unk id — corpus-building use only;
+  /// untrusted text (serving-facing prompt encoding) must go through
+  /// TryEncode, which reports the bad token as a Status instead.
   std::vector<int64_t> Encode(const std::vector<std::string>& tokens,
                               bool grow = true, int64_t unk_id = -1);
+
+  /// Non-growing, non-aborting encode for untrusted input: unknown tokens
+  /// map to `unk_id` when it is >= 0, and return InvalidArgument (naming
+  /// the offending token) when there is no unk id. Never mutates the
+  /// vocabulary, never crashes the process.
+  util::StatusOr<std::vector<int64_t>> TryEncode(
+      const std::vector<std::string>& tokens, int64_t unk_id = -1) const;
 
   /// Decodes ids to tokens joined with `sep`.
   std::string Decode(const std::vector<int64_t>& ids,

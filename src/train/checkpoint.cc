@@ -132,14 +132,15 @@ util::Status ReadTensorEntry(std::ifstream& in, const std::string& path,
   return util::Status::OK();
 }
 
-/// Copies loaded tensors into the module's parameters by name, enforcing
-/// the strict round-trip contract.
-util::Status AssignParams(
-    nn::Module* module,
+/// Architecture-compatibility gate: the loaded parameter set must match
+/// the module's by name and shape exactly (strict round-trip). Pure check,
+/// no mutation — shared by LoadCheckpoint and ValidateCheckpoint.
+util::Status CheckCompatible(
+    const nn::Module& module,
     const std::vector<std::pair<std::string, core::Tensor>>& loaded,
     const std::string& path) {
   std::map<std::string, core::Variable> by_name;
-  for (auto& [name, var] : module->NamedParameters()) {
+  for (auto& [name, var] : module.NamedParameters()) {
     by_name.emplace(name, var);
   }
   if (loaded.size() != by_name.size()) {
@@ -154,13 +155,30 @@ util::Status AssignParams(
       return util::Status::NotFound("unknown parameter in checkpoint: " +
                                     name);
     }
-    core::Tensor& dst = it->second.mutable_value();
-    if (dst.shape() != tensor.shape()) {
+    if (it->second.value().shape() != tensor.shape()) {
       return util::Status::FailedPrecondition(
           "shape mismatch for " + name + ": file " +
           core::ShapeToString(tensor.shape()) + " vs module " +
-          core::ShapeToString(dst.shape()));
+          core::ShapeToString(it->second.value().shape()));
     }
+  }
+  return util::Status::OK();
+}
+
+/// Copies loaded tensors into the module's parameters by name. Two-phase:
+/// CheckCompatible must pass over the whole set before the first byte is
+/// written, so a rejected file never leaves the module half-mutated.
+util::Status AssignParams(
+    nn::Module* module,
+    const std::vector<std::pair<std::string, core::Tensor>>& loaded,
+    const std::string& path) {
+  LLM_RETURN_IF_ERROR(CheckCompatible(*module, loaded, path));
+  std::map<std::string, core::Variable> by_name;
+  for (auto& [name, var] : module->NamedParameters()) {
+    by_name.emplace(name, var);
+  }
+  for (const auto& [name, tensor] : loaded) {
+    core::Tensor& dst = by_name.find(name)->second.mutable_value();
     std::memcpy(dst.data(), tensor.data(),
                 static_cast<size_t>(dst.numel()) * sizeof(float));
   }
@@ -168,8 +186,9 @@ util::Status AssignParams(
 }
 
 /// v1 body: no checksums, weights only. `in` is positioned after the magic.
-util::Status LoadV1Body(std::ifstream& in, nn::Module* module,
-                        const std::string& path) {
+util::Status ParseV1Body(std::ifstream& in, const std::string& path,
+                         std::vector<std::pair<std::string, core::Tensor>>*
+                             out) {
   uint64_t count = 0;
   if (!ReadPod(in, &count)) {
     return util::Status::IOError("truncated checkpoint: " + path);
@@ -198,7 +217,121 @@ util::Status LoadV1Body(std::ifstream& in, nn::Module* module,
     }
     loaded.emplace_back(std::move(name), std::move(t));
   }
-  return AssignParams(module, loaded, path);
+  *out = std::move(loaded);
+  return util::Status::OK();
+}
+
+/// Reads and structurally validates the whole file (v1 or v2): magic,
+/// version, tensor checksums, optional sections, footer. Fills `loaded`
+/// and `parsed` on success; touches no module. The single parse path
+/// behind both LoadCheckpoint and ValidateCheckpoint.
+util::Status ParseCheckpointFile(
+    const std::string& path,
+    std::vector<std::pair<std::string, core::Tensor>>* loaded,
+    TrainState* parsed) {
+  if (util::MaybeInjectFault(util::FaultSite::kCheckpointRead)) {
+    return util::Status::IOError("injected fault: unreadable checkpoint " +
+                                 path);
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::IOError("cannot open for read: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in) return util::Status::IOError("truncated checkpoint: " + path);
+  if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    // Legacy v1: weights only, loadable but carries no training state.
+    return ParseV1Body(in, path, loaded);
+  }
+  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) != 0) {
+    return util::Status::FailedPrecondition("bad checkpoint magic: " + path);
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version)) {
+    return util::Status::IOError("truncated checkpoint (version): " + path);
+  }
+  if (version != kVersion2) {
+    return util::Status::FailedPrecondition(
+        "unsupported checkpoint version " + std::to_string(version) + ": " +
+        path);
+  }
+  uint32_t mask = 0;
+  if (!ReadPod(in, &mask)) {
+    return util::Status::IOError("truncated checkpoint (mask): " + path);
+  }
+
+  uint64_t count = 0;
+  if (!ReadPod(in, &count)) {
+    return util::Status::IOError("truncated checkpoint (param count): " +
+                                 path);
+  }
+  loaded->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    core::Tensor t;
+    LLM_RETURN_IF_ERROR(ReadTensorEntry(in, path, "param", &name, &t));
+    loaded->emplace_back(std::move(name), std::move(t));
+  }
+
+  if (mask & kSectionOptimizer) {
+    if (!ReadString(in, &parsed->optimizer.type) ||
+        !ReadPod(in, &parsed->optimizer.step)) {
+      return util::Status::IOError("truncated checkpoint (optimizer): " +
+                                   path);
+    }
+    uint64_t slots = 0;
+    if (!ReadPod(in, &slots)) {
+      return util::Status::IOError("truncated checkpoint (slot count): " +
+                                   path);
+    }
+    for (uint64_t i = 0; i < slots; ++i) {
+      std::string name;
+      core::Tensor t;
+      LLM_RETURN_IF_ERROR(ReadTensorEntry(in, path, "slot", &name, &t));
+      parsed->optimizer.slots.emplace_back(std::move(name), std::move(t));
+    }
+    parsed->has_optimizer = true;
+  }
+  if (mask & kSectionRng) {
+    uint8_t have_cached = 0;
+    for (uint64_t& s : parsed->rng.s) {
+      if (!ReadPod(in, &s)) {
+        return util::Status::IOError("truncated checkpoint (rng): " + path);
+      }
+    }
+    if (!ReadPod(in, &have_cached) ||
+        !ReadPod(in, &parsed->rng.cached_normal)) {
+      return util::Status::IOError("truncated checkpoint (rng): " + path);
+    }
+    parsed->rng.have_cached_normal = have_cached != 0;
+    parsed->has_rng = true;
+  }
+  if (mask & kSectionTrainer) {
+    uint64_t records = 0;
+    if (!ReadPod(in, &parsed->next_step) || !ReadPod(in, &parsed->lr_scale) ||
+        !ReadPod(in, &records)) {
+      return util::Status::IOError("truncated checkpoint (trainer): " + path);
+    }
+    parsed->history.reserve(records);
+    for (uint64_t i = 0; i < records; ++i) {
+      StepRecord r;
+      if (!ReadPod(in, &r.step) || !ReadPod(in, &r.loss) ||
+          !ReadPod(in, &r.lr) || !ReadPod(in, &r.grad_norm) ||
+          !ReadPod(in, &r.event)) {
+        return util::Status::IOError("truncated checkpoint (history): " +
+                                     path);
+      }
+      parsed->history.push_back(r);
+    }
+    parsed->has_trainer = true;
+  }
+  char footer[8];
+  in.read(footer, sizeof(footer));
+  if (!in) return util::Status::IOError("truncated checkpoint (footer): " +
+                                        path);
+  if (std::memcmp(footer, kFooterV2, sizeof(kFooterV2)) != 0) {
+    return util::Status::FailedPrecondition("bad checkpoint footer: " + path);
+  }
+  return util::Status::OK();
 }
 
 }  // namespace
@@ -285,115 +418,25 @@ util::Status LoadCheckpoint(nn::Module* module, const std::string& path,
   if (module == nullptr) {
     return util::Status::InvalidArgument("null module");
   }
-  if (util::MaybeInjectFault(util::FaultSite::kCheckpointRead)) {
-    return util::Status::IOError("injected fault: unreadable checkpoint " +
-                                 path);
-  }
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return util::Status::IOError("cannot open for read: " + path);
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in) return util::Status::IOError("truncated checkpoint: " + path);
-  if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
-    // Legacy v1: weights only, loadable but carries no training state.
-    return LoadV1Body(in, module, path);
-  }
-  if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) != 0) {
-    return util::Status::FailedPrecondition("bad checkpoint magic: " + path);
-  }
-  uint32_t version = 0;
-  if (!ReadPod(in, &version)) {
-    return util::Status::IOError("truncated checkpoint (version): " + path);
-  }
-  if (version != kVersion2) {
-    return util::Status::FailedPrecondition(
-        "unsupported checkpoint version " + std::to_string(version) + ": " +
-        path);
-  }
-  uint32_t mask = 0;
-  if (!ReadPod(in, &mask)) {
-    return util::Status::IOError("truncated checkpoint (mask): " + path);
-  }
-
-  uint64_t count = 0;
-  if (!ReadPod(in, &count)) {
-    return util::Status::IOError("truncated checkpoint (param count): " +
-                                 path);
-  }
   std::vector<std::pair<std::string, core::Tensor>> loaded;
-  loaded.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    std::string name;
-    core::Tensor t;
-    LLM_RETURN_IF_ERROR(ReadTensorEntry(in, path, "param", &name, &t));
-    loaded.emplace_back(std::move(name), std::move(t));
-  }
-
   TrainState parsed;
-  if (mask & kSectionOptimizer) {
-    if (!ReadString(in, &parsed.optimizer.type) ||
-        !ReadPod(in, &parsed.optimizer.step)) {
-      return util::Status::IOError("truncated checkpoint (optimizer): " +
-                                   path);
-    }
-    uint64_t slots = 0;
-    if (!ReadPod(in, &slots)) {
-      return util::Status::IOError("truncated checkpoint (slot count): " +
-                                   path);
-    }
-    for (uint64_t i = 0; i < slots; ++i) {
-      std::string name;
-      core::Tensor t;
-      LLM_RETURN_IF_ERROR(ReadTensorEntry(in, path, "slot", &name, &t));
-      parsed.optimizer.slots.emplace_back(std::move(name), std::move(t));
-    }
-    parsed.has_optimizer = true;
-  }
-  if (mask & kSectionRng) {
-    uint8_t have_cached = 0;
-    for (uint64_t& s : parsed.rng.s) {
-      if (!ReadPod(in, &s)) {
-        return util::Status::IOError("truncated checkpoint (rng): " + path);
-      }
-    }
-    if (!ReadPod(in, &have_cached) ||
-        !ReadPod(in, &parsed.rng.cached_normal)) {
-      return util::Status::IOError("truncated checkpoint (rng): " + path);
-    }
-    parsed.rng.have_cached_normal = have_cached != 0;
-    parsed.has_rng = true;
-  }
-  if (mask & kSectionTrainer) {
-    uint64_t records = 0;
-    if (!ReadPod(in, &parsed.next_step) || !ReadPod(in, &parsed.lr_scale) ||
-        !ReadPod(in, &records)) {
-      return util::Status::IOError("truncated checkpoint (trainer): " + path);
-    }
-    parsed.history.reserve(records);
-    for (uint64_t i = 0; i < records; ++i) {
-      StepRecord r;
-      if (!ReadPod(in, &r.step) || !ReadPod(in, &r.loss) ||
-          !ReadPod(in, &r.lr) || !ReadPod(in, &r.grad_norm) ||
-          !ReadPod(in, &r.event)) {
-        return util::Status::IOError("truncated checkpoint (history): " +
-                                     path);
-      }
-      parsed.history.push_back(r);
-    }
-    parsed.has_trainer = true;
-  }
-  char footer[8];
-  in.read(footer, sizeof(footer));
-  if (!in) return util::Status::IOError("truncated checkpoint (footer): " +
-                                        path);
-  if (std::memcmp(footer, kFooterV2, sizeof(kFooterV2)) != 0) {
-    return util::Status::FailedPrecondition("bad checkpoint footer: " + path);
-  }
-
-  // All validation passed — only now mutate the module and outputs, so a
-  // rejected file leaves everything untouched.
+  LLM_RETURN_IF_ERROR(ParseCheckpointFile(path, &loaded, &parsed));
+  // All parsing and validation passed — only now mutate the module and
+  // outputs (AssignParams re-checks compatibility before the first write),
+  // so a rejected file leaves everything untouched.
   LLM_RETURN_IF_ERROR(AssignParams(module, loaded, path));
   if (state != nullptr) *state = std::move(parsed);
+  return util::Status::OK();
+}
+
+util::Status ValidateCheckpoint(const std::string& path,
+                                const nn::Module* module) {
+  std::vector<std::pair<std::string, core::Tensor>> loaded;
+  TrainState parsed;
+  LLM_RETURN_IF_ERROR(ParseCheckpointFile(path, &loaded, &parsed));
+  if (module != nullptr) {
+    LLM_RETURN_IF_ERROR(CheckCompatible(*module, loaded, path));
+  }
   return util::Status::OK();
 }
 
@@ -408,15 +451,31 @@ util::StatusOr<std::string> LatestCheckpoint(const std::string& dir) {
   std::error_code ec;
   std::filesystem::directory_iterator it(dir, ec);
   if (ec) {
+    // A missing (or not-a-directory) checkpoint dir means "no checkpoints",
+    // the same answer an empty dir gives — NotFound, never a malformed
+    // path. Real I/O problems (e.g. permissions) stay IOError.
+    if (ec == std::errc::no_such_file_or_directory ||
+        ec == std::errc::not_a_directory) {
+      return util::Status::NotFound("no checkpoint dir: " + dir);
+    }
     return util::Status::IOError("cannot list checkpoint dir " + dir + ": " +
                                  ec.message());
   }
   std::string best_name;
   std::string best;
   for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
     const std::string name = entry.path().filename().string();
+    // Exactly ckpt_<digits>.tfmr, as CheckpointFileName writes — stray
+    // files that merely share the prefix/suffix (ckpt_old.tfmr, editor
+    // backups, subdirectories) are not checkpoints.
     if (name.rfind("ckpt_", 0) != 0) continue;
-    if (name.size() < 6 || name.substr(name.size() - 5) != ".tfmr") continue;
+    if (name.size() < 11 || name.substr(name.size() - 5) != ".tfmr") continue;
+    const std::string step = name.substr(5, name.size() - 10);
+    if (step.empty() ||
+        step.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
     // Zero-padded step numbers make lexicographic order step order.
     if (name > best_name) {
       best_name = name;

@@ -59,8 +59,22 @@ util::Status SaveCheckpoint(const nn::Module& module, const std::string& path,
 /// the module must be present in the file with a matching shape; extra
 /// entries in the file are an error (strict round-trip). When `state` is
 /// non-null, also loads whichever optional sections the file carries.
+/// Atomic with respect to `module`: the file is parsed and fully
+/// validated (checksums, names, shapes) before any parameter is written,
+/// so a rejected checkpoint leaves the module bit-identical to before.
 util::Status LoadCheckpoint(nn::Module* module, const std::string& path,
                             TrainState* state = nullptr);
+
+/// Parses and fully validates the checkpoint at `path` — magic, version,
+/// per-tensor CRC32s, section structure, footer — without touching any
+/// module. When `module` is non-null, additionally checks architecture
+/// compatibility: the file's parameter set must match the module's by
+/// name and shape exactly. This is the pre-swap gate the serving fleet
+/// runs before hot-reloading weights into a live replica: a corrupt or
+/// architecturally incompatible file is rejected here, before any drain
+/// or swap is attempted.
+util::Status ValidateCheckpoint(const std::string& path,
+                                const nn::Module* module = nullptr);
 
 /// Newest checkpoint (by step number encoded in the filename) that
 /// SaveCheckpoint wrote under `dir`; kNotFound when there is none.

@@ -26,6 +26,10 @@ const char* FaultSiteName(FaultSite site) {
       return "slot-leak";
     case FaultSite::kOnTokenThrow:
       return "on-token-throw";
+    case FaultSite::kReplicaDispatch:
+      return "replica-dispatch";
+    case FaultSite::kReplicaCanary:
+      return "replica-canary";
   }
   return "unknown";
 }

@@ -47,8 +47,10 @@ enum class FaultSite : int {
   kWorkerStall = 5,      // serving: a worker sleeps past the tick budget
   kSlotLeak = 6,         // serving: KV slot fails to return to the free list
   kOnTokenThrow = 7,     // serving: user streaming callback throws
+  kReplicaDispatch = 8,  // fleet: dispatch to a replica fails with Internal
+  kReplicaCanary = 9,    // fleet: post-swap canary generation fails
 };
-inline constexpr int kNumFaultSites = 8;
+inline constexpr int kNumFaultSites = 10;
 
 const char* FaultSiteName(FaultSite site);
 

@@ -224,6 +224,123 @@ TEST_F(FaultToleranceTest, LatestCheckpointFindsNewest) {
   EXPECT_NE(latest.value().find(CheckpointFileName(12)), std::string::npos);
 }
 
+TEST_F(FaultToleranceTest, LatestCheckpointEdgeCasesReturnNotFoundCleanly) {
+  // Missing directory: NotFound, not a crash or an IOError.
+  EXPECT_EQ(LatestCheckpoint("/nonexistent/tfmr_no_such_dir").status().code(),
+            util::StatusCode::kNotFound);
+
+  // Path that exists but is a file, not a directory.
+  ScratchDir dir("tfmr_latest_edges");
+  const std::string file_path = dir.path() + "/not_a_dir";
+  { std::ofstream f(file_path); f << "x"; }
+  EXPECT_EQ(LatestCheckpoint(file_path).status().code(),
+            util::StatusCode::kNotFound);
+
+  // Empty directory.
+  EXPECT_EQ(LatestCheckpoint(dir.path()).status().code(),
+            util::StatusCode::kNotFound);
+
+  // Directory with non-checkpoint junk only: still NotFound.
+  { std::ofstream f(dir.path() + "/README.txt"); f << "notes"; }
+  { std::ofstream f(dir.path() + "/ckpt_abc.tfmr"); f << "bad step"; }
+  { std::ofstream f(dir.path() + "/ckpt_.tfmr"); f << "no step"; }
+  { std::ofstream f(dir.path() + "/ckpt_000000007.bak"); f << "bad ext"; }
+  fs::create_directories(dir.path() + "/ckpt_000000099.tfmr.d");
+  EXPECT_EQ(LatestCheckpoint(dir.path()).status().code(),
+            util::StatusCode::kNotFound);
+
+  // A real checkpoint among the junk is found, junk ignored.
+  util::Rng rng(14);
+  nn::Mlp model(4, 8, 2, &rng);
+  ASSERT_TRUE(
+      SaveCheckpoint(model, dir.path() + "/" + CheckpointFileName(5)).ok());
+  auto latest = LatestCheckpoint(dir.path());
+  ASSERT_TRUE(latest.ok()) << latest.status();
+  EXPECT_NE(latest.value().find(CheckpointFileName(5)), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ValidateCheckpoint: the serving fleet's pre-swap gate.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultToleranceTest, ValidateCheckpointAcceptsGoodFileAndChecksArch) {
+  ScratchDir dir("tfmr_validate");
+  const std::string path = dir.path() + "/ckpt_000000000.tfmr";
+  util::Rng rng(15);
+  nn::Mlp model(4, 8, 2, &rng);
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+
+  // Structure-only validation, and validation against the right module.
+  EXPECT_TRUE(ValidateCheckpoint(path).ok());
+  EXPECT_TRUE(ValidateCheckpoint(path, &model).ok());
+
+  // Architecture mismatch is caught without touching anything.
+  nn::Mlp wider(4, 16, 2, &rng);
+  util::Status s = ValidateCheckpoint(path, &wider);
+  EXPECT_EQ(s.code(), util::StatusCode::kFailedPrecondition);
+
+  // Missing file.
+  EXPECT_FALSE(ValidateCheckpoint(dir.path() + "/absent.tfmr").ok());
+}
+
+TEST_F(FaultToleranceTest, ValidateCheckpointCatchesCorruptionAndTruncation) {
+  ScratchDir dir("tfmr_validate_bad");
+  const std::string path = dir.path() + "/ckpt_000000000.tfmr";
+  util::Rng rng(16);
+  nn::Mlp model(4, 8, 2, &rng);
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+
+  const std::string corrupt = dir.path() + "/corrupt.tfmr";
+  fs::copy_file(path, corrupt);
+  {
+    std::fstream f(corrupt, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<int64_t>(f.tellg());
+    char b = 0;
+    f.seekg(size - 10);
+    f.read(&b, 1);
+    b ^= 0x5A;
+    f.seekp(size - 10);
+    f.write(&b, 1);
+  }
+  EXPECT_EQ(ValidateCheckpoint(corrupt).code(),
+            util::StatusCode::kFailedPrecondition);
+
+  const std::string truncated = dir.path() + "/truncated.tfmr";
+  fs::copy_file(path, truncated);
+  fs::resize_file(truncated, fs::file_size(truncated) - 20);
+  EXPECT_EQ(ValidateCheckpoint(truncated).code(),
+            util::StatusCode::kIOError);
+}
+
+TEST_F(FaultToleranceTest, RejectedLoadNeverHalfMutatesTheModule) {
+  ScratchDir dir("tfmr_atomic_load");
+  const std::string path = dir.path() + "/ckpt_000000000.tfmr";
+  util::Rng rng(17);
+  nn::Mlp source(4, 8, 2, &rng);
+  ASSERT_TRUE(SaveCheckpoint(source, path).ok());
+
+  // A module whose FIRST parameter matches the file but whose later ones
+  // don't: a per-entry validate-while-copying loader would mutate the
+  // early parameters before noticing. Load must be all-or-nothing.
+  nn::Mlp victim(4, 8, 4, &rng);
+  std::vector<std::vector<float>> before;
+  for (const auto& [name, param] : victim.NamedParameters()) {
+    before.emplace_back(param.value().data(),
+                        param.value().data() + param.value().numel());
+  }
+  ASSERT_FALSE(LoadCheckpoint(&victim, path).ok());
+  size_t k = 0;
+  for (const auto& [name, param] : victim.NamedParameters()) {
+    const std::vector<float> after(param.value().data(),
+                                   param.value().data() +
+                                       param.value().numel());
+    EXPECT_EQ(after, before[k]) << "parameter " << name
+                                << " mutated by a rejected load";
+    ++k;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Optimizer state round-trip (AdamW moments).
 // ---------------------------------------------------------------------------

@@ -1,0 +1,267 @@
+// Fleet-level chaos harness (ctest label: `fleet-chaos`).
+//
+// Each schedule is a seeded storm against a ReplicaRouter fronting 2-4
+// replicas: probabilistic fault plans on every serving site (poisoned
+// lanes, leaked KV slots, worker stalls, throwing callbacks, injected
+// dispatch failures), plus a chaos actor thread that kills replicas,
+// poisons whole replicas, and rolls same-weights reloads — all while two
+// submitter threads race admission, cancellation, deadlines, and (on odd
+// seeds) hedging.
+//
+// Whatever the storm does, the fleet invariants must survive:
+//
+//   1. Conservation: every accepted request reaches exactly one terminal
+//      state — submitted == completed + cancelled + expired + failed —
+//      and Wait() returns for every accepted id.
+//   2. No leaks: at quiescence every replica's KV slots are all free.
+//   3. Determinism: all tokens streamed to a client are a prefix of the
+//      request's one true output sequence (same seed => same tokens,
+//      whichever replicas served it), and hedge verification observes
+//      zero bit-exactness violations.
+//
+// Schedules are deterministic per seed (modulo thread interleaving) and
+// the suite is meant to run under TSan too (preset `tsan-fleet-chaos`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/fleet/replica_router.h"
+#include "train/checkpoint.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace llm::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RequestLog {
+  GenerateRequest request;  // as submitted (callback stripped)
+  RequestId id = 0;
+  bool cancel = false;
+  int64_t cancel_after_us = 0;
+  bool has_callback = false;
+  std::mutex mu;
+  std::vector<int64_t> streamed;
+};
+
+class FleetChaosTest : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override { util::FaultInjector::Global().Disarm(); }
+};
+
+TEST_P(FleetChaosTest, FleetInvariantsSurviveRandomFaultSchedule) {
+  const int seed = GetParam();
+  SCOPED_TRACE("fleet chaos seed " + std::to_string(seed));
+  util::Rng chaos(0xC0FFEEull ^ (static_cast<uint64_t>(seed) *
+                                 0x2545F4914F6CDD1Dull));
+
+  nn::GPTConfig cfg;
+  cfg.vocab_size = 19;
+  cfg.max_seq_len = 12 + static_cast<int64_t>(chaos.UniformInt(8));
+  cfg.d_model = 24;
+  cfg.n_layer = 2;
+  cfg.n_head = 3;
+  util::Rng model_rng(static_cast<uint64_t>(seed) + 500);
+  nn::GPTModel model(cfg, &model_rng);
+
+  FleetOptions options;
+  options.num_replicas = 2 + static_cast<int>(chaos.UniformInt(3));  // 2-4
+  options.server.max_batch_size = 1 + static_cast<int64_t>(chaos.UniformInt(4));
+  options.server.queue_capacity = 4 + static_cast<size_t>(chaos.UniformInt(12));
+  options.server.num_workers = static_cast<int>(chaos.UniformInt(3));
+  if ((seed % 3) == 0) {
+    options.server.tick_budget = std::chrono::milliseconds(15);
+  }
+  if ((seed % 2) == 1) options.hedge_delay = std::chrono::milliseconds(2);
+  options.reload_drain_timeout = std::chrono::milliseconds(2000);
+
+  // A same-weights checkpoint for chaos reloads: reloading it keeps the
+  // fleet's function identical, so determinism assertions stay valid
+  // across any number of mid-storm weight rolls.
+  const std::string ckpt_dir =
+      (fs::temp_directory_path() /
+       ("tfmr_fleet_chaos_" + std::to_string(seed)))
+          .string();
+  fs::remove_all(ckpt_dir);
+  fs::create_directories(ckpt_dir);
+  const std::string ckpt = ckpt_dir + "/weights.tfmr";
+  ASSERT_TRUE(train::SaveCheckpoint(model, ckpt).ok());
+
+  // Request population, a pure function of the seed.
+  const int n_requests = 6 + static_cast<int>(chaos.UniformInt(9));
+  std::vector<std::shared_ptr<RequestLog>> logs;
+  for (int i = 0; i < n_requests; ++i) {
+    auto log = std::make_shared<RequestLog>();
+    const int prompt_len = 1 + static_cast<int>(chaos.UniformInt(3));
+    for (int t = 0; t < prompt_len; ++t) {
+      log->request.prompt.push_back(
+          static_cast<int64_t>(chaos.UniformInt(cfg.vocab_size)));
+    }
+    log->request.seed = chaos.NextU64();
+    log->request.max_new_tokens =
+        1 + static_cast<int64_t>(chaos.UniformInt(10));
+    log->request.sampler.temperature = 0.8f;
+    log->request.sampler.top_k = 5;
+    if (chaos.Bernoulli(0.25)) {
+      log->request.timeout =
+          std::chrono::milliseconds(5 + chaos.UniformInt(60));
+    }
+    log->has_callback = chaos.Bernoulli(0.4);
+    log->cancel = chaos.Bernoulli(0.2);
+    log->cancel_after_us = static_cast<int64_t>(chaos.UniformInt(2500));
+    logs.push_back(std::move(log));
+  }
+
+  // Probabilistic fault plans on both the serving sites and the new
+  // fleet sites. Armed before Start so counters begin at tick zero.
+  auto& injector = util::FaultInjector::Global();
+  injector.ArmRandom(util::FaultSite::kDecodeNaN, 0.06 * chaos.Uniform(),
+                     chaos.NextU64());
+  injector.ArmRandom(util::FaultSite::kSlotLeak, 0.08 * chaos.Uniform(),
+                     chaos.NextU64());
+  injector.ArmRandom(util::FaultSite::kOnTokenThrow, 0.04 * chaos.Uniform(),
+                     chaos.NextU64());
+  injector.ArmRandom(util::FaultSite::kReplicaDispatch, 0.05 * chaos.Uniform(),
+                     chaos.NextU64());
+  if (seed % 5 == 0) {
+    injector.ArmAt(util::FaultSite::kWorkerStall, {2, 31});
+  }
+
+  ReplicaRouter router(model, options);
+  router.Start();
+
+  // Chaos actor: kills (always leaving at least one replica alive),
+  // whole-replica poison toggles, and rolling same-weights reloads.
+  std::atomic<bool> actor_stop{false};
+  const int max_kills = options.num_replicas - 1;
+  util::Rng actor_rng(chaos.NextU64());
+  const int n_actions = 4 + static_cast<int>(chaos.UniformInt(5));
+  std::thread actor([&] {
+    int kills = 0;
+    int reloads = 0;
+    for (int a = 0; a < n_actions && !actor_stop.load(); ++a) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(500 + actor_rng.UniformInt(4000)));
+      const int replica =
+          static_cast<int>(actor_rng.UniformInt(options.num_replicas));
+      const double roll = actor_rng.Uniform();
+      if (roll < 0.25 && kills < max_kills) {
+        router.KillReplica(replica);
+        ++kills;
+      } else if (roll < 0.55) {
+        router.PoisonReplica(replica, actor_rng.Bernoulli(0.6));
+      } else if (roll < 0.8 && reloads < 2) {
+        // Errors tolerated: a reload can lose the race with a kill.
+        (void)router.ReloadModel(ckpt);
+        ++reloads;
+      }
+      // else: let the storm breathe for a beat.
+    }
+    // Leave no replica poisoned so the tail of the run can finish.
+    for (int r = 0; r < options.num_replicas; ++r) {
+      router.PoisonReplica(r, false);
+    }
+  });
+
+  std::mutex accepted_mu;
+  std::vector<RequestId> accepted;
+  auto submit_range = [&](size_t begin, size_t step) {
+    for (size_t i = begin; i < logs.size(); i += step) {
+      auto& log = logs[i];
+      GenerateRequest request = log->request;
+      if (log->has_callback) {
+        RequestLog* raw = log.get();
+        request.on_token = [raw](RequestId, int64_t token) {
+          std::lock_guard<std::mutex> lock(raw->mu);
+          raw->streamed.push_back(token);
+        };
+      }
+      util::StatusOr<RequestId> id = router.Submit(std::move(request));
+      if (!id.ok()) continue;  // shed: never enters conservation
+      log->id = id.value();
+      {
+        std::lock_guard<std::mutex> lock(accepted_mu);
+        accepted.push_back(id.value());
+      }
+      if (log->cancel) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(log->cancel_after_us));
+        router.Cancel(id.value());
+      }
+    }
+  };
+  std::thread submitter_a([&] { submit_range(0, 2); });
+  std::thread submitter_b([&] { submit_range(1, 2); });
+  submitter_a.join();
+  submitter_b.join();
+  actor.join();
+  actor_stop.store(true);
+
+  // Alternate the two ways down.
+  if (seed % 2 == 0) {
+    const util::Status drained = router.Drain(std::chrono::seconds(30));
+    EXPECT_TRUE(drained.ok()) << drained.ToString();
+  } else {
+    router.Shutdown();
+  }
+
+  // Invariant 1 + 3: Wait returns for every accepted id with a terminal
+  // reason, and anything streamed is a prefix of the request's one true
+  // sequence. (Same-weights reloads keep the sequence identical across
+  // every attempt, so even a request that hopped replicas mid-stream
+  // must agree with its final tokens on the shared prefix.)
+  for (const auto& log : logs) {
+    if (log->id == 0) continue;
+    auto result = router.Wait(log->id);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_NE(result.value().reason, FinishReason::kNone);
+    if (log->has_callback) {
+      std::lock_guard<std::mutex> lock(log->mu);
+      const auto& tokens = result.value().tokens;
+      const size_t common = std::min(log->streamed.size(), tokens.size());
+      for (size_t t = 0; t < common; ++t) {
+        EXPECT_EQ(log->streamed[t], tokens[t])
+            << "streamed token " << t << " diverged from the final output";
+      }
+      if (result.value().status.ok()) {
+        // A completed request's final output IS the full sequence: the
+        // stream can never have run ahead of it.
+        EXPECT_LE(log->streamed.size(), tokens.size());
+      }
+    }
+  }
+
+  // Invariant 2: fleet conservation, zero hedge mismatches, and every
+  // replica's KV slots back in the free list.
+  const FleetStats stats = router.Stats();
+  EXPECT_EQ(stats.submitted, accepted.size());
+  EXPECT_EQ(stats.submitted, stats.completed + stats.cancelled +
+                                 stats.expired + stats.failed);
+  EXPECT_EQ(stats.hedge_mismatches, 0u)
+      << "hedged execution broke the determinism contract";
+  for (int r = 0; r < router.num_replicas(); ++r) {
+    const ServerStats rs = router.replica_stats(r);
+    EXPECT_EQ(rs.active_slots, 0) << "replica " << r;
+    EXPECT_EQ(rs.free_slots, rs.total_slots) << "replica " << r;
+    EXPECT_EQ(rs.queue_depth, 0u) << "replica " << r;
+  }
+
+  fs::remove_all(ckpt_dir);
+}
+
+// >= 40 distinct schedules: enough to cover replica-count geometries,
+// kill/poison/reload interleavings, hedging on/off, and both shutdown
+// paths, while keeping the suite runnable under TSan.
+INSTANTIATE_TEST_SUITE_P(Schedules, FleetChaosTest, ::testing::Range(0, 44));
+
+}  // namespace
+}  // namespace llm::serve

@@ -1,0 +1,586 @@
+// Tests for the replicated serving fleet (src/serve/fleet): circuit
+// breaker state machine, health-routed failover, hedged-request
+// bit-exactness, and zero-downtime rolling reload with rollback.
+// Registered under the `fleet` ctest label; the `tsan-fleet` preset runs
+// it under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sample/sampler.h"
+#include "serve/fleet/circuit_breaker.h"
+#include "serve/fleet/replica_router.h"
+#include "train/checkpoint.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace llm::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+using std::chrono::milliseconds;
+
+nn::GPTConfig SmallConfig() {
+  nn::GPTConfig cfg;
+  cfg.vocab_size = 19;
+  cfg.max_seq_len = 16;
+  cfg.d_model = 24;
+  cfg.n_layer = 2;
+  cfg.n_head = 3;
+  return cfg;
+}
+
+GenerateRequest MakeRequest(std::vector<int64_t> prompt, uint64_t seed,
+                            int64_t max_new = 8) {
+  GenerateRequest request;
+  request.prompt = std::move(prompt);
+  request.seed = seed;
+  request.max_new_tokens = max_new;
+  request.sampler.temperature = 0.8f;
+  request.sampler.top_k = 7;
+  return request;
+}
+
+std::vector<int64_t> SingleStreamReference(const nn::GPTModel& model,
+                                           const GenerateRequest& request) {
+  sample::GenerateOptions opts;
+  opts.max_new_tokens = request.max_new_tokens;
+  opts.sampler = request.sampler;
+  opts.stop_token = request.stop_token;
+  util::Rng rng(request.seed);
+  return sample::GenerateCached(model, request.prompt, opts, &rng);
+}
+
+FleetOptions SmallFleet(int replicas = 2) {
+  FleetOptions options;
+  options.num_replicas = replicas;
+  options.server.max_batch_size = 4;
+  options.server.queue_capacity = 32;
+  options.server.num_workers = 0;
+  return options;
+}
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_((fs::temp_directory_path() / name).string()) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+class FleetTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::FaultInjector::Global().Disarm(); }
+};
+
+// --- CircuitBreaker --------------------------------------------------------
+
+TEST(CircuitBreakerTest, TripsAtFailureRateAndCoolsDownThroughHalfOpen) {
+  CircuitBreakerOptions options;
+  options.window = 8;
+  options.min_events = 4;
+  options.failure_threshold = 0.5;
+  options.cooldown = milliseconds(100);
+  options.probe_successes = 2;
+  CircuitBreaker breaker(options);
+  const auto t0 = Clock::now();
+
+  // Below min_events: even 100% failures don't trip.
+  EXPECT_TRUE(breaker.Allow(t0));
+  breaker.RecordFailure(t0);
+  breaker.RecordFailure(t0);
+  breaker.RecordFailure(t0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+
+  // Fourth failure: 4/4 >= 0.5 with min_events met -> open.
+  breaker.RecordFailure(t0);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_FALSE(breaker.Allow(t0));
+  EXPECT_FALSE(breaker.Allow(t0 + milliseconds(99)));
+
+  // Cooldown elapsed: exactly one probe is granted.
+  const auto t1 = t0 + milliseconds(101);
+  EXPECT_TRUE(breaker.Allow(t1));
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow(t1));  // probe still in flight
+
+  // Probe succeeds; a second probe is granted and also succeeds -> closed.
+  breaker.RecordSuccess();
+  EXPECT_TRUE(breaker.Allow(t1));
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+
+  // The cleared window means the old failures don't linger.
+  breaker.RecordFailure(t1);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensAndRestartsCooldown) {
+  CircuitBreakerOptions options;
+  options.window = 4;
+  options.min_events = 2;
+  options.failure_threshold = 0.5;
+  options.cooldown = milliseconds(100);
+  CircuitBreaker breaker(options);
+  const auto t0 = Clock::now();
+  breaker.RecordFailure(t0);
+  breaker.RecordFailure(t0);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  const auto t1 = t0 + milliseconds(150);
+  ASSERT_TRUE(breaker.Allow(t1));
+  breaker.RecordFailure(t1);  // probe fails
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  // Cooldown restarted from t1, not t0.
+  EXPECT_FALSE(breaker.Allow(t1 + milliseconds(99)));
+  EXPECT_TRUE(breaker.Allow(t1 + milliseconds(101)));
+}
+
+TEST(CircuitBreakerTest, AbortProbeUnreservesTheGrant) {
+  CircuitBreakerOptions options;
+  options.window = 4;
+  options.min_events = 2;
+  options.cooldown = milliseconds(10);
+  CircuitBreaker breaker(options);
+  const auto t0 = Clock::now();
+  breaker.RecordFailure(t0);
+  breaker.RecordFailure(t0);
+  const auto t1 = t0 + milliseconds(11);
+  ASSERT_TRUE(breaker.Allow(t1));
+  ASSERT_FALSE(breaker.Allow(t1));
+  breaker.AbortProbe();  // never dispatched (e.g. queue full)
+  EXPECT_TRUE(breaker.Allow(t1));  // grant is available again
+}
+
+TEST(CircuitBreakerTest, ResetReturnsToFreshClosed) {
+  CircuitBreakerOptions options;
+  options.window = 4;
+  options.min_events = 2;
+  CircuitBreaker breaker(options);
+  const auto t0 = Clock::now();
+  breaker.RecordFailure(t0);
+  breaker.RecordFailure(t0);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  breaker.Reset();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow(t0));
+  breaker.RecordFailure(t0);  // window cleared: one failure can't trip
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, SlidingWindowEvictsOldOutcomes) {
+  CircuitBreakerOptions options;
+  options.window = 4;
+  options.min_events = 4;
+  options.failure_threshold = 0.5;
+  CircuitBreaker breaker(options);
+  const auto t0 = Clock::now();
+  // Two failures, then four successes push them out of the window.
+  breaker.RecordFailure(t0);
+  breaker.RecordFailure(t0);
+  for (int i = 0; i < 4; ++i) breaker.RecordSuccess();
+  // Window is now all-success; one more failure is 1/4 < 0.5.
+  breaker.RecordFailure(t0);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+// --- Routing & bit-exactness -----------------------------------------------
+
+TEST_F(FleetTest, FleetServesBitExactAgainstSingleStream) {
+  util::Rng rng(7);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ReplicaRouter router(model, SmallFleet(2));
+  router.Start();
+
+  std::vector<GenerateRequest> requests;
+  requests.push_back(MakeRequest({3, 1, 4, 1, 5}, 1));
+  requests.push_back(MakeRequest({2, 7}, 2, 10));
+  requests.push_back(MakeRequest({9, 9, 8}, 3));
+  requests.push_back(MakeRequest({0}, 4, 12));
+  requests.push_back(MakeRequest({11, 16, 13}, 5));
+  requests.push_back(MakeRequest({1}, 6, 3));
+
+  std::vector<RequestId> ids;
+  for (const auto& request : requests) {
+    auto id = router.Submit(request);
+    ASSERT_TRUE(id.ok()) << id.status();
+    ids.push_back(id.value());
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto result = router.Wait(ids[i]);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_TRUE(result.value().status.ok()) << result.value().status;
+    EXPECT_EQ(result.value().tokens, SingleStreamReference(model, requests[i]))
+        << "request " << i;
+  }
+  const FleetStats stats = router.Stats();
+  EXPECT_EQ(stats.submitted, requests.size());
+  EXPECT_EQ(stats.completed, requests.size());
+  EXPECT_EQ(stats.failed, 0u);
+  router.Shutdown();
+  // Per-replica slot conservation at quiescence.
+  for (int i = 0; i < router.num_replicas(); ++i) {
+    const ServerStats rs = router.replica_stats(i);
+    EXPECT_EQ(rs.free_slots, rs.total_slots) << "replica " << i;
+  }
+}
+
+TEST_F(FleetTest, StreamingDeliversExactPrefixOnceAcrossFleet) {
+  util::Rng rng(7);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ReplicaRouter router(model, SmallFleet(2));
+  router.Start();
+
+  GenerateRequest request = MakeRequest({5, 2, 8}, 77, 10);
+  std::mutex mu;
+  std::vector<int64_t> streamed;
+  request.on_token = [&](RequestId, int64_t token) {
+    std::lock_guard<std::mutex> lock(mu);
+    streamed.push_back(token);
+  };
+  const RequestResult result = router.GenerateBlocking(request);
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(streamed, result.tokens);
+}
+
+// --- Failover --------------------------------------------------------------
+
+TEST_F(FleetTest, KilledReplicaFailsOverWithZeroFailedRequests) {
+  util::Rng rng(7);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ReplicaRouter router(model, SmallFleet(2));
+  router.Start();
+
+  std::vector<GenerateRequest> requests;
+  std::vector<RequestId> ids;
+  for (int i = 0; i < 8; ++i) {
+    requests.push_back(
+        MakeRequest({static_cast<int64_t>(1 + i)}, 100 + i, 12));
+    auto id = router.Submit(requests.back());
+    ASSERT_TRUE(id.ok()) << id.status();
+    ids.push_back(id.value());
+  }
+  router.KillReplica(0);
+  EXPECT_EQ(router.replica_phase(0), ReplicaPhase::kDead);
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto result = router.Wait(ids[i]);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_TRUE(result.value().status.ok())
+        << "request " << i << ": " << result.value().status;
+    // Failover re-runs from the seed: output is bit-identical to a run
+    // that never saw the kill.
+    EXPECT_EQ(result.value().tokens, SingleStreamReference(model, requests[i]))
+        << "request " << i;
+  }
+  const FleetStats stats = router.Stats();
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(FleetTest, PoisonedReplicaTripsBreakerAndReloadHeals) {
+  util::Rng rng(7);
+  nn::GPTModel model(SmallConfig(), &rng);
+  FleetOptions options = SmallFleet(2);
+  options.breaker.window = 8;
+  options.breaker.min_events = 2;
+  options.breaker.failure_threshold = 0.5;
+  options.breaker.cooldown = milliseconds(60000);  // no probes mid-test
+  ReplicaRouter router(model, options);
+  router.Start();
+  router.PoisonReplica(0, true);
+
+  // Concurrent burst so the load-balancer spreads attempts across both
+  // replicas: replica 0 faults everything it touches, the fleet still
+  // completes everything via failover to replica 1.
+  std::vector<GenerateRequest> requests;
+  std::vector<RequestId> ids;
+  for (int i = 0; i < 12; ++i) {
+    requests.push_back(MakeRequest({static_cast<int64_t>(1 + i % 17)},
+                                   200 + i, 8));
+    auto id = router.Submit(requests.back());
+    ASSERT_TRUE(id.ok()) << id.status();
+    ids.push_back(id.value());
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto result = router.Wait(ids[i]);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_TRUE(result.value().status.ok())
+        << "request " << i << ": " << result.value().status;
+    EXPECT_EQ(result.value().tokens,
+              SingleStreamReference(model, requests[i]));
+  }
+  FleetStats stats = router.Stats();
+  EXPECT_EQ(stats.completed, 12u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(router.breaker_state(0), BreakerState::kOpen)
+      << "replica 0's breaker should have tripped on repeated faults";
+
+  // Rolling reload rebuilds replica 0's server (clearing the poison) and
+  // resets its breaker: the fleet is fully healed.
+  ScratchDir dir("tfmr_fleet_heal");
+  const std::string path = dir.path() + "/weights.tfmr";
+  ASSERT_TRUE(train::SaveCheckpoint(model, path).ok());
+  ASSERT_TRUE(router.ReloadModel(path).ok());
+  EXPECT_EQ(router.breaker_state(0), BreakerState::kClosed);
+  EXPECT_EQ(router.replica_weights_version(0), 2u);
+
+  GenerateRequest after = MakeRequest({4, 4}, 999, 6);
+  const RequestResult healed = router.GenerateBlocking(after);
+  ASSERT_TRUE(healed.status.ok()) << healed.status;
+  EXPECT_EQ(healed.tokens, SingleStreamReference(model, after));
+  EXPECT_EQ(router.Stats().failed, 0u);
+}
+
+// --- Hedging ---------------------------------------------------------------
+
+TEST_F(FleetTest, HedgeWinsOverStalledPrimaryWithExactPrefix) {
+  util::Rng rng(7);
+  nn::GPTModel model(SmallConfig(), &rng);
+  FleetOptions options = SmallFleet(2);
+  options.hedge_delay = milliseconds(2);
+  ReplicaRouter router(model, options);
+  router.Start();
+
+  // The first tick with active work stalls 30ms: the primary attempt
+  // outlives the hedge delay, the hedge lands on the sibling and wins.
+  util::FaultInjector::Global().ArmAt(util::FaultSite::kWorkerStall, {0});
+  GenerateRequest request = MakeRequest({6, 3, 2}, 42, 10);
+  const RequestResult result = router.GenerateBlocking(request);
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.tokens, SingleStreamReference(model, request));
+
+  router.Shutdown();  // collects the cancelled loser for verification
+  const FleetStats stats = router.Stats();
+  EXPECT_GE(stats.hedges_launched, 1u);
+  EXPECT_GE(stats.hedges_won, 1u);
+  EXPECT_EQ(stats.hedge_mismatches, 0u)
+      << "loser's partial output must be a bit-exact prefix of the winner";
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(FleetTest, HedgeFullVerifyConfirmsBitIdenticalCompletions) {
+  util::Rng rng(7);
+  nn::GPTModel model(SmallConfig(), &rng);
+  FleetOptions options = SmallFleet(2);
+  options.hedge_delay = milliseconds(2);
+  options.hedge_verify_full = true;  // loser runs to completion
+  ReplicaRouter router(model, options);
+  router.Start();
+
+  util::FaultInjector::Global().ArmAt(util::FaultSite::kWorkerStall, {0});
+  GenerateRequest request = MakeRequest({8, 1}, 314, 10);
+  const RequestResult result = router.GenerateBlocking(request);
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.tokens, SingleStreamReference(model, request));
+
+  // Give the loser time to finish, then drain so it is collected.
+  ASSERT_TRUE(router.Drain(milliseconds(5000)).ok());
+  const FleetStats stats = router.Stats();
+  EXPECT_GE(stats.hedges_launched, 1u);
+  EXPECT_EQ(stats.hedge_mismatches, 0u)
+      << "primary and hedge must produce bit-identical full outputs";
+}
+
+// --- Rolling reload --------------------------------------------------------
+
+TEST_F(FleetTest, RollingReloadUnderLoadHasZeroFailedRequests) {
+  util::Rng rng(7);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ReplicaRouter router(model, SmallFleet(2));
+  router.Start();
+
+  ScratchDir dir("tfmr_fleet_reload");
+  const std::string path = dir.path() + "/weights.tfmr";
+  ASSERT_TRUE(train::SaveCheckpoint(model, path).ok());
+
+  // Two submitters hammer the fleet while the weights roll.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> client_failures{0};
+  auto submitter = [&](uint64_t seed_base) {
+    uint64_t n = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      GenerateRequest request =
+          MakeRequest({static_cast<int64_t>(1 + n % 17)}, seed_base + n, 6);
+      const RequestResult result = router.GenerateBlocking(request);
+      if (!result.status.ok()) {
+        client_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++n;
+    }
+  };
+  std::thread c1(submitter, 1000);
+  std::thread c2(submitter, 2000);
+
+  std::this_thread::sleep_for(milliseconds(30));
+  ASSERT_TRUE(router.ReloadModel(path).ok());  // roll 1
+  std::this_thread::sleep_for(milliseconds(30));
+  ASSERT_TRUE(router.ReloadModel(path).ok());  // roll 2
+  std::this_thread::sleep_for(milliseconds(30));
+  stop.store(true, std::memory_order_release);
+  c1.join();
+  c2.join();
+
+  const FleetStats stats = router.Stats();
+  EXPECT_EQ(client_failures.load(), 0u)
+      << "rolling reload must not fail a single client request";
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GT(stats.completed, 0u);
+  EXPECT_EQ(stats.reloads, 4u);  // 2 replicas x 2 rolls
+  EXPECT_EQ(stats.reload_failures, 0u);
+  EXPECT_EQ(router.replica_weights_version(0), 3u);
+  EXPECT_EQ(router.replica_weights_version(1), 3u);
+
+  // The checkpoint held the same weights, so post-reload outputs are
+  // bit-identical to the prototype's.
+  GenerateRequest probe = MakeRequest({2, 9}, 555, 8);
+  const RequestResult result = router.GenerateBlocking(probe);
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.tokens, SingleStreamReference(model, probe));
+}
+
+TEST_F(FleetTest, CorruptedCheckpointIsRejectedAndRolledBack) {
+  util::Rng rng(7);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ReplicaRouter router(model, SmallFleet(2));
+  router.Start();
+
+  ScratchDir dir("tfmr_fleet_corrupt");
+  const std::string path = dir.path() + "/weights.tfmr";
+  ASSERT_TRUE(train::SaveCheckpoint(model, path).ok());
+  // Flip one byte inside the tensor data: the per-tensor CRC32 catches it
+  // during validation, before any drain or swap.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<int64_t>(f.tellg());
+    f.seekp(size / 2);
+    char byte = 0;
+    f.seekg(size / 2);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+
+  const util::Status reload = router.ReloadModel(path);
+  EXPECT_FALSE(reload.ok());
+  const FleetStats stats = router.Stats();
+  EXPECT_EQ(stats.reload_failures, 1u);
+  EXPECT_EQ(stats.reloads, 0u);
+  EXPECT_EQ(router.replica_weights_version(0), 1u);
+
+  // The fleet still serves, bit-identical to the untouched weights.
+  GenerateRequest probe = MakeRequest({7, 7, 7}, 808, 8);
+  const RequestResult result = router.GenerateBlocking(probe);
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.tokens, SingleStreamReference(model, probe));
+  EXPECT_EQ(router.replica_phase(0), ReplicaPhase::kActive);
+  EXPECT_EQ(router.replica_phase(1), ReplicaPhase::kActive);
+}
+
+TEST_F(FleetTest, CanaryFailureRollsBackTheSwap) {
+  util::Rng rng(7);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ReplicaRouter router(model, SmallFleet(2));
+  router.Start();
+
+  ScratchDir dir("tfmr_fleet_canary");
+  const std::string path = dir.path() + "/weights.tfmr";
+  ASSERT_TRUE(train::SaveCheckpoint(model, path).ok());
+
+  // The checkpoint validates and loads, but the post-swap canary fails:
+  // the replica must restore its previous weights and return to service.
+  util::FaultInjector::Global().ArmAt(util::FaultSite::kReplicaCanary, {0});
+  const util::Status reload = router.ReloadModel(path);
+  EXPECT_FALSE(reload.ok());
+  EXPECT_EQ(router.replica_weights_version(0), 1u);
+  EXPECT_EQ(router.Stats().reload_failures, 1u);
+  util::FaultInjector::Global().Disarm();
+
+  GenerateRequest probe = MakeRequest({12, 3}, 606, 8);
+  const RequestResult result = router.GenerateBlocking(probe);
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.tokens, SingleStreamReference(model, probe));
+
+  // With the injection gone the same reload succeeds.
+  ASSERT_TRUE(router.ReloadModel(path).ok());
+  EXPECT_EQ(router.replica_weights_version(0), 2u);
+  EXPECT_EQ(router.replica_weights_version(1), 2u);
+}
+
+// --- Lifecycle -------------------------------------------------------------
+
+TEST_F(FleetTest, DrainFinishesOutstandingWorkAndClosesAdmission) {
+  util::Rng rng(7);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ReplicaRouter router(model, SmallFleet(2));
+  router.Start();
+
+  std::vector<RequestId> ids;
+  for (int i = 0; i < 4; ++i) {
+    auto id = router.Submit(MakeRequest({static_cast<int64_t>(2 + i)},
+                                        700 + i, 10));
+    ASSERT_TRUE(id.ok()) << id.status();
+    ids.push_back(id.value());
+  }
+  ASSERT_TRUE(router.Drain(milliseconds(10000)).ok());
+  EXPECT_EQ(router.Submit(MakeRequest({1}, 1)).status().code(),
+            util::StatusCode::kFailedPrecondition);
+  for (RequestId id : ids) {
+    auto result = router.Wait(id);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result.value().status.ok()) << result.value().status;
+  }
+  const FleetStats stats = router.Stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+}
+
+TEST_F(FleetTest, ShutdownReleasesEveryWaiter) {
+  util::Rng rng(7);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ReplicaRouter router(model, SmallFleet(2));
+  router.Start();
+
+  std::vector<RequestId> ids;
+  for (int i = 0; i < 6; ++i) {
+    auto id = router.Submit(MakeRequest({static_cast<int64_t>(3 + i)},
+                                        800 + i, 12));
+    ASSERT_TRUE(id.ok()) << id.status();
+    ids.push_back(id.value());
+  }
+  router.Shutdown();
+  uint64_t terminal = 0;
+  for (RequestId id : ids) {
+    auto result = router.Wait(id);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ++terminal;
+  }
+  EXPECT_EQ(terminal, ids.size());
+  const FleetStats stats = router.Stats();
+  EXPECT_EQ(stats.submitted, 6u);
+  EXPECT_EQ(stats.completed + stats.cancelled + stats.expired + stats.failed,
+            stats.submitted);
+}
+
+}  // namespace
+}  // namespace llm::serve

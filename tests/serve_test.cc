@@ -909,6 +909,114 @@ TEST_F(ServeResilienceTest, SubmitWithRetrySucceedsOnceCapacityFrees) {
   EXPECT_GT(server.Stats().rejected, 0u);
 }
 
+TEST_F(ServeResilienceTest, SubmitWithRetryHonorsRequestDeadline) {
+  util::Rng rng(63);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ServerOptions options;
+  options.queue_capacity = 1;
+  InferenceServer server(&model, options);  // not started: queue stays full
+  ASSERT_TRUE(server.Submit(MakeRequest({1}, 1, 2)).ok());
+
+  // The request carries a 5ms deadline, but the retry policy alone would
+  // happily sleep for hundreds of ms (10 attempts, 20ms+ backoffs). The
+  // loop must give up before the deadline instead of sleeping through it:
+  // the first backoff (jittered into [10ms, 20ms)) already overshoots.
+  GenerateRequest request = MakeRequest({2}, 2, 2);
+  request.timeout = std::chrono::milliseconds(5);
+  RetryOptions retry;
+  retry.max_attempts = 10;
+  retry.initial_backoff = std::chrono::milliseconds(20);
+  retry.max_backoff = std::chrono::milliseconds(80);
+  retry.jitter_seed = 21;
+  const auto start = std::chrono::steady_clock::now();
+  auto rejected = server.SubmitWithRetry(request, retry);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kResourceExhausted);
+  // One admission attempt, then the would-overshoot backoff aborts the
+  // loop: nowhere near the 10-attempt budget, and no deadline-long sleep.
+  EXPECT_EQ(server.Stats().rejected, 1u);
+  EXPECT_LT(elapsed, std::chrono::milliseconds(100));
+}
+
+TEST_F(ServeResilienceTest, PercentilesComputedOverPartiallyFilledWindow) {
+  util::Rng rng(64);
+  nn::GPTModel model(SmallConfig(), &rng);
+  InferenceServer server(&model, ServerOptions{});
+  server.Start();
+
+  // One completion: a single sample far short of the 512-entry window.
+  // Every percentile must equal that sample, not read zeroed slots.
+  RequestResult first = server.GenerateBlocking(MakeRequest({1, 2}, 1, 3));
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  ServerStats stats = server.Stats();
+  EXPECT_GT(stats.p50_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p50_latency_ms, stats.p95_latency_ms);
+  EXPECT_DOUBLE_EQ(stats.p50_latency_ms, stats.p99_latency_ms);
+
+  // A few more samples: still partial, percentiles stay ordered and real.
+  for (uint64_t i = 2; i <= 5; ++i) {
+    ASSERT_TRUE(server.GenerateBlocking(MakeRequest({1}, i, 2)).status.ok());
+  }
+  stats = server.Stats();
+  EXPECT_GT(stats.p50_latency_ms, 0.0);
+  EXPECT_LE(stats.p50_latency_ms, stats.p95_latency_ms);
+  EXPECT_LE(stats.p95_latency_ms, stats.p99_latency_ms);
+  server.Shutdown();
+}
+
+TEST_F(ServeResilienceTest, PollTransitionsAndForgetsFinishedRequests) {
+  util::Rng rng(65);
+  nn::GPTModel model(SmallConfig(), &rng);
+  InferenceServer server(&model, ServerOptions{});
+  auto id = server.Submit(MakeRequest({1, 2}, 1, 3));
+  ASSERT_TRUE(id.ok());
+
+  RequestResult out;
+  // Queued but unserved (server not started): pending, not unknown.
+  EXPECT_EQ(server.Poll(id.value(), &out),
+            InferenceServer::PollOutcome::kPending);
+  // An id never issued: unknown.
+  EXPECT_EQ(server.Poll(id.value() + 999, &out),
+            InferenceServer::PollOutcome::kUnknown);
+
+  server.Start();
+  while (server.Poll(id.value(), &out) !=
+         InferenceServer::PollOutcome::kReady) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(out.status.ok()) << out.status.ToString();
+  EXPECT_FALSE(out.tokens.empty());
+  // kReady consumed the result: the id is forgotten for both Poll and Wait.
+  EXPECT_EQ(server.Poll(id.value(), &out),
+            InferenceServer::PollOutcome::kUnknown);
+  EXPECT_EQ(server.Wait(id.value()).status().code(),
+            util::StatusCode::kNotFound);
+  server.Shutdown();
+}
+
+TEST_F(ServeResilienceTest, ApproxLoadTracksQueuedAndActiveWork) {
+  util::Rng rng(66);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ServerOptions options;
+  options.queue_capacity = 8;
+  InferenceServer server(&model, options);
+  EXPECT_EQ(server.ApproxLoad(), 0);
+
+  std::vector<RequestId> ids;
+  for (uint64_t i = 1; i <= 3; ++i) {
+    auto id = server.Submit(MakeRequest({1}, i, 2));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  EXPECT_EQ(server.ApproxLoad(), 3);  // all queued, none active yet
+
+  server.Start();
+  for (RequestId id : ids) ASSERT_TRUE(server.Wait(id).ok());
+  server.Drain(std::chrono::seconds(5));
+  EXPECT_EQ(server.ApproxLoad(), 0);
+  server.Shutdown();
+}
+
 // Bit-exactness across architecture variants: the serving path must agree
 // with the single-stream reference for pre/post-LN, sinusoidal positions,
 // attention-only stacks, tied embeddings, and windowed attention.

@@ -7,6 +7,7 @@
 #include "text/dataset.h"
 #include "text/tokenizer.h"
 #include "text/vocab.h"
+#include "util/status.h"
 
 namespace llm::text {
 namespace {
@@ -29,6 +30,35 @@ TEST(VocabTest, EncodeGrowsOrUsesUnk) {
   EXPECT_EQ(grown, (std::vector<int64_t>{1, 2, 1}));
   auto fixed = v.Encode({"a", "zzz"}, /*grow=*/false, unk);
   EXPECT_EQ(fixed, (std::vector<int64_t>{1, unk}));
+}
+
+TEST(VocabTest, TryEncodeReportsUnknownTokensWithoutGrowing) {
+  Vocab v;
+  const int64_t unk = v.AddToken("<unk>");
+  v.Encode({"a", "b"});
+  const size_t size_before = v.size();
+
+  // Known tokens round-trip.
+  auto known = v.TryEncode({"a", "b", "a"});
+  ASSERT_TRUE(known.ok()) << known.status();
+  EXPECT_EQ(known.value(), (std::vector<int64_t>{1, 2, 1}));
+
+  // Unknown token + an unk id: mapped, never grown.
+  auto mapped = v.TryEncode({"a", "zzz", "b"}, unk);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_EQ(mapped.value(), (std::vector<int64_t>{1, unk, 2}));
+
+  // Unknown token with no unk id: InvalidArgument naming the token,
+  // instead of the aborting path Encode(grow=false) takes.
+  auto rejected = v.TryEncode({"a", "zzz"});
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("zzz"), std::string::npos)
+      << rejected.status();
+
+  // TryEncode is const: the vocabulary never grew on any path above.
+  EXPECT_EQ(v.size(), size_before);
+  EXPECT_EQ(v.IdOf("zzz"), -1);
 }
 
 TEST(VocabTest, DecodeJoins) {
