@@ -20,6 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/fleet/replica_router.h"
 #include "serve/inference_server.h"
 #include "text/vocab.h"
@@ -276,5 +279,41 @@ int main() {
                                        ? "all requests finished in time"
                                        : fleet_drained.ToString().c_str());
   std::filesystem::remove_all(ckpt_dir);
+
+  // 7. Observability: one traced request through a fresh two-replica
+  // fleet whose first replica is poisoned, so the trace captures a real
+  // failover — attempt 1 on replica 0 is lost to the injected fault,
+  // attempt 2 on replica 1 wins, and the client streams one clean prefix.
+  std::printf("\n--- observability: traced request with forced failover ---\n");
+  serve::ReplicaRouter traced_fleet(model, fleet_options);
+  traced_fleet.Start();
+  traced_fleet.PoisonReplica(0, true);
+  {
+    serve::GenerateRequest request;
+    request.prompt = encoded.value();
+    request.max_new_tokens = 6;
+    request.sampler.temperature = 0.0f;
+    request.seed = 1;
+    request.trace = true;
+    serve::RequestResult result = traced_fleet.GenerateBlocking(request);
+    std::printf("traced request finished as '%s' after %llu failover(s):",
+                serve::FinishReasonName(result.reason),
+                static_cast<unsigned long long>(
+                    traced_fleet.Stats().failovers));
+    for (int64_t t : result.tokens) {
+      std::printf(" %s", vocab.TokenOf(t).c_str());
+    }
+    std::printf("\n\n");
+    if (result.trace != nullptr) {
+      std::printf("%s", obs::FormatTrace(*result.trace).c_str());
+    }
+    std::printf("\nflight recorder (newest events last):\n%s",
+                obs::FlightRecorder::Global().Format(12).c_str());
+    serve::ExportFleetStats(traced_fleet.Stats(), "fleet",
+                            &obs::MetricsRegistry::Global());
+    std::printf("\nMETRICS %s\n",
+                obs::MetricsRegistry::Global().JsonSnapshot().c_str());
+  }
+  if (!traced_fleet.Drain(std::chrono::seconds(5)).ok()) return 1;
   return 0;
 }

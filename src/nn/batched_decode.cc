@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/decode_rows.h"
+#include "obs/scoped_timer.h"
 
 namespace llm::nn {
 
@@ -155,6 +156,11 @@ void BatchedTiedUnembed(const core::Tensor& e, const float* normed,
 void BatchedDecodeStep(const GPTModel& model, SeqStepInput* seqs, int64_t n,
                        BatchedScratch* scratch) {
   if (n <= 0) return;
+  // Hot-path profiling: resolved once, recorded only while
+  // obs::EnableProfiling(true) — otherwise one relaxed load and no clock.
+  static obs::Histogram* const decode_hist =
+      obs::MetricsRegistry::Global().GetHistogram("nn.decode_step_ms");
+  obs::ScopedTimer decode_timer(decode_hist);
   const GPTConfig& cfg = model.config();
   const int64_t B = n;
   const int64_t C = cfg.d_model;

@@ -1,0 +1,127 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace llm::obs {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* FlightEventTypeName(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kAdmission: return "admission";
+    case FlightEventType::kRetirement: return "retirement";
+    case FlightEventType::kFaultInjected: return "fault-injected";
+    case FlightEventType::kBreakerTransition: return "breaker-transition";
+    case FlightEventType::kReloadPhase: return "reload-phase";
+    case FlightEventType::kStallDetected: return "stall-detected";
+    case FlightEventType::kLeakRepaired: return "leak-repaired";
+    case FlightEventType::kDispatch: return "dispatch";
+    case FlightEventType::kFailover: return "failover";
+    case FlightEventType::kHedgeLaunch: return "hedge-launch";
+    case FlightEventType::kTrainDivergence: return "train-divergence";
+    case FlightEventType::kTrainRollback: return "train-rollback";
+    case FlightEventType::kCheckpointSaved: return "checkpoint-saved";
+    case FlightEventType::kDrainBegin: return "drain-begin";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : mask_(RoundUpPow2(std::max<size_t>(capacity, 2)) - 1),
+      slots_(new Slot[mask_ + 1]) {}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* instance = new FlightRecorder();
+  return *instance;
+}
+
+void FlightRecorder::Record(FlightEventType type, int32_t a, int64_t b,
+                            int64_t c) {
+  if (!enabled()) return;
+  const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & mask_];
+  // Seqlock: odd marks the slot mid-write; the even publish value encodes
+  // the ticket, so a reader can both validate the payload and order it.
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.ts_ns.store(NowNs(), std::memory_order_relaxed);
+  slot.type_a.store((static_cast<int64_t>(type) << 32) |
+                        (static_cast<int64_t>(a) & 0xffffffffll),
+                    std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.c.store(c, std::memory_order_relaxed);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::Dump(size_t max_events) const {
+  std::vector<FlightEvent> events;
+  events.reserve(mask_ + 1);
+  for (size_t i = 0; i <= mask_; ++i) {
+    const Slot& slot = slots_[i];
+    const uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+    if (seq1 == 0 || (seq1 & 1) != 0) continue;  // empty or mid-write
+    FlightEvent event;
+    event.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    const int64_t type_a = slot.type_a.load(std::memory_order_relaxed);
+    event.b = slot.b.load(std::memory_order_relaxed);
+    event.c = slot.c.load(std::memory_order_relaxed);
+    const uint64_t seq2 = slot.seq.load(std::memory_order_acquire);
+    if (seq1 != seq2) continue;  // lapped mid-read
+    event.ticket = seq1 / 2 - 1;
+    event.type = static_cast<FlightEventType>(type_a >> 32);
+    event.a = static_cast<int32_t>(type_a & 0xffffffffll);
+    events.push_back(event);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              return x.ticket < y.ticket;
+            });
+  if (events.size() > max_events) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<ptrdiff_t>(max_events));
+  }
+  return events;
+}
+
+std::string FlightRecorder::Format(size_t max_events) const {
+  const std::vector<FlightEvent> events = Dump(max_events);
+  if (events.empty()) return "  (flight recorder empty)\n";
+  const int64_t newest = events.back().ts_ns;
+  std::string out;
+  char line[192];
+  for (const FlightEvent& event : events) {
+    std::snprintf(line, sizeof(line),
+                  "  [%7.2fms] #%-6llu %-18s a=%d b=%lld c=%lld\n",
+                  static_cast<double>(event.ts_ns - newest) / 1e6,
+                  static_cast<unsigned long long>(event.ticket),
+                  FlightEventTypeName(event.type), event.a,
+                  static_cast<long long>(event.b),
+                  static_cast<long long>(event.c));
+    out += line;
+  }
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  for (size_t i = 0; i <= mask_; ++i) {
+    slots_[i].seq.store(0, std::memory_order_relaxed);
+  }
+  next_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace llm::obs

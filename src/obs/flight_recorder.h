@@ -1,0 +1,118 @@
+// Lock-free flight recorder: a bounded ring of recent runtime events,
+// dumpable on demand or on failure.
+//
+// The serving and training runtimes append low-frequency lifecycle events
+// (admissions, retirements, injected faults, breaker transitions, reload
+// phases, divergence rollbacks, watchdog stalls) as they happen; when
+// something goes wrong, Dump() reconstructs "what was the system doing in
+// the seconds before" without rerunning under logging.
+//
+// Concurrency: Record is wait-free for writers — one relaxed fetch_add
+// claims a ticket, the slot's payload fields are relaxed atomics, and a
+// per-slot sequence number (seqlock discipline: odd while writing, even
+// when published, ticket-encoded) lets Dump detect and skip slots that
+// are mid-write or were lapped while being read. Racing producers and a
+// concurrent dumper are TSan-clean because every shared field is atomic.
+// Events whose slot was overwritten before the dump are simply gone —
+// the recorder keeps the newest `capacity` events, nothing more.
+#ifndef TFMR_OBS_FLIGHT_RECORDER_H_
+#define TFMR_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace llm::obs {
+
+/// Keep in sync with FlightEventTypeName().
+enum class FlightEventType : int32_t {
+  kAdmission = 0,      // a=KV slot, b=request id
+  kRetirement,         // a=FinishReason, b=request id, c=tokens generated
+  kFaultInjected,      // a=util::FaultSite, b=occurrence index
+  kBreakerTransition,  // a=replica, b=from BreakerState, c=to BreakerState
+  kReloadPhase,        // a=replica, b=ReloadPhase, c=1 ok / 0 failed
+  kStallDetected,      // a=victim count, b=elapsed ms
+  kLeakRepaired,       // a=slots repaired
+  kDispatch,           // a=replica, b=fleet request id, c=1 if hedge
+  kFailover,           // a=replica (new), b=fleet request id, c=attempt #
+  kHedgeLaunch,        // a=replica, b=fleet request id
+  kTrainDivergence,    // a=kind (0 nan-loss, 1 grad-explosion), b=step
+  kTrainRollback,      // a=1 rollback / 0 skip-step, b=resume step
+  kCheckpointSaved,    // b=step
+  kDrainBegin,         // (server or fleet)
+};
+
+const char* FlightEventTypeName(FlightEventType type);
+
+/// One recorded event. `ts_ns` is steady-clock nanoseconds; `ticket` is
+/// the global record index (monotonic), which orders events exactly.
+struct FlightEvent {
+  uint64_t ticket = 0;
+  int64_t ts_ns = 0;
+  FlightEventType type = FlightEventType::kAdmission;
+  int32_t a = 0;
+  int64_t b = 0;
+  int64_t c = 0;
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity` is rounded up to a power of two.
+  explicit FlightRecorder(size_t capacity = 4096);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The process-wide recorder every runtime component appends to.
+  static FlightRecorder& Global();
+
+  /// Appends one event. Wait-free; a no-op while disabled.
+  void Record(FlightEventType type, int32_t a = 0, int64_t b = 0,
+              int64_t c = 0);
+
+  /// Recording on/off (default on). One relaxed load on the record path.
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Events ever recorded (including ones the ring has since dropped).
+  uint64_t total_recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the newest events, oldest first, at most `max_events`.
+  /// Safe concurrently with writers: slots being written (or lapped
+  /// mid-read) are skipped rather than returned torn.
+  std::vector<FlightEvent> Dump(size_t max_events = SIZE_MAX) const;
+
+  /// Human-readable dump, newest `max_events` events, one per line with
+  /// timestamps relative to the newest event.
+  std::string Format(size_t max_events = 32) const;
+
+  /// Zeroes the ring and the ticket counter. Callers must ensure no
+  /// concurrent Record (test/bench boundaries only).
+  void Clear();
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // 0 empty; odd writing; even => ticket
+    std::atomic<int64_t> ts_ns{0};
+    std::atomic<int64_t> type_a{0};  // type in high 32 bits, a in low 32
+    std::atomic<int64_t> b{0};
+    std::atomic<int64_t> c{0};
+  };
+
+  size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_{0};
+  std::atomic<bool> enabled_{true};
+};
+
+}  // namespace llm::obs
+
+#endif  // TFMR_OBS_FLIGHT_RECORDER_H_

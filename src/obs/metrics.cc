@@ -1,0 +1,190 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/flight_recorder.h"
+#include "util/fault.h"
+
+namespace llm::obs {
+
+namespace internal {
+std::atomic<bool> g_profiling_enabled{false};
+}  // namespace internal
+
+void EnableProfiling(bool on) {
+  internal::g_profiling_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (current < value &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+// log2(kGrowth) == 1/4 exactly by construction.
+constexpr double kBucketsPerOctave = 4.0;
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > kMinValue)) return 0;  // also catches NaN and negatives
+  const int idx = static_cast<int>(
+      std::ceil(std::log2(value / kMinValue) * kBucketsPerOctave));
+  return std::min(std::max(idx, 0), kNumBuckets - 1);
+}
+
+double Histogram::BucketUpperBound(int i) {
+  return kMinValue * std::pow(kGrowth, static_cast<double>(i));
+}
+
+void Histogram::Record(double value) {
+  if (std::isnan(value)) return;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, value);
+  AtomicMaxDouble(&max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.buckets.resize(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snapshot.buckets[static_cast<size_t>(i)] =
+        buckets_[i].load(std::memory_order_relaxed);
+    snapshot.count += snapshot.buckets[static_cast<size_t>(i)];
+  }
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Same rank convention as classic sorted-sample interpolation
+  // (rank = q*(n-1)), truncated to the containing bucket: with one sample
+  // every quantile reads the same bucket.
+  const uint64_t rank = static_cast<uint64_t>(
+      q * static_cast<double>(count - 1));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    cumulative += buckets[static_cast<size_t>(i)];
+    if (cumulative > rank) {
+      // Geometric midpoint of the bucket: the representative is within
+      // sqrt(kGrowth) of any sample that landed here.
+      return Histogram::BucketUpperBound(i) / std::sqrt(Histogram::kGrowth);
+    }
+  }
+  return Histogram::BucketUpperBound(Histogram::kNumBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + FormatDouble(gauge->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    const HistogramSnapshot s = hist->Snapshot();
+    out += "\"" + name + "\":{\"count\":" + std::to_string(s.count) +
+           ",\"mean\":" + FormatDouble(s.mean()) +
+           ",\"p50\":" + FormatDouble(s.Percentile(0.50)) +
+           ",\"p95\":" + FormatDouble(s.Percentile(0.95)) +
+           ",\"p99\":" + FormatDouble(s.Percentile(0.99)) +
+           ",\"max\":" + FormatDouble(s.max) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+void PublishFaultMetrics(MetricsRegistry* registry) {
+  for (const util::FaultSiteCounts& site :
+       util::FaultInjector::Global().AllCounts()) {
+    const std::string base =
+        std::string("fault.") + util::FaultSiteName(site.site);
+    registry->GetGauge(base + ".seen")->Set(static_cast<double>(site.seen));
+    registry->GetGauge(base + ".fired")->Set(static_cast<double>(site.fired));
+  }
+}
+
+void WireFaultEventsToFlightRecorder() {
+  util::FaultInjector::SetFireListener(+[](util::FaultSite site,
+                                           int64_t occurrence) {
+    FlightRecorder::Global().Record(FlightEventType::kFaultInjected,
+                                    static_cast<int32_t>(site), occurrence, 0);
+  });
+}
+
+}  // namespace llm::obs

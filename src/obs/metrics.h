@@ -1,0 +1,160 @@
+// Lock-cheap metrics for the serving and training runtimes.
+//
+// Three primitives, all safe to update from any thread:
+//
+//   Counter    monotonically increasing uint64; one relaxed fetch_add.
+//   Gauge      last-write-wins double; one relaxed store.
+//   Histogram  fixed geometric buckets (quarter-octave resolution) with
+//              atomic per-bucket counters. Percentiles are estimated from
+//              merged bucket counts — no sample retention, no sorting on
+//              the hot path, and two histograms can be merged by adding
+//              buckets. The estimate is exact to within one bucket width
+//              (~19% relative), which is what replaces the sliding-window
+//              percentile math that used to live in ServerStats.
+//
+// A MetricsRegistry names metrics and owns their storage; pointers
+// returned by GetCounter/GetGauge/GetHistogram are stable for the
+// registry's lifetime, so call sites resolve a metric once and update it
+// lock-free forever after. MetricsRegistry::Global() is the process-wide
+// default; benches and the demo snapshot it as a JSON line
+// (JsonSnapshot) next to their existing output.
+//
+// Profiling timers (scoped_timer.h) are gated on EnableProfiling():
+// while disabled they cost one relaxed load and no clock reads.
+#ifndef TFMR_OBS_METRICS_H_
+#define TFMR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace llm::obs {
+
+namespace internal {
+extern std::atomic<bool> g_profiling_enabled;
+}  // namespace internal
+
+/// Whether scoped profiling timers read the clock and record. Off by
+/// default; a single relaxed load, safe on any hot path.
+inline bool ProfilingEnabled() {
+  return internal::g_profiling_enabled.load(std::memory_order_relaxed);
+}
+void EnableProfiling(bool on);
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time view of a histogram, detached from its atomics.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  std::vector<uint64_t> buckets;  // Histogram::kNumBuckets entries
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Percentile estimate from merged buckets; same convention as
+  /// Histogram::Percentile. `q` in [0, 1].
+  double Percentile(double q) const;
+};
+
+/// Fixed-bucket latency/size histogram. Bucket i covers
+/// (kMinValue*G^(i-1), kMinValue*G^i] with G = 2^(1/4); bucket 0 also
+/// absorbs everything below kMinValue, the last bucket everything above
+/// the top bound (~280 s when values are milliseconds). Record is two
+/// relaxed atomic RMWs plus one log().
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 112;  // 28 octaves at 4 buckets each
+  static constexpr double kMinValue = 1e-3;
+  /// Geometric bucket growth factor, 2^(1/4): one bucket width in the
+  /// relative sense. Percentile estimates are exact within this factor.
+  static constexpr double kGrowth = 1.189207115002721;
+
+  void Record(double value);
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Estimated q-quantile (q in [0,1]) over everything recorded: the
+  /// geometric midpoint of the bucket holding rank q*(count-1). With a
+  /// single sample every q returns the same value. 0 when empty.
+  double Percentile(double q) const { return Snapshot().Percentile(q); }
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  /// Upper bound of bucket i (for tests and formatters).
+  static double BucketUpperBound(int i);
+  /// Index of the bucket a value lands in.
+  static int BucketIndex(double value);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};  // CAS-add; Record is low-frequency enough
+  std::atomic<double> max_{0.0};
+};
+
+/// Named metrics with stable storage. Registration takes a mutex;
+/// updates through the returned pointers are lock-free.
+class MetricsRegistry {
+ public:
+  /// The process-wide default registry.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// One JSON object (no trailing newline): counters and gauges by name,
+  /// histograms as {count, mean, p50, p95, p99, max}. Keys are sorted, so
+  /// output is deterministic given deterministic metric values.
+  std::string JsonSnapshot() const;
+
+  /// Zeroes every counter and histogram (gauges keep their last value).
+  /// For benches that reuse the global registry across stages.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Publishes the fault injector's per-site occurrence/fired counters
+/// (util/fault.h) as gauges `fault.<site>.seen` / `fault.<site>.fired`,
+/// so chaos runs can read injected-fault activity out of the same
+/// snapshot as everything else.
+void PublishFaultMetrics(MetricsRegistry* registry);
+
+/// Installs the flight-recorder hook on util::FaultInjector so every
+/// injected fault firing is also recorded as a kFaultInjected event.
+/// Idempotent; called by the server/trainer constructors.
+void WireFaultEventsToFlightRecorder();
+
+}  // namespace llm::obs
+
+#endif  // TFMR_OBS_METRICS_H_

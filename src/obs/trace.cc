@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace llm::obs {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Trace::Trace(uint64_t trace_id) : trace_id_(trace_id) {
+  spans_.reserve(16);
+  TraceSpan root;
+  root.id = kRootSpan;
+  root.parent = -1;
+  root.name = "request";
+  root.start_ns = NowNs();
+  root.detail = static_cast<int64_t>(trace_id);
+  spans_.push_back(std::move(root));
+}
+
+int32_t Trace::AddSpanLocked(const std::string& name, int32_t parent,
+                             int64_t detail) {
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return -1;
+  }
+  TraceSpan span;
+  span.id = static_cast<int32_t>(spans_.size());
+  span.parent = parent;
+  span.name = name;
+  span.start_ns = NowNs();
+  span.detail = detail;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+int32_t Trace::BeginSpan(const std::string& name, int32_t parent,
+                         int64_t detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AddSpanLocked(name, parent, detail);
+}
+
+void Trace::EndSpan(int32_t id, const std::string& note) {
+  if (id < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<size_t>(id) >= spans_.size()) return;
+  TraceSpan& span = spans_[static_cast<size_t>(id)];
+  if (span.end_ns == 0) span.end_ns = NowNs();
+  if (span.note.empty() && !note.empty()) span.note = note;
+}
+
+int32_t Trace::Event(const std::string& name, int32_t parent, int64_t detail,
+                     const std::string& note) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int32_t id = AddSpanLocked(name, parent, detail);
+  if (id >= 0) {
+    spans_[static_cast<size_t>(id)].end_ns =
+        spans_[static_cast<size_t>(id)].start_ns;
+    spans_[static_cast<size_t>(id)].note = note;
+  }
+  return id;
+}
+
+std::vector<TraceSpan> Trace::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Trace::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+namespace {
+
+void FormatSubtree(const std::vector<TraceSpan>& spans,
+                   const std::vector<std::vector<int32_t>>& children,
+                   int32_t id, int depth, int64_t base_ns, std::string* out) {
+  const TraceSpan& span = spans[static_cast<size_t>(id)];
+  char line[224];
+  const double at_ms = static_cast<double>(span.start_ns - base_ns) / 1e6;
+  if (span.end_ns == span.start_ns) {
+    std::snprintf(line, sizeof(line), "  %*s- %-14s @%8.2fms", depth * 2, "",
+                  span.name.c_str(), at_ms);
+  } else if (span.end_ns == 0) {
+    std::snprintf(line, sizeof(line), "  %*s- %-14s @%8.2fms (open)",
+                  depth * 2, "", span.name.c_str(), at_ms);
+  } else {
+    std::snprintf(line, sizeof(line), "  %*s- %-14s @%8.2fms %8.2fms",
+                  depth * 2, "", span.name.c_str(), at_ms,
+                  span.duration_ms());
+  }
+  *out += line;
+  if (span.detail != 0 || span.name == "dispatch" || span.name == "attempt") {
+    std::snprintf(line, sizeof(line), "  [%lld]",
+                  static_cast<long long>(span.detail));
+    *out += line;
+  }
+  if (!span.note.empty()) *out += "  " + span.note;
+  *out += "\n";
+  for (int32_t child : children[static_cast<size_t>(id)]) {
+    FormatSubtree(spans, children, child, depth + 1, base_ns, out);
+  }
+}
+
+}  // namespace
+
+std::string FormatSpans(const std::vector<TraceSpan>& spans,
+                        uint64_t trace_id) {
+  if (spans.empty()) return "  (empty trace)\n";
+  std::vector<std::vector<int32_t>> children(spans.size());
+  for (const TraceSpan& span : spans) {
+    if (span.parent >= 0 &&
+        static_cast<size_t>(span.parent) < spans.size() &&
+        span.id != span.parent) {
+      children[static_cast<size_t>(span.parent)].push_back(span.id);
+    }
+  }
+  // Children are already in creation (= start) order because ids ascend.
+  std::string out = "  trace " + std::to_string(trace_id) + ":\n";
+  FormatSubtree(spans, children, 0, 0, spans[0].start_ns, &out);
+  return out;
+}
+
+std::string FormatTrace(const Trace& trace) {
+  return FormatSpans(trace.Spans(), trace.trace_id());
+}
+
+}  // namespace llm::obs

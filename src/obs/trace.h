@@ -1,0 +1,96 @@
+// Per-request tracing: a span tree answering "where did request N spend
+// its time".
+//
+// A Trace is minted at Submit (serve::InferenceServer, or the fleet
+// router, which then propagates the same Trace into every attempt it
+// dispatches) and travels with the request; each hop opens a span under
+// its parent — queue wait, admission, decode, stream callbacks, and the
+// fleet hops (dispatch, failover re-dispatch, hedge launch/win/loss).
+// Wait returns the finished tree in RequestResult::trace; FormatTrace
+// pretty-prints it.
+//
+// Concurrency: spans are recorded from whichever thread the hop runs on
+// (client, scheduler, worker, router pump), serialized by one mutex per
+// trace. That is deliberately simple — a request records a handful to a
+// few hundred spans over its lifetime, so the lock is uncontended and
+// far off the per-token hot path (untraced requests never touch it).
+// The tree is capped at kMaxSpans; past it, spans are counted as dropped
+// instead of recorded.
+#ifndef TFMR_OBS_TRACE_H_
+#define TFMR_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace llm::obs {
+
+struct TraceSpan {
+  int32_t id = 0;
+  int32_t parent = -1;   // -1: the root span itself
+  std::string name;
+  int64_t start_ns = 0;  // steady clock
+  int64_t end_ns = 0;    // 0 while open
+  /// Small numeric attribute; meaning depends on the span name (replica
+  /// index for dispatch spans, KV slot for admission, token for steps).
+  int64_t detail = 0;
+  /// Free-form annotation, usually set at EndSpan ("won", "lost: fault").
+  std::string note;
+
+  double duration_ms() const {
+    return end_ns > start_ns
+               ? static_cast<double>(end_ns - start_ns) / 1e6
+               : 0.0;
+  }
+};
+
+class Trace {
+ public:
+  static constexpr int32_t kRootSpan = 0;
+  static constexpr size_t kMaxSpans = 512;
+
+  /// Creates the root span (id 0, name "request") open at construction.
+  explicit Trace(uint64_t trace_id);
+
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  uint64_t trace_id() const { return trace_id_; }
+
+  /// Opens a span under `parent` and returns its id (-1 if the trace is
+  /// full; every other call accepts -1 as a silent no-op id).
+  int32_t BeginSpan(const std::string& name, int32_t parent = kRootSpan,
+                    int64_t detail = 0);
+  /// Closes a span. Idempotent — a second End (e.g. the watchdog and the
+  /// scheduler both retiring a request) keeps the first end time; a
+  /// non-empty note overwrites an empty one.
+  void EndSpan(int32_t id, const std::string& note = std::string());
+  /// Records an instant (zero-duration, already-closed) span.
+  int32_t Event(const std::string& name, int32_t parent = kRootSpan,
+                int64_t detail = 0, const std::string& note = std::string());
+
+  /// Snapshot of all spans recorded so far (ids are indices).
+  std::vector<TraceSpan> Spans() const;
+  size_t dropped() const;
+
+ private:
+  int32_t AddSpanLocked(const std::string& name, int32_t parent,
+                        int64_t detail);
+
+  const uint64_t trace_id_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  size_t dropped_ = 0;
+};
+
+/// Pretty-prints the span tree, children indented under parents in
+/// start order, with durations and notes. `spans` as returned by
+/// Trace::Spans().
+std::string FormatSpans(const std::vector<TraceSpan>& spans,
+                        uint64_t trace_id);
+std::string FormatTrace(const Trace& trace);
+
+}  // namespace llm::obs
+
+#endif  // TFMR_OBS_TRACE_H_

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "sample/sampler.h"
 #include "util/fault.h"
 
@@ -64,6 +65,16 @@ void BatchScheduler::Admit(std::shared_ptr<RequestState> state) {
     std::lock_guard<std::mutex> lock(state->mu);
     state->queue_ms = queue_ms;
   }
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kAdmission,
+                                       static_cast<int32_t>(slot),
+                                       static_cast<int64_t>(state->id));
+  if (state->trace) {
+    state->trace->EndSpan(state->queue_span.load(std::memory_order_acquire),
+                          "admitted");
+    state->decode_span.store(
+        state->trace->BeginSpan("decode", state->trace_parent, slot),
+        std::memory_order_release);
+  }
   seq.state = std::move(state);
   ++active_count_;
 }
@@ -71,6 +82,9 @@ void BatchScheduler::Admit(std::shared_ptr<RequestState> state) {
 void BatchScheduler::Retire(int64_t slot, FinishReason reason,
                             const util::Status& status, TickOutput* out) {
   ActiveSeq& seq = seqs_[static_cast<size_t>(slot)];
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventType::kRetirement, static_cast<int32_t>(reason),
+      static_cast<int64_t>(seq.state->id), seq.generated);
   out->finished.push_back({std::move(seq.state), reason, status});
   seq.state = nullptr;
   seq.occupied = false;
@@ -204,6 +218,11 @@ void BatchScheduler::Tick(WorkerPool* workers,
       {
         std::lock_guard<std::mutex> lock(seq.state->mu);
         seq.state->tokens.push_back(seq.sampled);
+      }
+      if (seq.state->trace) {
+        seq.state->trace->Event(
+            "step", seq.state->decode_span.load(std::memory_order_acquire),
+            seq.sampled);
       }
       out->tokens.push_back({seq.state, seq.sampled});
       // Finish precedence mirrors the single-stream generation loop:

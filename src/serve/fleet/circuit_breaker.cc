@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
 #include "util/check.h"
 
 namespace llm::serve {
@@ -15,11 +16,21 @@ const char* BreakerStateName(BreakerState state) {
   return "unknown";
 }
 
-CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options)
+CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options,
+                               int label)
     : options_(options),
+      label_(label),
       outcomes_(static_cast<size_t>(std::max(options.window, 1)), false) {
   LLM_CHECK_GT(options_.window, 0);
   LLM_CHECK_GT(options_.probe_successes, 0);
+}
+
+void CircuitBreaker::TransitionLocked(BreakerState to) {
+  if (state_ == to) return;
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventType::kBreakerTransition, label_,
+      static_cast<int64_t>(state_), static_cast<int64_t>(to));
+  state_ = to;
 }
 
 void CircuitBreaker::ClearWindowLocked() {
@@ -30,7 +41,7 @@ void CircuitBreaker::ClearWindowLocked() {
 }
 
 void CircuitBreaker::TripLocked(std::chrono::steady_clock::time_point now) {
-  state_ = BreakerState::kOpen;
+  TransitionLocked(BreakerState::kOpen);
   opened_at_ = now;
   probes_in_flight_ = 0;
   probe_streak_ = 0;
@@ -46,7 +57,7 @@ bool CircuitBreaker::Allow(std::chrono::steady_clock::time_point now) {
       if (now - opened_at_ < options_.cooldown) return false;
       // Cooled down: probe cautiously rather than re-opening the
       // floodgates — one request at a time until the streak closes it.
-      state_ = BreakerState::kHalfOpen;
+      TransitionLocked(BreakerState::kHalfOpen);
       probe_streak_ = 0;
       probes_in_flight_ = 1;  // this grant
       return true;
@@ -70,7 +81,7 @@ void CircuitBreaker::RecordSuccess() {
   if (state_ == BreakerState::kHalfOpen) {
     if (probes_in_flight_ > 0) --probes_in_flight_;
     if (++probe_streak_ >= options_.probe_successes) {
-      state_ = BreakerState::kClosed;
+      TransitionLocked(BreakerState::kClosed);
       ClearWindowLocked();
     }
     return;
@@ -105,7 +116,7 @@ void CircuitBreaker::RecordFailure(
 
 void CircuitBreaker::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  state_ = BreakerState::kClosed;
+  TransitionLocked(BreakerState::kClosed);
   probes_in_flight_ = 0;
   probe_streak_ = 0;
   ClearWindowLocked();

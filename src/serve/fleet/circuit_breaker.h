@@ -50,7 +50,11 @@ const char* BreakerStateName(BreakerState state);
 
 class CircuitBreaker {
  public:
-  explicit CircuitBreaker(const CircuitBreakerOptions& options);
+  /// `label` identifies this breaker (the router passes the replica index)
+  /// in flight-recorder kBreakerTransition events; -1 suppresses nothing,
+  /// it's just what unlabeled breakers report.
+  explicit CircuitBreaker(const CircuitBreakerOptions& options,
+                          int label = -1);
 
   /// May this replica receive a request at `now`? Closed: yes. Open: no,
   /// unless the cooldown has elapsed — then the breaker moves to half-open
@@ -80,8 +84,12 @@ class CircuitBreaker {
  private:
   void TripLocked(std::chrono::steady_clock::time_point now);
   void ClearWindowLocked();
+  /// Moves to `to`, recording a kBreakerTransition flight event when the
+  /// state actually changes.
+  void TransitionLocked(BreakerState to);
 
   const CircuitBreakerOptions options_;
+  const int label_;
   mutable std::mutex mu_;
   BreakerState state_ = BreakerState::kClosed;
   std::vector<bool> outcomes_;  // ring: true = failure

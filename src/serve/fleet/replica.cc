@@ -3,11 +3,30 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/flight_recorder.h"
 #include "train/checkpoint.h"
 #include "util/check.h"
 #include "util/fault.h"
 
 namespace llm::serve {
+
+namespace {
+
+// Reload phase numbering in kReloadPhase flight events (field b).
+enum ReloadPhase : int64_t {
+  kPhaseDrain = 1,
+  kPhaseValidate = 2,
+  kPhaseLoad = 3,
+  kPhaseCanary = 4,
+  kPhaseCommit = 5,
+};
+
+void RecordReloadPhase(int replica, int64_t phase, bool ok) {
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kReloadPhase,
+                                       replica, phase, ok ? 1 : 0);
+}
+
+}  // namespace
 
 void CopyModelWeights(const nn::GPTModel& src, nn::GPTModel* dst) {
   const nn::NamedParams src_params = src.NamedParameters();
@@ -122,12 +141,14 @@ util::Status Replica::Reload(const std::string& checkpoint_path,
   // 1. Drain: stop admission, let in-flight work finish. Drain shuts the
   // server down either way; stragglers past the timeout retire kCancelled
   // and the router fails them over to siblings.
-  (void)server()->Drain(drain_timeout);
+  const util::Status drained = server()->Drain(drain_timeout);
+  RecordReloadPhase(index_, kPhaseDrain, drained.ok());
 
   // 2. Validate the file end-to-end (CRCs, structure) and against the
   // live architecture — before any weight byte changes.
   util::Status validated =
       train::ValidateCheckpoint(checkpoint_path, model_.get());
+  RecordReloadPhase(index_, kPhaseValidate, validated.ok());
   if (!validated.ok()) {
     SwapInFreshServer();  // back in service on the untouched weights
     return validated;
@@ -136,6 +157,7 @@ util::Status Replica::Reload(const std::string& checkpoint_path,
   // 3. Swap the weights, keeping a snapshot to roll back to.
   const WeightSnapshot snapshot = SnapshotWeights();
   util::Status loaded = train::LoadCheckpoint(model_.get(), checkpoint_path);
+  RecordReloadPhase(index_, kPhaseLoad, loaded.ok());
   if (!loaded.ok()) {
     RestoreWeights(snapshot);
     SwapInFreshServer();
@@ -144,6 +166,7 @@ util::Status Replica::Reload(const std::string& checkpoint_path,
 
   // 4. Canary: the new weights must actually generate before going live.
   util::Status canary = RunCanary();
+  RecordReloadPhase(index_, kPhaseCanary, canary.ok());
   if (!canary.ok()) {
     RestoreWeights(snapshot);
     SwapInFreshServer();
@@ -154,6 +177,7 @@ util::Status Replica::Reload(const std::string& checkpoint_path,
   // versions) and rebuild the serving stack on the new weights.
   weights_version_.fetch_add(1, std::memory_order_acq_rel);
   SwapInFreshServer();
+  RecordReloadPhase(index_, kPhaseCommit, true);
   return util::Status::OK();
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "util/check.h"
 #include "util/fault.h"
 
@@ -38,11 +39,10 @@ ReplicaRouter::ReplicaRouter(const nn::GPTModel& prototype,
   for (int i = 0; i < options.num_replicas; ++i) {
     replicas_.push_back(
         std::make_unique<Replica>(i, prototype, options.server));
-    breakers_.push_back(std::make_unique<CircuitBreaker>(options.breaker));
+    breakers_.push_back(std::make_unique<CircuitBreaker>(options.breaker, i));
     phase_[static_cast<size_t>(i)].store(
         static_cast<int>(ReplicaPhase::kActive), std::memory_order_relaxed);
   }
-  latency_ring_.reserve(512);
 }
 
 ReplicaRouter::~ReplicaRouter() { Shutdown(); }
@@ -112,12 +112,19 @@ util::Status ReplicaRouter::DispatchLocked(
   for (const Candidate& c : candidates) {
     CircuitBreaker* breaker = breakers_[static_cast<size_t>(c.index)].get();
     if (!breaker->Allow(now)) {
+      if (freq->trace) {
+        freq->trace->Event("breaker_open", obs::Trace::kRootSpan, c.index);
+      }
       last = util::Status::ResourceExhausted(
           "circuit breaker open on replica " + std::to_string(c.index));
       continue;
     }
     if (util::MaybeInjectFault(util::FaultSite::kReplicaDispatch)) {
       breaker->RecordFailure(now);
+      if (freq->trace) {
+        freq->trace->Event("dispatch_fault", obs::Trace::kRootSpan, c.index,
+                           "injected dispatch failure");
+      }
       last = util::Status::Internal("injected dispatch failure (replica " +
                                     std::to_string(c.index) + ")");
       continue;
@@ -144,14 +151,36 @@ util::Status ReplicaRouter::DispatchLocked(
       }
     };
 
+    // Traced requests get an "attempt" span per dispatch; the replica's
+    // server parents its queue/decode spans under it via trace_sink.
+    int32_t attempt_span = -1;
+    if (freq->trace) {
+      attempt_span =
+          freq->trace->BeginSpan("attempt", obs::Trace::kRootSpan, c.index);
+      attempt_req.trace_sink = freq->trace;
+      attempt_req.trace_parent = attempt_span;
+    }
+
     auto id_or = server->Submit(std::move(attempt_req));
     if (!id_or.ok()) {
       breaker->AbortProbe();  // the granted probe was never dispatched
+      if (freq->trace) freq->trace->EndSpan(attempt_span, "submit rejected");
       if (id_or.status().code() == util::StatusCode::kInvalidArgument) {
         return id_or.status();  // the request itself is bad; don't shop it
       }
       last = id_or.status();
       continue;
+    }
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventType::kDispatch, c.index,
+        static_cast<int64_t>(freq->id), is_hedge ? 1 : 0);
+    if (is_hedge) {
+      obs::FlightRecorder::Global().Record(obs::FlightEventType::kHedgeLaunch,
+                                           c.index,
+                                           static_cast<int64_t>(freq->id));
+      if (freq->trace) {
+        freq->trace->Event("hedge_launch", attempt_span, c.index);
+      }
     }
     Attempt attempt;
     attempt.replica = c.index;
@@ -161,6 +190,7 @@ util::Status ReplicaRouter::DispatchLocked(
         replicas_[static_cast<size_t>(c.index)]->weights_version();
     attempt.dispatched_at = now;
     attempt.is_hedge = is_hedge;
+    attempt.span = attempt_span;
     freq->attempts.push_back(std::move(attempt));
     return util::Status::OK();
   }
@@ -179,6 +209,11 @@ util::StatusOr<RequestId> ReplicaRouter::Submit(GenerateRequest request) {
   freq->deadline = freq->request.timeout.count() > 0
                        ? now + freq->request.timeout
                        : std::chrono::steady_clock::time_point::max();
+  if (freq->request.trace) {
+    // The fleet owns the root span; attempts hang under it and the winner
+    // closes it at finalization.
+    freq->trace = std::make_shared<obs::Trace>(freq->id);
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   util::Status dispatched = DispatchLocked(freq, /*is_hedge=*/false, now);
@@ -264,6 +299,10 @@ void ReplicaRouter::FinalizeLocked(const std::shared_ptr<FleetRequest>& freq,
       continue;
     }
     if (!keep_running) attempt.server->Cancel(attempt.inner_id);
+    if (freq->trace) {
+      freq->trace->EndSpan(attempt.span,
+                           keep_running ? "lost: verifying" : "lost: cancelled");
+    }
     zombies_.push_back({freq, std::move(attempt)});
   }
   freq->attempts.clear();
@@ -277,23 +316,10 @@ void ReplicaRouter::FinalizeLocked(const std::shared_ptr<FleetRequest>& freq,
   if (FinishedOk(result)) {
     ++completed_;
     if (winner != nullptr && winner->is_hedge) ++hedges_won_;
-    if (latency_ring_.size() < 512) {
-      latency_ring_.push_back(result.total_ms);
-    } else {
-      latency_ring_[latency_next_] = result.total_ms;
-      latency_next_ = (latency_next_ + 1) % latency_ring_.size();
-    }
-    if (++completions_since_p99_ >= 16 && !latency_ring_.empty()) {
+    latency_hist_.Record(result.total_ms);
+    if (++completions_since_p99_ >= 16) {
       completions_since_p99_ = 0;
-      std::vector<double> sorted = latency_ring_;
-      const size_t k =
-          (sorted.size() * 99 + 99) / 100 > 0
-              ? std::min(sorted.size() - 1, (sorted.size() * 99 + 99) / 100 - 1)
-              : 0;
-      std::nth_element(sorted.begin(),
-                       sorted.begin() + static_cast<ptrdiff_t>(k),
-                       sorted.end());
-      cached_p99_ms_ = sorted[k];
+      cached_p99_ms_ = latency_hist_.Percentile(0.99);
     }
   } else if (result.reason == FinishReason::kCancelled) {
     ++cancelled_;
@@ -303,6 +329,12 @@ void ReplicaRouter::FinalizeLocked(const std::shared_ptr<FleetRequest>& freq,
     ++failed_;
   }
 
+  if (freq->trace) {
+    if (winner != nullptr) freq->trace->EndSpan(winner->span, "won");
+    freq->trace->EndSpan(obs::Trace::kRootSpan,
+                         FinishReasonName(result.reason));
+    result.trace = freq->trace;
+  }
   {
     std::lock_guard<std::mutex> lk(freq->mu);
     freq->result = std::move(result);
@@ -390,6 +422,11 @@ void ReplicaRouter::PumpRequestLocked(
       if (result.reason == FinishReason::kFault) {
         breakers_[static_cast<size_t>(attempt.replica)]->RecordFailure(now);
       }
+      if (freq->trace) {
+        freq->trace->EndSpan(
+            attempt.span,
+            std::string("lost: ") + FinishReasonName(result.reason));
+      }
       freq->attempts.erase(freq->attempts.begin() + static_cast<ptrdiff_t>(i));
       continue;
     }
@@ -421,6 +458,13 @@ void ReplicaRouter::PumpRequestLocked(
     if (redispatched.ok()) {
       ++freq->failovers;  // counts successful re-dispatches, not sweeps
       ++failovers_;
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventType::kFailover, freq->attempts.back().replica,
+          static_cast<int64_t>(freq->id), freq->failovers);
+      if (freq->trace) {
+        freq->trace->Event("failover", freq->attempts.back().span,
+                           freq->failovers);
+      }
       return;
     }
     if (redispatched.code() == util::StatusCode::kDeadlineExceeded) {
@@ -499,6 +543,7 @@ void ReplicaRouter::PumpMain() {
 }
 
 util::Status ReplicaRouter::Drain(std::chrono::milliseconds timeout) {
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kDrainBegin);
   admission_closed_.store(true, std::memory_order_release);
   bool drained = false;
   {
@@ -595,6 +640,26 @@ FleetStats ReplicaRouter::Stats() const {
   stats.reload_failures = reload_failures_;
   stats.p99_latency_ms = cached_p99_ms_;
   return stats;
+}
+
+void ExportFleetStats(const FleetStats& stats, const std::string& prefix,
+                      obs::MetricsRegistry* registry) {
+  const auto set = [&](const char* name, double value) {
+    registry->GetGauge(prefix + "." + name)->Set(value);
+  };
+  set("submitted", static_cast<double>(stats.submitted));
+  set("rejected", static_cast<double>(stats.rejected));
+  set("completed", static_cast<double>(stats.completed));
+  set("cancelled", static_cast<double>(stats.cancelled));
+  set("expired", static_cast<double>(stats.expired));
+  set("failed", static_cast<double>(stats.failed));
+  set("failovers", static_cast<double>(stats.failovers));
+  set("hedges_launched", static_cast<double>(stats.hedges_launched));
+  set("hedges_won", static_cast<double>(stats.hedges_won));
+  set("hedge_mismatches", static_cast<double>(stats.hedge_mismatches));
+  set("reloads", static_cast<double>(stats.reloads));
+  set("reload_failures", static_cast<double>(stats.reload_failures));
+  set("p99_latency_ms", stats.p99_latency_ms);
 }
 
 ReplicaPhase ReplicaRouter::replica_phase(int i) const {

@@ -158,6 +158,11 @@ class ReplicaRouter {
 
   FleetStats Stats() const;
 
+  /// Completion-latency histogram snapshot behind the fleet p99.
+  obs::HistogramSnapshot LatencySnapshot() const {
+    return latency_hist_.Snapshot();
+  }
+
   int num_replicas() const { return static_cast<int>(replicas_.size()); }
   ReplicaPhase replica_phase(int i) const;
   BreakerState breaker_state(int i) const;
@@ -182,6 +187,9 @@ class ReplicaRouter {
     uint64_t weights_version = 0;
     std::chrono::steady_clock::time_point dispatched_at;
     bool is_hedge = false;
+    /// This attempt's span in the request's trace (-1 untraced). The inner
+    /// server parents its queue/decode spans under it.
+    int32_t span = -1;
   };
 
   struct FleetRequest {
@@ -190,6 +198,11 @@ class ReplicaRouter {
     std::chrono::steady_clock::time_point submit_time;
     std::chrono::steady_clock::time_point deadline;  // max() = none
     std::atomic<bool> cancel_requested{false};
+
+    /// Request-wide trace (null unless the client asked for one). The
+    /// router owns the root span; every attempt's server-side spans hang
+    /// under that attempt's span.
+    std::shared_ptr<obs::Trace> trace;
 
     // Routing state: guarded by the router's mu_.
     std::vector<Attempt> attempts;
@@ -264,11 +277,17 @@ class ReplicaRouter {
   uint64_t hedge_mismatches_ = 0;
   uint64_t reloads_ = 0;
   uint64_t reload_failures_ = 0;
-  std::vector<double> latency_ring_;  // recent fleet completion latencies
-  size_t latency_next_ = 0;
+  /// Fleet completion latencies (submit -> final completion across all
+  /// attempts); the hedge threshold reads its p99 via cached_p99_ms_.
+  obs::Histogram latency_hist_;
   double cached_p99_ms_ = 0.0;  // refreshed every few completions
   uint64_t completions_since_p99_ = 0;
 };
+
+/// FleetStats counterpart of ExportServerStats: every field becomes the
+/// gauge `<prefix>.<field>` in `registry`.
+void ExportFleetStats(const FleetStats& stats, const std::string& prefix,
+                      obs::MetricsRegistry* registry);
 
 }  // namespace llm::serve
 

@@ -7,14 +7,13 @@
 #include <thread>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+#include "obs/scoped_timer.h"
 #include "util/fault.h"
 #include "util/rng.h"
 
 namespace llm::serve {
 namespace {
-
-// Completed-request latency samples retained for percentile estimates.
-constexpr size_t kLatencyWindow = 8192;
 
 // Deadline-feasibility shedding trusts the decode-rate EMA only after this
 // many measured ticks, so a cold server never sheds on a garbage estimate.
@@ -23,13 +22,19 @@ constexpr int64_t kMinTicksForEstimate = 8;
 // EMA smoothing for the per-step cost estimate.
 constexpr double kEstAlpha = 0.2;
 
-double Percentile(std::vector<double>* sorted, double q) {
-  if (sorted->empty()) return 0.0;
-  const double rank = q * static_cast<double>(sorted->size() - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, sorted->size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return (*sorted)[lo] * (1.0 - frac) + (*sorted)[hi] * frac;
+// Ends the request's open spans (queue and decode are both idempotent —
+// whichever hop got there first wins) and stamps the terminal "finish"
+// event. Only the server that minted the trace closes the root; a fleet
+// router closing over several attempts does that itself.
+void CloseTraceSpans(RequestState* state, FinishReason reason) {
+  if (!state->trace) return;
+  obs::Trace& trace = *state->trace;
+  trace.EndSpan(state->queue_span.load(std::memory_order_acquire));
+  trace.EndSpan(state->decode_span.load(std::memory_order_acquire),
+                FinishReasonName(reason));
+  trace.Event("finish", state->trace_parent, static_cast<int64_t>(reason),
+              FinishReasonName(reason));
+  if (state->owns_trace) trace.EndSpan(obs::Trace::kRootSpan);
 }
 
 double MsSince(std::chrono::steady_clock::time_point start) {
@@ -76,9 +81,11 @@ InferenceServer::InferenceServer(const nn::GPTModel* model,
       pool_(model->config(), options.max_batch_size),
       scheduler_(model, &pool_),
       workers_(options.num_workers),
-      scratch_(static_cast<size_t>(workers_.lanes())) {
+      scratch_(static_cast<size_t>(workers_.lanes())),
+      tick_hist_(obs::MetricsRegistry::Global().GetHistogram("serve.tick_ms")) {
   LLM_CHECK(model != nullptr);
   LLM_CHECK_GT(options.max_batch_size, 0);
+  obs::WireFaultEventsToFlightRecorder();
 }
 
 InferenceServer::~InferenceServer() { Shutdown(); }
@@ -132,6 +139,7 @@ util::Status InferenceServer::Drain(std::chrono::milliseconds timeout) {
     draining_.store(true, std::memory_order_release);
     admission_closed_.store(true, std::memory_order_release);
   }
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kDrainBegin);
   queue_.Close();  // scheduler exits once the backlog is served
   bool drained;
   {
@@ -188,6 +196,22 @@ util::StatusOr<RequestId> InferenceServer::Submit(GenerateRequest request) {
                         ? state->submit_time + request.timeout
                         : std::chrono::steady_clock::time_point::max();
   state->request = std::move(request);
+  if (state->request.trace_sink) {
+    // Fleet attempt: record into the router's request-wide trace, under
+    // the attempt span it opened for us.
+    state->trace = state->request.trace_sink;
+    state->owns_trace = false;
+    state->trace_parent = state->request.trace_parent;
+  } else if (state->request.trace) {
+    state->trace = std::make_shared<obs::Trace>(state->id);
+    state->owns_trace = true;
+  }
+  if (state->trace) {
+    state->queue_span.store(
+        state->trace->BeginSpan("queue", state->trace_parent,
+                                static_cast<int64_t>(state->id)),
+        std::memory_order_release);
+  }
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
     registry_.emplace(state->id, state);
@@ -292,6 +316,7 @@ util::StatusOr<RequestResult> InferenceServer::Wait(RequestId id) {
     result.tokens = state->tokens;
     result.queue_ms = state->queue_ms;
     result.total_ms = state->total_ms;
+    result.trace = state->trace;
   }
   std::lock_guard<std::mutex> lock(registry_mu_);
   registry_.erase(id);
@@ -315,6 +340,7 @@ InferenceServer::PollOutcome InferenceServer::Poll(RequestId id,
     out->tokens = state->tokens;
     out->queue_ms = state->queue_ms;
     out->total_ms = state->total_ms;
+    out->trace = state->trace;
   }
   std::lock_guard<std::mutex> lock(registry_mu_);
   registry_.erase(id);
@@ -349,7 +375,6 @@ ServerStats InferenceServer::Stats() const {
   stats.leaks_repaired = leaks_repaired_.load(std::memory_order_relaxed);
   stats.est_ms_per_step = est_ms_per_step_pub_.load(std::memory_order_relaxed);
   stats.health = Health();
-  std::vector<double> latencies;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats.submitted = submitted_;
@@ -365,13 +390,38 @@ ServerStats InferenceServer::Stats() const {
         stats.tokens_per_sec = static_cast<double>(total_tokens_) / secs;
       }
     }
-    latencies = latency_ring_;
   }
-  std::sort(latencies.begin(), latencies.end());
-  stats.p50_latency_ms = Percentile(&latencies, 0.50);
-  stats.p95_latency_ms = Percentile(&latencies, 0.95);
-  stats.p99_latency_ms = Percentile(&latencies, 0.99);
+  const obs::HistogramSnapshot latency = latency_hist_.Snapshot();
+  stats.p50_latency_ms = latency.Percentile(0.50);
+  stats.p95_latency_ms = latency.Percentile(0.95);
+  stats.p99_latency_ms = latency.Percentile(0.99);
   return stats;
+}
+
+void ExportServerStats(const ServerStats& stats, const std::string& prefix,
+                       obs::MetricsRegistry* registry) {
+  const auto set = [&](const char* name, double value) {
+    registry->GetGauge(prefix + "." + name)->Set(value);
+  };
+  set("queue_depth", static_cast<double>(stats.queue_depth));
+  set("active_slots", static_cast<double>(stats.active_slots));
+  set("total_slots", static_cast<double>(stats.total_slots));
+  set("free_slots", static_cast<double>(stats.free_slots));
+  set("submitted", static_cast<double>(stats.submitted));
+  set("rejected", static_cast<double>(stats.rejected));
+  set("completed", static_cast<double>(stats.completed));
+  set("cancelled", static_cast<double>(stats.cancelled));
+  set("expired", static_cast<double>(stats.expired));
+  set("failed", static_cast<double>(stats.failed));
+  set("stalled_ticks", static_cast<double>(stats.stalled_ticks));
+  set("leaks_repaired", static_cast<double>(stats.leaks_repaired));
+  set("total_tokens", static_cast<double>(stats.total_tokens));
+  set("tokens_per_sec", stats.tokens_per_sec);
+  set("est_ms_per_step", stats.est_ms_per_step);
+  set("p50_latency_ms", stats.p50_latency_ms);
+  set("p95_latency_ms", stats.p95_latency_ms);
+  set("p99_latency_ms", stats.p99_latency_ms);
+  set("health", static_cast<double>(stats.health));
 }
 
 void InferenceServer::RecordFinish(const RequestState& state,
@@ -383,12 +433,7 @@ void InferenceServer::RecordFinish(const RequestState& state,
     case FinishReason::kLength:
     case FinishReason::kWindow:
       ++completed_;
-      if (latency_ring_.size() < kLatencyWindow) {
-        latency_ring_.push_back(total_ms);
-      } else {
-        latency_ring_[latency_next_] = total_ms;
-        latency_next_ = (latency_next_ + 1) % kLatencyWindow;
-      }
+      latency_hist_.Record(total_ms);
       break;
     case FinishReason::kCancelled:
       ++cancelled_;
@@ -420,6 +465,7 @@ void InferenceServer::CompleteNow(const std::shared_ptr<RequestState>& state,
     state->status = std::move(status);
     state->total_ms = total_ms;
   }
+  CloseTraceSpans(state.get(), reason);
   state->cv.notify_all();
 }
 
@@ -496,6 +542,11 @@ void InferenceServer::Publish(const TickOutput& out) {
     ++delivered;
     const auto& callback = emitted.state->request.on_token;
     if (!callback) continue;
+    if (emitted.state->trace) {
+      emitted.state->trace->Event(
+          "stream", emitted.state->decode_span.load(std::memory_order_acquire),
+          emitted.token);
+    }
     bool threw = false;
     try {
       if (util::MaybeInjectFault(util::FaultSite::kOnTokenThrow)) {
@@ -538,6 +589,7 @@ void InferenceServer::Publish(const TickOutput& out) {
       finished.state->status = finished.status;
       finished.state->total_ms = total_ms;
     }
+    CloseTraceSpans(finished.state.get(), finished.reason);
     finished.state->cv.notify_all();
   }
 }
@@ -557,7 +609,10 @@ void InferenceServer::SchedulerMain() {
     const auto tick_start = std::chrono::steady_clock::now();
     tick_start_ns_.store(SteadyNowNs(), std::memory_order_release);
     tick_seq_.fetch_add(1, std::memory_order_acq_rel);  // odd: tick running
-    scheduler_.Tick(&workers_, &scratch_, &tick_out_);
+    {
+      obs::ScopedTimer tick_timer(tick_hist_);
+      scheduler_.Tick(&workers_, &scratch_, &tick_out_);
+    }
     tick_seq_.fetch_add(1, std::memory_order_acq_rel);  // even: tick done
     if (tick_out_.steps > 0) {
       const double step_ms =
@@ -575,6 +630,9 @@ void InferenceServer::SchedulerMain() {
       leaks_repaired_.fetch_add(static_cast<uint64_t>(repaired),
                                 std::memory_order_relaxed);
       degraded_.store(true, std::memory_order_release);
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventType::kLeakRepaired,
+          static_cast<int32_t>(repaired));
     }
   }
   // Shutdown: retire in-flight sequences (partial output preserved) and
@@ -625,6 +683,10 @@ void InferenceServer::WatchdogMain() {
       victims.reserve(inflight_.size());
       for (const auto& [id, st] : inflight_) victims.push_back(st);
     }
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventType::kStallDetected,
+        static_cast<int32_t>(victims.size()),
+        static_cast<int64_t>(elapsed_ms));
     for (const auto& victim : victims) {
       victim->cancel_requested.store(true, std::memory_order_release);
       CompleteNow(victim, FinishReason::kFault,

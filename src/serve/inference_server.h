@@ -35,12 +35,14 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "nn/batched_decode.h"
 #include "nn/transformer.h"
+#include "obs/metrics.h"
 #include "serve/batch_scheduler.h"
 #include "serve/kv_cache_pool.h"
 #include "serve/request.h"
@@ -92,8 +94,9 @@ struct RetryOptions {
   uint64_t jitter_seed = 0;
 };
 
-/// Point-in-time server statistics. Latency percentiles are computed over
-/// a sliding window of recently completed requests.
+/// Point-in-time server statistics. Latency percentiles are estimated
+/// from an obs::Histogram over every completed request since Start —
+/// exact to within one bucket width (~19% relative), no sample retention.
 ///
 /// Conservation invariant (asserted by the chaos harness): every accepted
 /// request reaches exactly one terminal state, so at quiescence
@@ -207,6 +210,12 @@ class InferenceServer {
 
   const ServerOptions& options() const { return options_; }
 
+  /// Direct view of the completion-latency histogram behind the Stats()
+  /// percentiles, for exporters that want counts and means too.
+  obs::HistogramSnapshot LatencySnapshot() const {
+    return latency_hist_.Snapshot();
+  }
+
  private:
   void SchedulerMain();
   void WatchdogMain();
@@ -281,9 +290,20 @@ class InferenceServer {
   std::atomic<uint64_t> leaks_repaired_{0};
   uint64_t total_tokens_ = 0;
   std::chrono::steady_clock::time_point started_at_;
-  std::vector<double> latency_ring_;  // recent completion latencies, ms
-  size_t latency_next_ = 0;
+  /// Completion latencies of finished-OK requests; Stats() reads its
+  /// percentiles. Atomic buckets — recorded outside any lock.
+  obs::Histogram latency_hist_;
+  /// Scheduler-tick profiling sink ("serve.tick_ms" in the global
+  /// registry); only written while obs::EnableProfiling(true).
+  obs::Histogram* tick_hist_;
 };
+
+/// Writes every ServerStats field into `registry` as a gauge named
+/// `<prefix>.<field>` (e.g. "serve.completed", "serve.p99_latency_ms").
+/// Benches call this right before MetricsRegistry::JsonSnapshot so the
+/// METRICS line carries the serving counters alongside everything else.
+void ExportServerStats(const ServerStats& stats, const std::string& prefix,
+                       obs::MetricsRegistry* registry);
 
 }  // namespace llm::serve
 

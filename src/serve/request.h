@@ -14,10 +14,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sample/sampler.h"
 #include "util/status.h"
 
@@ -44,6 +46,17 @@ struct GenerateRequest {
   /// Streaming callback, invoked once per generated token from the
   /// scheduler thread. Must not block or re-enter the server.
   std::function<void(RequestId, int64_t)> on_token;
+  /// When true, Submit mints an obs::Trace and every hop the request takes
+  /// (queue wait, admission, decode, stream, retirement) records a span;
+  /// the finished tree comes back in RequestResult::trace. Untraced
+  /// requests skip all span bookkeeping.
+  bool trace = false;
+  /// Record spans into this existing trace instead of minting one, under
+  /// the span id `trace_parent`. The fleet router uses this to stitch each
+  /// replica attempt's server-side spans into one request-wide tree.
+  /// Implies `trace` when set.
+  std::shared_ptr<obs::Trace> trace_sink;
+  int32_t trace_parent = obs::Trace::kRootSpan;
 };
 
 /// Why a request left the active set.
@@ -66,6 +79,9 @@ struct RequestResult {
   std::vector<int64_t> tokens;  // generated tokens (partial on error)
   double queue_ms = 0.0;        // submit -> admission
   double total_ms = 0.0;        // submit -> completion
+  /// Span tree for traced requests (null otherwise). Shared const view:
+  /// the trace is complete by the time Wait returns it.
+  std::shared_ptr<const obs::Trace> trace;
 };
 
 /// Shared per-request state: written by the scheduler thread, observed by
@@ -76,6 +92,17 @@ struct RequestState {
   std::chrono::steady_clock::time_point submit_time;
   std::chrono::steady_clock::time_point deadline;  // time_point::max() = none
   std::atomic<bool> cancel_requested{false};
+
+  /// Tracing (null for untraced requests). `owns_trace` is true when this
+  /// server minted the trace (and so ends the root span at retirement);
+  /// false when a fleet router owns the root. Span ids are atomics because
+  /// the submitting thread opens the queue span while the scheduler thread
+  /// later closes it and opens the decode span.
+  std::shared_ptr<obs::Trace> trace;
+  bool owns_trace = false;
+  int32_t trace_parent = obs::Trace::kRootSpan;
+  std::atomic<int32_t> queue_span{-1};
+  std::atomic<int32_t> decode_span{-1};
 
   std::mutex mu;
   std::condition_variable cv;

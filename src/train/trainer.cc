@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "obs/flight_recorder.h"
 #include "train/checkpoint.h"
 #include "util/fault.h"
 
@@ -62,6 +63,8 @@ util::Status Trainer::SaveCheckpointNow(int64_t next_step) {
   const std::string path =
       options_.checkpoint_dir + "/" + CheckpointFileName(next_step);
   LLM_RETURN_IF_ERROR(SaveCheckpoint(*options_.model, path, &state));
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventType::kCheckpointSaved, 0, next_step);
   // Re-saving the same step (after a rollback) must not duplicate the
   // rotation entry.
   if (checkpoints_.empty() || checkpoints_.back() != path) {
@@ -104,6 +107,9 @@ util::Status Trainer::HandleDivergence(int64_t step, const std::string& kind,
   incident.step = step;
   incident.kind = kind;
   incident.detail = detail;
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventType::kTrainDivergence, kind == "nan-loss" ? 0 : 1,
+      step);
   if (recoveries_ >= options_.max_recoveries) {
     incident.action = "none (recovery budget exhausted)";
     incident.lr_scale_after = lr_scale_;
@@ -117,10 +123,12 @@ util::Status Trainer::HandleDivergence(int64_t step, const std::string& kind,
   lr_scale_ *= options_.lr_backoff;
 
   int64_t target = step;
+  bool rolled_back = false;
   if (!checkpoints_.empty()) {
     util::Status rolled = Rollback(&target);
     if (rolled.ok()) {
       incident.action = "rollback to step " + std::to_string(target);
+      rolled_back = true;
     } else {
       // Every checkpoint unreadable: fall through to skipping the bad
       // update — parameters were not touched yet, so this is still sound.
@@ -131,6 +139,8 @@ util::Status Trainer::HandleDivergence(int64_t step, const std::string& kind,
     incident.action = "skip-step";
     optimizer_->ZeroGrad();
   }
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kTrainRollback,
+                                       rolled_back ? 1 : 0, target);
   incident.lr_scale_after = lr_scale_;
   incidents_.push_back(incident);
   std::fprintf(stderr,

@@ -8,6 +8,14 @@ namespace internal {
 std::atomic<bool> g_fault_armed{false};
 }  // namespace internal
 
+namespace {
+std::atomic<FaultInjector::FireListener> g_fire_listener{nullptr};
+}  // namespace
+
+void FaultInjector::SetFireListener(FireListener listener) {
+  g_fire_listener.store(listener, std::memory_order_release);
+}
+
 const char* FaultSiteName(FaultSite site) {
   switch (site) {
     case FaultSite::kCheckpointWrite:
@@ -81,18 +89,29 @@ void FaultInjector::Disarm() {
 }
 
 bool FaultInjector::ShouldFire(FaultSite site) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Plan& p = plans_[static_cast<int>(site)];
-  const int64_t occurrence = p.seen++;
-  if (!p.armed) return false;
+  int64_t occurrence;
   bool fire;
-  if (p.probabilistic) {
-    fire = p.rng.Bernoulli(p.probability);
-  } else {
-    fire = std::binary_search(p.occurrences.begin(), p.occurrences.end(),
-                              occurrence);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Plan& p = plans_[static_cast<int>(site)];
+    occurrence = p.seen++;
+    if (!p.armed) return false;
+    if (p.probabilistic) {
+      fire = p.rng.Bernoulli(p.probability);
+    } else {
+      fire = std::binary_search(p.occurrences.begin(), p.occurrences.end(),
+                                occurrence);
+    }
+    if (fire) ++p.fired;
   }
-  if (fire) ++p.fired;
+  if (fire) {
+    // Outside the lock: a listener (e.g. the obs flight recorder) must be
+    // free to read injector state without deadlocking.
+    if (FireListener listener =
+            g_fire_listener.load(std::memory_order_acquire)) {
+      listener(site, occurrence);
+    }
+  }
   return fire;
 }
 
@@ -104,6 +123,17 @@ int64_t FaultInjector::Occurrences(FaultSite site) const {
 int64_t FaultInjector::Fired(FaultSite site) const {
   std::lock_guard<std::mutex> lock(mu_);
   return plans_[static_cast<int>(site)].fired;
+}
+
+std::vector<FaultSiteCounts> FaultInjector::AllCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FaultSiteCounts> counts(kNumFaultSites);
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    counts[static_cast<size_t>(i)].site = static_cast<FaultSite>(i);
+    counts[static_cast<size_t>(i)].seen = plans_[i].seen;
+    counts[static_cast<size_t>(i)].fired = plans_[i].fired;
+  }
+  return counts;
 }
 
 }  // namespace llm::util

@@ -54,6 +54,17 @@ inline constexpr int kNumFaultSites = 10;
 
 const char* FaultSiteName(FaultSite site);
 
+/// Per-site activity since the last arm/disarm: how many times the site
+/// was reached and how many of those occurrences actually fired. Chaos
+/// tests assert on these directly (and the obs metrics registry surfaces
+/// them as `fault.<site>.seen` / `.fired` gauges) instead of inferring
+/// fault activity from downstream symptoms.
+struct FaultSiteCounts {
+  FaultSite site = FaultSite::kCheckpointWrite;
+  int64_t seen = 0;
+  int64_t fired = 0;
+};
+
 namespace internal {
 extern std::atomic<bool> g_fault_armed;
 }  // namespace internal
@@ -88,6 +99,17 @@ class FaultInjector {
   /// How many times `site` was reached / actually fired since last arm.
   int64_t Occurrences(FaultSite site) const;
   int64_t Fired(FaultSite site) const;
+
+  /// Every site's seen/fired counters in one consistent snapshot (all
+  /// read under one lock), indexed by site in enum order.
+  std::vector<FaultSiteCounts> AllCounts() const;
+
+  /// Observer invoked (outside the injector's lock) each time a site
+  /// fires, with the zero-based occurrence index that fired. One global
+  /// listener; pass nullptr to remove. The obs layer installs the flight
+  /// recorder here so injected faults show up in event dumps.
+  using FireListener = void (*)(FaultSite site, int64_t occurrence);
+  static void SetFireListener(FireListener listener);
 
  private:
   FaultInjector() = default;

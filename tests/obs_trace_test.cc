@@ -1,0 +1,326 @@
+// Tests for per-request tracing (src/obs/trace.h) and its integration
+// with the serving stack: span-tree unit behavior, the span structure a
+// single-server traced request produces, and — the satellite case — span
+// parenting across a fleet failover re-dispatch (attempt 1 on the
+// poisoned replica, attempt 2 on its healthy sibling, one streamed
+// prefix for the client). Registered under the `obs` ctest label.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
+#include "sample/sampler.h"
+#include "serve/fleet/replica_router.h"
+#include "serve/inference_server.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace llm::serve {
+namespace {
+
+nn::GPTConfig SmallConfig() {
+  nn::GPTConfig cfg;
+  cfg.vocab_size = 19;
+  cfg.max_seq_len = 16;
+  cfg.d_model = 24;
+  cfg.n_layer = 2;
+  cfg.n_head = 3;
+  return cfg;
+}
+
+GenerateRequest MakeRequest(std::vector<int64_t> prompt, uint64_t seed,
+                            int64_t max_new = 8) {
+  GenerateRequest request;
+  request.prompt = std::move(prompt);
+  request.seed = seed;
+  request.max_new_tokens = max_new;
+  request.sampler.temperature = 0.8f;
+  request.sampler.top_k = 7;
+  return request;
+}
+
+std::vector<int64_t> SingleStreamReference(const nn::GPTModel& model,
+                                           const GenerateRequest& request) {
+  sample::GenerateOptions opts;
+  opts.max_new_tokens = request.max_new_tokens;
+  opts.sampler = request.sampler;
+  opts.stop_token = request.stop_token;
+  util::Rng rng(request.seed);
+  return sample::GenerateCached(model, request.prompt, opts, &rng);
+}
+
+FleetOptions SmallFleet(int replicas = 2) {
+  FleetOptions options;
+  options.num_replicas = replicas;
+  options.server.max_batch_size = 4;
+  options.server.queue_capacity = 32;
+  options.server.num_workers = 0;
+  return options;
+}
+
+std::vector<obs::TraceSpan> SpansNamed(
+    const std::vector<obs::TraceSpan>& spans, const std::string& name) {
+  std::vector<obs::TraceSpan> out;
+  for (const obs::TraceSpan& s : spans) {
+    if (s.name == name) out.push_back(s);
+  }
+  return out;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::FaultInjector::Global().Disarm(); }
+};
+
+// --- Trace span tree unit behavior -----------------------------------------
+
+TEST_F(TraceTest, RootSpanOpenAtConstruction) {
+  obs::Trace trace(42);
+  EXPECT_EQ(trace.trace_id(), 42u);
+  const auto spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].id, obs::Trace::kRootSpan);
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[0].name, "request");
+  EXPECT_GT(spans[0].start_ns, 0);
+  EXPECT_EQ(spans[0].end_ns, 0);  // still open
+}
+
+TEST_F(TraceTest, BeginEndRecordsParentDetailAndNote) {
+  obs::Trace trace(1);
+  const int32_t queue = trace.BeginSpan("queue", obs::Trace::kRootSpan, 7);
+  const int32_t decode = trace.BeginSpan("decode", obs::Trace::kRootSpan, 3);
+  const int32_t step = trace.BeginSpan("step", decode);
+  trace.EndSpan(step);
+  trace.EndSpan(queue, "admitted");
+  trace.EndSpan(decode, "completed");
+  trace.EndSpan(obs::Trace::kRootSpan);
+
+  const auto spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[queue].parent, obs::Trace::kRootSpan);
+  EXPECT_EQ(spans[queue].detail, 7);
+  EXPECT_EQ(spans[queue].note, "admitted");
+  EXPECT_EQ(spans[step].parent, decode);
+  for (const auto& s : spans) {
+    EXPECT_GT(s.end_ns, 0) << s.name;
+    EXPECT_GE(s.end_ns, s.start_ns) << s.name;
+  }
+}
+
+TEST_F(TraceTest, EndSpanIsIdempotentFirstEndWins) {
+  obs::Trace trace(1);
+  const int32_t span = trace.BeginSpan("decode");
+  trace.EndSpan(span);
+  const int64_t first_end = trace.Spans()[span].end_ns;
+  trace.EndSpan(span, "late note");
+  const auto spans = trace.Spans();
+  EXPECT_EQ(spans[span].end_ns, first_end);
+  // A non-empty note still lands even if it arrives after the end.
+  EXPECT_EQ(spans[span].note, "late note");
+  trace.EndSpan(span, "third");
+  EXPECT_EQ(trace.Spans()[span].note, "late note");
+}
+
+TEST_F(TraceTest, EventIsInstantAndClosed) {
+  obs::Trace trace(1);
+  const int32_t ev = trace.Event("failover", obs::Trace::kRootSpan, 2, "why");
+  const auto spans = trace.Spans();
+  EXPECT_EQ(spans[ev].name, "failover");
+  EXPECT_EQ(spans[ev].detail, 2);
+  EXPECT_EQ(spans[ev].note, "why");
+  EXPECT_GT(spans[ev].end_ns, 0);
+}
+
+TEST_F(TraceTest, CapsAtMaxSpansAndCountsDropped) {
+  obs::Trace trace(1);
+  std::vector<int32_t> ids;
+  for (size_t i = 1; i < obs::Trace::kMaxSpans; ++i) {
+    ids.push_back(trace.BeginSpan("s"));
+  }
+  EXPECT_EQ(trace.Spans().size(), obs::Trace::kMaxSpans);
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_EQ(trace.BeginSpan("overflow"), -1);
+  EXPECT_EQ(trace.Event("overflow-event"), -1);
+  EXPECT_EQ(trace.dropped(), 2u);
+  trace.EndSpan(-1, "no-op");  // must not crash or record
+  EXPECT_EQ(trace.Spans().size(), obs::Trace::kMaxSpans);
+}
+
+TEST_F(TraceTest, FormatSpansIndentsChildrenUnderParents) {
+  obs::Trace trace(99);
+  const int32_t attempt = trace.BeginSpan("attempt", obs::Trace::kRootSpan, 1);
+  const int32_t decode = trace.BeginSpan("decode", attempt);
+  trace.EndSpan(decode, "completed");
+  trace.EndSpan(attempt, "won");
+  trace.EndSpan(obs::Trace::kRootSpan);
+  const std::string text = obs::FormatTrace(trace);
+  EXPECT_NE(text.find("request"), std::string::npos) << text;
+  EXPECT_NE(text.find("attempt"), std::string::npos) << text;
+  EXPECT_NE(text.find("won"), std::string::npos) << text;
+  // The child is printed after (and indented under) its parent.
+  EXPECT_LT(text.find("attempt"), text.find("decode")) << text;
+}
+
+// --- Single-server traced request ------------------------------------------
+
+TEST_F(TraceTest, ServerTracedRequestHasQueueDecodeAndStepSpans) {
+  util::Rng rng(7);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ServerOptions options;
+  options.num_workers = 0;
+  InferenceServer server(&model, options);
+  server.Start();
+
+  GenerateRequest request = MakeRequest({5, 2}, 77, 6);
+  request.trace = true;
+  std::vector<int64_t> streamed;
+  std::mutex streamed_mu;
+  request.on_token = [&](RequestId, int64_t token) {
+    std::lock_guard<std::mutex> lock(streamed_mu);
+    streamed.push_back(token);
+  };
+  const RequestResult result = server.GenerateBlocking(request);
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  ASSERT_NE(result.trace, nullptr);
+
+  const auto spans = result.trace->Spans();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans[0].name, "request");
+  EXPECT_GT(spans[0].end_ns, 0) << "root span must be closed by Wait time";
+
+  const auto queue = SpansNamed(spans, "queue");
+  ASSERT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue[0].parent, obs::Trace::kRootSpan);
+  EXPECT_EQ(queue[0].note, "admitted");
+  EXPECT_GT(queue[0].end_ns, 0);
+
+  const auto decode = SpansNamed(spans, "decode");
+  ASSERT_EQ(decode.size(), 1u);
+  EXPECT_EQ(decode[0].parent, obs::Trace::kRootSpan);
+  EXPECT_EQ(decode[0].note, FinishReasonName(result.reason));
+  EXPECT_GT(decode[0].end_ns, 0);
+
+  // One "step" event per sampled token and one "stream" event per token
+  // delivered to the callback, all under the decode span.
+  const auto steps = SpansNamed(spans, "step");
+  EXPECT_EQ(steps.size(), result.tokens.size());
+  const auto streams = SpansNamed(spans, "stream");
+  EXPECT_EQ(streams.size(), streamed.size());
+  for (const auto& s : steps) EXPECT_EQ(s.parent, decode[0].id);
+  for (const auto& s : streams) EXPECT_EQ(s.parent, decode[0].id);
+  // Step events carry the sampled token as their detail, in order.
+  for (size_t i = 0; i < steps.size(); ++i) {
+    EXPECT_EQ(steps[i].detail, result.tokens[i]);
+  }
+  EXPECT_EQ(streamed, result.tokens);
+  EXPECT_EQ(SpansNamed(spans, "finish").size(), 1u);
+  EXPECT_EQ(result.trace->dropped(), 0u);
+}
+
+TEST_F(TraceTest, UntracedRequestCarriesNoTrace) {
+  util::Rng rng(7);
+  nn::GPTModel model(SmallConfig(), &rng);
+  InferenceServer server(&model, ServerOptions{});
+  server.Start();
+  const RequestResult result = server.GenerateBlocking(MakeRequest({3}, 5, 4));
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.trace, nullptr);
+}
+
+// --- Fleet failover parenting (satellite) ----------------------------------
+
+// One traced request through a two-replica fleet whose first replica
+// poisons every batch: the trace must show attempt 1 on the poisoned
+// replica (annotated lost), attempt 2 on the sibling (annotated won),
+// each attempt parenting its own queue/decode subtree — and the client
+// must see exactly one streamed prefix despite the re-dispatch.
+TEST_F(TraceTest, FleetFailoverParentsAttemptsUnderOneRoot) {
+  util::Rng rng(7);
+  nn::GPTModel model(SmallConfig(), &rng);
+  FleetOptions options = SmallFleet(2);
+  options.breaker.cooldown = std::chrono::milliseconds(60000);
+  ReplicaRouter router(model, options);
+  router.Start();
+  router.PoisonReplica(0, true);
+  obs::FlightRecorder::Global().Clear();
+
+  GenerateRequest request = MakeRequest({6, 3, 2}, 42, 8);
+  request.trace = true;
+  std::vector<int64_t> streamed;
+  std::mutex streamed_mu;
+  request.on_token = [&](RequestId, int64_t token) {
+    std::lock_guard<std::mutex> lock(streamed_mu);
+    streamed.push_back(token);
+  };
+  const RequestResult result = router.GenerateBlocking(request);
+  ASSERT_TRUE(result.status.ok()) << result.status;
+  EXPECT_EQ(result.tokens, SingleStreamReference(model, request));
+  EXPECT_GE(router.Stats().failovers, 1u);
+  ASSERT_NE(result.trace, nullptr);
+
+  const auto spans = result.trace->Spans();
+  EXPECT_EQ(spans[0].name, "request");
+  EXPECT_GT(spans[0].end_ns, 0);
+
+  // Attempts: at least one lost on the poisoned replica, exactly one won
+  // on a different replica, all direct children of the root span.
+  const auto attempts = SpansNamed(spans, "attempt");
+  ASSERT_GE(attempts.size(), 2u);
+  std::vector<obs::TraceSpan> lost, won;
+  for (const auto& a : attempts) {
+    EXPECT_EQ(a.parent, obs::Trace::kRootSpan);
+    EXPECT_GT(a.end_ns, 0) << "every attempt span must be closed";
+    if (a.note == "won") won.push_back(a);
+    if (a.note.rfind("lost:", 0) == 0) lost.push_back(a);
+  }
+  ASSERT_EQ(won.size(), 1u);
+  ASSERT_GE(lost.size(), 1u);
+  EXPECT_NE(won[0].detail, lost[0].detail)
+      << "failover must re-dispatch to a different replica";
+
+  // Each attempt parents its own server-side subtree: the winning
+  // attempt has exactly one queue and one decode span under it.
+  const auto queues = SpansNamed(spans, "queue");
+  const auto decodes = SpansNamed(spans, "decode");
+  auto under = [](const std::vector<obs::TraceSpan>& v, int32_t parent) {
+    return std::count_if(v.begin(), v.end(), [parent](const auto& s) {
+      return s.parent == parent;
+    });
+  };
+  EXPECT_EQ(under(queues, won[0].id), 1);
+  EXPECT_EQ(under(decodes, won[0].id), 1);
+  EXPECT_GE(under(queues, lost[0].id) + under(decodes, lost[0].id), 1)
+      << "the lost attempt should have recorded at least its queue span";
+  // No server-side span escapes its attempt to hang off the root.
+  for (const auto& s : queues) EXPECT_NE(s.parent, obs::Trace::kRootSpan);
+  for (const auto& s : decodes) EXPECT_NE(s.parent, obs::Trace::kRootSpan);
+
+  // A failover event annotated with the attempt it follows.
+  const auto failovers = SpansNamed(spans, "failover");
+  ASSERT_GE(failovers.size(), 1u);
+
+  // One streamed prefix: the client saw each token exactly once even
+  // though two attempts generated (part of) the sequence.
+  EXPECT_EQ(streamed, result.tokens);
+
+  // The flight recorder saw the same story: a dispatch and a failover
+  // for this fleet request.
+  bool saw_dispatch = false, saw_failover = false;
+  for (const auto& e : obs::FlightRecorder::Global().Dump()) {
+    if (e.type == obs::FlightEventType::kDispatch) saw_dispatch = true;
+    if (e.type == obs::FlightEventType::kFailover) saw_failover = true;
+  }
+  EXPECT_TRUE(saw_dispatch);
+  EXPECT_TRUE(saw_failover);
+
+  router.Shutdown();
+}
+
+}  // namespace
+}  // namespace llm::serve
