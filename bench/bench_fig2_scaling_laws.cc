@@ -13,16 +13,26 @@
 //
 // Also exercises ablation #1 of DESIGN.md: pre-LN vs post-LN trainability
 // at the largest size.
+// Emits machine-readable `BENCH_FIG2` JSON lines: wall-clock per model
+// decade for panel (a), and data-parallel training speedup (DistTrainer
+// worlds 1/2/4 at equal global batch).
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
 
 #include "data/pcfg_corpus.h"
 #include "eval/lm_eval.h"
 #include "eval/power_law.h"
 #include "grammar/cnf.h"
+#include "nn/layers.h"
 #include "nn/transformer.h"
 #include "text/dataset.h"
+#include "train/dist/dist_trainer.h"
 #include "train/trainer.h"
 #include "util/table.h"
 
@@ -39,7 +49,13 @@ struct RunResult {
   int64_t params = 0;
   int64_t data_tokens = 0;
   double test_loss = 0.0;
+  double train_seconds = 0.0;
 };
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 llm::nn::GPTConfig ConfigFor(int64_t vocab, int64_t d_model, int n_layer,
                              bool pre_ln = true) {
@@ -70,6 +86,7 @@ RunResult TrainAndEval(const llm::nn::GPTConfig& cfg,
   topts.clip_norm = 1.0f;
   topts.schedule = &sched;
   llm::train::Trainer trainer(&opt, topts);
+  const auto t0 = std::chrono::steady_clock::now();
   trainer.Run([&] {
     std::vector<int64_t> inputs, targets;
     train_set.SampleBatch(&rng, kBatch, &inputs, &targets);
@@ -77,6 +94,7 @@ RunResult TrainAndEval(const llm::nn::GPTConfig& cfg,
   });
 
   RunResult result;
+  result.train_seconds = SecondsSince(t0);
   result.params = model.NumParameters();
   result.data_tokens = train_set.num_tokens();
   result.test_loss =
@@ -139,8 +157,8 @@ int main() {
   };
   const SizeSpec sizes[] = {{8, 1}, {16, 1}, {24, 2}, {48, 2}, {96, 3}};
   Table size_table({"params", "layers", "d_model", "test loss",
-                    "loss - floor"});
-  std::vector<double> params_x, loss_y;
+                    "loss - floor", "train sec"});
+  std::vector<double> params_x, loss_y, seconds_y;
   for (const auto& s : sizes) {
     auto cfg = ConfigFor(vocab, s.d_model, s.n_layer);
     RunResult r = TrainAndEval(cfg, train_tokens, test_set, 500,
@@ -149,9 +167,11 @@ int main() {
                        std::to_string(s.n_layer),
                        std::to_string(s.d_model),
                        FormatFloat(r.test_loss),
-                       FormatFloat(r.test_loss - floor_per_token)});
+                       FormatFloat(r.test_loss - floor_per_token),
+                       FormatFloat(r.train_seconds)});
     params_x.push_back(static_cast<double>(r.params));
     loss_y.push_back(r.test_loss);
+    seconds_y.push_back(r.train_seconds);
   }
   size_table.Print(std::cout);
   auto fitn = llm::eval::FitPowerLawWithFloor(params_x, loss_y,
@@ -160,6 +180,36 @@ int main() {
     std::printf("\npower law (loss - floor) ~ N^alpha: alpha_N = %.3f, "
                 "R^2 = %.3f (paper: -0.076 at web scale)\n\n",
                 fitn->b, fitn->r2);
+  }
+
+  // Wall-clock cost of scale: least-squares slope of train seconds vs
+  // log10(params) — how much each parameter decade costs at this step
+  // budget. One machine-readable line for trend tracking across commits.
+  {
+    const size_t n = params_x.size();
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double x = std::log10(params_x[i]);
+      sx += x;
+      sy += seconds_y[i];
+      sxx += x * x;
+      sxy += x * seconds_y[i];
+    }
+    const double denom = static_cast<double>(n) * sxx - sx * sx;
+    const double per_decade =
+        denom != 0.0 ? (static_cast<double>(n) * sxy - sx * sy) / denom : 0.0;
+    std::string runs_json;
+    for (size_t i = 0; i < n; ++i) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%s{\"params\":%lld,\"seconds\":%.3f}",
+                    i == 0 ? "" : ",",
+                    static_cast<long long>(params_x[i]), seconds_y[i]);
+      runs_json += buf;
+    }
+    std::printf("BENCH_FIG2 {\"bench\":\"fig2\",\"panel\":\"wallclock\","
+                "\"max_steps\":500,\"runs\":[%s],"
+                "\"seconds_per_decade\":%.3f}\n\n",
+                runs_json.c_str(), per_decade);
   }
 
   // -------------------------------------------------------------------
@@ -205,5 +255,89 @@ int main() {
   abl.Print(std::cout);
   std::cout << "\n(Expected: pre-LN trains at least as well; post-LN is\n"
                "the original arrangement and is less stable at depth.)\n";
+
+  // -------------------------------------------------------------------
+  // Data-parallel speedup: DistTrainer at worlds 1/2/4, equal global
+  // batch. Thread-backed workers on one machine, so the ceiling is the
+  // core count; the interesting number is how much the collective layer
+  // (all-reduce + param all-gather per step) eats of the ideal N×.
+  // -------------------------------------------------------------------
+  std::cout << "\n== Data-parallel speedup (DistTrainer, equal global "
+               "batch) ==\n\n";
+  static constexpr int kDpIn = 64, kDpHidden = 256, kDpOut = 64;
+  static constexpr int kDpGlobalBatch = 192;  // divisible by every world
+  static constexpr int64_t kDpSteps = 20;
+  const auto dp_loss = [](llm::nn::Module& model,
+                          const llm::train::dist::StepContext& ctx) {
+    llm::util::Rng rng(0xF162ull +
+                       0x9E3779B97F4A7C15ull *
+                           (static_cast<uint64_t>(ctx.step) + 1));
+    llm::core::Tensor full =
+        llm::core::Tensor::RandomNormal({kDpGlobalBatch, kDpIn}, &rng);
+    const int rows = kDpGlobalBatch / ctx.world_size;
+    llm::core::Tensor shard({rows, kDpIn});
+    for (int i = 0; i < rows * kDpIn; ++i) {
+      shard[i] = full[ctx.rank * rows * kDpIn + i];
+    }
+    llm::core::Variable x(shard, false);
+    llm::core::Variable y =
+        static_cast<llm::nn::Mlp&>(model).Forward(x);
+    return llm::core::SumAll(llm::core::Mul(y, y));
+  };
+  Table dp_table({"world", "seconds", "speedup", "final loss"});
+  std::string dp_json;
+  double dp_base_seconds = 0.0;
+  for (int world : {1, 2, 4}) {
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() /
+         ("tfmr_bench_fig2_dp_w" + std::to_string(world)))
+            .string();
+    fs::remove_all(dir);
+    llm::train::dist::DistTrainerOptions dopts;
+    dopts.world_size = world;
+    dopts.max_steps = kDpSteps;
+    dopts.adamw.lr = 1e-3f;
+    dopts.checkpoint_dir = dir;
+    dopts.checkpoint_every = 0;  // final checkpoint only
+    llm::train::dist::DistTrainer dist(
+        dopts,
+        []() -> std::unique_ptr<llm::nn::Module> {
+          llm::util::Rng rng(31);
+          return std::make_unique<llm::nn::Mlp>(kDpIn, kDpHidden, kDpOut,
+                                                &rng);
+        },
+        dp_loss);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto status = dist.Run();
+    const double seconds = SecondsSince(t0);
+    fs::remove_all(dir);
+    if (!status.ok()) {
+      std::fprintf(stderr, "dist world %d failed: %s\n", world,
+                   status.ToString().c_str());
+      return 1;
+    }
+    if (world == 1) dp_base_seconds = seconds;
+    const double speedup = dp_base_seconds / seconds;
+    dp_table.AddRow({std::to_string(world), FormatFloat(seconds),
+                     FormatFloat(speedup),
+                     FormatFloat(dist.history().back().loss)});
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"world\":%d,\"seconds\":%.3f,\"speedup\":%.3f}",
+                  dp_json.empty() ? "" : ",", world, seconds, speedup);
+    dp_json += buf;
+  }
+  dp_table.Print(std::cout);
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("\n(hardware_concurrency = %u; speedup saturates at the core "
+              "count, and below it the gap is the collective layer's "
+              "per-step cost.)\n",
+              cores);
+  std::printf("\nBENCH_FIG2 {\"bench\":\"fig2\",\"panel\":\"data_parallel\","
+              "\"steps\":%lld,\"global_batch\":%d,\"cores\":%u,"
+              "\"worlds\":[%s]}\n",
+              static_cast<long long>(kDpSteps), kDpGlobalBatch, cores,
+              dp_json.c_str());
   return 0;
 }

@@ -38,6 +38,10 @@ const char* FlightEventTypeName(FlightEventType type) {
     case FlightEventType::kTrainRollback: return "train-rollback";
     case FlightEventType::kCheckpointSaved: return "checkpoint-saved";
     case FlightEventType::kDrainBegin: return "drain-begin";
+    case FlightEventType::kWorkerJoin: return "worker-join";
+    case FlightEventType::kWorkerDeath: return "worker-death";
+    case FlightEventType::kDistRecovery: return "dist-recovery";
+    case FlightEventType::kCollectiveAbort: return "collective-abort";
   }
   return "unknown";
 }

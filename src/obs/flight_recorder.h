@@ -42,6 +42,12 @@ enum class FlightEventType : int32_t {
   kTrainRollback,      // a=1 rollback / 0 skip-step, b=resume step
   kCheckpointSaved,    // b=step
   kDrainBegin,         // (server or fleet)
+  kWorkerJoin,         // dist: a=rank, b=epoch, c=start step
+  kWorkerDeath,        // dist: a=rank, b=step, c=reason (0 kill, 1 stall,
+                       //       2 collective failure)
+  kDistRecovery,       // dist: a=new epoch, b=resume step, c=recovery #
+  kCollectiveAbort,    // dist: a=rank, b=sequence, c=reason (0 timeout,
+                       //       1 corrupt payload, 2 epoch abort)
 };
 
 const char* FlightEventTypeName(FlightEventType type);

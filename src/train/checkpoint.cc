@@ -447,6 +447,23 @@ std::string CheckpointFileName(int64_t next_step) {
   return buf;
 }
 
+namespace {
+
+// Exactly ckpt_<digits>.tfmr, as CheckpointFileName writes — stray files
+// that merely share the prefix/suffix (ckpt_old.tfmr, editor backups,
+// subdirectories) are not checkpoints.
+bool IsCheckpointFileName(const std::string& name) {
+  if (name.rfind("ckpt_", 0) != 0) return false;
+  if (name.size() < 11 || name.substr(name.size() - 5) != ".tfmr") {
+    return false;
+  }
+  const std::string step = name.substr(5, name.size() - 10);
+  return !step.empty() &&
+         step.find_first_not_of("0123456789") == std::string::npos;
+}
+
+}  // namespace
+
 util::StatusOr<std::string> LatestCheckpoint(const std::string& dir) {
   std::error_code ec;
   std::filesystem::directory_iterator it(dir, ec);
@@ -466,16 +483,7 @@ util::StatusOr<std::string> LatestCheckpoint(const std::string& dir) {
   for (const auto& entry : it) {
     if (!entry.is_regular_file(ec) || ec) continue;
     const std::string name = entry.path().filename().string();
-    // Exactly ckpt_<digits>.tfmr, as CheckpointFileName writes — stray
-    // files that merely share the prefix/suffix (ckpt_old.tfmr, editor
-    // backups, subdirectories) are not checkpoints.
-    if (name.rfind("ckpt_", 0) != 0) continue;
-    if (name.size() < 11 || name.substr(name.size() - 5) != ".tfmr") continue;
-    const std::string step = name.substr(5, name.size() - 10);
-    if (step.empty() ||
-        step.find_first_not_of("0123456789") != std::string::npos) {
-      continue;
-    }
+    if (!IsCheckpointFileName(name)) continue;
     // Zero-padded step numbers make lexicographic order step order.
     if (name > best_name) {
       best_name = name;
@@ -486,6 +494,66 @@ util::StatusOr<std::string> LatestCheckpoint(const std::string& dir) {
     return util::Status::NotFound("no checkpoints under " + dir);
   }
   return best;
+}
+
+util::Status PruneCheckpoints(const std::string& dir, int keep_last_k) {
+  if (keep_last_k < 1) {
+    return util::Status::InvalidArgument("keep_last_k must be >= 1, got " +
+                                         std::to_string(keep_last_k));
+  }
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    if (ec == std::errc::no_such_file_or_directory ||
+        ec == std::errc::not_a_directory) {
+      return util::Status::OK();  // nothing to prune
+    }
+    return util::Status::IOError("cannot list checkpoint dir " + dir + ": " +
+                                 ec.message());
+  }
+  std::vector<std::string> names;
+  std::vector<std::string> stale_tmps;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const std::string name = entry.path().filename().string();
+    if (IsCheckpointFileName(name)) {
+      names.push_back(name);
+    } else if (name.size() > 4 &&
+               name.substr(name.size() - 4) == ".tmp" &&
+               IsCheckpointFileName(name.substr(0, name.size() - 4))) {
+      // A crash between SaveCheckpoint's write and its rename leaves
+      // "<ckpt>.tmp" behind; it is never a valid checkpoint, only debris.
+      stale_tmps.push_back(name);
+    }
+  }
+  // Oldest debris and checkpoints go first, so an aborted sweep can only
+  // leave extra OLD files — the newest keep_last_k are never at risk.
+  std::sort(names.begin(), names.end());
+  std::sort(stale_tmps.begin(), stale_tmps.end());
+  const auto unlink = [&](const std::string& name) -> util::Status {
+    if (util::MaybeInjectFault(util::FaultSite::kCheckpointPrune)) {
+      return util::Status::IOError(
+          "injected fault: crashed pruning " + name +
+          " (FaultSite::kCheckpointPrune)");
+    }
+    std::error_code rm_ec;
+    std::filesystem::remove(std::filesystem::path(dir) / name, rm_ec);
+    if (rm_ec) {
+      return util::Status::IOError("cannot prune " + name + " under " + dir +
+                                   ": " + rm_ec.message());
+    }
+    return util::Status::OK();
+  };
+  for (const std::string& name : stale_tmps) {
+    LLM_RETURN_IF_ERROR(unlink(name));
+  }
+  const size_t keep = static_cast<size_t>(keep_last_k);
+  if (names.size() > keep) {
+    for (size_t i = 0; i + keep < names.size(); ++i) {
+      LLM_RETURN_IF_ERROR(unlink(names[i]));
+    }
+  }
+  return util::Status::OK();
 }
 
 }  // namespace llm::train

@@ -80,6 +80,15 @@ util::Status ValidateCheckpoint(const std::string& path,
 /// SaveCheckpoint wrote under `dir`; kNotFound when there is none.
 util::StatusOr<std::string> LatestCheckpoint(const std::string& dir);
 
+/// Rotation: deletes all but the `keep_last_k` newest checkpoints under
+/// `dir`, plus any stale "<ckpt>.tmp" leftovers from torn writes. Deletion
+/// runs newest-survivor-outward (oldest first), so a crash mid-prune —
+/// modelled by FaultSite::kCheckpointPrune, which aborts the sweep with
+/// kIOError — can only leave extra OLD files behind, never touch the
+/// newest k; LatestCheckpoint's answer is unaffected and the next prune
+/// finishes the job. A missing dir is OK (nothing to prune).
+util::Status PruneCheckpoints(const std::string& dir, int keep_last_k);
+
 /// Filename (not path) the trainer uses for the checkpoint taken before
 /// running `next_step`, e.g. "ckpt_000000042.tfmr". Zero-padded so
 /// lexicographic order equals step order.

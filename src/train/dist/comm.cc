@@ -1,0 +1,151 @@
+#include "train/dist/comm.h"
+
+#include <cstring>
+
+#include "obs/flight_recorder.h"
+#include "util/check.h"
+#include "util/crc32.h"
+#include "util/fault.h"
+
+namespace llm::train::dist {
+
+CommHub::CommHub(int world_size)
+    : world_size_(world_size),
+      heartbeats_(new std::atomic<int64_t>[static_cast<size_t>(world_size)]) {
+  LLM_CHECK_GE(world_size, 1);
+  for (int r = 0; r < world_size_; ++r) {
+    heartbeats_[r].store(0, std::memory_order_relaxed);
+  }
+}
+
+void CommHub::Heartbeat(int rank) {
+  heartbeats_[rank].fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t CommHub::HeartbeatCount(int rank) const {
+  return heartbeats_[rank].load(std::memory_order_relaxed);
+}
+
+util::StatusOr<std::vector<std::vector<float>>> CommHub::Exchange(
+    int rank, int64_t seq, std::vector<float> data,
+    std::chrono::milliseconds timeout) {
+  LLM_CHECK(rank >= 0 && rank < world_size_);
+  // Fault sites fire outside the hub lock: the injector's fire listener
+  // (the obs bridge) must be free to record without lock nesting.
+  const bool drop = util::MaybeInjectFault(util::FaultSite::kCommDrop);
+  const bool corrupt = util::MaybeInjectFault(util::FaultSite::kCommCorrupt);
+  // Checksum the payload as handed to the transport; corruption below
+  // models a transport-level bit flip the checksum must catch.
+  const uint32_t crc =
+      util::Crc32(data.data(), data.size() * sizeof(float));
+  if (corrupt && !data.empty()) {
+    uint32_t bits;
+    std::memcpy(&bits, &data[data.size() / 2], sizeof(bits));
+    bits ^= 1u << 12;
+    std::memcpy(&data[data.size() / 2], &bits, sizeof(bits));
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (aborted_) {
+    return util::Status::Cancelled("collective aborted (epoch teardown)");
+  }
+  Round& round = rounds_[seq];
+  if (round.contrib.empty()) {
+    round.contrib.resize(static_cast<size_t>(world_size_));
+    round.crc.resize(static_cast<size_t>(world_size_), 0);
+    round.present.resize(static_cast<size_t>(world_size_), false);
+  }
+  if (!drop) {
+    LLM_CHECK(!round.present[static_cast<size_t>(rank)])
+        << "rank " << rank << " contributed twice to collective " << seq;
+    round.contrib[static_cast<size_t>(rank)] = std::move(data);
+    round.crc[static_cast<size_t>(rank)] = crc;
+    round.present[static_cast<size_t>(rank)] = true;
+    if (++round.num_present == world_size_) cv_.notify_all();
+  }
+
+  const bool arrived = cv_.wait_for(lock, timeout, [&] {
+    return round.num_present == world_size_ || round.poisoned || aborted_;
+  });
+  if (aborted_ || round.poisoned) {
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventType::kCollectiveAbort, rank, seq, /*reason=*/2);
+    return util::Status::Cancelled(
+        "collective " + std::to_string(seq) + " aborted at rank " +
+        std::to_string(rank));
+  }
+  if (!arrived) {
+    // First waiter to expire poisons the round so every other participant
+    // fails fast instead of serving out its own full timeout.
+    round.poisoned = true;
+    cv_.notify_all();
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventType::kCollectiveAbort, rank, seq, /*reason=*/0);
+    return util::Status::DeadlineExceeded(
+        "collective " + std::to_string(seq) + " timed out at rank " +
+        std::to_string(rank) + " (" +
+        std::to_string(round.num_present) + "/" +
+        std::to_string(world_size_) + " ranks arrived)");
+  }
+
+  // Verify every contribution against its deposit-time checksum. All
+  // ranks see the same buffers, so all reach the same verdict.
+  for (int r = 0; r < world_size_; ++r) {
+    const auto& buf = round.contrib[static_cast<size_t>(r)];
+    if (util::Crc32(buf.data(), buf.size() * sizeof(float)) !=
+        round.crc[static_cast<size_t>(r)]) {
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventType::kCollectiveAbort, rank, seq, /*reason=*/1);
+      return util::Status::Internal(
+          "collective " + std::to_string(seq) +
+          ": checksum mismatch in rank " + std::to_string(r) +
+          "'s contribution (corrupt transport)");
+    }
+  }
+
+  std::vector<std::vector<float>> result = round.contrib;
+  if (++round.num_done == world_size_) rounds_.erase(seq);
+  return result;
+}
+
+util::Status CommHub::Barrier(int rank, int64_t seq,
+                              std::chrono::milliseconds timeout) {
+  return Exchange(rank, seq, {}, timeout).status();
+}
+
+util::Status CommHub::AllReduceMean(int rank, int64_t seq,
+                                    std::vector<float>* data,
+                                    std::chrono::milliseconds timeout) {
+  auto gathered = Exchange(rank, seq, *data, timeout);
+  LLM_RETURN_IF_ERROR(gathered.status());
+  const auto& bufs = gathered.value();
+  const size_t n = data->size();
+  for (int r = 0; r < world_size_; ++r) {
+    LLM_CHECK_EQ(bufs[static_cast<size_t>(r)].size(), n)
+        << "AllReduceMean buffer size mismatch at rank " << r;
+  }
+  const float inv = 1.0f / static_cast<float>(world_size_);
+  for (size_t j = 0; j < n; ++j) {
+    // Rank-ordered summation: every rank computes identical bits.
+    float sum = 0.0f;
+    for (int r = 0; r < world_size_; ++r) {
+      sum += bufs[static_cast<size_t>(r)][j];
+    }
+    (*data)[j] = sum * inv;
+  }
+  return util::Status::OK();
+}
+
+void CommHub::AbortAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  aborted_ = true;
+  cv_.notify_all();
+}
+
+void CommHub::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rounds_.clear();
+  aborted_ = false;
+}
+
+}  // namespace llm::train::dist

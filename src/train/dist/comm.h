@@ -1,0 +1,112 @@
+// CommHub: the collective-communication layer under data-parallel training.
+//
+// N worker threads (one per rank) rendezvous on numbered collectives. The
+// primitive is Exchange — an all-gather: every rank contributes a float
+// buffer and receives every rank's contribution, indexed by rank. The
+// reductions data-parallel training needs are built on top of it in plain
+// code (AllReduceMean sums the gathered buffers in rank order, so every
+// rank computes bit-identical results — the property the bit-exact replay
+// guarantees in dist_trainer rest on).
+//
+// Failure semantics, which is most of the point:
+//   * Every wait is bounded. A rank that does not show up within the
+//     timeout (dead, stalled, or its contribution was dropped in
+//     transport) poisons the round: the first waiter to time out returns
+//     kDeadlineExceeded and every other participant of that round returns
+//     kCancelled promptly instead of hanging on its own full timeout.
+//   * Every contribution carries a CRC32 computed at deposit time.
+//     Corruption in transport (FaultSite::kCommCorrupt flips a payload
+//     bit after the checksum is taken) is detected by every receiving
+//     rank and surfaces as kInternal — never as silently wrong gradients.
+//   * AbortAll() wakes every current and future waiter with kCancelled;
+//     the coordinator calls it to collapse the world before a recovery
+//     epoch. Reset() clears rounds and the abort latch for the next epoch.
+//
+// Heartbeats ride on the hub because every worker already touches it each
+// step: Heartbeat(rank) is one relaxed increment, and the coordinator's
+// monitor compares counters over time to detect silent stalls that never
+// reach a collective.
+//
+// Fault sites (all fired by the contributing rank, inside Exchange):
+//   kCommDrop     contribution vanishes; the round times out everywhere.
+//   kCommCorrupt  one bit of the deposited payload flips after the CRC.
+#ifndef TFMR_TRAIN_DIST_COMM_H_
+#define TFMR_TRAIN_DIST_COMM_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/status.h"
+
+namespace llm::train::dist {
+
+class CommHub {
+ public:
+  explicit CommHub(int world_size);
+
+  CommHub(const CommHub&) = delete;
+  CommHub& operator=(const CommHub&) = delete;
+
+  /// All-gather over ranks. Every live rank must call with the same `seq`
+  /// (collectives are numbered in lockstep within an epoch; workers keep a
+  /// local counter). Blocks until all world_size ranks of this round have
+  /// contributed, then returns every rank's buffer, indexed by rank.
+  ///
+  /// Errors: kDeadlineExceeded (this rank's wait expired first),
+  /// kCancelled (the round was poisoned by another rank's timeout, or
+  /// AbortAll was called), kInternal (a contribution failed its CRC).
+  util::StatusOr<std::vector<std::vector<float>>> Exchange(
+      int rank, int64_t seq, std::vector<float> data,
+      std::chrono::milliseconds timeout);
+
+  /// Rendezvous with no payload: Exchange of empty buffers.
+  util::Status Barrier(int rank, int64_t seq,
+                       std::chrono::milliseconds timeout);
+
+  /// In-place mean all-reduce: exchanges `*data`, then overwrites it with
+  /// the element-wise mean, summed in rank order so every rank gets the
+  /// same bits. All buffers must be the same size.
+  util::Status AllReduceMean(int rank, int64_t seq, std::vector<float>* data,
+                             std::chrono::milliseconds timeout);
+
+  /// Wakes every current and future waiter with kCancelled. Idempotent.
+  void AbortAll();
+
+  /// Clears all rounds and the abort latch for a new epoch. Callers must
+  /// ensure no rank is inside a collective (join workers first).
+  void Reset();
+
+  /// One relaxed increment; the coordinator's monitor reads the counter
+  /// to detect ranks that stopped making progress.
+  void Heartbeat(int rank);
+  int64_t HeartbeatCount(int rank) const;
+
+  int world_size() const { return world_size_; }
+
+ private:
+  struct Round {
+    std::vector<std::vector<float>> contrib;
+    std::vector<uint32_t> crc;
+    std::vector<bool> present;
+    int num_present = 0;
+    int num_done = 0;
+    bool poisoned = false;  // a waiter timed out; fail the round everywhere
+  };
+
+  const int world_size_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<int64_t, Round> rounds_;  // guarded by mu_
+  bool aborted_ = false;             // guarded by mu_
+  std::unique_ptr<std::atomic<int64_t>[]> heartbeats_;
+};
+
+}  // namespace llm::train::dist
+
+#endif  // TFMR_TRAIN_DIST_COMM_H_

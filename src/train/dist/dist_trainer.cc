@@ -1,0 +1,528 @@
+#include "train/dist/dist_trainer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "nn/module.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "train/checkpoint.h"
+#include "util/check.h"
+#include "util/fault.h"
+
+namespace llm::train::dist {
+namespace {
+
+/// Per-(seed, rank, step) data seed. Splitmix-style odd-constant mixing so
+/// neighbouring (rank, step) pairs land far apart; util::Rng finishes the
+/// scrambling. Replay of any (rank, step) — rollback or respawn —
+/// regenerates identical batches.
+uint64_t StepSeed(uint64_t seed, int rank, int64_t step) {
+  uint64_t x = seed;
+  x += 0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(step) + 1);
+  x += 0xBF58476D1CE4E5B9ull * (static_cast<uint64_t>(rank) + 1);
+  return x;
+}
+
+/// Step number encoded in a checkpoint path ("…/ckpt_000000042.tfmr" ->
+/// 42); -1 when the name does not match.
+int64_t StepFromCheckpointPath(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  if (name.rfind("ckpt_", 0) != 0) return -1;
+  int64_t step = 0;
+  bool any = false;
+  for (size_t pos = 5; pos < name.size() && name[pos] >= '0' &&
+                       name[pos] <= '9';
+       ++pos) {
+    step = step * 10 + (name[pos] - '0');
+    any = true;
+  }
+  return any ? step : -1;
+}
+
+}  // namespace
+
+DistTrainer::DistTrainer(const DistTrainerOptions& options,
+                         ModelFactory model_factory, DistLossFn loss_fn)
+    : options_(options),
+      factory_(std::move(model_factory)),
+      loss_fn_(std::move(loss_fn)) {
+  LLM_CHECK_GE(options.world_size, 1);
+  LLM_CHECK_GT(options.max_steps, 0);
+  LLM_CHECK(!options.checkpoint_dir.empty())
+      << "DistTrainer requires checkpoint_dir: the latest checkpoint is the "
+         "rendezvous and recovery substrate";
+  LLM_CHECK_GE(options.keep_last_k, 1);
+  LLM_CHECK(factory_ != nullptr);
+  LLM_CHECK(loss_fn_ != nullptr);
+  hub_ = std::make_unique<CommHub>(options.world_size);
+  workers_.reserve(static_cast<size_t>(options.world_size));
+  for (int r = 0; r < options.world_size; ++r) {
+    workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->rank = r;
+  }
+}
+
+DistTrainer::~DistTrainer() {
+  epoch_.fetch_add(1);
+  hub_->AbortAll();
+  JoinAll();
+}
+
+void DistTrainer::JoinAll() {
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+const nn::Module* DistTrainer::model(int rank) const {
+  return workers_[static_cast<size_t>(rank)]->model.get();
+}
+
+void DistTrainer::AddIncident(DistIncident incident) {
+  std::lock_guard<std::mutex> lock(incidents_mu_);
+  incidents_.push_back(std::move(incident));
+}
+
+std::string DistTrainer::FormatIncidents() const {
+  std::lock_guard<std::mutex> lock(incidents_mu_);
+  std::ostringstream os;
+  for (const DistIncident& inc : incidents_) {
+    os << "  epoch " << inc.epoch << " step " << inc.step << " rank "
+       << inc.rank << " [" << inc.kind << "] " << inc.detail << " -> "
+       << inc.action << "\n";
+  }
+  return os.str();
+}
+
+float DistTrainer::RecentLoss(int64_t n) const {
+  if (history_.empty()) return 0.0f;
+  const int64_t count =
+      std::min<int64_t>(n, static_cast<int64_t>(history_.size()));
+  if (count <= 0) return 0.0f;
+  double sum = 0.0;
+  for (int64_t i = 0; i < count; ++i) {
+    sum += history_[history_.size() - 1 - static_cast<size_t>(i)].loss;
+  }
+  return static_cast<float>(sum / count);
+}
+
+util::Status DistTrainer::WriteInitialCheckpoint() {
+  // A throwaway replica + plain AdamW yields the factory-fresh weights and
+  // an all-zero full "adamw" moment state — the step-0 rendezvous point.
+  std::unique_ptr<nn::Module> model = factory_();
+  AdamW opt(model->Parameters(), options_.adamw);
+  TrainState state;
+  state.has_optimizer = true;
+  state.optimizer = opt.ExportState();
+  state.has_trainer = true;
+  state.next_step = 0;
+  state.lr_scale = 1.0f;
+  const std::string path =
+      options_.checkpoint_dir + "/" + CheckpointFileName(0);
+  LLM_RETURN_IF_ERROR(SaveCheckpoint(*model, path, &state));
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventType::kCheckpointSaved, 0, 0);
+  return util::Status::OK();
+}
+
+util::Status DistTrainer::Run() {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.checkpoint_dir, ec);
+  if (ec) {
+    return util::Status::IOError("cannot create checkpoint dir " +
+                                 options_.checkpoint_dir + ": " +
+                                 ec.message());
+  }
+  obs::WireFaultEventsToFlightRecorder();
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Gauge* g_epoch = registry.GetGauge("dist.epoch");
+  obs::Gauge* g_recoveries = registry.GetGauge("dist.recoveries");
+
+  if (!LatestCheckpoint(options_.checkpoint_dir).ok()) {
+    LLM_RETURN_IF_ERROR(WriteInitialCheckpoint());
+  }
+
+  while (true) {
+    // Pick the newest checkpoint that fully validates; a corrupt or torn
+    // file (e.g. a save that raced a kill) is discarded so an older good
+    // one takes over.
+    std::string ckpt;
+    while (true) {
+      auto latest = LatestCheckpoint(options_.checkpoint_dir);
+      if (!latest.ok()) {
+        return util::Status::Internal(
+            "no loadable checkpoint to (re)start from: " +
+            latest.status().ToString() + "; incident log:\n" +
+            FormatIncidents());
+      }
+      util::Status valid = ValidateCheckpoint(latest.value());
+      if (valid.ok()) {
+        ckpt = latest.value();
+        break;
+      }
+      std::fprintf(stderr, "[dist] discarding corrupt checkpoint %s: %s\n",
+                   latest.value().c_str(), valid.ToString().c_str());
+      std::remove(latest.value().c_str());
+    }
+
+    SpawnEpoch(ckpt);
+    g_epoch->Set(static_cast<double>(epoch_.load()));
+    g_recoveries->Set(static_cast<double>(recoveries_));
+    util::Status verdict;
+    if (MonitorEpoch(&verdict)) return verdict;
+  }
+}
+
+void DistTrainer::SpawnEpoch(const std::string& ckpt_path) {
+  hub_->Reset();
+  const int epoch = epoch_.load();
+  const int64_t resume = StepFromCheckpointPath(ckpt_path);
+  if (epoch > 0) {
+    obs::FlightRecorder::Global().Record(
+        obs::FlightEventType::kDistRecovery, epoch, resume, recoveries_);
+    std::fprintf(stderr,
+                 "[dist] recovery %d: epoch %d respawning %d workers from "
+                 "%s (step %lld)\n",
+                 recoveries_, epoch, options_.world_size, ckpt_path.c_str(),
+                 static_cast<long long>(resume));
+  }
+  // Replicas and shards are built serially here so worker threads never
+  // race the user's model factory; the checkpoint load itself happens in
+  // parallel on the worker threads.
+  for (auto& w : workers_) {
+    w->phase.store(static_cast<int>(Phase::kLoading));
+    w->step_reached.store(resume);
+    w->status = util::Status::OK();
+    w->model = factory_();
+    w->opt = std::make_unique<ShardedAdamW>(
+        w->model->Parameters(), options_.adamw, w->rank,
+        options_.world_size);
+  }
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, rank = w->rank, epoch, ckpt_path] {
+      WorkerMain(rank, epoch, ckpt_path);
+    });
+  }
+}
+
+util::Status DistTrainer::SaveFullCheckpoint(int64_t next_step) {
+  // Rank 0 only, between checkpoint barriers A and B: every other rank is
+  // parked in barrier B, and its last moment writes happened before its
+  // barrier-A arrival (hub mutex), so reading peer shards here is ordered.
+  Worker& me = *workers_[0];
+  const auto& owners = me.opt->owners();
+  const size_t n = me.opt->params().size();
+  OptimizerState full{"adamw", me.opt->step_count(), {}};
+  full.slots.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    full.slots.emplace_back(
+        "m/" + std::to_string(i),
+        workers_[static_cast<size_t>(owners[i])]->opt->m(i));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    full.slots.emplace_back(
+        "v/" + std::to_string(i),
+        workers_[static_cast<size_t>(owners[i])]->opt->v(i));
+  }
+
+  TrainState state;
+  state.has_optimizer = true;
+  state.optimizer = std::move(full);
+  state.has_trainer = true;
+  state.next_step = next_step;
+  state.lr_scale = 1.0f;
+  state.history = history_;
+
+  const std::string path =
+      options_.checkpoint_dir + "/" + CheckpointFileName(next_step);
+  LLM_RETURN_IF_ERROR(SaveCheckpoint(*me.model, path, &state));
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventType::kCheckpointSaved, 0, next_step);
+  return PruneCheckpoints(options_.checkpoint_dir, options_.keep_last_k);
+}
+
+void DistTrainer::WorkerMain(int rank, int my_epoch,
+                             const std::string& ckpt_path) {
+  Worker& me = *workers_[static_cast<size_t>(rank)];
+  auto& recorder = obs::FlightRecorder::Global();
+  obs::Gauge* g_step = obs::MetricsRegistry::Global().GetGauge(
+      "dist.worker." + std::to_string(rank) + ".step");
+  const auto fail = [&](util::Status status, Phase phase) {
+    me.status = std::move(status);
+    me.phase.store(static_cast<int>(phase));
+  };
+
+  TrainState init;
+  util::Status loaded = LoadCheckpoint(me.model.get(), ckpt_path, &init);
+  if (loaded.ok() && (!init.has_trainer || !init.has_optimizer)) {
+    loaded = util::Status::FailedPrecondition(
+        "checkpoint lacks trainer/optimizer state: " + ckpt_path);
+  }
+  if (loaded.ok()) loaded = me.opt->ImportState(init.optimizer);
+  if (!loaded.ok()) return fail(std::move(loaded), Phase::kFailed);
+
+  int64_t step = init.next_step;
+  if (rank == 0) history_ = std::move(init.history);
+
+  recorder.Record(obs::FlightEventType::kWorkerJoin, rank, my_epoch, step);
+  me.phase.store(static_cast<int>(Phase::kRunning));
+
+  const std::vector<core::Variable>& params = me.opt->params();
+  const std::vector<int>& owners = me.opt->owners();
+  const size_t n = params.size();
+  const float base_lr = options_.adamw.lr;
+  int64_t seq = 0;  // collective sequence number, lockstep across ranks
+
+  while (step < options_.max_steps) {
+    if (epoch_.load() != my_epoch) {
+      return fail(util::Status::Cancelled("superseded by newer epoch"),
+                  Phase::kFailed);
+    }
+    hub_->Heartbeat(rank);
+    g_step->Set(static_cast<double>(step));
+    me.step_reached.store(step);
+
+    if (util::MaybeInjectFault(util::FaultSite::kWorkerKill)) {
+      recorder.Record(obs::FlightEventType::kWorkerDeath, rank, step,
+                      /*reason=*/0);
+      return fail(
+          util::Status::Internal("worker killed by fault injection"),
+          Phase::kDead);
+    }
+    if (util::MaybeInjectFault(util::FaultSite::kWorkerStraggle)) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.straggle_ms));
+    }
+
+    const float lr =
+        options_.schedule ? options_.schedule->LrAt(step) : base_lr;
+    me.opt->set_lr(lr);
+
+    util::Rng rng(StepSeed(options_.seed, rank, step));
+    StepContext ctx{rank, options_.world_size, step, &rng};
+    core::Variable loss = loss_fn_(*me.model, ctx);
+    const float local_loss = loss.value()[0];
+    me.opt->ZeroGrad();
+    core::Backward(loss);
+
+    // Flat all-reduce payload: every grad (zeros where this rank's graph
+    // produced none), one has-grad flag per param, the local loss. The
+    // flags keep grad *presence* identical to a single-process run: a
+    // param no rank touched stays grad-free, so AdamW skips it there too.
+    std::vector<float> flat;
+    int64_t total = 0;
+    for (const auto& p : params) total += p.numel();
+    flat.reserve(static_cast<size_t>(total) + n + 1);
+    for (const auto& p : params) {
+      if (p.has_grad()) {
+        const core::Tensor& g = p.grad();
+        for (int64_t j = 0; j < g.numel(); ++j) flat.push_back(g[j]);
+      } else {
+        flat.insert(flat.end(), static_cast<size_t>(p.numel()), 0.0f);
+      }
+    }
+    for (const auto& p : params) flat.push_back(p.has_grad() ? 1.0f : 0.0f);
+    flat.push_back(local_loss);
+
+    util::Status reduced =
+        hub_->AllReduceMean(rank, seq++, &flat, options_.collective_timeout);
+    if (!reduced.ok()) return fail(std::move(reduced), Phase::kFailed);
+
+    size_t off = 0;
+    for (size_t i = 0; i < n; ++i) {
+      core::Variable p = params[i];
+      const int64_t numel = p.numel();
+      if (flat[static_cast<size_t>(total) + i] > 0.0f) {
+        core::Tensor& g = p.mutable_grad();  // allocates zeros if absent
+        for (int64_t j = 0; j < numel; ++j) {
+          g[j] = flat[off + static_cast<size_t>(j)];
+        }
+      }
+      off += static_cast<size_t>(numel);
+    }
+    const float mean_loss = flat.back();
+
+    const float grad_norm = ClipGradNorm(params, options_.clip_norm);
+    me.opt->Step();
+
+    // All-gather the owner-updated parameter slices so every replica
+    // finishes the step bit-identical.
+    std::vector<float> mine;
+    for (size_t i = 0; i < n; ++i) {
+      if (owners[i] != rank) continue;
+      const core::Tensor& w = params[i].value();
+      for (int64_t j = 0; j < w.numel(); ++j) mine.push_back(w[j]);
+    }
+    auto gathered = hub_->Exchange(rank, seq++, std::move(mine),
+                                   options_.collective_timeout);
+    if (!gathered.ok()) {
+      return fail(std::move(gathered).status(), Phase::kFailed);
+    }
+    std::vector<size_t> offs(static_cast<size_t>(options_.world_size), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t owner = static_cast<size_t>(owners[i]);
+      const int64_t numel = params[i].numel();
+      if (owners[i] != rank) {
+        const std::vector<float>& buf = gathered.value()[owner];
+        core::Variable p = params[i];  // Variable is a shared handle
+        core::Tensor& w = p.mutable_value();
+        for (int64_t j = 0; j < numel; ++j) {
+          w[j] = buf[offs[owner] + static_cast<size_t>(j)];
+        }
+      }
+      offs[owner] += static_cast<size_t>(numel);
+    }
+
+    if (rank == 0) {
+      history_.push_back({step, mean_loss, lr, grad_norm,
+                          static_cast<uint8_t>(StepEvent::kOk)});
+    }
+
+    ++step;
+    const bool checkpoint_due =
+        (options_.checkpoint_every > 0 &&
+         step % options_.checkpoint_every == 0) ||
+        step == options_.max_steps;
+    if (checkpoint_due) {
+      // Barrier A: every rank's owned moments for steps < step are final.
+      util::Status entered =
+          hub_->Barrier(rank, seq++, options_.collective_timeout);
+      if (!entered.ok()) return fail(std::move(entered), Phase::kFailed);
+      if (rank == 0) {
+        util::Status saved = SaveFullCheckpoint(step);
+        if (!saved.ok()) {
+          // The previous checkpoint is intact (writes are atomic); a
+          // failed save or prune must not kill a healthy world.
+          AddIncident({my_epoch, step, 0, "checkpoint-write",
+                       saved.ToString(),
+                       "continue on last good checkpoint"});
+          std::fprintf(stderr,
+                       "[dist] checkpoint at step %lld failed: %s\n",
+                       static_cast<long long>(step),
+                       saved.ToString().c_str());
+        }
+      }
+      // Barrier B holds the world until the save is done; rank 0's write
+      // time rides on everyone else's wait, hence the extra slack.
+      util::Status released =
+          hub_->Barrier(rank, seq++, options_.collective_timeout * 4);
+      if (!released.ok()) return fail(std::move(released), Phase::kFailed);
+    }
+  }
+
+  g_step->Set(static_cast<double>(step));
+  me.step_reached.store(step);
+  me.phase.store(static_cast<int>(Phase::kDone));
+}
+
+bool DistTrainer::MonitorEpoch(util::Status* verdict) {
+  const int world = options_.world_size;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<int64_t> last_hb(static_cast<size_t>(world), -1);
+  std::vector<std::chrono::steady_clock::time_point> last_beat(
+      static_cast<size_t>(world), start);
+
+  while (true) {
+    std::this_thread::sleep_for(options_.monitor_poll);
+    const auto now = std::chrono::steady_clock::now();
+    int done = 0;
+    std::vector<int> dead, stalled, failed;
+    for (int r = 0; r < world; ++r) {
+      Worker& w = *workers_[static_cast<size_t>(r)];
+      const Phase phase = static_cast<Phase>(w.phase.load());
+      if (phase == Phase::kDone) {
+        ++done;
+        continue;
+      }
+      if (phase == Phase::kDead) {
+        dead.push_back(r);
+        continue;
+      }
+      if (phase == Phase::kFailed) {
+        failed.push_back(r);
+        continue;
+      }
+      const int64_t hb = hub_->HeartbeatCount(r);
+      if (hb != last_hb[static_cast<size_t>(r)]) {
+        last_hb[static_cast<size_t>(r)] = hb;
+        last_beat[static_cast<size_t>(r)] = now;
+      } else if (phase == Phase::kRunning &&
+                 now - last_beat[static_cast<size_t>(r)] >
+                     options_.heartbeat_timeout) {
+        stalled.push_back(r);
+      }
+    }
+
+    if (dead.empty() && stalled.empty() && failed.empty()) {
+      if (done == world) {
+        JoinAll();
+        *verdict = util::Status::OK();
+        return true;
+      }
+      continue;
+    }
+
+    // Classify the incident by root cause: a death or stall explains the
+    // collective failures it cascades into.
+    DistIncident incident;
+    incident.epoch = epoch_.load();
+    if (!dead.empty()) {
+      incident.rank = dead.front();
+      incident.kind = "worker-death";
+      incident.detail =
+          workers_[static_cast<size_t>(incident.rank)]->status.ToString();
+    } else if (!stalled.empty()) {
+      incident.rank = stalled.front();
+      incident.kind = "worker-stall";
+      incident.detail =
+          "heartbeat flat for > " +
+          std::to_string(options_.heartbeat_timeout.count()) + "ms";
+      for (int r : stalled) {
+        obs::FlightRecorder::Global().Record(
+            obs::FlightEventType::kWorkerDeath, r,
+            workers_[static_cast<size_t>(r)]->step_reached.load(),
+            /*reason=*/1);
+      }
+    } else {
+      incident.rank = failed.front();
+      incident.kind = "collective-failure";
+      incident.detail =
+          workers_[static_cast<size_t>(incident.rank)]->status.ToString();
+    }
+    incident.step =
+        workers_[static_cast<size_t>(incident.rank)]->step_reached.load();
+
+    if (recoveries_ >= options_.max_recoveries) {
+      incident.action = "none (recovery budget exhausted)";
+      AddIncident(std::move(incident));
+      epoch_.fetch_add(1);
+      hub_->AbortAll();
+      JoinAll();
+      *verdict = util::Status::Internal(
+          "distributed run failed after " + std::to_string(recoveries_) +
+          " recoveries; incident log:\n" + FormatIncidents());
+      return true;
+    }
+    ++recoveries_;
+    incident.action = "respawn world from latest checkpoint";
+    std::fprintf(stderr,
+                 "[dist] epoch %d incident [%s] rank %d step %lld: %s\n",
+                 incident.epoch, incident.kind.c_str(), incident.rank,
+                 static_cast<long long>(incident.step),
+                 incident.detail.c_str());
+    AddIncident(std::move(incident));
+    // Collapse the world: newer epoch number stops loop-top workers,
+    // AbortAll wakes everyone blocked in a collective.
+    epoch_.fetch_add(1);
+    hub_->AbortAll();
+    JoinAll();
+    return false;
+  }
+}
+
+}  // namespace llm::train::dist

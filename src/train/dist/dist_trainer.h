@@ -1,0 +1,211 @@
+// DistTrainer: fault-tolerant data-parallel training over N local workers.
+//
+// Topology: one coordinator (the thread that calls Run) and world_size
+// worker threads. Every worker owns a full model replica and a
+// ZeRO-1-sharded AdamW (sharded_adamw.h); each step it
+//
+//   1. builds the loss on its own data shard (the caller's DistLossFn
+//      sees rank/world_size/step and a per-(seed,rank,step) RNG),
+//   2. runs Backward locally,
+//   3. all-reduces gradients (and the scalar loss) to the global mean
+//      through the CommHub — rank-ordered summation, so every replica
+//      computes bit-identical averaged gradients,
+//   4. clips by the global norm, applies the AdamW update to the
+//      parameters it owns, and
+//   5. all-gathers the updated owner slices so every replica ends the
+//      step bit-identical.
+//
+// Elasticity is the headline. The latest v2 checkpoint (PR 1's format,
+// written by rank 0 at checkpoint barriers with the full optimizer state
+// assembled from every rank's shard) doubles as the rendezvous substrate:
+// *joining* an epoch and *recovering* from one are the same code path,
+// "load the newest checkpoint and run". The coordinator's monitor watches
+// worker phases and heartbeat counters; when a worker dies
+// (FaultSite::kWorkerKill), stalls past the heartbeat timeout
+// (kWorkerStraggle), or a collective fails (timeout from a dropped
+// contribution, checksum mismatch from a corrupted one), it collapses the
+// epoch — AbortAll wakes every blocked rank — joins all threads, and
+// re-spawns the full world from the latest checkpoint. Because replay
+// from a checkpoint is bit-exact (same batches by step index, same
+// moments, deterministic collectives), a run that survives any number of
+// kill/drop/straggle incidents finishes with exactly the weights and loss
+// curve of an unfaulted run — the property dist_chaos_test asserts over
+// seeded fault storms.
+//
+// Observability: worker join/death, recovery epochs, collective aborts,
+// and checkpoint saves all land in the obs flight recorder, and
+// per-worker step gauges plus epoch/recovery gauges in the global metrics
+// registry, so every incident is reconstructible after the fact.
+#ifndef TFMR_TRAIN_DIST_DIST_TRAINER_H_
+#define TFMR_TRAIN_DIST_DIST_TRAINER_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "train/dist/comm.h"
+#include "train/dist/sharded_adamw.h"
+#include "train/schedule.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace llm::train::dist {
+
+struct DistTrainerOptions {
+  int world_size = 2;
+  int64_t max_steps = 100;
+  /// Global grad-norm clip applied to the averaged gradients; 0 disables.
+  float clip_norm = 0.0f;
+  /// Optional LR schedule; when null the AdamW lr is used as-is.
+  const LrSchedule* schedule = nullptr;
+  AdamWOptions adamw;
+
+  /// Rendezvous + recovery substrate. Required: workers join and recover
+  /// by loading the newest checkpoint here.
+  std::string checkpoint_dir;
+  /// Save every this many steps (plus one initial and one final save);
+  /// 0 = only initial and final.
+  int64_t checkpoint_every = 0;
+  int keep_last_k = 2;
+
+  /// Base seed for the per-(rank, step) data RNG handed to the loss fn.
+  uint64_t seed = 0x5eedULL;
+
+  /// Full-world respawns allowed before Run gives up with Internal.
+  int max_recoveries = 8;
+  /// Bound on every collective wait; a rank that misses it poisons the
+  /// round and triggers a recovery epoch.
+  std::chrono::milliseconds collective_timeout{2000};
+  /// A running worker whose heartbeat counter is flat for this long is
+  /// declared stalled. Must comfortably exceed the longest legitimate
+  /// inter-heartbeat gap: one step's compute plus the checkpoint barrier
+  /// (4x collective_timeout). A premature stall verdict costs a wasted
+  /// recovery epoch, never a wrong result.
+  std::chrono::milliseconds heartbeat_timeout{10000};
+  /// Monitor poll interval.
+  std::chrono::milliseconds monitor_poll{2};
+  /// Sleep injected when FaultSite::kWorkerStraggle fires. Below
+  /// collective_timeout it is a benign slowdown; above it, the straggler
+  /// is recovered like a dead worker.
+  int64_t straggle_ms = 20;
+};
+
+/// Per-step view handed to the loss builder. `rng` is freshly seeded from
+/// (options.seed, rank, step) every step, so replay after a rollback —
+/// and a worker re-spawned mid-run — regenerates identical batches.
+struct StepContext {
+  int rank = 0;
+  int world_size = 1;
+  int64_t step = 0;
+  util::Rng* rng = nullptr;
+};
+
+/// Creates one model replica. Called once per worker per epoch; must
+/// produce identically-initialized models on every call (seed inside).
+using ModelFactory = std::function<std::unique_ptr<nn::Module>()>;
+
+/// Builds the loss for this rank's shard of the global batch at
+/// ctx.step. For equal-global-batch equivalence with a single-process
+/// run, derive the global batch from ctx.step and take the ctx.rank-th
+/// of ctx.world_size slices.
+using DistLossFn =
+    std::function<core::Variable(nn::Module& model, const StepContext& ctx)>;
+
+/// One distributed incident and how the coordinator responded.
+struct DistIncident {
+  int epoch = 0;
+  int64_t step = 0;  // last step the offending rank reached
+  int rank = -1;
+  std::string kind;    // "worker-death", "worker-stall",
+                       // "collective-failure", "checkpoint-write", ...
+  std::string detail;
+  std::string action;  // "respawn world from ckpt step N", ...
+};
+
+class DistTrainer {
+ public:
+  DistTrainer(const DistTrainerOptions& options, ModelFactory model_factory,
+              DistLossFn loss_fn);
+  ~DistTrainer();
+
+  DistTrainer(const DistTrainer&) = delete;
+  DistTrainer& operator=(const DistTrainer&) = delete;
+
+  /// Runs to max_steps, surviving up to max_recoveries incidents. If the
+  /// checkpoint dir already holds a checkpoint, the run resumes from it.
+  /// Returns OK on completion; Internal when the recovery budget is
+  /// exhausted (message carries the incident log); or the underlying IO
+  /// error when even the initial checkpoint cannot be written.
+  util::Status Run();
+
+  /// Global loss curve (the all-reduced mean loss per step), recorded by
+  /// rank 0. Valid after Run.
+  const std::vector<StepRecord>& history() const { return history_; }
+
+  const std::vector<DistIncident>& incidents() const { return incidents_; }
+  std::string FormatIncidents() const;
+  int recoveries() const { return recoveries_; }
+
+  /// Mean loss over the last n recorded steps; 0 when no history.
+  float RecentLoss(int64_t n = 50) const;
+
+  /// Rank `rank`'s replica (all replicas are bit-identical after a
+  /// successful Run). Valid after Run; null before the first epoch.
+  const nn::Module* model(int rank = 0) const;
+
+ private:
+  enum class Phase : int {
+    kLoading = 0,
+    kRunning,
+    kDone,
+    kDead,    // kWorkerKill fired; the thread exited mid-run
+    kFailed,  // collective or checkpoint-load failure; thread exited
+  };
+
+  struct Worker {
+    int rank = 0;
+    std::unique_ptr<nn::Module> model;
+    std::unique_ptr<ShardedAdamW> opt;
+    std::thread thread;
+    std::atomic<int> phase{static_cast<int>(Phase::kLoading)};
+    std::atomic<int64_t> step_reached{0};
+    util::Status status;  // written before the terminal phase store
+  };
+
+  util::Status WriteInitialCheckpoint();
+  void SpawnEpoch(const std::string& ckpt_path);
+  /// Returns true when the run is over (success or fatal); false to
+  /// respawn another epoch.
+  bool MonitorEpoch(util::Status* verdict);
+  void JoinAll();
+
+  void WorkerMain(int rank, int my_epoch, const std::string& ckpt_path);
+  /// Rank 0 only, inside the checkpoint barrier: assembles the full
+  /// optimizer state from every rank's shard and writes a v2 checkpoint.
+  util::Status SaveFullCheckpoint(int64_t next_step);
+
+  void AddIncident(DistIncident incident);
+
+  DistTrainerOptions options_;
+  ModelFactory factory_;
+  DistLossFn loss_fn_;
+
+  std::unique_ptr<CommHub> hub_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<int> epoch_{0};
+  int recoveries_ = 0;
+
+  std::vector<StepRecord> history_;  // written by rank 0's worker thread
+  mutable std::mutex incidents_mu_;
+  std::vector<DistIncident> incidents_;
+};
+
+}  // namespace llm::train::dist
+
+#endif  // TFMR_TRAIN_DIST_DIST_TRAINER_H_

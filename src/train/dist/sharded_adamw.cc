@@ -1,0 +1,99 @@
+#include "train/dist/sharded_adamw.h"
+
+#include <cmath>
+
+namespace llm::train::dist {
+
+std::vector<int> ShardedAdamW::PartitionOwners(
+    const std::vector<core::Variable>& params, int world_size) {
+  std::vector<int64_t> load(static_cast<size_t>(world_size), 0);
+  std::vector<int> owners;
+  owners.reserve(params.size());
+  for (const auto& p : params) {
+    int lightest = 0;
+    for (int r = 1; r < world_size; ++r) {
+      if (load[static_cast<size_t>(r)] < load[static_cast<size_t>(lightest)]) {
+        lightest = r;
+      }
+    }
+    owners.push_back(lightest);
+    load[static_cast<size_t>(lightest)] += p.numel();
+  }
+  return owners;
+}
+
+ShardedAdamW::ShardedAdamW(std::vector<core::Variable> params,
+                           const AdamWOptions& options, int rank,
+                           int world_size)
+    : Optimizer(std::move(params), options.lr),
+      options_(options),
+      rank_(rank),
+      world_size_(world_size) {
+  LLM_CHECK(rank >= 0 && rank < world_size);
+  owners_ = PartitionOwners(params_, world_size);
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (owners_[i] == rank_) {
+      m_[i] = core::Tensor(params_[i].shape());
+      v_[i] = core::Tensor(params_[i].shape());
+    }
+  }
+}
+
+void ShardedAdamW::Step() {
+  // Identical arithmetic to train::AdamW::Step (bit-exact at world=1),
+  // restricted to the parameters this rank owns.
+  ++step_;
+  const float b1 = options_.beta1, b2 = options_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(step_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (owners_[i] != rank_) continue;
+    core::Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    const core::Tensor& g = p.grad();
+    core::Tensor& w = p.mutable_value();
+    core::Tensor& m = m_[i];
+    core::Tensor& v = v_[i];
+    const bool decay = options_.weight_decay > 0.0f && w.ndim() >= 2;
+    for (int64_t j = 0; j < w.numel(); ++j) {
+      m[j] = b1 * m[j] + (1.0f - b1) * g[j];
+      v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
+      const float mhat = m[j] / bias1;
+      const float vhat = v[j] / bias2;
+      float update = mhat / (std::sqrt(vhat) + options_.eps);
+      if (decay) update += options_.weight_decay * w[j];
+      w[j] -= lr_ * update;
+    }
+  }
+}
+
+OptimizerState ShardedAdamW::ExportState() const {
+  OptimizerState state{"adamw-shard", step_, {}};
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (owners_[i] != rank_) continue;
+    state.slots.emplace_back("m/" + std::to_string(i), m_[i]);
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (owners_[i] != rank_) continue;
+    state.slots.emplace_back("v/" + std::to_string(i), v_[i]);
+  }
+  return state;
+}
+
+util::Status ShardedAdamW::ImportState(const OptimizerState& state) {
+  // Full "adamw" layout only: m/0..m/n-1 then v/0..v/n-1, as plain AdamW
+  // exports and distributed checkpoints store.
+  LLM_RETURN_IF_ERROR(CheckStateShape(state, "adamw", 2));
+  const size_t n = params_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (owners_[i] != rank_) continue;
+    m_[i] = state.slots[i].second;
+    v_[i] = state.slots[n + i].second;
+  }
+  step_ = state.step;
+  return util::Status::OK();
+}
+
+}  // namespace llm::train::dist

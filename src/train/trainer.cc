@@ -71,10 +71,12 @@ util::Status Trainer::SaveCheckpointNow(int64_t next_step) {
     checkpoints_.push_back(path);
   }
   while (checkpoints_.size() > static_cast<size_t>(options_.keep_last_k)) {
-    std::remove(checkpoints_.front().c_str());
     checkpoints_.erase(checkpoints_.begin());
   }
-  return util::Status::OK();
+  // On-disk rotation goes through the shared pruner, which also sweeps
+  // stale .tmp debris from torn writes; the in-memory list above only
+  // tracks this run's rollback candidates.
+  return PruneCheckpoints(options_.checkpoint_dir, options_.keep_last_k);
 }
 
 util::Status Trainer::Rollback(int64_t* resume_step) {

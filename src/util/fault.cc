@@ -38,6 +38,16 @@ const char* FaultSiteName(FaultSite site) {
       return "replica-dispatch";
     case FaultSite::kReplicaCanary:
       return "replica-canary";
+    case FaultSite::kCommDrop:
+      return "comm-drop";
+    case FaultSite::kCommCorrupt:
+      return "comm-corrupt";
+    case FaultSite::kWorkerKill:
+      return "worker-kill";
+    case FaultSite::kWorkerStraggle:
+      return "worker-straggle";
+    case FaultSite::kCheckpointPrune:
+      return "checkpoint-prune";
   }
   return "unknown";
 }

@@ -49,8 +49,13 @@ enum class FaultSite : int {
   kOnTokenThrow = 7,     // serving: user streaming callback throws
   kReplicaDispatch = 8,  // fleet: dispatch to a replica fails with Internal
   kReplicaCanary = 9,    // fleet: post-swap canary generation fails
+  kCommDrop = 10,        // dist: a rank's collective contribution is lost
+  kCommCorrupt = 11,     // dist: a rank's collective payload is bit-flipped
+  kWorkerKill = 12,      // dist: a training worker dies at the step boundary
+  kWorkerStraggle = 13,  // dist: a worker sleeps before joining collectives
+  kCheckpointPrune = 14, // checkpoint rotation: crash mid-prune
 };
-inline constexpr int kNumFaultSites = 10;
+inline constexpr int kNumFaultSites = 15;
 
 const char* FaultSiteName(FaultSite site);
 

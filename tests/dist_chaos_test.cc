@@ -1,0 +1,217 @@
+// Randomized fault-schedule harness for the data-parallel training
+// runtime: seeded storms of worker kills, dropped and corrupted collective
+// contributions, and stragglers, injected into full DistTrainer runs.
+//
+// The contract under test is total: every schedule must COMPLETE (the
+// recovery machinery never wedges or gives up under a realistic fault
+// rate), and because checkpoint replay is bit-exact — step-indexed
+// batches, deterministic rank-ordered collectives, moments restored from
+// the same v2 checkpoint — every faulted run must finish with weights and
+// loss curve IDENTICAL to the unfaulted run of the same configuration.
+// Faults may cost epochs; they may never cost correctness.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "obs/flight_recorder.h"
+#include "train/dist/dist_trainer.h"
+#include "util/fault.h"
+#include "util/rng.h"
+
+namespace llm::train::dist {
+namespace {
+
+namespace fs = std::filesystem;
+using util::FaultInjector;
+using util::FaultSite;
+using std::chrono::milliseconds;
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_((fs::temp_directory_path() / name).string()) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+constexpr int kIn = 4, kHidden = 8, kOut = 2;
+constexpr int kGlobalBatch = 6;  // divisible by both world sizes below
+constexpr uint64_t kDataSeed = 0xC4405ull;
+constexpr int64_t kSteps = 10;
+
+std::unique_ptr<nn::Module> MakeReplica() {
+  util::Rng rng(17);
+  return std::make_unique<nn::Mlp>(kIn, kHidden, kOut, &rng);
+}
+
+DistLossFn MakeDistLoss() {
+  return [](nn::Module& model, const StepContext& ctx) {
+    util::Rng rng(kDataSeed + 0x9E3779B97F4A7C15ull *
+                                  (static_cast<uint64_t>(ctx.step) + 1));
+    core::Tensor full =
+        core::Tensor::RandomNormal({kGlobalBatch, kIn}, &rng);
+    const int rows = kGlobalBatch / ctx.world_size;
+    core::Tensor shard({rows, kIn});
+    for (int i = 0; i < rows; ++i) {
+      for (int j = 0; j < kIn; ++j) {
+        shard[i * kIn + j] = full[(ctx.rank * rows + i) * kIn + j];
+      }
+    }
+    core::Variable x(shard, false);
+    core::Variable y = static_cast<nn::Mlp&>(model).Forward(x);
+    return core::SumAll(core::Mul(y, y));
+  };
+}
+
+DistTrainerOptions ChaosOptions(int world, const std::string& dir) {
+  DistTrainerOptions o;
+  o.world_size = world;
+  o.max_steps = kSteps;
+  o.adamw.lr = 1e-2f;
+  o.checkpoint_dir = dir;
+  o.checkpoint_every = 2;
+  o.keep_last_k = 2;
+  // Tight timeouts keep a drop/straggle incident cheap (~250ms), so a
+  // storm of them stays inside the test budget.
+  o.collective_timeout = milliseconds(250);
+  o.heartbeat_timeout = milliseconds(3000);
+  o.monitor_poll = milliseconds(2);
+  // Recovery replays at most kSteps cheap steps, so a generous budget is
+  // bounded wall-clock; schedules average only a handful of incidents.
+  o.max_recoveries = 40;
+  return o;
+}
+
+float MaxParamDiff(const nn::Module& a, const nn::Module& b) {
+  auto pa = a.NamedParameters();
+  auto pb = b.NamedParameters();
+  EXPECT_EQ(pa.size(), pb.size());
+  float worst = 0.0f;
+  for (size_t i = 0; i < pa.size(); ++i) {
+    worst = std::max(worst, core::Tensor::MaxAbsDiff(pa[i].second.value(),
+                                                     pb[i].second.value()));
+  }
+  return worst;
+}
+
+TEST(DistChaosTest, SeededFaultStormsAlwaysRecoverToTheExactResult) {
+  constexpr int kSchedules = 26;
+  const int worlds[] = {2, 3};
+
+  // Unfaulted reference run per world size: the ground truth every
+  // faulted schedule must reproduce exactly.
+  std::map<int, std::unique_ptr<DistTrainer>> reference;
+  std::vector<std::unique_ptr<ScratchDir>> ref_dirs;
+  for (int world : worlds) {
+    ref_dirs.push_back(std::make_unique<ScratchDir>(
+        "tfmr_chaos_ref_w" + std::to_string(world)));
+    reference[world] = std::make_unique<DistTrainer>(
+        ChaosOptions(world, ref_dirs.back()->path()), MakeReplica,
+        MakeDistLoss());
+    ASSERT_TRUE(reference[world]->Run().ok());
+    ASSERT_EQ(reference[world]->history().size(),
+              static_cast<size_t>(kSteps));
+  }
+
+  int total_recoveries = 0;
+  int64_t total_kills = 0, total_drops = 0, total_corrupt = 0,
+          total_straggles = 0;
+  for (int schedule = 0; schedule < kSchedules; ++schedule) {
+    SCOPED_TRACE("schedule " + std::to_string(schedule));
+    const int world = worlds[schedule % 2];
+    ScratchDir dir("tfmr_chaos_s" + std::to_string(schedule));
+    DistTrainerOptions opts = ChaosOptions(world, dir.path());
+    // A third of the schedules use a straggle that exceeds the collective
+    // timeout (a de-facto stall); the rest a benign slowdown.
+    opts.straggle_ms = (schedule % 3 == 0) ? 400 : 30;
+
+    const uint64_t seed = 0xC0FFEEull + static_cast<uint64_t>(schedule);
+    FaultInjector::Global().ArmRandom(FaultSite::kWorkerKill, 0.015,
+                                      seed * 4 + 0);
+    FaultInjector::Global().ArmRandom(FaultSite::kCommDrop, 0.008,
+                                      seed * 4 + 1);
+    FaultInjector::Global().ArmRandom(FaultSite::kCommCorrupt, 0.008,
+                                      seed * 4 + 2);
+    FaultInjector::Global().ArmRandom(FaultSite::kWorkerStraggle, 0.02,
+                                      seed * 4 + 3);
+
+    obs::FlightRecorder::Global().Clear();
+    DistTrainer dist(opts, MakeReplica, MakeDistLoss());
+    util::Status s = dist.Run();
+    const auto counts = FaultInjector::Global().AllCounts();
+    FaultInjector::Global().Disarm();
+    ASSERT_TRUE(s.ok()) << s;
+
+    // Exactness: the faulted run ends bit-identical to the unfaulted one.
+    const DistTrainer& ref = *reference[world];
+    EXPECT_EQ(MaxParamDiff(*ref.model(0), *dist.model(0)), 0.0f);
+    EXPECT_EQ(MaxParamDiff(*dist.model(0), *dist.model(world - 1)), 0.0f);
+    ASSERT_EQ(dist.history().size(), ref.history().size());
+    for (size_t i = 0; i < ref.history().size(); ++i) {
+      EXPECT_EQ(dist.history()[i].loss, ref.history()[i].loss)
+          << "step " << i;
+    }
+
+    // Every observed worker death must be followed by a checkpoint-based
+    // recovery in the flight recorder.
+    const auto events = obs::FlightRecorder::Global().Dump();
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (events[i].type != obs::FlightEventType::kWorkerDeath) continue;
+      bool recovered = false;
+      for (size_t j = i + 1; j < events.size(); ++j) {
+        if (events[j].type == obs::FlightEventType::kDistRecovery) {
+          recovered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(recovered)
+          << "death without subsequent recovery:\n"
+          << obs::FlightRecorder::Global().Format(64);
+    }
+    // Fired kills and recoveries line up: a kill is never absorbed
+    // silently (several faults in one epoch may share one recovery).
+    const auto& kills = counts[static_cast<size_t>(FaultSite::kWorkerKill)];
+    if (kills.fired > 0) {
+      EXPECT_GE(dist.recoveries(), 1) << "kills fired: " << kills.fired;
+    }
+    total_recoveries += dist.recoveries();
+    total_kills += kills.fired;
+    total_drops += counts[static_cast<size_t>(FaultSite::kCommDrop)].fired;
+    total_corrupt +=
+        counts[static_cast<size_t>(FaultSite::kCommCorrupt)].fired;
+    total_straggles +=
+        counts[static_cast<size_t>(FaultSite::kWorkerStraggle)].fired;
+  }
+
+  // The storm must actually have stormed: across all schedules every
+  // fault class fired and recoveries happened. (Rates are seeded, so this
+  // is deterministic up to thread scheduling of *which* rank draws each
+  // occurrence, never of the totals' order of magnitude.)
+  EXPECT_GT(total_kills, 0);
+  EXPECT_GT(total_drops, 0);
+  EXPECT_GT(total_corrupt, 0);
+  EXPECT_GT(total_straggles, 0);
+  EXPECT_GT(total_recoveries, 0);
+  std::printf(
+      "[dist-chaos] %d schedules: %lld kills, %lld drops, %lld corrupt, "
+      "%lld straggles, %d recoveries\n",
+      kSchedules, static_cast<long long>(total_kills),
+      static_cast<long long>(total_drops),
+      static_cast<long long>(total_corrupt),
+      static_cast<long long>(total_straggles), total_recoveries);
+}
+
+}  // namespace
+}  // namespace llm::train::dist

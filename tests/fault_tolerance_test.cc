@@ -3,6 +3,7 @@
 // recovery, and the deterministic fault-injection layer that drives them.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -679,6 +680,184 @@ TEST_F(FaultToleranceTest, ServingFaultSitesHaveNames) {
   EXPECT_STREQ(util::FaultSiteName(FaultSite::kSlotLeak), "slot-leak");
   EXPECT_STREQ(util::FaultSiteName(FaultSite::kOnTokenThrow),
                "on-token-throw");
+}
+
+// ---------------------------------------------------------------------------
+// Distributed-training fault sites (kCommDrop, kCommCorrupt, kWorkerKill,
+// kWorkerStraggle) and the checkpoint-rotation site (kCheckpointPrune):
+// naming, counter exactness via AllCounts, and concurrency-safe arming.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultToleranceTest, DistFaultSitesHaveNames) {
+  EXPECT_STREQ(util::FaultSiteName(FaultSite::kCommDrop), "comm-drop");
+  EXPECT_STREQ(util::FaultSiteName(FaultSite::kCommCorrupt), "comm-corrupt");
+  EXPECT_STREQ(util::FaultSiteName(FaultSite::kWorkerKill), "worker-kill");
+  EXPECT_STREQ(util::FaultSiteName(FaultSite::kWorkerStraggle),
+               "worker-straggle");
+  EXPECT_STREQ(util::FaultSiteName(FaultSite::kCheckpointPrune),
+               "checkpoint-prune");
+  // Existing site numbering is stable: the dist sites appended after the
+  // fleet sites, never renumbering them.
+  EXPECT_EQ(static_cast<int>(FaultSite::kReplicaCanary), 9);
+  EXPECT_EQ(static_cast<int>(FaultSite::kCommDrop), 10);
+  EXPECT_EQ(static_cast<int>(FaultSite::kCheckpointPrune), 14);
+}
+
+TEST_F(FaultToleranceTest, DistSitesCountIndependentlyInAllCounts) {
+  // Arm all four dist sites at once; firing one must not disturb the
+  // counters of the others, and AllCounts must report each exactly.
+  FaultInjector::Global().ArmAt(FaultSite::kCommDrop, {1});
+  FaultInjector::Global().ArmAt(FaultSite::kCommCorrupt, {0, 2});
+  FaultInjector::Global().ArmAt(FaultSite::kWorkerKill, {5});
+  FaultInjector::Global().ArmAt(FaultSite::kWorkerStraggle, {0});
+  for (int i = 0; i < 3; ++i) {
+    util::MaybeInjectFault(FaultSite::kCommDrop);      // fires at 1
+    util::MaybeInjectFault(FaultSite::kCommCorrupt);   // fires at 0, 2
+  }
+  util::MaybeInjectFault(FaultSite::kWorkerStraggle);  // fires at 0
+  // kWorkerKill armed but never reached.
+
+  const auto counts = FaultInjector::Global().AllCounts();
+  ASSERT_EQ(counts.size(), static_cast<size_t>(util::kNumFaultSites));
+  const auto& drop = counts[static_cast<size_t>(FaultSite::kCommDrop)];
+  const auto& corrupt = counts[static_cast<size_t>(FaultSite::kCommCorrupt)];
+  const auto& kill = counts[static_cast<size_t>(FaultSite::kWorkerKill)];
+  const auto& straggle =
+      counts[static_cast<size_t>(FaultSite::kWorkerStraggle)];
+  EXPECT_EQ(drop.site, FaultSite::kCommDrop);
+  EXPECT_EQ(drop.seen, 3);
+  EXPECT_EQ(drop.fired, 1);
+  EXPECT_EQ(corrupt.seen, 3);
+  EXPECT_EQ(corrupt.fired, 2);
+  EXPECT_EQ(kill.seen, 0);
+  EXPECT_EQ(kill.fired, 0);
+  EXPECT_EQ(straggle.seen, 1);
+  EXPECT_EQ(straggle.fired, 1);
+}
+
+TEST_F(FaultToleranceTest, DistSiteCountsStayExactUnderConcurrentFire) {
+  // Worker threads fire kWorkerKill concurrently, the way N training
+  // ranks reach the step-boundary site in parallel.
+  FaultInjector::Global().ArmAt(FaultSite::kWorkerKill, {0, 1000, 3999});
+  constexpr int kThreads = 4;
+  constexpr int64_t kFiresPerThread = 1000;
+  std::atomic<int64_t> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int64_t i = 0; i < kFiresPerThread; ++i) {
+        if (util::MaybeInjectFault(FaultSite::kWorkerKill)) {
+          fired.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto counts = FaultInjector::Global().AllCounts();
+  const auto& kill = counts[static_cast<size_t>(FaultSite::kWorkerKill)];
+  EXPECT_EQ(kill.seen, kThreads * kFiresPerThread);
+  EXPECT_EQ(kill.fired, 3);
+  EXPECT_EQ(fired.load(), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint rotation: PruneCheckpoints and crash-mid-prune robustness.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultToleranceTest, PruneKeepsNewestAndSweepsStaleTmpFiles) {
+  ScratchDir dir("tfmr_prune");
+  util::Rng rng(12);
+  nn::Mlp model(4, 8, 2, &rng);
+  for (int64_t step : {0, 2, 4, 6}) {
+    ASSERT_TRUE(
+        SaveCheckpoint(model, dir.path() + "/" + CheckpointFileName(step))
+            .ok());
+  }
+  // Torn-write debris and an unrelated file: the former is swept, the
+  // latter untouched.
+  { std::ofstream(dir.path() + "/ckpt_000000008.tfmr.tmp") << "torn"; }
+  { std::ofstream(dir.path() + "/notes.txt") << "keep me"; }
+
+  ASSERT_TRUE(PruneCheckpoints(dir.path(), 2).ok());
+
+  std::vector<std::string> left;
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    left.push_back(e.path().filename().string());
+  }
+  std::sort(left.begin(), left.end());
+  EXPECT_EQ(left, (std::vector<std::string>{
+                      "ckpt_000000004.tfmr", "ckpt_000000006.tfmr",
+                      "notes.txt"}));
+}
+
+TEST_F(FaultToleranceTest, CrashMidPruneNeverConfusesLatestCheckpoint) {
+  ScratchDir dir("tfmr_prune_crash");
+  util::Rng rng(13);
+  nn::Mlp model(4, 8, 2, &rng);
+  for (int64_t step : {0, 2, 4, 6}) {
+    ASSERT_TRUE(
+        SaveCheckpoint(model, dir.path() + "/" + CheckpointFileName(step))
+            .ok());
+  }
+  // The sweep dies on its second unlink: step 0 is gone, step 2 survives.
+  FaultInjector::Global().ArmAt(FaultSite::kCheckpointPrune, {1});
+  util::Status s = PruneCheckpoints(dir.path(), 1);
+  EXPECT_EQ(s.code(), util::StatusCode::kIOError);
+  FaultInjector::Global().Disarm();
+
+  // Oldest-first deletion means the newest checkpoint is always intact,
+  // and the leftovers are all loadable checkpoints — no partial state.
+  auto latest = LatestCheckpoint(dir.path());
+  ASSERT_TRUE(latest.ok());
+  EXPECT_NE(latest.value().find("ckpt_000000006.tfmr"), std::string::npos);
+  EXPECT_TRUE(ValidateCheckpoint(latest.value()).ok());
+  EXPECT_FALSE(fs::exists(dir.path() + "/" + CheckpointFileName(0)));
+  EXPECT_TRUE(fs::exists(dir.path() + "/" + CheckpointFileName(2)));
+
+  // The next (un-faulted) prune finishes the job.
+  ASSERT_TRUE(PruneCheckpoints(dir.path(), 1).ok());
+  size_t kept = 0;
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    (void)e;
+    ++kept;
+  }
+  EXPECT_EQ(kept, 1u);
+}
+
+TEST_F(FaultToleranceTest, TrainerRotationSurvivesCrashMidPrune) {
+  ScratchDir dir("tfmr_prune_trainer");
+  TrainerOptions base;
+  base.max_steps = 6;
+  base.checkpoint_every = 2;
+  base.keep_last_k = 2;
+  TrainRig r = MakeRun(49, base, dir.path());
+
+  // Saves land at steps 0, 2, 4, 6; the first over-budget unlink happens
+  // during the save at step 4 and is made to crash. The run must finish,
+  // the incident must be recorded, and the final state must be resumable.
+  FaultInjector::Global().ArmAt(FaultSite::kCheckpointPrune, {0});
+  util::Status s =
+      r.trainer->Run(MakeLossFn(r.model.get(), r.data_rng.get()));
+  ASSERT_TRUE(s.ok()) << s;
+  ASSERT_EQ(r.trainer->incidents().size(), 1u);
+  EXPECT_EQ(r.trainer->incidents()[0].kind, "checkpoint-write");
+  EXPECT_NE(r.trainer->incidents()[0].detail.find("kCheckpointPrune"),
+            std::string::npos)
+      << r.trainer->incidents()[0].detail;
+  ASSERT_EQ(r.trainer->history().size(), 6u);
+
+  // The later prune (step 6's save) finished the rotation; the newest
+  // checkpoint is the final one and loads cleanly.
+  auto latest = LatestCheckpoint(dir.path());
+  ASSERT_TRUE(latest.ok());
+  TrainRig fresh = MakeRun(490, base, dir.path());
+  ASSERT_TRUE(fresh.trainer->ResumeFrom(latest.value()).ok());
+  EXPECT_EQ(fresh.trainer->start_step(), 6);
+  size_t kept = 0;
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    if (e.path().filename().string().rfind("ckpt_", 0) == 0) ++kept;
+  }
+  EXPECT_EQ(kept, 2u);
 }
 
 }  // namespace
