@@ -296,8 +296,8 @@ int main() {
         llm::serve::ServerHealthName(stats.health));
 
     // Conservation must hold even at the edge of capacity.
-    if (stats.submitted !=
-        stats.completed + stats.cancelled + stats.expired + stats.failed) {
+    if (stats.submitted != stats.completed + stats.cancelled + stats.expired +
+                               stats.failed + stats.preempted) {
       std::fprintf(stderr, "overload: conservation invariant violated\n");
       return 1;
     }

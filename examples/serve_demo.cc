@@ -18,6 +18,7 @@
 #include <filesystem>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/flight_recorder.h"
@@ -198,6 +199,102 @@ int main() {
                              : refused.status().ToString().c_str());
   }
   server.Shutdown();  // idempotent after Drain
+
+  // 5c. Multi-tenant overload: chat outranks batch outranks background.
+  // Batch and background are sheddable and preemptible under the default
+  // policy; here background also gets a tight token quota. Two slow batch
+  // decodes hold both KV slots and two more fill the queue — then a chat
+  // request arrives and the server makes room at batch's expense: the
+  // newest queued batch request is shed, the deepest running batch decode
+  // is preempted (keeping its partial output), and chat runs immediately.
+  std::printf("\n--- multi-tenant overload ---\n");
+  {
+    serve::ServerOptions mt_options;
+    mt_options.max_batch_size = 2;
+    mt_options.num_workers = 1;
+    mt_options.queue_capacity = 2;
+    auto& background_policy = mt_options.tenants.classes[static_cast<size_t>(
+        serve::TenantClass::kBackground)];
+    background_policy.quota_tokens_per_sec = 0.01;  // effectively burst-only
+    background_policy.quota_burst_tokens = 10.0;
+    serve::InferenceServer mt(&model, mt_options);
+    mt.Start();
+
+    // Slow the batch decodes down (3ms per streamed token) so the slots
+    // are still busy when chat shows up — a stand-in for long documents.
+    auto make_batch = [] {
+      serve::GenerateRequest request;
+      request.prompt = {0};
+      request.max_new_tokens = 20;
+      request.sampler.temperature = 0.0f;
+      request.tenant = serve::TenantClass::kBatch;
+      request.on_token = [](serve::RequestId, int64_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      };
+      return request;
+    };
+    std::vector<serve::RequestId> batch_ids;
+    for (int i = 0; i < 2; ++i) {
+      auto id = mt.Submit(make_batch());
+      if (!id.ok()) return 1;
+      batch_ids.push_back(id.value());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));  // decoding
+    for (int i = 0; i < 2; ++i) {
+      auto id = mt.Submit(make_batch());  // parks in the bounded queue
+      if (!id.ok()) return 1;
+      batch_ids.push_back(id.value());
+    }
+
+    serve::GenerateRequest chat;
+    chat.prompt = {0};
+    chat.max_new_tokens = 4;
+    chat.sampler.temperature = 0.0f;
+    chat.tenant = serve::TenantClass::kChat;
+    serve::RequestResult chat_result = mt.GenerateBlocking(chat);
+    std::printf("chat under full load: '%s' in %.1fms (queued %.1fms)\n",
+                serve::FinishReasonName(chat_result.reason),
+                chat_result.total_ms, chat_result.queue_ms);
+    for (serve::RequestId id : batch_ids) {
+      auto result = mt.Wait(id);
+      if (!result.ok()) return 1;
+      std::printf("  batch request %llu: '%s' with %zu/20 tokens\n",
+                  static_cast<unsigned long long>(id),
+                  serve::FinishReasonName(result.value().reason),
+                  result.value().tokens.size());
+    }
+
+    // Background rides the quota: the first request fits the burst
+    // budget, the second is refused at the door before touching the queue.
+    serve::GenerateRequest background;
+    background.prompt = {0};
+    background.max_new_tokens = 8;  // charge = 1 prompt + 8 output = 9 <= 10
+    background.sampler.temperature = 0.0f;
+    background.tenant = serve::TenantClass::kBackground;
+    auto bg_ok = mt.Submit(background);
+    auto bg_refused = mt.Submit(background);
+    std::printf("background #1: %s; background #2: %s\n",
+                bg_ok.ok() ? "admitted" : bg_ok.status().ToString().c_str(),
+                bg_refused.ok() ? "admitted (bug!)"
+                                : bg_refused.status().ToString().c_str());
+    if (bg_ok.ok() && !mt.Wait(bg_ok.value()).ok()) return 1;
+
+    const serve::ServerStats mt_stats = mt.Stats();
+    for (size_t c = 0; c < serve::kNumTenantClasses; ++c) {
+      const serve::TenantClassStats& cs = mt_stats.classes[c];
+      std::printf("  [%-10s] submitted %llu completed %llu shed %llu "
+                  "preempted %llu quota-rejected %llu p99 TTFT %.1fms\n",
+                  serve::TenantClassName(
+                      static_cast<serve::TenantClass>(c)),
+                  static_cast<unsigned long long>(cs.submitted),
+                  static_cast<unsigned long long>(cs.completed),
+                  static_cast<unsigned long long>(cs.shed),
+                  static_cast<unsigned long long>(cs.preempted),
+                  static_cast<unsigned long long>(cs.quota_rejected),
+                  cs.p99_ttft_ms);
+    }
+    mt.Shutdown();
+  }
 
   // 6. The fleet: the same model behind a ReplicaRouter — two replicas,
   // each with a private weight copy, KV pool, and scheduler, fronted by

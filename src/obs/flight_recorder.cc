@@ -42,6 +42,9 @@ const char* FlightEventTypeName(FlightEventType type) {
     case FlightEventType::kWorkerDeath: return "worker-death";
     case FlightEventType::kDistRecovery: return "dist-recovery";
     case FlightEventType::kCollectiveAbort: return "collective-abort";
+    case FlightEventType::kQuotaExhausted: return "quota-exhausted";
+    case FlightEventType::kShed: return "shed";
+    case FlightEventType::kPreempt: return "preempt";
   }
   return "unknown";
 }

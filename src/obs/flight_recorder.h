@@ -48,6 +48,11 @@ enum class FlightEventType : int32_t {
   kDistRecovery,       // dist: a=new epoch, b=resume step, c=recovery #
   kCollectiveAbort,    // dist: a=rank, b=sequence, c=reason (0 timeout,
                        //       1 corrupt payload, 2 epoch abort)
+  kQuotaExhausted,     // a=TenantClass, b=request id, c=tokens requested
+  kShed,               // a=TenantClass (victim), b=request id,
+                       //   c=incoming TenantClass
+  kPreempt,            // a=incoming TenantClass, b=victim request id,
+                       //   c=victim tokens generated
 };
 
 const char* FlightEventTypeName(FlightEventType type);

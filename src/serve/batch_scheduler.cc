@@ -75,6 +75,7 @@ void BatchScheduler::Admit(std::shared_ptr<RequestState> state) {
         state->trace->BeginSpan("decode", state->trace_parent, slot),
         std::memory_order_release);
   }
+  ++active_per_class_[static_cast<int>(state->request.tenant)];
   seq.state = std::move(state);
   ++active_count_;
 }
@@ -85,6 +86,7 @@ void BatchScheduler::Retire(int64_t slot, FinishReason reason,
   obs::FlightRecorder::Global().Record(
       obs::FlightEventType::kRetirement, static_cast<int32_t>(reason),
       static_cast<int64_t>(seq.state->id), seq.generated);
+  --active_per_class_[static_cast<int>(seq.state->request.tenant)];
   out->finished.push_back({std::move(seq.state), reason, status});
   seq.state = nullptr;
   seq.occupied = false;
@@ -94,6 +96,65 @@ void BatchScheduler::Retire(int64_t slot, FinishReason reason,
   // Injected leak: the slot stays leased with no occupant. The server's
   // per-iteration ReclaimLeakedSlots() sweep detects and repairs it.
   --active_count_;
+}
+
+int64_t BatchScheduler::PickVictim(TenantClass incoming,
+                                   const TenantPolicy& policy) const {
+  const int in_cls = static_cast<int>(incoming);
+  const int64_t w_in = std::max(policy.classes[in_cls].weight, 1);
+  const int64_t active_in = ActivePerClass(incoming);
+  // Lowest-priority (highest-index) class first, so background lanes are
+  // always displaced before batch lanes.
+  for (int cls = kNumTenantClasses - 1; cls > in_cls; --cls) {
+    if (!policy.classes[cls].preemptible) continue;
+    const int64_t active_victim =
+        active_per_class_[cls].load(std::memory_order_relaxed);
+    if (active_victim == 0) continue;
+    // Fairness gate: after the displacement the incoming class must still
+    // be at or under its weighted share relative to the victim class —
+    // otherwise a stream of high-priority arrivals would churn every
+    // low-priority lane instead of sharing by weight.
+    const int64_t w_victim = std::max(policy.classes[cls].weight, 1);
+    if ((active_in + 1) * w_victim > active_victim * w_in) continue;
+    int64_t best = -1;
+    for (int64_t slot = 0; slot < pool_->num_slots(); ++slot) {
+      const ActiveSeq& seq = seqs_[static_cast<size_t>(slot)];
+      if (!seq.occupied ||
+          static_cast<int>(seq.state->request.tenant) != cls) {
+        continue;
+      }
+      // Longest decode first: it has the most resumable work banked and
+      // would otherwise hold its lane the longest. Ties break to the
+      // highest slot so the choice is deterministic.
+      if (best < 0 ||
+          seq.generated >= seqs_[static_cast<size_t>(best)].generated) {
+        best = slot;
+      }
+    }
+    if (best >= 0) return best;
+  }
+  return -1;
+}
+
+bool BatchScheduler::CanPreemptFor(TenantClass incoming,
+                                   const TenantPolicy& policy) const {
+  return PickVictim(incoming, policy) >= 0;
+}
+
+bool BatchScheduler::PreemptFor(TenantClass incoming,
+                                const TenantPolicy& policy, TickOutput* out) {
+  const int64_t slot = PickVictim(incoming, policy);
+  if (slot < 0) return false;
+  obs::FlightRecorder::Global().Record(
+      obs::FlightEventType::kPreempt, static_cast<int32_t>(incoming),
+      static_cast<int64_t>(seqs_[static_cast<size_t>(slot)].state->id),
+      seqs_[static_cast<size_t>(slot)].generated);
+  Retire(slot, FinishReason::kPreempted,
+         util::Status::ResourceExhausted(
+             "preempted: lane reclaimed for a higher-priority tenant; "
+             "partial output returned, resubmit to resume"),
+         out);
+  return true;
 }
 
 int64_t BatchScheduler::ReclaimLeakedSlots() {
@@ -218,6 +279,14 @@ void BatchScheduler::Tick(WorkerPool* workers,
       {
         std::lock_guard<std::mutex> lock(seq.state->mu);
         seq.state->tokens.push_back(seq.sampled);
+        if (seq.generated == 1) {
+          // TTFT: submit -> first sampled token, the latency interactive
+          // tenants' SLOs are pinned to.
+          seq.state->first_token_ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - seq.state->submit_time)
+                  .count();
+        }
       }
       if (seq.state->trace) {
         seq.state->trace->Event(

@@ -42,6 +42,7 @@
 #include "nn/batched_decode.h"
 #include "serve/kv_cache_pool.h"
 #include "serve/request.h"
+#include "serve/tenant.h"
 #include "serve/worker_pool.h"
 #include "util/rng.h"
 
@@ -84,6 +85,33 @@ class BatchScheduler {
   int64_t active_count() const {
     return active_count_.load(std::memory_order_relaxed);
   }
+  /// Active lanes currently held by `tenant`; any thread.
+  int64_t ActivePerClass(TenantClass tenant) const {
+    return active_per_class_[static_cast<int>(tenant)].load(
+        std::memory_order_relaxed);
+  }
+  /// Fills `out` with all per-class active lane counts (for TryPopFair).
+  void ActiveSnapshot(int64_t (&out)[kNumTenantClasses]) const {
+    for (int c = 0; c < kNumTenantClasses; ++c) {
+      out[c] = active_per_class_[c].load(std::memory_order_relaxed);
+    }
+  }
+
+  /// True when PreemptFor(incoming, ...) would find a victim: some active
+  /// lane belongs to a strictly lower-priority preemptible class AND
+  /// displacing it keeps the incoming class within its weighted fair share
+  /// ((active_in + 1) * w_victim <= active_victim * w_in — without this
+  /// check a quota of chat arrivals could churn every batch lane).
+  bool CanPreemptFor(TenantClass incoming, const TenantPolicy& policy) const;
+
+  /// Retires the chosen victim with FinishReason::kPreempted (partial
+  /// tokens preserved, status ResourceExhausted, KV slot back to the pool)
+  /// and records a kPreempt flight event. Victim choice is deterministic:
+  /// lowest-priority class first, then the lane with the most generated
+  /// tokens (longest decode has the most resumable work banked), then the
+  /// highest slot. Returns false when CanPreemptFor is false.
+  bool PreemptFor(TenantClass incoming, const TenantPolicy& policy,
+                  TickOutput* out);
 
   /// Leases a KV slot and joins the request to the in-flight batch at the
   /// next Tick. Caller must have checked HasFreeSlot(). Also stamps the
@@ -129,6 +157,9 @@ class BatchScheduler {
 
   void Retire(int64_t slot, FinishReason reason, const util::Status& status,
               TickOutput* out);
+  /// Slot of the best preemption victim for `incoming`, or -1. Shared by
+  /// CanPreemptFor / PreemptFor so the check and the action always agree.
+  int64_t PickVictim(TenantClass incoming, const TenantPolicy& policy) const;
 
   const nn::GPTModel* model_;
   KvCachePool* pool_;
@@ -137,6 +168,7 @@ class BatchScheduler {
   std::vector<int64_t> active_idx_;  // slots stepped this tick (reused)
   std::vector<std::vector<nn::SeqStepInput>> chunk_inputs_;  // per chunk
   std::atomic<int64_t> active_count_{0};
+  std::atomic<int64_t> active_per_class_[kNumTenantClasses] = {};
   std::atomic<bool> poison_all_{false};  // SetDecodePoison chaos hook
 };
 

@@ -71,7 +71,18 @@ void Replica::Kill() {
 }
 
 void Replica::SwapInFreshServer() {
-  auto fresh = std::make_shared<InferenceServer>(model_.get(), server_options_);
+  // Carry the outgoing server's measured decode rate into the fresh one as
+  // a feasibility hint: a reloaded replica's hardware didn't change, so
+  // deadline-aware admission shouldn't have to re-learn it from scratch
+  // (and falsely admit doomed requests while it does).
+  ServerOptions fresh_options = server_options_;
+  {
+    std::lock_guard<std::mutex> lock(server_mu_);
+    if (server_) {
+      fresh_options.est_ms_per_step_seed = server_->Stats().est_ms_per_step;
+    }
+  }
+  auto fresh = std::make_shared<InferenceServer>(model_.get(), fresh_options);
   std::shared_ptr<InferenceServer> old;
   bool serve = false;
   {

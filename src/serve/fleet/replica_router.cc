@@ -325,6 +325,8 @@ void ReplicaRouter::FinalizeLocked(const std::shared_ptr<FleetRequest>& freq,
     ++cancelled_;
   } else if (result.reason == FinishReason::kDeadline) {
     ++expired_;
+  } else if (result.reason == FinishReason::kPreempted) {
+    ++preempted_;
   } else {
     ++failed_;
   }
@@ -416,11 +418,23 @@ void ReplicaRouter::PumpRequestLocked(
         return;
       }
       // Everything else is an attempt lost to the fleet, not the client:
-      // kFault (poisoned/stalled replica) or a cancellation the client
-      // never asked for (replica killed or drained under the request).
-      // Faults feed the breaker; infrastructure cancellations don't.
+      // kFault (poisoned/stalled replica), a cancellation the client never
+      // asked for (replica killed or drained under the request), or a
+      // preemption (displaced by a higher-priority tenant). Faults feed
+      // the breaker; infrastructure cancellations and preemptions don't —
+      // a preempting replica is healthy, it just chose a more important
+      // request. The re-dispatch below carries the original TenantClass,
+      // so a preempted-then-retried request keeps its priority.
       if (result.reason == FinishReason::kFault) {
         breakers_[static_cast<size_t>(attempt.replica)]->RecordFailure(now);
+      } else if (result.reason == FinishReason::kPreempted) {
+        // Keep the furthest partial output so failover exhaustion can
+        // finalize as resumable kPreempted rather than a fault.
+        if (!freq->was_preempted ||
+            result.tokens.size() >= freq->preempt_result.tokens.size()) {
+          freq->preempt_result = result;
+        }
+        freq->was_preempted = true;
       }
       if (freq->trace) {
         freq->trace->EndSpan(
@@ -446,6 +460,13 @@ void ReplicaRouter::PumpRequestLocked(
       return;
     }
     if (freq->failovers >= options_.max_failovers) {
+      if (freq->was_preempted) {
+        // Every attempt ended in a policy preemption, not a fault: hand
+        // back the furthest partial output as kPreempted so the client
+        // can resubmit (resume) rather than treating the fleet as broken.
+        FinalizeLocked(freq, std::move(freq->preempt_result), nullptr);
+        return;
+      }
       RequestResult result;
       result.reason = FinishReason::kFault;
       result.status = util::Status::Internal(
@@ -632,6 +653,7 @@ FleetStats ReplicaRouter::Stats() const {
   stats.cancelled = cancelled_;
   stats.expired = expired_;
   stats.failed = failed_;
+  stats.preempted = preempted_;
   stats.failovers = failovers_;
   stats.hedges_launched = hedges_launched_;
   stats.hedges_won = hedges_won_;
@@ -653,6 +675,7 @@ void ExportFleetStats(const FleetStats& stats, const std::string& prefix,
   set("cancelled", static_cast<double>(stats.cancelled));
   set("expired", static_cast<double>(stats.expired));
   set("failed", static_cast<double>(stats.failed));
+  set("preempted", static_cast<double>(stats.preempted));
   set("failovers", static_cast<double>(stats.failovers));
   set("hedges_launched", static_cast<double>(stats.hedges_launched));
   set("hedges_won", static_cast<double>(stats.hedges_won));

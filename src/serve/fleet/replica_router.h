@@ -36,7 +36,16 @@
 // threads only Submit, Wait, and Cancel. Fleet-level conservation mirrors
 // the single-server invariant: every accepted request reaches exactly one
 // terminal state, so at quiescence
-//   submitted == completed + cancelled + expired + failed.
+//   submitted == completed + cancelled + expired + failed + preempted.
+//
+// Multi-tenancy: the request's TenantClass rides inside GenerateRequest,
+// so every failover and hedge re-dispatch carries the original priority,
+// quota class, and fair-share weight to the next replica. An attempt a
+// replica preempted (kPreempted — displaced by a higher-priority tenant,
+// not a fault) is re-dispatched like a lost attempt but WITHOUT a breaker
+// penalty; if the failover budget runs out the request finalizes as
+// kPreempted with the partial tokens of its furthest attempt, never as a
+// fault.
 #ifndef TFMR_SERVE_FLEET_REPLICA_ROUTER_H_
 #define TFMR_SERVE_FLEET_REPLICA_ROUTER_H_
 
@@ -94,7 +103,7 @@ enum class ReplicaPhase {
 const char* ReplicaPhaseName(ReplicaPhase phase);
 
 /// Fleet-wide counters. Conservation at quiescence:
-/// submitted == completed + cancelled + expired + failed.
+/// submitted == completed + cancelled + expired + failed + preempted.
 struct FleetStats {
   uint64_t submitted = 0;  // accepted into the fleet
   uint64_t rejected = 0;   // refused at Submit (no replica would take it)
@@ -102,6 +111,8 @@ struct FleetStats {
   uint64_t cancelled = 0;
   uint64_t expired = 0;
   uint64_t failed = 0;
+  uint64_t preempted = 0;  // finalized kPreempted after the failover
+                           // budget ran out (partial tokens preserved)
   uint64_t failovers = 0;         // attempts re-dispatched after loss
   uint64_t hedges_launched = 0;
   uint64_t hedges_won = 0;        // requests whose hedge beat the primary
@@ -208,6 +219,12 @@ class ReplicaRouter {
     std::vector<Attempt> attempts;
     int failovers = 0;
     bool hedged = false;
+    /// A replica preempted an attempt of this request (policy, not a
+    /// fault). `preempt_result` keeps the furthest preempted attempt's
+    /// partial output so failover exhaustion can finalize as kPreempted
+    /// (resumable at the client) instead of a fault. Guarded by mu_.
+    bool was_preempted = false;
+    RequestResult preempt_result;
 
     // Streamed-prefix dedup across attempts: guarded by stream_mu (taken
     // on replica scheduler threads, so kept separate from mu_).
@@ -271,6 +288,7 @@ class ReplicaRouter {
   uint64_t cancelled_ = 0;
   uint64_t expired_ = 0;
   uint64_t failed_ = 0;
+  uint64_t preempted_ = 0;
   uint64_t failovers_ = 0;
   uint64_t hedges_launched_ = 0;
   uint64_t hedges_won_ = 0;

@@ -16,7 +16,10 @@ namespace llm::serve {
 namespace {
 
 // Deadline-feasibility shedding trusts the decode-rate EMA only after this
-// many measured ticks, so a cold server never sheds on a garbage estimate.
+// many measured ticks. Before that the optimistic floor (fastest observed
+// tick, or the est_ms_per_step_seed hint) stands in, so a cold server
+// sheds only deadlines that even a best-case decode rate cannot meet —
+// never on a garbage estimate.
 constexpr int64_t kMinTicksForEstimate = 8;
 
 // EMA smoothing for the per-step cost estimate.
@@ -60,6 +63,7 @@ const char* FinishReasonName(FinishReason reason) {
     case FinishReason::kCancelled: return "cancelled";
     case FinishReason::kDeadline: return "deadline";
     case FinishReason::kFault: return "fault";
+    case FinishReason::kPreempted: return "preempted";
   }
   return "unknown";
 }
@@ -85,6 +89,19 @@ InferenceServer::InferenceServer(const nn::GPTModel* model,
       tick_hist_(obs::MetricsRegistry::Global().GetHistogram("serve.tick_ms")) {
   LLM_CHECK(model != nullptr);
   LLM_CHECK_GT(options.max_batch_size, 0);
+  est_floor_ms_ = std::max(options.est_ms_per_step_seed, 0.0);
+  if (est_floor_ms_ > 0.0) {
+    // Publish the hint so Stats() (and a further reload chaining off it)
+    // sees the estimate in effect before the first measured tick.
+    est_ms_per_step_pub_.store(est_floor_ms_, std::memory_order_relaxed);
+  }
+  const auto now = std::chrono::steady_clock::now();
+  quota_.reserve(kNumTenantClasses);
+  for (int cls = 0; cls < kNumTenantClasses; ++cls) {
+    const TenantClassPolicy& policy = options_.tenants.classes[cls];
+    quota_.emplace_back(policy.quota_tokens_per_sec, policy.quota_burst_tokens,
+                        now);
+  }
   obs::WireFaultEventsToFlightRecorder();
 }
 
@@ -145,7 +162,8 @@ util::Status InferenceServer::Drain(std::chrono::milliseconds timeout) {
   {
     std::unique_lock<std::mutex> lock(stats_mu_);
     drained = drain_cv_.wait_for(lock, timeout, [this] {
-      return submitted_ == completed_ + cancelled_ + expired_ + failed_;
+      return submitted_ ==
+             completed_ + cancelled_ + expired_ + failed_ + preempted_;
     });
   }
   Shutdown();
@@ -216,16 +234,73 @@ util::StatusOr<RequestId> InferenceServer::Submit(GenerateRequest request) {
     std::lock_guard<std::mutex> lock(registry_mu_);
     registry_.emplace(state->id, state);
   }
+  const TenantClass tenant = state->request.tenant;
+  const int cls = static_cast<int>(tenant);
+
+  // Per-tenant quota, charged for the worst-case token footprint (prompt
+  // plus requested output). A rejected request never enters the queue, so
+  // the bucket is the class's rate limit on admitted work, not on traffic.
+  if (options_.tenants.classes[cls].quota_tokens_per_sec > 0.0) {
+    const double charge = static_cast<double>(state->request.prompt.size()) +
+                          static_cast<double>(state->request.max_new_tokens);
+    bool within_quota;
+    {
+      std::lock_guard<std::mutex> lock(quota_mu_);
+      within_quota = quota_[static_cast<size_t>(cls)].TryConsume(
+          charge, std::chrono::steady_clock::now());
+    }
+    if (!within_quota) {
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventType::kQuotaExhausted, cls,
+          static_cast<int64_t>(state->id), static_cast<int64_t>(charge));
+      {
+        std::lock_guard<std::mutex> lock(registry_mu_);
+        registry_.erase(state->id);
+      }
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++rejected_;
+      ++class_counts_[cls].quota_rejected;
+      return util::Status::ResourceExhausted(
+          std::string("quota exhausted for tenant class ") +
+          TenantClassName(tenant));
+    }
+  }
+
   if (state->request.max_new_tokens == 0) {
     // Nothing to generate; complete without touching the queue.
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++submitted_;
+      ++class_counts_[cls].submitted;
     }
     CompleteNow(state, FinishReason::kLength, util::Status::OK());
     return state->id;
   }
-  const util::Status pushed = queue_.Push(state);
+  util::Status pushed = queue_.Push(state);
+  // Queue full: shed the newest queued request of a lower-priority
+  // sheddable class to make room (priority admission under overload). The
+  // victim finishes kPreempted — it was accepted, so it still reaches a
+  // terminal state and conservation holds; the client may resubmit.
+  while (!pushed.ok() &&
+         pushed.code() == util::StatusCode::kResourceExhausted) {
+    std::shared_ptr<RequestState> victim =
+        queue_.EvictLowerPriority(tenant, options_.tenants);
+    if (!victim) break;  // nobody lower-priority to displace: reject
+    const int victim_cls = static_cast<int>(victim->request.tenant);
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kShed,
+                                         victim_cls,
+                                         static_cast<int64_t>(victim->id),
+                                         cls);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++class_counts_[victim_cls].shed;
+    }
+    CompleteNow(victim, FinishReason::kPreempted,
+                util::Status::ResourceExhausted(
+                    "shed: displaced from the queue by a higher-priority "
+                    "tenant; resubmit to retry"));
+    pushed = queue_.Push(state);
+  }
   if (!pushed.ok()) {
     {
       std::lock_guard<std::mutex> lock(registry_mu_);
@@ -233,10 +308,12 @@ util::StatusOr<RequestId> InferenceServer::Submit(GenerateRequest request) {
     }
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++rejected_;
+    ++class_counts_[cls].rejected;
     return pushed;
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
   ++submitted_;
+  ++class_counts_[cls].submitted;
   return state->id;
 }
 
@@ -316,6 +393,7 @@ util::StatusOr<RequestResult> InferenceServer::Wait(RequestId id) {
     result.tokens = state->tokens;
     result.queue_ms = state->queue_ms;
     result.total_ms = state->total_ms;
+    result.first_token_ms = state->first_token_ms;
     result.trace = state->trace;
   }
   std::lock_guard<std::mutex> lock(registry_mu_);
@@ -340,6 +418,7 @@ InferenceServer::PollOutcome InferenceServer::Poll(RequestId id,
     out->tokens = state->tokens;
     out->queue_ms = state->queue_ms;
     out->total_ms = state->total_ms;
+    out->first_token_ms = state->first_token_ms;
     out->trace = state->trace;
   }
   std::lock_guard<std::mutex> lock(registry_mu_);
@@ -383,6 +462,10 @@ ServerStats InferenceServer::Stats() const {
     stats.cancelled = cancelled_;
     stats.expired = expired_;
     stats.failed = failed_;
+    stats.preempted = preempted_;
+    for (int cls = 0; cls < kNumTenantClasses; ++cls) {
+      stats.classes[cls] = class_counts_[cls];
+    }
     stats.total_tokens = total_tokens_;
     if (started_at_.time_since_epoch().count() != 0) {
       const double secs = MsSince(started_at_) / 1000.0;
@@ -395,6 +478,14 @@ ServerStats InferenceServer::Stats() const {
   stats.p50_latency_ms = latency.Percentile(0.50);
   stats.p95_latency_ms = latency.Percentile(0.95);
   stats.p99_latency_ms = latency.Percentile(0.99);
+  for (int cls = 0; cls < kNumTenantClasses; ++cls) {
+    const obs::HistogramSnapshot ttft = ttft_hist_[cls].Snapshot();
+    stats.classes[cls].p50_ttft_ms = ttft.Percentile(0.50);
+    stats.classes[cls].p99_ttft_ms = ttft.Percentile(0.99);
+    const obs::HistogramSnapshot tpot = tpot_hist_[cls].Snapshot();
+    stats.classes[cls].p50_tpot_ms = tpot.Percentile(0.50);
+    stats.classes[cls].p99_tpot_ms = tpot.Percentile(0.99);
+  }
   return stats;
 }
 
@@ -418,31 +509,72 @@ void ExportServerStats(const ServerStats& stats, const std::string& prefix,
   set("total_tokens", static_cast<double>(stats.total_tokens));
   set("tokens_per_sec", stats.tokens_per_sec);
   set("est_ms_per_step", stats.est_ms_per_step);
+  set("preempted", static_cast<double>(stats.preempted));
   set("p50_latency_ms", stats.p50_latency_ms);
   set("p95_latency_ms", stats.p95_latency_ms);
   set("p99_latency_ms", stats.p99_latency_ms);
   set("health", static_cast<double>(stats.health));
+  for (int cls = 0; cls < kNumTenantClasses; ++cls) {
+    const TenantClassStats& tc = stats.classes[cls];
+    const std::string cls_prefix =
+        prefix + "." + TenantClassName(static_cast<TenantClass>(cls)) + ".";
+    const auto set_cls = [&](const char* name, double value) {
+      registry->GetGauge(cls_prefix + name)->Set(value);
+    };
+    set_cls("submitted", static_cast<double>(tc.submitted));
+    set_cls("rejected", static_cast<double>(tc.rejected));
+    set_cls("quota_rejected", static_cast<double>(tc.quota_rejected));
+    set_cls("shed", static_cast<double>(tc.shed));
+    set_cls("preempted", static_cast<double>(tc.preempted));
+    set_cls("completed", static_cast<double>(tc.completed));
+    set_cls("cancelled", static_cast<double>(tc.cancelled));
+    set_cls("expired", static_cast<double>(tc.expired));
+    set_cls("failed", static_cast<double>(tc.failed));
+    set_cls("tokens", static_cast<double>(tc.tokens));
+    set_cls("p50_ttft_ms", tc.p50_ttft_ms);
+    set_cls("p99_ttft_ms", tc.p99_ttft_ms);
+    set_cls("p50_tpot_ms", tc.p50_tpot_ms);
+    set_cls("p99_tpot_ms", tc.p99_tpot_ms);
+  }
 }
 
 void InferenceServer::RecordFinish(const RequestState& state,
                                    FinishReason reason, double total_ms) {
-  (void)state;
+  // Caller holds state.mu, so first_token_ms / tokens are stable here.
+  const int cls = static_cast<int>(state.request.tenant);
+  if (state.first_token_ms > 0.0) {
+    ttft_hist_[cls].Record(state.first_token_ms);
+  }
+  const size_t n_tokens = state.tokens.size();
+  if (n_tokens >= 2 && total_ms > state.first_token_ms) {
+    tpot_hist_[cls].Record((total_ms - state.first_token_ms) /
+                           static_cast<double>(n_tokens - 1));
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
+  TenantClassStats& counts = class_counts_[cls];
   switch (reason) {
     case FinishReason::kStop:
     case FinishReason::kLength:
     case FinishReason::kWindow:
       ++completed_;
+      ++counts.completed;
       latency_hist_.Record(total_ms);
       break;
     case FinishReason::kCancelled:
       ++cancelled_;
+      ++counts.cancelled;
       break;
     case FinishReason::kDeadline:
       ++expired_;
+      ++counts.expired;
       break;
     case FinishReason::kFault:
       ++failed_;
+      ++counts.failed;
+      break;
+    case FinishReason::kPreempted:
+      ++preempted_;
+      ++counts.preempted;
       break;
     case FinishReason::kNone:
       break;
@@ -485,15 +617,22 @@ bool InferenceServer::PrepareAdmission(
   // Deadline-aware shedding: if even the most optimistic completion
   // estimate (every remaining step at the measured per-step rate, full
   // batch parallelism) overshoots the deadline, reject now instead of
-  // wasting a KV slot on a request that is guaranteed to expire.
+  // wasting a KV slot on a request that is guaranteed to expire. While the
+  // EMA is still warming up, the optimistic floor — the fastest tick seen,
+  // seeded from any est_ms_per_step_seed hint — stands in, so shedding is
+  // live from the first measured tick (or immediately with a hint) and a
+  // cold server with neither never sheds a feasible deadline.
+  const double est_step_ms =
+      ticks_observed_ >= kMinTicksForEstimate ? est_ms_per_step_
+                                              : est_floor_ms_;
   if (state->deadline != std::chrono::steady_clock::time_point::max() &&
-      ticks_observed_ >= kMinTicksForEstimate && est_ms_per_step_ > 0.0) {
+      est_step_ms > 0.0) {
     const auto& request = state->request;
     const int64_t steps_needed =
         std::min(static_cast<int64_t>(request.prompt.size()) +
                      request.max_new_tokens,
                  model_->config().max_seq_len);
-    const double est_ms = static_cast<double>(steps_needed) * est_ms_per_step_;
+    const double est_ms = static_cast<double>(steps_needed) * est_step_ms;
     const double budget_ms =
         std::chrono::duration<double, std::milli>(state->deadline - now)
             .count();
@@ -522,8 +661,35 @@ void InferenceServer::AdmitState(std::shared_ptr<RequestState> state) {
 int64_t InferenceServer::AdmitFromQueue() {
   int64_t admitted = 0;
   std::shared_ptr<RequestState> state;
-  while (scheduler_.HasFreeSlot() && queue_.TryPop(&state)) {
+  while (true) {
+    if (scheduler_.HasFreeSlot()) {
+      // Weighted-fair admission: the free slot goes to the backlogged
+      // class furthest under its fair share of lanes.
+      int64_t active[kNumTenantClasses];
+      scheduler_.ActiveSnapshot(active);
+      if (!queue_.TryPopFair(active, options_.tenants, &state)) break;
+      if (!PrepareAdmission(state)) continue;
+      AdmitState(std::move(state));
+      ++admitted;
+      continue;
+    }
+    // Batch full: the highest-priority queued class may preempt a
+    // lower-priority preemptible lane (subject to the fairness gate in
+    // PickVictim). The victim retires kPreempted with its partial output;
+    // its freed slot admits the waiting request this same iteration.
+    const int top = queue_.PeekTopClass();
+    if (top < 0) break;
+    const TenantClass incoming = static_cast<TenantClass>(top);
+    if (!scheduler_.CanPreemptFor(incoming, options_.tenants)) break;
+    if (!queue_.TryPopClass(incoming, &state)) break;
+    // Gate the incoming request BEFORE displacing a victim for it: a
+    // cancelled or infeasible request must not cost anyone their lane.
     if (!PrepareAdmission(state)) continue;
+    TickOutput preempt_out;
+    const bool preempted =
+        scheduler_.PreemptFor(incoming, options_.tenants, &preempt_out);
+    LLM_CHECK(preempted);  // single scheduler thread: the victim can't move
+    Publish(preempt_out);
     AdmitState(std::move(state));
     ++admitted;
   }
@@ -532,6 +698,7 @@ int64_t InferenceServer::AdmitFromQueue() {
 
 void InferenceServer::Publish(const TickOutput& out) {
   uint64_t delivered = 0;
+  uint64_t delivered_per_class[kNumTenantClasses] = {};
   for (const TickOutput::Emitted& emitted : out.tokens) {
     // A request the watchdog (or an earlier callback failure) already
     // finished gets no further streaming callbacks.
@@ -540,6 +707,7 @@ void InferenceServer::Publish(const TickOutput& out) {
       if (emitted.state->done) continue;
     }
     ++delivered;
+    ++delivered_per_class[static_cast<int>(emitted.state->request.tenant)];
     const auto& callback = emitted.state->request.on_token;
     if (!callback) continue;
     if (emitted.state->trace) {
@@ -570,6 +738,9 @@ void InferenceServer::Publish(const TickOutput& out) {
   if (delivered > 0) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     total_tokens_ += delivered;
+    for (int cls = 0; cls < kNumTenantClasses; ++cls) {
+      class_counts_[cls].tokens += delivered_per_class[cls];
+    }
   }
   for (const TickOutput::Finished& finished : out.finished) {
     {
@@ -621,6 +792,11 @@ void InferenceServer::SchedulerMain() {
                              ? step_ms
                              : (1.0 - kEstAlpha) * est_ms_per_step_ +
                                    kEstAlpha * step_ms;
+      // The floor tracks the fastest tick ever seen (or the reload hint):
+      // the optimistic stand-in feasibility shedding uses until the EMA
+      // has warmed up.
+      est_floor_ms_ = est_floor_ms_ == 0.0 ? step_ms
+                                           : std::min(est_floor_ms_, step_ms);
       ++ticks_observed_;
       est_ms_per_step_pub_.store(est_ms_per_step_, std::memory_order_relaxed);
     }

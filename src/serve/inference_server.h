@@ -47,6 +47,7 @@
 #include "serve/kv_cache_pool.h"
 #include "serve/request.h"
 #include "serve/request_queue.h"
+#include "serve/tenant.h"
 #include "serve/worker_pool.h"
 #include "util/status.h"
 
@@ -69,6 +70,18 @@ struct ServerOptions {
   /// reports kDegraded. Zero disables the watchdog. Budget generously:
   /// a false positive fails healthy requests.
   std::chrono::milliseconds tick_budget{0};
+  /// Per-tenant-class quotas, fair-share weights, and shed/preempt
+  /// eligibility (tenant.h). The default marks batch/background sheddable
+  /// and preemptible with unlimited quotas, so a server whose clients
+  /// never tag requests (everything kChat) behaves exactly as before.
+  TenantPolicy tenants = TenantPolicy::Default();
+  /// Optional decode-rate hint (ms per sequence-step), e.g. the previous
+  /// server's measured estimate carried across a replica reload. While the
+  /// EMA is still warming up, deadline-feasibility admission uses the
+  /// smaller of this hint and the fastest observed tick, so a freshly
+  /// reloaded server sheds infeasible deadlines from its very first
+  /// request instead of admitting doomed work for 8 ticks. Zero = no hint.
+  double est_ms_per_step_seed = 0.0;
 };
 
 /// Aggregate server condition, for load balancers and operators.
@@ -100,8 +113,31 @@ struct RetryOptions {
 ///
 /// Conservation invariant (asserted by the chaos harness): every accepted
 /// request reaches exactly one terminal state, so at quiescence
-/// `submitted == completed + cancelled + expired + failed`, and
-/// `free_slots == total_slots`.
+/// `submitted == completed + cancelled + expired + failed + preempted`,
+/// and `free_slots == total_slots`. The same identity holds per class.
+///
+/// Per-tenant-class slice of the counters, plus the latency percentiles
+/// interactive SLOs are written against: TTFT (submit -> first token) and
+/// TPOT (mean inter-token gap after the first).
+struct TenantClassStats {
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;        // queue-full Submit rejections (no victim)
+  uint64_t quota_rejected = 0;  // token-bucket rejections at Submit
+  uint64_t shed = 0;            // evicted from the queue by a higher class
+  uint64_t preempted = 0;       // terminal kPreempted (shed + mid-decode
+                                // lane preemptions; lane share = preempted
+                                // - shed)
+  uint64_t completed = 0;
+  uint64_t cancelled = 0;
+  uint64_t expired = 0;
+  uint64_t failed = 0;
+  uint64_t tokens = 0;          // streamed tokens delivered
+  double p50_ttft_ms = 0.0;
+  double p99_ttft_ms = 0.0;
+  double p50_tpot_ms = 0.0;
+  double p99_tpot_ms = 0.0;
+};
+
 struct ServerStats {
   size_t queue_depth = 0;
   int64_t active_slots = 0;
@@ -114,6 +150,8 @@ struct ServerStats {
   uint64_t expired = 0;    // deadline exceeded (in queue, in flight, or
                            // infeasible at admission)
   uint64_t failed = 0;     // isolated faults (kFault / Internal)
+  uint64_t preempted = 0;  // kPreempted: shed from the queue or displaced
+                           // mid-decode for a higher-priority tenant
   uint64_t stalled_ticks = 0;    // watchdog detections
   uint64_t leaks_repaired = 0;   // KV slots swept back into the pool
   uint64_t total_tokens = 0;  // generated tokens since Start
@@ -125,6 +163,8 @@ struct ServerStats {
   double p95_latency_ms = 0.0;
   double p99_latency_ms = 0.0;
   ServerHealth health = ServerHealth::kHealthy;
+  /// Per-tenant-class breakdown of the counters above.
+  TenantClassStats classes[kNumTenantClasses];
 };
 
 class InferenceServer {
@@ -269,10 +309,19 @@ class InferenceServer {
   std::unordered_map<RequestId, std::shared_ptr<RequestState>> inflight_;
 
   // Decode-rate estimate, scheduler thread only; mirrored into an atomic
-  // for Stats().
+  // for Stats(). `est_floor_ms_` is the optimistic floor (the fastest
+  // observed tick, seeded from options.est_ms_per_step_seed) used for
+  // feasibility shedding while the EMA warms up.
   double est_ms_per_step_ = 0.0;
+  double est_floor_ms_ = 0.0;
   int64_t ticks_observed_ = 0;
   std::atomic<double> est_ms_per_step_pub_{0.0};
+
+  /// Per-class admission quota buckets (tenant.h); indexed by TenantClass.
+  /// TokenBucket is not thread-safe and Submit runs on any thread, hence
+  /// the mutex.
+  std::mutex quota_mu_;
+  std::vector<TokenBucket> quota_;
 
   std::atomic<uint64_t> next_id_{1};
   mutable std::mutex registry_mu_;
@@ -286,6 +335,10 @@ class InferenceServer {
   uint64_t cancelled_ = 0;
   uint64_t expired_ = 0;
   uint64_t failed_ = 0;
+  uint64_t preempted_ = 0;
+  /// Per-class counter slices (percentile fields unused here; Stats()
+  /// fills them from the histograms below).
+  TenantClassStats class_counts_[kNumTenantClasses];
   std::atomic<uint64_t> stalled_ticks_{0};
   std::atomic<uint64_t> leaks_repaired_{0};
   uint64_t total_tokens_ = 0;
@@ -293,6 +346,10 @@ class InferenceServer {
   /// Completion latencies of finished-OK requests; Stats() reads its
   /// percentiles. Atomic buckets — recorded outside any lock.
   obs::Histogram latency_hist_;
+  /// Per-tenant-class TTFT (submit -> first token) and TPOT (mean
+  /// inter-token gap) distributions, the quantities per-class SLOs pin.
+  obs::Histogram ttft_hist_[kNumTenantClasses];
+  obs::Histogram tpot_hist_[kNumTenantClasses];
   /// Scheduler-tick profiling sink ("serve.tick_ms" in the global
   /// registry); only written while obs::EnableProfiling(true).
   obs::Histogram* tick_hist_;

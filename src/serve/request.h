@@ -27,6 +27,21 @@ namespace llm::serve {
 
 using RequestId = uint64_t;
 
+/// Tenant (traffic) class of a request. The class index doubles as its
+/// priority: lower index = more important. Under overload the server sheds
+/// and preempts strictly from the high-index end (background before batch,
+/// batch before chat), so interactive traffic keeps its SLO while bulk
+/// work degrades by policy — see tenant.h for the per-class knobs.
+enum class TenantClass : int32_t {
+  kChat = 0,        // interactive chat: latency-sensitive, never shed
+  kBatch = 1,       // batch summarization: throughput work, sheddable
+  kBackground = 2,  // background eval: lowest priority, quota-limited
+};
+
+inline constexpr int kNumTenantClasses = 3;
+
+const char* TenantClassName(TenantClass tenant);
+
 /// One generation request. Copyable; the server takes it by value.
 struct GenerateRequest {
   /// Prompt tokens; must be non-empty and fit the model window.
@@ -40,6 +55,11 @@ struct GenerateRequest {
   /// same prompt/options/seed return identical tokens, whatever else is in
   /// flight.
   uint64_t seed = 0;
+  /// Traffic class: admission priority, quota bucket, fair-share weight,
+  /// and shed/preempt eligibility all key off this (tenant.h). The default
+  /// kChat is the never-shed class, so untagged requests behave exactly as
+  /// they did before multi-tenancy existed.
+  TenantClass tenant = TenantClass::kChat;
   /// Relative deadline measured from Submit; zero means none. An expired
   /// request finishes with DeadlineExceeded (partial tokens preserved).
   std::chrono::milliseconds timeout{0};
@@ -68,6 +88,9 @@ enum class FinishReason {
   kCancelled,   // Cancel() or server shutdown
   kDeadline,    // timeout expired
   kFault,       // isolated server-side failure (status is Internal)
+  kPreempted,   // shed from the queue or preempted mid-decode to make room
+                // for a higher-priority tenant; partial tokens preserved,
+                // resumable at the client (status is ResourceExhausted)
 };
 
 const char* FinishReasonName(FinishReason reason);
@@ -79,6 +102,7 @@ struct RequestResult {
   std::vector<int64_t> tokens;  // generated tokens (partial on error)
   double queue_ms = 0.0;        // submit -> admission
   double total_ms = 0.0;        // submit -> completion
+  double first_token_ms = 0.0;  // submit -> first token (TTFT); 0 if none
   /// Span tree for traced requests (null otherwise). Shared const view:
   /// the trace is complete by the time Wait returns it.
   std::shared_ptr<const obs::Trace> trace;
@@ -112,6 +136,8 @@ struct RequestState {
   std::vector<int64_t> tokens;
   double queue_ms = 0.0;
   double total_ms = 0.0;
+  /// Submit -> first generated token (TTFT); 0 until a token exists.
+  double first_token_ms = 0.0;
 };
 
 }  // namespace llm::serve

@@ -1,6 +1,10 @@
 #include "serve/request_queue.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
+
+#include "util/check.h"
 
 namespace llm::serve {
 
@@ -14,31 +18,88 @@ util::Status RequestQueue::Push(std::shared_ptr<RequestState> state) {
     if (closed_) {
       return util::Status::FailedPrecondition("request queue is closed");
     }
-    if (items_.size() >= capacity_) {
+    if (total_ >= capacity_) {
       return util::Status::ResourceExhausted("request queue full (capacity " +
                                              std::to_string(capacity_) + ")");
     }
-    items_.push_back(std::move(state));
+    lanes_[static_cast<int>(state->request.tenant)].push_back(std::move(state));
+    ++total_;
   }
   cv_.notify_one();
   return util::Status::OK();
 }
 
+int RequestQueue::TopClassLocked() const {
+  for (int cls = 0; cls < kNumTenantClasses; ++cls) {
+    if (!lanes_[cls].empty()) return cls;
+  }
+  return -1;
+}
+
+bool RequestQueue::PopClassLocked(int cls,
+                                  std::shared_ptr<RequestState>* out) {
+  if (cls < 0 || lanes_[cls].empty()) return false;
+  *out = std::move(lanes_[cls].front());
+  lanes_[cls].pop_front();
+  --total_;
+  return true;
+}
+
 bool RequestQueue::TryPop(std::shared_ptr<RequestState>* out) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (items_.empty()) return false;
-  *out = std::move(items_.front());
-  items_.pop_front();
-  return true;
+  return PopClassLocked(TopClassLocked(), out);
 }
 
 bool RequestQueue::WaitPop(std::shared_ptr<RequestState>* out) {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
-  if (items_.empty()) return false;
-  *out = std::move(items_.front());
-  items_.pop_front();
-  return true;
+  cv_.wait(lock, [this] { return closed_ || total_ > 0; });
+  return PopClassLocked(TopClassLocked(), out);
+}
+
+bool RequestQueue::TryPopFair(const int64_t (&active)[kNumTenantClasses],
+                              const TenantPolicy& policy,
+                              std::shared_ptr<RequestState>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Smallest active/weight ratio wins the next lane; compared as
+  // cross-products so the arithmetic stays exact. Ties go to the
+  // higher-priority (lower-index) class.
+  int best = -1;
+  for (int cls = 0; cls < kNumTenantClasses; ++cls) {
+    if (lanes_[cls].empty()) continue;
+    if (best < 0) {
+      best = cls;
+      continue;
+    }
+    const int64_t w_cls = std::max(policy.classes[cls].weight, 1);
+    const int64_t w_best = std::max(policy.classes[best].weight, 1);
+    if (active[cls] * w_best < active[best] * w_cls) best = cls;
+  }
+  return PopClassLocked(best, out);
+}
+
+bool RequestQueue::TryPopClass(TenantClass tenant,
+                               std::shared_ptr<RequestState>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PopClassLocked(static_cast<int>(tenant), out);
+}
+
+int RequestQueue::PeekTopClass() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TopClassLocked();
+}
+
+std::shared_ptr<RequestState> RequestQueue::EvictLowerPriority(
+    TenantClass incoming_class, const TenantPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int cls = kNumTenantClasses - 1; cls > static_cast<int>(incoming_class);
+       --cls) {
+    if (!policy.classes[cls].sheddable || lanes_[cls].empty()) continue;
+    std::shared_ptr<RequestState> victim = std::move(lanes_[cls].back());
+    lanes_[cls].pop_back();
+    --total_;
+    return victim;
+  }
+  return nullptr;
 }
 
 void RequestQueue::Close() {
@@ -51,7 +112,12 @@ void RequestQueue::Close() {
 
 size_t RequestQueue::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return items_.size();
+  return total_;
+}
+
+size_t RequestQueue::size_of_class(TenantClass tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lanes_[static_cast<int>(tenant)].size();
 }
 
 }  // namespace llm::serve

@@ -1,10 +1,23 @@
-// Thread-safe bounded admission queue for the inference server.
+// Thread-safe bounded admission queue for the inference server, with one
+// FIFO lane per tenant class.
 //
 // Producers (any thread calling InferenceServer::Submit) push shared
 // request states; the single scheduler thread pops them. The bound is the
 // server's overload valve: a full queue rejects with ResourceExhausted
 // instead of letting latency grow without limit (load shedding at
 // admission, the standard serving-system discipline).
+//
+// Multi-tenancy adds two disciplines on top of the bound (both preserve
+// FIFO order WITHIN a class):
+//
+//   Pop order   TryPop/WaitPop serve strict priority (lowest class index
+//               first); TryPopFair serves the backlogged class with the
+//               smallest active/weight ratio — the weighted-fair lane
+//               allocation the continuous-batching scheduler admits by.
+//   Eviction    EvictLowerPriority removes the NEWEST request of the
+//               highest-index sheddable class to make room for a
+//               higher-priority admission when the queue is full —
+//               newest-first so older bulk requests keep their place.
 #ifndef TFMR_SERVE_REQUEST_QUEUE_H_
 #define TFMR_SERVE_REQUEST_QUEUE_H_
 
@@ -15,41 +28,71 @@
 #include <mutex>
 
 #include "serve/request.h"
+#include "serve/tenant.h"
 #include "util/status.h"
 
 namespace llm::serve {
 
 class RequestQueue {
  public:
-  /// `capacity` must be positive.
+  /// `capacity` must be positive; it bounds the TOTAL across classes.
   explicit RequestQueue(size_t capacity);
 
   RequestQueue(const RequestQueue&) = delete;
   RequestQueue& operator=(const RequestQueue&) = delete;
 
-  /// Enqueues; returns ResourceExhausted when full, FailedPrecondition
-  /// after Close().
+  /// Enqueues into the lane of state->request.tenant; returns
+  /// ResourceExhausted when full, FailedPrecondition after Close().
   util::Status Push(std::shared_ptr<RequestState> state);
 
-  /// Non-blocking pop; false when empty.
+  /// Non-blocking pop in strict priority order (FIFO within a class);
+  /// false when empty.
   bool TryPop(std::shared_ptr<RequestState>* out);
 
   /// Blocks until an item is available (true) or the queue is closed and
-  /// drained (false).
+  /// drained (false). Same order as TryPop.
   bool WaitPop(std::shared_ptr<RequestState>* out);
+
+  /// Weighted-fair pop: among non-empty classes, serves the one with the
+  /// smallest active[cls]/weight ratio (ties to the higher-priority
+  /// class). `active` is the scheduler's current per-class lane counts.
+  /// FIFO within the chosen class; false when empty.
+  bool TryPopFair(const int64_t (&active)[kNumTenantClasses],
+                  const TenantPolicy& policy,
+                  std::shared_ptr<RequestState>* out);
+
+  /// Pops the oldest request of exactly `tenant`; false if that lane is
+  /// empty. The preemption path uses this after PeekTopClass.
+  bool TryPopClass(TenantClass tenant, std::shared_ptr<RequestState>* out);
+
+  /// Highest-priority (lowest-index) non-empty class, or -1 when empty.
+  int PeekTopClass() const;
+
+  /// Removes and returns the NEWEST queued request of the highest-index
+  /// sheddable class whose index is strictly greater than
+  /// `incoming_class`; nullptr when no such victim exists. The caller
+  /// completes the victim (FinishReason::kPreempted) and retries Push.
+  std::shared_ptr<RequestState> EvictLowerPriority(TenantClass incoming_class,
+                                                   const TenantPolicy& policy);
 
   /// Rejects future pushes and wakes blocked poppers. Items already queued
   /// can still be popped (the server fails them on shutdown instead).
   void Close();
 
   size_t size() const;
+  size_t size_of_class(TenantClass tenant) const;
   size_t capacity() const { return capacity_; }
 
  private:
+  /// Lowest-index non-empty lane; -1 when all empty. Caller holds mu_.
+  int TopClassLocked() const;
+  bool PopClassLocked(int cls, std::shared_ptr<RequestState>* out);
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::shared_ptr<RequestState>> items_;
+  std::deque<std::shared_ptr<RequestState>> lanes_[kNumTenantClasses];
+  size_t total_ = 0;
   bool closed_ = false;
 };
 

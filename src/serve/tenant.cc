@@ -1,0 +1,65 @@
+#include "serve/tenant.h"
+
+#include <algorithm>
+
+namespace llm::serve {
+
+const char* TenantClassName(TenantClass tenant) {
+  switch (tenant) {
+    case TenantClass::kChat: return "chat";
+    case TenantClass::kBatch: return "batch";
+    case TenantClass::kBackground: return "background";
+  }
+  return "unknown";
+}
+
+TenantPolicy TenantPolicy::Default() {
+  TenantPolicy policy;
+  TenantClassPolicy& chat = policy.classes[static_cast<int>(TenantClass::kChat)];
+  chat.weight = 4;
+  chat.sheddable = false;
+  chat.preemptible = false;
+  TenantClassPolicy& batch =
+      policy.classes[static_cast<int>(TenantClass::kBatch)];
+  batch.weight = 2;
+  batch.sheddable = true;
+  batch.preemptible = true;
+  TenantClassPolicy& background =
+      policy.classes[static_cast<int>(TenantClass::kBackground)];
+  background.weight = 1;
+  background.sheddable = true;
+  background.preemptible = true;
+  return policy;
+}
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst,
+                         std::chrono::steady_clock::time_point start)
+    : rate_per_sec_(rate_per_sec),
+      burst_(std::max(burst, 0.0)),
+      tokens_(std::max(burst, 0.0)),
+      last_refill_(start) {}
+
+void TokenBucket::RefillTo(std::chrono::steady_clock::time_point now) {
+  if (now <= last_refill_) return;  // clamp: virtual time never rewinds
+  const double secs =
+      std::chrono::duration<double>(now - last_refill_).count();
+  tokens_ = std::min(burst_, tokens_ + rate_per_sec_ * secs);
+  last_refill_ = now;
+}
+
+bool TokenBucket::TryConsume(double tokens,
+                             std::chrono::steady_clock::time_point now) {
+  if (unlimited()) return true;
+  RefillTo(now);
+  if (tokens_ < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+double TokenBucket::Available(std::chrono::steady_clock::time_point now) {
+  if (unlimited()) return 1e18;
+  RefillTo(now);
+  return tokens_;
+}
+
+}  // namespace llm::serve

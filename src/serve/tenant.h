@@ -1,0 +1,106 @@
+// Per-tenant serving policy: quotas, fair-share weights, and shed/preempt
+// eligibility — the knobs that decide WHO degrades when demand exceeds
+// capacity.
+//
+// The policy model (DESIGN.md §14):
+//
+//   Priority    The TenantClass index (request.h). Lower index wins every
+//               strict-priority decision: queue-full eviction sheds the
+//               highest-index sheddable class first, and decode preemption
+//               only ever flows downhill (a class may displace strictly
+//               higher-index, preemptible lanes).
+//   Quota       A per-class token bucket charged at admission for the
+//               request's worst-case token footprint (prompt + requested
+//               output). Refill is computed from caller-supplied time
+//               points — "virtual time" — so tests drive the bucket
+//               deterministically and the server just passes the steady
+//               clock. rate <= 0 means unlimited.
+//   Weight      Weighted-fair lane share in the continuous-batching
+//               scheduler: when a KV slot frees up, the queue pops from
+//               the backlogged class with the smallest active/weight
+//               ratio, so bulk classes keep a proportional share of the
+//               batch instead of starving (work-conserving: idle classes
+//               donate their share).
+//   Sheddable   May be evicted from the admission queue when a
+//               lower-index class arrives and the queue is full.
+//   Preemptible May have an in-flight decode retired (FinishReason::
+//               kPreempted, KV slot back to the pool, partial tokens
+//               returned) when a lower-index class is queued and no slot
+//               is free. Preemption respects the weights: the preemptor
+//               must still be under its fair share relative to the
+//               victim, which keeps admission/preemption from thrashing
+//               a lane back and forth.
+//
+// The default policy gives chat 4 : batch 2 : background 1 weights, marks
+// batch and background sheddable + preemptible, and leaves every quota
+// unlimited — so a server that never tags requests (everything kChat)
+// behaves exactly as before multi-tenancy existed.
+#ifndef TFMR_SERVE_TENANT_H_
+#define TFMR_SERVE_TENANT_H_
+
+#include <chrono>
+
+#include "serve/request.h"
+
+namespace llm::serve {
+
+struct TenantClassPolicy {
+  /// Token-bucket refill rate, in (prompt + requested output) tokens per
+  /// second; <= 0 means unlimited (the bucket is never consulted).
+  double quota_tokens_per_sec = 0.0;
+  /// Bucket capacity: the largest burst the class can admit at once.
+  double quota_burst_tokens = 0.0;
+  /// Weighted-fair share of KV lanes; must be >= 1.
+  int weight = 1;
+  /// May be evicted from the queue for a higher-priority admission.
+  bool sheddable = false;
+  /// May have an in-flight decode preempted for a higher-priority tenant.
+  bool preemptible = false;
+};
+
+struct TenantPolicy {
+  TenantClassPolicy classes[kNumTenantClasses];
+
+  const TenantClassPolicy& of(TenantClass tenant) const {
+    return classes[static_cast<int>(tenant)];
+  }
+
+  /// chat {w4, protected} / batch {w2, sheddable+preemptible} /
+  /// background {w1, sheddable+preemptible}; all quotas unlimited.
+  static TenantPolicy Default();
+};
+
+/// Deterministic token bucket. All refill arithmetic runs on time points
+/// the caller supplies, so a test can replay any admission sequence
+/// exactly; the server passes std::chrono::steady_clock::now(). Not
+/// thread-safe — the owner serializes access (InferenceServer guards its
+/// buckets with a mutex).
+class TokenBucket {
+ public:
+  /// `rate_per_sec` <= 0 builds an unlimited bucket (TryConsume always
+  /// succeeds, available() reports +inf-ish burst).
+  TokenBucket(double rate_per_sec, double burst,
+              std::chrono::steady_clock::time_point start);
+
+  /// Refills for the elapsed virtual time, then consumes `tokens` if the
+  /// bucket holds at least that many. `now` must be monotone across calls
+  /// (earlier time points are clamped to the last seen).
+  bool TryConsume(double tokens, std::chrono::steady_clock::time_point now);
+
+  /// Tokens available after refilling to `now` (no consumption).
+  double Available(std::chrono::steady_clock::time_point now);
+
+  bool unlimited() const { return rate_per_sec_ <= 0.0; }
+
+ private:
+  void RefillTo(std::chrono::steady_clock::time_point now);
+
+  const double rate_per_sec_;
+  const double burst_;
+  double tokens_;
+  std::chrono::steady_clock::time_point last_refill_;
+};
+
+}  // namespace llm::serve
+
+#endif  // TFMR_SERVE_TENANT_H_

@@ -1,0 +1,169 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace llm::serve {
+namespace {
+
+// Zipf inverse-CDF table size cap: enough support to show the heavy tail,
+// small enough that building the table is free at bench scale.
+constexpr int64_t kMaxZipfSupport = 4096;
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(std::vector<TenantLoadSpec> specs,
+                                     const nn::GPTConfig& config,
+                                     uint64_t seed)
+    : specs_(std::move(specs)),
+      vocab_size_(config.vocab_size),
+      max_seq_len_(config.max_seq_len) {
+  LLM_CHECK(!specs_.empty());
+  for (TenantLoadSpec& spec : specs_) {
+    spec.max_prompt_tokens =
+        std::max<int64_t>(1, std::min(spec.max_prompt_tokens, max_seq_len_));
+    spec.max_output_tokens = std::max<int64_t>(1, spec.max_output_tokens);
+    spec.burst_amplitude = std::clamp(spec.burst_amplitude, 0.0, 1.0);
+  }
+  // Zipf inverse CDF over a capped support, weight 1/rank^s.
+  const int64_t support = std::min(vocab_size_, kMaxZipfSupport);
+  const double s = specs_.front().zipf_s;
+  zipf_cdf_.resize(static_cast<size_t>(support));
+  double total = 0.0;
+  for (int64_t k = 0; k < support; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    zipf_cdf_[static_cast<size_t>(k)] = total;
+  }
+  for (double& c : zipf_cdf_) c /= total;
+
+  util::Rng root(seed);
+  arrival_rngs_.reserve(specs_.size());
+  content_rngs_.reserve(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    arrival_rngs_.push_back(root.Fork());
+    content_rngs_.push_back(root.Fork());
+  }
+}
+
+int64_t WorkloadGenerator::SampleLength(util::Rng* rng, double log_mean,
+                                        double log_sigma, int64_t cap) const {
+  const int64_t len =
+      static_cast<int64_t>(std::llround(std::exp(rng->Normal(log_mean,
+                                                             log_sigma))));
+  return std::clamp<int64_t>(len, 1, cap);
+}
+
+int64_t WorkloadGenerator::SampleZipfToken(util::Rng* rng) const {
+  const double u = rng->Uniform();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  const auto idx = it == zipf_cdf_.end() ? zipf_cdf_.size() - 1
+                                         : static_cast<size_t>(
+                                               it - zipf_cdf_.begin());
+  return static_cast<int64_t>(idx);
+}
+
+GenerateRequest WorkloadGenerator::Sample(size_t spec_index) {
+  LLM_CHECK_LT(spec_index, specs_.size());
+  const TenantLoadSpec& spec = specs_[spec_index];
+  util::Rng& rng = content_rngs_[spec_index];
+
+  GenerateRequest request;
+  request.tenant = spec.tenant;
+  const int64_t prompt_len = SampleLength(
+      &rng, spec.prompt_log_mean, spec.prompt_log_sigma, spec.max_prompt_tokens);
+  request.prompt.reserve(static_cast<size_t>(prompt_len));
+  for (int64_t t = 0; t < prompt_len; ++t) {
+    request.prompt.push_back(SampleZipfToken(&rng));
+  }
+  request.max_new_tokens = SampleLength(
+      &rng, spec.output_log_mean, spec.output_log_sigma,
+      spec.max_output_tokens);
+  request.sampler.temperature = static_cast<float>(spec.temperature);
+  request.timeout = spec.deadline;
+  request.seed = rng.NextU64();
+  return request;
+}
+
+std::vector<Arrival> WorkloadGenerator::OpenLoopSchedule(double duration_ms) {
+  std::vector<Arrival> schedule;
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const TenantLoadSpec& spec = specs_[i];
+    if (spec.arrivals_per_sec <= 0.0) continue;
+    util::Rng& rng = arrival_rngs_[i];
+    // Lewis-Shedler thinning: draw candidate arrivals from a homogeneous
+    // Poisson process at the envelope's peak rate, keep each with
+    // probability rate(t)/rate_max. Exact for any bounded rate function.
+    const double rate_max_per_ms =
+        spec.arrivals_per_sec * (1.0 + spec.burst_amplitude) / 1000.0;
+    double t_ms = 0.0;
+    while (true) {
+      t_ms += -std::log(1.0 - rng.Uniform()) / rate_max_per_ms;
+      if (t_ms >= duration_ms) break;
+      const double envelope =
+          1.0 + spec.burst_amplitude *
+                    std::sin(2.0 * M_PI * t_ms /
+                             std::max(spec.burst_period_ms, 1.0));
+      const double accept_p =
+          envelope / (1.0 + spec.burst_amplitude);
+      if (rng.Uniform() >= accept_p) continue;
+      schedule.push_back({t_ms, Sample(i)});
+    }
+  }
+  // Stable sort: same-time arrivals keep spec order, so the merged
+  // schedule is a pure function of (specs, seed, duration).
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+  return schedule;
+}
+
+TenantLoadSpec MakeChatSpec(double arrivals_per_sec) {
+  TenantLoadSpec spec;
+  spec.tenant = TenantClass::kChat;
+  spec.arrivals_per_sec = arrivals_per_sec;
+  spec.burst_amplitude = 0.8;     // spiky interactive traffic
+  spec.burst_period_ms = 400.0;
+  spec.prompt_log_mean = 1.4;     // short prompts, median ~4 tokens
+  spec.prompt_log_sigma = 0.5;
+  spec.max_prompt_tokens = 12;
+  spec.output_log_mean = 1.8;     // short replies
+  spec.output_log_sigma = 0.5;
+  spec.max_output_tokens = 12;
+  spec.temperature = 0.8;
+  return spec;
+}
+
+TenantLoadSpec MakeBatchSpec(double arrivals_per_sec) {
+  TenantLoadSpec spec;
+  spec.tenant = TenantClass::kBatch;
+  spec.arrivals_per_sec = arrivals_per_sec;
+  spec.burst_amplitude = 0.0;     // steady bulk pipeline
+  spec.prompt_log_mean = 2.2;     // long documents, heavy tail
+  spec.prompt_log_sigma = 0.7;
+  spec.max_prompt_tokens = 24;
+  spec.output_log_mean = 2.4;     // long summaries
+  spec.output_log_sigma = 0.6;
+  spec.max_output_tokens = 32;
+  spec.temperature = 0.7;
+  return spec;
+}
+
+TenantLoadSpec MakeBackgroundSpec(double arrivals_per_sec) {
+  TenantLoadSpec spec;
+  spec.tenant = TenantClass::kBackground;
+  spec.arrivals_per_sec = arrivals_per_sec;
+  spec.burst_amplitude = 0.0;
+  spec.prompt_log_mean = 1.8;
+  spec.prompt_log_sigma = 0.6;
+  spec.max_prompt_tokens = 16;
+  spec.output_log_mean = 2.2;     // long eval generations
+  spec.output_log_sigma = 0.6;
+  spec.max_output_tokens = 32;
+  spec.temperature = 1.0;
+  return spec;
+}
+
+}  // namespace llm::serve

@@ -1,0 +1,124 @@
+// Deterministic multi-tenant workload generator for serving benchmarks
+// and overload tests.
+//
+// Real serving traffic is not Poisson-with-fixed-lengths: arrivals surge
+// diurnally and in bursts, prompt/output lengths are heavy-tailed (a few
+// huge requests dominate token volume), and different tenants mix
+// open-loop traffic (arrivals keep coming whether or not the server keeps
+// up — the regime where overload happens) with closed-loop clients (the
+// next request waits for the previous reply). This generator reproduces
+// those shapes from a single seed:
+//
+//   Arrivals   Per-spec non-homogeneous Poisson process, rate(t) =
+//              base_rate * (1 + amplitude * sin(2*pi*t / period)), sampled
+//              by Lewis-Shedler thinning — a burst envelope standing in
+//              for diurnal/spike structure. Closed-loop clients instead
+//              call Sample() per request and pace themselves.
+//   Lengths    Log-normal prompt and output token counts (clamped to
+//              caps), the standard heavy-tail model for request sizes.
+//   Content    Prompt token ids Zipf-distributed over the vocabulary via
+//              a precomputed inverse CDF, mimicking natural-language
+//              frequency skew (hot tokens dominate, mass in the tail).
+//
+// Everything derives from the constructor seed through forked util::Rng
+// streams, one per spec: the same (specs, config, seed) triple yields an
+// identical schedule — token-for-token — on every run, so an SLO
+// regression in a bench is a real regression, not workload noise.
+#ifndef TFMR_SERVE_WORKLOAD_H_
+#define TFMR_SERVE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/transformer.h"
+#include "serve/request.h"
+#include "util/rng.h"
+
+namespace llm::serve {
+
+/// One tenant's traffic shape. Defaults model an interactive chat class;
+/// see MakeChatSpec/MakeBatchSpec/MakeBackgroundSpec for tuned presets.
+struct TenantLoadSpec {
+  TenantClass tenant = TenantClass::kChat;
+
+  /// Mean open-loop arrival rate (requests/sec) before the burst envelope.
+  double arrivals_per_sec = 4.0;
+  /// Burst envelope: rate(t) = arrivals_per_sec * (1 + amplitude *
+  /// sin(2*pi*t/period)). amplitude in [0, 1]; 0 = homogeneous Poisson.
+  double burst_amplitude = 0.0;
+  double burst_period_ms = 1000.0;
+
+  /// Log-normal prompt length: exp(Normal(log_mean, log_sigma)) tokens,
+  /// clamped to [1, max_prompt_tokens].
+  double prompt_log_mean = 1.6;   // median ~5 tokens
+  double prompt_log_sigma = 0.6;
+  int64_t max_prompt_tokens = 24;
+
+  /// Log-normal requested output length, clamped to [1, max_output_tokens].
+  double output_log_mean = 2.0;   // median ~7 tokens
+  double output_log_sigma = 0.7;
+  int64_t max_output_tokens = 24;
+
+  /// Zipf exponent for prompt token ids (higher = more head-heavy).
+  double zipf_s = 1.1;
+
+  /// Stamped onto every generated request; 0 = no deadline.
+  std::chrono::milliseconds deadline{0};
+  double temperature = 1.0;
+};
+
+/// One scheduled open-loop arrival.
+struct Arrival {
+  double at_ms = 0.0;  // offset from schedule start
+  GenerateRequest request;
+};
+
+class WorkloadGenerator {
+ public:
+  /// `config` bounds prompt lengths (max_seq_len) and token ids
+  /// (vocab_size); spec caps are clamped against it. All randomness
+  /// derives from `seed`.
+  WorkloadGenerator(std::vector<TenantLoadSpec> specs,
+                    const nn::GPTConfig& config, uint64_t seed);
+
+  /// Draws one request from spec `spec_index` (closed-loop clients call
+  /// this once per round trip). Deterministic per-spec stream: the k-th
+  /// call for a spec returns the same request regardless of interleaving
+  /// with other specs.
+  GenerateRequest Sample(size_t spec_index);
+
+  /// Generates every open-loop arrival in [0, duration_ms) across all
+  /// specs via Poisson thinning, merged and sorted by at_ms (ties break by
+  /// spec order, so the schedule is fully deterministic).
+  std::vector<Arrival> OpenLoopSchedule(double duration_ms);
+
+  size_t num_specs() const { return specs_.size(); }
+  const TenantLoadSpec& spec(size_t i) const { return specs_[i]; }
+
+ private:
+  int64_t SampleLength(util::Rng* rng, double log_mean, double log_sigma,
+                       int64_t cap) const;
+  int64_t SampleZipfToken(util::Rng* rng) const;
+
+  std::vector<TenantLoadSpec> specs_;
+  int64_t vocab_size_;
+  int64_t max_seq_len_;
+  /// Inverse-CDF table for Zipf token ids, shared across specs (the
+  /// exponent of the FIRST spec wins; per-spec tables cost more than the
+  /// fidelity is worth at bench scale). zipf_cdf_[k] = P(token <= k).
+  std::vector<double> zipf_cdf_;
+  /// Per-spec independent streams: arrivals and request content draw from
+  /// separate forks so schedule length never perturbs request content.
+  std::vector<util::Rng> arrival_rngs_;
+  std::vector<util::Rng> content_rngs_;
+};
+
+/// Preset specs matching the tenant classes: latency-sensitive bursty
+/// chat, steady heavy batch, and a trickle of background eval traffic.
+TenantLoadSpec MakeChatSpec(double arrivals_per_sec);
+TenantLoadSpec MakeBatchSpec(double arrivals_per_sec);
+TenantLoadSpec MakeBackgroundSpec(double arrivals_per_sec);
+
+}  // namespace llm::serve
+
+#endif  // TFMR_SERVE_WORKLOAD_H_

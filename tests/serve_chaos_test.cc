@@ -10,8 +10,8 @@
 // Whatever the storm does, two invariants must survive every schedule:
 //
 //   1. Conservation: every accepted request reaches exactly one terminal
-//      state — submitted == completed + cancelled + expired + failed —
-//      and Wait() returns for every accepted id.
+//      state — submitted == completed + cancelled + expired + failed +
+//      preempted — and Wait() returns for every accepted id.
 //   2. No leaks: at quiescence every KV slot is back in the free list.
 //
 // Plus the streaming contract: tokens delivered through on_token are
@@ -192,7 +192,8 @@ TEST_P(ServeChaosTest, InvariantsSurviveRandomFaultSchedule) {
   const ServerStats stats = server.Stats();
   EXPECT_EQ(stats.submitted, accepted.size());
   EXPECT_EQ(stats.submitted, stats.completed + stats.cancelled +
-                                 stats.expired + stats.failed);
+                                 stats.expired + stats.failed +
+                                 stats.preempted);
   EXPECT_EQ(stats.active_slots, 0);
   EXPECT_EQ(stats.free_slots, stats.total_slots);
   EXPECT_EQ(stats.queue_depth, 0u);
@@ -201,6 +202,129 @@ TEST_P(ServeChaosTest, InvariantsSurviveRandomFaultSchedule) {
 // >= 50 distinct schedules, as the failure model demands: enough to cover
 // fault-site combinations, both shutdown paths, and watchdog on/off.
 INSTANTIATE_TEST_SUITE_P(Schedules, ServeChaosTest, ::testing::Range(0, 56));
+
+// --- Tenant storms ---------------------------------------------------------
+//
+// The multi-tenant variant: every request carries a random tenant class,
+// background rides a randomized token quota, the queue is small enough
+// that chat arrivals shed and preempt lower classes, and slot-leak /
+// poisoned-logit faults fire throughout. On top of the global invariants,
+// conservation must hold PER CLASS — shed and preempted requests are
+// terminal states attributed to the class that suffered them, never
+// silently dropped — and chat (non-sheddable, non-preemptible under the
+// default policy) must see neither.
+class TenantStormTest : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override { util::FaultInjector::Global().Disarm(); }
+};
+
+TEST_P(TenantStormTest, PerClassConservationSurvivesStorm) {
+  const int seed = GetParam();
+  SCOPED_TRACE("tenant storm seed " + std::to_string(seed));
+  util::Rng chaos(0xC0FFEEull ^ (static_cast<uint64_t>(seed) *
+                                 0x9E3779B97F4A7C15ull));
+
+  nn::GPTConfig cfg;
+  cfg.vocab_size = 19;
+  cfg.max_seq_len = 16;
+  cfg.d_model = 24;
+  cfg.n_layer = 2;
+  cfg.n_head = 3;
+  util::Rng model_rng(static_cast<uint64_t>(seed) + 900);
+  nn::GPTModel model(cfg, &model_rng);
+
+  ServerOptions options;
+  options.max_batch_size = 1 + static_cast<int64_t>(chaos.UniformInt(3));
+  options.queue_capacity = 2 + static_cast<size_t>(chaos.UniformInt(4));
+  options.num_workers = static_cast<int>(chaos.UniformInt(2));
+  if (chaos.Bernoulli(0.5)) {
+    // Randomized background quota, tight enough to reject some arrivals.
+    auto& background = options.tenants.classes[static_cast<size_t>(
+        TenantClass::kBackground)];
+    background.quota_tokens_per_sec = 1.0 + chaos.Uniform() * 20.0;
+    background.quota_burst_tokens = 10.0 + chaos.Uniform() * 30.0;
+  }
+
+  const int n_requests = 8 + static_cast<int>(chaos.UniformInt(10));
+  std::vector<GenerateRequest> requests;
+  for (int i = 0; i < n_requests; ++i) {
+    GenerateRequest request;
+    const int prompt_len = 1 + static_cast<int>(chaos.UniformInt(3));
+    for (int t = 0; t < prompt_len; ++t) {
+      request.prompt.push_back(
+          static_cast<int64_t>(chaos.UniformInt(cfg.vocab_size)));
+    }
+    request.seed = chaos.NextU64();
+    request.max_new_tokens = 1 + static_cast<int64_t>(chaos.UniformInt(12));
+    request.sampler.temperature = 0.8f;
+    request.sampler.top_k = 5;
+    request.tenant = static_cast<TenantClass>(chaos.UniformInt(3));
+    requests.push_back(std::move(request));
+  }
+
+  auto& injector = util::FaultInjector::Global();
+  injector.ArmRandom(util::FaultSite::kDecodeNaN, 0.08 * chaos.Uniform(),
+                     chaos.NextU64());
+  injector.ArmRandom(util::FaultSite::kSlotLeak, 0.10 * chaos.Uniform(),
+                     chaos.NextU64());
+
+  InferenceServer server(&model, options);
+  server.Start();
+
+  std::mutex accepted_mu;
+  std::vector<RequestId> accepted;
+  uint64_t accepted_per_class[kNumTenantClasses] = {};
+  auto submit_range = [&](size_t begin, size_t step) {
+    for (size_t i = begin; i < requests.size(); i += step) {
+      util::StatusOr<RequestId> id = server.Submit(requests[i]);
+      if (!id.ok()) continue;  // quota / queue rejection: never accepted
+      std::lock_guard<std::mutex> lock(accepted_mu);
+      accepted.push_back(id.value());
+      ++accepted_per_class[static_cast<size_t>(requests[i].tenant)];
+    }
+  };
+  std::thread submitter_a([&] { submit_range(0, 2); });
+  std::thread submitter_b([&] { submit_range(1, 2); });
+  submitter_a.join();
+  submitter_b.join();
+
+  if (seed % 2 == 0) {
+    const util::Status drained = server.Drain(std::chrono::seconds(30));
+    EXPECT_TRUE(drained.ok()) << drained.ToString();
+  } else {
+    server.Shutdown();
+  }
+  for (RequestId id : accepted) {
+    auto result = server.Wait(id);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_NE(result.value().reason, FinishReason::kNone);
+  }
+
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.submitted, accepted.size());
+  EXPECT_EQ(stats.submitted, stats.completed + stats.cancelled +
+                                 stats.expired + stats.failed +
+                                 stats.preempted);
+  for (size_t c = 0; c < kNumTenantClasses; ++c) {
+    const TenantClassStats& cs = stats.classes[c];
+    SCOPED_TRACE(std::string("class ") +
+                 TenantClassName(static_cast<TenantClass>(c)));
+    EXPECT_EQ(cs.submitted, accepted_per_class[c]);
+    EXPECT_EQ(cs.submitted, cs.completed + cs.cancelled + cs.expired +
+                                cs.failed + cs.preempted);
+  }
+  // Chat is neither sheddable nor preemptible under the default policy.
+  const TenantClassStats& chat =
+      stats.classes[static_cast<size_t>(TenantClass::kChat)];
+  EXPECT_EQ(chat.shed, 0u);
+  EXPECT_EQ(chat.preempted, 0u);
+  EXPECT_EQ(chat.quota_rejected, 0u);
+  EXPECT_EQ(stats.active_slots, 0);
+  EXPECT_EQ(stats.free_slots, stats.total_slots);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Storms, TenantStormTest, ::testing::Range(0, 24));
 
 }  // namespace
 }  // namespace llm::serve

@@ -756,6 +756,83 @@ TEST_F(ServeResilienceTest, InfeasibleDeadlineShedAtAdmission) {
   EXPECT_EQ(server.Stats().expired, 1u);
 }
 
+TEST_F(ServeResilienceTest, EstimateSeedHintEnablesColdShedding) {
+  // A fresh server given an est_ms_per_step_seed hint (e.g. carried over
+  // from the outgoing incarnation by a rolling reload) sheds an
+  // infeasible deadline IMMEDIATELY — before a single tick is measured.
+  util::Rng rng(58);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ServerOptions options;
+  options.max_batch_size = 1;
+  options.est_ms_per_step_seed = 50.0;  // hint: ~50ms/step
+  InferenceServer server(&model, options);
+  server.Start();
+  EXPECT_DOUBLE_EQ(server.Stats().est_ms_per_step, 50.0);  // hint published
+
+  GenerateRequest doomed = MakeRequest({3}, 2, 10);  // ~11 steps => ~550ms
+  doomed.timeout = std::chrono::milliseconds(25);
+  auto id = server.Submit(doomed);
+  ASSERT_TRUE(id.ok());
+  auto result = server.Wait(id.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().reason, FinishReason::kDeadline);
+  EXPECT_NE(result.value().status.ToString().find("infeasible"),
+            std::string::npos);
+  EXPECT_TRUE(result.value().tokens.empty());
+  EXPECT_EQ(server.Stats().expired, 1u);
+}
+
+TEST_F(ServeResilienceTest, ColdServerDoesNotShedFeasibleDeadlines) {
+  // With no hint and no measured ticks there is no estimate at all, so
+  // feasibility shedding stays off: the very first deadlined request is
+  // admitted and served rather than judged on a garbage estimate.
+  util::Rng rng(59);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ServerOptions options;
+  options.max_batch_size = 2;
+  InferenceServer server(&model, options);
+  server.Start();
+  ASSERT_DOUBLE_EQ(server.Stats().est_ms_per_step, 0.0);  // truly cold
+
+  GenerateRequest first = MakeRequest({1, 2}, 1, 6);
+  first.timeout = std::chrono::seconds(5);
+  RequestResult result = server.GenerateBlocking(first);
+  EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.reason, FinishReason::kLength);
+  EXPECT_EQ(server.Stats().expired, 0u);
+  // And the first measured tick seeds the estimate for later admissions.
+  EXPECT_GT(server.Stats().est_ms_per_step, 0.0);
+}
+
+TEST_F(ServeResilienceTest, FirstTickStallDoesNotCauseFalseShedding) {
+  // A 30ms injected stall on the very first measured tick inflates the
+  // initial estimate; the optimistic floor (fastest tick seen) must keep
+  // that from condemning feasible deadlines while the EMA warms up.
+  util::FaultInjector::Global().ArmAt(util::FaultSite::kWorkerStall, {0});
+  util::Rng rng(60);
+  nn::GPTModel model(SmallConfig(), &rng);
+  ServerOptions options;
+  options.max_batch_size = 2;
+  InferenceServer server(&model, options);
+  server.Start();
+
+  std::vector<RequestId> ids;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    GenerateRequest request = MakeRequest({1, 2}, seed, 6);
+    request.timeout = std::chrono::seconds(5);  // generous and feasible
+    auto id = server.Submit(request);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  for (RequestId id : ids) {
+    auto result = server.Wait(id);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().reason, FinishReason::kLength)
+        << FinishReasonName(result.value().reason);
+  }
+  EXPECT_EQ(server.Stats().expired, 0u);
+}
+
 TEST_F(ServeResilienceTest, StreamingInterleavedWithCancelDeliversPrefix) {
   // Cancellation racing the token stream: every token in the result was
   // streamed, and nothing streams after the cancel retires the request.
