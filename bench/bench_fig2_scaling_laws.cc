@@ -31,6 +31,7 @@
 #include "grammar/cnf.h"
 #include "nn/layers.h"
 #include "nn/transformer.h"
+#include "obs/metrics.h"
 #include "text/dataset.h"
 #include "train/dist/dist_trainer.h"
 #include "train/trainer.h"
@@ -284,49 +285,73 @@ int main() {
         static_cast<llm::nn::Mlp&>(model).Forward(x);
     return llm::core::SumAll(llm::core::Mul(y, y));
   };
-  Table dp_table({"world", "seconds", "speedup", "final loss"});
+  // Both transports at every world size: the socket column prices the
+  // full wire stack (framing, CRCs, syscalls) against shared memory for
+  // the same arithmetic, and "comm ms/step" — the mean time one rank
+  // spends blocked in collectives per step, from the dist.comm.wait_ns
+  // counter — shows where the lost speedup went.
+  Table dp_table(
+      {"world", "transport", "seconds", "speedup", "comm ms/step",
+       "final loss"});
   std::string dp_json;
   double dp_base_seconds = 0.0;
-  for (int world : {1, 2, 4}) {
-    namespace fs = std::filesystem;
-    const std::string dir =
-        (fs::temp_directory_path() /
-         ("tfmr_bench_fig2_dp_w" + std::to_string(world)))
-            .string();
-    fs::remove_all(dir);
-    llm::train::dist::DistTrainerOptions dopts;
-    dopts.world_size = world;
-    dopts.max_steps = kDpSteps;
-    dopts.adamw.lr = 1e-3f;
-    dopts.checkpoint_dir = dir;
-    dopts.checkpoint_every = 0;  // final checkpoint only
-    llm::train::dist::DistTrainer dist(
-        dopts,
-        []() -> std::unique_ptr<llm::nn::Module> {
-          llm::util::Rng rng(31);
-          return std::make_unique<llm::nn::Mlp>(kDpIn, kDpHidden, kDpOut,
-                                                &rng);
-        },
-        dp_loss);
-    const auto t0 = std::chrono::steady_clock::now();
-    auto status = dist.Run();
-    const double seconds = SecondsSince(t0);
-    fs::remove_all(dir);
-    if (!status.ok()) {
-      std::fprintf(stderr, "dist world %d failed: %s\n", world,
-                   status.ToString().c_str());
-      return 1;
+  llm::obs::Counter* dp_wait =
+      llm::obs::MetricsRegistry::Global().GetCounter("dist.comm.wait_ns");
+  for (const char* transport : {"thread", "socket"}) {
+    for (int world : {1, 2, 4}) {
+      namespace fs = std::filesystem;
+      const std::string dir =
+          (fs::temp_directory_path() /
+           ("tfmr_bench_fig2_dp_" + std::string(transport) + "_w" +
+            std::to_string(world)))
+              .string();
+      fs::remove_all(dir);
+      llm::train::dist::DistTrainerOptions dopts;
+      dopts.world_size = world;
+      dopts.max_steps = kDpSteps;
+      dopts.adamw.lr = 1e-3f;
+      dopts.checkpoint_dir = dir;
+      dopts.checkpoint_every = 0;  // final checkpoint only
+      if (std::string(transport) == "socket") {
+        dopts.transport = llm::train::dist::CommTransport::kSocket;
+      }
+      llm::train::dist::DistTrainer dist(
+          dopts,
+          []() -> std::unique_ptr<llm::nn::Module> {
+            llm::util::Rng rng(31);
+            return std::make_unique<llm::nn::Mlp>(kDpIn, kDpHidden, kDpOut,
+                                                  &rng);
+          },
+          dp_loss);
+      const uint64_t wait0 = dp_wait->value();
+      const auto t0 = std::chrono::steady_clock::now();
+      auto status = dist.Run();
+      const double seconds = SecondsSince(t0);
+      const double comm_ms_per_step =
+          static_cast<double>(dp_wait->value() - wait0) / 1e6 /
+          static_cast<double>(kDpSteps * world);
+      fs::remove_all(dir);
+      if (!status.ok()) {
+        std::fprintf(stderr, "dist world %d (%s) failed: %s\n", world,
+                     transport, status.ToString().c_str());
+        return 1;
+      }
+      if (world == 1 && std::string(transport) == "thread") {
+        dp_base_seconds = seconds;
+      }
+      const double speedup = dp_base_seconds / seconds;
+      dp_table.AddRow({std::to_string(world), transport,
+                       FormatFloat(seconds), FormatFloat(speedup),
+                       FormatFloat(comm_ms_per_step),
+                       FormatFloat(dist.history().back().loss)});
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"world\":%d,\"transport\":\"%s\",\"seconds\":%.3f,"
+                    "\"speedup\":%.3f,\"comm_ms_per_step\":%.3f}",
+                    dp_json.empty() ? "" : ",", world, transport, seconds,
+                    speedup, comm_ms_per_step);
+      dp_json += buf;
     }
-    if (world == 1) dp_base_seconds = seconds;
-    const double speedup = dp_base_seconds / seconds;
-    dp_table.AddRow({std::to_string(world), FormatFloat(seconds),
-                     FormatFloat(speedup),
-                     FormatFloat(dist.history().back().loss)});
-    char buf[96];
-    std::snprintf(buf, sizeof(buf),
-                  "%s{\"world\":%d,\"seconds\":%.3f,\"speedup\":%.3f}",
-                  dp_json.empty() ? "" : ",", world, seconds, speedup);
-    dp_json += buf;
   }
   dp_table.Print(std::cout);
   const unsigned cores = std::thread::hardware_concurrency();

@@ -45,6 +45,11 @@ const char* FlightEventTypeName(FlightEventType type) {
     case FlightEventType::kQuotaExhausted: return "quota-exhausted";
     case FlightEventType::kShed: return "shed";
     case FlightEventType::kPreempt: return "preempt";
+    case FlightEventType::kTransportConnect: return "transport-connect";
+    case FlightEventType::kTransportDisconnect:
+      return "transport-disconnect";
+    case FlightEventType::kTransportFence: return "transport-fence";
+    case FlightEventType::kProcSpawn: return "proc-spawn";
   }
   return "unknown";
 }

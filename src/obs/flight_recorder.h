@@ -53,6 +53,10 @@ enum class FlightEventType : int32_t {
                        //   c=incoming TenantClass
   kPreempt,            // a=incoming TenantClass, b=victim request id,
                        //   c=victim tokens generated
+  kTransportConnect,   // dist: a=rank, b=epoch, c=0 first / 1 reconnect
+  kTransportDisconnect,// dist: a=rank, b=epoch, c=0 clean / 1 dirty
+  kTransportFence,     // dist: a=rank, b=stale epoch, c=current epoch
+  kProcSpawn,          // dist: a=rank, b=pid, c=epoch
 };
 
 const char* FlightEventTypeName(FlightEventType type);

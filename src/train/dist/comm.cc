@@ -108,27 +108,28 @@ util::StatusOr<std::vector<std::vector<float>>> CommHub::Exchange(
   return result;
 }
 
-util::Status CommHub::Barrier(int rank, int64_t seq,
-                              std::chrono::milliseconds timeout) {
+util::Status Comm::Barrier(int rank, int64_t seq,
+                           std::chrono::milliseconds timeout) {
   return Exchange(rank, seq, {}, timeout).status();
 }
 
-util::Status CommHub::AllReduceMean(int rank, int64_t seq,
-                                    std::vector<float>* data,
-                                    std::chrono::milliseconds timeout) {
+util::Status Comm::AllReduceMean(int rank, int64_t seq,
+                                 std::vector<float>* data,
+                                 std::chrono::milliseconds timeout) {
+  const int world = world_size();
   auto gathered = Exchange(rank, seq, *data, timeout);
   LLM_RETURN_IF_ERROR(gathered.status());
   const auto& bufs = gathered.value();
   const size_t n = data->size();
-  for (int r = 0; r < world_size_; ++r) {
+  for (int r = 0; r < world; ++r) {
     LLM_CHECK_EQ(bufs[static_cast<size_t>(r)].size(), n)
         << "AllReduceMean buffer size mismatch at rank " << r;
   }
-  const float inv = 1.0f / static_cast<float>(world_size_);
+  const float inv = 1.0f / static_cast<float>(world);
   for (size_t j = 0; j < n; ++j) {
     // Rank-ordered summation: every rank computes identical bits.
     float sum = 0.0f;
-    for (int r = 0; r < world_size_; ++r) {
+    for (int r = 0; r < world; ++r) {
       sum += bufs[static_cast<size_t>(r)][j];
     }
     (*data)[j] = sum * inv;

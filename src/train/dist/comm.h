@@ -46,12 +46,15 @@
 
 namespace llm::train::dist {
 
-class CommHub {
+/// Worker-side collective transport. The one primitive is Exchange (an
+/// all-gather); Barrier and AllReduceMean are derived on top of it in
+/// plain rank-ordered code, so every implementation — the in-process
+/// CommHub below, the socket-backed SocketComm — produces bit-identical
+/// reductions by construction. DistTrainer and the multi-process worker
+/// loop are written against this interface and never name a transport.
+class Comm {
  public:
-  explicit CommHub(int world_size);
-
-  CommHub(const CommHub&) = delete;
-  CommHub& operator=(const CommHub&) = delete;
+  virtual ~Comm() = default;
 
   /// All-gather over ranks. Every live rank must call with the same `seq`
   /// (collectives are numbered in lockstep within an epoch; workers keep a
@@ -59,11 +62,23 @@ class CommHub {
   /// contributed, then returns every rank's buffer, indexed by rank.
   ///
   /// Errors: kDeadlineExceeded (this rank's wait expired first),
-  /// kCancelled (the round was poisoned by another rank's timeout, or
-  /// AbortAll was called), kInternal (a contribution failed its CRC).
-  util::StatusOr<std::vector<std::vector<float>>> Exchange(
+  /// kCancelled (the round was poisoned by another rank's timeout, the
+  /// epoch was aborted, or this rank was fenced out as stale), kInternal
+  /// (a contribution failed its CRC).
+  virtual util::StatusOr<std::vector<std::vector<float>>> Exchange(
       int rank, int64_t seq, std::vector<float> data,
-      std::chrono::milliseconds timeout);
+      std::chrono::milliseconds timeout) = 0;
+
+  /// One cheap liveness signal per step; the coordinator's monitor
+  /// compares counters over time to detect silent stalls.
+  virtual void Heartbeat(int rank) = 0;
+
+  /// Announces an orderly exit (loop ran to completion), so the
+  /// coordinator can tell a finished rank from a dead one when the
+  /// transport connection goes away. No-op for in-process transports.
+  virtual void Finish(int rank) { (void)rank; }
+
+  virtual int world_size() const = 0;
 
   /// Rendezvous with no payload: Exchange of empty buffers.
   util::Status Barrier(int rank, int64_t seq,
@@ -74,6 +89,19 @@ class CommHub {
   /// same bits. All buffers must be the same size.
   util::Status AllReduceMean(int rank, int64_t seq, std::vector<float>* data,
                              std::chrono::milliseconds timeout);
+};
+
+class CommHub : public Comm {
+ public:
+  explicit CommHub(int world_size);
+
+  CommHub(const CommHub&) = delete;
+  CommHub& operator=(const CommHub&) = delete;
+
+  /// See Comm::Exchange.
+  util::StatusOr<std::vector<std::vector<float>>> Exchange(
+      int rank, int64_t seq, std::vector<float> data,
+      std::chrono::milliseconds timeout) override;
 
   /// Wakes every current and future waiter with kCancelled. Idempotent.
   void AbortAll();
@@ -84,10 +112,10 @@ class CommHub {
 
   /// One relaxed increment; the coordinator's monitor reads the counter
   /// to detect ranks that stopped making progress.
-  void Heartbeat(int rank);
+  void Heartbeat(int rank) override;
   int64_t HeartbeatCount(int rank) const;
 
-  int world_size() const { return world_size_; }
+  int world_size() const override { return world_size_; }
 
  private:
   struct Round {

@@ -1,5 +1,7 @@
 #include "train/dist/dist_trainer.h"
 
+#include "train/dist/socket_transport.h"
+
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -14,17 +16,6 @@
 
 namespace llm::train::dist {
 namespace {
-
-/// Per-(seed, rank, step) data seed. Splitmix-style odd-constant mixing so
-/// neighbouring (rank, step) pairs land far apart; util::Rng finishes the
-/// scrambling. Replay of any (rank, step) — rollback or respawn —
-/// regenerates identical batches.
-uint64_t StepSeed(uint64_t seed, int rank, int64_t step) {
-  uint64_t x = seed;
-  x += 0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(step) + 1);
-  x += 0xBF58476D1CE4E5B9ull * (static_cast<uint64_t>(rank) + 1);
-  return x;
-}
 
 /// Step number encoded in a checkpoint path ("…/ckpt_000000042.tfmr" ->
 /// 42); -1 when the name does not match.
@@ -69,8 +60,18 @@ DistTrainer::DistTrainer(const DistTrainerOptions& options,
 
 DistTrainer::~DistTrainer() {
   epoch_.fetch_add(1);
-  hub_->AbortAll();
+  AbortTransport();
   JoinAll();
+}
+
+void DistTrainer::AbortTransport() {
+  hub_->AbortAll();
+  if (server_) server_->AbortEpoch();
+}
+
+int64_t DistTrainer::WorkerHeartbeats(int rank) const {
+  return server_ ? server_->HeartbeatCount(rank)
+                 : hub_->HeartbeatCount(rank);
 }
 
 void DistTrainer::JoinAll() {
@@ -147,6 +148,14 @@ util::Status DistTrainer::Run() {
     LLM_RETURN_IF_ERROR(WriteInitialCheckpoint());
   }
 
+  if (options_.transport == CommTransport::kSocket && !server_) {
+    const std::string address = options_.socket_address.empty()
+                                    ? options_.checkpoint_dir + "/comm.sock"
+                                    : options_.socket_address;
+    server_ = std::make_unique<SocketServer>(options_.world_size, address);
+    LLM_RETURN_IF_ERROR(server_->Start());
+  }
+
   while (true) {
     // Pick the newest checkpoint that fully validates; a corrupt or torn
     // file (e.g. a save that raced a kill) is discarded so an older good
@@ -181,6 +190,7 @@ util::Status DistTrainer::Run() {
 void DistTrainer::SpawnEpoch(const std::string& ckpt_path) {
   hub_->Reset();
   const int epoch = epoch_.load();
+  if (server_) server_->Reset(epoch);
   const int64_t resume = StepFromCheckpointPath(ckpt_path);
   if (epoch > 0) {
     obs::FlightRecorder::Global().Record(
@@ -210,48 +220,9 @@ void DistTrainer::SpawnEpoch(const std::string& ckpt_path) {
   }
 }
 
-util::Status DistTrainer::SaveFullCheckpoint(int64_t next_step) {
-  // Rank 0 only, between checkpoint barriers A and B: every other rank is
-  // parked in barrier B, and its last moment writes happened before its
-  // barrier-A arrival (hub mutex), so reading peer shards here is ordered.
-  Worker& me = *workers_[0];
-  const auto& owners = me.opt->owners();
-  const size_t n = me.opt->params().size();
-  OptimizerState full{"adamw", me.opt->step_count(), {}};
-  full.slots.reserve(2 * n);
-  for (size_t i = 0; i < n; ++i) {
-    full.slots.emplace_back(
-        "m/" + std::to_string(i),
-        workers_[static_cast<size_t>(owners[i])]->opt->m(i));
-  }
-  for (size_t i = 0; i < n; ++i) {
-    full.slots.emplace_back(
-        "v/" + std::to_string(i),
-        workers_[static_cast<size_t>(owners[i])]->opt->v(i));
-  }
-
-  TrainState state;
-  state.has_optimizer = true;
-  state.optimizer = std::move(full);
-  state.has_trainer = true;
-  state.next_step = next_step;
-  state.lr_scale = 1.0f;
-  state.history = history_;
-
-  const std::string path =
-      options_.checkpoint_dir + "/" + CheckpointFileName(next_step);
-  LLM_RETURN_IF_ERROR(SaveCheckpoint(*me.model, path, &state));
-  obs::FlightRecorder::Global().Record(
-      obs::FlightEventType::kCheckpointSaved, 0, next_step);
-  return PruneCheckpoints(options_.checkpoint_dir, options_.keep_last_k);
-}
-
 void DistTrainer::WorkerMain(int rank, int my_epoch,
                              const std::string& ckpt_path) {
   Worker& me = *workers_[static_cast<size_t>(rank)];
-  auto& recorder = obs::FlightRecorder::Global();
-  obs::Gauge* g_step = obs::MetricsRegistry::Global().GetGauge(
-      "dist.worker." + std::to_string(rank) + ".step");
   const auto fail = [&](util::Status status, Phase phase) {
     me.status = std::move(status);
     me.phase.store(static_cast<int>(phase));
@@ -266,157 +237,55 @@ void DistTrainer::WorkerMain(int rank, int my_epoch,
   if (loaded.ok()) loaded = me.opt->ImportState(init.optimizer);
   if (!loaded.ok()) return fail(std::move(loaded), Phase::kFailed);
 
-  int64_t step = init.next_step;
+  const int64_t start_step = init.next_step;
   if (rank == 0) history_ = std::move(init.history);
 
-  recorder.Record(obs::FlightEventType::kWorkerJoin, rank, my_epoch, step);
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kWorkerJoin,
+                                       rank, my_epoch, start_step);
   me.phase.store(static_cast<int>(Phase::kRunning));
 
-  const std::vector<core::Variable>& params = me.opt->params();
-  const std::vector<int>& owners = me.opt->owners();
-  const size_t n = params.size();
-  const float base_lr = options_.adamw.lr;
-  int64_t seq = 0;  // collective sequence number, lockstep across ranks
-
-  while (step < options_.max_steps) {
-    if (epoch_.load() != my_epoch) {
-      return fail(util::Status::Cancelled("superseded by newer epoch"),
-                  Phase::kFailed);
-    }
-    hub_->Heartbeat(rank);
-    g_step->Set(static_cast<double>(step));
-    me.step_reached.store(step);
-
-    if (util::MaybeInjectFault(util::FaultSite::kWorkerKill)) {
-      recorder.Record(obs::FlightEventType::kWorkerDeath, rank, step,
-                      /*reason=*/0);
-      return fail(
-          util::Status::Internal("worker killed by fault injection"),
-          Phase::kDead);
-    }
-    if (util::MaybeInjectFault(util::FaultSite::kWorkerStraggle)) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options_.straggle_ms));
-    }
-
-    const float lr =
-        options_.schedule ? options_.schedule->LrAt(step) : base_lr;
-    me.opt->set_lr(lr);
-
-    util::Rng rng(StepSeed(options_.seed, rank, step));
-    StepContext ctx{rank, options_.world_size, step, &rng};
-    core::Variable loss = loss_fn_(*me.model, ctx);
-    const float local_loss = loss.value()[0];
-    me.opt->ZeroGrad();
-    core::Backward(loss);
-
-    // Flat all-reduce payload: every grad (zeros where this rank's graph
-    // produced none), one has-grad flag per param, the local loss. The
-    // flags keep grad *presence* identical to a single-process run: a
-    // param no rank touched stays grad-free, so AdamW skips it there too.
-    std::vector<float> flat;
-    int64_t total = 0;
-    for (const auto& p : params) total += p.numel();
-    flat.reserve(static_cast<size_t>(total) + n + 1);
-    for (const auto& p : params) {
-      if (p.has_grad()) {
-        const core::Tensor& g = p.grad();
-        for (int64_t j = 0; j < g.numel(); ++j) flat.push_back(g[j]);
-      } else {
-        flat.insert(flat.end(), static_cast<size_t>(p.numel()), 0.0f);
-      }
-    }
-    for (const auto& p : params) flat.push_back(p.has_grad() ? 1.0f : 0.0f);
-    flat.push_back(local_loss);
-
-    util::Status reduced =
-        hub_->AllReduceMean(rank, seq++, &flat, options_.collective_timeout);
-    if (!reduced.ok()) return fail(std::move(reduced), Phase::kFailed);
-
-    size_t off = 0;
-    for (size_t i = 0; i < n; ++i) {
-      core::Variable p = params[i];
-      const int64_t numel = p.numel();
-      if (flat[static_cast<size_t>(total) + i] > 0.0f) {
-        core::Tensor& g = p.mutable_grad();  // allocates zeros if absent
-        for (int64_t j = 0; j < numel; ++j) {
-          g[j] = flat[off + static_cast<size_t>(j)];
-        }
-      }
-      off += static_cast<size_t>(numel);
-    }
-    const float mean_loss = flat.back();
-
-    const float grad_norm = ClipGradNorm(params, options_.clip_norm);
-    me.opt->Step();
-
-    // All-gather the owner-updated parameter slices so every replica
-    // finishes the step bit-identical.
-    std::vector<float> mine;
-    for (size_t i = 0; i < n; ++i) {
-      if (owners[i] != rank) continue;
-      const core::Tensor& w = params[i].value();
-      for (int64_t j = 0; j < w.numel(); ++j) mine.push_back(w[j]);
-    }
-    auto gathered = hub_->Exchange(rank, seq++, std::move(mine),
-                                   options_.collective_timeout);
-    if (!gathered.ok()) {
-      return fail(std::move(gathered).status(), Phase::kFailed);
-    }
-    std::vector<size_t> offs(static_cast<size_t>(options_.world_size), 0);
-    for (size_t i = 0; i < n; ++i) {
-      const size_t owner = static_cast<size_t>(owners[i]);
-      const int64_t numel = params[i].numel();
-      if (owners[i] != rank) {
-        const std::vector<float>& buf = gathered.value()[owner];
-        core::Variable p = params[i];  // Variable is a shared handle
-        core::Tensor& w = p.mutable_value();
-        for (int64_t j = 0; j < numel; ++j) {
-          w[j] = buf[offs[owner] + static_cast<size_t>(j)];
-        }
-      }
-      offs[owner] += static_cast<size_t>(numel);
-    }
-
-    if (rank == 0) {
-      history_.push_back({step, mean_loss, lr, grad_norm,
-                          static_cast<uint8_t>(StepEvent::kOk)});
-    }
-
-    ++step;
-    const bool checkpoint_due =
-        (options_.checkpoint_every > 0 &&
-         step % options_.checkpoint_every == 0) ||
-        step == options_.max_steps;
-    if (checkpoint_due) {
-      // Barrier A: every rank's owned moments for steps < step are final.
-      util::Status entered =
-          hub_->Barrier(rank, seq++, options_.collective_timeout);
-      if (!entered.ok()) return fail(std::move(entered), Phase::kFailed);
-      if (rank == 0) {
-        util::Status saved = SaveFullCheckpoint(step);
-        if (!saved.ok()) {
-          // The previous checkpoint is intact (writes are atomic); a
-          // failed save or prune must not kill a healthy world.
-          AddIncident({my_epoch, step, 0, "checkpoint-write",
-                       saved.ToString(),
-                       "continue on last good checkpoint"});
-          std::fprintf(stderr,
-                       "[dist] checkpoint at step %lld failed: %s\n",
-                       static_cast<long long>(step),
-                       saved.ToString().c_str());
-        }
-      }
-      // Barrier B holds the world until the save is done; rank 0's write
-      // time rides on everyone else's wait, hence the extra slack.
-      util::Status released =
-          hub_->Barrier(rank, seq++, options_.collective_timeout * 4);
-      if (!released.ok()) return fail(std::move(released), Phase::kFailed);
-    }
+  // The step loop itself is transport-agnostic (worker_loop.h); all this
+  // function decides is which Comm carries the collectives.
+  std::unique_ptr<SocketComm> sock;
+  Comm* comm = hub_.get();
+  if (options_.transport == CommTransport::kSocket) {
+    SocketCommOptions sock_options;
+    sock_options.jitter_seed = options_.seed ^ 0x50c7e7ULL;
+    sock = std::make_unique<SocketComm>(rank, options_.world_size,
+                                        server_->bound_address(), my_epoch,
+                                        sock_options);
+    comm = sock.get();
   }
 
-  g_step->Set(static_cast<double>(step));
-  me.step_reached.store(step);
+  WorkerLoopOptions loop;
+  loop.rank = rank;
+  loop.world_size = options_.world_size;
+  loop.max_steps = options_.max_steps;
+  loop.start_step = start_step;
+  loop.clip_norm = options_.clip_norm;
+  loop.schedule = options_.schedule;
+  loop.base_lr = options_.adamw.lr;
+  loop.seed = options_.seed;
+  loop.collective_timeout = options_.collective_timeout;
+  loop.checkpoint_every = options_.checkpoint_every;
+  loop.checkpoint_dir = options_.checkpoint_dir;
+  loop.keep_last_k = options_.keep_last_k;
+  loop.straggle_ms = options_.straggle_ms;
+
+  WorkerLoopResult result = RunWorkerLoop(
+      *comm, *me.model, *me.opt, loss_fn_, loop,
+      rank == 0 ? &history_ : nullptr, &me.step_reached,
+      /*superseded=*/[this, my_epoch] { return epoch_.load() != my_epoch; },
+      /*on_warning=*/
+      [this, my_epoch, &me](const std::string& kind,
+                            const std::string& detail) {
+        AddIncident({my_epoch, me.step_reached.load(), 0, kind, detail,
+                     "continue on last good checkpoint"});
+      });
+  if (result.killed) return fail(std::move(result.status), Phase::kDead);
+  if (!result.status.ok()) {
+    return fail(std::move(result.status), Phase::kFailed);
+  }
   me.phase.store(static_cast<int>(Phase::kDone));
 }
 
@@ -447,7 +316,7 @@ bool DistTrainer::MonitorEpoch(util::Status* verdict) {
         failed.push_back(r);
         continue;
       }
-      const int64_t hb = hub_->HeartbeatCount(r);
+      const int64_t hb = WorkerHeartbeats(r);
       if (hb != last_hb[static_cast<size_t>(r)]) {
         last_hb[static_cast<size_t>(r)] = hb;
         last_beat[static_cast<size_t>(r)] = now;
@@ -458,7 +327,24 @@ bool DistTrainer::MonitorEpoch(util::Status* verdict) {
       }
     }
 
-    if (dead.empty() && stalled.empty() && failed.empty()) {
+    // Blind-spot fix: a rank whose transport connection dirtily dropped
+    // and stayed down past the grace period is fenced now, instead of
+    // waiting for its heartbeat counter to flatline for heartbeat_timeout
+    // or for a full collective timeout to cascade.
+    std::vector<int> dropped;
+    if (server_) {
+      for (int r :
+           server_->RanksDisconnectedOver(options_.disconnect_grace)) {
+        if (static_cast<Phase>(
+                workers_[static_cast<size_t>(r)]->phase.load()) ==
+            Phase::kRunning) {
+          dropped.push_back(r);
+        }
+      }
+    }
+
+    if (dead.empty() && stalled.empty() && failed.empty() &&
+        dropped.empty()) {
       if (done == world) {
         JoinAll();
         *verdict = util::Status::OK();
@@ -488,11 +374,23 @@ bool DistTrainer::MonitorEpoch(util::Status* verdict) {
             workers_[static_cast<size_t>(r)]->step_reached.load(),
             /*reason=*/1);
       }
-    } else {
+    } else if (!failed.empty()) {
       incident.rank = failed.front();
       incident.kind = "collective-failure";
       incident.detail =
           workers_[static_cast<size_t>(incident.rank)]->status.ToString();
+    } else {
+      incident.rank = dropped.front();
+      incident.kind = "transport-disconnect";
+      incident.detail =
+          "transport connection down > " +
+          std::to_string(options_.disconnect_grace.count()) + "ms";
+      for (int r : dropped) {
+        obs::FlightRecorder::Global().Record(
+            obs::FlightEventType::kWorkerDeath, r,
+            workers_[static_cast<size_t>(r)]->step_reached.load(),
+            /*reason=*/2);
+      }
     }
     incident.step =
         workers_[static_cast<size_t>(incident.rank)]->step_reached.load();
@@ -501,7 +399,7 @@ bool DistTrainer::MonitorEpoch(util::Status* verdict) {
       incident.action = "none (recovery budget exhausted)";
       AddIncident(std::move(incident));
       epoch_.fetch_add(1);
-      hub_->AbortAll();
+      AbortTransport();
       JoinAll();
       *verdict = util::Status::Internal(
           "distributed run failed after " + std::to_string(recoveries_) +
@@ -519,7 +417,7 @@ bool DistTrainer::MonitorEpoch(util::Status* verdict) {
     // Collapse the world: newer epoch number stops loop-top workers,
     // AbortAll wakes everyone blocked in a collective.
     epoch_.fetch_add(1);
-    hub_->AbortAll();
+    AbortTransport();
     JoinAll();
     return false;
   }

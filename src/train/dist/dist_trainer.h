@@ -50,12 +50,26 @@
 
 #include "train/dist/comm.h"
 #include "train/dist/sharded_adamw.h"
+#include "train/dist/worker_loop.h"
 #include "train/schedule.h"
 #include "train/trainer.h"
 #include "util/rng.h"
 #include "util/status.h"
 
 namespace llm::train::dist {
+
+class SocketServer;
+
+/// Which collective transport carries the workers' traffic.
+enum class CommTransport {
+  /// In-process CommHub: shared memory under a mutex. Zero copies, zero
+  /// syscalls — the baseline every other transport must match bit-exactly.
+  kThread,
+  /// SocketComm against a SocketServer over a Unix-domain (or TCP)
+  /// socket: the full wire stack — framing, CRCs, reconnects, epoch
+  /// fencing — exercised even when workers happen to be threads.
+  kSocket,
+};
 
 struct DistTrainerOptions {
   int world_size = 2;
@@ -94,28 +108,18 @@ struct DistTrainerOptions {
   /// collective_timeout it is a benign slowdown; above it, the straggler
   /// is recovered like a dead worker.
   int64_t straggle_ms = 20;
+
+  CommTransport transport = CommTransport::kThread;
+  /// Socket transport only: Unix socket path or "tcp://HOST:PORT".
+  /// Empty = "<checkpoint_dir>/comm.sock".
+  std::string socket_address;
+  /// Socket transport only: a running rank whose transport connection has
+  /// been dirtily down this long is fenced by the monitor — transport
+  /// death is detected here, long before heartbeat_timeout or a full
+  /// collective timeout would notice. Must exceed a worst-case reconnect
+  /// (backoff cap + handshake) so a transient drop stays benign.
+  std::chrono::milliseconds disconnect_grace{400};
 };
-
-/// Per-step view handed to the loss builder. `rng` is freshly seeded from
-/// (options.seed, rank, step) every step, so replay after a rollback —
-/// and a worker re-spawned mid-run — regenerates identical batches.
-struct StepContext {
-  int rank = 0;
-  int world_size = 1;
-  int64_t step = 0;
-  util::Rng* rng = nullptr;
-};
-
-/// Creates one model replica. Called once per worker per epoch; must
-/// produce identically-initialized models on every call (seed inside).
-using ModelFactory = std::function<std::unique_ptr<nn::Module>()>;
-
-/// Builds the loss for this rank's shard of the global batch at
-/// ctx.step. For equal-global-batch equivalence with a single-process
-/// run, derive the global batch from ctx.step and take the ctx.rank-th
-/// of ctx.world_size slices.
-using DistLossFn =
-    std::function<core::Variable(nn::Module& model, const StepContext& ctx)>;
 
 /// One distributed incident and how the coordinator responded.
 struct DistIncident {
@@ -184,11 +188,10 @@ class DistTrainer {
   /// respawn another epoch.
   bool MonitorEpoch(util::Status* verdict);
   void JoinAll();
+  void AbortTransport();
+  int64_t WorkerHeartbeats(int rank) const;
 
   void WorkerMain(int rank, int my_epoch, const std::string& ckpt_path);
-  /// Rank 0 only, inside the checkpoint barrier: assembles the full
-  /// optimizer state from every rank's shard and writes a v2 checkpoint.
-  util::Status SaveFullCheckpoint(int64_t next_step);
 
   void AddIncident(DistIncident incident);
 
@@ -197,6 +200,7 @@ class DistTrainer {
   DistLossFn loss_fn_;
 
   std::unique_ptr<CommHub> hub_;
+  std::unique_ptr<SocketServer> server_;  // socket transport only
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<int> epoch_{0};
   int recoveries_ = 0;

@@ -1,0 +1,121 @@
+// ProcGroupCoordinator: gang-scheduled distributed training over REAL
+// worker processes.
+//
+// The thread-backed DistTrainer proves the recovery algebra; this runner
+// proves it against the actual failure domain it models. Each rank is a
+// forked+exec'd copy of a worker binary (examples/dist_worker) that
+// connects back to the coordinator's SocketServer, runs the shared
+// transport-agnostic worker loop, and exits with a meaningful code. A
+// SIGKILL here is a real SIGKILL: no destructors, no goodbye frame, a
+// half-written stream on the wire — exactly what the framing, fencing,
+// and reconnect machinery exist for.
+//
+// Recovery is gang-style, same as DistTrainer: on any incident (a worker
+// dies by signal, exits nonzero, flatlines its heartbeats, or its
+// transport connection stays dirtily down past the disconnect grace) the
+// coordinator SIGKILLs every survivor, reaps them, bumps the fencing
+// epoch, and respawns the full world from the newest checkpoint that
+// validates. Replay is bit-exact, so a faulted run finishes with exactly
+// the weights of an unfaulted one — dist_socket_test asserts this by
+// loading the final checkpoints of both.
+//
+// Worker exit codes (the coordinator's side of the contract):
+//   0  loop ran to max_steps
+//   2  collective cancelled / fenced / timed out — respawn me
+//   3  checkpoint load failed
+//   4  bad arguments
+#ifndef TFMR_TRAIN_DIST_PROC_GROUP_H_
+#define TFMR_TRAIN_DIST_PROC_GROUP_H_
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "train/dist/dist_trainer.h"
+#include "train/dist/socket_transport.h"
+#include "train/optimizer.h"
+#include "util/status.h"
+
+namespace llm::train::dist {
+
+/// Worker exit codes; keep in sync with examples/dist_worker.
+inline constexpr int kWorkerExitDone = 0;
+inline constexpr int kWorkerExitCancelled = 2;
+inline constexpr int kWorkerExitLoadFailure = 3;
+inline constexpr int kWorkerExitBadArgs = 4;
+
+struct ProcGroupOptions {
+  int world_size = 2;
+  int64_t max_steps = 20;
+  int64_t checkpoint_every = 5;
+  int keep_last_k = 2;
+  std::string checkpoint_dir;
+  /// Path to the dist_worker binary to fork+exec per rank.
+  std::string worker_binary;
+  /// Unix socket path or "tcp://HOST:PORT"; empty =
+  /// "<checkpoint_dir>/comm.sock".
+  std::string socket_address;
+  uint64_t seed = 0x5eedULL;
+  std::chrono::milliseconds collective_timeout{4000};
+  std::chrono::milliseconds heartbeat_timeout{20000};
+  /// See DistTrainerOptions::disconnect_grace.
+  std::chrono::milliseconds disconnect_grace{500};
+  std::chrono::milliseconds monitor_poll{10};
+  int max_recoveries = 8;
+  /// Extra argv entries appended to every worker (fault-arming flags:
+  /// "--arm-fault=sock-drop@3", "--arm-fault=worker-kill@5", ...).
+  std::vector<std::string> worker_extra_args;
+};
+
+class ProcGroupCoordinator {
+ public:
+  /// `factory`/`adamw` are used only to write the step-0 checkpoint; they
+  /// MUST describe the same task the worker binary hardcodes (toy_task.h
+  /// for the in-tree worker).
+  ProcGroupCoordinator(ProcGroupOptions options, ModelFactory factory,
+                       AdamWOptions adamw);
+  ~ProcGroupCoordinator();
+
+  ProcGroupCoordinator(const ProcGroupCoordinator&) = delete;
+  ProcGroupCoordinator& operator=(const ProcGroupCoordinator&) = delete;
+
+  /// Runs the gang to max_steps, surviving up to max_recoveries
+  /// incidents.
+  util::Status Run();
+
+  /// SIGKILLs rank's live worker process (chaos hook for tests and the
+  /// demo). False when the rank has no live process.
+  bool KillRank(int rank);
+
+  int recoveries() const { return recoveries_; }
+  const std::vector<DistIncident>& incidents() const { return incidents_; }
+  std::string FormatIncidents() const;
+
+ private:
+  util::Status WriteInitialCheckpoint();
+  util::Status PickCheckpoint(std::string* path);
+  util::Status SpawnWorkers(const std::string& ckpt_path, int64_t epoch);
+  /// Returns true when the run is over; false to recover and respawn.
+  bool MonitorGang(util::Status* verdict, int64_t epoch);
+  void KillAllWorkers();
+
+  ProcGroupOptions options_;
+  ModelFactory factory_;
+  AdamWOptions adamw_;
+  std::unique_ptr<SocketServer> server_;
+  int recoveries_ = 0;
+  std::vector<DistIncident> incidents_;
+
+  mutable std::mutex pids_mu_;
+  std::vector<pid_t> pids_;        // guarded by pids_mu_; -1 = reaped
+  std::vector<bool> done_;         // guarded by pids_mu_
+};
+
+}  // namespace llm::train::dist
+
+#endif  // TFMR_TRAIN_DIST_PROC_GROUP_H_

@@ -1,0 +1,77 @@
+// The canonical tiny data-parallel task shared by the multi-process
+// worker binary (examples/dist_worker), the coordinator side of proc-mode
+// runs, the dist demo, and the socket tests.
+//
+// It must be ONE header because proc-mode correctness rests on the
+// coordinator and every worker process constructing bit-identical
+// replicas and batches from nothing but (seed, rank, step): the model
+// factory seeds its own Rng, and the global batch is derived from the
+// step index alone — rank r of N takes the r-th slice of rows, and the
+// per-rank loss is the shard's SumAll scaled by N so the all-reduced
+// MEAN equals the single-process full-batch SumAll.
+#ifndef TFMR_TRAIN_DIST_TOY_TASK_H_
+#define TFMR_TRAIN_DIST_TOY_TASK_H_
+
+#include <memory>
+
+#include "nn/layers.h"
+#include "train/dist/worker_loop.h"
+#include "train/optimizer.h"
+#include "util/rng.h"
+
+namespace llm::train::dist {
+
+inline constexpr int kToyIn = 4;
+inline constexpr int kToyHidden = 8;
+inline constexpr int kToyOut = 2;
+inline constexpr int kToyGlobalBatch = 4;
+inline constexpr uint64_t kToyDataSeed = 0xD157ull;
+
+inline std::unique_ptr<nn::Module> MakeToyReplica() {
+  util::Rng rng(7);
+  return std::make_unique<nn::Mlp>(kToyIn, kToyHidden, kToyOut, &rng);
+}
+
+inline ModelFactory ToyModelFactory() {
+  return [] { return MakeToyReplica(); };
+}
+
+inline core::Tensor ToyGlobalBatch(int64_t step) {
+  util::Rng rng(kToyDataSeed +
+                0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(step) + 1));
+  return core::Tensor::RandomNormal({kToyGlobalBatch, kToyIn}, &rng);
+}
+
+inline core::Variable ToyShardLoss(nn::Module& model, int rank, int world,
+                                   int64_t step) {
+  core::Tensor full = ToyGlobalBatch(step);
+  const int rows = kToyGlobalBatch / world;
+  core::Tensor shard({rows, kToyIn});
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < kToyIn; ++j) {
+      shard[i * kToyIn + j] = full[(rank * rows + i) * kToyIn + j];
+    }
+  }
+  core::Variable x(shard, false);
+  core::Variable y = static_cast<nn::Mlp&>(model).Forward(x);
+  core::Variable loss = core::SumAll(core::Mul(y, y));
+  if (world == 1) return loss;
+  core::Tensor scale = core::Tensor::Scalar(static_cast<float>(world));
+  return core::Mul(loss, core::Variable(scale, false));
+}
+
+inline DistLossFn ToyDistLoss() {
+  return [](nn::Module& model, const StepContext& ctx) {
+    return ToyShardLoss(model, ctx.rank, ctx.world_size, ctx.step);
+  };
+}
+
+inline AdamWOptions ToyAdamWOptions() {
+  AdamWOptions adamw;
+  adamw.lr = 1e-2f;
+  return adamw;
+}
+
+}  // namespace llm::train::dist
+
+#endif  // TFMR_TRAIN_DIST_TOY_TASK_H_

@@ -1,0 +1,523 @@
+#include "train/dist/wire.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "util/crc32.h"
+#include "util/fault.h"
+
+namespace llm::train::dist {
+namespace {
+
+// Header byte offsets (little-endian fields; total kFrameHeaderBytes).
+constexpr size_t kOffMagic = 0;
+constexpr size_t kOffVersion = 4;
+constexpr size_t kOffType = 6;
+constexpr size_t kOffRank = 8;
+constexpr size_t kOffStatus = 12;
+constexpr size_t kOffEpoch = 16;
+constexpr size_t kOffSeq = 24;
+constexpr size_t kOffPayloadLen = 32;
+constexpr size_t kOffPayloadCrc = 36;
+constexpr size_t kOffHeaderCrc = 40;
+
+void StoreU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+void StoreU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+void StoreU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+uint16_t LoadU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+int RemainingMs(SteadyClock::time_point deadline) {
+  const auto left = deadline - SteadyClock::now();
+  if (left <= SteadyClock::duration::zero()) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(left).count();
+  return static_cast<int>(std::min<int64_t>(ms + 1, 60'000));
+}
+
+/// Writes all of buf[0..len), polling for writability against the
+/// deadline. MSG_NOSIGNAL: a peer that died mid-round must surface as
+/// EPIPE, not kill the process.
+util::Status WriteAll(int fd, const uint8_t* buf, size_t len,
+                      SteadyClock::time_point deadline) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, buf + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int wait_ms = RemainingMs(deadline);
+      if (wait_ms == 0) {
+        return util::Status::DeadlineExceeded("socket write deadline");
+      }
+      struct pollfd pfd{fd, POLLOUT, 0};
+      const int rc = ::poll(&pfd, 1, wait_ms);
+      if (rc < 0 && errno != EINTR) {
+        return util::Status::IOError("poll(POLLOUT): " +
+                                     std::string(std::strerror(errno)));
+      }
+      continue;
+    }
+    return util::Status::IOError("socket write: " +
+                                 std::string(std::strerror(errno)));
+  }
+  return util::Status::OK();
+}
+
+/// Reads exactly len bytes; kIOError with "connection closed" on EOF.
+util::Status ReadAll(int fd, uint8_t* buf, size_t len,
+                     SteadyClock::time_point deadline) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::recv(fd, buf + off, len - off, 0);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return util::Status::IOError("connection closed by peer");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const int wait_ms = RemainingMs(deadline);
+      if (wait_ms == 0) {
+        return util::Status::DeadlineExceeded("socket read deadline");
+      }
+      struct pollfd pfd{fd, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, wait_ms);
+      if (rc < 0 && errno != EINTR) {
+        return util::Status::IOError("poll(POLLIN): " +
+                                     std::string(std::strerror(errno)));
+      }
+      continue;
+    }
+    return util::Status::IOError("socket read: " +
+                                 std::string(std::strerror(errno)));
+  }
+  return util::Status::OK();
+}
+
+util::Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return util::Status::IOError("fcntl(O_NONBLOCK): " +
+                                 std::string(std::strerror(errno)));
+  }
+  return util::Status::OK();
+}
+
+constexpr const char* kTcpPrefix = "tcp://";
+
+bool IsTcpAddress(const std::string& address) {
+  return address.rfind(kTcpPrefix, 0) == 0;
+}
+
+util::Status ParseTcp(const std::string& address, std::string* host,
+                      uint16_t* port) {
+  const std::string rest = address.substr(std::strlen(kTcpPrefix));
+  const size_t colon = rest.find_last_of(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == rest.size()) {
+    return util::Status::InvalidArgument("bad tcp address: " + address);
+  }
+  *host = rest.substr(0, colon);
+  long p = 0;
+  for (size_t i = colon + 1; i < rest.size(); ++i) {
+    if (rest[i] < '0' || rest[i] > '9') {
+      return util::Status::InvalidArgument("bad tcp port in " + address);
+    }
+    p = p * 10 + (rest[i] - '0');
+  }
+  if (p < 0 || p > 65535) {
+    return util::Status::InvalidArgument("tcp port out of range: " +
+                                         address);
+  }
+  *port = static_cast<uint16_t>(p);
+  return util::Status::OK();
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kHelloAck: return "hello-ack";
+    case FrameType::kContribution: return "contribution";
+    case FrameType::kResult: return "result";
+    case FrameType::kError: return "error";
+    case FrameType::kHeartbeat: return "heartbeat";
+    case FrameType::kPoison: return "poison";
+    case FrameType::kFenced: return "fenced";
+    case FrameType::kAbort: return "abort";
+    case FrameType::kGoodbye: return "goodbye";
+  }
+  return "unknown";
+}
+
+util::Status SendFrame(int fd, const Frame& frame,
+                       SteadyClock::time_point deadline) {
+  // Fault sites model the transport misbehaving *after* the sender
+  // computed its checksums — exactly what the receiver must catch.
+  if (util::MaybeInjectFault(util::FaultSite::kSockStallWrite)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  }
+  if (util::MaybeInjectFault(util::FaultSite::kSockDisconnect)) {
+    ::shutdown(fd, SHUT_RDWR);
+    return util::Status::IOError("injected disconnect before send");
+  }
+  if (util::MaybeInjectFault(util::FaultSite::kSockDrop)) {
+    return util::Status::OK();  // the frame vanishes in transport
+  }
+
+  const uint32_t payload_crc =
+      util::Crc32(frame.payload.data(), frame.payload.size());
+  const uint8_t* payload = frame.payload.data();
+  std::vector<uint8_t> corrupted;
+  if (util::MaybeInjectFault(util::FaultSite::kSockCorruptFrame) &&
+      !frame.payload.empty()) {
+    corrupted = frame.payload;
+    corrupted[corrupted.size() / 2] ^= 0x10;  // one bit, after the CRC
+    payload = corrupted.data();
+  }
+
+  uint8_t header[kFrameHeaderBytes];
+  StoreU32(header + kOffMagic, kWireMagic);
+  StoreU16(header + kOffVersion, kWireVersion);
+  StoreU16(header + kOffType, static_cast<uint16_t>(frame.type));
+  StoreU32(header + kOffRank, static_cast<uint32_t>(frame.rank));
+  StoreU32(header + kOffStatus, static_cast<uint32_t>(frame.status));
+  StoreU64(header + kOffEpoch, static_cast<uint64_t>(frame.epoch));
+  StoreU64(header + kOffSeq, static_cast<uint64_t>(frame.seq));
+  StoreU32(header + kOffPayloadLen,
+           static_cast<uint32_t>(frame.payload.size()));
+  StoreU32(header + kOffPayloadCrc, payload_crc);
+  StoreU32(header + kOffHeaderCrc, util::Crc32(header, kOffHeaderCrc));
+
+  LLM_RETURN_IF_ERROR(WriteAll(fd, header, kFrameHeaderBytes, deadline));
+  if (!frame.payload.empty()) {
+    LLM_RETURN_IF_ERROR(
+        WriteAll(fd, payload, frame.payload.size(), deadline));
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<Frame> ReadFrame(int fd, SteadyClock::time_point deadline) {
+  uint8_t header[kFrameHeaderBytes];
+  LLM_RETURN_IF_ERROR(ReadAll(fd, header, kFrameHeaderBytes, deadline));
+  if (LoadU32(header + kOffMagic) != kWireMagic) {
+    return util::Status::Internal("frame magic mismatch (desynced stream)");
+  }
+  if (LoadU16(header + kOffVersion) != kWireVersion) {
+    return util::Status::Internal(
+        "frame version mismatch: " +
+        std::to_string(LoadU16(header + kOffVersion)));
+  }
+  if (LoadU32(header + kOffHeaderCrc) !=
+      util::Crc32(header, kOffHeaderCrc)) {
+    return util::Status::Internal("frame header checksum mismatch");
+  }
+  const uint32_t payload_len = LoadU32(header + kOffPayloadLen);
+  if (payload_len > kMaxFramePayload) {
+    return util::Status::Internal("frame payload oversized: " +
+                                  std::to_string(payload_len));
+  }
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(LoadU16(header + kOffType));
+  frame.rank = static_cast<int32_t>(LoadU32(header + kOffRank));
+  frame.status = static_cast<int32_t>(LoadU32(header + kOffStatus));
+  frame.epoch = static_cast<int64_t>(LoadU64(header + kOffEpoch));
+  frame.seq = static_cast<int64_t>(LoadU64(header + kOffSeq));
+  frame.payload.resize(payload_len);
+  if (payload_len > 0) {
+    LLM_RETURN_IF_ERROR(
+        ReadAll(fd, frame.payload.data(), payload_len, deadline));
+  }
+  // The framing was intact (length honored, stream still aligned), so a
+  // payload-CRC mismatch is corruption-in-transport: report it in-band so
+  // the round fails with kInternal while the connection survives.
+  frame.payload_ok = util::Crc32(frame.payload.data(),
+                                 frame.payload.size()) ==
+                     LoadU32(header + kOffPayloadCrc);
+  return frame;
+}
+
+std::vector<uint8_t> EncodeFloats(const std::vector<float>& values) {
+  std::vector<uint8_t> bytes(values.size() * sizeof(float));
+  if (!values.empty()) {
+    std::memcpy(bytes.data(), values.data(), bytes.size());
+  }
+  return bytes;
+}
+
+std::vector<float> DecodeFloats(const std::vector<uint8_t>& bytes) {
+  std::vector<float> values(bytes.size() / sizeof(float));
+  if (!values.empty()) {
+    std::memcpy(values.data(), bytes.data(),
+                values.size() * sizeof(float));
+  }
+  return values;
+}
+
+std::vector<uint8_t> EncodeGather(
+    const std::vector<std::vector<float>>& bufs) {
+  size_t total = 0;
+  for (const auto& b : bufs) total += b.size();
+  std::vector<uint8_t> bytes(4 + 4 * bufs.size() + sizeof(float) * total);
+  uint8_t* p = bytes.data();
+  StoreU32(p, static_cast<uint32_t>(bufs.size()));
+  p += 4;
+  for (const auto& b : bufs) {
+    StoreU32(p, static_cast<uint32_t>(b.size()));
+    p += 4;
+  }
+  for (const auto& b : bufs) {
+    if (!b.empty()) {
+      std::memcpy(p, b.data(), b.size() * sizeof(float));
+      p += b.size() * sizeof(float);
+    }
+  }
+  return bytes;
+}
+
+util::StatusOr<std::vector<std::vector<float>>> DecodeGather(
+    const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 4) {
+    return util::Status::Internal("gather payload truncated (no count)");
+  }
+  const uint32_t count = LoadU32(bytes.data());
+  if (count > 4096 || bytes.size() < 4 + 4 * static_cast<size_t>(count)) {
+    return util::Status::Internal("gather payload truncated (size table)");
+  }
+  std::vector<std::vector<float>> bufs(count);
+  size_t total = 0;
+  for (uint32_t r = 0; r < count; ++r) {
+    total += LoadU32(bytes.data() + 4 + 4 * r);
+  }
+  if (bytes.size() != 4 + 4 * static_cast<size_t>(count) +
+                          sizeof(float) * total) {
+    return util::Status::Internal("gather payload length mismatch");
+  }
+  const uint8_t* p = bytes.data() + 4 + 4 * static_cast<size_t>(count);
+  for (uint32_t r = 0; r < count; ++r) {
+    const uint32_t len = LoadU32(bytes.data() + 4 + 4 * r);
+    bufs[r].resize(len);
+    if (len > 0) {
+      std::memcpy(bufs[r].data(), p, len * sizeof(float));
+      p += len * sizeof(float);
+    }
+  }
+  return bufs;
+}
+
+util::StatusOr<int> ListenOn(const std::string& address,
+                             std::string* bound_address) {
+  int fd = -1;
+  if (IsTcpAddress(address)) {
+    std::string host;
+    uint16_t port = 0;
+    LLM_RETURN_IF_ERROR(ParseTcp(address, &host, &port));
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return util::Status::IOError("socket(AF_INET): " +
+                                   std::string(std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      return util::Status::InvalidArgument(
+          "tcp host must be a numeric IPv4 address: " + host);
+    }
+    if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return util::Status::IOError("bind(" + address + "): " + err);
+    }
+    if (bound_address != nullptr) {
+      struct sockaddr_in actual{};
+      socklen_t len = sizeof(actual);
+      if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&actual),
+                        &len) == 0) {
+        *bound_address = std::string(kTcpPrefix) + host + ":" +
+                         std::to_string(ntohs(actual.sin_port));
+      } else {
+        *bound_address = address;
+      }
+    }
+  } else {
+    if (address.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      return util::Status::InvalidArgument(
+          "unix socket path too long: " + address);
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return util::Status::IOError("socket(AF_UNIX): " +
+                                   std::string(std::strerror(errno)));
+    }
+    ::unlink(address.c_str());  // a stale path from a dead server
+    struct sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, address.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return util::Status::IOError("bind(" + address + "): " + err);
+    }
+    if (bound_address != nullptr) *bound_address = address;
+  }
+  if (::listen(fd, 64) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return util::Status::IOError("listen(" + address + "): " + err);
+  }
+  util::Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+  return fd;
+}
+
+util::StatusOr<int> ConnectTo(const std::string& address,
+                              SteadyClock::time_point deadline) {
+  int fd = -1;
+  struct sockaddr_storage storage{};
+  socklen_t addr_len = 0;
+  if (IsTcpAddress(address)) {
+    std::string host;
+    uint16_t port = 0;
+    LLM_RETURN_IF_ERROR(ParseTcp(address, &host, &port));
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return util::Status::IOError("socket(AF_INET): " +
+                                   std::string(std::strerror(errno)));
+    }
+    auto* addr = reinterpret_cast<struct sockaddr_in*>(&storage);
+    addr->sin_family = AF_INET;
+    addr->sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+      ::close(fd);
+      return util::Status::InvalidArgument(
+          "tcp host must be a numeric IPv4 address: " + host);
+    }
+    addr_len = sizeof(struct sockaddr_in);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  } else {
+    if (address.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      return util::Status::InvalidArgument(
+          "unix socket path too long: " + address);
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return util::Status::IOError("socket(AF_UNIX): " +
+                                   std::string(std::strerror(errno)));
+    }
+    auto* addr = reinterpret_cast<struct sockaddr_un*>(&storage);
+    addr->sun_family = AF_UNIX;
+    std::strncpy(addr->sun_path, address.c_str(),
+                 sizeof(addr->sun_path) - 1);
+    addr_len = sizeof(struct sockaddr_un);
+  }
+  {
+    util::Status nb = SetNonBlocking(fd);
+    if (!nb.ok()) {
+      ::close(fd);
+      return nb;
+    }
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&storage),
+                addr_len) < 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return util::Status::IOError("connect(" + address + "): " + err);
+    }
+    // Async connect: wait for writability, then read the verdict.
+    while (true) {
+      const int wait_ms = RemainingMs(deadline);
+      if (wait_ms == 0) {
+        ::close(fd);
+        return util::Status::DeadlineExceeded("connect(" + address +
+                                              ") deadline");
+      }
+      struct pollfd pfd{fd, POLLOUT, 0};
+      const int rc = ::poll(&pfd, 1, wait_ms);
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc < 0) {
+        const std::string err = std::strerror(errno);
+        ::close(fd);
+        return util::Status::IOError("poll(connect): " + err);
+      }
+      if (rc > 0) break;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 ||
+        so_error != 0) {
+      ::close(fd);
+      return util::Status::IOError(
+          "connect(" + address +
+          "): " + std::strerror(so_error != 0 ? so_error : errno));
+    }
+  }
+  return fd;
+}
+
+std::chrono::milliseconds BackoffDelay(int attempt,
+                                       std::chrono::milliseconds initial,
+                                       std::chrono::milliseconds cap,
+                                       double jitter_uniform) {
+  const double base_ms =
+      std::min<double>(static_cast<double>(cap.count()),
+                       static_cast<double>(initial.count()) *
+                           std::pow(2.0, std::max(attempt, 0)));
+  // Jitter in [0.5, 1.0)x — SubmitWithRetry's discipline: decorrelated
+  // clients do not re-collide on the reconnect stampede.
+  const double jittered = base_ms * (0.5 + 0.5 * jitter_uniform);
+  return std::chrono::milliseconds(
+      std::max<int64_t>(1, static_cast<int64_t>(jittered)));
+}
+
+}  // namespace llm::train::dist

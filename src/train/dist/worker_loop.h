@@ -1,0 +1,129 @@
+// The transport-agnostic data-parallel worker step loop.
+//
+// One rank's whole life — load-resume point aside — is this loop: build
+// the loss on its data shard, all-reduce gradients and loss to the global
+// mean, clip, apply the owned slice of the ZeRO-1 AdamW update, all-gather
+// the updated parameters, and at checkpoint boundaries contribute its
+// owned moment shards so rank 0 can assemble and write the full v2
+// checkpoint.
+//
+// It is written against the Comm interface and nothing else, which is the
+// load-bearing design point: the thread-backed CommHub, the in-process
+// socket loopback, and a real worker process talking to the coordinator
+// over a Unix socket all execute the exact same arithmetic in the exact
+// same order, so "world-N over sockets is bit-exact with world-N over
+// threads" holds by construction rather than by test luck. DistTrainer's
+// worker threads and the dist_worker process entry point both call
+// RunWorkerLoop.
+//
+// Checkpointing across a real process boundary forced one change from the
+// original in-process design: rank 0 can no longer read peer optimizer
+// shards directly, so checkpoint barrier A *is* a payload-carrying
+// collective — every rank exchanges its flattened owned m-then-v moment
+// slices — and rank 0 reconstructs the full "adamw" state from the
+// gathered buffers. Same values, same slot names, same two collectives
+// per checkpoint as before.
+#ifndef TFMR_TRAIN_DIST_WORKER_LOOP_H_
+#define TFMR_TRAIN_DIST_WORKER_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "train/dist/comm.h"
+#include "train/dist/sharded_adamw.h"
+#include "train/schedule.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace llm::nn {
+class Module;
+}  // namespace llm::nn
+
+namespace llm::train::dist {
+
+/// Per-(seed, rank, step) data seed. Splitmix-style odd-constant mixing so
+/// neighbouring (rank, step) pairs land far apart; util::Rng finishes the
+/// scrambling. Replay of any (rank, step) — rollback or respawn —
+/// regenerates identical batches.
+uint64_t StepSeed(uint64_t seed, int rank, int64_t step);
+
+/// Per-step view handed to the loss builder. `rng` is freshly seeded from
+/// (seed, rank, step) every step, so replay after a rollback — and a
+/// worker re-spawned mid-run — regenerates identical batches.
+struct StepContext {
+  int rank = 0;
+  int world_size = 1;
+  int64_t step = 0;
+  util::Rng* rng = nullptr;
+};
+
+/// Creates one model replica. Called once per worker per epoch; must
+/// produce identically-initialized models on every call (seed inside).
+using ModelFactory = std::function<std::unique_ptr<nn::Module>()>;
+
+/// Builds the loss for this rank's shard of the global batch at
+/// ctx.step. For equal-global-batch equivalence with a single-process
+/// run, derive the global batch from ctx.step and take the ctx.rank-th
+/// of ctx.world_size slices.
+using DistLossFn =
+    std::function<core::Variable(nn::Module& model, const StepContext& ctx)>;
+
+struct WorkerLoopOptions {
+  int rank = 0;
+  int world_size = 1;
+  int64_t max_steps = 0;
+  /// Resume point (the checkpoint's next_step).
+  int64_t start_step = 0;
+  float clip_norm = 0.0f;
+  const LrSchedule* schedule = nullptr;
+  /// Used when `schedule` is null.
+  float base_lr = 1e-3f;
+  uint64_t seed = 0;
+  std::chrono::milliseconds collective_timeout{2000};
+  int64_t checkpoint_every = 0;  // 0 = final save only
+  std::string checkpoint_dir;
+  int keep_last_k = 2;
+  int64_t straggle_ms = 20;
+  /// Worker-process mode: a fired FaultSite::kWorkerKill raises SIGKILL —
+  /// the process dies for real, mid-step, exactly like an OOM kill —
+  /// instead of returning a killed result the way a thread worker must.
+  bool die_on_kill_fault = false;
+};
+
+struct WorkerLoopResult {
+  /// OK when the loop ran to max_steps.
+  util::Status status;
+  /// FaultSite::kWorkerKill fired (and die_on_kill_fault was off).
+  bool killed = false;
+  int64_t step_reached = 0;
+};
+
+/// Non-fatal incident sink (rank 0's failed checkpoint write). May be
+/// null.
+using WorkerWarningFn =
+    std::function<void(const std::string& kind, const std::string& detail)>;
+
+/// Runs the step loop from options.start_step to options.max_steps.
+/// `history` (rank 0 only; may be null elsewhere) receives one StepRecord
+/// per step and rides into every checkpoint. `step_reached` (optional)
+/// is kept current for an external monitor. `superseded` (optional) is
+/// polled at the top of every step; returning true exits with kCancelled.
+/// Collective wait time accumulates into the obs counter
+/// "dist.comm.wait_ns". Calls comm.Finish on orderly completion.
+WorkerLoopResult RunWorkerLoop(Comm& comm, nn::Module& model,
+                               ShardedAdamW& opt, const DistLossFn& loss_fn,
+                               const WorkerLoopOptions& options,
+                               std::vector<StepRecord>* history,
+                               std::atomic<int64_t>* step_reached,
+                               const std::function<bool()>& superseded,
+                               const WorkerWarningFn& on_warning);
+
+}  // namespace llm::train::dist
+
+#endif  // TFMR_TRAIN_DIST_WORKER_LOOP_H_

@@ -48,6 +48,14 @@ const char* FaultSiteName(FaultSite site) {
       return "worker-straggle";
     case FaultSite::kCheckpointPrune:
       return "checkpoint-prune";
+    case FaultSite::kSockDrop:
+      return "sock-drop";
+    case FaultSite::kSockCorruptFrame:
+      return "sock-corrupt-frame";
+    case FaultSite::kSockStallWrite:
+      return "sock-stall-write";
+    case FaultSite::kSockDisconnect:
+      return "sock-disconnect";
   }
   return "unknown";
 }

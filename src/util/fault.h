@@ -54,8 +54,12 @@ enum class FaultSite : int {
   kWorkerKill = 12,      // dist: a training worker dies at the step boundary
   kWorkerStraggle = 13,  // dist: a worker sleeps before joining collectives
   kCheckpointPrune = 14, // checkpoint rotation: crash mid-prune
+  kSockDrop = 15,         // dist wire: a frame is silently never sent
+  kSockCorruptFrame = 16, // dist wire: payload bit flips after the CRC
+  kSockStallWrite = 17,   // dist wire: sender stalls before writing
+  kSockDisconnect = 18,   // dist wire: connection closes before the send
 };
-inline constexpr int kNumFaultSites = 15;
+inline constexpr int kNumFaultSites = 19;
 
 const char* FaultSiteName(FaultSite site);
 

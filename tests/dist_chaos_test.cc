@@ -20,7 +20,10 @@
 
 #include "nn/layers.h"
 #include "obs/flight_recorder.h"
+#include "train/checkpoint.h"
 #include "train/dist/dist_trainer.h"
+#include "train/dist/proc_group.h"
+#include "train/dist/toy_task.h"
 #include "util/fault.h"
 #include "util/rng.h"
 
@@ -212,6 +215,168 @@ TEST(DistChaosTest, SeededFaultStormsAlwaysRecoverToTheExactResult) {
       static_cast<long long>(total_corrupt),
       static_cast<long long>(total_straggles), total_recoveries);
 }
+
+// The same contract over the socket transport, under wire-level faults:
+// dropped frames, payloads corrupted after the CRC was taken, stalled
+// writes that blow the collective deadline, and connections torn down
+// mid-send. Some of these are absorbed silently (a disconnect reconnects
+// within the deadline; the server's result cache answers re-asks), some
+// cost a recovery epoch — none may cost correctness.
+TEST(DistChaosTest, SocketWireFaultStormsRecoverToTheExactResult) {
+  constexpr int kSchedules = 16;
+  const int worlds[] = {2, 3};
+
+  std::map<int, std::unique_ptr<DistTrainer>> reference;
+  std::vector<std::unique_ptr<ScratchDir>> ref_dirs;
+  for (int world : worlds) {
+    ref_dirs.push_back(std::make_unique<ScratchDir>(
+        "tfmr_sockchaos_ref_w" + std::to_string(world)));
+    reference[world] = std::make_unique<DistTrainer>(
+        ChaosOptions(world, ref_dirs.back()->path()), MakeReplica,
+        MakeDistLoss());
+    ASSERT_TRUE(reference[world]->Run().ok());
+  }
+
+  int total_recoveries = 0;
+  int64_t fired[4] = {0, 0, 0, 0};
+  const FaultSite sites[4] = {FaultSite::kSockDrop,
+                              FaultSite::kSockCorruptFrame,
+                              FaultSite::kSockStallWrite,
+                              FaultSite::kSockDisconnect};
+  for (int schedule = 0; schedule < kSchedules; ++schedule) {
+    SCOPED_TRACE("socket schedule " + std::to_string(schedule));
+    const int world = worlds[schedule % 2];
+    ScratchDir dir("tfmr_sockchaos_s" + std::to_string(schedule));
+    DistTrainerOptions opts = ChaosOptions(world, dir.path());
+    opts.transport = CommTransport::kSocket;
+    // A stalled write sleeps 400ms — past the 250ms collective deadline —
+    // so every fired stall is a real partition, not a benign slowdown.
+    const uint64_t seed = 0x5eedC0DEull + static_cast<uint64_t>(schedule);
+    // Frame traffic is ~15x denser than step-level fault sites (every
+    // heartbeat, contribution, result, and ack is a send), so per-send
+    // probabilities sit well below the step-level storm's.
+    FaultInjector::Global().ArmRandom(sites[0], 0.004, seed * 8 + 0);
+    FaultInjector::Global().ArmRandom(sites[1], 0.004, seed * 8 + 1);
+    FaultInjector::Global().ArmRandom(sites[2], 0.002, seed * 8 + 2);
+    FaultInjector::Global().ArmRandom(sites[3], 0.010, seed * 8 + 3);
+
+    obs::FlightRecorder::Global().Clear();
+    DistTrainer dist(opts, MakeReplica, MakeDistLoss());
+    util::Status s = dist.Run();
+    const auto counts = FaultInjector::Global().AllCounts();
+    FaultInjector::Global().Disarm();
+    ASSERT_TRUE(s.ok()) << s << "\n" << dist.FormatIncidents();
+
+    const DistTrainer& ref = *reference[world];
+    EXPECT_EQ(MaxParamDiff(*ref.model(0), *dist.model(0)), 0.0f);
+    EXPECT_EQ(MaxParamDiff(*dist.model(0), *dist.model(world - 1)), 0.0f);
+    ASSERT_EQ(dist.history().size(), ref.history().size());
+    for (size_t i = 0; i < ref.history().size(); ++i) {
+      EXPECT_EQ(dist.history()[i].loss, ref.history()[i].loss)
+          << "step " << i;
+    }
+    // A worker death observed through the wire must still be followed by
+    // a checkpoint recovery.
+    const auto events = obs::FlightRecorder::Global().Dump();
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (events[i].type != obs::FlightEventType::kWorkerDeath) continue;
+      bool recovered = false;
+      for (size_t j = i + 1; j < events.size(); ++j) {
+        if (events[j].type == obs::FlightEventType::kDistRecovery) {
+          recovered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(recovered) << obs::FlightRecorder::Global().Format(64);
+    }
+    total_recoveries += dist.recoveries();
+    for (int i = 0; i < 4; ++i) {
+      fired[i] += counts[static_cast<size_t>(sites[i])].fired;
+    }
+  }
+  // Every wire fault class must actually have fired across the storm.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GT(fired[i], 0) << util::FaultSiteName(sites[i]);
+  }
+  std::printf(
+      "[dist-chaos/socket] %d schedules: %lld drops, %lld corrupt, "
+      "%lld stalls, %lld disconnects, %d recoveries\n",
+      kSchedules, static_cast<long long>(fired[0]),
+      static_cast<long long>(fired[1]), static_cast<long long>(fired[2]),
+      static_cast<long long>(fired[3]), total_recoveries);
+}
+
+#ifdef DIST_WORKER_BIN
+
+// Real processes, real SIGKILLs. Each schedule arms a genuine
+// raise(SIGKILL) inside every worker process at a different step
+// boundary (one also tears connections mid-send); the gang must grind
+// through the deaths and land on exactly the thread-transport weights.
+TEST(DistChaosTest, RealProcessSigkillSchedulesRecoverToTheExactResult) {
+  const std::vector<std::vector<std::string>> schedules = {
+      {"--arm-fault=worker-kill@5"},
+      {"--arm-fault=worker-kill@6"},
+      {"--arm-fault=worker-kill@9"},
+      {"--arm-fault=worker-kill@6", "--arm-fault=sock-disconnect@10"},
+  };
+
+  // Thread-transport reference on the toy task the worker binary runs.
+  ScratchDir ref_dir("tfmr_prochaos_ref");
+  DistTrainerOptions ref_opts;
+  ref_opts.world_size = 2;
+  ref_opts.max_steps = 24;
+  ref_opts.adamw = ToyAdamWOptions();
+  ref_opts.checkpoint_dir = ref_dir.path();
+  ref_opts.checkpoint_every = 4;
+  DistTrainer ref(ref_opts, ToyModelFactory(), ToyDistLoss());
+  ASSERT_TRUE(ref.Run().ok());
+
+  for (size_t schedule = 0; schedule < schedules.size(); ++schedule) {
+    SCOPED_TRACE("proc schedule " + std::to_string(schedule));
+    ScratchDir dir("tfmr_prochaos_s" + std::to_string(schedule));
+    ProcGroupOptions o;
+    o.world_size = 2;
+    o.max_steps = 24;
+    o.checkpoint_every = 4;
+    o.checkpoint_dir = dir.path();
+    o.worker_binary = DIST_WORKER_BIN;
+    o.worker_extra_args = schedules[schedule];
+    ProcGroupCoordinator gang(o, ToyModelFactory(), ToyAdamWOptions());
+
+    obs::FlightRecorder::Global().Clear();
+    util::Status s = gang.Run();
+    ASSERT_TRUE(s.ok()) << s << "\n" << gang.FormatIncidents();
+    EXPECT_GE(gang.recoveries(), 1);
+
+    // Death -> recovery -> respawn, in that order, in the flight record.
+    const auto events = obs::FlightRecorder::Global().Dump();
+    int phase = 0;
+    for (const auto& ev : events) {
+      if (phase == 0 && ev.type == obs::FlightEventType::kWorkerDeath) {
+        phase = 1;
+      } else if (phase == 1 &&
+                 ev.type == obs::FlightEventType::kDistRecovery) {
+        phase = 2;
+      } else if (phase == 2 &&
+                 ev.type == obs::FlightEventType::kProcSpawn) {
+        phase = 3;
+        break;
+      }
+    }
+    EXPECT_EQ(phase, 3) << obs::FlightRecorder::Global().Format(64);
+
+    // The faulted multi-process run ends bit-identical to the unfaulted
+    // in-process reference.
+    std::unique_ptr<nn::Module> final_model = MakeToyReplica();
+    auto latest = LatestCheckpoint(dir.path());
+    ASSERT_TRUE(latest.ok());
+    ASSERT_TRUE(
+        LoadCheckpoint(final_model.get(), latest.value(), nullptr).ok());
+    EXPECT_EQ(MaxParamDiff(*ref.model(0), *final_model), 0.0f);
+  }
+}
+
+#endif  // DIST_WORKER_BIN
 
 }  // namespace
 }  // namespace llm::train::dist

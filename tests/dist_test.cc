@@ -624,5 +624,118 @@ TEST_F(DistTest, ResumesFromExistingCheckpointDir) {
   }
 }
 
+TEST_F(DistTest, AbortRacingInflightBarrierNeverHangsOrMisreports) {
+  // Hammer the exact interleaving the coordinator produces on recovery:
+  // AbortAll lands while ranks are anywhere between "about to deposit"
+  // and "blocked waiting". Whatever the timing, a rank must get OK (the
+  // round closed first) or a prompt kCancelled — never a hang, never a
+  // timeout served in full.
+  CommHub hub(2);
+  for (int round = 0; round < 50; ++round) {
+    hub.Reset();
+    util::Status s[2];
+    std::thread r0([&] { s[0] = hub.Barrier(0, round, milliseconds(5000)); });
+    std::thread r1([&] {
+      if (round % 3 == 1) std::this_thread::sleep_for(milliseconds(1));
+      s[1] = hub.Barrier(1, round, milliseconds(5000));
+    });
+    if (round % 3 == 2) std::this_thread::sleep_for(milliseconds(1));
+    const auto t0 = std::chrono::steady_clock::now();
+    hub.AbortAll();
+    r0.join();
+    r1.join();
+    const auto waited = std::chrono::steady_clock::now() - t0;
+    for (int r = 0; r < 2; ++r) {
+      EXPECT_TRUE(s[r].ok() ||
+                  s[r].code() == util::StatusCode::kCancelled)
+          << "round " << round << " rank " << r << ": " << s[r];
+    }
+    EXPECT_LT(waited, milliseconds(4000)) << "round " << round;
+  }
+}
+
+TEST_F(DistTest, StaleSeqWhileAbortedIsCancelledPromptly) {
+  // A worker that never saw the abort (it was mid-step) re-enters an old
+  // round's seq. The abort latch must answer immediately — the stale rank
+  // may not sit out its own full timeout, and it may not resurrect the
+  // dead round.
+  CommHub hub(2);
+  std::thread r1([&] {
+    (void)hub.Exchange(1, /*seq=*/4, {1.0f}, milliseconds(200));
+  });
+  std::this_thread::sleep_for(milliseconds(20));
+  hub.AbortAll();
+  r1.join();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto stale = hub.Exchange(0, /*seq=*/4, {2.0f}, milliseconds(10000));
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), util::StatusCode::kCancelled);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, milliseconds(2000));
+}
+
+TEST_F(DistTest, SeqReusedAfterResetStartsAFreshRound) {
+  // Workers restart their collective counters at zero every epoch, so
+  // seq values are reused across Reset. The reused seq must behave as a
+  // brand-new round: it blocks for the full world and returns the NEW
+  // contributions, not a cached pre-Reset result.
+  CommHub hub(2);
+  std::thread other([&] {
+    auto got = hub.Exchange(1, /*seq=*/0, {10.0f}, milliseconds(2000));
+    ASSERT_TRUE(got.ok());
+  });
+  auto first = hub.Exchange(0, /*seq=*/0, {20.0f}, milliseconds(2000));
+  other.join();
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.value()[1], std::vector<float>{10.0f});
+
+  hub.Reset();
+  // Alone on the reused seq: a fresh round must WAIT (and here, time
+  // out), not serve the old gather.
+  auto alone = hub.Exchange(0, /*seq=*/0, {30.0f}, milliseconds(60));
+  ASSERT_FALSE(alone.ok());
+  EXPECT_EQ(alone.status().code(), util::StatusCode::kDeadlineExceeded);
+
+  hub.Reset();
+  std::thread fresh([&] {
+    auto got = hub.Exchange(1, /*seq=*/0, {11.0f}, milliseconds(2000));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value()[0], std::vector<float>{31.0f});
+  });
+  auto second = hub.Exchange(0, /*seq=*/0, {31.0f}, milliseconds(2000));
+  fresh.join();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value()[1], std::vector<float>{11.0f});
+}
+
+TEST_F(DistTest, ZeroLengthPayloadExchangeCompletes) {
+  // Barrier is "Exchange of nothing" — the empty payload must be a
+  // first-class citizen, not an accidental edge case: CRCs of empty
+  // buffers, zero-length gathers, mixed empty/non-empty rounds.
+  CommHub hub(2);
+  std::thread r1([&] {
+    auto got = hub.Exchange(1, 0, {}, milliseconds(2000));
+    ASSERT_TRUE(got.ok());
+    EXPECT_TRUE(got.value()[0].empty());
+    EXPECT_EQ(got.value()[1], std::vector<float>{});
+  });
+  auto got = hub.Exchange(0, 0, {}, milliseconds(2000));
+  r1.join();
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got.value().size(), 2u);
+  EXPECT_TRUE(got.value()[0].empty());
+  EXPECT_TRUE(got.value()[1].empty());
+
+  // Mixed: one empty, one not — lengths are per-rank, not homogeneous.
+  std::thread r1b([&] {
+    auto mixed = hub.Exchange(1, 1, {5.0f}, milliseconds(2000));
+    ASSERT_TRUE(mixed.ok());
+    EXPECT_TRUE(mixed.value()[0].empty());
+  });
+  auto mixed = hub.Exchange(0, 1, {}, milliseconds(2000));
+  r1b.join();
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_EQ(mixed.value()[1], std::vector<float>{5.0f});
+}
+
 }  // namespace
 }  // namespace llm::train::dist
