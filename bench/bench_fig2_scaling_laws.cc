@@ -306,12 +306,17 @@ int main() {
             std::to_string(world)))
               .string();
       fs::remove_all(dir);
+      // Per-config counter reset so the per-rank counters each worker
+      // ships ("dist.worker.<r>.comm_wait_ns", ".telemetry_bytes") read
+      // as this run's totals rather than accumulating across configs.
+      llm::obs::MetricsRegistry::Global().ResetAll();
       llm::train::dist::DistTrainerOptions dopts;
       dopts.world_size = world;
       dopts.max_steps = kDpSteps;
       dopts.adamw.lr = 1e-3f;
       dopts.checkpoint_dir = dir;
       dopts.checkpoint_every = 0;  // final checkpoint only
+      dopts.telemetry_every = 4;   // per-rank figures from shipped units
       if (std::string(transport) == "socket") {
         dopts.transport = llm::train::dist::CommTransport::kSocket;
       }
@@ -344,12 +349,33 @@ int main() {
                        FormatFloat(seconds), FormatFloat(speedup),
                        FormatFloat(comm_ms_per_step),
                        FormatFloat(dist.history().back().loss)});
-      char buf[160];
+      // Per-rank figures come from the units each rank actually shipped
+      // to the coordinator's aggregator — the telemetry plane measuring
+      // itself — not from reading the shared registry directly.
+      std::string ranks_json;
+      for (int r = 0; r < world; ++r) {
+        const std::string prefix = "dist.worker." + std::to_string(r) + ".";
+        const double rank_comm_ms =
+            static_cast<double>(dist.telemetry().RankCounter(
+                r, prefix + "comm_wait_ns")) /
+            1e6 / static_cast<double>(kDpSteps);
+        const uint64_t rank_tel_bytes =
+            dist.telemetry().RankCounter(r, prefix + "telemetry_bytes");
+        char rbuf[128];
+        std::snprintf(rbuf, sizeof(rbuf),
+                      "%s{\"rank\":%d,\"comm_ms_per_step\":%.3f,"
+                      "\"telemetry_bytes\":%llu}",
+                      r == 0 ? "" : ",", r, rank_comm_ms,
+                      static_cast<unsigned long long>(rank_tel_bytes));
+        ranks_json += rbuf;
+      }
+      char buf[640];
       std::snprintf(buf, sizeof(buf),
                     "%s{\"world\":%d,\"transport\":\"%s\",\"seconds\":%.3f,"
-                    "\"speedup\":%.3f,\"comm_ms_per_step\":%.3f}",
+                    "\"speedup\":%.3f,\"comm_ms_per_step\":%.3f,"
+                    "\"ranks\":[%s]}",
                     dp_json.empty() ? "" : ",", world, transport, seconds,
-                    speedup, comm_ms_per_step);
+                    speedup, comm_ms_per_step, ranks_json.c_str());
       dp_json += buf;
     }
   }

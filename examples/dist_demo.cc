@@ -135,6 +135,12 @@ int main(int argc, char** argv) {
   if (!gang.incidents().empty()) {
     std::printf("incident log:\n%s", gang.FormatIncidents().c_str());
   }
+  // The structured postmortems: each report's merged gang timeline
+  // interleaves the dead rank's final shipped events with the
+  // coordinator's detection and recovery events.
+  for (const obs::IncidentReport& report : gang.incident_reports()) {
+    std::printf("\n--- incident report ---\n%s", report.Format().c_str());
+  }
   PrintFlightExcerpt();
   if (!verdict.ok()) return 1;
 

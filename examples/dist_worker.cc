@@ -18,7 +18,18 @@
 //   dist_worker --rank=0 --world=2 --address=/tmp/comm.sock --epoch=0
 //     --ckpt=/tmp/ckpt/checkpoint_00000000.tfmr --ckpt-dir=/tmp/ckpt
 //     --max-steps=20 --checkpoint-every=5 --keep-last-k=2 --seed=24397
-//     --collective-timeout-ms=4000 [--arm-fault=sock-drop@3 ...]
+//     --collective-timeout-ms=4000 [--telemetry-every=2]
+//     [--postmortem=/tmp/ckpt/postmortem_rank0.tfmr]
+//     [--arm-fault=sock-drop@3 ...]
+//
+// Telemetry: with --telemetry-every=N the loop ships a rank-tagged
+// metrics + flight-delta unit to the coordinator every N steps (and once
+// at the end). With --postmortem=PATH a dying worker — catchable fatal
+// signal, load failure, cancelled loop, or the self-inflicted
+// worker-kill fault — atomically dumps its final unit there for the
+// coordinator to harvest into an IncidentReport.
+#include <atomic>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +37,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "train/checkpoint.h"
 #include "train/dist/proc_group.h"
 #include "train/dist/socket_transport.h"
@@ -51,9 +63,50 @@ struct Args {
   int keep_last_k = 2;
   uint64_t seed = 0x5eedULL;
   int64_t collective_timeout_ms = 4000;
+  int64_t telemetry_every = 0;
+  std::string postmortem;
   // (site, zero-based occurrence) pairs from --arm-fault=name@occ.
   std::vector<std::pair<util::FaultSite, int64_t>> faults;
 };
+
+// Last-gasp state for the fatal-signal handler and the non-OK exit
+// paths: enough to dump a postmortem without walking argv again.
+std::atomic<int64_t> g_step{0};
+int g_rank = -1;
+int64_t g_epoch = 0;
+char g_postmortem_path[4096] = {0};
+
+/// Dumps the full metrics + flight ring to the postmortem file. Called
+/// from failure exit paths and — pragmatically, see WritePostmortem's
+/// contract — from the fatal-signal handler.
+void DumpPostmortem(int sig) {
+  if (g_postmortem_path[0] == '\0') return;
+  llm::obs::FlightRecorder::Global().Record(
+      llm::obs::FlightEventType::kPostmortemDump, g_rank, g_step.load(), sig);
+  llm::obs::TelemetryCaptureOptions cap;
+  cap.include_events = true;  // whole ring: this process is one rank
+  llm::obs::RankTelemetry unit = llm::obs::CaptureRankTelemetry(
+      g_rank, g_epoch, g_step.load(), llm::obs::kTelemetryShipPostmortem,
+      cap);
+  (void)llm::obs::WritePostmortem(g_postmortem_path, unit);
+}
+
+void FatalSignalHandler(int sig) {
+  DumpPostmortem(sig);
+  // Restore and re-raise so the wait status the coordinator reaps still
+  // says "killed by signal N".
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void InstallFatalSignalHandlers() {
+  // SIGKILL is uncatchable — the self-inflicted kWorkerKill fault dumps
+  // before raising (worker_loop) — but every catchable fatal gets the
+  // last-gasp dump.
+  for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL, SIGTERM}) {
+    std::signal(sig, FatalSignalHandler);
+  }
+}
 
 bool ParseFaultFlag(const std::string& value, Args* args) {
   const size_t at = value.find('@');
@@ -103,6 +156,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (eat(arg, "--collective-timeout-ms", &v)) {
       args->collective_timeout_ms = std::atoll(v.c_str());
+    } else if (eat(arg, "--telemetry-every", &v)) {
+      args->telemetry_every = std::atoll(v.c_str());
+    } else if (eat(arg, "--postmortem", &v)) {
+      args->postmortem = v;
     } else if (eat(arg, "--arm-fault", &v)) {
       if (!ParseFaultFlag(v, args)) {
         std::fprintf(stderr, "dist_worker: bad --arm-fault value '%s'\n",
@@ -140,6 +197,14 @@ int main(int argc, char** argv) {
   }
   obs::WireFaultEventsToFlightRecorder();
 
+  g_rank = args.rank;
+  g_epoch = args.epoch;
+  if (!args.postmortem.empty()) {
+    std::snprintf(g_postmortem_path, sizeof(g_postmortem_path), "%s",
+                  args.postmortem.c_str());
+    InstallFatalSignalHandlers();
+  }
+
   std::unique_ptr<nn::Module> model = MakeToyReplica();
   ShardedAdamW opt(model->Parameters(), ToyAdamWOptions(), args.rank,
                    args.world);
@@ -154,8 +219,10 @@ int main(int argc, char** argv) {
   if (!loaded.ok()) {
     std::fprintf(stderr, "dist_worker rank %d: load failed: %s\n", args.rank,
                  loaded.ToString().c_str());
+    DumpPostmortem(/*sig=*/0);
     return kWorkerExitLoadFailure;
   }
+  g_step.store(init.next_step);
 
   SocketCommOptions sock_options;
   sock_options.jitter_seed = args.seed ^ 0x50c7e7ULL;
@@ -175,13 +242,19 @@ int main(int argc, char** argv) {
   loop.checkpoint_dir = args.ckpt_dir;
   loop.keep_last_k = args.keep_last_k;
   loop.die_on_kill_fault = true;  // a killed process, not a killed thread
+  loop.epoch = args.epoch;
+  loop.telemetry_every = args.telemetry_every;
+  // This process IS the rank: every metric and the full flight delta are
+  // unambiguously ours to ship.
+  loop.telemetry_whole_process = true;
+  loop.postmortem_path = args.postmortem;
 
   std::vector<StepRecord> history;
   if (args.rank == 0) history = std::move(init.history);
 
   WorkerLoopResult result = RunWorkerLoop(
       comm, *model, opt, ToyDistLoss(), loop,
-      args.rank == 0 ? &history : nullptr, /*step_reached=*/nullptr,
+      args.rank == 0 ? &history : nullptr, /*step_reached=*/&g_step,
       /*superseded=*/nullptr,
       /*on_warning=*/
       [&](const std::string& kind, const std::string& detail) {
@@ -192,6 +265,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "dist_worker rank %d: exiting at step %lld: %s\n",
                  args.rank, static_cast<long long>(result.step_reached),
                  result.status.ToString().c_str());
+    DumpPostmortem(/*sig=*/0);
     return kWorkerExitCancelled;
   }
   return kWorkerExitDone;

@@ -50,6 +50,9 @@ const char* FlightEventTypeName(FlightEventType type) {
       return "transport-disconnect";
     case FlightEventType::kTransportFence: return "transport-fence";
     case FlightEventType::kProcSpawn: return "proc-spawn";
+    case FlightEventType::kTelemetryShip: return "telemetry-ship";
+    case FlightEventType::kPostmortemDump: return "postmortem-dump";
+    case FlightEventType::kIncidentReport: return "incident-report";
   }
   return "unknown";
 }
@@ -81,12 +84,18 @@ void FlightRecorder::Record(FlightEventType type, int32_t a, int64_t b,
 }
 
 std::vector<FlightEvent> FlightRecorder::Dump(size_t max_events) const {
+  return DumpSince(0, max_events);
+}
+
+std::vector<FlightEvent> FlightRecorder::DumpSince(uint64_t min_ticket,
+                                                   size_t max_events) const {
   std::vector<FlightEvent> events;
   events.reserve(mask_ + 1);
   for (size_t i = 0; i <= mask_; ++i) {
     const Slot& slot = slots_[i];
     const uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
     if (seq1 == 0 || (seq1 & 1) != 0) continue;  // empty or mid-write
+    if (seq1 / 2 - 1 < min_ticket) continue;     // older than the delta
     FlightEvent event;
     event.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
     const int64_t type_a = slot.type_a.load(std::memory_order_relaxed);

@@ -57,12 +57,25 @@ enum class FlightEventType : int32_t {
   kTransportDisconnect,// dist: a=rank, b=epoch, c=0 clean / 1 dirty
   kTransportFence,     // dist: a=rank, b=stale epoch, c=current epoch
   kProcSpawn,          // dist: a=rank, b=pid, c=epoch
+  kTelemetryShip,      // dist: a=rank, b=step, c=reason (0 periodic,
+                       //       1 final, 2 postmortem)
+  kPostmortemDump,     // dist: a=rank, b=step, c=signal (0 = not a signal)
+  kIncidentReport,     // dist: a=victim rank, b=epoch, c=recovery #
 };
 
 const char* FlightEventTypeName(FlightEventType type);
 
-/// One recorded event. `ts_ns` is steady-clock nanoseconds; `ticket` is
-/// the global record index (monotonic), which orders events exactly.
+/// One recorded event. `ticket` is the global record index (monotonic),
+/// which orders events exactly within one recorder.
+///
+/// Clock contract: `ts_ns` MUST come from std::chrono::steady_clock — a
+/// monotonic source that never steps backwards under NTP slews or
+/// wall-clock adjustments — so a merged multi-rank timeline can never
+/// reorder across a system-clock step. On Linux steady_clock is
+/// CLOCK_MONOTONIC, whose epoch (boot) is shared by every process on the
+/// machine, which is what makes timestamps from different worker
+/// processes on one box directly comparable when the telemetry plane
+/// (obs/telemetry.h) merges their events into a gang timeline.
 struct FlightEvent {
   uint64_t ticket = 0;
   int64_t ts_ns = 0;
@@ -102,6 +115,14 @@ class FlightRecorder {
   /// Safe concurrently with writers: slots being written (or lapped
   /// mid-read) are skipped rather than returned torn.
   std::vector<FlightEvent> Dump(size_t max_events = SIZE_MAX) const;
+
+  /// Dump restricted to events with ticket >= `min_ticket`: the
+  /// incremental-delta primitive the telemetry shipper uses ("everything
+  /// since my last ship"). Same concurrency contract as Dump; events
+  /// older than min_ticket that still sit in the ring are filtered out,
+  /// and events that were lapped are simply gone.
+  std::vector<FlightEvent> DumpSince(uint64_t min_ticket,
+                                     size_t max_events = SIZE_MAX) const;
 
   /// Human-readable dump, newest `max_events` events, one per line with
   /// timestamps relative to the newest event.

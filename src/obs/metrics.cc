@@ -84,6 +84,23 @@ void Histogram::Reset() {
   max_.store(0.0, std::memory_order_relaxed);
 }
 
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.buckets.empty()) {
+    // Nothing bucketed on that side; still fold the scalar summary so a
+    // merge of summaries-only snapshots stays arithmetically honest.
+    count += other.count;
+    sum += other.sum;
+    max = std::max(max, other.max);
+    return;
+  }
+  if (buckets.empty()) buckets.resize(other.buckets.size(), 0);
+  const size_t n = std::min(buckets.size(), other.buckets.size());
+  for (size_t i = 0; i < n; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
 double HistogramSnapshot::Percentile(double q) const {
   if (count == 0) return 0.0;
   q = std::min(std::max(q, 0.0), 1.0);
@@ -128,6 +145,25 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot(
+    const std::string& name_prefix) const {
+  const auto matches = [&](const std::string& name) {
+    return name_prefix.empty() || name.rfind(name_prefix, 0) == 0;
+  };
+  RegistrySnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    if (matches(name)) out.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    if (matches(name)) out.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    if (matches(name)) out.histograms[name] = hist->Snapshot();
+  }
+  return out;
 }
 
 std::string MetricsRegistry::JsonSnapshot() const {

@@ -77,6 +77,14 @@ struct HistogramSnapshot {
   /// Percentile estimate from merged buckets; same convention as
   /// Histogram::Percentile. `q` in [0, 1].
   double Percentile(double q) const;
+
+  /// Adds `other` into this snapshot: bucket-wise counts add, sum adds,
+  /// max takes the larger side. Because buckets are fixed and geometric,
+  /// merging N per-rank snapshots is exact for count/sum/mean and keeps
+  /// percentile estimates within the same one-bucket (~19%) error bound
+  /// as a single histogram that had seen every sample. Either side may be
+  /// empty (default-constructed, no buckets).
+  void Merge(const HistogramSnapshot& other);
 };
 
 /// Fixed-bucket latency/size histogram. Bucket i covers
@@ -113,6 +121,16 @@ class Histogram {
   std::atomic<double> max_{0.0};
 };
 
+/// Structured point-in-time view of a registry: every counter and gauge
+/// by value, every histogram as a detached snapshot. This is the unit
+/// the distributed telemetry plane ships across process boundaries
+/// (obs/telemetry.h encodes it) and what the aggregator merges.
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
 /// Named metrics with stable storage. Registration takes a mutex;
 /// updates through the returned pointers are lock-free.
 class MetricsRegistry {
@@ -127,6 +145,12 @@ class MetricsRegistry {
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
+
+  /// Structured snapshot of every metric whose name starts with
+  /// `name_prefix` ("" = everything). Values are read relaxed, so a
+  /// snapshot taken while writers run is per-metric consistent, not
+  /// cross-metric atomic — same contract as JsonSnapshot.
+  RegistrySnapshot Snapshot(const std::string& name_prefix = "") const;
 
   /// One JSON object (no trailing newline): counters and gauges by name,
   /// histograms as {count, mean, p50, p95, p99, max}. Keys are sorted, so

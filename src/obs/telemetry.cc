@@ -1,0 +1,595 @@
+#include "obs/telemetry.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace llm::obs {
+namespace {
+
+// "TFMT": same family as the wire's "TFMW", distinct so a telemetry blob
+// mistaken for a frame (or vice versa) fails fast on magic.
+constexpr uint32_t kTelemetryMagic = 0x54464D54u;
+constexpr uint16_t kTelemetryVersion = 1;
+
+// Sanity bounds for the decoder: anything larger is a corrupt stream,
+// not a plausible snapshot.
+constexpr uint32_t kMaxEntries = 1u << 20;
+constexpr uint32_t kMaxNameLen = 1u << 12;
+constexpr uint32_t kMaxBuckets = 1u << 10;
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+void PutI64(std::vector<uint8_t>* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+void PutF64(std::vector<uint8_t>* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+/// Bounds-checked little-endian reader over the decode buffer.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+
+  bool U16(uint16_t* v) {
+    if (pos_ + 2 > len_) return failed_ = true, false;
+    *v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > len_) return failed_ = true, false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(data_[pos_ + static_cast<size_t>(i)])
+            << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (pos_ + 8 > len_) return failed_ = true, false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+            << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool I64(int64_t* v) {
+    uint64_t u;
+    if (!U64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+  bool I32(int32_t* v) {
+    uint32_t u;
+    if (!U32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+  bool F64(double* v) {
+    uint64_t bits;
+    if (!U64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool String(std::string* s) {
+    uint32_t n;
+    if (!U32(&n) || n > kMaxNameLen || pos_ + n > len_) {
+      return failed_ = true, false;
+    }
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t pos() const { return pos_; }
+  bool failed() const { return failed_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Display order of the merged timeline: machine-wide steady timestamp,
+/// then (epoch, rank, ticket) so identical-timestamp events (coarse
+/// clocks, same-instant records on different ranks) order
+/// deterministically.
+bool GangEventBefore(const GangEvent& x, const GangEvent& y) {
+  if (x.event.ts_ns != y.event.ts_ns) return x.event.ts_ns < y.event.ts_ns;
+  if (x.epoch != y.epoch) return x.epoch < y.epoch;
+  if (x.rank != y.rank) return x.rank < y.rank;
+  return x.event.ticket < y.event.ticket;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Codec.
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> EncodeRankTelemetry(const RankTelemetry& telemetry) {
+  std::vector<uint8_t> out;
+  PutU32(&out, kTelemetryMagic);
+  PutU16(&out, kTelemetryVersion);
+  PutU16(&out, 0);  // reserved
+  PutU32(&out, static_cast<uint32_t>(telemetry.rank));
+  PutI64(&out, telemetry.epoch);
+  PutI64(&out, telemetry.step);
+  PutU32(&out, static_cast<uint32_t>(telemetry.reason));
+
+  PutU32(&out, static_cast<uint32_t>(telemetry.metrics.counters.size()));
+  for (const auto& [name, value] : telemetry.metrics.counters) {
+    PutString(&out, name);
+    PutU64(&out, value);
+  }
+  PutU32(&out, static_cast<uint32_t>(telemetry.metrics.gauges.size()));
+  for (const auto& [name, value] : telemetry.metrics.gauges) {
+    PutString(&out, name);
+    PutF64(&out, value);
+  }
+  PutU32(&out, static_cast<uint32_t>(telemetry.metrics.histograms.size()));
+  for (const auto& [name, snapshot] : telemetry.metrics.histograms) {
+    PutString(&out, name);
+    PutU64(&out, snapshot.count);
+    PutF64(&out, snapshot.sum);
+    PutF64(&out, snapshot.max);
+    PutU32(&out, static_cast<uint32_t>(snapshot.buckets.size()));
+    for (const uint64_t b : snapshot.buckets) PutU64(&out, b);
+  }
+  PutU32(&out, static_cast<uint32_t>(telemetry.events.size()));
+  for (const FlightEvent& event : telemetry.events) {
+    PutU64(&out, event.ticket);
+    PutI64(&out, event.ts_ns);
+    PutU32(&out, static_cast<uint32_t>(event.type));
+    PutU32(&out, static_cast<uint32_t>(event.a));
+    PutI64(&out, event.b);
+    PutI64(&out, event.c);
+  }
+  PutU32(&out, util::Crc32(out.data(), out.size()));
+  return out;
+}
+
+util::StatusOr<RankTelemetry> DecodeRankTelemetry(const uint8_t* data,
+                                                  size_t len) {
+  if (len < 4 + 4) {
+    return util::Status::Internal("telemetry blob truncated (" +
+                                  std::to_string(len) + " bytes)");
+  }
+  // CRC first: everything after this can trust the bytes.
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(data[len - 4 + static_cast<size_t>(i)])
+                  << (8 * i);
+  }
+  if (util::Crc32(data, len - 4) != stored_crc) {
+    return util::Status::Internal("telemetry blob failed its CRC");
+  }
+
+  Reader r(data, len - 4);
+  uint32_t magic = 0;
+  uint16_t version = 0, reserved = 0;
+  RankTelemetry t;
+  uint32_t rank = 0, reason = 0;
+  if (!r.U32(&magic) || magic != kTelemetryMagic) {
+    return util::Status::Internal("telemetry blob has bad magic");
+  }
+  if (!r.U16(&version) || version != kTelemetryVersion || !r.U16(&reserved)) {
+    return util::Status::Internal("telemetry blob has unsupported version");
+  }
+  if (!r.U32(&rank) || !r.I64(&t.epoch) || !r.I64(&t.step) ||
+      !r.U32(&reason)) {
+    return util::Status::Internal("telemetry blob truncated in header");
+  }
+  t.rank = static_cast<int32_t>(rank);
+  t.reason = static_cast<int32_t>(reason);
+
+  uint32_t n = 0;
+  if (!r.U32(&n) || n > kMaxEntries) {
+    return util::Status::Internal("telemetry blob has a bad counter count");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    uint64_t value = 0;
+    if (!r.String(&name) || !r.U64(&value)) {
+      return util::Status::Internal("telemetry blob truncated in counters");
+    }
+    t.metrics.counters[name] = value;
+  }
+  if (!r.U32(&n) || n > kMaxEntries) {
+    return util::Status::Internal("telemetry blob has a bad gauge count");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    double value = 0.0;
+    if (!r.String(&name) || !r.F64(&value)) {
+      return util::Status::Internal("telemetry blob truncated in gauges");
+    }
+    t.metrics.gauges[name] = value;
+  }
+  if (!r.U32(&n) || n > kMaxEntries) {
+    return util::Status::Internal("telemetry blob has a bad histogram count");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    HistogramSnapshot snapshot;
+    uint32_t n_buckets = 0;
+    if (!r.String(&name) || !r.U64(&snapshot.count) || !r.F64(&snapshot.sum) ||
+        !r.F64(&snapshot.max) || !r.U32(&n_buckets) ||
+        n_buckets > kMaxBuckets) {
+      return util::Status::Internal("telemetry blob truncated in histograms");
+    }
+    snapshot.buckets.resize(n_buckets);
+    for (uint32_t b = 0; b < n_buckets; ++b) {
+      if (!r.U64(&snapshot.buckets[b])) {
+        return util::Status::Internal(
+            "telemetry blob truncated in histogram buckets");
+      }
+    }
+    t.metrics.histograms[name] = std::move(snapshot);
+  }
+  if (!r.U32(&n) || n > kMaxEntries) {
+    return util::Status::Internal("telemetry blob has a bad event count");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    FlightEvent event;
+    uint32_t type = 0, a = 0;
+    if (!r.U64(&event.ticket) || !r.I64(&event.ts_ns) || !r.U32(&type) ||
+        !r.U32(&a) || !r.I64(&event.b) || !r.I64(&event.c)) {
+      return util::Status::Internal("telemetry blob truncated in events");
+    }
+    event.type = static_cast<FlightEventType>(type);
+    event.a = static_cast<int32_t>(a);
+    t.events.push_back(event);
+  }
+  if (r.pos() != len - 4) {
+    return util::Status::Internal("telemetry blob has trailing bytes");
+  }
+  return t;
+}
+
+util::StatusOr<RankTelemetry> DecodeRankTelemetry(
+    const std::vector<uint8_t>& bytes) {
+  return DecodeRankTelemetry(bytes.data(), bytes.size());
+}
+
+// ---------------------------------------------------------------------------
+// Capture.
+// ---------------------------------------------------------------------------
+
+RankTelemetry CaptureRankTelemetry(int32_t rank, int64_t epoch, int64_t step,
+                                   int32_t reason,
+                                   const TelemetryCaptureOptions& options) {
+  RankTelemetry t;
+  t.rank = rank;
+  t.epoch = epoch;
+  t.step = step;
+  t.reason = reason;
+  t.metrics = MetricsRegistry::Global().Snapshot(options.metric_prefix);
+  if (options.include_events) {
+    t.events = FlightRecorder::Global().DumpSince(options.events_from_ticket);
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Gang timeline + aggregation.
+// ---------------------------------------------------------------------------
+
+std::string FormatGangTimeline(const std::vector<GangEvent>& events) {
+  if (events.empty()) return "  (gang timeline empty)\n";
+  const int64_t newest = events.back().event.ts_ns;
+  std::string out;
+  char line[224];
+  for (const GangEvent& ge : events) {
+    char who[16];
+    if (ge.rank == kCoordinatorRank) {
+      std::snprintf(who, sizeof(who), "coord");
+    } else {
+      std::snprintf(who, sizeof(who), "rank %d", ge.rank);
+    }
+    std::snprintf(line, sizeof(line),
+                  "  [%9.2fms] %-7s e%lld #%-6llu %-20s a=%d b=%lld c=%lld\n",
+                  static_cast<double>(ge.event.ts_ns - newest) / 1e6, who,
+                  static_cast<long long>(ge.epoch),
+                  static_cast<unsigned long long>(ge.event.ticket),
+                  FlightEventTypeName(ge.event.type), ge.event.a,
+                  static_cast<long long>(ge.event.b),
+                  static_cast<long long>(ge.event.c));
+    out += line;
+  }
+  return out;
+}
+
+void TelemetryAggregator::Ingest(const RankTelemetry& telemetry,
+                                 size_t wire_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_[telemetry.rank] += wire_bytes;
+  ++ingests_[telemetry.rank];
+  for (const FlightEvent& event : telemetry.events) {
+    if (seen_
+            .insert({telemetry.epoch, telemetry.rank, event.ticket})
+            .second) {
+      timeline_.push_back({telemetry.rank, telemetry.epoch, event});
+    }
+  }
+  latest_[telemetry.rank] = telemetry;
+}
+
+void TelemetryAggregator::IngestCoordinatorEvents(
+    int64_t epoch, const std::vector<FlightEvent>& events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const FlightEvent& event : events) {
+    if (seen_.insert({epoch, kCoordinatorRank, event.ticket}).second) {
+      timeline_.push_back({kCoordinatorRank, epoch, event});
+    }
+  }
+}
+
+uint64_t TelemetryAggregator::MergedCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t sum = 0;
+  for (const auto& [rank, t] : latest_) {
+    const auto it = t.metrics.counters.find(name);
+    if (it != t.metrics.counters.end()) sum += it->second;
+  }
+  return sum;
+}
+
+HistogramSnapshot TelemetryAggregator::MergedHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot merged;
+  for (const auto& [rank, t] : latest_) {
+    const auto it = t.metrics.histograms.find(name);
+    if (it != t.metrics.histograms.end()) merged.Merge(it->second);
+  }
+  return merged;
+}
+
+uint64_t TelemetryAggregator::RankCounter(int32_t rank,
+                                          const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto rit = latest_.find(rank);
+  if (rit == latest_.end()) return 0;
+  const auto it = rit->second.metrics.counters.find(name);
+  return it == rit->second.metrics.counters.end() ? 0 : it->second;
+}
+
+double TelemetryAggregator::RankGauge(int32_t rank,
+                                      const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto rit = latest_.find(rank);
+  if (rit == latest_.end()) return 0.0;
+  const auto it = rit->second.metrics.gauges.find(name);
+  return it == rit->second.metrics.gauges.end() ? 0.0 : it->second;
+}
+
+bool TelemetryAggregator::HasRank(int32_t rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_.count(rank) != 0;
+}
+
+int64_t TelemetryAggregator::RankStep(int32_t rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = latest_.find(rank);
+  return it == latest_.end() ? -1 : it->second.step;
+}
+
+uint64_t TelemetryAggregator::IngestedBytes(int32_t rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = bytes_.find(rank);
+  return it == bytes_.end() ? 0 : it->second;
+}
+
+int64_t TelemetryAggregator::IngestCount(int32_t rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = ingests_.find(rank);
+  return it == ingests_.end() ? 0 : it->second;
+}
+
+std::vector<GangEvent> TelemetryAggregator::Timeline(
+    size_t max_events) const {
+  std::vector<GangEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = timeline_;
+  }
+  std::sort(out.begin(), out.end(), GangEventBefore);
+  if (out.size() > max_events) {
+    out.erase(out.begin(), out.end() - static_cast<ptrdiff_t>(max_events));
+  }
+  return out;
+}
+
+void TelemetryAggregator::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  latest_.clear();
+  bytes_.clear();
+  ingests_.clear();
+  timeline_.clear();
+  seen_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Crash postmortems.
+// ---------------------------------------------------------------------------
+
+std::string PostmortemPath(const std::string& dir, int32_t rank) {
+  return dir + "/postmortem_rank" + std::to_string(rank) + ".tfmr";
+}
+
+util::Status WritePostmortem(const std::string& path,
+                             const RankTelemetry& telemetry) {
+  const std::vector<uint8_t> bytes = EncodeRankTelemetry(telemetry);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return util::Status::IOError("cannot open postmortem tmp " + tmp + ": " +
+                                 std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return util::Status::IOError("postmortem write failed: " +
+                                   std::string(std::strerror(err)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return util::Status::IOError("postmortem rename failed: " +
+                                 std::string(std::strerror(err)));
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<RankTelemetry> ReadPostmortem(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return util::Status::NotFound("no postmortem at " + path);
+    }
+    return util::Status::IOError("cannot open postmortem " + path + ": " +
+                                 std::strerror(errno));
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return util::Status::IOError("postmortem read failed: " +
+                                   std::string(std::strerror(err)));
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+  auto decoded = DecodeRankTelemetry(bytes);
+  if (!decoded.ok()) {
+    return util::Status::Internal("postmortem " + path + " is corrupt: " +
+                                  decoded.status().ToString());
+  }
+  return decoded;
+}
+
+// ---------------------------------------------------------------------------
+// Incident reports.
+// ---------------------------------------------------------------------------
+
+std::string IncidentReport::ToJson() const {
+  std::string out = "{";
+  out += "\"epoch\":" + std::to_string(epoch);
+  out += ",\"rank\":" + std::to_string(rank);
+  out += ",\"kind\":\"" + JsonEscape(kind) + "\"";
+  out += ",\"detail\":\"" + JsonEscape(detail) + "\"";
+  out += ",\"action\":\"" + JsonEscape(action) + "\"";
+  out += ",\"step\":" + std::to_string(step);
+  out += ",\"exit_code\":" + std::to_string(exit_code);
+  out += ",\"term_signal\":" + std::to_string(term_signal);
+  out += ",\"postmortem\":";
+  out += postmortem_harvested ? "true" : "false";
+  out += ",\"recovery\":" + std::to_string(recovery);
+  out += ",\"timeline\":[";
+  const int64_t newest =
+      timeline.empty() ? 0 : timeline.back().event.ts_ns;
+  bool first = true;
+  for (const GangEvent& ge : timeline) {
+    if (!first) out += ",";
+    first = false;
+    char buf[192];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"rank\":%d,\"epoch\":%lld,\"ticket\":%llu,\"t_ms\":%.3f,"
+        "\"event\":\"%s\",\"a\":%d,\"b\":%lld,\"c\":%lld}",
+        ge.rank, static_cast<long long>(ge.epoch),
+        static_cast<unsigned long long>(ge.event.ticket),
+        static_cast<double>(ge.event.ts_ns - newest) / 1e6,
+        FlightEventTypeName(ge.event.type), ge.event.a,
+        static_cast<long long>(ge.event.b),
+        static_cast<long long>(ge.event.c));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string IncidentReport::Format() const {
+  std::string out;
+  out += "incident: epoch " + std::to_string(epoch) + " rank " +
+         std::to_string(rank) + " [" + kind + "]\n";
+  out += "  detail: " + detail + "\n";
+  out += "  action: " + action + "\n";
+  out += "  victim last telemetry step: " + std::to_string(step) + "\n";
+  if (term_signal >= 0) {
+    out += "  terminated by signal " + std::to_string(term_signal) + "\n";
+  } else if (exit_code >= 0) {
+    out += "  exit code " + std::to_string(exit_code) + "\n";
+  }
+  out += std::string("  postmortem: ") +
+         (postmortem_harvested ? "harvested" : "none") + "\n";
+  out += "  gang timeline (newest last):\n";
+  out += FormatGangTimeline(timeline);
+  return out;
+}
+
+}  // namespace llm::obs

@@ -26,6 +26,22 @@ int64_t CommHub::HeartbeatCount(int rank) const {
   return heartbeats_[rank].load(std::memory_order_relaxed);
 }
 
+void CommHub::SetTelemetrySink(TelemetrySink sink) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  telemetry_sink_ = std::move(sink);
+}
+
+void CommHub::ShipTelemetry(int rank, const std::vector<uint8_t>& blob) {
+  TelemetrySink sink;
+  {
+    std::lock_guard<std::mutex> lock(sink_mu_);
+    sink = telemetry_sink_;
+  }
+  // Invoked outside the lock: the sink (typically an aggregator ingest)
+  // may itself take locks, and a slow sink must not serialize shippers.
+  if (sink) sink(rank, blob);
+}
+
 util::StatusOr<std::vector<std::vector<float>>> CommHub::Exchange(
     int rank, int64_t seq, std::vector<float> data,
     std::chrono::milliseconds timeout) {

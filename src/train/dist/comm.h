@@ -37,6 +37,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -78,6 +79,18 @@ class Comm {
   /// transport connection goes away. No-op for in-process transports.
   virtual void Finish(int rank) { (void)rank; }
 
+  /// Best-effort ship of an encoded obs::RankTelemetry blob to the
+  /// coordinator's aggregator. The blob is opaque to the transport.
+  /// Telemetry rides outside the collective algebra: a dropped or
+  /// delayed unit costs observability, never correctness, so
+  /// implementations must never block a step on it and must never
+  /// reconnect for it. Default: drop (transports without a coordinator
+  /// sink).
+  virtual void ShipTelemetry(int rank, const std::vector<uint8_t>& blob) {
+    (void)rank;
+    (void)blob;
+  }
+
   virtual int world_size() const = 0;
 
   /// Rendezvous with no payload: Exchange of empty buffers.
@@ -115,6 +128,14 @@ class CommHub : public Comm {
   void Heartbeat(int rank) override;
   int64_t HeartbeatCount(int rank) const;
 
+  /// Receives every ShipTelemetry blob (the in-process analogue of the
+  /// server's kTelemetry frame handler). Called from worker threads;
+  /// the sink must be thread-safe. Set before workers start.
+  using TelemetrySink =
+      std::function<void(int rank, const std::vector<uint8_t>& blob)>;
+  void SetTelemetrySink(TelemetrySink sink);
+  void ShipTelemetry(int rank, const std::vector<uint8_t>& blob) override;
+
   int world_size() const override { return world_size_; }
 
  private:
@@ -133,6 +154,8 @@ class CommHub : public Comm {
   std::map<int64_t, Round> rounds_;  // guarded by mu_
   bool aborted_ = false;             // guarded by mu_
   std::unique_ptr<std::atomic<int64_t>[]> heartbeats_;
+  mutable std::mutex sink_mu_;
+  TelemetrySink telemetry_sink_;     // guarded by sink_mu_
 };
 
 }  // namespace llm::train::dist

@@ -51,6 +51,12 @@ DistTrainer::DistTrainer(const DistTrainerOptions& options,
   LLM_CHECK(factory_ != nullptr);
   LLM_CHECK(loss_fn_ != nullptr);
   hub_ = std::make_unique<CommHub>(options.world_size);
+  hub_->SetTelemetrySink([this](int rank, const std::vector<uint8_t>& blob) {
+    auto unit = obs::DecodeRankTelemetry(blob);
+    // A corrupt unit costs one snapshot, never the run.
+    if (unit.ok()) telemetry_.Ingest(unit.value(), blob.size());
+    (void)rank;
+  });
   workers_.reserve(static_cast<size_t>(options.world_size));
   for (int r = 0; r < options.world_size; ++r) {
     workers_.push_back(std::make_unique<Worker>());
@@ -154,6 +160,12 @@ util::Status DistTrainer::Run() {
                                     : options_.socket_address;
     server_ = std::make_unique<SocketServer>(options_.world_size, address);
     LLM_RETURN_IF_ERROR(server_->Start());
+    server_->SetTelemetrySink(
+        [this](int rank, const std::vector<uint8_t>& blob) {
+          auto unit = obs::DecodeRankTelemetry(blob);
+          if (unit.ok()) telemetry_.Ingest(unit.value(), blob.size());
+          (void)rank;
+        });
   }
 
   while (true) {
@@ -271,6 +283,11 @@ void DistTrainer::WorkerMain(int rank, int my_epoch,
   loop.checkpoint_dir = options_.checkpoint_dir;
   loop.keep_last_k = options_.keep_last_k;
   loop.straggle_ms = options_.straggle_ms;
+  loop.epoch = my_epoch;
+  loop.telemetry_every = options_.telemetry_every;
+  // Thread workers share this process (both transports): ship only the
+  // per-rank metric namespace and no flight events.
+  loop.telemetry_whole_process = false;
 
   WorkerLoopResult result = RunWorkerLoop(
       *comm, *me.model, *me.opt, loss_fn_, loop,

@@ -48,6 +48,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "train/dist/comm.h"
 #include "train/dist/sharded_adamw.h"
 #include "train/dist/worker_loop.h"
@@ -119,6 +120,14 @@ struct DistTrainerOptions {
   /// collective timeout would notice. Must exceed a worst-case reconnect
   /// (backoff cap + handshake) so a transient drop stays benign.
   std::chrono::milliseconds disconnect_grace{400};
+
+  /// Workers ship a rank-tagged telemetry unit to the coordinator's
+  /// aggregator every N steps (plus a final one); 0 = off. Workers here
+  /// share the coordinator's process, so each unit carries only that
+  /// rank's "dist.worker.<r>." metrics and no flight events — the
+  /// aggregator's cross-rank sums stay honest and nothing is
+  /// double-counted (see WorkerLoopOptions::telemetry_whole_process).
+  int64_t telemetry_every = 0;
 };
 
 /// One distributed incident and how the coordinator responded.
@@ -162,6 +171,10 @@ class DistTrainer {
   /// Rank `rank`'s replica (all replicas are bit-identical after a
   /// successful Run). Valid after Run; null before the first epoch.
   const nn::Module* model(int rank = 0) const;
+
+  /// The coordinator-side aggregator of every shipped telemetry unit
+  /// (populated only when options.telemetry_every > 0).
+  const obs::TelemetryAggregator& telemetry() const { return telemetry_; }
 
  private:
   enum class Phase : int {
@@ -208,6 +221,7 @@ class DistTrainer {
   std::vector<StepRecord> history_;  // written by rank 0's worker thread
   mutable std::mutex incidents_mu_;
   std::vector<DistIncident> incidents_;
+  obs::TelemetryAggregator telemetry_;
 };
 
 }  // namespace llm::train::dist

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <sstream>
 #include <utility>
@@ -29,6 +30,11 @@ std::string DescribeExit(int wstatus) {
   }
   return "stopped with wstatus " + std::to_string(wstatus);
 }
+
+/// CI hook: when TFMR_INCIDENT_DIR is set, DIST_INCIDENT lines and
+/// harvested postmortems are archived there so a failing workflow can
+/// upload them as artifacts after the run's scratch dirs are gone.
+const char* IncidentArchiveDir() { return std::getenv("TFMR_INCIDENT_DIR"); }
 
 }  // namespace
 
@@ -58,6 +64,71 @@ std::string ProcGroupCoordinator::FormatIncidents() const {
        << inc.kind << "] " << inc.detail << " -> " << inc.action << "\n";
   }
   return os.str();
+}
+
+std::string ProcGroupCoordinator::PostmortemDir() const {
+  return options_.postmortem_dir.empty() ? options_.checkpoint_dir
+                                         : options_.postmortem_dir;
+}
+
+void ProcGroupCoordinator::HarvestPostmortems(obs::IncidentReport* report) {
+  for (int r = 0; r < options_.world_size; ++r) {
+    const std::string path = obs::PostmortemPath(PostmortemDir(), r);
+    auto unit = obs::ReadPostmortem(path);
+    if (!unit.ok()) {
+      if (unit.status().code() != util::StatusCode::kNotFound) {
+        // A torn or corrupt last gasp: detected, reported, never trusted.
+        std::fprintf(stderr, "[dist-proc] discarding bad postmortem %s: %s\n",
+                     path.c_str(), unit.status().ToString().c_str());
+        std::remove(path.c_str());
+      }
+      continue;
+    }
+    telemetry_.Ingest(unit.value());
+    if (r == report->rank) {
+      report->postmortem_harvested = true;
+      if (report->step < 0) report->step = unit.value().step;
+    }
+    if (const char* archive = IncidentArchiveDir()) {
+      std::error_code ec;
+      std::filesystem::create_directories(archive, ec);
+      std::filesystem::copy_file(
+          path,
+          std::string(archive) + "/postmortem_e" +
+              std::to_string(unit.value().epoch) + "_rank" +
+              std::to_string(r) + ".tfmr",
+          std::filesystem::copy_options::overwrite_existing, ec);
+    }
+    // Consume: a harvested dump must not masquerade as evidence for the
+    // next incident.
+    std::remove(path.c_str());
+  }
+}
+
+void ProcGroupCoordinator::FinalizeReport(obs::IncidentReport report) {
+  // The report's own marker event goes into the ring first, then the
+  // coordinator's flight delta — detection, gang SIGKILL, recovery,
+  // respawns, and the marker itself — is spliced into the gang timeline.
+  FlightRecorder::Global().Record(FlightEventType::kIncidentReport,
+                                  report.rank, report.epoch, report.recovery);
+  std::vector<obs::FlightEvent> delta =
+      FlightRecorder::Global().DumpSince(coord_shipped_ticket_);
+  if (!delta.empty()) coord_shipped_ticket_ = delta.back().ticket + 1;
+  telemetry_.IngestCoordinatorEvents(report.epoch, delta);
+  report.timeline = telemetry_.Timeline(options_.incident_timeline_events);
+
+  const std::string json = report.ToJson();
+  std::fprintf(stderr, "DIST_INCIDENT %s\n", json.c_str());
+  if (const char* archive = IncidentArchiveDir()) {
+    std::error_code ec;
+    std::filesystem::create_directories(archive, ec);
+    if (std::FILE* f = std::fopen(
+            (std::string(archive) + "/incidents.jsonl").c_str(), "a")) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    }
+  }
+  reports_.push_back(std::move(report));
 }
 
 util::Status ProcGroupCoordinator::WriteInitialCheckpoint() {
@@ -117,6 +188,8 @@ util::Status ProcGroupCoordinator::SpawnWorkers(const std::string& ckpt_path,
         "--seed=" + std::to_string(options_.seed),
         "--collective-timeout-ms=" +
             std::to_string(options_.collective_timeout.count()),
+        "--telemetry-every=" + std::to_string(options_.telemetry_every),
+        "--postmortem=" + obs::PostmortemPath(PostmortemDir(), r),
     };
     for (const std::string& extra : options_.worker_extra_args) {
       args.push_back(extra);
@@ -184,6 +257,8 @@ bool ProcGroupCoordinator::MonitorGang(util::Status* verdict,
     DistIncident incident;
     incident.epoch = static_cast<int>(epoch);
     incident.step = -1;  // a process's step lives in its own memory
+    obs::IncidentReport report;
+    report.epoch = epoch;
     bool have_incident = false;
     int done = 0;
 
@@ -212,6 +287,10 @@ bool ProcGroupCoordinator::MonitorGang(util::Status* verdict,
           incident.kind =
               WIFSIGNALED(wstatus) ? "worker-death" : "worker-exit";
           incident.detail = DescribeExit(wstatus);
+          report.exit_code =
+              WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
+          report.term_signal =
+              WIFSIGNALED(wstatus) ? WTERMSIG(wstatus) : -1;
           FlightRecorder::Global().Record(FlightEventType::kWorkerDeath, r,
                                           server_->HeartbeatCount(r),
                                           /*reason=*/0);
@@ -280,10 +359,20 @@ bool ProcGroupCoordinator::MonitorGang(util::Status* verdict,
       continue;
     }
 
+    report.rank = incident.rank;
+    report.kind = incident.kind;
+    report.detail = incident.detail;
+    report.step = telemetry_.RankStep(incident.rank);
+
     if (recoveries_ >= options_.max_recoveries) {
       incident.action = "none (recovery budget exhausted)";
       incidents_.push_back(incident);
       KillAllWorkers();
+      // Terminal: no respawn to wait for — harvest and finalize now.
+      report.action = incident.action;
+      report.recovery = recoveries_;
+      HarvestPostmortems(&report);
+      FinalizeReport(std::move(report));
       *verdict = util::Status::Internal(
           "proc-group run failed after " + std::to_string(recoveries_) +
           " recoveries; incident log:\n" + FormatIncidents());
@@ -294,8 +383,17 @@ bool ProcGroupCoordinator::MonitorGang(util::Status* verdict,
     std::fprintf(stderr, "[dist-proc] epoch %lld incident [%s] rank %d: %s\n",
                  static_cast<long long>(epoch), incident.kind.c_str(),
                  incident.rank, incident.detail.c_str());
+    report.action = incident.action;
+    report.recovery = recoveries_;
     incidents_.push_back(std::move(incident));
     KillAllWorkers();
+    // Harvest now — the victim's last-gasp dump is on disk — but finalize
+    // only after Run() has respawned the gang, so the report's merged
+    // timeline interleaves the victim's final events with the
+    // coordinator's detection, recovery, and respawn events.
+    HarvestPostmortems(&report);
+    pending_ = std::move(report);
+    pending_report_ = true;
     return false;
   }
 }
@@ -317,6 +415,13 @@ util::Status ProcGroupCoordinator::Run() {
                                     : options_.socket_address;
     server_ = std::make_unique<SocketServer>(options_.world_size, address);
     LLM_RETURN_IF_ERROR(server_->Start());
+    server_->SetTelemetrySink(
+        [this](int rank, const std::vector<uint8_t>& blob) {
+          auto unit = obs::DecodeRankTelemetry(blob);
+          // A corrupt unit costs one snapshot, never the run.
+          if (unit.ok()) telemetry_.Ingest(unit.value(), blob.size());
+          (void)rank;
+        });
   }
 
   int64_t epoch = 0;
@@ -335,6 +440,13 @@ util::Status ProcGroupCoordinator::Run() {
                    options_.world_size, ckpt.c_str());
     }
     LLM_RETURN_IF_ERROR(SpawnWorkers(ckpt, epoch));
+    if (pending_report_) {
+      // The respawn is done: the coordinator's kDistRecovery + kProcSpawn
+      // events exist, so the previous incident's report can carry them.
+      pending_report_ = false;
+      FinalizeReport(std::move(pending_));
+      pending_ = obs::IncidentReport{};
+    }
     util::Status verdict;
     if (MonitorGang(&verdict, epoch)) return verdict;
     ++epoch;

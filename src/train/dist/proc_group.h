@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "train/dist/dist_trainer.h"
 #include "train/dist/socket_transport.h"
 #include "train/optimizer.h"
@@ -70,6 +71,15 @@ struct ProcGroupOptions {
   /// Extra argv entries appended to every worker (fault-arming flags:
   /// "--arm-fault=sock-drop@3", "--arm-fault=worker-kill@5", ...).
   std::vector<std::string> worker_extra_args;
+  /// Workers ship a telemetry unit every N steps (plus a final one);
+  /// 0 disables shipping (and with it postmortem harvesting has only
+  /// files to go on).
+  int64_t telemetry_every = 2;
+  /// Directory workers dump crash postmortems into; empty =
+  /// checkpoint_dir.
+  std::string postmortem_dir;
+  /// Merged-timeline events attached to each IncidentReport.
+  size_t incident_timeline_events = 24;
 };
 
 class ProcGroupCoordinator {
@@ -96,6 +106,15 @@ class ProcGroupCoordinator {
   const std::vector<DistIncident>& incidents() const { return incidents_; }
   std::string FormatIncidents() const;
 
+  /// One structured report per incident, finalized after the recovery it
+  /// triggered (so the merged timeline interleaves the victim's last
+  /// shipped events with the coordinator's detection + respawn events).
+  const std::vector<obs::IncidentReport>& incident_reports() const {
+    return reports_;
+  }
+  /// The gang aggregator: every shipped unit and harvested postmortem.
+  const obs::TelemetryAggregator& telemetry() const { return telemetry_; }
+
  private:
   util::Status WriteInitialCheckpoint();
   util::Status PickCheckpoint(std::string* path);
@@ -103,6 +122,14 @@ class ProcGroupCoordinator {
   /// Returns true when the run is over; false to recover and respawn.
   bool MonitorGang(util::Status* verdict, int64_t epoch);
   void KillAllWorkers();
+  std::string PostmortemDir() const;
+  /// Reads, ingests, archives, and deletes every rank's postmortem file;
+  /// marks `report` when the victim's dump was among them.
+  void HarvestPostmortems(obs::IncidentReport* report);
+  /// Splices the coordinator's own flight delta into the gang timeline,
+  /// attaches the merged window to `report`, emits the DIST_INCIDENT
+  /// line, and files the report.
+  void FinalizeReport(obs::IncidentReport report);
 
   ProcGroupOptions options_;
   ModelFactory factory_;
@@ -110,6 +137,15 @@ class ProcGroupCoordinator {
   std::unique_ptr<SocketServer> server_;
   int recoveries_ = 0;
   std::vector<DistIncident> incidents_;
+  obs::TelemetryAggregator telemetry_;
+  std::vector<obs::IncidentReport> reports_;
+  /// Coordinator-side flight-delta cursor (events already spliced into
+  /// the gang timeline).
+  uint64_t coord_shipped_ticket_ = 0;
+  /// A recover-path incident's report awaits the respawn before
+  /// finalizing, so its timeline contains the recovery events.
+  bool pending_report_ = false;
+  obs::IncidentReport pending_;
 
   mutable std::mutex pids_mu_;
   std::vector<pid_t> pids_;        // guarded by pids_mu_; -1 = reaped

@@ -294,6 +294,24 @@ void SocketServer::HandleFrame(const std::shared_ptr<Conn>& conn,
       ranks_[static_cast<size_t>(conn->rank)].finished = true;
       return;
     }
+    case FrameType::kTelemetry: {
+      // Best-effort observability: a payload that failed its wire CRC is
+      // dropped here rather than failing anything — telemetry rides
+      // outside the collective algebra.
+      if (!frame.payload_ok) {
+        Metrics().crc_rejects->Increment();
+        return;
+      }
+      TelemetrySink sink;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        sink = telemetry_sink_;
+      }
+      // Invoked outside mu_: the sink (typically an aggregator ingest)
+      // takes its own locks and must not serialize round handling.
+      if (sink) sink(conn->rank, frame.payload);
+      return;
+    }
     case FrameType::kPoison: {
       // The sender's wait on `seq` expired: fail the round so every other
       // participant gets a prompt kCancelled instead of its own timeout.
@@ -466,6 +484,11 @@ int64_t SocketServer::HeartbeatCount(int rank) const {
 bool SocketServer::Finished(int rank) const {
   std::lock_guard<std::mutex> lock(mu_);
   return ranks_[static_cast<size_t>(rank)].finished;
+}
+
+void SocketServer::SetTelemetrySink(TelemetrySink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  telemetry_sink_ = std::move(sink);
 }
 
 std::vector<int> SocketServer::RanksDisconnectedOver(
@@ -682,6 +705,23 @@ void SocketComm::Heartbeat(int rank) {
   if (SendFrame(fd_, hb, SteadyClock::now() + std::chrono::milliseconds(100))
           .ok()) {
     CountTx(hb);
+  } else {
+    CloseConn(/*dirty=*/true);
+  }
+}
+
+void SocketComm::ShipTelemetry(int rank, const std::vector<uint8_t>& blob) {
+  LLM_CHECK_EQ(rank, rank_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return;  // Exchange owns reconnection
+  Frame tel;
+  tel.type = FrameType::kTelemetry;
+  tel.rank = rank_;
+  tel.epoch = epoch_;
+  tel.payload = blob;
+  if (SendFrame(fd_, tel, SteadyClock::now() + std::chrono::milliseconds(100))
+          .ok()) {
+    CountTx(tel);
   } else {
     CloseConn(/*dirty=*/true);
   }

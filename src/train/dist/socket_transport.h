@@ -49,6 +49,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -105,6 +106,14 @@ class SocketServer {
   /// heartbeat or collective timeout expires.
   std::vector<int> RanksDisconnectedOver(std::chrono::milliseconds grace) const;
 
+  /// Receives every intact kTelemetry payload (an encoded
+  /// obs::RankTelemetry blob, opaque to the transport). Called from the
+  /// per-connection reader threads; the sink must be thread-safe. A
+  /// payload that fails its wire CRC is dropped, never delivered.
+  using TelemetrySink =
+      std::function<void(int rank, const std::vector<uint8_t>& blob)>;
+  void SetTelemetrySink(TelemetrySink sink);
+
  private:
   struct Conn {
     int fd = -1;
@@ -159,6 +168,7 @@ class SocketServer {
   std::vector<std::shared_ptr<Conn>> by_rank_;    // guarded by mu_
   std::vector<std::shared_ptr<Conn>> graveyard_;  // guarded by mu_
   std::vector<RankState> ranks_;                  // guarded by mu_
+  TelemetrySink telemetry_sink_;                  // guarded by mu_
 };
 
 // ---------------------------------------------------------------------------
@@ -203,6 +213,11 @@ class SocketComm : public Comm {
 
   /// Sends kGoodbye so the server can tell orderly completion from death.
   void Finish(int rank) override;
+
+  /// Best-effort kTelemetry frame carrying an opaque blob; same
+  /// discipline as Heartbeat (short deadline, never reconnects — a
+  /// dropped unit costs visibility, never correctness).
+  void ShipTelemetry(int rank, const std::vector<uint8_t>& blob) override;
 
   int world_size() const override { return world_size_; }
 

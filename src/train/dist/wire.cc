@@ -184,6 +184,7 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kFenced: return "fenced";
     case FrameType::kAbort: return "abort";
     case FrameType::kGoodbye: return "goodbye";
+    case FrameType::kTelemetry: return "telemetry";
   }
   return "unknown";
 }

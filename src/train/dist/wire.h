@@ -52,6 +52,10 @@ enum class FrameType : uint16_t {
   kFenced = 8,        // server -> client: your epoch is stale; go away
   kAbort = 9,         // server -> client: epoch torn down
   kGoodbye = 10,      // client -> server: orderly exit (loop completed)
+  kTelemetry = 11,    // client -> server: encoded obs::RankTelemetry blob
+                      //   (opaque to the wire; best-effort, like
+                      //   heartbeats — a dropped unit costs visibility,
+                      //   never correctness)
 };
 
 const char* FrameTypeName(FrameType type);

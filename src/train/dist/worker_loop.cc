@@ -8,6 +8,7 @@
 #include "nn/module.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "train/checkpoint.h"
 #include "util/check.h"
 #include "util/fault.h"
@@ -84,21 +85,31 @@ WorkerLoopResult RunWorkerLoop(Comm& comm, nn::Module& model,
                                const std::function<bool()>& superseded,
                                const WorkerWarningFn& on_warning) {
   const int rank = options.rank;
+  const std::string rank_prefix = "dist.worker." + std::to_string(rank) + ".";
   auto& recorder = obs::FlightRecorder::Global();
-  obs::Gauge* g_step = obs::MetricsRegistry::Global().GetGauge(
-      "dist.worker." + std::to_string(rank) + ".step");
-  obs::Counter* c_wait =
-      obs::MetricsRegistry::Global().GetCounter("dist.comm.wait_ns");
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Gauge* g_step = registry.GetGauge(rank_prefix + "step");
+  obs::Counter* c_wait = registry.GetCounter("dist.comm.wait_ns");
+  // Per-rank twin of dist.comm.wait_ns. It lives in the rank's telemetry
+  // namespace so a shipped snapshot attributes comm overhead to the rank
+  // that paid it — the bench's per-rank comm_ms_per_step source.
+  obs::Counter* c_rank_wait = registry.GetCounter(rank_prefix + "comm_wait_ns");
+  obs::Counter* c_tel_bytes =
+      registry.GetCounter(rank_prefix + "telemetry_bytes");
+  obs::Counter* c_tel_ships =
+      registry.GetCounter(rank_prefix + "telemetry_ships");
 
-  // Times a collective wait into the comm-overhead counter the bench's
-  // per-step comm-overhead figure is computed from.
+  // Times a collective wait into the comm-overhead counters the bench's
+  // per-step comm-overhead figures are computed from.
   const auto timed = [&](auto&& collective) {
     const auto t0 = std::chrono::steady_clock::now();
     auto result = collective();
-    c_wait->Increment(static_cast<uint64_t>(
+    const auto waited = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)
-            .count()));
+            .count());
+    c_wait->Increment(waited);
+    c_rank_wait->Increment(waited);
     return result;
   };
 
@@ -116,6 +127,37 @@ WorkerLoopResult RunWorkerLoop(Comm& comm, nn::Module& model,
     return res;
   };
 
+  // Ships one telemetry unit to the coordinator and returns it (the kill
+  // path reuses the captured unit for the postmortem file). The ship
+  // event is recorded *before* capture so every shipped delta contains
+  // its own ship marker; the bytes counter is bumped after encoding, so
+  // it trails the in-flight unit by one ship (the final/postmortem unit
+  // carries the cumulative total).
+  uint64_t ship_from_ticket = 0;
+  const auto ship = [&](int32_t reason) {
+    recorder.Record(obs::FlightEventType::kTelemetryShip, rank, step, reason);
+    c_tel_ships->Increment();
+    obs::TelemetryCaptureOptions cap;
+    if (options.telemetry_whole_process) {
+      cap.include_events = true;
+      cap.events_from_ticket = ship_from_ticket;
+    } else {
+      // Shared-process worker: only this rank's namespace, no events —
+      // see WorkerLoopOptions::telemetry_whole_process.
+      cap.metric_prefix = rank_prefix;
+      cap.include_events = false;
+    }
+    obs::RankTelemetry unit = obs::CaptureRankTelemetry(
+        rank, options.epoch, step, reason, cap);
+    if (!unit.events.empty()) {
+      ship_from_ticket = unit.events.back().ticket + 1;
+    }
+    const std::vector<uint8_t> blob = obs::EncodeRankTelemetry(unit);
+    c_tel_bytes->Increment(blob.size());
+    comm.ShipTelemetry(rank, blob);
+    return unit;
+  };
+
   while (step < options.max_steps) {
     if (superseded && superseded()) {
       return fail(util::Status::Cancelled("superseded by newer epoch"));
@@ -129,7 +171,19 @@ WorkerLoopResult RunWorkerLoop(Comm& comm, nn::Module& model,
                       /*reason=*/0);
       if (options.die_on_kill_fault) {
         // Worker-process mode: die the way a real incident would —
-        // mid-step, no destructors, no goodbye on the wire.
+        // mid-step, no destructors, no goodbye on the wire. But first,
+        // the last gasp: SIGKILL itself is uncatchable, and this is the
+        // one death we inflict on ourselves, so the postmortem handshake
+        // runs *before* the raise — ship a postmortem-tagged telemetry
+        // unit over the still-healthy transport and atomically dump the
+        // same unit to the per-rank postmortem file for the coordinator
+        // to harvest.
+        recorder.Record(obs::FlightEventType::kPostmortemDump, rank, step,
+                        /*signal=*/0);
+        const obs::RankTelemetry last = ship(obs::kTelemetryShipPostmortem);
+        if (!options.postmortem_path.empty()) {
+          (void)obs::WritePostmortem(options.postmortem_path, last);
+        }
         std::raise(SIGKILL);
       }
       res.killed = true;
@@ -271,10 +325,18 @@ WorkerLoopResult RunWorkerLoop(Comm& comm, nn::Module& model,
       });
       if (!released.ok()) return fail(std::move(released));
     }
+
+    if (options.telemetry_every > 0 &&
+        step % options.telemetry_every == 0) {
+      ship(obs::kTelemetryShipPeriodic);
+    }
   }
 
   g_step->Set(static_cast<double>(step));
   if (step_reached != nullptr) step_reached->store(step);
+  // Final unit before the goodbye, so the coordinator's aggregator holds
+  // this rank's end-of-run totals even if no periodic ship was due.
+  if (options.telemetry_every > 0) ship(obs::kTelemetryShipFinal);
   comm.Finish(rank);
   res.status = util::Status::OK();
   res.step_reached = step;

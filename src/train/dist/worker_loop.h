@@ -94,6 +94,24 @@ struct WorkerLoopOptions {
   /// the process dies for real, mid-step, exactly like an OOM kill —
   /// instead of returning a killed result the way a thread worker must.
   bool die_on_kill_fault = false;
+  /// Spawn generation, stamped into every shipped telemetry unit so the
+  /// coordinator's aggregator can order events across recoveries.
+  int64_t epoch = 0;
+  /// Ship a telemetry unit (metrics snapshot + flight delta) to the
+  /// coordinator every N steps, plus once on orderly completion. 0 = off.
+  /// Shipping rides Comm::ShipTelemetry: best-effort, outside the
+  /// collective algebra, so it cannot perturb training arithmetic.
+  int64_t telemetry_every = 0;
+  /// True when this loop owns the whole process (dist_worker): telemetry
+  /// captures every metric and the flight-ring delta. False for thread
+  /// workers sharing the coordinator's process: capture only this rank's
+  /// "dist.worker.<r>."-prefixed metrics and no events, so shared-process
+  /// state is never double-counted or misattributed across ranks.
+  bool telemetry_whole_process = false;
+  /// When non-empty and a kWorkerKill fault fires in die_on_kill_fault
+  /// mode: atomically dump a final telemetry unit here before SIGKILL —
+  /// the crash half of the coordinator's postmortem handshake.
+  std::string postmortem_path;
 };
 
 struct WorkerLoopResult {

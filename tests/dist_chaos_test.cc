@@ -20,6 +20,7 @@
 
 #include "nn/layers.h"
 #include "obs/flight_recorder.h"
+#include "obs/telemetry.h"
 #include "train/checkpoint.h"
 #include "train/dist/dist_trainer.h"
 #include "train/dist/proc_group.h"
@@ -238,6 +239,7 @@ TEST(DistChaosTest, SocketWireFaultStormsRecoverToTheExactResult) {
   }
 
   int total_recoveries = 0;
+  bool telemetry_ranks_seen[3] = {false, false, false};
   int64_t fired[4] = {0, 0, 0, 0};
   const FaultSite sites[4] = {FaultSite::kSockDrop,
                               FaultSite::kSockCorruptFrame,
@@ -249,6 +251,10 @@ TEST(DistChaosTest, SocketWireFaultStormsRecoverToTheExactResult) {
     ScratchDir dir("tfmr_sockchaos_s" + std::to_string(schedule));
     DistTrainerOptions opts = ChaosOptions(world, dir.path());
     opts.transport = CommTransport::kSocket;
+    // Telemetry rides the same faulted wire; the reference ran with the
+    // plane off, so the exactness checks below also prove shipping never
+    // perturbs training — even under storms.
+    opts.telemetry_every = 3;
     // A stalled write sleeps 400ms — past the 250ms collective deadline —
     // so every fired stall is a real partition, not a benign slowdown.
     const uint64_t seed = 0x5eedC0DEull + static_cast<uint64_t>(schedule);
@@ -289,10 +295,24 @@ TEST(DistChaosTest, SocketWireFaultStormsRecoverToTheExactResult) {
       }
       EXPECT_TRUE(recovered) << obs::FlightRecorder::Global().Format(64);
     }
+    // Telemetry is best-effort under faults (ships drop, never retry),
+    // but a schedule in which *no* unit ever arrived would mean the
+    // plane is dead, not lossy.
+    int64_t ingested = 0;
+    for (int r = 0; r < world; ++r) {
+      ingested += dist.telemetry().IngestCount(r);
+      if (dist.telemetry().HasRank(r)) telemetry_ranks_seen[r] = true;
+    }
+    EXPECT_GT(ingested, 0) << "no telemetry survived the storm";
     total_recoveries += dist.recoveries();
     for (int i = 0; i < 4; ++i) {
       fired[i] += counts[static_cast<size_t>(sites[i])].fired;
     }
+  }
+  // Across the whole storm every rank id shipped successfully at least
+  // once.
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_TRUE(telemetry_ranks_seen[r]) << "rank " << r << " never shipped";
   }
   // Every wire fault class must actually have fired across the storm.
   for (int i = 0; i < 4; ++i) {
@@ -347,6 +367,31 @@ TEST(DistChaosTest, RealProcessSigkillSchedulesRecoverToTheExactResult) {
     util::Status s = gang.Run();
     ASSERT_TRUE(s.ok()) << s << "\n" << gang.FormatIncidents();
     EXPECT_GE(gang.recoveries(), 1);
+
+    // Incident-report conservation: every incident produced exactly one
+    // structured report (the run recovered every time, so reports ==
+    // recoveries), and each report's merged timeline contains the victim
+    // rank's final shipped events — the telemetry it pushed from inside
+    // the dying process.
+    const std::vector<obs::IncidentReport>& reports = gang.incident_reports();
+    EXPECT_EQ(reports.size(), static_cast<size_t>(gang.recoveries()))
+        << gang.FormatIncidents();
+    for (const obs::IncidentReport& report : reports) {
+      SCOPED_TRACE(report.Format());
+      EXPECT_FALSE(report.kind.empty());
+      bool victim_final_events = false;
+      for (const obs::GangEvent& ge : report.timeline) {
+        if (ge.rank == report.rank &&
+            (ge.event.type == obs::FlightEventType::kTelemetryShip ||
+             ge.event.type == obs::FlightEventType::kPostmortemDump)) {
+          victim_final_events = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(victim_final_events)
+          << "victim rank " << report.rank
+          << "'s final shipped events missing from the report timeline";
+    }
 
     // Death -> recovery -> respawn, in that order, in the flight record.
     const auto events = obs::FlightRecorder::Global().Dump();

@@ -405,5 +405,172 @@ TEST_F(ObsTest, FlightRecorderConcurrentWritersAndDumper) {
   }
 }
 
+// --- Dump boundary regressions ---------------------------------------------
+
+TEST_F(ObsTest, FlightRecorderDumpZeroMaxEventsIsEmpty) {
+  FlightRecorder rec(8);
+  rec.Record(FlightEventType::kAdmission, 1, 1);
+  rec.Record(FlightEventType::kAdmission, 2, 2);
+  EXPECT_TRUE(rec.Dump(0).empty());
+  EXPECT_TRUE(rec.DumpSince(0, 0).empty());
+}
+
+TEST_F(ObsTest, FlightRecorderDumpMaxEventsEqualsCapacity) {
+  FlightRecorder rec(8);
+  ASSERT_EQ(rec.capacity(), 8u);
+  // Exactly full, not wrapped: a cap equal to capacity returns all of it.
+  for (int i = 0; i < 8; ++i) {
+    rec.Record(FlightEventType::kAdmission, i, i);
+  }
+  auto events = rec.Dump(rec.capacity());
+  ASSERT_EQ(events.size(), 8u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ticket, i);
+  }
+  // Wrapped: still exactly capacity events, the newest ones.
+  for (int i = 8; i < 13; ++i) {
+    rec.Record(FlightEventType::kAdmission, i, i);
+  }
+  events = rec.Dump(rec.capacity());
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(events.front().ticket, 5u);
+  EXPECT_EQ(events.back().ticket, 12u);
+}
+
+// Satellite regression: a dump racing a writer that is actively wrapping
+// the ring. Every returned event must be coherent and strictly
+// ticket-ascending; slots torn mid-write are skipped, never returned.
+// The tsan-obs preset runs this under ThreadSanitizer.
+TEST_F(ObsTest, FlightRecorderDumpRacesWrappingWriter) {
+  FlightRecorder rec(8);  // tiny ring: every 8 records is a full lap
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 200000 && !done.load(std::memory_order_relaxed);
+         ++i) {
+      rec.Record(FlightEventType::kAdmission, i & 0x7FFFFFFF, i,
+                 static_cast<int64_t>(i) * 3 + 1);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  while (!done.load(std::memory_order_acquire)) {
+    const auto events = rec.Dump();
+    uint64_t prev = 0;
+    bool first = true;
+    for (const FlightEvent& e : events) {
+      ASSERT_EQ(e.c, e.b * 3 + 1);  // torn slot detector
+      if (!first) ASSERT_GT(e.ticket, prev);
+      prev = e.ticket;
+      first = false;
+    }
+  }
+  writer.join();
+}
+
+TEST_F(ObsTest, FlightRecorderDumpSinceFiltersOldTickets) {
+  FlightRecorder rec(16);
+  for (int i = 0; i < 10; ++i) {
+    rec.Record(FlightEventType::kAdmission, i, i);
+  }
+  const auto delta = rec.DumpSince(6);
+  ASSERT_EQ(delta.size(), 4u);
+  EXPECT_EQ(delta.front().ticket, 6u);
+  EXPECT_EQ(delta.back().ticket, 9u);
+  // Cursor past the end: empty delta, the shipper's steady state.
+  EXPECT_TRUE(rec.DumpSince(10).empty());
+  EXPECT_TRUE(rec.DumpSince(1000).empty());
+  // min_ticket == 0 is a plain Dump.
+  EXPECT_EQ(rec.DumpSince(0).size(), 10u);
+}
+
+TEST_F(ObsTest, FlightRecorderDumpSinceAfterWrapReturnsSurvivors) {
+  FlightRecorder rec(8);
+  for (int i = 0; i < 20; ++i) {
+    rec.Record(FlightEventType::kAdmission, i, i);
+  }
+  // Ring holds tickets 12..19. A cursor pointing into the evicted range
+  // returns everything that survived.
+  const auto delta = rec.DumpSince(5);
+  ASSERT_EQ(delta.size(), 8u);
+  EXPECT_EQ(delta.front().ticket, 12u);
+  // A cursor inside the surviving range trims exactly.
+  EXPECT_EQ(rec.DumpSince(15).size(), 5u);
+}
+
+// Satellite: the clock contract documented on FlightEvent — timestamps
+// come from steady_clock, so they are monotone non-decreasing in ticket
+// order and consistent with a bracketing pair of steady_clock readings.
+TEST_F(ObsTest, FlightRecorderTimestampsAreSteadyClockMonotone) {
+  FlightRecorder rec(256);
+  const int64_t before = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now().time_since_epoch())
+                             .count();
+  for (int i = 0; i < 100; ++i) {
+    rec.Record(FlightEventType::kAdmission, i, i);
+  }
+  const int64_t after = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now().time_since_epoch())
+                            .count();
+  const auto events = rec.Dump();
+  ASSERT_EQ(events.size(), 100u);
+  int64_t prev = before;
+  for (const FlightEvent& e : events) {
+    EXPECT_GE(e.ts_ns, prev);  // never steps backwards across tickets
+    prev = e.ts_ns;
+  }
+  EXPECT_LE(prev, after);
+}
+
+// --- HistogramSnapshot::Merge + RegistrySnapshot ---------------------------
+
+TEST_F(ObsTest, HistogramSnapshotMergeAddsCountsAndBuckets) {
+  Histogram a, b;
+  for (int i = 0; i < 10; ++i) a.Record(5.0);
+  for (int i = 0; i < 30; ++i) b.Record(500.0);
+  HistogramSnapshot sa = a.Snapshot();
+  const HistogramSnapshot sb = b.Snapshot();
+  sa.Merge(sb);
+  EXPECT_EQ(sa.count, 40u);
+  EXPECT_DOUBLE_EQ(sa.sum, 10 * 5.0 + 30 * 500.0);
+  EXPECT_DOUBLE_EQ(sa.max, 500.0);
+  // Percentiles read from the merged buckets: p20 sits in the 5.0 mass,
+  // p80 in the 500.0 mass (one geometric bucket of slop each way).
+  EXPECT_LE(sa.Percentile(0.20), 5.0 * Histogram::kGrowth);
+  EXPECT_GE(sa.Percentile(0.80), 500.0 / Histogram::kGrowth);
+}
+
+TEST_F(ObsTest, HistogramSnapshotMergeWithEmptySides) {
+  Histogram a;
+  a.Record(7.0);
+  HistogramSnapshot sa = a.Snapshot();
+  HistogramSnapshot empty;
+  sa.Merge(empty);  // no-op
+  EXPECT_EQ(sa.count, 1u);
+  empty.Merge(sa);  // empty absorbs the populated side
+  EXPECT_EQ(empty.count, 1u);
+  EXPECT_DOUBLE_EQ(empty.max, sa.max);
+  EXPECT_EQ(empty.buckets.size(), sa.buckets.size());
+}
+
+TEST_F(ObsTest, RegistrySnapshotFiltersByPrefix) {
+  MetricsRegistry registry;
+  registry.GetCounter("dist.worker.0.steps")->Increment(7);
+  registry.GetCounter("dist.worker.1.steps")->Increment(9);
+  registry.GetCounter("serve.requests")->Increment(3);
+  registry.GetGauge("dist.worker.0.step")->Set(6.0);
+  registry.GetHistogram("dist.worker.0.lat")->Record(2.0);
+
+  const RegistrySnapshot all = registry.Snapshot();
+  EXPECT_EQ(all.counters.size(), 3u);
+  EXPECT_EQ(all.counters.at("serve.requests"), 3u);
+
+  const RegistrySnapshot mine = registry.Snapshot("dist.worker.0.");
+  EXPECT_EQ(mine.counters.size(), 1u);
+  EXPECT_EQ(mine.counters.at("dist.worker.0.steps"), 7u);
+  EXPECT_EQ(mine.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(mine.gauges.at("dist.worker.0.step"), 6.0);
+  ASSERT_EQ(mine.histograms.size(), 1u);
+  EXPECT_EQ(mine.histograms.at("dist.worker.0.lat").count, 1u);
+}
+
 }  // namespace
 }  // namespace llm::obs
